@@ -1,0 +1,104 @@
+//! Error type for numerical analysis operations.
+
+use std::fmt;
+
+/// Errors produced by the `geopriv-analysis` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The operation needs more data points than were provided.
+    NotEnoughData {
+        /// Minimum number of samples required.
+        required: usize,
+        /// Number of samples actually provided.
+        actual: usize,
+    },
+    /// Input slices that must have equal length did not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The input contained NaN or infinite values.
+    NonFiniteInput,
+    /// Matrix dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the actual shape.
+        actual: String,
+    },
+    /// A linear system was singular (or numerically close to singular).
+    SingularMatrix,
+    /// The predictor values have zero variance, so no relationship can be fitted.
+    ZeroVariance,
+    /// The eigenvalue solver did not converge.
+    NoConvergence {
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+    /// A function value was requested outside the fitted/observed domain.
+    OutOfDomain {
+        /// The offending value.
+        value: f64,
+        /// Lower bound of the valid domain.
+        min: f64,
+        /// Upper bound of the valid domain.
+        max: f64,
+    },
+    /// A model could not be inverted (zero or non-finite slope).
+    NotInvertible,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NotEnoughData { required, actual } => {
+                write!(f, "not enough data: need at least {required} samples, got {actual}")
+            }
+            AnalysisError::LengthMismatch { left, right } => {
+                write!(f, "input length mismatch: {left} vs {right}")
+            }
+            AnalysisError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+            AnalysisError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            AnalysisError::SingularMatrix => write!(f, "matrix is singular or nearly singular"),
+            AnalysisError::ZeroVariance => {
+                write!(f, "predictor has zero variance, cannot fit a relationship")
+            }
+            AnalysisError::NoConvergence { iterations } => {
+                write!(f, "iterative solver did not converge after {iterations} iterations")
+            }
+            AnalysisError::OutOfDomain { value, min, max } => {
+                write!(f, "value {value} is outside the valid domain [{min}, {max}]")
+            }
+            AnalysisError::NotInvertible => write!(f, "model is not invertible"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(AnalysisError::NotEnoughData { required: 3, actual: 1 }
+            .to_string()
+            .contains("at least 3"));
+        assert!(AnalysisError::LengthMismatch { left: 2, right: 5 }.to_string().contains("2 vs 5"));
+        assert!(AnalysisError::OutOfDomain { value: 9.0, min: 0.0, max: 1.0 }
+            .to_string()
+            .contains("[0, 1]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<AnalysisError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion bench comparing the record-protection throughput of the LPPMs
+//! (GEO-I at the paper's operating point, Gaussian perturbation, grid
+//! cloaking, temporal down-sampling), plus the raw planar-Laplace sampler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geopriv_bench::{reproduction_dataset, Fidelity, REPRODUCTION_SEED};
+use geopriv_geo::Meters;
+use geopriv_lppm::{
+    Epsilon, GaussianPerturbation, GeoIndistinguishability, GridCloaking, Lppm, PlanarLaplace,
+    TemporalDownsampling,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn protection_throughput(c: &mut Criterion) {
+    let dataset = reproduction_dataset(Fidelity::Smoke);
+    let records = dataset.record_count() as u64;
+
+    let mechanisms: Vec<(&str, Box<dyn Lppm>)> = vec![
+        (
+            "geo-indistinguishability(eps=0.01)",
+            Box::new(GeoIndistinguishability::new(Epsilon::new(0.01).expect("valid"))),
+        ),
+        (
+            "gaussian-perturbation(sigma=160m)",
+            Box::new(GaussianPerturbation::new(Meters::new(160.0)).expect("valid")),
+        ),
+        (
+            "grid-cloaking(400m)",
+            Box::new(GridCloaking::new(Meters::new(400.0)).expect("valid")),
+        ),
+        (
+            "temporal-downsampling(4)",
+            Box::new(TemporalDownsampling::new(4).expect("valid")),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("lppm_protect_dataset");
+    group.throughput(Throughput::Elements(records));
+    group.sample_size(10);
+    for (name, mechanism) in &mechanisms {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(REPRODUCTION_SEED);
+                black_box(mechanism.protect_dataset(&dataset, &mut rng).expect("protection succeeds"))
+            });
+        });
+    }
+    group.finish();
+
+    let mut sampler_group = c.benchmark_group("planar_laplace_sampler");
+    sampler_group.throughput(Throughput::Elements(10_000));
+    sampler_group.bench_function("sample_10k", |b| {
+        let noise = PlanarLaplace::new(Epsilon::new(0.01).expect("valid"));
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(REPRODUCTION_SEED);
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                let (dx, dy) = noise.sample(&mut rng);
+                acc += dx + dy;
+            }
+            black_box(acc)
+        });
+    });
+    sampler_group.finish();
+}
+
+criterion_group!(benches, protection_throughput);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the evaluation metrics: POI extraction, POI-retrieval
+//! privacy, area-coverage utility, and the end-to-end modeling step
+//! (saturation detection + Equation 2 fit) on a precomputed sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geopriv_bench::{reproduction_dataset, run_paper_sweep, Fidelity, REPRODUCTION_SEED};
+use geopriv_core::Modeler;
+use geopriv_lppm::{Epsilon, GeoIndistinguishability, Lppm};
+use geopriv_metrics::{AreaCoverage, PoiExtractor, PoiRetrieval, PrivacyMetric, UtilityMetric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn metric_throughput(c: &mut Criterion) {
+    let dataset = reproduction_dataset(Fidelity::Smoke);
+    let mut rng = StdRng::seed_from_u64(REPRODUCTION_SEED);
+    let protected = GeoIndistinguishability::new(Epsilon::new(0.01).expect("valid"))
+        .protect_dataset(&dataset, &mut rng)
+        .expect("protection succeeds");
+    let records = dataset.record_count() as u64;
+
+    let mut group = c.benchmark_group("metrics");
+    group.throughput(Throughput::Elements(records));
+    group.sample_size(10);
+
+    group.bench_function("poi_extraction", |b| {
+        let extractor = PoiExtractor::default();
+        b.iter(|| {
+            let total: usize = dataset.iter().map(|t| extractor.extract_distinct(t).len()).sum();
+            black_box(total)
+        });
+    });
+
+    group.bench_function("poi_retrieval_privacy", |b| {
+        let metric = PoiRetrieval::default();
+        b.iter(|| black_box(metric.evaluate(&dataset, &protected).expect("evaluation succeeds").value()));
+    });
+
+    group.bench_function("area_coverage_utility", |b| {
+        let metric = AreaCoverage::default();
+        b.iter(|| black_box(metric.evaluate(&dataset, &protected).expect("evaluation succeeds").value()));
+    });
+    group.finish();
+
+    // Modeling cost on a precomputed sweep (pure numerics, no simulation).
+    let sweep = run_paper_sweep(&dataset, Fidelity::Smoke).expect("sweep succeeds");
+    let mut modeling_group = c.benchmark_group("modeling");
+    modeling_group.bench_function("fit_equation_2", |b| {
+        b.iter(|| black_box(Modeler::new().fit(&sweep).expect("fit succeeds")));
+    });
+    modeling_group.finish();
+}
+
+criterion_group!(benches, metric_throughput);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Reproduces **Equation 2** of the paper: the log-linear relationship
+//! between ε and the two metrics, fitted on the non-saturated zone of the
+//! Figure 1 sweep.
+//!
+//! ```text
+//! ln ε = (Pr − a)/b = (Ut − α)/β
+//! paper fit: a = 0.84, b = 0.17, α = 1.21, β = 0.09
+//! ```
+//!
+//! ```text
+//! cargo run -p geopriv-bench --release --bin equation2 [-- --fidelity smoke|standard|full]
+//! ```
+
+use geopriv_bench::{fidelity_from_args, reproduction_dataset, run_paper_sweep};
+use geopriv_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = fidelity_from_args();
+    eprintln!("building the synthetic SF taxi dataset ({fidelity:?})…");
+    let dataset = reproduction_dataset(fidelity);
+    eprintln!("sweeping epsilon and fitting Equation 2…");
+    let sweep = run_paper_sweep(&dataset, fidelity)?;
+    let fitted = Modeler::new().fit(&sweep)?;
+
+    println!("== Equation 2: fitted coefficients ==");
+    println!("{}", report::relationship_report(&fitted));
+
+    println!("== Side-by-side with the paper ==");
+    println!("{:<12} {:>12} {:>12}", "coefficient", "paper", "measured");
+    println!("{:<12} {:>12.2} {:>12.3}", "a (privacy)", 0.84, fitted.privacy.model.intercept());
+    println!("{:<12} {:>12.2} {:>12.3}", "b (privacy)", 0.17, fitted.privacy.model.slope());
+    println!("{:<12} {:>12.2} {:>12.3}", "α (utility)", 1.21, fitted.utility.model.intercept());
+    println!("{:<12} {:>12.2} {:>12.3}", "β (utility)", 0.09, fitted.utility.model.slope());
+    println!();
+    println!(
+        "fit quality: R²(privacy) = {:.3}, R²(utility) = {:.3}",
+        fitted.privacy.model.r_squared(),
+        fitted.utility.model.r_squared()
+    );
+    println!();
+    println!("shape checks:");
+    println!(
+        "  both slopes positive (metrics increase with epsilon): privacy {} utility {}",
+        fitted.privacy.model.slope() > 0.0,
+        fitted.utility.model.slope() > 0.0
+    );
+    println!(
+        "  privacy responds more steeply than utility (b > β): {}",
+        fitted.privacy.model.slope() > fitted.utility.model.slope()
+    );
+    Ok(())
+}

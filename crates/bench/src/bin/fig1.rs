@@ -1,0 +1,54 @@
+//! Reproduces **Figure 1** of the paper: the GEO-I privacy metric (1a) and
+//! utility metric (1b) as a function of ε on a log-scale sweep from 10⁻⁴ to
+//! 1 m⁻¹.
+//!
+//! ```text
+//! cargo run -p geopriv-bench --release --bin fig1 [-- --fidelity smoke|standard|full]
+//! ```
+//!
+//! The output contains one aligned table (both series) plus a CSV block that
+//! can be plotted directly; the vertical-line zone boundaries reported by the
+//! modeler correspond to the non-saturated zones marked in the paper's figure.
+
+use geopriv_bench::{fidelity_from_args, reproduction_dataset, run_paper_sweep};
+use geopriv_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = fidelity_from_args();
+    eprintln!("building the synthetic SF taxi dataset ({fidelity:?})…");
+    let dataset = reproduction_dataset(fidelity);
+    eprintln!(
+        "dataset: {} drivers, {} records",
+        dataset.user_count(),
+        dataset.record_count()
+    );
+
+    eprintln!("sweeping epsilon (Figure 1)…");
+    let sweep = run_paper_sweep(&dataset, fidelity)?;
+
+    println!("== Figure 1a (privacy metric vs epsilon) and 1b (utility metric vs epsilon) ==");
+    println!("{}", report::sweep_to_table(&sweep));
+
+    println!("== CSV ==");
+    println!("{}", report::sweep_to_csv(&sweep));
+
+    // The non-saturated zones (the vertical lines of Figure 1).
+    let fitted = Modeler::new().fit(&sweep)?;
+    println!("== Non-saturated zones (the vertical lines of Figure 1) ==");
+    println!(
+        "privacy ({}):  epsilon in [{:.5}, {:.5}]   (paper: ~0.007 to ~0.08)",
+        fitted.privacy.metric_name, fitted.privacy.active_zone.0, fitted.privacy.active_zone.1
+    );
+    println!(
+        "utility ({}):  epsilon in [{:.5}, {:.5}]   (paper: wider than the privacy zone)",
+        fitted.utility.metric_name, fitted.utility.active_zone.0, fitted.utility.active_zone.1
+    );
+
+    // Shape checks mirrored in EXPERIMENTS.md.
+    let first = sweep.samples.first().expect("sweep is non-empty");
+    let last = sweep.samples.last().expect("sweep is non-empty");
+    println!();
+    println!("shape check: privacy rises from {:.3} to {:.3} (paper: ~0 to ~0.4)", first.privacy, last.privacy);
+    println!("shape check: utility rises from {:.3} to {:.3} (paper: ~0.2 to ~1.0)", first.utility, last.utility);
+    Ok(())
+}

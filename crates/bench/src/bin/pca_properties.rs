@@ -1,0 +1,68 @@
+//! Reproduces the **PCA-based dataset-property selection** of §3 step 1:
+//! "the properties of the dataset that are likely to influence privacy and
+//! utility metrics … are soundly chosen using a principal component
+//! analysis".
+//!
+//! The paper's GEO-I illustration ends up using no dataset property; this
+//! binary shows the machinery on a heterogeneous dataset (taxi drivers mixed
+//! with commuters), reporting the ranked importance of each candidate
+//! property and which ones the framework would keep.
+//!
+//! ```text
+//! cargo run -p geopriv-bench --release --bin pca_properties [-- --fidelity smoke|standard|full]
+//! ```
+
+use geopriv_bench::{fidelity_from_args, REPRODUCTION_SEED};
+use geopriv_core::prelude::*;
+use geopriv_geo::Meters;
+use geopriv_mobility::generator::{CommuterBuilder, TaxiFleetBuilder};
+use geopriv_mobility::{Dataset, DatasetProperties};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = fidelity_from_args();
+    let mut rng = StdRng::seed_from_u64(REPRODUCTION_SEED);
+
+    eprintln!("building a heterogeneous dataset (taxis + commuters, {fidelity:?})…");
+    let taxis = TaxiFleetBuilder::new()
+        .drivers(fidelity.drivers())
+        .duration_hours(fidelity.duration_hours())
+        .sampling_interval_s(60.0)
+        .build(&mut rng)?;
+    let commuters = CommuterBuilder::new()
+        .users(fidelity.drivers())
+        .days(1)
+        .sampling_interval_s(120.0)
+        .first_user_id(1_000)
+        .build(&mut rng)?;
+    let mut traces = taxis.traces().to_vec();
+    traces.extend(commuters.traces().iter().cloned());
+    let dataset = Dataset::new(traces)?;
+    println!(
+        "dataset: {} users ({} taxi drivers + {} commuters), {} records",
+        dataset.user_count(),
+        fidelity.drivers(),
+        fidelity.drivers(),
+        dataset.record_count()
+    );
+
+    let properties = DatasetProperties::compute(&dataset, Meters::new(200.0))?;
+    let selection = PropertySelector::default().select(&properties)?;
+
+    println!();
+    println!("== PCA-based property selection ==");
+    println!("{selection}");
+    println!(
+        "first principal component explains {:.1}% of the variance",
+        selection.first_component_variance * 100.0
+    );
+    println!("selected properties: {:?}", selection.selected_names());
+    println!();
+    println!(
+        "note: the paper's GEO-I illustration uses no dataset property (\"no dataset properties is \
+         considered\"); this report demonstrates the selection step the framework applies when \
+         extending Equation 1 with d_j terms."
+    );
+    Ok(())
+}

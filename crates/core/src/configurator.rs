@@ -1,0 +1,284 @@
+//! Configuration by model inversion (step 3 of the framework).
+//!
+//! "Finally, the LPPM configuration (i.e. the value of p_i) is computed by
+//! inverting the f function, using the specified privacy and utility
+//! objectives." [`Configurator`] turns a [`FittedRelationship`] and a pair of
+//! [`Objectives`] into a concrete parameter recommendation — the paper's
+//! "configuring ε = 0.01 ensures 80 % utility while guaranteeing 10 %
+//! privacy".
+
+use crate::error::CoreError;
+use crate::modeling::FittedRelationship;
+use crate::objectives::Objectives;
+use geopriv_lppm::ParameterScale;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The outcome of inverting the fitted models for a pair of objectives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Name of the configured parameter (e.g. `"epsilon"`).
+    pub parameter_name: String,
+    /// The interval of parameter values satisfying both objectives
+    /// (intersected with the modeled domain).
+    pub feasible_range: (f64, f64),
+    /// The recommended parameter value (the midpoint of the feasible range,
+    /// geometric midpoint for logarithmic parameters).
+    pub parameter: f64,
+    /// Privacy predicted by the model at the recommended value.
+    pub predicted_privacy: f64,
+    /// Utility predicted by the model at the recommended value.
+    pub predicted_utility: f64,
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} = {:.4} (feasible in [{:.4}, {:.4}]), predicted privacy {:.3}, predicted utility {:.3}",
+            self.parameter_name,
+            self.parameter,
+            self.feasible_range.0,
+            self.feasible_range.1,
+            self.predicted_privacy,
+            self.predicted_utility
+        )
+    }
+}
+
+/// Inverts fitted metric models to recommend a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Configurator {
+    relationship: FittedRelationship,
+    scale: ParameterScale,
+}
+
+impl Configurator {
+    /// Creates a configurator from a fitted relationship.
+    ///
+    /// `scale` must be the scale of the swept parameter (it decides whether
+    /// midpoints are arithmetic or geometric).
+    pub fn new(relationship: FittedRelationship, scale: ParameterScale) -> Self {
+        Self { relationship, scale }
+    }
+
+    /// The underlying fitted relationship.
+    pub fn relationship(&self) -> &FittedRelationship {
+        &self.relationship
+    }
+
+    /// Computes the parameter interval satisfying one *upper-bound* constraint
+    /// `metric(x) <= bound` for a monotone model, clipped to `domain`.
+    fn interval_for_upper_bound(
+        model: &crate::modeling::ParametricModel,
+        bound: f64,
+        domain: (f64, f64),
+    ) -> Result<(f64, f64), CoreError> {
+        let critical = model.invert(bound)?;
+        if model.is_increasing() {
+            // Metric grows with x: the constraint caps x from above.
+            Ok((domain.0, critical.min(domain.1)))
+        } else {
+            Ok((critical.max(domain.0), domain.1))
+        }
+    }
+
+    /// Computes the parameter interval satisfying one *lower-bound* constraint
+    /// `metric(x) >= bound`, clipped to `domain`.
+    fn interval_for_lower_bound(
+        model: &crate::modeling::ParametricModel,
+        bound: f64,
+        domain: (f64, f64),
+    ) -> Result<(f64, f64), CoreError> {
+        let critical = model.invert(bound)?;
+        if model.is_increasing() {
+            Ok((critical.max(domain.0), domain.1))
+        } else {
+            Ok((domain.0, critical.min(domain.1)))
+        }
+    }
+
+    /// Recommends a parameter value satisfying both objectives.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Infeasible`] when no parameter value in the modeled
+    ///   domain satisfies both objectives — the error message reports which
+    ///   direction the conflict goes.
+    /// * [`CoreError::Analysis`] when a model cannot be inverted.
+    pub fn recommend(&self, objectives: Objectives) -> Result<Recommendation, CoreError> {
+        let privacy_model = &self.relationship.privacy.model;
+        let utility_model = &self.relationship.utility.model;
+
+        // Work inside the union of what both models were fitted on: the
+        // privacy zone is typically narrower (Figure 1a) than the utility
+        // zone (Figure 1b); the recommendation must stay where both models
+        // are meaningful, i.e. in the intersection of their domains.
+        let privacy_domain = privacy_model.domain();
+        let utility_domain = utility_model.domain();
+        let domain = (
+            privacy_domain.0.max(utility_domain.0),
+            privacy_domain.1.min(utility_domain.1),
+        );
+        if domain.0 >= domain.1 {
+            return Err(CoreError::Infeasible {
+                reason: "the privacy and utility models were fitted on disjoint parameter ranges"
+                    .to_string(),
+            });
+        }
+
+        let privacy_interval =
+            Self::interval_for_upper_bound(privacy_model, objectives.privacy.bound(), domain)?;
+        let utility_interval =
+            Self::interval_for_lower_bound(utility_model, objectives.utility.bound(), domain)?;
+
+        let feasible = (
+            privacy_interval.0.max(utility_interval.0),
+            privacy_interval.1.min(utility_interval.1),
+        );
+        if feasible.0 > feasible.1 {
+            return Err(CoreError::Infeasible {
+                reason: format!(
+                    "privacy objective ({}) requires {} in [{:.4}, {:.4}] but utility objective ({}) requires [{:.4}, {:.4}]",
+                    objectives.privacy,
+                    self.relationship.parameter_name,
+                    privacy_interval.0,
+                    privacy_interval.1,
+                    objectives.utility,
+                    utility_interval.0,
+                    utility_interval.1,
+                ),
+            });
+        }
+
+        let parameter = match self.scale {
+            ParameterScale::Linear => (feasible.0 + feasible.1) / 2.0,
+            ParameterScale::Logarithmic => (feasible.0 * feasible.1).sqrt(),
+        };
+
+        Ok(Recommendation {
+            parameter_name: self.relationship.parameter_name.clone(),
+            feasible_range: feasible,
+            parameter,
+            predicted_privacy: privacy_model.predict(parameter),
+            predicted_utility: utility_model.predict(parameter),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{SweepResult, SweepSample};
+    use crate::modeling::Modeler;
+    use crate::objectives::{Objectives, PrivacyObjective, UtilityObjective};
+
+    fn paper_like_relationship() -> FittedRelationship {
+        let points = 41;
+        let samples: Vec<SweepSample> = (0..points)
+            .map(|i| {
+                let epsilon = 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / (points - 1) as f64);
+                let privacy = (0.84 + 0.17 * epsilon.ln()).clamp(0.0, 0.45);
+                let utility = (1.21 + 0.09 * epsilon.ln()).clamp(0.2, 1.0);
+                SweepSample {
+                    parameter: epsilon,
+                    privacy,
+                    utility,
+                    privacy_runs: vec![],
+                    utility_runs: vec![],
+                }
+            })
+            .collect();
+        let sweep = SweepResult {
+            lppm_name: "geo-indistinguishability".to_string(),
+            parameter_name: "epsilon".to_string(),
+            parameter_scale: geopriv_lppm::ParameterScale::Logarithmic,
+            privacy_metric_name: "poi-retrieval".to_string(),
+            utility_metric_name: "area-coverage".to_string(),
+            samples,
+        };
+        Modeler::new().fit(&sweep).unwrap()
+    }
+
+    #[test]
+    fn paper_objectives_yield_an_epsilon_near_0_01() {
+        let configurator = Configurator::new(
+            paper_like_relationship(),
+            geopriv_lppm::ParameterScale::Logarithmic,
+        );
+        let recommendation = configurator.recommend(Objectives::paper_example()).unwrap();
+        assert_eq!(recommendation.parameter_name, "epsilon");
+        // The paper picks 0.01; any epsilon satisfying both objectives lies
+        // between ~0.009 (utility >= 0.8) and ~0.013 (privacy <= 0.1).
+        assert!(
+            (0.005..0.02).contains(&recommendation.parameter),
+            "recommended {}",
+            recommendation.parameter
+        );
+        assert!(recommendation.feasible_range.0 <= recommendation.parameter);
+        assert!(recommendation.feasible_range.1 >= recommendation.parameter);
+        assert!(recommendation.predicted_privacy <= 0.10 + 0.02);
+        assert!(recommendation.predicted_utility >= 0.80 - 0.02);
+        assert!(recommendation.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn looser_objectives_widen_the_feasible_range() {
+        let configurator = Configurator::new(
+            paper_like_relationship(),
+            geopriv_lppm::ParameterScale::Logarithmic,
+        );
+        let strict = configurator.recommend(Objectives::paper_example()).unwrap();
+        let loose = configurator
+            .recommend(Objectives::new(
+                PrivacyObjective::at_most(0.3).unwrap(),
+                UtilityObjective::at_least(0.5).unwrap(),
+            ))
+            .unwrap();
+        let strict_width = strict.feasible_range.1 / strict.feasible_range.0;
+        let loose_width = loose.feasible_range.1 / loose.feasible_range.0;
+        assert!(loose_width > strict_width);
+    }
+
+    #[test]
+    fn impossible_objectives_are_reported_as_infeasible() {
+        let configurator = Configurator::new(
+            paper_like_relationship(),
+            geopriv_lppm::ParameterScale::Logarithmic,
+        );
+        // Perfect privacy *and* perfect utility cannot both hold.
+        let result = configurator.recommend(Objectives::new(
+            PrivacyObjective::at_most(0.01).unwrap(),
+            UtilityObjective::at_least(0.99).unwrap(),
+        ));
+        match result {
+            Err(CoreError::Infeasible { reason }) => {
+                assert!(reason.contains("privacy"), "reason: {reason}");
+                assert!(reason.contains("utility"), "reason: {reason}");
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recommendation_respects_the_model_domain() {
+        let configurator = Configurator::new(
+            paper_like_relationship(),
+            geopriv_lppm::ParameterScale::Logarithmic,
+        );
+        // Very loose objectives: the feasible range collapses to the fitted
+        // domain, and the recommendation stays inside it.
+        let recommendation = configurator
+            .recommend(Objectives::new(
+                PrivacyObjective::at_most(1.0).unwrap(),
+                UtilityObjective::at_least(0.0).unwrap(),
+            ))
+            .unwrap();
+        let privacy_domain = configurator.relationship().privacy.model.domain();
+        let utility_domain = configurator.relationship().utility.model.domain();
+        let lo = privacy_domain.0.max(utility_domain.0);
+        let hi = privacy_domain.1.min(utility_domain.1);
+        assert!(recommendation.parameter >= lo && recommendation.parameter <= hi);
+        assert_eq!(recommendation.feasible_range, (lo, hi));
+    }
+}

@@ -1,0 +1,369 @@
+//! Automated experiment runner (step 2 of the framework, measurement half).
+//!
+//! "Then comes the modeling phase: experiments are automatically run where
+//! parameters p_i and d_i vary in turn while evaluation metrics are
+//! measured." [`ExperimentRunner`] sweeps the mechanism's configuration
+//! parameter over its range, protects the dataset at every sweep point
+//! (optionally several times with different seeds), evaluates the privacy and
+//! utility metrics, and collects the resulting [`SweepResult`] — the raw
+//! material behind Figure 1 and Equation 2.
+
+use crate::error::CoreError;
+use crate::system::SystemDefinition;
+use geopriv_lppm::ParameterScale;
+use geopriv_mobility::Dataset;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a parameter sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Number of sweep points across the parameter range (Figure 1 uses ~25).
+    pub points: usize,
+    /// Number of protection/evaluation repetitions per point; metric values
+    /// are averaged to smooth out the randomness of the mechanism.
+    pub repetitions: usize,
+    /// Master seed; every (point, repetition) pair derives its own RNG from it.
+    pub seed: u64,
+    /// Run sweep points on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self { points: 25, repetitions: 1, seed: 0xC0FFEE, parallel: true }
+    }
+}
+
+impl SweepConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for zero points or repetitions.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.points < 2 {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!("a sweep needs at least 2 points, got {}", self.points),
+            });
+        }
+        if self.repetitions == 0 {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "a sweep needs at least 1 repetition".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The measurements collected at one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSample {
+    /// The parameter value (e.g. ε in m⁻¹).
+    pub parameter: f64,
+    /// Mean privacy-metric value over the repetitions.
+    pub privacy: f64,
+    /// Mean utility-metric value over the repetitions.
+    pub utility: f64,
+    /// Per-repetition privacy values.
+    pub privacy_runs: Vec<f64>,
+    /// Per-repetition utility values.
+    pub utility_runs: Vec<f64>,
+}
+
+impl SweepSample {
+    /// Standard deviation of the privacy metric over the repetitions
+    /// (zero for a single repetition).
+    pub fn privacy_std(&self) -> f64 {
+        std_dev(&self.privacy_runs)
+    }
+
+    /// Standard deviation of the utility metric over the repetitions.
+    pub fn utility_std(&self) -> f64 {
+        std_dev(&self.utility_runs)
+    }
+}
+
+fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+/// The result of a full parameter sweep: one [`SweepSample`] per point,
+/// sorted by increasing parameter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Name of the mechanism that was swept.
+    pub lppm_name: String,
+    /// Name of the swept parameter.
+    pub parameter_name: String,
+    /// Scale of the swept parameter.
+    pub parameter_scale: ParameterScale,
+    /// Name of the privacy metric.
+    pub privacy_metric_name: String,
+    /// Name of the utility metric.
+    pub utility_metric_name: String,
+    /// The per-point measurements, sorted by parameter value.
+    pub samples: Vec<SweepSample>,
+}
+
+impl SweepResult {
+    /// The swept parameter values.
+    pub fn parameters(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.parameter).collect()
+    }
+
+    /// The mean privacy values, aligned with [`SweepResult::parameters`].
+    pub fn privacy_values(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.privacy).collect()
+    }
+
+    /// The mean utility values, aligned with [`SweepResult::parameters`].
+    pub fn utility_values(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.utility).collect()
+    }
+}
+
+/// Runs parameter sweeps for a [`SystemDefinition`] on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentRunner {
+    config: SweepConfig,
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        Self { config: SweepConfig::default() }
+    }
+}
+
+impl ExperimentRunner {
+    /// Creates a runner with the given sweep configuration.
+    pub fn new(config: SweepConfig) -> Self {
+        Self { config }
+    }
+
+    /// The sweep configuration.
+    pub fn config(&self) -> SweepConfig {
+        self.config
+    }
+
+    /// Runs the sweep: for every parameter value, protect the dataset and
+    /// evaluate both metrics.
+    ///
+    /// Results are deterministic for a given `(dataset, config.seed)` pair,
+    /// regardless of the number of threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, protection and metric errors.
+    pub fn run(&self, system: &SystemDefinition, dataset: &Dataset) -> Result<SweepResult, CoreError> {
+        self.config.validate()?;
+        let descriptor = system.parameter();
+        let values = descriptor.sweep(self.config.points);
+
+        let samples: Vec<SweepSample> = if self.config.parallel {
+            self.run_parallel(system, dataset, &values)?
+        } else {
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| self.measure_point(system, dataset, i, v))
+                .collect::<Result<Vec<_>, CoreError>>()?
+        };
+
+        Ok(SweepResult {
+            lppm_name: system.factory().name().to_string(),
+            parameter_name: descriptor.name().to_string(),
+            parameter_scale: descriptor.scale(),
+            privacy_metric_name: system.privacy_metric().name().to_string(),
+            utility_metric_name: system.utility_metric().name().to_string(),
+            samples,
+        })
+    }
+
+    fn run_parallel(
+        &self,
+        system: &SystemDefinition,
+        dataset: &Dataset,
+        values: &[f64],
+    ) -> Result<Vec<SweepSample>, CoreError> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(values.len())
+            .max(1);
+        let results: Mutex<Vec<Option<Result<SweepSample, CoreError>>>> =
+            Mutex::new((0..values.len()).map(|_| None).collect());
+        let next_index = std::sync::atomic::AtomicUsize::new(0);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next_index.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i >= values.len() {
+                        break;
+                    }
+                    let sample = self.measure_point(system, dataset, i, values[i]);
+                    results.lock()[i] = Some(sample);
+                });
+            }
+        })
+        .expect("sweep worker threads never panic");
+
+        results
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every sweep point was measured"))
+            .collect()
+    }
+
+    fn measure_point(
+        &self,
+        system: &SystemDefinition,
+        dataset: &Dataset,
+        index: usize,
+        value: f64,
+    ) -> Result<SweepSample, CoreError> {
+        let lppm = system.factory().instantiate(value)?;
+        let mut privacy_runs = Vec::with_capacity(self.config.repetitions);
+        let mut utility_runs = Vec::with_capacity(self.config.repetitions);
+        for repetition in 0..self.config.repetitions {
+            // Derive a per-(point, repetition) seed so parallel execution and
+            // sequential execution see exactly the same random streams.
+            let seed = self
+                .config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((index as u64) << 32)
+                .wrapping_add(repetition as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let protected = lppm.protect_dataset(dataset, &mut rng)?;
+            privacy_runs.push(system.privacy_metric().evaluate(dataset, &protected)?.value());
+            utility_runs.push(system.utility_metric().evaluate(dataset, &protected)?.value());
+        }
+        Ok(SweepSample {
+            parameter: value,
+            privacy: privacy_runs.iter().sum::<f64>() / privacy_runs.len() as f64,
+            utility: utility_runs.iter().sum::<f64>() / utility_runs.len() as f64,
+            privacy_runs,
+            utility_runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geopriv_mobility::generator::TaxiFleetBuilder;
+
+    fn small_dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(77);
+        TaxiFleetBuilder::new()
+            .drivers(3)
+            .duration_hours(4.0)
+            .sampling_interval_s(60.0)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    fn small_config() -> SweepConfig {
+        SweepConfig { points: 6, repetitions: 1, seed: 42, parallel: true }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SweepConfig::default().validate().is_ok());
+        assert!(SweepConfig { points: 1, ..SweepConfig::default() }.validate().is_err());
+        assert!(SweepConfig { repetitions: 0, ..SweepConfig::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn sweep_produces_ordered_bounded_samples() {
+        let dataset = small_dataset();
+        let system = SystemDefinition::paper_geoi();
+        let runner = ExperimentRunner::new(small_config());
+        let result = runner.run(&system, &dataset).unwrap();
+
+        assert_eq!(result.samples.len(), 6);
+        assert_eq!(result.lppm_name, "geo-indistinguishability");
+        assert_eq!(result.parameter_name, "epsilon");
+        assert_eq!(result.privacy_metric_name, "poi-retrieval");
+        assert_eq!(result.utility_metric_name, "area-coverage");
+
+        // Parameters are sorted and within the paper's range.
+        let params = result.parameters();
+        assert!(params.windows(2).all(|w| w[0] < w[1]));
+        assert!(params[0] >= 1e-4 && *params.last().unwrap() <= 1.0 + 1e-9);
+
+        // Metrics are bounded.
+        for s in &result.samples {
+            assert!((0.0..=1.0).contains(&s.privacy), "privacy {}", s.privacy);
+            assert!((0.0..=1.0).contains(&s.utility), "utility {}", s.utility);
+            assert_eq!(s.privacy_runs.len(), 1);
+            assert_eq!(s.privacy_std(), 0.0);
+            assert_eq!(s.utility_std(), 0.0);
+        }
+
+        // The qualitative shape of Figure 1: privacy and utility are (weakly)
+        // higher at the largest epsilon than at the smallest.
+        let first = &result.samples[0];
+        let last = &result.samples[result.samples.len() - 1];
+        assert!(last.privacy >= first.privacy);
+        assert!(last.utility >= first.utility);
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree() {
+        let dataset = small_dataset();
+        let system = SystemDefinition::paper_geoi();
+        let parallel = ExperimentRunner::new(SweepConfig { parallel: true, ..small_config() })
+            .run(&system, &dataset)
+            .unwrap();
+        let sequential = ExperimentRunner::new(SweepConfig { parallel: false, ..small_config() })
+            .run(&system, &dataset)
+            .unwrap();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_in_the_seed() {
+        let dataset = small_dataset();
+        let system = SystemDefinition::paper_geoi();
+        let run = |seed| {
+            ExperimentRunner::new(SweepConfig { seed, ..small_config() })
+                .run(&system, &dataset)
+                .unwrap()
+        };
+        assert_eq!(run(1), run(1));
+        // Different seeds give different measurements (the mechanism is random).
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn repetitions_are_recorded_and_averaged() {
+        let dataset = small_dataset();
+        let system = SystemDefinition::paper_geoi();
+        let config = SweepConfig { points: 3, repetitions: 3, seed: 5, parallel: true };
+        let result = ExperimentRunner::new(config).run(&system, &dataset).unwrap();
+        for s in &result.samples {
+            assert_eq!(s.privacy_runs.len(), 3);
+            assert_eq!(s.utility_runs.len(), 3);
+            let mean: f64 = s.privacy_runs.iter().sum::<f64>() / 3.0;
+            assert!((mean - s.privacy).abs() < 1e-12);
+            assert!(s.privacy_std() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_by_run() {
+        let dataset = small_dataset();
+        let system = SystemDefinition::paper_geoi();
+        let runner = ExperimentRunner::new(SweepConfig { points: 1, ..SweepConfig::default() });
+        assert!(runner.run(&system, &dataset).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! # geopriv-core
+//!
+//! The configuration framework of Cerf et al., *Toward an Easy Configuration
+//! of Location Privacy Protection Mechanisms* (Middleware 2016): an automated
+//! pipeline that turns "I want at most 10 % POI retrieval and at least 80 %
+//! utility" into "configure GEO-I with ε = 0.01".
+//!
+//! The three steps of the paper map onto three modules:
+//!
+//! 1. **System definition** ([`system`]) — pick the privacy metric, the
+//!    utility metric and the LPPM with its swept parameter;
+//!    [`property_selection`] ranks candidate dataset properties with a PCA.
+//! 2. **Modeling** ([`experiment`] + [`modeling`]) — automatically sweep the
+//!    parameter, measure both metrics, detect the non-saturated zone and fit
+//!    the invertible (log-)linear relationship of Equation 2.
+//! 3. **Configuration** ([`configurator`]) — invert the fitted models under
+//!    the designer's [`objectives`] and recommend a parameter value.
+//!
+//! ## End-to-end example
+//!
+//! ```no_run
+//! use geopriv_core::prelude::*;
+//! use geopriv_mobility::generator::TaxiFleetBuilder;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A stand-in for the San Francisco taxi dataset.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let dataset = TaxiFleetBuilder::new().drivers(20).duration_hours(12.0).build(&mut rng)?;
+//!
+//! // Step 1 — define the system (GEO-I, POI retrieval, area coverage).
+//! let system = SystemDefinition::paper_geoi();
+//!
+//! // Step 2 — sweep ε, measure, and fit the invertible model.
+//! let sweep = ExperimentRunner::new(SweepConfig::default()).run(&system, &dataset)?;
+//! let fitted = Modeler::new().fit(&sweep)?;
+//!
+//! // Step 3 — state objectives and invert.
+//! let configurator = Configurator::new(fitted, system.parameter().scale());
+//! let recommendation = configurator.recommend(Objectives::paper_example())?;
+//! println!("use ε = {:.4}", recommendation.parameter);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod configurator;
+pub mod error;
+pub mod experiment;
+pub mod modeling;
+pub mod objectives;
+pub mod pareto;
+pub mod property_selection;
+pub mod report;
+pub mod system;
+pub mod validation;
+
+pub use configurator::{Configurator, Recommendation};
+pub use error::CoreError;
+pub use experiment::{ExperimentRunner, SweepConfig, SweepResult, SweepSample};
+pub use modeling::{FittedRelationship, MetricModel, Modeler, ParametricModel};
+pub use objectives::{Objectives, PrivacyObjective, UtilityObjective};
+pub use pareto::{ParetoFrontier, TradeOffPoint};
+pub use property_selection::{PropertySelection, PropertySelector, RankedProperty};
+pub use validation::{HoldOutValidator, PredictionError, ValidationReport};
+pub use system::{
+    GaussianPerturbationFactory, GeoIndistinguishabilityFactory, GridCloakingFactory, LppmFactory,
+    SystemDefinition,
+};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::configurator::{Configurator, Recommendation};
+    pub use crate::error::CoreError;
+    pub use crate::experiment::{ExperimentRunner, SweepConfig, SweepResult, SweepSample};
+    pub use crate::modeling::{FittedRelationship, MetricModel, Modeler, ParametricModel};
+    pub use crate::objectives::{Objectives, PrivacyObjective, UtilityObjective};
+    pub use crate::pareto::{ParetoFrontier, TradeOffPoint};
+    pub use crate::property_selection::{PropertySelection, PropertySelector};
+    pub use crate::report;
+    pub use crate::validation::{HoldOutValidator, PredictionError, ValidationReport};
+    pub use crate::system::{
+        GaussianPerturbationFactory, GeoIndistinguishabilityFactory, GridCloakingFactory,
+        LppmFactory, SystemDefinition,
+    };
+}

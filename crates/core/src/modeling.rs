@@ -1,0 +1,374 @@
+//! Model fitting (step 2 of the framework, modeling half).
+//!
+//! "Based on this data, a mathematical relationship between privacy and
+//! utility metrics, configuration parameters, and dataset properties is
+//! computed as an invertible function" (Equation 1), which the GEO-I
+//! illustration specializes into the log-linear Equation 2:
+//!
+//! ```text
+//! ln ε = (Pr − a)/b = (Ut − α)/β
+//! ```
+//!
+//! [`Modeler::fit`] takes a [`SweepResult`], detects the non-saturated zone
+//! of each metric (the vertical lines of Figure 1), and fits an invertible
+//! parametric model restricted to that zone.
+
+use crate::error::CoreError;
+use crate::experiment::SweepResult;
+use geopriv_analysis::model::{LinearModel, LogLinearModel, ResponseModel};
+use geopriv_analysis::{find_active_zone, ActiveZone, AnalysisError, Curve};
+use geopriv_lppm::ParameterScale;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An invertible single-parameter model of a metric response, either linear
+/// or log-linear in the configuration parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParametricModel {
+    /// `metric = intercept + slope · parameter`
+    Linear(LinearModel),
+    /// `metric = intercept + slope · ln(parameter)` — the paper's Equation 2.
+    LogLinear(LogLinearModel),
+}
+
+impl ParametricModel {
+    /// Predicted metric value at the given parameter value.
+    pub fn predict(&self, parameter: f64) -> f64 {
+        match self {
+            ParametricModel::Linear(m) => m.predict(parameter),
+            ParametricModel::LogLinear(m) => m.predict(parameter),
+        }
+    }
+
+    /// Parameter value achieving the requested metric value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NotInvertible`] for flat responses.
+    pub fn invert(&self, metric: f64) -> Result<f64, AnalysisError> {
+        match self {
+            ParametricModel::Linear(m) => m.invert(metric),
+            ParametricModel::LogLinear(m) => m.invert(metric),
+        }
+    }
+
+    /// Coefficient of determination of the fit.
+    pub fn r_squared(&self) -> f64 {
+        match self {
+            ParametricModel::Linear(m) => m.r_squared(),
+            ParametricModel::LogLinear(m) => m.r_squared(),
+        }
+    }
+
+    /// The fitted intercept (the paper's `a` / `α`).
+    pub fn intercept(&self) -> f64 {
+        match self {
+            ParametricModel::Linear(m) => m.intercept(),
+            ParametricModel::LogLinear(m) => m.intercept(),
+        }
+    }
+
+    /// The fitted slope (the paper's `b` / `β`).
+    pub fn slope(&self) -> f64 {
+        match self {
+            ParametricModel::Linear(m) => m.slope(),
+            ParametricModel::LogLinear(m) => m.slope(),
+        }
+    }
+
+    /// Parameter domain on which the model was fitted.
+    pub fn domain(&self) -> (f64, f64) {
+        match self {
+            ParametricModel::Linear(m) => m.domain(),
+            ParametricModel::LogLinear(m) => m.domain(),
+        }
+    }
+
+    /// Whether the metric increases with the parameter.
+    pub fn is_increasing(&self) -> bool {
+        self.slope() > 0.0
+    }
+}
+
+impl fmt::Display for ParametricModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParametricModel::Linear(m) => write!(f, "{m}"),
+            ParametricModel::LogLinear(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// The fitted model of one metric: the empirical response curve, its
+/// non-saturated zone, and the parametric model fitted inside that zone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricModel {
+    /// Name of the metric.
+    pub metric_name: String,
+    /// The full empirical response (parameter → metric), all sweep points.
+    pub curve: Curve,
+    /// The detected non-saturated zone, in parameter units.
+    pub active_zone: (f64, f64),
+    /// The invertible model fitted on the non-saturated zone.
+    pub model: ParametricModel,
+}
+
+impl MetricModel {
+    /// Returns `true` if `parameter` lies inside the non-saturated zone.
+    pub fn in_active_zone(&self, parameter: f64) -> bool {
+        (self.active_zone.0..=self.active_zone.1).contains(&parameter)
+    }
+}
+
+/// The complete modeling result: one [`MetricModel`] per metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedRelationship {
+    /// Name of the swept parameter.
+    pub parameter_name: String,
+    /// The fitted privacy response (`Pr = a + b·ln ε` in the paper).
+    pub privacy: MetricModel,
+    /// The fitted utility response (`Ut = α + β·ln ε` in the paper).
+    pub utility: MetricModel,
+}
+
+impl fmt::Display for FittedRelationship {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({}): {}",
+            self.privacy.metric_name, self.parameter_name, self.privacy.model
+        )?;
+        write!(
+            f,
+            "{} ({}): {}",
+            self.utility.metric_name, self.parameter_name, self.utility.model
+        )
+    }
+}
+
+/// Fits invertible metric models from sweep measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Modeler {
+    _private: (),
+}
+
+impl Modeler {
+    /// Creates a modeler with the default saturation thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fits both metric models from a sweep result.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfiguration`] if the sweep has fewer than four points.
+    /// * [`CoreError::Analysis`] if a metric never responds to the parameter
+    ///   (zero dynamic range) or the fit is degenerate.
+    pub fn fit(&self, sweep: &SweepResult) -> Result<FittedRelationship, CoreError> {
+        if sweep.samples.len() < 4 {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!(
+                    "modeling needs at least 4 sweep points, got {}",
+                    sweep.samples.len()
+                ),
+            });
+        }
+        let privacy = self.fit_metric(
+            sweep,
+            &sweep.privacy_metric_name,
+            &sweep.privacy_values(),
+        )?;
+        let utility = self.fit_metric(
+            sweep,
+            &sweep.utility_metric_name,
+            &sweep.utility_values(),
+        )?;
+        Ok(FittedRelationship {
+            parameter_name: sweep.parameter_name.clone(),
+            privacy,
+            utility,
+        })
+    }
+
+    fn fit_metric(
+        &self,
+        sweep: &SweepResult,
+        metric_name: &str,
+        values: &[f64],
+    ) -> Result<MetricModel, CoreError> {
+        let parameters = sweep.parameters();
+        let logarithmic = sweep.parameter_scale == ParameterScale::Logarithmic;
+
+        // Work on a transformed x-axis (ln for logarithmic parameters) so the
+        // saturation detector sees evenly spaced samples, exactly like the
+        // log-scale x-axis of Figure 1.
+        let transformed: Vec<f64> = if logarithmic {
+            parameters.iter().map(|p| p.ln()).collect()
+        } else {
+            parameters.clone()
+        };
+        let detection_curve = Curve::new(transformed.iter().copied().zip(values.iter().copied()).collect())?;
+        let zone: ActiveZone = find_active_zone(&detection_curve)?;
+
+        // Restrict the raw samples to the active zone and fit the parametric model.
+        let in_zone: Vec<(f64, f64)> = transformed
+            .iter()
+            .zip(parameters.iter())
+            .zip(values.iter())
+            .filter(|((t, _), _)| zone.contains(**t))
+            .map(|((_, p), v)| (*p, *v))
+            .collect();
+        let zone_params: Vec<f64> = in_zone.iter().map(|(p, _)| *p).collect();
+        let zone_values: Vec<f64> = in_zone.iter().map(|(_, v)| *v).collect();
+
+        let model = if logarithmic {
+            ParametricModel::LogLinear(LogLinearModel::fit(&zone_params, &zone_values)?)
+        } else {
+            ParametricModel::Linear(LinearModel::fit(&zone_params, &zone_values)?)
+        };
+
+        // The full empirical curve is kept in parameter units for reporting.
+        let curve = Curve::new(parameters.iter().copied().zip(values.iter().copied()).collect())?;
+        let active_zone = (
+            zone_params.iter().copied().fold(f64::INFINITY, f64::min),
+            zone_params.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        );
+        Ok(MetricModel {
+            metric_name: metric_name.to_string(),
+            curve,
+            active_zone,
+            model,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{SweepResult, SweepSample};
+    use geopriv_lppm::ParameterScale;
+
+    /// Builds a synthetic sweep result following the paper's Equation 2 with
+    /// saturation outside the active zone, without running any experiment.
+    fn paper_like_sweep(points: usize) -> SweepResult {
+        let samples: Vec<SweepSample> = (0..points)
+            .map(|i| {
+                let epsilon = 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / (points - 1) as f64);
+                let privacy = (0.84 + 0.17 * epsilon.ln()).clamp(0.0, 0.45);
+                let utility = (1.21 + 0.09 * epsilon.ln()).clamp(0.2, 1.0);
+                SweepSample {
+                    parameter: epsilon,
+                    privacy,
+                    utility,
+                    privacy_runs: vec![privacy],
+                    utility_runs: vec![utility],
+                }
+            })
+            .collect();
+        SweepResult {
+            lppm_name: "geo-indistinguishability".to_string(),
+            parameter_name: "epsilon".to_string(),
+            parameter_scale: ParameterScale::Logarithmic,
+            privacy_metric_name: "poi-retrieval".to_string(),
+            utility_metric_name: "area-coverage".to_string(),
+            samples,
+        }
+    }
+
+    #[test]
+    fn recovers_the_paper_coefficients_from_a_clean_sweep() {
+        let sweep = paper_like_sweep(41);
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+
+        // Privacy side of Equation 2: a = 0.84, b = 0.17.
+        let p = &fitted.privacy.model;
+        assert!((p.intercept() - 0.84).abs() < 0.08, "a = {}", p.intercept());
+        assert!((p.slope() - 0.17).abs() < 0.04, "b = {}", p.slope());
+        assert!(p.r_squared() > 0.95);
+        assert!(p.is_increasing());
+
+        // Utility side: alpha = 1.21, beta = 0.09.
+        let u = &fitted.utility.model;
+        assert!((u.intercept() - 1.21).abs() < 0.12, "alpha = {}", u.intercept());
+        assert!((u.slope() - 0.09).abs() < 0.03, "beta = {}", u.slope());
+        assert!(u.r_squared() > 0.95);
+
+        // The display mentions both metrics.
+        let text = fitted.to_string();
+        assert!(text.contains("poi-retrieval") && text.contains("area-coverage"));
+    }
+
+    #[test]
+    fn active_zones_exclude_the_saturated_tails() {
+        let sweep = paper_like_sweep(41);
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+        // Privacy saturates at 0 below eps~0.007 and at 0.45 above eps~0.1:
+        // the active zone must be a strict sub-range of the sweep.
+        let (lo, hi) = fitted.privacy.active_zone;
+        assert!(lo > 1e-4 * 1.5, "zone starts too early: {lo}");
+        assert!(hi < 1.0 / 1.5, "zone ends too late: {hi}");
+        assert!(fitted.privacy.in_active_zone(0.01));
+        assert!(!fitted.privacy.in_active_zone(1e-4));
+
+        // The utility response spans more of the range, so its zone is wider
+        // (in log terms) than the privacy zone — the paper's "evolves more
+        // slowly on a larger range".
+        let privacy_width = (fitted.privacy.active_zone.1 / fitted.privacy.active_zone.0).ln();
+        let utility_width = (fitted.utility.active_zone.1 / fitted.utility.active_zone.0).ln();
+        assert!(utility_width > privacy_width, "{utility_width} vs {privacy_width}");
+    }
+
+    #[test]
+    fn model_inversion_recovers_the_operating_point() {
+        let sweep = paper_like_sweep(41);
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+        // Inverting the privacy model at 10% gives an epsilon near 0.0128
+        // (the paper rounds to 0.01).
+        let eps_for_privacy = fitted.privacy.model.invert(0.10).unwrap();
+        assert!((0.008..0.02).contains(&eps_for_privacy), "eps {eps_for_privacy}");
+        // And the utility model predicts about 80% utility there.
+        let predicted_utility = fitted.utility.model.predict(eps_for_privacy);
+        assert!((0.75..0.88).contains(&predicted_utility), "utility {predicted_utility}");
+    }
+
+    #[test]
+    fn too_few_points_or_flat_metrics_are_rejected() {
+        let sweep = paper_like_sweep(3);
+        assert!(Modeler::new().fit(&sweep).is_err());
+
+        let mut flat = paper_like_sweep(20);
+        for s in &mut flat.samples {
+            s.privacy = 0.3;
+        }
+        assert!(matches!(Modeler::new().fit(&flat), Err(CoreError::Analysis(_))));
+    }
+
+    #[test]
+    fn linear_scale_parameters_use_a_linear_model() {
+        let samples: Vec<SweepSample> = (0..15)
+            .map(|i| {
+                let p = i as f64 / 14.0; // release probability 0..1
+                SweepSample {
+                    parameter: p.max(0.01),
+                    privacy: 0.05 + 0.4 * p,
+                    utility: 0.2 + 0.75 * p,
+                    privacy_runs: vec![],
+                    utility_runs: vec![],
+                }
+            })
+            .collect();
+        let sweep = SweepResult {
+            lppm_name: "release-sampling".to_string(),
+            parameter_name: "probability".to_string(),
+            parameter_scale: ParameterScale::Linear,
+            privacy_metric_name: "poi-retrieval".to_string(),
+            utility_metric_name: "area-coverage".to_string(),
+            samples,
+        };
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+        assert!(matches!(fitted.privacy.model, ParametricModel::Linear(_)));
+        assert!((fitted.privacy.model.slope() - 0.4).abs() < 0.05);
+        assert!((fitted.utility.model.slope() - 0.75).abs() < 0.05);
+    }
+}

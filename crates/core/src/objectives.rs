@@ -1,0 +1,162 @@
+//! Privacy and utility objectives.
+//!
+//! Step 3 of the framework takes "the specified privacy and utility
+//! objectives" and inverts the fitted model to find the configuration that
+//! satisfies them. The paper's illustration uses *at most 10 % POI retrieval*
+//! and *at least 80 % area-coverage utility*.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A privacy objective: an upper bound on the (lower-is-better) privacy metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyObjective {
+    at_most: f64,
+}
+
+impl PrivacyObjective {
+    /// Requires the privacy metric to stay at or below `value` (in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] outside `[0, 1]`.
+    pub fn at_most(value: f64) -> Result<Self, CoreError> {
+        if !(value.is_finite() && (0.0..=1.0).contains(&value)) {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!("privacy objective must be in [0, 1], got {value}"),
+            });
+        }
+        Ok(Self { at_most: value })
+    }
+
+    /// The upper bound on the privacy metric.
+    pub fn bound(&self) -> f64 {
+        self.at_most
+    }
+
+    /// Returns `true` if a measured privacy value satisfies the objective
+    /// (with a small numerical tolerance).
+    pub fn is_satisfied_by(&self, value: f64) -> bool {
+        value <= self.at_most + 1e-9
+    }
+}
+
+impl fmt::Display for PrivacyObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "privacy ≤ {:.2}", self.at_most)
+    }
+}
+
+/// A utility objective: a lower bound on the (higher-is-better) utility metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityObjective {
+    at_least: f64,
+}
+
+impl UtilityObjective {
+    /// Requires the utility metric to stay at or above `value` (in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] outside `[0, 1]`.
+    pub fn at_least(value: f64) -> Result<Self, CoreError> {
+        if !(value.is_finite() && (0.0..=1.0).contains(&value)) {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!("utility objective must be in [0, 1], got {value}"),
+            });
+        }
+        Ok(Self { at_least: value })
+    }
+
+    /// The lower bound on the utility metric.
+    pub fn bound(&self) -> f64 {
+        self.at_least
+    }
+
+    /// Returns `true` if a measured utility value satisfies the objective
+    /// (with a small numerical tolerance).
+    pub fn is_satisfied_by(&self, value: f64) -> bool {
+        value >= self.at_least - 1e-9
+    }
+}
+
+impl fmt::Display for UtilityObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "utility ≥ {:.2}", self.at_least)
+    }
+}
+
+/// The pair of objectives the system designer states.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objectives {
+    /// The privacy objective (upper bound).
+    pub privacy: PrivacyObjective,
+    /// The utility objective (lower bound).
+    pub utility: UtilityObjective,
+}
+
+impl Objectives {
+    /// Creates the objective pair.
+    pub fn new(privacy: PrivacyObjective, utility: UtilityObjective) -> Self {
+        Self { privacy, utility }
+    }
+
+    /// The paper's illustration: at most 10 % POI retrieval, at least 80 % utility.
+    pub fn paper_example() -> Self {
+        Self {
+            privacy: PrivacyObjective::at_most(0.10).expect("static objective is valid"),
+            utility: UtilityObjective::at_least(0.80).expect("static objective is valid"),
+        }
+    }
+}
+
+impl fmt::Display for Objectives {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} and {}", self.privacy, self.utility)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privacy_objective_validation_and_satisfaction() {
+        assert!(PrivacyObjective::at_most(0.1).is_ok());
+        assert!(PrivacyObjective::at_most(0.0).is_ok());
+        assert!(PrivacyObjective::at_most(1.0).is_ok());
+        assert!(PrivacyObjective::at_most(-0.1).is_err());
+        assert!(PrivacyObjective::at_most(1.5).is_err());
+        assert!(PrivacyObjective::at_most(f64::NAN).is_err());
+
+        let o = PrivacyObjective::at_most(0.1).unwrap();
+        assert_eq!(o.bound(), 0.1);
+        assert!(o.is_satisfied_by(0.05));
+        assert!(o.is_satisfied_by(0.1));
+        assert!(!o.is_satisfied_by(0.2));
+        assert!(o.to_string().contains("≤"));
+    }
+
+    #[test]
+    fn utility_objective_validation_and_satisfaction() {
+        assert!(UtilityObjective::at_least(0.8).is_ok());
+        assert!(UtilityObjective::at_least(-0.1).is_err());
+        assert!(UtilityObjective::at_least(2.0).is_err());
+
+        let o = UtilityObjective::at_least(0.8).unwrap();
+        assert_eq!(o.bound(), 0.8);
+        assert!(o.is_satisfied_by(0.9));
+        assert!(o.is_satisfied_by(0.8));
+        assert!(!o.is_satisfied_by(0.5));
+        assert!(o.to_string().contains("≥"));
+    }
+
+    #[test]
+    fn paper_example_objectives() {
+        let o = Objectives::paper_example();
+        assert_eq!(o.privacy.bound(), 0.10);
+        assert_eq!(o.utility.bound(), 0.80);
+        assert!(o.to_string().contains("and"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Privacy/utility trade-off frontier.
+//!
+//! A natural extension of the paper's framework ("our future work will focus
+//! in testing other LPPMs … we also plan to extend our framework with more
+//! metrics and parameters"): instead of answering a single objective pair,
+//! expose the whole *Pareto frontier* of the measured sweep — the set of
+//! parameter values that are not dominated (some other value being both more
+//! private and more useful). The configurator's recommendations always lie on
+//! this frontier; the frontier view helps a system designer pick objectives
+//! that are actually reachable before invoking the inversion step.
+
+use crate::experiment::SweepResult;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One point of the privacy/utility trade-off frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeOffPoint {
+    /// The parameter value (e.g. ε).
+    pub parameter: f64,
+    /// The measured privacy metric (lower is better).
+    pub privacy: f64,
+    /// The measured utility metric (higher is better).
+    pub utility: f64,
+}
+
+impl TradeOffPoint {
+    /// Returns `true` if `self` dominates `other`: at least as private *and*
+    /// at least as useful, and strictly better on one of the two.
+    pub fn dominates(&self, other: &TradeOffPoint) -> bool {
+        let no_worse = self.privacy <= other.privacy && self.utility >= other.utility;
+        let strictly_better = self.privacy < other.privacy || self.utility > other.utility;
+        no_worse && strictly_better
+    }
+}
+
+impl fmt::Display for TradeOffPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parameter {:.5}: privacy {:.3}, utility {:.3}",
+            self.parameter, self.privacy, self.utility
+        )
+    }
+}
+
+/// The Pareto frontier extracted from a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoFrontier {
+    points: Vec<TradeOffPoint>,
+}
+
+impl ParetoFrontier {
+    /// Extracts the non-dominated points of a sweep, sorted by increasing
+    /// privacy (i.e. from the most private to the most useful end).
+    pub fn from_sweep(sweep: &SweepResult) -> Self {
+        let candidates: Vec<TradeOffPoint> = sweep
+            .samples
+            .iter()
+            .map(|s| TradeOffPoint { parameter: s.parameter, privacy: s.privacy, utility: s.utility })
+            .collect();
+        let mut frontier: Vec<TradeOffPoint> = candidates
+            .iter()
+            .filter(|candidate| !candidates.iter().any(|other| other.dominates(candidate)))
+            .copied()
+            .collect();
+        frontier.sort_by(|a, b| {
+            a.privacy
+                .partial_cmp(&b.privacy)
+                .expect("metric values are finite")
+                .then(a.utility.partial_cmp(&b.utility).expect("finite"))
+        });
+        frontier.dedup_by(|a, b| a.privacy == b.privacy && a.utility == b.utility);
+        Self { points: frontier }
+    }
+
+    /// The frontier points, sorted by increasing privacy.
+    pub fn points(&self) -> &[TradeOffPoint] {
+        &self.points
+    }
+
+    /// Number of non-dominated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the frontier is empty (only for empty sweeps).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The knee point: the frontier point maximizing `utility − privacy`,
+    /// i.e. the best balanced compromise when the designer has no explicit
+    /// objectives yet.
+    pub fn knee(&self) -> Option<TradeOffPoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                (a.utility - a.privacy)
+                    .partial_cmp(&(b.utility - b.privacy))
+                    .expect("metric values are finite")
+            })
+    }
+
+    /// The most private frontier point that still reaches `minimum_utility`,
+    /// if any.
+    pub fn most_private_with_utility(&self, minimum_utility: f64) -> Option<TradeOffPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.utility >= minimum_utility)
+            .min_by(|a, b| a.privacy.partial_cmp(&b.privacy).expect("finite"))
+            .copied()
+    }
+}
+
+impl fmt::Display for ParetoFrontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Pareto frontier ({} points):", self.points.len())?;
+        for p in &self.points {
+            writeln!(f, "  {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{SweepResult, SweepSample};
+    use geopriv_lppm::ParameterScale;
+
+    fn sweep_from(points: &[(f64, f64, f64)]) -> SweepResult {
+        SweepResult {
+            lppm_name: "geo-indistinguishability".to_string(),
+            parameter_name: "epsilon".to_string(),
+            parameter_scale: ParameterScale::Logarithmic,
+            privacy_metric_name: "poi-retrieval".to_string(),
+            utility_metric_name: "area-coverage".to_string(),
+            samples: points
+                .iter()
+                .map(|&(parameter, privacy, utility)| SweepSample {
+                    parameter,
+                    privacy,
+                    utility,
+                    privacy_runs: vec![],
+                    utility_runs: vec![],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn domination_logic() {
+        let a = TradeOffPoint { parameter: 0.01, privacy: 0.1, utility: 0.8 };
+        let b = TradeOffPoint { parameter: 0.02, privacy: 0.2, utility: 0.7 };
+        let c = TradeOffPoint { parameter: 0.03, privacy: 0.1, utility: 0.8 };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c)); // equal on both axes: no strict improvement
+        assert!(a.to_string().contains("0.800"));
+    }
+
+    #[test]
+    fn monotone_sweeps_are_entirely_on_the_frontier() {
+        // When both metrics increase with the parameter (the Figure 1 shape),
+        // every point is a genuine trade-off: nothing dominates anything.
+        let sweep = sweep_from(&[
+            (0.001, 0.0, 0.3),
+            (0.01, 0.1, 0.6),
+            (0.1, 0.5, 0.9),
+            (1.0, 0.9, 1.0),
+        ]);
+        let frontier = ParetoFrontier::from_sweep(&sweep);
+        assert_eq!(frontier.len(), 4);
+        assert!(!frontier.is_empty());
+        // Sorted by increasing privacy.
+        let privacies: Vec<f64> = frontier.points().iter().map(|p| p.privacy).collect();
+        assert!(privacies.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn dominated_points_are_removed() {
+        let sweep = sweep_from(&[
+            (0.001, 0.0, 0.5),
+            (0.01, 0.2, 0.4), // dominated by the first point (worse on both axes)
+            (0.1, 0.3, 0.9),
+        ]);
+        let frontier = ParetoFrontier::from_sweep(&sweep);
+        assert_eq!(frontier.len(), 2);
+        assert!(frontier.points().iter().all(|p| p.parameter != 0.01));
+    }
+
+    #[test]
+    fn knee_and_utility_queries() {
+        let sweep = sweep_from(&[
+            (0.001, 0.0, 0.3),
+            (0.01, 0.05, 0.8), // best balance: utility - privacy = 0.75
+            (0.1, 0.5, 0.95),
+            (1.0, 0.95, 1.0),
+        ]);
+        let frontier = ParetoFrontier::from_sweep(&sweep);
+        let knee = frontier.knee().unwrap();
+        assert_eq!(knee.parameter, 0.01);
+
+        let pick = frontier.most_private_with_utility(0.9).unwrap();
+        assert_eq!(pick.parameter, 0.1);
+        assert!(frontier.most_private_with_utility(1.1).is_none());
+        assert!(frontier.to_string().contains("Pareto frontier"));
+    }
+
+    #[test]
+    fn frontier_of_real_shaped_sweep_contains_the_operating_point_region() {
+        // An Equation-2-like sweep: the frontier keeps the transition region
+        // where the paper's operating point lives.
+        let samples: Vec<(f64, f64, f64)> = (0..25)
+            .map(|i| {
+                let eps = 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / 24.0);
+                (
+                    eps,
+                    (0.84 + 0.17 * eps.ln()).clamp(0.0, 0.45),
+                    (1.21 + 0.09 * eps.ln()).clamp(0.2, 1.0),
+                )
+            })
+            .collect();
+        let frontier = ParetoFrontier::from_sweep(&sweep_from(&samples));
+        // The saturated tails collapse to a single frontier point each; the
+        // transition region (about one decade of epsilon) survives in full.
+        assert!(frontier.len() >= 8, "frontier has only {} points", frontier.len());
+        assert!(frontier
+            .points()
+            .iter()
+            .any(|p| p.privacy <= 0.10 && p.utility >= 0.7));
+    }
+}

@@ -1,0 +1,265 @@
+//! System definition (step 1 of the framework).
+//!
+//! "First, the system needs to be defined: (1) the objective metrics for
+//! privacy (Pr) and utility (Ut), (2) the LPPM configuration parameters p_i
+//! and their range of values, and (3) the properties of the dataset d_i that
+//! are likely to influence privacy and utility metrics."
+//!
+//! [`SystemDefinition`] bundles exactly those three ingredients: a privacy
+//! metric, a utility metric, and an [`LppmFactory`] describing the mechanism
+//! and its swept parameter. Dataset properties are handled separately by
+//! [`crate::property_selection`] since the paper's GEO-I illustration uses
+//! none ("no dataset properties is considered").
+
+use crate::error::CoreError;
+use geopriv_geo::Meters;
+use geopriv_lppm::{
+    Epsilon, GaussianPerturbation, GeoIndistinguishability, GridCloaking, Lppm,
+    ParameterDescriptor, ParameterScale,
+};
+use geopriv_metrics::{AreaCoverage, PoiRetrieval, PrivacyMetric, UtilityMetric};
+
+/// A factory able to instantiate an LPPM for any value of its swept
+/// configuration parameter.
+///
+/// The framework sweeps a single scalar parameter per study, exactly like the
+/// paper's treatment of GEO-I's ε; multi-parameter mechanisms are studied one
+/// parameter at a time (the others held at fixed values inside the factory).
+pub trait LppmFactory: Send + Sync {
+    /// Name of the mechanism family (e.g. `"geo-indistinguishability"`).
+    fn name(&self) -> &str;
+
+    /// The swept parameter: name, range and scale.
+    fn parameter(&self) -> ParameterDescriptor;
+
+    /// Instantiates the mechanism for a concrete parameter value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for values outside the
+    /// parameter's valid range.
+    fn instantiate(&self, value: f64) -> Result<Box<dyn Lppm>, CoreError>;
+}
+
+/// Factory for [`GeoIndistinguishability`] swept over ε.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeoIndistinguishabilityFactory {
+    descriptor: ParameterDescriptor,
+}
+
+impl Default for GeoIndistinguishabilityFactory {
+    fn default() -> Self {
+        Self { descriptor: GeoIndistinguishability::epsilon_descriptor() }
+    }
+}
+
+impl GeoIndistinguishabilityFactory {
+    /// Creates the factory with the paper's ε range (10⁻⁴ to 1 m⁻¹).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the factory with a custom ε range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for an invalid range.
+    pub fn with_range(min_epsilon: f64, max_epsilon: f64) -> Result<Self, CoreError> {
+        let descriptor =
+            ParameterDescriptor::new("epsilon", min_epsilon, max_epsilon, ParameterScale::Logarithmic)
+                .map_err(|e| CoreError::InvalidConfiguration { reason: e.to_string() })?;
+        Ok(Self { descriptor })
+    }
+}
+
+impl LppmFactory for GeoIndistinguishabilityFactory {
+    fn name(&self) -> &str {
+        "geo-indistinguishability"
+    }
+
+    fn parameter(&self) -> ParameterDescriptor {
+        self.descriptor.clone()
+    }
+
+    fn instantiate(&self, value: f64) -> Result<Box<dyn Lppm>, CoreError> {
+        let epsilon = Epsilon::new(value).map_err(CoreError::from)?;
+        Ok(Box::new(GeoIndistinguishability::new(epsilon)))
+    }
+}
+
+/// Factory for [`GridCloaking`] swept over the cell size (meters).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GridCloakingFactory;
+
+impl GridCloakingFactory {
+    /// Creates the factory with the default cell-size range (50 m – 5 km).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl LppmFactory for GridCloakingFactory {
+    fn name(&self) -> &str {
+        "grid-cloaking"
+    }
+
+    fn parameter(&self) -> ParameterDescriptor {
+        GridCloaking::cell_size_descriptor()
+    }
+
+    fn instantiate(&self, value: f64) -> Result<Box<dyn Lppm>, CoreError> {
+        Ok(Box::new(GridCloaking::new(Meters::new(value)).map_err(CoreError::from)?))
+    }
+}
+
+/// Factory for [`GaussianPerturbation`] swept over σ (meters).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GaussianPerturbationFactory;
+
+impl GaussianPerturbationFactory {
+    /// Creates the factory with the default σ range (1 m – 10 km).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl LppmFactory for GaussianPerturbationFactory {
+    fn name(&self) -> &str {
+        "gaussian-perturbation"
+    }
+
+    fn parameter(&self) -> ParameterDescriptor {
+        GaussianPerturbation::sigma_descriptor()
+    }
+
+    fn instantiate(&self, value: f64) -> Result<Box<dyn Lppm>, CoreError> {
+        Ok(Box::new(GaussianPerturbation::new(Meters::new(value)).map_err(CoreError::from)?))
+    }
+}
+
+/// The system under study: the LPPM (with its swept parameter) and the two
+/// evaluation metrics.
+pub struct SystemDefinition {
+    factory: Box<dyn LppmFactory>,
+    privacy_metric: Box<dyn PrivacyMetric>,
+    utility_metric: Box<dyn UtilityMetric>,
+}
+
+impl SystemDefinition {
+    /// Defines a system from a mechanism factory and the two metrics.
+    pub fn new(
+        factory: Box<dyn LppmFactory>,
+        privacy_metric: Box<dyn PrivacyMetric>,
+        utility_metric: Box<dyn UtilityMetric>,
+    ) -> Self {
+        Self { factory, privacy_metric, utility_metric }
+    }
+
+    /// The paper's illustrated system: GEO-I swept over ε, POI retrieval as
+    /// the privacy metric, city-block area coverage as the utility metric.
+    pub fn paper_geoi() -> Self {
+        Self::new(
+            Box::new(GeoIndistinguishabilityFactory::new()),
+            Box::new(PoiRetrieval::default()),
+            Box::new(AreaCoverage::default()),
+        )
+    }
+
+    /// The mechanism factory.
+    pub fn factory(&self) -> &dyn LppmFactory {
+        self.factory.as_ref()
+    }
+
+    /// The privacy metric.
+    pub fn privacy_metric(&self) -> &dyn PrivacyMetric {
+        self.privacy_metric.as_ref()
+    }
+
+    /// The utility metric.
+    pub fn utility_metric(&self) -> &dyn UtilityMetric {
+        self.utility_metric.as_ref()
+    }
+
+    /// The swept parameter descriptor (shortcut for `factory().parameter()`).
+    pub fn parameter(&self) -> ParameterDescriptor {
+        self.factory.parameter()
+    }
+}
+
+impl std::fmt::Debug for SystemDefinition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemDefinition")
+            .field("lppm", &self.factory.name())
+            .field("parameter", &self.factory.parameter().name())
+            .field("privacy_metric", &self.privacy_metric.name())
+            .field("utility_metric", &self.utility_metric.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geopriv_mobility::generator::TaxiFleetBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geoi_factory_instantiates_across_its_range() {
+        let factory = GeoIndistinguishabilityFactory::new();
+        assert_eq!(factory.name(), "geo-indistinguishability");
+        let descriptor = factory.parameter();
+        assert_eq!(descriptor.name(), "epsilon");
+        assert_eq!(descriptor.scale(), ParameterScale::Logarithmic);
+        for value in descriptor.sweep(7) {
+            let lppm = factory.instantiate(value).unwrap();
+            assert_eq!(lppm.name(), "geo-indistinguishability");
+        }
+        assert!(factory.instantiate(0.0).is_err());
+        assert!(factory.instantiate(-1.0).is_err());
+    }
+
+    #[test]
+    fn geoi_factory_custom_range() {
+        let factory = GeoIndistinguishabilityFactory::with_range(0.001, 0.1).unwrap();
+        let d = factory.parameter();
+        assert_eq!(d.min(), 0.001);
+        assert_eq!(d.max(), 0.1);
+        assert!(GeoIndistinguishabilityFactory::with_range(0.1, 0.001).is_err());
+        assert!(GeoIndistinguishabilityFactory::with_range(0.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn other_factories_instantiate() {
+        let cloaking = GridCloakingFactory::new();
+        assert!(cloaking.instantiate(500.0).is_ok());
+        assert!(cloaking.instantiate(0.0).is_err());
+        assert_eq!(cloaking.parameter().name(), "cell_size");
+
+        let gaussian = GaussianPerturbationFactory::new();
+        assert!(gaussian.instantiate(100.0).is_ok());
+        assert!(gaussian.instantiate(-1.0).is_err());
+        assert_eq!(gaussian.parameter().name(), "sigma");
+    }
+
+    #[test]
+    fn paper_system_definition_wires_the_right_components() {
+        let system = SystemDefinition::paper_geoi();
+        assert_eq!(system.factory().name(), "geo-indistinguishability");
+        assert_eq!(system.privacy_metric().name(), "poi-retrieval");
+        assert_eq!(system.utility_metric().name(), "area-coverage");
+        assert_eq!(system.parameter().name(), "epsilon");
+        let debug = format!("{system:?}");
+        assert!(debug.contains("poi-retrieval"));
+    }
+
+    #[test]
+    fn instantiated_mechanism_protects_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dataset = TaxiFleetBuilder::new().drivers(1).duration_hours(1.0).build(&mut rng).unwrap();
+        let system = SystemDefinition::paper_geoi();
+        let lppm = system.factory().instantiate(0.01).unwrap();
+        let protected = lppm.protect_dataset(&dataset, &mut rng).unwrap();
+        assert_eq!(protected.record_count(), dataset.record_count());
+    }
+}

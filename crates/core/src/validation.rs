@@ -1,0 +1,227 @@
+//! Hold-out validation of the fitted relationship.
+//!
+//! The paper fits Equation 2 on one dataset and trusts it to configure the
+//! LPPM for that dataset. A natural robustness question (and a prerequisite
+//! for the paper's future work on "other datasets") is whether a model fitted
+//! on *some users* predicts the metrics measured on *other users*.
+//! [`HoldOutValidator`] splits a dataset into a training and a validation
+//! population, fits the relationship on the training sweep, and reports the
+//! prediction errors on the validation sweep.
+
+use crate::error::CoreError;
+use crate::experiment::{ExperimentRunner, SweepConfig};
+use crate::modeling::{FittedRelationship, Modeler};
+use crate::system::SystemDefinition;
+use geopriv_mobility::Dataset;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Prediction-error summary of one metric on the validation population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionError {
+    /// Mean absolute error between predicted and measured metric values.
+    pub mean_absolute_error: f64,
+    /// Largest absolute error over the validation sweep points.
+    pub max_absolute_error: f64,
+    /// Number of sweep points the errors were computed on.
+    pub points: usize,
+}
+
+/// The outcome of a hold-out validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Relationship fitted on the training population.
+    pub fitted: FittedRelationship,
+    /// Prediction error of the privacy model on the held-out population.
+    pub privacy_error: PredictionError,
+    /// Prediction error of the utility model on the held-out population.
+    pub utility_error: PredictionError,
+    /// Number of training traces.
+    pub training_traces: usize,
+    /// Number of validation traces.
+    pub validation_traces: usize,
+}
+
+impl ValidationReport {
+    /// Returns `true` if both mean absolute errors are at or below `tolerance`
+    /// (in metric units, e.g. 0.1 = ten percentage points).
+    pub fn is_acceptable(&self, tolerance: f64) -> bool {
+        self.privacy_error.mean_absolute_error <= tolerance
+            && self.utility_error.mean_absolute_error <= tolerance
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "hold-out validation ({} training traces, {} validation traces):",
+            self.training_traces, self.validation_traces
+        )?;
+        writeln!(
+            f,
+            "  privacy: MAE {:.3}, max {:.3} over {} points",
+            self.privacy_error.mean_absolute_error,
+            self.privacy_error.max_absolute_error,
+            self.privacy_error.points
+        )?;
+        write!(
+            f,
+            "  utility: MAE {:.3}, max {:.3} over {} points",
+            self.utility_error.mean_absolute_error,
+            self.utility_error.max_absolute_error,
+            self.utility_error.points
+        )
+    }
+}
+
+/// Splits a dataset, fits on one half, and validates on the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HoldOutValidator {
+    config: SweepConfig,
+}
+
+impl HoldOutValidator {
+    /// Creates a validator using the given sweep configuration for both the
+    /// training and the validation sweeps.
+    pub fn new(config: SweepConfig) -> Self {
+        Self { config }
+    }
+
+    /// Splits `dataset` by alternating traces (even-indexed traces train,
+    /// odd-indexed traces validate), fits the relationship on the training
+    /// population and measures prediction errors on the validation population.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfiguration`] if the dataset has fewer than two traces.
+    /// * Any experiment or modeling error from the underlying pipeline.
+    pub fn validate(
+        &self,
+        system: &SystemDefinition,
+        dataset: &Dataset,
+    ) -> Result<ValidationReport, CoreError> {
+        if dataset.len() < 2 {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "hold-out validation needs at least two traces".to_string(),
+            });
+        }
+        let mut training = Vec::new();
+        let mut validation = Vec::new();
+        for (i, trace) in dataset.iter().enumerate() {
+            if i % 2 == 0 {
+                training.push(trace.clone());
+            } else {
+                validation.push(trace.clone());
+            }
+        }
+        let training = Dataset::new(training)?;
+        let validation = Dataset::new(validation)?;
+
+        let runner = ExperimentRunner::new(self.config);
+        let training_sweep = runner.run(system, &training)?;
+        let fitted = Modeler::new().fit(&training_sweep)?;
+        let validation_sweep = runner.run(system, &validation)?;
+
+        let privacy_error = Self::prediction_error(
+            &validation_sweep.parameters(),
+            &validation_sweep.privacy_values(),
+            |x| fitted.privacy.model.predict(x),
+            fitted.privacy.active_zone,
+        );
+        let utility_error = Self::prediction_error(
+            &validation_sweep.parameters(),
+            &validation_sweep.utility_values(),
+            |x| fitted.utility.model.predict(x),
+            fitted.utility.active_zone,
+        );
+
+        Ok(ValidationReport {
+            fitted,
+            privacy_error,
+            utility_error,
+            training_traces: training.len(),
+            validation_traces: validation.len(),
+        })
+    }
+
+    fn prediction_error<F: Fn(f64) -> f64>(
+        parameters: &[f64],
+        measured: &[f64],
+        predict: F,
+        zone: (f64, f64),
+    ) -> PredictionError {
+        // The model only claims validity inside its non-saturated zone, so the
+        // comparison is restricted to it (mirroring the paper's Equation 2).
+        let errors: Vec<f64> = parameters
+            .iter()
+            .zip(measured)
+            .filter(|(p, _)| **p >= zone.0 && **p <= zone.1)
+            .map(|(p, m)| (predict(*p).clamp(0.0, 1.0) - m).abs())
+            .collect();
+        if errors.is_empty() {
+            return PredictionError { mean_absolute_error: 0.0, max_absolute_error: 0.0, points: 0 };
+        }
+        PredictionError {
+            mean_absolute_error: errors.iter().sum::<f64>() / errors.len() as f64,
+            max_absolute_error: errors.iter().copied().fold(0.0, f64::max),
+            points: errors.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geopriv_mobility::generator::TaxiFleetBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(drivers: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(17);
+        TaxiFleetBuilder::new()
+            .drivers(drivers)
+            .duration_hours(5.0)
+            .sampling_interval_s(60.0)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    fn config() -> SweepConfig {
+        SweepConfig { points: 9, repetitions: 1, seed: 13, parallel: true }
+    }
+
+    #[test]
+    fn rejects_datasets_that_cannot_be_split() {
+        let validator = HoldOutValidator::new(config());
+        let system = SystemDefinition::paper_geoi();
+        let single = dataset(1);
+        assert!(validator.validate(&system, &single).is_err());
+    }
+
+    #[test]
+    fn model_fitted_on_half_the_fleet_predicts_the_other_half() {
+        let validator = HoldOutValidator::new(config());
+        let system = SystemDefinition::paper_geoi();
+        let report = validator.validate(&system, &dataset(8)).unwrap();
+
+        assert_eq!(report.training_traces, 4);
+        assert_eq!(report.validation_traces, 4);
+        assert!(report.privacy_error.points > 0);
+        assert!(report.utility_error.points > 0);
+        // Errors are valid magnitudes…
+        assert!(report.privacy_error.mean_absolute_error >= 0.0);
+        assert!(report.privacy_error.max_absolute_error >= report.privacy_error.mean_absolute_error);
+        assert!(report.utility_error.max_absolute_error <= 1.0);
+        // …and the utility model (a smooth, slowly varying response) transfers
+        // across synthetic fleets with a small error.
+        assert!(
+            report.utility_error.mean_absolute_error < 0.15,
+            "utility MAE {}",
+            report.utility_error.mean_absolute_error
+        );
+        assert!(report.is_acceptable(1.0));
+        let text = report.to_string();
+        assert!(text.contains("privacy") && text.contains("utility"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for geospatial operations.
+
+use std::fmt;
+
+/// Errors produced by the `geopriv-geo` crate.
+///
+/// All public constructors in this crate validate their input
+/// (latitudes in `[-90, 90]`, longitudes in `[-180, 180]`, strictly
+/// positive lengths, finite numbers) and report violations through this
+/// type rather than panicking.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeoError {
+    /// A latitude was outside `[-90, 90]` degrees or not finite.
+    InvalidLatitude(f64),
+    /// A longitude was outside `[-180, 180]` degrees or not finite.
+    InvalidLongitude(f64),
+    /// A length (distance, cell size, radius…) was not finite or not strictly positive.
+    InvalidLength {
+        /// Human-readable name of the offending quantity.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A bounding box was constructed with inverted or empty extents.
+    EmptyBounds,
+    /// A grid would contain no cells (degenerate bounding box or cell size too large).
+    DegenerateGrid,
+    /// A numeric argument was NaN or infinite.
+    NotFinite {
+        /// Human-readable name of the offending quantity.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "invalid latitude {v}: expected a finite value in [-90, 90]")
+            }
+            GeoError::InvalidLongitude(v) => {
+                write!(f, "invalid longitude {v}: expected a finite value in [-180, 180]")
+            }
+            GeoError::InvalidLength { name, value } => {
+                write!(f, "invalid {name} {value}: expected a finite, strictly positive length")
+            }
+            GeoError::EmptyBounds => write!(f, "bounding box has no extent"),
+            GeoError::DegenerateGrid => write!(f, "grid would contain no cells"),
+            GeoError::NotFinite { name } => write!(f, "{name} must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GeoError::InvalidLatitude(95.0),
+            GeoError::InvalidLongitude(-190.0),
+            GeoError::InvalidLength { name: "cell size", value: -1.0 },
+            GeoError::EmptyBounds,
+            GeoError::DegenerateGrid,
+            GeoError::NotFinite { name: "x" },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<GeoError>();
+    }
+}

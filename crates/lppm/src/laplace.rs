@@ -1,0 +1,193 @@
+//! The planar (polar) Laplace distribution of Geo-Indistinguishability.
+//!
+//! Andrés et al. (CCS 2013) perturb a location by a vector drawn from the
+//! planar Laplace distribution with density `p(x) ∝ ε² e^(−ε·|x|) / (2π)`.
+//! Sampling is done in polar coordinates: the angle is uniform in `[0, 2π)`
+//! and the radius follows the distribution with CDF
+//! `C(r) = 1 − (1 + εr)·e^(−εr)`, inverted via the `W₋₁` branch of the
+//! Lambert W function:
+//!
+//! ```text
+//! r = −(1/ε)·( W₋₁((p − 1)/e) + 1 ),   p ~ Uniform(0, 1)
+//! ```
+
+use crate::params::Epsilon;
+use rand::Rng;
+
+/// Evaluates the `W₋₁` branch of the Lambert W function for `x ∈ [−1/e, 0)`.
+///
+/// Uses an initial asymptotic guess followed by Halley iterations; accurate to
+/// better than 10⁻¹⁰ over the domain needed by the planar Laplace sampler.
+///
+/// # Panics
+///
+/// Panics if `x` is outside `[−1/e, 0)`, which cannot happen for inputs
+/// derived from a probability in `[0, 1)`.
+pub fn lambert_w_minus1(x: f64) -> f64 {
+    let min_x = -(-1.0f64).exp(); // −1/e
+    assert!(
+        (min_x..0.0).contains(&x),
+        "lambert_w_minus1 is only defined on [-1/e, 0), got {x}"
+    );
+
+    // Initial guess (Chapeau-Blondeau & Monir, 2002): series in sqrt(2(1+e x))
+    // near the branch point, logarithmic asymptote near zero.
+    let mut w = if x < -0.25 {
+        let p = -(2.0 * (1.0 + std::f64::consts::E * x)).sqrt();
+        -1.0 + p - p * p / 3.0 + 11.0 * p * p * p / 72.0
+    } else {
+        let l1 = (-x).ln();
+        let l2 = (-l1).ln();
+        l1 - l2 + l2 / l1
+    };
+
+    // Halley iterations.
+    for _ in 0..64 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        if f.abs() < 1e-14 {
+            break;
+        }
+        let denominator = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+        let step = f / denominator;
+        w -= step;
+        if step.abs() < 1e-14 * w.abs().max(1.0) {
+            break;
+        }
+    }
+    w
+}
+
+/// The planar Laplace noise distribution with privacy parameter ε.
+///
+/// # Examples
+///
+/// ```
+/// use geopriv_lppm::{Epsilon, laplace::PlanarLaplace};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), geopriv_lppm::LppmError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let noise = PlanarLaplace::new(Epsilon::new(0.01)?);
+/// let (dx, dy) = noise.sample(&mut rng);
+/// assert!(dx.is_finite() && dy.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanarLaplace {
+    epsilon: Epsilon,
+}
+
+impl PlanarLaplace {
+    /// Creates the distribution for a given ε.
+    pub fn new(epsilon: Epsilon) -> Self {
+        Self { epsilon }
+    }
+
+    /// The ε parameter.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Mean noise distance `2/ε` in meters.
+    pub fn mean_radius_m(&self) -> f64 {
+        self.epsilon.expected_noise_radius_m()
+    }
+
+    /// Samples a noise radius in meters (the magnitude of the perturbation).
+    pub fn sample_radius<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // p in [0, 1); p = 0 gives r = 0.
+        let p: f64 = rng.gen_range(0.0..1.0);
+        if p == 0.0 {
+            return 0.0;
+        }
+        let argument = (p - 1.0) / std::f64::consts::E;
+        -(lambert_w_minus1(argument) + 1.0) / self.epsilon.value()
+    }
+
+    /// Samples a planar noise vector `(dx, dy)` in meters.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let radius = self.sample_radius(rng);
+        (radius * theta.cos(), radius * theta.sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lambert_w_known_values() {
+        // W-1(-1/e) = -1.
+        let w = lambert_w_minus1(-(-1.0f64).exp() + 1e-15);
+        assert!((w + 1.0).abs() < 1e-3, "got {w}");
+        // W-1(-0.1) ≈ -3.577152.
+        let w = lambert_w_minus1(-0.1);
+        assert!((w + 3.577152).abs() < 1e-5, "got {w}");
+        // W-1(-0.2) ≈ -2.542641.
+        let w = lambert_w_minus1(-0.2);
+        assert!((w + 2.542641).abs() < 1e-5, "got {w}");
+        // The defining identity w e^w = x holds across the domain.
+        for &x in &[-0.3, -0.25, -0.15, -0.05, -0.01, -0.001] {
+            let w = lambert_w_minus1(x);
+            assert!((w * w.exp() - x).abs() < 1e-10, "identity fails at {x}: w={w}");
+            assert!(w <= -1.0, "W-1 branch must be <= -1, got {w} at {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined")]
+    fn lambert_w_rejects_out_of_domain() {
+        let _ = lambert_w_minus1(0.5);
+    }
+
+    #[test]
+    fn radius_distribution_matches_theory() {
+        // For the polar Laplace, E[r] = 2/epsilon and the CDF at the mean is
+        // 1 - 3 e^-2 ≈ 0.594.
+        let mut rng = StdRng::seed_from_u64(42);
+        let eps = Epsilon::new(0.01).unwrap();
+        let dist = PlanarLaplace::new(eps);
+        assert_eq!(dist.epsilon(), eps);
+        assert_eq!(dist.mean_radius_m(), 200.0);
+
+        let n = 40_000;
+        let radii: Vec<f64> = (0..n).map(|_| dist.sample_radius(&mut rng)).collect();
+        assert!(radii.iter().all(|&r| r >= 0.0 && r.is_finite()));
+        let mean = radii.iter().sum::<f64>() / n as f64;
+        assert!((mean - 200.0).abs() < 4.0, "mean radius {mean}");
+        let below_mean = radii.iter().filter(|&&r| r <= 200.0).count() as f64 / n as f64;
+        assert!((below_mean - 0.594).abs() < 0.02, "CDF at mean {below_mean}");
+    }
+
+    #[test]
+    fn noise_vector_is_isotropic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = PlanarLaplace::new(Epsilon::new(0.05).unwrap());
+        let n = 20_000;
+        let samples: Vec<(f64, f64)> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean_x = samples.iter().map(|s| s.0).sum::<f64>() / n as f64;
+        let mean_y = samples.iter().map(|s| s.1).sum::<f64>() / n as f64;
+        // Isotropy: both components average to ~0 (mean radius is 40 m here).
+        assert!(mean_x.abs() < 1.5, "mean x {mean_x}");
+        assert!(mean_y.abs() < 1.5, "mean y {mean_y}");
+        // All four quadrants are hit roughly equally.
+        let q1 = samples.iter().filter(|s| s.0 > 0.0 && s.1 > 0.0).count() as f64 / n as f64;
+        assert!((q1 - 0.25).abs() < 0.02, "first quadrant fraction {q1}");
+    }
+
+    #[test]
+    fn smaller_epsilon_means_larger_noise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let low = PlanarLaplace::new(Epsilon::new(0.001).unwrap());
+        let high = PlanarLaplace::new(Epsilon::new(0.1).unwrap());
+        let n = 5_000;
+        let mean_low: f64 = (0..n).map(|_| low.sample_radius(&mut rng)).sum::<f64>() / n as f64;
+        let mean_high: f64 = (0..n).map(|_| high.sample_radius(&mut rng)).sum::<f64>() / n as f64;
+        assert!(mean_low > 50.0 * mean_high, "low {mean_low} vs high {mean_high}");
+    }
+}

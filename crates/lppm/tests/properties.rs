@@ -1,0 +1,179 @@
+//! Property-based tests of the protection mechanisms.
+
+use geopriv_geo::{distance, GeoPoint, Meters, Seconds};
+use geopriv_lppm::{
+    CoordinateRounding, Epsilon, GaussianPerturbation, GeoIndistinguishability, GridCloaking,
+    Identity, Lppm, ReleaseSampling, SpeedSmoothing, TemporalDownsampling,
+};
+use geopriv_mobility::{Record, Trace, UserId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic trace near San Francisco parameterized by length and step size.
+fn trace(n: usize, step_m: f64) -> Trace {
+    let records: Vec<Record> = (0..n.max(2))
+        .map(|i| {
+            Record::new(
+                Seconds::new(i as f64 * 30.0),
+                GeoPoint::clamped(
+                    37.75 + (i as f64 * step_m * ((i % 3) as f64 - 1.0)) / 111_000.0,
+                    -122.44 + (i as f64 * step_m) / 88_000.0,
+                ),
+            )
+        })
+        .collect();
+    Trace::new(UserId::new(9), records).expect("ordered records")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_mechanisms_produce_valid_nonempty_traces(
+        n in 2usize..150,
+        step in 0.0f64..120.0,
+        epsilon in 1e-4f64..1.0,
+        sigma in 0.0f64..2_000.0,
+        cell in 50.0f64..2_000.0,
+        alpha in 10.0f64..1_000.0,
+        digits in 0u8..8,
+        factor in 1usize..16,
+        probability in 0.01f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let t = trace(n, step);
+        let mechanisms: Vec<Box<dyn Lppm>> = vec![
+            Box::new(Identity::new()),
+            Box::new(GeoIndistinguishability::new(Epsilon::new(epsilon).unwrap())),
+            Box::new(GaussianPerturbation::new(Meters::new(sigma)).unwrap()),
+            Box::new(GridCloaking::new(Meters::new(cell)).unwrap()),
+            Box::new(SpeedSmoothing::new(Meters::new(alpha)).unwrap()),
+            Box::new(CoordinateRounding::new(digits.min(7)).unwrap()),
+            Box::new(TemporalDownsampling::new(factor).unwrap()),
+            Box::new(ReleaseSampling::new(probability).unwrap()),
+        ];
+        for mechanism in &mechanisms {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let protected = mechanism.protect_trace(&t, &mut rng).unwrap();
+            prop_assert!(!protected.is_empty(), "{} emptied the trace", mechanism.name());
+            prop_assert_eq!(protected.user(), t.user());
+            // Timestamps stay within the original observation window and ordered.
+            prop_assert!(protected.first().timestamp() >= t.first().timestamp() - Seconds::new(1e-9));
+            prop_assert!(protected.last().timestamp() <= t.last().timestamp() + Seconds::new(1e-9));
+            for w in protected.records().windows(2) {
+                prop_assert!(w[0].timestamp() <= w[1].timestamp());
+            }
+            // Coordinates stay valid.
+            for r in &protected {
+                prop_assert!((-90.0..=90.0).contains(&r.location().latitude()));
+                prop_assert!((-180.0..=180.0).contains(&r.location().longitude()));
+            }
+        }
+    }
+
+    #[test]
+    fn geoi_mean_displacement_scales_inversely_with_epsilon(
+        epsilon in 0.002f64..0.5,
+        seed in 0u64..500,
+    ) {
+        // Enough records for the empirical mean to concentrate.
+        let t = trace(400, 30.0);
+        let geoi = GeoIndistinguishability::new(Epsilon::new(epsilon).unwrap());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protected = geoi.protect_trace(&t, &mut rng).unwrap();
+        let mean: f64 = t
+            .iter()
+            .zip(protected.iter())
+            .map(|(a, b)| distance::haversine(a.location(), b.location()).as_f64())
+            .sum::<f64>()
+            / t.len() as f64;
+        let expected = 2.0 / epsilon;
+        prop_assert!(
+            (mean - expected).abs() / expected < 0.35,
+            "epsilon {}: mean displacement {} expected {}",
+            epsilon,
+            mean,
+            expected
+        );
+    }
+
+    #[test]
+    fn deterministic_mechanisms_ignore_the_rng(
+        n in 2usize..100,
+        step in 0.0f64..100.0,
+        cell in 50.0f64..1_500.0,
+        digits in 0u8..8,
+        seed_a in 0u64..100,
+        seed_b in 100u64..200,
+    ) {
+        let t = trace(n, step);
+        let deterministic: Vec<Box<dyn Lppm>> = vec![
+            Box::new(GridCloaking::new(Meters::new(cell)).unwrap()),
+            Box::new(CoordinateRounding::new(digits.min(7)).unwrap()),
+            Box::new(SpeedSmoothing::new(Meters::new(cell)).unwrap()),
+            Box::new(TemporalDownsampling::new(3).unwrap()),
+            Box::new(Identity::new()),
+        ];
+        for mechanism in &deterministic {
+            let mut rng_a = StdRng::seed_from_u64(seed_a);
+            let mut rng_b = StdRng::seed_from_u64(seed_b);
+            prop_assert_eq!(
+                mechanism.protect_trace(&t, &mut rng_a).unwrap(),
+                mechanism.protect_trace(&t, &mut rng_b).unwrap(),
+                "{} is not deterministic",
+                mechanism.name()
+            );
+        }
+    }
+
+    #[test]
+    fn downsampling_keeps_ceil_n_over_factor_records(n in 2usize..200, factor in 1usize..20) {
+        let t = trace(n, 25.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let protected = TemporalDownsampling::new(factor).unwrap().protect_trace(&t, &mut rng).unwrap();
+        let expected = t.len().div_ceil(factor);
+        prop_assert_eq!(protected.len(), expected);
+    }
+
+    #[test]
+    fn release_sampling_is_a_subset_preserving_order(n in 2usize..200, probability in 0.05f64..1.0, seed in 0u64..300) {
+        let t = trace(n, 40.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protected = ReleaseSampling::new(probability).unwrap().protect_trace(&t, &mut rng).unwrap();
+        prop_assert!(protected.len() <= t.len());
+        // Every released record exists verbatim in the original trace.
+        let originals: Vec<(f64, f64, f64)> = t
+            .iter()
+            .map(|r| (r.timestamp().as_f64(), r.location().latitude(), r.location().longitude()))
+            .collect();
+        for r in &protected {
+            let key = (r.timestamp().as_f64(), r.location().latitude(), r.location().longitude());
+            prop_assert!(originals.contains(&key));
+        }
+    }
+
+    #[test]
+    fn cloaking_and_rounding_displacements_are_bounded(
+        n in 2usize..100,
+        step in 0.0f64..100.0,
+        cell in 50.0f64..2_000.0,
+        digits in 2u8..7,
+    ) {
+        let t = trace(n, step);
+        let mut rng = StdRng::seed_from_u64(5);
+
+        let cloaked = GridCloaking::new(Meters::new(cell)).unwrap().protect_trace(&t, &mut rng).unwrap();
+        let cloak_bound = cell / 2.0 * 2f64.sqrt() * 1.02;
+        for (a, b) in t.iter().zip(cloaked.iter()) {
+            prop_assert!(distance::haversine(a.location(), b.location()).as_f64() <= cloak_bound);
+        }
+
+        let rounding = CoordinateRounding::new(digits).unwrap();
+        let rounded = rounding.protect_trace(&t, &mut rng).unwrap();
+        let round_bound = rounding.approximate_granularity_m() * 0.75;
+        for (a, b) in t.iter().zip(rounded.iter()) {
+            prop_assert!(distance::haversine(a.location(), b.location()).as_f64() <= round_bound);
+        }
+    }
+}

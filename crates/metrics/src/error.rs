@@ -1,0 +1,91 @@
+//! Error type for metric evaluation.
+
+use geopriv_geo::GeoError;
+use geopriv_mobility::MobilityError;
+use std::fmt;
+
+/// Errors produced by the `geopriv-metrics` crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MetricError {
+    /// A metric was configured with an invalid parameter.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the constraint.
+        reason: &'static str,
+    },
+    /// The actual and protected datasets are not comparable (different users
+    /// or sizes).
+    DatasetMismatch {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// A geospatial operation failed.
+    Geo(GeoError),
+    /// A mobility-data operation failed.
+    Mobility(MobilityError),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::InvalidParameter { name, value, reason } => {
+                write!(f, "invalid parameter {name} = {value}: {reason}")
+            }
+            MetricError::DatasetMismatch { reason } => write!(f, "dataset mismatch: {reason}"),
+            MetricError::Geo(e) => write!(f, "geospatial error: {e}"),
+            MetricError::Mobility(e) => write!(f, "mobility error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MetricError::Geo(e) => Some(e),
+            MetricError::Mobility(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeoError> for MetricError {
+    fn from(e: GeoError) -> Self {
+        MetricError::Geo(e)
+    }
+}
+
+impl From<MobilityError> for MetricError {
+    fn from(e: MobilityError) -> Self {
+        MetricError::Mobility(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MetricError::InvalidParameter { name: "radius", value: -1.0, reason: "must be positive" };
+        assert!(e.to_string().contains("radius"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let g = MetricError::from(GeoError::EmptyBounds);
+        assert!(std::error::Error::source(&g).is_some());
+        let m = MetricError::from(MobilityError::EmptyTrace);
+        assert!(m.to_string().contains("mobility"));
+
+        let d = MetricError::DatasetMismatch { reason: "sizes differ".into() };
+        assert!(d.to_string().contains("sizes differ"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<MetricError>();
+    }
+}

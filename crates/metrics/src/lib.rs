@@ -1,0 +1,67 @@
+//! # geopriv-metrics
+//!
+//! Privacy and utility metrics for the `geopriv` workspace — the two
+//! assessment dimensions of Cerf et al.'s configuration framework.
+//!
+//! * [`PrivacyMetric`] / [`UtilityMetric`] — the plug-in interfaces (the
+//!   framework is "modular: by using different metrics…").
+//! * [`PoiExtractor`] — stay-point clustering ("meaningful locations where a
+//!   user made a significant stop").
+//! * [`PoiRetrieval`] — the paper's privacy metric: proportion of actual POIs
+//!   retrievable from the protected data (Figure 1a).
+//! * [`AreaCoverage`] — the paper's utility metric: city-block area-coverage
+//!   similarity (Figure 1b).
+//! * [`MeanDistortion`] / [`DistortionUtility`] — auxiliary displacement
+//!   metrics used in ablations.
+//!
+//! ## Example
+//!
+//! ```
+//! use geopriv_metrics::{AreaCoverage, PoiRetrieval, PrivacyMetric, UtilityMetric};
+//! use geopriv_lppm::{Epsilon, GeoIndistinguishability, Lppm};
+//! use geopriv_mobility::generator::TaxiFleetBuilder;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+//! let actual = TaxiFleetBuilder::new().drivers(2).duration_hours(4.0).build(&mut rng)?;
+//! let protected = GeoIndistinguishability::new(Epsilon::new(0.01)?)
+//!     .protect_dataset(&actual, &mut rng)?;
+//!
+//! let privacy = PoiRetrieval::default().evaluate(&actual, &protected)?;
+//! let utility = AreaCoverage::default().evaluate(&actual, &protected)?;
+//! assert!((0.0..=1.0).contains(&privacy.value()));
+//! assert!((0.0..=1.0).contains(&utility.value()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area_coverage;
+pub mod distortion;
+pub mod error;
+pub mod hotspot;
+pub mod poi;
+pub mod poi_retrieval;
+pub mod traits;
+
+pub use area_coverage::{AreaCoverage, CoverageSimilarity};
+pub use distortion::{DistortionUtility, MeanDistortion};
+pub use error::MetricError;
+pub use hotspot::HotspotPreservation;
+pub use poi::{Poi, PoiExtractor};
+pub use poi_retrieval::PoiRetrieval;
+pub use traits::{MetricValue, PrivacyMetric, UtilityMetric};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::area_coverage::{AreaCoverage, CoverageSimilarity};
+    pub use crate::distortion::{DistortionUtility, MeanDistortion};
+    pub use crate::error::MetricError;
+    pub use crate::hotspot::HotspotPreservation;
+    pub use crate::poi::{Poi, PoiExtractor};
+    pub use crate::poi_retrieval::PoiRetrieval;
+    pub use crate::traits::{MetricValue, PrivacyMetric, UtilityMetric};
+}

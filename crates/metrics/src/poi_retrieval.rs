@@ -1,0 +1,229 @@
+//! The POI-retrieval privacy metric.
+//!
+//! The paper's privacy objective: "the retrieval in the protected data of at
+//! most 10 % of the Points of interest (POIs) of users", quantified by "a
+//! privacy metric which quantifies the proportion of actual POIs retrieved
+//! from the protected data for each user". Lower is better.
+
+use crate::error::MetricError;
+use crate::poi::PoiExtractor;
+use crate::traits::{MetricValue, PrivacyMetric};
+use geopriv_geo::{LocalProjection, Meters, QuadTree};
+use geopriv_mobility::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Privacy metric: proportion of a user's actual POIs that can still be
+/// retrieved from her protected trace.
+///
+/// For each user the metric:
+/// 1. extracts the distinct POIs of the actual trace and of the protected
+///    trace with the same [`PoiExtractor`];
+/// 2. counts an actual POI as *retrieved* when some protected POI lies within
+///    `match_radius` of it;
+/// 3. reports `retrieved / total` (or 0 when the user has no actual POI —
+///    nothing can be learned about her stops).
+///
+/// The dataset-level value is the mean over users, exactly the quantity
+/// plotted on the y-axis of Figure 1a.
+///
+/// # Examples
+///
+/// ```
+/// use geopriv_metrics::{PoiRetrieval, PrivacyMetric};
+/// use geopriv_lppm::{Epsilon, GeoIndistinguishability, Lppm};
+/// use geopriv_mobility::generator::TaxiFleetBuilder;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let actual = TaxiFleetBuilder::new().drivers(3).duration_hours(6.0).build(&mut rng)?;
+/// let protected = GeoIndistinguishability::new(Epsilon::new(0.005)?)
+///     .protect_dataset(&actual, &mut rng)?;
+///
+/// let privacy = PoiRetrieval::default().evaluate(&actual, &protected)?;
+/// assert!((0.0..=1.0).contains(&privacy.value()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoiRetrieval {
+    extractor: PoiExtractor,
+    match_radius: Meters,
+}
+
+impl Default for PoiRetrieval {
+    fn default() -> Self {
+        Self {
+            extractor: PoiExtractor::default(),
+            match_radius: Meters::new(200.0),
+        }
+    }
+}
+
+impl PoiRetrieval {
+    /// Creates the metric with an explicit extractor and match radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidParameter`] for a non-positive radius.
+    pub fn new(extractor: PoiExtractor, match_radius: Meters) -> Result<Self, MetricError> {
+        if !(match_radius.as_f64().is_finite() && match_radius.as_f64() > 0.0) {
+            return Err(MetricError::InvalidParameter {
+                name: "match_radius",
+                value: match_radius.as_f64(),
+                reason: "match radius must be finite and strictly positive",
+            });
+        }
+        Ok(Self { extractor, match_radius })
+    }
+
+    /// The POI extractor used on both the actual and protected traces.
+    pub fn extractor(&self) -> PoiExtractor {
+        self.extractor
+    }
+
+    /// The matching radius under which an actual POI counts as retrieved.
+    pub fn match_radius(&self) -> Meters {
+        self.match_radius
+    }
+}
+
+impl PrivacyMetric for PoiRetrieval {
+    fn name(&self) -> &str {
+        "poi-retrieval"
+    }
+
+    fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError> {
+        let pairs = actual.paired_with(protected).map_err(|e| MetricError::DatasetMismatch {
+            reason: e.to_string(),
+        })?;
+
+        let mut per_user = Vec::with_capacity(pairs.len());
+        for (actual_trace, protected_trace) in pairs {
+            let actual_pois = self.extractor.extract_distinct(actual_trace);
+            if actual_pois.is_empty() {
+                per_user.push(0.0);
+                continue;
+            }
+            let protected_pois = self.extractor.extract_distinct(protected_trace);
+            if protected_pois.is_empty() {
+                per_user.push(0.0);
+                continue;
+            }
+            // Index the protected POIs for radius queries.
+            let projection = LocalProjection::centered_on(actual_pois[0].location);
+            let protected_points: Vec<_> = protected_pois
+                .iter()
+                .map(|p| projection.project(p.location))
+                .collect();
+            let index = QuadTree::build(&protected_points);
+
+            let retrieved = actual_pois
+                .iter()
+                .filter(|poi| index.any_within_radius(projection.project(poi.location), self.match_radius))
+                .count();
+            per_user.push(retrieved as f64 / actual_pois.len() as f64);
+        }
+        MetricValue::from_per_user(per_user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geopriv_geo::{GeoPoint, Seconds};
+    use geopriv_lppm::{Epsilon, GeoIndistinguishability, Identity, Lppm};
+    use geopriv_mobility::generator::TaxiFleetBuilder;
+    use geopriv_mobility::{Record, Trace, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn taxi_dataset(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TaxiFleetBuilder::new()
+            .drivers(4)
+            .duration_hours(8.0)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_radius() {
+        assert!(PoiRetrieval::new(PoiExtractor::default(), Meters::new(100.0)).is_ok());
+        assert!(PoiRetrieval::new(PoiExtractor::default(), Meters::new(0.0)).is_err());
+        assert!(PoiRetrieval::new(PoiExtractor::default(), Meters::new(f64::NAN)).is_err());
+        let metric = PoiRetrieval::default();
+        assert_eq!(metric.name(), "poi-retrieval");
+        assert_eq!(metric.match_radius().as_f64(), 200.0);
+        assert_eq!(metric.extractor().max_diameter().as_f64(), 200.0);
+    }
+
+    #[test]
+    fn unprotected_data_has_maximal_retrieval() {
+        let actual = taxi_dataset(21);
+        let mut rng = StdRng::seed_from_u64(1);
+        let protected = Identity::new().protect_dataset(&actual, &mut rng).unwrap();
+        let value = PoiRetrieval::default().evaluate(&actual, &protected).unwrap();
+        // Identical data: every actual POI is trivially retrieved.
+        assert!(value.value() > 0.99, "got {}", value.value());
+    }
+
+    #[test]
+    fn heavy_noise_hides_most_pois() {
+        let actual = taxi_dataset(22);
+        let mut rng = StdRng::seed_from_u64(2);
+        // epsilon = 0.0005 -> mean noise 4 km: POIs should be essentially gone.
+        let protected = GeoIndistinguishability::new(Epsilon::new(0.0005).unwrap())
+            .protect_dataset(&actual, &mut rng)
+            .unwrap();
+        let value = PoiRetrieval::default().evaluate(&actual, &protected).unwrap();
+        assert!(value.value() < 0.15, "got {}", value.value());
+    }
+
+    #[test]
+    fn retrieval_decreases_monotonically_with_noise() {
+        let actual = taxi_dataset(23);
+        let evaluate = |eps: f64| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let protected = GeoIndistinguishability::new(Epsilon::new(eps).unwrap())
+                .protect_dataset(&actual, &mut rng)
+                .unwrap();
+            PoiRetrieval::default().evaluate(&actual, &protected).unwrap().value()
+        };
+        let low_noise = evaluate(0.5);
+        let mid_noise = evaluate(0.01);
+        let high_noise = evaluate(0.0005);
+        assert!(low_noise >= mid_noise, "{low_noise} vs {mid_noise}");
+        assert!(mid_noise >= high_noise, "{mid_noise} vs {high_noise}");
+        assert!(low_noise > 0.8);
+    }
+
+    #[test]
+    fn users_without_pois_contribute_zero() {
+        // A constantly moving user has no POI at all.
+        let records: Vec<Record> = (0..200)
+            .map(|i| {
+                Record::new(
+                    Seconds::new(i as f64 * 30.0),
+                    GeoPoint::new(37.70 + i as f64 * 0.0004, -122.45).unwrap(),
+                )
+            })
+            .collect();
+        let trace = Trace::new(UserId::new(1), records).unwrap();
+        let dataset = Dataset::new(vec![trace]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let protected = Identity::new().protect_dataset(&dataset, &mut rng).unwrap();
+        let value = PoiRetrieval::default().evaluate(&dataset, &protected).unwrap();
+        assert_eq!(value.value(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_datasets_are_rejected() {
+        let a = taxi_dataset(25);
+        let b = a.take(2).unwrap();
+        assert!(matches!(
+            PoiRetrieval::default().evaluate(&a, &b),
+            Err(MetricError::DatasetMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! The metric interfaces of the framework.
+//!
+//! The paper's framework is "modular: by using different metrics, a system
+//! designer is able to fine-tune her LPPM according to her expected privacy
+//! and utility guarantees". [`PrivacyMetric`] and [`UtilityMetric`] are those
+//! two plug-in points; both compare an *actual* dataset with its *protected*
+//! counterpart and return a value in `[0, 1]`.
+
+use crate::error::MetricError;
+use geopriv_mobility::Dataset;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A metric value in `[0, 1]` together with its per-user breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricValue {
+    value: f64,
+    per_user: Vec<f64>,
+}
+
+impl MetricValue {
+    /// Creates a metric value from per-user values (the aggregate is their mean).
+    ///
+    /// Non-finite per-user values are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidParameter`] if `per_user` is empty or
+    /// contains non-finite values.
+    pub fn from_per_user(per_user: Vec<f64>) -> Result<Self, MetricError> {
+        if per_user.is_empty() {
+            return Err(MetricError::InvalidParameter {
+                name: "per_user",
+                value: 0.0,
+                reason: "metric needs at least one per-user value",
+            });
+        }
+        if per_user.iter().any(|v| !v.is_finite()) {
+            return Err(MetricError::InvalidParameter {
+                name: "per_user",
+                value: f64::NAN,
+                reason: "per-user metric values must be finite",
+            });
+        }
+        let value = per_user.iter().sum::<f64>() / per_user.len() as f64;
+        Ok(Self { value, per_user })
+    }
+
+    /// The aggregate metric value (mean over users), in `[0, 1]`.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The per-user metric values, in dataset (user id) order.
+    pub fn per_user(&self) -> &[f64] {
+        &self.per_user
+    }
+
+    /// The worst per-user value — the maximum for a privacy metric (where
+    /// higher is worse), the minimum for a utility metric.
+    pub fn worst_for_privacy(&self) -> f64 {
+        self.per_user.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The worst per-user value for a utility metric (minimum).
+    pub fn worst_for_utility(&self) -> f64 {
+        self.per_user.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} (over {} users)", self.value, self.per_user.len())
+    }
+}
+
+/// A privacy metric: *lower is better* (less information retrievable by the
+/// adversary from the protected data).
+///
+/// The paper's example is POI retrieval: "the proportion of actual POIs
+/// retrieved from the protected data for each user".
+pub trait PrivacyMetric: Send + Sync {
+    /// Human-readable name of the metric.
+    fn name(&self) -> &str;
+
+    /// Evaluates the metric for an actual dataset and its protected counterpart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::DatasetMismatch`] when the datasets are not
+    /// aligned, or configuration errors.
+    fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError>;
+}
+
+/// A utility metric: *higher is better* (the protected data remains useful).
+///
+/// The paper's example is area-coverage similarity at city-block granularity.
+pub trait UtilityMetric: Send + Sync {
+    /// Human-readable name of the metric.
+    fn name(&self) -> &str;
+
+    /// Evaluates the metric for an actual dataset and its protected counterpart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::DatasetMismatch`] when the datasets are not
+    /// aligned, or configuration errors.
+    fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_value_aggregates_per_user_values() {
+        let v = MetricValue::from_per_user(vec![0.1, 0.3, 0.2]).unwrap();
+        assert!((v.value() - 0.2).abs() < 1e-12);
+        assert_eq!(v.per_user().len(), 3);
+        assert_eq!(v.worst_for_privacy(), 0.3);
+        assert_eq!(v.worst_for_utility(), 0.1);
+        assert!(v.to_string().contains("3 users"));
+    }
+
+    #[test]
+    fn metric_value_rejects_bad_input() {
+        assert!(MetricValue::from_per_user(vec![]).is_err());
+        assert!(MetricValue::from_per_user(vec![0.5, f64::NAN]).is_err());
+        assert!(MetricValue::from_per_user(vec![f64::INFINITY]).is_err());
+    }
+}

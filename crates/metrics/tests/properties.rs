@@ -1,0 +1,170 @@
+//! Property-based tests of the privacy and utility metrics.
+
+use geopriv_geo::{GeoPoint, LocalProjection, Meters, Point, Seconds};
+use geopriv_lppm::{Epsilon, GaussianPerturbation, GeoIndistinguishability, Identity, Lppm};
+use geopriv_metrics::{
+    AreaCoverage, DistortionUtility, HotspotPreservation, MeanDistortion, PoiExtractor,
+    PoiRetrieval, PrivacyMetric, UtilityMetric,
+};
+use geopriv_mobility::{Dataset, Record, Trace, UserId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic trace with `stops` dwell periods separated by short drives.
+fn stop_and_go_trace(user: u64, stops: usize, dwell_records: usize) -> Trace {
+    let projection = LocalProjection::centered_on(GeoPoint::clamped(37.76, -122.43));
+    let mut records = Vec::new();
+    let mut t = 0.0;
+    for s in 0..stops.max(1) {
+        let anchor = Point::new(s as f64 * 900.0, (s % 3) as f64 * 700.0);
+        for k in 0..dwell_records.max(2) {
+            // Tiny deterministic jitter around the anchor.
+            let jitter = Point::new(((k % 5) as f64 - 2.0) * 8.0, ((k % 3) as f64 - 1.0) * 8.0);
+            records.push(Record::new(
+                Seconds::new(t),
+                projection.unproject(Point::new(anchor.x() + jitter.x(), anchor.y() + jitter.y())),
+            ));
+            t += 60.0;
+        }
+        // Drive to the next anchor in a few samples.
+        for k in 0..5 {
+            let next = Point::new((s + 1) as f64 * 900.0, ((s + 1) % 3) as f64 * 700.0);
+            let p = anchor.lerp(next, k as f64 / 4.0);
+            records.push(Record::new(Seconds::new(t), projection.unproject(p)));
+            t += 60.0;
+        }
+    }
+    Trace::new(UserId::new(user), records).expect("ordered records")
+}
+
+fn dataset(users: usize, stops: usize, dwell_records: usize) -> Dataset {
+    Dataset::new(
+        (0..users.max(1))
+            .map(|u| stop_and_go_trace(u as u64, stops, dwell_records))
+            .collect(),
+    )
+    .expect("non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_metrics_are_bounded_and_defined(
+        users in 1usize..4,
+        stops in 1usize..5,
+        dwell in 5usize..30,
+        epsilon in 1e-4f64..1.0,
+        seed in 0u64..300,
+    ) {
+        let actual = dataset(users, stops, dwell);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protected = GeoIndistinguishability::new(Epsilon::new(epsilon).unwrap())
+            .protect_dataset(&actual, &mut rng)
+            .unwrap();
+
+        let metrics_privacy: Vec<Box<dyn PrivacyMetric>> = vec![Box::new(PoiRetrieval::default())];
+        let metrics_utility: Vec<Box<dyn UtilityMetric>> = vec![
+            Box::new(AreaCoverage::default()),
+            Box::new(AreaCoverage::cell_overlap()),
+            Box::new(HotspotPreservation::default()),
+            Box::new(DistortionUtility::default()),
+        ];
+        for metric in &metrics_privacy {
+            let v = metric.evaluate(&actual, &protected).unwrap();
+            prop_assert!((0.0..=1.0).contains(&v.value()), "{} = {}", metric.name(), v.value());
+            prop_assert_eq!(v.per_user().len(), actual.len());
+        }
+        for metric in &metrics_utility {
+            let v = metric.evaluate(&actual, &protected).unwrap();
+            prop_assert!((0.0..=1.0).contains(&v.value()), "{} = {}", metric.name(), v.value());
+        }
+        // Distortion is non-negative and finite.
+        let d = MeanDistortion::new().of_datasets(&actual, &protected).unwrap();
+        prop_assert!(d.as_f64() >= 0.0 && d.as_f64().is_finite());
+    }
+
+    #[test]
+    fn identity_is_the_best_case_for_every_metric(
+        users in 1usize..4,
+        stops in 1usize..5,
+        dwell in 16usize..40,
+        epsilon in 1e-3f64..0.02,
+        seed in 0u64..300,
+    ) {
+        let actual = dataset(users, stops, dwell);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let released = Identity::new().protect_dataset(&actual, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noisy = GeoIndistinguishability::new(Epsilon::new(epsilon).unwrap())
+            .protect_dataset(&actual, &mut rng)
+            .unwrap();
+
+        // Identity: perfect utility, maximal retrieval.
+        let utility_identity = AreaCoverage::default().evaluate(&actual, &released).unwrap().value();
+        let utility_noisy = AreaCoverage::default().evaluate(&actual, &noisy).unwrap().value();
+        prop_assert!(utility_identity >= utility_noisy - 1e-9);
+
+        let privacy_identity = PoiRetrieval::default().evaluate(&actual, &released).unwrap().value();
+        let privacy_noisy = PoiRetrieval::default().evaluate(&actual, &noisy).unwrap().value();
+        prop_assert!(privacy_identity >= privacy_noisy - 1e-9);
+
+        let distortion_identity = MeanDistortion::new().of_datasets(&actual, &released).unwrap();
+        prop_assert!(distortion_identity.as_f64() < 1e-9);
+    }
+
+    #[test]
+    fn poi_extraction_finds_each_dwell_at_most_once(
+        stops in 1usize..6,
+        dwell in 16usize..50,
+    ) {
+        let trace = stop_and_go_trace(1, stops, dwell);
+        let extractor = PoiExtractor::default();
+        let pois = extractor.extract(&trace);
+        // Each dwell period lasts >= 16 minutes (dwell >= 16 records at 60 s),
+        // so every stop is found, and nothing else is.
+        prop_assert_eq!(pois.len(), stops);
+        let distinct = extractor.extract_distinct(&trace);
+        prop_assert!(distinct.len() <= pois.len());
+        prop_assert!(!distinct.is_empty());
+        for poi in &pois {
+            prop_assert!(poi.duration().to_minutes() >= 15.0);
+            prop_assert!(poi.record_count >= dwell.min(16));
+        }
+    }
+
+    #[test]
+    fn distortion_utility_decreases_with_gaussian_sigma(
+        users in 1usize..3,
+        stops in 1usize..4,
+        sigma_small in 5.0f64..50.0,
+        sigma_large in 300.0f64..2_000.0,
+        seed in 0u64..200,
+    ) {
+        let actual = dataset(users, stops, 20);
+        let evaluate = |sigma: f64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let protected = GaussianPerturbation::new(Meters::new(sigma))
+                .unwrap()
+                .protect_dataset(&actual, &mut rng)
+                .unwrap();
+            DistortionUtility::default().evaluate(&actual, &protected).unwrap().value()
+        };
+        prop_assert!(evaluate(sigma_small) > evaluate(sigma_large));
+    }
+
+    #[test]
+    fn hotspot_preservation_never_exceeds_one_and_identity_is_perfect(
+        users in 1usize..4,
+        stops in 2usize..6,
+        top_k in 1usize..8,
+    ) {
+        let actual = dataset(users, stops, 20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let released = Identity::new().protect_dataset(&actual, &mut rng).unwrap();
+        let metric = HotspotPreservation::new(Meters::new(200.0), top_k).unwrap();
+        let v = metric.evaluate(&actual, &released).unwrap();
+        prop_assert!((v.value() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! Multi-user mobility datasets.
+
+use crate::error::MobilityError;
+use crate::record::UserId;
+use crate::trace::Trace;
+use geopriv_geo::BoundingBox;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A collection of mobility traces, one per user.
+///
+/// This is the object the paper's framework protects and evaluates as a
+/// whole: "using Geo-indistinguishability to protect a whole dataset
+/// containing mobility traces of taxi drivers around San Francisco".
+///
+/// # Examples
+///
+/// ```
+/// use geopriv_mobility::{Dataset, Record, Trace, UserId};
+/// use geopriv_geo::{GeoPoint, Seconds};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = Trace::new(
+///     UserId::new(1),
+///     vec![Record::new(Seconds::new(0.0), GeoPoint::new(37.77, -122.41)?)],
+/// )?;
+/// let dataset = Dataset::new(vec![trace])?;
+/// assert_eq!(dataset.user_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    traces: Vec<Trace>,
+}
+
+impl Dataset {
+    /// Creates a dataset from a list of traces.
+    ///
+    /// Traces are sorted by user id. If several traces share a user id they
+    /// are kept as distinct traces (e.g. one trace per day for the same
+    /// driver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::EmptyDataset`] if `traces` is empty.
+    pub fn new(mut traces: Vec<Trace>) -> Result<Self, MobilityError> {
+        if traces.is_empty() {
+            return Err(MobilityError::EmptyDataset);
+        }
+        traces.sort_by_key(|t| t.user());
+        Ok(Self { traces })
+    }
+
+    /// The traces, sorted by user id.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Iterates over the traces.
+    pub fn iter(&self) -> std::slice::Iter<'_, Trace> {
+        self.traces.iter()
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Returns `true` if the dataset has no traces (never the case for a
+    /// successfully constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Number of distinct users.
+    pub fn user_count(&self) -> usize {
+        let mut users: Vec<UserId> = self.traces.iter().map(|t| t.user()).collect();
+        users.dedup();
+        users.len()
+    }
+
+    /// Total number of records across all traces.
+    pub fn record_count(&self) -> usize {
+        self.traces.iter().map(|t| t.len()).sum()
+    }
+
+    /// The traces of a given user.
+    pub fn traces_of(&self, user: UserId) -> Vec<&Trace> {
+        self.traces.iter().filter(|t| t.user() == user).collect()
+    }
+
+    /// The distinct user ids, in increasing order.
+    pub fn users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self.traces.iter().map(|t| t.user()).collect();
+        users.dedup();
+        users
+    }
+
+    /// The smallest bounding box containing every record of every trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geospatial errors for degenerate datasets.
+    pub fn bounding_box(&self) -> Result<BoundingBox, MobilityError> {
+        Ok(BoundingBox::enclosing(
+            self.traces.iter().flat_map(|t| t.iter().map(|r| r.location())),
+        )?)
+    }
+
+    /// Applies a fallible transformation to every trace, producing a new dataset.
+    ///
+    /// The typical use is protecting every trace with an LPPM. The
+    /// transformation must preserve the number of traces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by `f`.
+    pub fn map_traces<F>(&self, mut f: F) -> Result<Dataset, MobilityError>
+    where
+        F: FnMut(&Trace) -> Result<Trace, MobilityError>,
+    {
+        let traces: Result<Vec<Trace>, MobilityError> = self.traces.iter().map(|t| f(t)).collect();
+        Dataset::new(traces?)
+    }
+
+    /// Keeps only the traces for which the predicate returns `true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::EmptyDataset`] if no trace survives.
+    pub fn filter<F>(&self, mut predicate: F) -> Result<Dataset, MobilityError>
+    where
+        F: FnMut(&Trace) -> bool,
+    {
+        Dataset::new(self.traces.iter().filter(|t| predicate(t)).cloned().collect())
+    }
+
+    /// Keeps only the first `n` traces (by user id order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::EmptyDataset`] if `n == 0`.
+    pub fn take(&self, n: usize) -> Result<Dataset, MobilityError> {
+        Dataset::new(self.traces.iter().take(n).cloned().collect())
+    }
+
+    /// Groups the record counts per user (useful for quick summaries).
+    pub fn records_per_user(&self) -> BTreeMap<UserId, usize> {
+        let mut counts = BTreeMap::new();
+        for t in &self.traces {
+            *counts.entry(t.user()).or_insert(0) += t.len();
+        }
+        counts
+    }
+
+    /// Pairs each trace of this dataset with the trace at the same position
+    /// in `other`.
+    ///
+    /// The paper's metrics always compare an *actual* dataset with its
+    /// *protected* counterpart; this helper validates that the two datasets
+    /// are structurally compatible (same number of traces, same users in the
+    /// same order) and returns the aligned pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::InvalidParameter`] if the datasets are not aligned.
+    pub fn paired_with<'a>(
+        &'a self,
+        other: &'a Dataset,
+    ) -> Result<Vec<(&'a Trace, &'a Trace)>, MobilityError> {
+        if self.traces.len() != other.traces.len() {
+            return Err(MobilityError::InvalidParameter {
+                name: "other",
+                reason: format!(
+                    "datasets have different sizes: {} vs {}",
+                    self.traces.len(),
+                    other.traces.len()
+                ),
+            });
+        }
+        for (a, b) in self.traces.iter().zip(&other.traces) {
+            if a.user() != b.user() {
+                return Err(MobilityError::InvalidParameter {
+                    name: "other",
+                    reason: format!("user mismatch: {} vs {}", a.user(), b.user()),
+                });
+            }
+        }
+        Ok(self.traces.iter().zip(other.traces.iter()).collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Trace;
+    type IntoIter = std::slice::Iter<'a, Trace>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.traces.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use geopriv_geo::{GeoPoint, Seconds};
+
+    fn gp(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn trace(user: u64, base_lat: f64) -> Trace {
+        Trace::new(
+            UserId::new(user),
+            vec![
+                Record::new(Seconds::new(0.0), gp(base_lat, -122.41)),
+                Record::new(Seconds::new(60.0), gp(base_lat + 0.01, -122.42)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn dataset() -> Dataset {
+        Dataset::new(vec![trace(2, 37.76), trace(1, 37.77), trace(3, 37.78)]).unwrap()
+    }
+
+    #[test]
+    fn construction_sorts_by_user_and_rejects_empty() {
+        let d = dataset();
+        let users: Vec<u64> = d.iter().map(|t| t.user().value()).collect();
+        assert_eq!(users, vec![1, 2, 3]);
+        assert!(matches!(Dataset::new(vec![]), Err(MobilityError::EmptyDataset)));
+    }
+
+    #[test]
+    fn counting_accessors() {
+        let d = dataset();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.user_count(), 3);
+        assert_eq!(d.record_count(), 6);
+        assert_eq!(d.users(), vec![UserId::new(1), UserId::new(2), UserId::new(3)]);
+        assert_eq!(d.records_per_user()[&UserId::new(2)], 2);
+        assert_eq!((&d).into_iter().count(), 3);
+    }
+
+    #[test]
+    fn multiple_traces_per_user_are_kept() {
+        let d = Dataset::new(vec![trace(1, 37.76), trace(1, 37.78)]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.user_count(), 1);
+        assert_eq!(d.traces_of(UserId::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn bounding_box_covers_all_traces() {
+        let d = dataset();
+        let b = d.bounding_box().unwrap();
+        for t in &d {
+            for r in t {
+                assert!(b.contains(r.location()));
+            }
+        }
+    }
+
+    #[test]
+    fn map_traces_preserves_structure_and_propagates_errors() {
+        let d = dataset();
+        let shifted = d
+            .map_traces(|t| {
+                let locations = t
+                    .locations()
+                    .into_iter()
+                    .map(|l| GeoPoint::clamped(l.latitude() + 0.001, l.longitude()))
+                    .collect();
+                t.with_locations(locations)
+            })
+            .unwrap();
+        assert_eq!(shifted.len(), d.len());
+        assert_eq!(shifted.users(), d.users());
+
+        let err = d.map_traces(|_| Err(MobilityError::EmptyTrace));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let d = dataset();
+        let only_user_2 = d.filter(|t| t.user() == UserId::new(2)).unwrap();
+        assert_eq!(only_user_2.len(), 1);
+        assert!(d.filter(|_| false).is_err());
+
+        let first_two = d.take(2).unwrap();
+        assert_eq!(first_two.users(), vec![UserId::new(1), UserId::new(2)]);
+        assert!(d.take(0).is_err());
+        assert_eq!(d.take(100).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn pairing_validates_alignment() {
+        let d = dataset();
+        let pairs = d.paired_with(&d).unwrap();
+        assert_eq!(pairs.len(), 3);
+        for (a, b) in pairs {
+            assert_eq!(a.user(), b.user());
+        }
+
+        let smaller = d.take(2).unwrap();
+        assert!(d.paired_with(&smaller).is_err());
+
+        let other_users = Dataset::new(vec![trace(7, 37.76), trace(8, 37.77), trace(9, 37.78)]).unwrap();
+        assert!(d.paired_with(&other_users).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic mobility workload generators.
+//!
+//! The paper evaluates on the cabspotting San-Francisco taxi dataset, which
+//! cannot be redistributed. These generators produce datasets with the same
+//! *structural* characteristics the privacy and utility metrics depend on
+//! (stable stop locations, hotspot-skewed destinations, city-scale coverage),
+//! so every experiment of the paper can be re-run end to end:
+//!
+//! * [`TaxiFleetBuilder`] — the cabspotting stand-in (the default workload of
+//!   the reproduction harness).
+//! * [`CommuterBuilder`] — home/work commuters, the scenario motivating the
+//!   paper's introduction (POIs reveal home and work places).
+//! * [`RandomWaypointBuilder`] — a structure-free negative control.
+//! * [`CityModel`] — the shared synthetic city (bounds plus weighted hotspots).
+
+pub mod city;
+pub mod commuter;
+pub mod noise;
+pub mod random_waypoint;
+pub mod taxi;
+
+pub use city::{CityModel, Hotspot};
+pub use commuter::CommuterBuilder;
+pub use random_waypoint::RandomWaypointBuilder;
+pub use taxi::TaxiFleetBuilder;

@@ -1,0 +1,250 @@
+//! Random-waypoint workload.
+//!
+//! The classic mobility baseline: users repeatedly pick a uniformly random
+//! destination, move there at a random speed, pause, and repeat. Unlike the
+//! taxi and commuter generators it has no hotspot structure, so POIs are rare
+//! and unstable — a useful *negative control* when validating the privacy
+//! metric and the framework's robustness to dataset properties.
+
+use crate::dataset::Dataset;
+use crate::error::MobilityError;
+use crate::generator::city::CityModel;
+use crate::generator::noise::gps_jitter;
+use crate::record::{Record, UserId};
+use crate::trace::Trace;
+use geopriv_geo::{Meters, Point, Seconds};
+use rand::Rng;
+
+/// Builder for a random-waypoint dataset.
+///
+/// # Examples
+///
+/// ```
+/// use geopriv_mobility::generator::RandomWaypointBuilder;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let dataset = RandomWaypointBuilder::new().users(3).duration_hours(2.0).build(&mut rng)?;
+/// assert_eq!(dataset.user_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomWaypointBuilder {
+    users: usize,
+    duration: Seconds,
+    sampling_interval: Seconds,
+    speed_range_mps: (f64, f64),
+    pause_range: (Seconds, Seconds),
+    gps_noise: Meters,
+    first_user_id: u64,
+}
+
+impl Default for RandomWaypointBuilder {
+    fn default() -> Self {
+        Self {
+            users: 20,
+            duration: Seconds::from_hours(12.0),
+            sampling_interval: Seconds::new(30.0),
+            speed_range_mps: (1.0, 15.0),
+            pause_range: (Seconds::new(0.0), Seconds::from_minutes(10.0)),
+            gps_noise: Meters::new(8.0),
+            first_user_id: 0,
+        }
+    }
+}
+
+impl RandomWaypointBuilder {
+    /// Creates a builder with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of users to simulate. Default: 20.
+    pub fn users(mut self, users: usize) -> Self {
+        self.users = users;
+        self
+    }
+
+    /// Observation duration per user, in hours. Default: 12 h.
+    pub fn duration_hours(mut self, hours: f64) -> Self {
+        self.duration = Seconds::from_hours(hours);
+        self
+    }
+
+    /// GPS sampling interval, in seconds. Default: 30 s.
+    pub fn sampling_interval_s(mut self, seconds: f64) -> Self {
+        self.sampling_interval = Seconds::new(seconds);
+        self
+    }
+
+    /// Uniform range of per-leg speeds in m/s. Default: 1 – 15 m/s.
+    pub fn speed_range_mps(mut self, min: f64, max: f64) -> Self {
+        self.speed_range_mps = (min, max);
+        self
+    }
+
+    /// Uniform range of pause durations at each waypoint, in minutes.
+    /// Default: 0 – 10 min.
+    pub fn pause_range_minutes(mut self, min: f64, max: f64) -> Self {
+        self.pause_range = (Seconds::from_minutes(min), Seconds::from_minutes(max));
+        self
+    }
+
+    /// Standard deviation of the GPS noise in meters. Default: 8 m.
+    pub fn gps_noise_m(mut self, meters: f64) -> Self {
+        self.gps_noise = Meters::new(meters);
+        self
+    }
+
+    /// First user id to assign. Default: 0.
+    pub fn first_user_id(mut self, id: u64) -> Self {
+        self.first_user_id = id;
+        self
+    }
+
+    fn validate(&self) -> Result<(), MobilityError> {
+        if self.users == 0 {
+            return Err(MobilityError::InvalidParameter {
+                name: "users",
+                reason: "at least one user is required".to_string(),
+            });
+        }
+        if !(self.duration.as_f64().is_finite() && self.duration.as_f64() > 0.0) {
+            return Err(MobilityError::InvalidParameter {
+                name: "duration",
+                reason: "must be finite and strictly positive".to_string(),
+            });
+        }
+        if !(self.sampling_interval.as_f64().is_finite() && self.sampling_interval.as_f64() > 0.0) {
+            return Err(MobilityError::InvalidParameter {
+                name: "sampling_interval",
+                reason: "must be finite and strictly positive".to_string(),
+            });
+        }
+        let (smin, smax) = self.speed_range_mps;
+        if !(smin.is_finite() && smax.is_finite() && smin > 0.0 && smin <= smax) {
+            return Err(MobilityError::InvalidParameter {
+                name: "speed_range",
+                reason: format!("need 0 < min <= max, got {smin}..{smax}"),
+            });
+        }
+        let (pmin, pmax) = self.pause_range;
+        if pmin.as_f64() < 0.0 || pmax.as_f64() < pmin.as_f64() {
+            return Err(MobilityError::InvalidParameter {
+                name: "pause_range",
+                reason: "need 0 <= min <= max".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Generates the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::InvalidParameter`] for invalid configuration.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Dataset, MobilityError> {
+        self.validate()?;
+        // Hotspots are irrelevant here; the city model only provides bounds.
+        let city = CityModel::san_francisco(1, rng)?;
+        let projection = *city.projection();
+        let dt = self.sampling_interval.as_f64();
+        let horizon = self.duration.as_f64();
+        let noise = self.gps_noise.as_f64();
+
+        let traces: Result<Vec<Trace>, MobilityError> = (0..self.users)
+            .map(|i| {
+                let user = UserId::new(self.first_user_id + i as u64);
+                let mut records = Vec::with_capacity((horizon / dt) as usize + 1);
+                let mut time = 0.0;
+                let mut position: Point = projection.project(city.sample_uniform_location(rng));
+
+                while time <= horizon {
+                    // Pick destination and speed for this leg.
+                    let destination = projection.project(city.sample_uniform_location(rng));
+                    let speed = rng.gen_range(self.speed_range_mps.0..=self.speed_range_mps.1);
+                    let travel_time = position.distance_to(destination).as_f64() / speed;
+                    let leg_start = time;
+                    let leg_origin = position;
+                    while time <= (leg_start + travel_time).min(horizon) {
+                        let progress = if travel_time > 0.0 {
+                            ((time - leg_start) / travel_time).clamp(0.0, 1.0)
+                        } else {
+                            1.0
+                        };
+                        position = leg_origin.lerp(destination, progress);
+                        let observed = gps_jitter(rng, position, noise);
+                        records.push(Record::new(Seconds::new(time), projection.unproject(observed)));
+                        time += dt;
+                    }
+                    position = destination;
+                    if time > horizon {
+                        break;
+                    }
+                    // Pause.
+                    let pause = rng.gen_range(self.pause_range.0.as_f64()..=self.pause_range.1.as_f64());
+                    let pause_end = (time + pause).min(horizon);
+                    while time <= pause_end {
+                        let observed = gps_jitter(rng, position, noise);
+                        records.push(Record::new(Seconds::new(time), projection.unproject(observed)));
+                        time += dt;
+                    }
+                }
+                Trace::new(user, records)
+            })
+            .collect();
+        Dataset::new(traces?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(RandomWaypointBuilder::new().users(0).build(&mut rng).is_err());
+        assert!(RandomWaypointBuilder::new().duration_hours(0.0).build(&mut rng).is_err());
+        assert!(RandomWaypointBuilder::new().sampling_interval_s(0.0).build(&mut rng).is_err());
+        assert!(RandomWaypointBuilder::new().speed_range_mps(5.0, 1.0).build(&mut rng).is_err());
+        assert!(RandomWaypointBuilder::new().speed_range_mps(0.0, 1.0).build(&mut rng).is_err());
+        assert!(RandomWaypointBuilder::new().pause_range_minutes(10.0, 1.0).build(&mut rng).is_err());
+    }
+
+    #[test]
+    fn users_wander_across_the_city() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dataset = RandomWaypointBuilder::new()
+            .users(3)
+            .duration_hours(6.0)
+            .build(&mut rng)
+            .unwrap();
+        for trace in &dataset {
+            // Without hotspot structure the radius of gyration is large.
+            assert!(trace.radius_of_gyration().to_kilometers() > 1.0);
+            assert!(trace.travelled_distance().to_kilometers() > 10.0);
+            assert!(trace.len() > 300);
+        }
+    }
+
+    #[test]
+    fn bounded_in_city_and_deterministic() {
+        let build = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            RandomWaypointBuilder::new().users(2).duration_hours(2.0).build(&mut rng).unwrap()
+        };
+        let a = build(3);
+        assert_eq!(a, build(3));
+        let bounds = CityModel::default_bounds().expanded(0.2);
+        for trace in &a {
+            for record in trace {
+                assert!(bounds.contains(record.location()));
+            }
+        }
+    }
+}

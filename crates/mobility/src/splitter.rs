@@ -1,0 +1,213 @@
+//! Splitting traces and datasets along the time axis.
+//!
+//! The paper's framework studies one observation period at a time; extending
+//! it to "other datasets" (future work) or validating a fitted model on a
+//! later period both require carving a dataset into time windows — typically
+//! days. This module provides that plumbing.
+
+use crate::dataset::Dataset;
+use crate::error::MobilityError;
+use crate::trace::Trace;
+use geopriv_geo::Seconds;
+
+/// Splits a trace into consecutive windows of `window` duration, dropping
+/// windows that end up empty.
+///
+/// Windows are aligned on the trace's first timestamp. Each returned trace
+/// keeps the original user id.
+///
+/// # Errors
+///
+/// Returns [`MobilityError::InvalidParameter`] for a non-positive window.
+///
+/// # Examples
+///
+/// ```
+/// use geopriv_mobility::{splitter, Record, Trace, UserId};
+/// use geopriv_geo::{GeoPoint, Seconds};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let records: Vec<Record> = (0..48)
+///     .map(|i| Record::new(Seconds::new(i as f64 * 3_600.0), GeoPoint::clamped(37.77, -122.41)))
+///     .collect();
+/// let trace = Trace::new(UserId::new(1), records)?;
+/// let days = splitter::split_trace_by_window(&trace, Seconds::from_hours(24.0))?;
+/// assert_eq!(days.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn split_trace_by_window(trace: &Trace, window: Seconds) -> Result<Vec<Trace>, MobilityError> {
+    if !(window.as_f64().is_finite() && window.as_f64() > 0.0) {
+        return Err(MobilityError::InvalidParameter {
+            name: "window",
+            reason: "window duration must be finite and strictly positive".to_string(),
+        });
+    }
+    let start = trace.first().timestamp().as_f64();
+    let end = trace.last().timestamp().as_f64();
+    let width = window.as_f64();
+    let mut windows = Vec::new();
+    let mut window_start = start;
+    while window_start <= end {
+        let window_end = window_start + width;
+        if let Ok(piece) = trace.time_window(Seconds::new(window_start), Seconds::new(window_end)) {
+            windows.push(piece);
+        }
+        window_start = window_end;
+    }
+    // The final record falls exactly on a window boundary edge case: ensure it
+    // is not lost (time_window is half-open).
+    if let Some(last_piece) = windows.last() {
+        if last_piece.last().timestamp() < trace.last().timestamp() {
+            if let Ok(piece) =
+                trace.time_window(Seconds::new(window_start), Seconds::new(window_start + width))
+            {
+                windows.push(piece);
+            }
+        }
+    }
+    Ok(windows)
+}
+
+/// Splits every trace of a dataset into windows of `window` duration and
+/// regroups the pieces into one dataset per window index.
+///
+/// The i-th returned dataset contains, for every user that has records in her
+/// i-th window, that window's trace. Users missing from a window are simply
+/// absent from that dataset.
+///
+/// # Errors
+///
+/// Returns [`MobilityError::InvalidParameter`] for a non-positive window and
+/// [`MobilityError::EmptyDataset`] if no window contains any record.
+pub fn split_dataset_by_window(
+    dataset: &Dataset,
+    window: Seconds,
+) -> Result<Vec<Dataset>, MobilityError> {
+    let mut per_window: Vec<Vec<Trace>> = Vec::new();
+    for trace in dataset {
+        let pieces = split_trace_by_window(trace, window)?;
+        for (i, piece) in pieces.into_iter().enumerate() {
+            if per_window.len() <= i {
+                per_window.resize_with(i + 1, Vec::new);
+            }
+            per_window[i].push(piece);
+        }
+    }
+    let datasets: Vec<Dataset> = per_window
+        .into_iter()
+        .filter(|traces| !traces.is_empty())
+        .map(Dataset::new)
+        .collect::<Result<_, _>>()?;
+    if datasets.is_empty() {
+        return Err(MobilityError::EmptyDataset);
+    }
+    Ok(datasets)
+}
+
+/// Splits a dataset into two halves by alternating traces (even indices to
+/// the first half, odd indices to the second).
+///
+/// This is the split used for hold-out validation of fitted models.
+///
+/// # Errors
+///
+/// Returns [`MobilityError::EmptyDataset`] if the dataset has fewer than two traces.
+pub fn split_dataset_in_half(dataset: &Dataset) -> Result<(Dataset, Dataset), MobilityError> {
+    if dataset.len() < 2 {
+        return Err(MobilityError::EmptyDataset);
+    }
+    let mut even = Vec::new();
+    let mut odd = Vec::new();
+    for (i, trace) in dataset.iter().enumerate() {
+        if i % 2 == 0 {
+            even.push(trace.clone());
+        } else {
+            odd.push(trace.clone());
+        }
+    }
+    Ok((Dataset::new(even)?, Dataset::new(odd)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Record, UserId};
+    use geopriv_geo::GeoPoint;
+
+    fn hourly_trace(user: u64, hours: usize) -> Trace {
+        let records: Vec<Record> = (0..hours)
+            .map(|i| {
+                Record::new(
+                    Seconds::new(i as f64 * 3_600.0),
+                    GeoPoint::new(37.75 + i as f64 * 1e-3, -122.45).unwrap(),
+                )
+            })
+            .collect();
+        Trace::new(UserId::new(user), records).unwrap()
+    }
+
+    #[test]
+    fn trace_splitting_by_day() {
+        let trace = hourly_trace(1, 72); // three days of hourly records
+        let days = split_trace_by_window(&trace, Seconds::from_hours(24.0)).unwrap();
+        assert_eq!(days.len(), 3);
+        assert_eq!(days.iter().map(Trace::len).sum::<usize>(), 72);
+        for day in &days {
+            assert_eq!(day.user(), trace.user());
+            assert!(day.duration().to_hours() <= 24.0);
+        }
+        // Window order is chronological and non-overlapping.
+        assert!(days[0].last().timestamp() < days[1].first().timestamp());
+        assert!(days[1].last().timestamp() < days[2].first().timestamp());
+    }
+
+    #[test]
+    fn invalid_windows_are_rejected() {
+        let trace = hourly_trace(1, 5);
+        assert!(split_trace_by_window(&trace, Seconds::new(0.0)).is_err());
+        assert!(split_trace_by_window(&trace, Seconds::new(-60.0)).is_err());
+        assert!(split_trace_by_window(&trace, Seconds::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn short_trace_yields_a_single_window() {
+        let trace = hourly_trace(2, 3);
+        let windows = split_trace_by_window(&trace, Seconds::from_hours(24.0)).unwrap();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].len(), 3);
+    }
+
+    #[test]
+    fn dataset_splitting_groups_windows_across_users() {
+        let dataset = Dataset::new(vec![hourly_trace(1, 48), hourly_trace(2, 24)]).unwrap();
+        let windows = split_dataset_by_window(&dataset, Seconds::from_hours(24.0)).unwrap();
+        assert_eq!(windows.len(), 2);
+        // Day 0 has both users; day 1 only the first one.
+        assert_eq!(windows[0].user_count(), 2);
+        assert_eq!(windows[1].user_count(), 1);
+        assert!(split_dataset_by_window(&dataset, Seconds::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn half_splitting_alternates_traces() {
+        let dataset = Dataset::new(vec![
+            hourly_trace(1, 4),
+            hourly_trace(2, 4),
+            hourly_trace(3, 4),
+            hourly_trace(4, 4),
+            hourly_trace(5, 4),
+        ])
+        .unwrap();
+        let (a, b) = split_dataset_in_half(&dataset).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.len() + b.len(), dataset.len());
+        // No trace appears in both halves.
+        for trace in &a {
+            assert!(b.traces_of(trace.user()).is_empty());
+        }
+        let single = Dataset::new(vec![hourly_trace(9, 4)]).unwrap();
+        assert!(split_dataset_in_half(&single).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! Per-user mobility traces.
+
+use crate::error::MobilityError;
+use crate::record::{Record, UserId};
+use geopriv_geo::{distance, BoundingBox, GeoPoint, Meters, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A mobility trace: the chronologically ordered location records of one user.
+///
+/// This is the unit of protection and evaluation in the paper — LPPMs protect
+/// a trace, POIs are extracted per trace, and the privacy/utility metrics
+/// compare a user's actual and protected traces.
+///
+/// # Examples
+///
+/// ```
+/// use geopriv_mobility::{Record, Trace, UserId};
+/// use geopriv_geo::{GeoPoint, Seconds};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = Trace::new(
+///     UserId::new(1),
+///     vec![
+///         Record::new(Seconds::new(0.0), GeoPoint::new(37.77, -122.41)?),
+///         Record::new(Seconds::new(60.0), GeoPoint::new(37.78, -122.42)?),
+///     ],
+/// )?;
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.duration().as_f64(), 60.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    user: UserId,
+    records: Vec<Record>,
+}
+
+impl Trace {
+    /// Creates a trace from chronologically ordered records.
+    ///
+    /// # Errors
+    ///
+    /// * [`MobilityError::EmptyTrace`] if `records` is empty.
+    /// * [`MobilityError::UnorderedRecords`] if timestamps are not non-decreasing.
+    pub fn new(user: UserId, records: Vec<Record>) -> Result<Self, MobilityError> {
+        if records.is_empty() {
+            return Err(MobilityError::EmptyTrace);
+        }
+        for (i, pair) in records.windows(2).enumerate() {
+            if pair[1].timestamp() < pair[0].timestamp() {
+                return Err(MobilityError::UnorderedRecords { index: i + 1 });
+            }
+        }
+        Ok(Self { user, records })
+    }
+
+    /// Creates a trace from possibly unordered records, sorting them by timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::EmptyTrace`] if `records` is empty.
+    pub fn from_unordered(user: UserId, mut records: Vec<Record>) -> Result<Self, MobilityError> {
+        if records.is_empty() {
+            return Err(MobilityError::EmptyTrace);
+        }
+        records.sort_by(|a, b| {
+            a.timestamp()
+                .as_f64()
+                .partial_cmp(&b.timestamp().as_f64())
+                .expect("timestamps are finite")
+        });
+        Self::new(user, records)
+    }
+
+    /// The user this trace belongs to.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The chronologically ordered records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the trace has no records (never the case for a
+    /// successfully constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
+        self.records.iter()
+    }
+
+    /// The locations of all records, in chronological order.
+    pub fn locations(&self) -> Vec<GeoPoint> {
+        self.records.iter().map(|r| r.location()).collect()
+    }
+
+    /// The first record.
+    pub fn first(&self) -> &Record {
+        &self.records[0]
+    }
+
+    /// The last record.
+    pub fn last(&self) -> &Record {
+        &self.records[self.records.len() - 1]
+    }
+
+    /// Total observation duration (last timestamp minus first timestamp).
+    pub fn duration(&self) -> Seconds {
+        self.last().timestamp() - self.first().timestamp()
+    }
+
+    /// Total distance travelled along the trace.
+    pub fn travelled_distance(&self) -> Meters {
+        distance::path_length(&self.locations())
+    }
+
+    /// Median interval between consecutive records.
+    ///
+    /// Returns zero for a single-record trace.
+    pub fn median_sampling_interval(&self) -> Seconds {
+        if self.records.len() < 2 {
+            return Seconds::new(0.0);
+        }
+        let mut intervals: Vec<f64> = self
+            .records
+            .windows(2)
+            .map(|w| (w[1].timestamp() - w[0].timestamp()).as_f64())
+            .collect();
+        intervals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Seconds::new(intervals[intervals.len() / 2])
+    }
+
+    /// Geographic centroid of the trace (unweighted mean of coordinates).
+    pub fn centroid(&self) -> GeoPoint {
+        let n = self.records.len() as f64;
+        let (lat, lon) = self.records.iter().fold((0.0, 0.0), |(la, lo), r| {
+            (la + r.location().latitude(), lo + r.location().longitude())
+        });
+        GeoPoint::clamped(lat / n, lon / n)
+    }
+
+    /// Radius of gyration: root-mean-square distance of the records to the
+    /// trace centroid. A classic mobility-compactness property used as a
+    /// candidate dataset property `d_j`.
+    pub fn radius_of_gyration(&self) -> Meters {
+        let c = self.centroid();
+        let mean_sq = self
+            .records
+            .iter()
+            .map(|r| distance::haversine(r.location(), c).as_f64().powi(2))
+            .sum::<f64>()
+            / self.records.len() as f64;
+        Meters::new(mean_sq.sqrt())
+    }
+
+    /// Mean speed over the trace in meters per second.
+    ///
+    /// Returns zero for traces with no elapsed time.
+    pub fn mean_speed(&self) -> f64 {
+        let duration = self.duration().as_f64();
+        if duration <= 0.0 {
+            return 0.0;
+        }
+        self.travelled_distance().as_f64() / duration
+    }
+
+    /// The smallest bounding box containing every record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`geopriv_geo::GeoError`] for degenerate traces (all records
+    /// at exactly the same coordinate are padded into a small box).
+    pub fn bounding_box(&self) -> Result<BoundingBox, MobilityError> {
+        Ok(BoundingBox::enclosing(self.locations())?)
+    }
+
+    /// Returns a copy of the trace restricted to records with
+    /// `start <= timestamp < end`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::EmptyTrace`] if no record falls in the window.
+    pub fn time_window(&self, start: Seconds, end: Seconds) -> Result<Trace, MobilityError> {
+        let records: Vec<Record> = self
+            .records
+            .iter()
+            .filter(|r| r.timestamp() >= start && r.timestamp() < end)
+            .copied()
+            .collect();
+        Trace::new(self.user, records)
+    }
+
+    /// Returns a copy of the trace keeping every `n`-th record (downsampling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::InvalidParameter`] if `n == 0`.
+    pub fn downsampled(&self, n: usize) -> Result<Trace, MobilityError> {
+        if n == 0 {
+            return Err(MobilityError::InvalidParameter {
+                name: "n",
+                reason: "downsampling factor must be at least 1".to_string(),
+            });
+        }
+        let records: Vec<Record> = self.records.iter().step_by(n).copied().collect();
+        Trace::new(self.user, records)
+    }
+
+    /// Builds a new trace with the same user and timestamps but different
+    /// locations, in the same order.
+    ///
+    /// This is the primitive LPPMs use to emit a protected trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::InvalidParameter`] if `locations.len()` does
+    /// not match the number of records.
+    pub fn with_locations(&self, locations: Vec<GeoPoint>) -> Result<Trace, MobilityError> {
+        if locations.len() != self.records.len() {
+            return Err(MobilityError::InvalidParameter {
+                name: "locations",
+                reason: format!(
+                    "expected {} locations, got {}",
+                    self.records.len(),
+                    locations.len()
+                ),
+            });
+        }
+        let records = self
+            .records
+            .iter()
+            .zip(locations)
+            .map(|(r, loc)| r.with_location(loc))
+            .collect();
+        Trace::new(self.user, records)
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Record;
+    type IntoIter = std::slice::Iter<'a, Record>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn sample_trace() -> Trace {
+        Trace::new(
+            UserId::new(1),
+            vec![
+                Record::new(Seconds::new(0.0), gp(37.7700, -122.4100)),
+                Record::new(Seconds::new(30.0), gp(37.7710, -122.4110)),
+                Record::new(Seconds::new(60.0), gp(37.7720, -122.4120)),
+                Record::new(Seconds::new(120.0), gp(37.7800, -122.4200)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_order_and_nonemptiness() {
+        assert!(matches!(
+            Trace::new(UserId::new(1), vec![]),
+            Err(MobilityError::EmptyTrace)
+        ));
+        let unordered = vec![
+            Record::new(Seconds::new(10.0), gp(37.77, -122.41)),
+            Record::new(Seconds::new(5.0), gp(37.78, -122.42)),
+        ];
+        assert!(matches!(
+            Trace::new(UserId::new(1), unordered.clone()),
+            Err(MobilityError::UnorderedRecords { index: 1 })
+        ));
+        // from_unordered sorts instead of failing.
+        let sorted = Trace::from_unordered(UserId::new(1), unordered).unwrap();
+        assert!(sorted.first().timestamp() <= sorted.last().timestamp());
+    }
+
+    #[test]
+    fn equal_timestamps_are_allowed() {
+        let t = Trace::new(
+            UserId::new(2),
+            vec![
+                Record::new(Seconds::new(0.0), gp(37.77, -122.41)),
+                Record::new(Seconds::new(0.0), gp(37.78, -122.42)),
+            ],
+        );
+        assert!(t.is_ok());
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = sample_trace();
+        assert_eq!(t.user(), UserId::new(1));
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.duration().as_f64(), 120.0);
+        assert_eq!(t.locations().len(), 4);
+        assert_eq!(t.iter().count(), 4);
+        assert_eq!((&t).into_iter().count(), 4);
+        assert_eq!(t.first().timestamp().as_f64(), 0.0);
+        assert_eq!(t.last().timestamp().as_f64(), 120.0);
+    }
+
+    #[test]
+    fn travelled_distance_and_speed() {
+        let t = sample_trace();
+        let d = t.travelled_distance().as_f64();
+        assert!(d > 1_000.0 && d < 3_000.0, "got {d}");
+        let v = t.mean_speed();
+        assert!((d / 120.0 - v).abs() < 1e-9);
+
+        let stationary = Trace::new(
+            UserId::new(3),
+            vec![Record::new(Seconds::new(0.0), gp(37.77, -122.41))],
+        )
+        .unwrap();
+        assert_eq!(stationary.mean_speed(), 0.0);
+        assert_eq!(stationary.median_sampling_interval().as_f64(), 0.0);
+    }
+
+    #[test]
+    fn median_sampling_interval() {
+        let t = sample_trace();
+        // Intervals are 30, 30, 60 -> median 30.
+        assert_eq!(t.median_sampling_interval().as_f64(), 30.0);
+    }
+
+    #[test]
+    fn centroid_and_radius_of_gyration() {
+        let t = sample_trace();
+        let c = t.centroid();
+        assert!((37.770..37.781).contains(&c.latitude()));
+        let r = t.radius_of_gyration().as_f64();
+        assert!(r > 100.0 && r < 2_000.0, "got {r}");
+
+        // A stationary trace has zero radius of gyration.
+        let stationary = Trace::new(
+            UserId::new(3),
+            vec![
+                Record::new(Seconds::new(0.0), gp(37.77, -122.41)),
+                Record::new(Seconds::new(10.0), gp(37.77, -122.41)),
+            ],
+        )
+        .unwrap();
+        assert!(stationary.radius_of_gyration().as_f64() < 1e-6);
+    }
+
+    #[test]
+    fn bounding_box_contains_all_records() {
+        let t = sample_trace();
+        let b = t.bounding_box().unwrap();
+        for r in &t {
+            assert!(b.contains(r.location()));
+        }
+    }
+
+    #[test]
+    fn time_window_filters_records() {
+        let t = sample_trace();
+        let w = t.time_window(Seconds::new(30.0), Seconds::new(120.0)).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.first().timestamp().as_f64(), 30.0);
+        assert!(t.time_window(Seconds::new(500.0), Seconds::new(600.0)).is_err());
+    }
+
+    #[test]
+    fn downsampling() {
+        let t = sample_trace();
+        let d = t.downsampled(2).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.first().timestamp().as_f64(), 0.0);
+        assert_eq!(d.last().timestamp().as_f64(), 60.0);
+        assert!(t.downsampled(0).is_err());
+        assert_eq!(t.downsampled(10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn with_locations_replaces_coordinates_only() {
+        let t = sample_trace();
+        let new_locations = vec![gp(0.0, 0.0); 4];
+        let replaced = t.with_locations(new_locations).unwrap();
+        assert_eq!(replaced.len(), 4);
+        assert_eq!(replaced.user(), t.user());
+        for (old, new) in t.iter().zip(replaced.iter()) {
+            assert_eq!(old.timestamp(), new.timestamp());
+            assert_eq!(new.location().latitude(), 0.0);
+        }
+        assert!(t.with_locations(vec![gp(0.0, 0.0)]).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! # geopriv
+//!
+//! Umbrella crate re-exporting the whole `geopriv` workspace: a framework for
+//! the easy, automated configuration of Location Privacy Protection
+//! Mechanisms (LPPMs), reproducing Cerf et al., *Toward an Easy Configuration
+//! of Location Privacy Protection Mechanisms*, Middleware 2016.
+//!
+//! See the individual crates for details:
+//!
+//! * [`geo`] — geospatial primitives (points, projections, grids).
+//! * [`analysis`] — regression, PCA, interpolation, saturation detection.
+//! * [`mobility`] — mobility traces, datasets and synthetic generators.
+//! * [`lppm`] — protection mechanisms (Geo-Indistinguishability & friends).
+//! * [`metrics`] — privacy and utility metrics.
+//! * [`core`] — the configuration framework itself.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use geopriv::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Simulate a small mobility dataset (stand-in for the SF taxi traces).
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let dataset = TaxiFleetBuilder::new()
+//!     .drivers(4)
+//!     .duration_hours(6.0)
+//!     .build(&mut rng)?;
+//!
+//! // 2. Protect it with Geo-Indistinguishability at a given epsilon.
+//! let geoi = GeoIndistinguishability::new(Epsilon::new(0.01)?);
+//! let protected = geoi.protect_dataset(&dataset, &mut rng)?;
+//!
+//! // 3. Evaluate privacy (POI retrieval) and utility (area coverage).
+//! let privacy = PoiRetrieval::default().evaluate(&dataset, &protected)?;
+//! let utility = AreaCoverage::default().evaluate(&dataset, &protected)?;
+//! assert!((0.0..=1.0).contains(&privacy.value()));
+//! assert!((0.0..=1.0).contains(&utility.value()));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use geopriv_analysis as analysis;
+pub use geopriv_core as core;
+pub use geopriv_geo as geo;
+pub use geopriv_lppm as lppm;
+pub use geopriv_metrics as metrics;
+pub use geopriv_mobility as mobility;
+
+/// Convenient glob-import of the most commonly used items of the workspace.
+pub mod prelude {
+    pub use geopriv_core::prelude::*;
+    pub use geopriv_geo::prelude::*;
+    pub use geopriv_lppm::prelude::*;
+    pub use geopriv_metrics::prelude::*;
+    pub use geopriv_mobility::prelude::*;
+}

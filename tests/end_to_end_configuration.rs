@@ -1,0 +1,150 @@
+//! End-to-end integration test of the full framework pipeline on the
+//! synthetic taxi workload: sweep → model → invert → verify, i.e. the
+//! paper's three steps followed by a measurement at the recommended
+//! configuration.
+
+use geopriv::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn taxi_dataset(drivers: usize, hours: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TaxiFleetBuilder::new()
+        .drivers(drivers)
+        .duration_hours(hours)
+        .sampling_interval_s(60.0)
+        .build(&mut rng)
+        .expect("static generator configuration is valid")
+}
+
+#[test]
+fn figure_1_shape_holds_on_the_synthetic_taxi_workload() {
+    let dataset = taxi_dataset(6, 8.0, 1);
+    let system = SystemDefinition::paper_geoi();
+    let sweep = ExperimentRunner::new(SweepConfig {
+        points: 9,
+        repetitions: 1,
+        seed: 7,
+        parallel: true,
+    })
+    .run(&system, &dataset)
+    .expect("sweep succeeds");
+
+    let privacy = sweep.privacy_values();
+    let utility = sweep.utility_values();
+
+    // Both metrics are bounded and overall increasing in epsilon (Figure 1).
+    for (p, u) in privacy.iter().zip(&utility) {
+        assert!((0.0..=1.0).contains(p));
+        assert!((0.0..=1.0).contains(u));
+    }
+    assert!(privacy.last().unwrap() > privacy.first().unwrap());
+    assert!(utility.last().unwrap() > utility.first().unwrap());
+
+    // At the strongest noise almost nothing is retrievable; at the weakest
+    // noise most POIs are retrievable and utility is near perfect.
+    assert!(privacy[0] < 0.25, "privacy at eps=1e-4 is {}", privacy[0]);
+    assert!(*privacy.last().unwrap() > 0.6, "privacy at eps=1 is {}", privacy.last().unwrap());
+    assert!(utility[0] < 0.6, "utility at eps=1e-4 is {}", utility[0]);
+    assert!(*utility.last().unwrap() > 0.9, "utility at eps=1 is {}", utility.last().unwrap());
+}
+
+#[test]
+fn equation_2_fit_and_inversion_recover_a_usable_operating_point() {
+    let dataset = taxi_dataset(8, 10.0, 2);
+    let system = SystemDefinition::paper_geoi();
+    let sweep = ExperimentRunner::new(SweepConfig {
+        points: 13,
+        repetitions: 1,
+        seed: 3,
+        parallel: true,
+    })
+    .run(&system, &dataset)
+    .expect("sweep succeeds");
+
+    let fitted = Modeler::new().fit(&sweep).expect("modeling succeeds");
+
+    // Equation 2 shape: both metrics increase with ln(epsilon), and the
+    // privacy metric responds more steeply than the utility metric.
+    assert!(fitted.privacy.model.slope() > 0.0);
+    assert!(fitted.utility.model.slope() > 0.0);
+    assert!(fitted.privacy.model.slope() > fitted.utility.model.slope());
+    assert!(fitted.privacy.model.r_squared() > 0.6, "R² privacy {}", fitted.privacy.model.r_squared());
+    assert!(fitted.utility.model.r_squared() > 0.6, "R² utility {}", fitted.utility.model.r_squared());
+
+    // Invert for moderately strict objectives; the recommendation must fall
+    // inside its own feasible range and inside the paper's epsilon range.
+    let objectives = Objectives::new(
+        PrivacyObjective::at_most(0.3).expect("valid"),
+        UtilityObjective::at_least(0.5).expect("valid"),
+    );
+    let configurator = Configurator::new(fitted, system.parameter().scale());
+    let recommendation = configurator.recommend(objectives).expect("objectives are feasible");
+    assert!(recommendation.parameter >= recommendation.feasible_range.0);
+    assert!(recommendation.parameter <= recommendation.feasible_range.1);
+    assert!(recommendation.parameter > 1e-4 && recommendation.parameter < 1.0);
+    assert!(recommendation.predicted_privacy <= 0.3 + 0.05);
+    assert!(recommendation.predicted_utility >= 0.5 - 0.05);
+
+    // Verify by re-measuring at the recommended epsilon. The log-linear model
+    // flattens the steep part of the privacy response (the paper fits the
+    // same shape), so the model may over-estimate the adversary's success —
+    // that direction is conservative and acceptable. What must hold is that
+    // the measured values satisfy the stated objectives (with a small
+    // sampling tolerance) and that utility is predicted reasonably well.
+    let lppm = system.factory().instantiate(recommendation.parameter).expect("instantiation succeeds");
+    let mut rng = StdRng::seed_from_u64(11);
+    let protected = lppm.protect_dataset(&dataset, &mut rng).expect("protection succeeds");
+    let measured_privacy = PoiRetrieval::default().evaluate(&dataset, &protected).expect("metric succeeds");
+    let measured_utility = AreaCoverage::default().evaluate(&dataset, &protected).expect("metric succeeds");
+    assert!(
+        measured_privacy.value() <= objectives.privacy.bound() + 0.1,
+        "measured privacy {} violates the objective {}",
+        measured_privacy.value(),
+        objectives.privacy
+    );
+    assert!(
+        measured_privacy.value() <= recommendation.predicted_privacy + 0.1,
+        "model under-estimated the privacy risk: measured {} vs predicted {}",
+        measured_privacy.value(),
+        recommendation.predicted_privacy
+    );
+    assert!(
+        measured_utility.value() >= objectives.utility.bound() - 0.1,
+        "measured utility {} violates the objective {}",
+        measured_utility.value(),
+        objectives.utility
+    );
+    assert!(
+        (measured_utility.value() - recommendation.predicted_utility).abs() < 0.2,
+        "measured utility {} vs predicted {}",
+        measured_utility.value(),
+        recommendation.predicted_utility
+    );
+}
+
+#[test]
+fn infeasible_objectives_are_detected() {
+    let dataset = taxi_dataset(5, 6.0, 4);
+    let system = SystemDefinition::paper_geoi();
+    let sweep = ExperimentRunner::new(SweepConfig {
+        points: 9,
+        repetitions: 1,
+        seed: 5,
+        parallel: true,
+    })
+    .run(&system, &dataset)
+    .expect("sweep succeeds");
+    let fitted = Modeler::new().fit(&sweep).expect("modeling succeeds");
+    let configurator = Configurator::new(fitted, system.parameter().scale());
+
+    // Essentially perfect privacy and perfect utility at the same time.
+    let impossible = Objectives::new(
+        PrivacyObjective::at_most(0.001).expect("valid"),
+        UtilityObjective::at_least(0.999).expect("valid"),
+    );
+    match configurator.recommend(impossible) {
+        Err(CoreError::Infeasible { .. }) => {}
+        other => panic!("expected infeasible objectives to be rejected, got {other:?}"),
+    }
+}
