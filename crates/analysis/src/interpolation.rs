@@ -133,10 +133,7 @@ impl Curve {
             return Err(AnalysisError::OutOfDomain { value: x, min: min_x, max: max_x });
         }
         // Binary search for the segment containing x.
-        let idx = self
-            .points
-            .partition_point(|&(px, _)| px <= x)
-            .min(self.points.len() - 1);
+        let idx = self.points.partition_point(|&(px, _)| px <= x).min(self.points.len() - 1);
         let (x1, y1) = self.points[idx.saturating_sub(1)];
         let (x2, y2) = self.points[idx];
         if x2 == x1 {
@@ -189,13 +186,7 @@ impl Curve {
     ///
     /// Returns [`AnalysisError::NotEnoughData`] if fewer than two samples remain.
     pub fn restricted(&self, min_x: f64, max_x: f64) -> Result<Curve, AnalysisError> {
-        Curve::new(
-            self.points
-                .iter()
-                .copied()
-                .filter(|&(x, _)| x >= min_x && x <= max_x)
-                .collect(),
-        )
+        Curve::new(self.points.iter().copied().filter(|&(x, _)| x >= min_x && x <= max_x).collect())
     }
 }
 
@@ -234,12 +225,27 @@ mod tests {
 
     #[test]
     fn monotonicity_classification() {
-        assert_eq!(curve(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]).monotonicity(), Monotonicity::Increasing);
-        assert_eq!(curve(&[(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]).monotonicity(), Monotonicity::Decreasing);
-        assert_eq!(curve(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]).monotonicity(), Monotonicity::Constant);
-        assert_eq!(curve(&[(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]).monotonicity(), Monotonicity::NonMonotone);
+        assert_eq!(
+            curve(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]).monotonicity(),
+            Monotonicity::Increasing
+        );
+        assert_eq!(
+            curve(&[(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]).monotonicity(),
+            Monotonicity::Decreasing
+        );
+        assert_eq!(
+            curve(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]).monotonicity(),
+            Monotonicity::Constant
+        );
+        assert_eq!(
+            curve(&[(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]).monotonicity(),
+            Monotonicity::NonMonotone
+        );
         // Plateaus keep the overall classification.
-        assert_eq!(curve(&[(0.0, 0.0), (1.0, 0.0), (2.0, 1.0)]).monotonicity(), Monotonicity::Increasing);
+        assert_eq!(
+            curve(&[(0.0, 0.0), (1.0, 0.0), (2.0, 1.0)]).monotonicity(),
+            Monotonicity::Increasing
+        );
     }
 
     #[test]

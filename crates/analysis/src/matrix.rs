@@ -163,9 +163,7 @@ impl Matrix {
                 actual: format!("vector of length {}", v.len()),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Solves the linear system `self · x = b` by Gaussian elimination with
@@ -250,9 +248,8 @@ impl Matrix {
         if self.rows < 2 {
             return Err(AnalysisError::NotEnoughData { required: 2, actual: self.rows });
         }
-        let means: Vec<f64> = (0..self.cols)
-            .map(|j| self.column(j).iter().sum::<f64>() / self.rows as f64)
-            .collect();
+        let means: Vec<f64> =
+            (0..self.cols).map(|j| self.column(j).iter().sum::<f64>() / self.rows as f64).collect();
         let mut cov = Matrix::zeros(self.cols, self.cols);
         for i in 0..self.cols {
             for j in i..self.cols {
@@ -425,13 +422,8 @@ mod tests {
 
     #[test]
     fn covariance_matrix_is_symmetric_and_matches_stats() {
-        let data = m(&[
-            vec![1.0, 10.0],
-            vec![2.0, 8.0],
-            vec![3.0, 13.0],
-            vec![4.0, 9.0],
-            vec![5.0, 15.0],
-        ]);
+        let data =
+            m(&[vec![1.0, 10.0], vec![2.0, 8.0], vec![3.0, 13.0], vec![4.0, 9.0], vec![5.0, 15.0]]);
         let cov = data.covariance_matrix().unwrap();
         assert!(cov.is_square());
         assert_eq!(cov[(0, 1)], cov[(1, 0)]);

@@ -145,7 +145,11 @@ impl LogLinearModel {
     /// * Otherwise see [`SimpleLinearRegression::fit`].
     pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, AnalysisError> {
         if let Some(&bad) = xs.iter().find(|&&x| !(x.is_finite() && x > 0.0)) {
-            return Err(AnalysisError::OutOfDomain { value: bad, min: f64::MIN_POSITIVE, max: f64::INFINITY });
+            return Err(AnalysisError::OutOfDomain {
+                value: bad,
+                min: f64::MIN_POSITIVE,
+                max: f64::INFINITY,
+            });
         }
         let ln_xs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
         let reg = SimpleLinearRegression::fit(&ln_xs, ys)?;

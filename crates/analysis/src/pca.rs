@@ -89,8 +89,8 @@ impl Pca {
             let s = stats::std_dev(&col)?;
             means.push(m);
             std_devs.push(s);
-            for i in 0..n {
-                standardized_rows[i][j] = if s == 0.0 { 0.0 } else { (col[i] - m) / s };
+            for (row, &value) in standardized_rows.iter_mut().zip(&col) {
+                row[j] = if s == 0.0 { 0.0 } else { (value - m) / s };
             }
         }
         let standardized = Matrix::from_rows(&standardized_rows)?;
@@ -115,13 +115,7 @@ impl Pca {
             })
             .collect();
 
-        Ok(Self {
-            components,
-            variable_count: p,
-            observation_count: n,
-            means,
-            std_devs,
-        })
+        Ok(Self { components, variable_count: p, observation_count: n, means, std_devs })
     }
 
     /// The principal components in order of decreasing explained variance.
@@ -141,11 +135,7 @@ impl Pca {
 
     /// Cumulative explained-variance ratio of the first `k` components.
     pub fn cumulative_explained_variance(&self, k: usize) -> f64 {
-        self.components
-            .iter()
-            .take(k)
-            .map(|c| c.explained_variance_ratio)
-            .sum()
+        self.components.iter().take(k).map(|c| c.explained_variance_ratio).sum()
     }
 
     /// Number of components needed to explain at least `threshold` (e.g. 0.9)
@@ -189,17 +179,18 @@ impl Pca {
                 right: self.variable_count,
             });
         }
-        let standardized: Vec<f64> = observation
-            .iter()
-            .enumerate()
-            .map(|(j, &v)| {
-                if self.std_devs[j] == 0.0 {
-                    0.0
-                } else {
-                    (v - self.means[j]) / self.std_devs[j]
-                }
-            })
-            .collect();
+        let standardized: Vec<f64> =
+            observation
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| {
+                    if self.std_devs[j] == 0.0 {
+                        0.0
+                    } else {
+                        (v - self.means[j]) / self.std_devs[j]
+                    }
+                })
+                .collect();
         Ok(self
             .components
             .iter()
@@ -353,9 +344,8 @@ mod tests {
 
     #[test]
     fn projection_reduces_dimension() {
-        let data: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![i as f64, 2.0 * i as f64 + 1.0, (i % 3) as f64])
-            .collect();
+        let data: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0, (i % 3) as f64]).collect();
         let pca = Pca::fit(&data).unwrap();
         let projected = pca.project(&[10.0, 21.0, 1.0], 2).unwrap();
         assert_eq!(projected.len(), 2);

@@ -65,11 +65,7 @@ impl SimpleLinearRegression {
         let intercept = mean_y - slope * mean_x;
 
         let ss_tot: f64 = y.iter().map(|v| (v - mean_y).powi(2)).sum();
-        let ss_res: f64 = x
-            .iter()
-            .zip(y)
-            .map(|(a, b)| (b - (intercept + slope * a)).powi(2))
-            .sum();
+        let ss_res: f64 = x.iter().zip(y).map(|(a, b)| (b - (intercept + slope * a)).powi(2)).sum();
         let r_squared = if ss_tot == 0.0 { 1.0 } else { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) };
         let dof = (x.len() as f64 - 2.0).max(1.0);
         let residual_std = (ss_res / dof).sqrt();
@@ -221,11 +217,7 @@ impl MultipleLinearRegression {
             });
         }
         Ok(self.coefficients[0]
-            + predictors
-                .iter()
-                .zip(&self.coefficients[1..])
-                .map(|(a, b)| a * b)
-                .sum::<f64>())
+            + predictors.iter().zip(&self.coefficients[1..]).map(|(a, b)| a * b).sum::<f64>())
     }
 }
 
@@ -299,10 +291,10 @@ mod tests {
     #[test]
     fn multiple_regression_recovers_plane() {
         // y = 1 + 2 x1 - 3 x2
-        let predictors: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64, (i * i % 7) as f64])
-            .collect();
-        let responses: Vec<f64> = predictors.iter().map(|p| 1.0 + 2.0 * p[0] - 3.0 * p[1]).collect();
+        let predictors: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let responses: Vec<f64> =
+            predictors.iter().map(|p| 1.0 + 2.0 * p[0] - 3.0 * p[1]).collect();
         let fit = MultipleLinearRegression::fit(&predictors, &responses).unwrap();
         let c = fit.coefficients();
         assert!((c[0] - 1.0).abs() < 1e-9);

@@ -131,11 +131,7 @@ pub fn covariance(x: &[f64], y: &[f64]) -> Result<f64, AnalysisError> {
     }
     let mx = mean(x)?;
     let my = mean(y)?;
-    Ok(x.iter()
-        .zip(y)
-        .map(|(a, b)| (a - mx) * (b - my))
-        .sum::<f64>()
-        / (x.len() - 1) as f64)
+    Ok(x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum::<f64>() / (x.len() - 1) as f64)
 }
 
 /// Pearson correlation coefficient in `[-1, 1]`.

@@ -26,14 +26,8 @@ fn protection_throughput(c: &mut Criterion) {
             "gaussian-perturbation(sigma=160m)",
             Box::new(GaussianPerturbation::new(Meters::new(160.0)).expect("valid")),
         ),
-        (
-            "grid-cloaking(400m)",
-            Box::new(GridCloaking::new(Meters::new(400.0)).expect("valid")),
-        ),
-        (
-            "temporal-downsampling(4)",
-            Box::new(TemporalDownsampling::new(4).expect("valid")),
-        ),
+        ("grid-cloaking(400m)", Box::new(GridCloaking::new(Meters::new(400.0)).expect("valid"))),
+        ("temporal-downsampling(4)", Box::new(TemporalDownsampling::new(4).expect("valid"))),
     ];
 
     let mut group = c.benchmark_group("lppm_protect_dataset");
@@ -43,7 +37,9 @@ fn protection_throughput(c: &mut Criterion) {
         group.bench_function(*name, |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(REPRODUCTION_SEED);
-                black_box(mechanism.protect_dataset(&dataset, &mut rng).expect("protection succeeds"))
+                black_box(
+                    mechanism.protect_dataset(&dataset, &mut rng).expect("protection succeeds"),
+                )
             });
         });
     }

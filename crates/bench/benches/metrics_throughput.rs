@@ -33,12 +33,16 @@ fn metric_throughput(c: &mut Criterion) {
 
     group.bench_function("poi_retrieval_privacy", |b| {
         let metric = PoiRetrieval::default();
-        b.iter(|| black_box(metric.evaluate(&dataset, &protected).expect("evaluation succeeds").value()));
+        b.iter(|| {
+            black_box(metric.evaluate(&dataset, &protected).expect("evaluation succeeds").value())
+        });
     });
 
     group.bench_function("area_coverage_utility", |b| {
         let metric = AreaCoverage::default();
-        b.iter(|| black_box(metric.evaluate(&dataset, &protected).expect("evaluation succeeds").value()));
+        b.iter(|| {
+            black_box(metric.evaluate(&dataset, &protected).expect("evaluation succeeds").value())
+        });
     });
     group.finish();
 

@@ -15,9 +15,7 @@ use geopriv_bench::{fidelity_from_args, reproduction_dataset, Fidelity, REPRODUC
 use geopriv_core::prelude::*;
 use geopriv_geo::Meters;
 use geopriv_lppm::{Epsilon, GaussianPerturbation, GeoIndistinguishability, GridCloaking, Lppm};
-use geopriv_metrics::{
-    AreaCoverage, PoiExtractor, PoiRetrieval, PrivacyMetric, UtilityMetric,
-};
+use geopriv_metrics::{AreaCoverage, PoiExtractor, PoiRetrieval, PrivacyMetric, UtilityMetric};
 use geopriv_mobility::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,7 +41,9 @@ fn cell_size_ablation(dataset: &Dataset) -> Result<(), Box<dyn std::error::Error
         let utility = AreaCoverage::new(Meters::new(cell))?.evaluate(dataset, &protected)?;
         println!("{cell:>14.0} {:>10.3}", utility.value());
     }
-    println!("expected shape: utility grows with the cell size (coarser blocks are more forgiving)");
+    println!(
+        "expected shape: utility grows with the cell size (coarser blocks are more forgiving)"
+    );
     println!();
     Ok(())
 }
@@ -119,12 +119,7 @@ fn lppm_comparison(dataset: &Dataset) -> Result<(), Box<dyn std::error::Error>> 
         let protected = mechanism.protect_dataset(dataset, &mut rng)?;
         let privacy = privacy_metric.evaluate(dataset, &protected)?;
         let utility = utility_metric.evaluate(dataset, &protected)?;
-        println!(
-            "{:>28} {:>10.3} {:>10.3}",
-            mechanism.name(),
-            privacy.value(),
-            utility.value()
-        );
+        println!("{:>28} {:>10.3} {:>10.3}", mechanism.name(), privacy.value(), utility.value());
     }
     println!(
         "expected shape: at matched displacement, deterministic cloaking keeps higher POI \
@@ -134,7 +129,11 @@ fn lppm_comparison(dataset: &Dataset) -> Result<(), Box<dyn std::error::Error>> 
     Ok(())
 }
 
-fn protect_with_geoi(dataset: &Dataset, epsilon: f64, salt: u64) -> Result<Dataset, Box<dyn std::error::Error>> {
+fn protect_with_geoi(
+    dataset: &Dataset,
+    epsilon: f64,
+    salt: u64,
+) -> Result<Dataset, Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(REPRODUCTION_SEED ^ salt);
     let geoi = GeoIndistinguishability::new(Epsilon::new(epsilon)?);
     Ok(geoi.protect_dataset(dataset, &mut rng)?)

@@ -17,11 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fidelity = fidelity_from_args();
     eprintln!("building the synthetic SF taxi dataset ({fidelity:?})…");
     let dataset = reproduction_dataset(fidelity);
-    eprintln!(
-        "dataset: {} drivers, {} records",
-        dataset.user_count(),
-        dataset.record_count()
-    );
+    eprintln!("dataset: {} drivers, {} records", dataset.user_count(), dataset.record_count());
 
     eprintln!("sweeping epsilon (Figure 1)…");
     let sweep = run_paper_sweep(&dataset, fidelity)?;
@@ -48,7 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let first = sweep.samples.first().expect("sweep is non-empty");
     let last = sweep.samples.last().expect("sweep is non-empty");
     println!();
-    println!("shape check: privacy rises from {:.3} to {:.3} (paper: ~0 to ~0.4)", first.privacy, last.privacy);
-    println!("shape check: utility rises from {:.3} to {:.3} (paper: ~0.2 to ~1.0)", first.utility, last.utility);
+    println!(
+        "shape check: privacy rises from {:.3} to {:.3} (paper: ~0 to ~0.4)",
+        first.privacy, last.privacy
+    );
+    println!(
+        "shape check: utility rises from {:.3} to {:.3} (paper: ~0.2 to ~1.0)",
+        first.utility, last.utility
+    );
     Ok(())
 }

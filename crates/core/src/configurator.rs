@@ -116,10 +116,8 @@ impl Configurator {
         // are meaningful, i.e. in the intersection of their domains.
         let privacy_domain = privacy_model.domain();
         let utility_domain = utility_model.domain();
-        let domain = (
-            privacy_domain.0.max(utility_domain.0),
-            privacy_domain.1.min(utility_domain.1),
-        );
+        let domain =
+            (privacy_domain.0.max(utility_domain.0), privacy_domain.1.min(utility_domain.1));
         if domain.0 >= domain.1 {
             return Err(CoreError::Infeasible {
                 reason: "the privacy and utility models were fitted on disjoint parameter ranges"
@@ -202,10 +200,8 @@ mod tests {
 
     #[test]
     fn paper_objectives_yield_an_epsilon_near_0_01() {
-        let configurator = Configurator::new(
-            paper_like_relationship(),
-            geopriv_lppm::ParameterScale::Logarithmic,
-        );
+        let configurator =
+            Configurator::new(paper_like_relationship(), geopriv_lppm::ParameterScale::Logarithmic);
         let recommendation = configurator.recommend(Objectives::paper_example()).unwrap();
         assert_eq!(recommendation.parameter_name, "epsilon");
         // The paper picks 0.01; any epsilon satisfying both objectives lies
@@ -224,10 +220,8 @@ mod tests {
 
     #[test]
     fn looser_objectives_widen_the_feasible_range() {
-        let configurator = Configurator::new(
-            paper_like_relationship(),
-            geopriv_lppm::ParameterScale::Logarithmic,
-        );
+        let configurator =
+            Configurator::new(paper_like_relationship(), geopriv_lppm::ParameterScale::Logarithmic);
         let strict = configurator.recommend(Objectives::paper_example()).unwrap();
         let loose = configurator
             .recommend(Objectives::new(
@@ -242,10 +236,8 @@ mod tests {
 
     #[test]
     fn impossible_objectives_are_reported_as_infeasible() {
-        let configurator = Configurator::new(
-            paper_like_relationship(),
-            geopriv_lppm::ParameterScale::Logarithmic,
-        );
+        let configurator =
+            Configurator::new(paper_like_relationship(), geopriv_lppm::ParameterScale::Logarithmic);
         // Perfect privacy *and* perfect utility cannot both hold.
         let result = configurator.recommend(Objectives::new(
             PrivacyObjective::at_most(0.01).unwrap(),
@@ -262,10 +254,8 @@ mod tests {
 
     #[test]
     fn recommendation_respects_the_model_domain() {
-        let configurator = Configurator::new(
-            paper_like_relationship(),
-            geopriv_lppm::ParameterScale::Logarithmic,
-        );
+        let configurator =
+            Configurator::new(paper_like_relationship(), geopriv_lppm::ParameterScale::Logarithmic);
         // Very loose objectives: the feasible range collapses to the fitted
         // domain, and the recommendation stays inside it.
         let recommendation = configurator

@@ -34,7 +34,9 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::InvalidConfiguration { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::InvalidConfiguration { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
             CoreError::Lppm(e) => write!(f, "protection mechanism error: {e}"),
             CoreError::Metric(e) => write!(f, "metric error: {e}"),
             CoreError::Analysis(e) => write!(f, "analysis error: {e}"),

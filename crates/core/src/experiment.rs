@@ -130,15 +130,9 @@ impl SweepResult {
 }
 
 /// Runs parameter sweeps for a [`SystemDefinition`] on a dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExperimentRunner {
     config: SweepConfig,
-}
-
-impl Default for ExperimentRunner {
-    fn default() -> Self {
-        Self { config: SweepConfig::default() }
-    }
 }
 
 impl ExperimentRunner {
@@ -161,7 +155,11 @@ impl ExperimentRunner {
     /// # Errors
     ///
     /// Propagates configuration, protection and metric errors.
-    pub fn run(&self, system: &SystemDefinition, dataset: &Dataset) -> Result<SweepResult, CoreError> {
+    pub fn run(
+        &self,
+        system: &SystemDefinition,
+        dataset: &Dataset,
+    ) -> Result<SweepResult, CoreError> {
         self.config.validate()?;
         let descriptor = system.parameter();
         let values = descriptor.sweep(self.config.points);
@@ -201,9 +199,9 @@ impl ExperimentRunner {
             Mutex::new((0..values.len()).map(|_| None).collect());
         let next_index = std::sync::atomic::AtomicUsize::new(0);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next_index.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     if i >= values.len() {
                         break;
@@ -212,8 +210,7 @@ impl ExperimentRunner {
                     results.lock()[i] = Some(sample);
                 });
             }
-        })
-        .expect("sweep worker threads never panic");
+        });
 
         results
             .into_inner()

@@ -64,11 +64,11 @@ pub use modeling::{FittedRelationship, MetricModel, Modeler, ParametricModel};
 pub use objectives::{Objectives, PrivacyObjective, UtilityObjective};
 pub use pareto::{ParetoFrontier, TradeOffPoint};
 pub use property_selection::{PropertySelection, PropertySelector, RankedProperty};
-pub use validation::{HoldOutValidator, PredictionError, ValidationReport};
 pub use system::{
     GaussianPerturbationFactory, GeoIndistinguishabilityFactory, GridCloakingFactory, LppmFactory,
     SystemDefinition,
 };
+pub use validation::{HoldOutValidator, PredictionError, ValidationReport};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -80,9 +80,9 @@ pub mod prelude {
     pub use crate::pareto::{ParetoFrontier, TradeOffPoint};
     pub use crate::property_selection::{PropertySelection, PropertySelector};
     pub use crate::report;
-    pub use crate::validation::{HoldOutValidator, PredictionError, ValidationReport};
     pub use crate::system::{
         GaussianPerturbationFactory, GeoIndistinguishabilityFactory, GridCloakingFactory,
         LppmFactory, SystemDefinition,
     };
+    pub use crate::validation::{HoldOutValidator, PredictionError, ValidationReport};
 }

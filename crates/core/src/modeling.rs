@@ -138,11 +138,7 @@ impl fmt::Display for FittedRelationship {
             "{} ({}): {}",
             self.privacy.metric_name, self.parameter_name, self.privacy.model
         )?;
-        write!(
-            f,
-            "{} ({}): {}",
-            self.utility.metric_name, self.parameter_name, self.utility.model
-        )
+        write!(f, "{} ({}): {}", self.utility.metric_name, self.parameter_name, self.utility.model)
     }
 }
 
@@ -174,21 +170,11 @@ impl Modeler {
                 ),
             });
         }
-        let privacy = self.fit_metric(
-            sweep,
-            &sweep.privacy_metric_name,
-            &sweep.privacy_values(),
-        )?;
-        let utility = self.fit_metric(
-            sweep,
-            &sweep.utility_metric_name,
-            &sweep.utility_values(),
-        )?;
-        Ok(FittedRelationship {
-            parameter_name: sweep.parameter_name.clone(),
-            privacy,
-            utility,
-        })
+        let privacy =
+            self.fit_metric(sweep, &sweep.privacy_metric_name, &sweep.privacy_values())?;
+        let utility =
+            self.fit_metric(sweep, &sweep.utility_metric_name, &sweep.utility_values())?;
+        Ok(FittedRelationship { parameter_name: sweep.parameter_name.clone(), privacy, utility })
     }
 
     fn fit_metric(
@@ -208,7 +194,8 @@ impl Modeler {
         } else {
             parameters.clone()
         };
-        let detection_curve = Curve::new(transformed.iter().copied().zip(values.iter().copied()).collect())?;
+        let detection_curve =
+            Curve::new(transformed.iter().copied().zip(values.iter().copied()).collect())?;
         let zone: ActiveZone = find_active_zone(&detection_curve)?;
 
         // Restrict the raw samples to the active zone and fit the parametric model.
@@ -234,12 +221,7 @@ impl Modeler {
             zone_params.iter().copied().fold(f64::INFINITY, f64::min),
             zone_params.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         );
-        Ok(MetricModel {
-            metric_name: metric_name.to_string(),
-            curve,
-            active_zone,
-            model,
-        })
+        Ok(MetricModel { metric_name: metric_name.to_string(), curve, active_zone, model })
     }
 }
 

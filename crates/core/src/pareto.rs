@@ -57,7 +57,11 @@ impl ParetoFrontier {
         let candidates: Vec<TradeOffPoint> = sweep
             .samples
             .iter()
-            .map(|s| TradeOffPoint { parameter: s.parameter, privacy: s.privacy, utility: s.utility })
+            .map(|s| TradeOffPoint {
+                parameter: s.parameter,
+                privacy: s.privacy,
+                utility: s.utility,
+            })
             .collect();
         let mut frontier: Vec<TradeOffPoint> = candidates
             .iter()
@@ -93,14 +97,11 @@ impl ParetoFrontier {
     /// i.e. the best balanced compromise when the designer has no explicit
     /// objectives yet.
     pub fn knee(&self) -> Option<TradeOffPoint> {
-        self.points
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                (a.utility - a.privacy)
-                    .partial_cmp(&(b.utility - b.privacy))
-                    .expect("metric values are finite")
-            })
+        self.points.iter().copied().max_by(|a, b| {
+            (a.utility - a.privacy)
+                .partial_cmp(&(b.utility - b.privacy))
+                .expect("metric values are finite")
+        })
     }
 
     /// The most private frontier point that still reaches `minimum_utility`,
@@ -165,12 +166,8 @@ mod tests {
     fn monotone_sweeps_are_entirely_on_the_frontier() {
         // When both metrics increase with the parameter (the Figure 1 shape),
         // every point is a genuine trade-off: nothing dominates anything.
-        let sweep = sweep_from(&[
-            (0.001, 0.0, 0.3),
-            (0.01, 0.1, 0.6),
-            (0.1, 0.5, 0.9),
-            (1.0, 0.9, 1.0),
-        ]);
+        let sweep =
+            sweep_from(&[(0.001, 0.0, 0.3), (0.01, 0.1, 0.6), (0.1, 0.5, 0.9), (1.0, 0.9, 1.0)]);
         let frontier = ParetoFrontier::from_sweep(&sweep);
         assert_eq!(frontier.len(), 4);
         assert!(!frontier.is_empty());
@@ -227,9 +224,6 @@ mod tests {
         // The saturated tails collapse to a single frontier point each; the
         // transition region (about one decade of epsilon) survives in full.
         assert!(frontier.len() >= 8, "frontier has only {} points", frontier.len());
-        assert!(frontier
-            .points()
-            .iter()
-            .any(|p| p.privacy <= 0.10 && p.utility >= 0.7));
+        assert!(frontier.points().iter().any(|p| p.privacy <= 0.10 && p.utility >= 0.7));
     }
 }

@@ -38,11 +38,7 @@ pub struct PropertySelection {
 impl PropertySelection {
     /// Names of the selected properties, in decreasing importance order.
     pub fn selected_names(&self) -> Vec<&str> {
-        self.ranked
-            .iter()
-            .filter(|p| p.selected)
-            .map(|p| p.name.as_str())
-            .collect()
+        self.ranked.iter().filter(|p| p.selected).map(|p| p.name.as_str()).collect()
     }
 }
 
@@ -91,7 +87,10 @@ impl PropertySelector {
     /// Returns [`CoreError::InvalidConfiguration`] for an out-of-range
     /// threshold or a zero cap.
     pub fn new(variance_threshold: f64, max_selected: usize) -> Result<Self, CoreError> {
-        if !(variance_threshold.is_finite() && variance_threshold > 0.0 && variance_threshold <= 1.0) {
+        if !(variance_threshold.is_finite()
+            && variance_threshold > 0.0
+            && variance_threshold <= 1.0)
+        {
             return Err(CoreError::InvalidConfiguration {
                 reason: format!("variance threshold must be in (0, 1], got {variance_threshold}"),
             });
@@ -226,11 +225,8 @@ mod tests {
     #[test]
     fn degenerate_property_matrices_are_rejected() {
         let mut rng = StdRng::seed_from_u64(4);
-        let single = TaxiFleetBuilder::new()
-            .drivers(1)
-            .duration_hours(1.0)
-            .build(&mut rng)
-            .unwrap();
+        let single =
+            TaxiFleetBuilder::new().drivers(1).duration_hours(1.0).build(&mut rng).unwrap();
         let properties = DatasetProperties::compute(&single, Meters::new(200.0)).unwrap();
         assert!(PropertySelector::default().select(&properties).is_err());
     }

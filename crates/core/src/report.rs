@@ -38,11 +38,7 @@ pub fn sweep_to_csv(sweep: &SweepResult) -> String {
 /// Renders a sweep as an aligned plain-text table (one row per sweep point).
 pub fn sweep_to_table(sweep: &SweepResult) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:>12}  {:>10}  {:>10}",
-        sweep.parameter_name, "privacy", "utility"
-    );
+    let _ = writeln!(out, "{:>12}  {:>10}  {:>10}", sweep.parameter_name, "privacy", "utility");
     for s in &sweep.samples {
         let _ = writeln!(out, "{:>12.6}  {:>10.4}  {:>10.4}", s.parameter, s.privacy, s.utility);
     }
@@ -163,9 +159,8 @@ mod tests {
 
         let configurator =
             crate::configurator::Configurator::new(fitted, ParameterScale::Logarithmic);
-        let recommendation = configurator
-            .recommend(crate::objectives::Objectives::paper_example())
-            .unwrap();
+        let recommendation =
+            configurator.recommend(crate::objectives::Objectives::paper_example()).unwrap();
         let report = recommendation_report(&recommendation);
         assert!(report.contains("epsilon"));
         assert!(report.contains("predicted privacy"));

@@ -65,9 +65,13 @@ impl GeoIndistinguishabilityFactory {
     ///
     /// Returns [`CoreError::InvalidConfiguration`] for an invalid range.
     pub fn with_range(min_epsilon: f64, max_epsilon: f64) -> Result<Self, CoreError> {
-        let descriptor =
-            ParameterDescriptor::new("epsilon", min_epsilon, max_epsilon, ParameterScale::Logarithmic)
-                .map_err(|e| CoreError::InvalidConfiguration { reason: e.to_string() })?;
+        let descriptor = ParameterDescriptor::new(
+            "epsilon",
+            min_epsilon,
+            max_epsilon,
+            ParameterScale::Logarithmic,
+        )
+        .map_err(|e| CoreError::InvalidConfiguration { reason: e.to_string() })?;
         Ok(Self { descriptor })
     }
 }
@@ -256,7 +260,8 @@ mod tests {
     #[test]
     fn instantiated_mechanism_protects_data() {
         let mut rng = StdRng::seed_from_u64(1);
-        let dataset = TaxiFleetBuilder::new().drivers(1).duration_hours(1.0).build(&mut rng).unwrap();
+        let dataset =
+            TaxiFleetBuilder::new().drivers(1).duration_hours(1.0).build(&mut rng).unwrap();
         let system = SystemDefinition::paper_geoi();
         let lppm = system.factory().instantiate(0.01).unwrap();
         let protected = lppm.protect_dataset(&dataset, &mut rng).unwrap();

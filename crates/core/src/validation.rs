@@ -160,7 +160,11 @@ impl HoldOutValidator {
             .map(|(p, m)| (predict(*p).clamp(0.0, 1.0) - m).abs())
             .collect();
         if errors.is_empty() {
-            return PredictionError { mean_absolute_error: 0.0, max_absolute_error: 0.0, points: 0 };
+            return PredictionError {
+                mean_absolute_error: 0.0,
+                max_absolute_error: 0.0,
+                points: 0,
+            };
         }
         PredictionError {
             mean_absolute_error: errors.iter().sum::<f64>() / errors.len() as f64,
@@ -211,7 +215,9 @@ mod tests {
         assert!(report.utility_error.points > 0);
         // Errors are valid magnitudes…
         assert!(report.privacy_error.mean_absolute_error >= 0.0);
-        assert!(report.privacy_error.max_absolute_error >= report.privacy_error.mean_absolute_error);
+        assert!(
+            report.privacy_error.max_absolute_error >= report.privacy_error.mean_absolute_error
+        );
         assert!(report.utility_error.max_absolute_error <= 1.0);
         // …and the utility model (a smooth, slowly varying response) transfers
         // across synthetic fleets with a small error.

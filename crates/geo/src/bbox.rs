@@ -118,10 +118,7 @@ impl BoundingBox {
 
     /// Center of the box.
     pub fn center(&self) -> GeoPoint {
-        GeoPoint::clamped(
-            (self.min_lat + self.max_lat) / 2.0,
-            (self.min_lon + self.max_lon) / 2.0,
-        )
+        GeoPoint::clamped((self.min_lat + self.max_lat) / 2.0, (self.min_lon + self.max_lon) / 2.0)
     }
 
     /// Returns `true` if `point` lies inside the box (inclusive of edges).
@@ -205,14 +202,8 @@ mod tests {
     #[test]
     fn construction_validates() {
         assert!(BoundingBox::new(37.0, -122.0, 38.0, -121.0).is_ok());
-        assert_eq!(
-            BoundingBox::new(38.0, -122.0, 37.0, -121.0),
-            Err(GeoError::EmptyBounds)
-        );
-        assert_eq!(
-            BoundingBox::new(37.0, -121.0, 38.0, -122.0),
-            Err(GeoError::EmptyBounds)
-        );
+        assert_eq!(BoundingBox::new(38.0, -122.0, 37.0, -121.0), Err(GeoError::EmptyBounds));
+        assert_eq!(BoundingBox::new(37.0, -121.0, 38.0, -122.0), Err(GeoError::EmptyBounds));
         assert!(BoundingBox::new(95.0, -122.0, 96.0, -121.0).is_err());
     }
 

@@ -30,8 +30,7 @@ pub fn haversine(a: GeoPoint, b: GeoPoint) -> Meters {
     let dphi = (b.latitude() - a.latitude()).to_radians();
     let dlambda = (b.longitude() - a.longitude()).to_radians();
 
-    let h = (dphi / 2.0).sin().powi(2)
-        + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+    let h = (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
     let c = 2.0 * h.sqrt().min(1.0).asin();
     Meters::new(EARTH_RADIUS_M * c)
 }
@@ -60,10 +59,7 @@ pub fn euclidean(a: Point, b: Point) -> Meters {
 ///
 /// Returns zero for fewer than two points.
 pub fn path_length(points: &[GeoPoint]) -> Meters {
-    points
-        .windows(2)
-        .map(|w| haversine(w[0], w[1]))
-        .sum()
+    points.windows(2).map(|w| haversine(w[0], w[1])).sum()
 }
 
 #[cfg(test)]

@@ -170,10 +170,7 @@ impl Point {
     /// Translates the point by `radius` meters in direction `angle` (radians,
     /// measured counter-clockwise from east).
     pub fn translated_polar(&self, radius: Meters, angle: f64) -> Point {
-        Point::new(
-            self.x + radius.as_f64() * angle.cos(),
-            self.y + radius.as_f64() * angle.sin(),
-        )
+        Point::new(self.x + radius.as_f64() * angle.cos(), self.y + radius.as_f64() * angle.sin())
     }
 
     /// Linear interpolation between `self` and `other`.
@@ -181,10 +178,7 @@ impl Point {
     /// `t = 0` returns `self`, `t = 1` returns `other`; values outside
     /// `[0, 1]` extrapolate.
     pub fn lerp(&self, other: Point, t: f64) -> Point {
-        Point::new(
-            self.x + (other.x - self.x) * t,
-            self.y + (other.y - self.y) * t,
-        )
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
     }
 
     /// Component-wise midpoint.
@@ -235,9 +229,7 @@ pub fn centroid(points: &[Point]) -> Option<Point> {
         return None;
     }
     let n = points.len() as f64;
-    let (sx, sy) = points
-        .iter()
-        .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x(), sy + p.y()));
+    let (sx, sy) = points.iter().fold((0.0, 0.0), |(sx, sy), p| (sx + p.x(), sy + p.y()));
     Some(Point::new(sx / n, sy / n))
 }
 

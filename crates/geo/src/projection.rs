@@ -46,10 +46,7 @@ pub struct LocalProjection {
 impl LocalProjection {
     /// Creates a projection centered on `reference`.
     pub fn centered_on(reference: GeoPoint) -> Self {
-        Self {
-            reference,
-            cos_ref_lat: reference.latitude_radians().cos(),
-        }
+        Self { reference, cos_ref_lat: reference.latitude_radians().cos() }
     }
 
     /// The reference (origin) point of the projection.
@@ -61,10 +58,7 @@ impl LocalProjection {
     pub fn project(&self, point: GeoPoint) -> Point {
         let dlat = (point.latitude() - self.reference.latitude()).to_radians();
         let dlon = (point.longitude() - self.reference.longitude()).to_radians();
-        Point::new(
-            EARTH_RADIUS_M * dlon * self.cos_ref_lat,
-            EARTH_RADIUS_M * dlat,
-        )
+        Point::new(EARTH_RADIUS_M * dlon * self.cos_ref_lat, EARTH_RADIUS_M * dlat)
     }
 
     /// Maps a planar point back to geographic coordinates.
@@ -75,10 +69,7 @@ impl LocalProjection {
     pub fn unproject(&self, point: Point) -> GeoPoint {
         let dlat = (point.y() / EARTH_RADIUS_M).to_degrees();
         let dlon = (point.x() / (EARTH_RADIUS_M * self.cos_ref_lat)).to_degrees();
-        GeoPoint::clamped(
-            self.reference.latitude() + dlat,
-            self.reference.longitude() + dlon,
-        )
+        GeoPoint::clamped(self.reference.latitude() + dlat, self.reference.longitude() + dlon)
     }
 
     /// Projects a slice of geographic points.
@@ -108,12 +99,9 @@ mod tests {
     #[test]
     fn roundtrip_is_exact() {
         let proj = LocalProjection::centered_on(gp(37.7749, -122.4194));
-        for (lat, lon) in [
-            (37.70, -122.52),
-            (37.83, -122.35),
-            (37.7749, -122.4194),
-            (37.80, -122.40),
-        ] {
+        for (lat, lon) in
+            [(37.70, -122.52), (37.83, -122.35), (37.7749, -122.4194), (37.80, -122.40)]
+        {
             let original = gp(lat, lon);
             let back = proj.unproject(proj.project(original));
             assert!((back.latitude() - lat).abs() < 1e-9);

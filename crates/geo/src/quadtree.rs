@@ -220,9 +220,9 @@ impl QuadTree {
             return false;
         }
         match node {
-            Node::Leaf { points } => points
-                .iter()
-                .any(|(p, _)| p.distance_squared_to(center) <= radius * radius),
+            Node::Leaf { points } => {
+                points.iter().any(|(p, _)| p.distance_squared_to(center) <= radius * radius)
+            }
             Node::Internal { children, bounds: qb } => {
                 (0..4).any(|i| Self::any_query(&children[i], qb[i], center, radius))
             }
@@ -333,12 +333,12 @@ mod tests {
             })
             .collect();
         let tree = QuadTree::build(&points);
-        for target in [Point::new(100.0, 100.0), Point::new(4000.0, 7000.0), Point::new(-50.0, 9000.0)] {
+        for target in
+            [Point::new(100.0, 100.0), Point::new(4000.0, 7000.0), Point::new(-50.0, 9000.0)]
+        {
             let (best_idx, best_d) = tree.nearest(target).unwrap();
-            let brute = points
-                .iter()
-                .map(|p| p.distance_to(target).as_f64())
-                .fold(f64::INFINITY, f64::min);
+            let brute =
+                points.iter().map(|p| p.distance_to(target).as_f64()).fold(f64::INFINITY, f64::min);
             assert!((best_d.as_f64() - brute).abs() < 1e-9);
             assert!((points[best_idx].distance_to(target).as_f64() - brute).abs() < 1e-9);
         }

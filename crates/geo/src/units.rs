@@ -234,9 +234,8 @@ mod tests {
 
     #[test]
     fn sums_and_assign_ops() {
-        let total: Meters = vec![Meters::new(1.0), Meters::new(2.0), Meters::new(3.0)]
-            .into_iter()
-            .sum();
+        let total: Meters =
+            vec![Meters::new(1.0), Meters::new(2.0), Meters::new(3.0)].into_iter().sum();
         assert_eq!(total.as_f64(), 6.0);
 
         let mut m = Meters::new(1.0);

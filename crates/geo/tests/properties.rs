@@ -1,6 +1,8 @@
 //! Property-based tests for the geospatial substrate.
 
-use geopriv_geo::{distance, BoundingBox, GeoPoint, Grid, LocalProjection, Meters, Point, QuadTree};
+use geopriv_geo::{
+    distance, BoundingBox, GeoPoint, Grid, LocalProjection, Meters, Point, QuadTree,
+};
 use proptest::prelude::*;
 
 /// City-scale latitudes/longitudes around San Francisco, the paper's study area.

@@ -97,10 +97,7 @@ impl Lppm for GridCloaking {
 
     fn protect_trace(&self, trace: &Trace, _rng: &mut dyn RngCore) -> Result<Trace, LppmError> {
         let projection = LocalProjection::centered_on(self.origin);
-        let locations = trace
-            .iter()
-            .map(|r| self.snap(&projection, r.location()))
-            .collect();
+        let locations = trace.iter().map(|r| self.snap(&projection, r.location())).collect();
         Ok(trace.with_locations(locations)?)
     }
 }
@@ -179,10 +176,7 @@ mod tests {
         )
         .unwrap();
         let protected = cloaking.protect_trace(&t, &mut rng).unwrap();
-        assert_eq!(
-            protected.records()[0].location(),
-            protected.records()[1].location()
-        );
+        assert_eq!(protected.records()[0].location(), protected.records()[1].location());
     }
 
     #[test]

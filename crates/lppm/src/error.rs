@@ -58,7 +58,11 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = LppmError::InvalidParameter { name: "epsilon", value: -1.0, reason: "must be positive" };
+        let e = LppmError::InvalidParameter {
+            name: "epsilon",
+            value: -1.0,
+            reason: "must be positive",
+        };
         assert!(e.to_string().contains("epsilon"));
         assert!(std::error::Error::source(&e).is_none());
 

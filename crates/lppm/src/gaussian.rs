@@ -105,7 +105,9 @@ mod tests {
 
     fn trace() -> Trace {
         let records: Vec<Record> = (0..300)
-            .map(|i| Record::new(Seconds::new(i as f64 * 30.0), GeoPoint::new(37.77, -122.42).unwrap()))
+            .map(|i| {
+                Record::new(Seconds::new(i as f64 * 30.0), GeoPoint::new(37.77, -122.42).unwrap())
+            })
             .collect();
         Trace::new(UserId::new(1), records).unwrap()
     }

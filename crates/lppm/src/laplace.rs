@@ -25,10 +25,7 @@ use rand::Rng;
 /// derived from a probability in `[0, 1)`.
 pub fn lambert_w_minus1(x: f64) -> f64 {
     let min_x = -(-1.0f64).exp(); // −1/e
-    assert!(
-        (min_x..0.0).contains(&x),
-        "lambert_w_minus1 is only defined on [-1/e, 0), got {x}"
-    );
+    assert!((min_x..0.0).contains(&x), "lambert_w_minus1 is only defined on [-1/e, 0), got {x}");
 
     // Initial guess (Chapeau-Blondeau & Monir, 2002): series in sqrt(2(1+e x))
     // near the branch point, logarithmic asymptote near zero.

@@ -172,9 +172,7 @@ impl ParameterDescriptor {
                 .collect(),
             ParameterScale::Logarithmic => {
                 let ratio = self.max / self.min;
-                (0..count)
-                    .map(|i| self.min * ratio.powf(i as f64 / (count - 1) as f64))
-                    .collect()
+                (0..count).map(|i| self.min * ratio.powf(i as f64 / (count - 1) as f64)).collect()
             }
         }
     }
@@ -242,7 +240,8 @@ mod tests {
     #[test]
     fn logarithmic_sweep_is_geometric() {
         // The paper's sweep: epsilon from 1e-4 to 1 on a log scale.
-        let d = ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap();
+        let d =
+            ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap();
         let sweep = d.sweep(5);
         assert_eq!(sweep.len(), 5);
         assert!((sweep[0] - 1e-4).abs() < 1e-12);

@@ -110,7 +110,9 @@ mod tests {
 
     fn trace() -> Trace {
         let records: Vec<Record> = (0..100)
-            .map(|i| Record::new(Seconds::new(i as f64 * 30.0), GeoPoint::new(37.77, -122.42).unwrap()))
+            .map(|i| {
+                Record::new(Seconds::new(i as f64 * 30.0), GeoPoint::new(37.77, -122.42).unwrap())
+            })
             .collect();
         Trace::new(UserId::new(1), records).unwrap()
     }
@@ -141,7 +143,8 @@ mod tests {
         let displaced = protected
             .iter()
             .filter(|r| {
-                distance::haversine(r.location(), GeoPoint::new(37.77, -122.42).unwrap()).as_f64() > 1.0
+                distance::haversine(r.location(), GeoPoint::new(37.77, -122.42).unwrap()).as_f64()
+                    > 1.0
             })
             .count();
         assert!(displaced > 20);

@@ -109,11 +109,8 @@ impl Lppm for SpeedSmoothing {
             .into_iter()
             .enumerate()
             .map(|(i, p)| {
-                let t = if n == 1 {
-                    start
-                } else {
-                    start + (end - start) * i as f64 / (n - 1) as f64
-                };
+                let t =
+                    if n == 1 { start } else { start + (end - start) * i as f64 / (n - 1) as f64 };
                 Record::new(Seconds::new(t), projection.unproject(p))
             })
             .collect();
@@ -177,7 +174,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let trace = stop_drive_stop();
         let alpha = 200.0;
-        let protected = SpeedSmoothing::new(Meters::new(alpha)).unwrap().protect_trace(&trace, &mut rng).unwrap();
+        let protected = SpeedSmoothing::new(Meters::new(alpha))
+            .unwrap()
+            .protect_trace(&trace, &mut rng)
+            .unwrap();
         // Consecutive released points are ~alpha apart (except possibly the
         // last one, which closes the path).
         let locations = protected.locations();
@@ -195,7 +195,10 @@ mod tests {
     fn dwell_signature_is_erased() {
         let mut rng = StdRng::seed_from_u64(2);
         let trace = stop_drive_stop();
-        let protected = SpeedSmoothing::new(Meters::new(150.0)).unwrap().protect_trace(&trace, &mut rng).unwrap();
+        let protected = SpeedSmoothing::new(Meters::new(150.0))
+            .unwrap()
+            .protect_trace(&trace, &mut rng)
+            .unwrap();
 
         // The released trace spans the same observation window...
         assert_eq!(protected.first().timestamp(), trace.first().timestamp());
@@ -214,9 +217,13 @@ mod tests {
     fn stationary_trace_collapses_to_endpoints() {
         let mut rng = StdRng::seed_from_u64(3);
         let a = gp(37.77, -122.42);
-        let records: Vec<Record> = (0..50).map(|i| Record::new(Seconds::new(i as f64 * 30.0), a)).collect();
+        let records: Vec<Record> =
+            (0..50).map(|i| Record::new(Seconds::new(i as f64 * 30.0), a)).collect();
         let trace = Trace::new(UserId::new(2), records).unwrap();
-        let protected = SpeedSmoothing::new(Meters::new(100.0)).unwrap().protect_trace(&trace, &mut rng).unwrap();
+        let protected = SpeedSmoothing::new(Meters::new(100.0))
+            .unwrap()
+            .protect_trace(&trace, &mut rng)
+            .unwrap();
         assert_eq!(protected.len(), 2);
         assert!(distance::haversine(protected.first().location(), a).as_f64() < 1.0);
     }

@@ -182,7 +182,8 @@ mod tests {
         let fine = CoordinateRounding::new(5).unwrap().protect_trace(&t, &mut rng).unwrap();
         assert!(distinct(&fine) > distinct(&coarse));
         // 7 digits is essentially the identity for this trace.
-        let identity_like = CoordinateRounding::new(7).unwrap().protect_trace(&t, &mut rng).unwrap();
+        let identity_like =
+            CoordinateRounding::new(7).unwrap().protect_trace(&t, &mut rng).unwrap();
         for (a, b) in t.iter().zip(identity_like.iter()) {
             assert!(distance::haversine(a.location(), b.location()).as_f64() < 0.05);
         }

@@ -14,7 +14,7 @@
 use crate::error::LppmError;
 use crate::params::{ParameterDescriptor, ParameterScale};
 use crate::traits::Lppm;
-use geopriv_mobility::{Trace, Record};
+use geopriv_mobility::{Record, Trace};
 use rand::{Rng, RngCore};
 
 /// Keeps every `n`-th record of a trace.
@@ -139,7 +139,9 @@ mod tests {
 
     fn trace(n: usize) -> Trace {
         let records: Vec<Record> = (0..n)
-            .map(|i| Record::new(Seconds::new(i as f64 * 30.0), GeoPoint::new(37.77, -122.42).unwrap()))
+            .map(|i| {
+                Record::new(Seconds::new(i as f64 * 30.0), GeoPoint::new(37.77, -122.42).unwrap())
+            })
             .collect();
         Trace::new(UserId::new(1), records).unwrap()
     }

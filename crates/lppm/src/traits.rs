@@ -40,7 +40,11 @@ pub trait Lppm: Send + Sync {
     /// # Errors
     ///
     /// Propagates the first per-trace error.
-    fn protect_dataset(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> Result<Dataset, LppmError> {
+    fn protect_dataset(
+        &self,
+        dataset: &Dataset,
+        rng: &mut dyn RngCore,
+    ) -> Result<Dataset, LppmError> {
         let mut protected = Vec::with_capacity(dataset.len());
         for trace in dataset {
             protected.push(self.protect_trace(trace, rng)?);

@@ -136,9 +136,9 @@ impl UtilityMetric for AreaCoverage {
     }
 
     fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError> {
-        let pairs = actual.paired_with(protected).map_err(|e| MetricError::DatasetMismatch {
-            reason: e.to_string(),
-        })?;
+        let pairs = actual
+            .paired_with(protected)
+            .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
         // One grid spanning both datasets so clamping at the border never
         // creates artificial matches between far-away cells.
         let bounds = Self::combined_bounds(actual, protected)?;
@@ -176,11 +176,7 @@ mod tests {
 
     fn taxi_dataset(seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        TaxiFleetBuilder::new()
-            .drivers(4)
-            .duration_hours(6.0)
-            .build(&mut rng)
-            .unwrap()
+        TaxiFleetBuilder::new().drivers(4).duration_hours(6.0).build(&mut rng).unwrap()
     }
 
     #[test]
@@ -188,7 +184,8 @@ mod tests {
         assert!(AreaCoverage::new(Meters::new(200.0)).is_ok());
         assert!(AreaCoverage::new(Meters::new(0.0)).is_err());
         assert!(AreaCoverage::new(Meters::new(-10.0)).is_err());
-        assert!(AreaCoverage::with_similarity(Meters::new(f64::NAN), CoverageSimilarity::CellF1).is_err());
+        assert!(AreaCoverage::with_similarity(Meters::new(f64::NAN), CoverageSimilarity::CellF1)
+            .is_err());
         let m = AreaCoverage::default();
         assert_eq!(m.name(), "area-coverage");
         assert_eq!(m.cell_size().as_f64(), 200.0);

@@ -61,14 +61,16 @@ impl MeanDistortion {
     /// # Errors
     ///
     /// Returns [`MetricError::DatasetMismatch`] when the datasets are not aligned.
-    pub fn of_datasets(&self, actual: &Dataset, protected: &Dataset) -> Result<Meters, MetricError> {
-        let pairs = actual.paired_with(protected).map_err(|e| MetricError::DatasetMismatch {
-            reason: e.to_string(),
-        })?;
-        let per_user: Vec<f64> = pairs
-            .iter()
-            .map(|(a, p)| Self::of_traces(a, p).as_f64())
-            .collect();
+    pub fn of_datasets(
+        &self,
+        actual: &Dataset,
+        protected: &Dataset,
+    ) -> Result<Meters, MetricError> {
+        let pairs = actual
+            .paired_with(protected)
+            .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
+        let per_user: Vec<f64> =
+            pairs.iter().map(|(a, p)| Self::of_traces(a, p).as_f64()).collect();
         Ok(Meters::new(per_user.iter().sum::<f64>() / per_user.len() as f64))
     }
 }
@@ -118,9 +120,9 @@ impl UtilityMetric for DistortionUtility {
     }
 
     fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError> {
-        let pairs = actual.paired_with(protected).map_err(|e| MetricError::DatasetMismatch {
-            reason: e.to_string(),
-        })?;
+        let pairs = actual
+            .paired_with(protected)
+            .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
         let per_user: Vec<f64> = pairs
             .iter()
             .map(|(a, p)| {
@@ -174,16 +176,27 @@ mod tests {
     fn distortion_utility_is_half_at_the_scale() {
         // Construct a protected trace exactly 300 m east of the actual one.
         let base = GeoPoint::new(37.77, -122.42).unwrap();
-        let records: Vec<Record> = (0..10)
-            .map(|i| Record::new(Seconds::new(i as f64 * 60.0), base))
-            .collect();
-        let actual = Dataset::new(vec![geopriv_mobility::Trace::new(UserId::new(1), records.clone()).unwrap()]).unwrap();
+        let records: Vec<Record> =
+            (0..10).map(|i| Record::new(Seconds::new(i as f64 * 60.0), base)).collect();
+        let actual =
+            Dataset::new(vec![
+                geopriv_mobility::Trace::new(UserId::new(1), records.clone()).unwrap()
+            ])
+            .unwrap();
         let proj = geopriv_geo::LocalProjection::centered_on(base);
         let moved = proj.unproject(proj.project(base).translated(300.0, 0.0));
-        let protected_records: Vec<Record> = records.iter().map(|r| r.with_location(moved)).collect();
-        let protected = Dataset::new(vec![geopriv_mobility::Trace::new(UserId::new(1), protected_records).unwrap()]).unwrap();
+        let protected_records: Vec<Record> =
+            records.iter().map(|r| r.with_location(moved)).collect();
+        let protected =
+            Dataset::new(vec![
+                geopriv_mobility::Trace::new(UserId::new(1), protected_records).unwrap()
+            ])
+            .unwrap();
 
-        let u = DistortionUtility::new(Meters::new(300.0)).unwrap().evaluate(&actual, &protected).unwrap();
+        let u = DistortionUtility::new(Meters::new(300.0))
+            .unwrap()
+            .evaluate(&actual, &protected)
+            .unwrap();
         assert!((u.value() - 0.5).abs() < 0.01, "got {}", u.value());
         let d = MeanDistortion::new().of_datasets(&actual, &protected).unwrap();
         assert!((d.as_f64() - 300.0).abs() < 2.0);
@@ -193,7 +206,8 @@ mod tests {
     fn timestamp_matching_handles_dropped_records() {
         let actual = taxi_dataset(43);
         let mut rng = StdRng::seed_from_u64(3);
-        let downsampled = TemporalDownsampling::new(4).unwrap().protect_dataset(&actual, &mut rng).unwrap();
+        let downsampled =
+            TemporalDownsampling::new(4).unwrap().protect_dataset(&actual, &mut rng).unwrap();
         // Same coordinates on surviving timestamps: distortion is zero.
         let d = MeanDistortion::new().of_datasets(&actual, &downsampled).unwrap();
         assert!(d.as_f64() < 1e-9, "got {}", d.as_f64());

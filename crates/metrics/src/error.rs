@@ -70,7 +70,11 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = MetricError::InvalidParameter { name: "radius", value: -1.0, reason: "must be positive" };
+        let e = MetricError::InvalidParameter {
+            name: "radius",
+            value: -1.0,
+            reason: "must be positive",
+        };
         assert!(e.to_string().contains("radius"));
         assert!(std::error::Error::source(&e).is_none());
 

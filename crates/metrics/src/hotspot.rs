@@ -108,9 +108,9 @@ impl UtilityMetric for HotspotPreservation {
     }
 
     fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError> {
-        let pairs = actual.paired_with(protected).map_err(|e| MetricError::DatasetMismatch {
-            reason: e.to_string(),
-        })?;
+        let pairs = actual
+            .paired_with(protected)
+            .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
         let grid = Grid::new(Self::combined_bounds(actual, protected)?, self.cell_size)?;
 
         let mut per_user = Vec::with_capacity(pairs.len());

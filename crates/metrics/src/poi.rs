@@ -62,10 +62,7 @@ pub struct PoiExtractor {
 
 impl Default for PoiExtractor {
     fn default() -> Self {
-        Self {
-            min_dwell: Seconds::from_minutes(15.0),
-            max_diameter: Meters::new(200.0),
-        }
+        Self { min_dwell: Seconds::from_minutes(15.0), max_diameter: Meters::new(200.0) }
     }
 }
 
@@ -112,7 +109,8 @@ impl PoiExtractor {
             return pois;
         }
         let projection = LocalProjection::centered_on(records[0].location());
-        let projected: Vec<Point> = records.iter().map(|r| projection.project(r.location())).collect();
+        let projected: Vec<Point> =
+            records.iter().map(|r| projection.project(r.location())).collect();
 
         let mut i = 0;
         while i < n {
@@ -161,8 +159,10 @@ impl PoiExtractor {
                     let w1 = existing.record_count as f64;
                     let w2 = poi.record_count as f64;
                     existing.location = GeoPoint::clamped(
-                        (existing.location.latitude() * w1 + poi.location.latitude() * w2) / (w1 + w2),
-                        (existing.location.longitude() * w1 + poi.location.longitude() * w2) / (w1 + w2),
+                        (existing.location.latitude() * w1 + poi.location.latitude() * w2)
+                            / (w1 + w2),
+                        (existing.location.longitude() * w1 + poi.location.longitude() * w2)
+                            / (w1 + w2),
                     );
                     existing.record_count += poi.record_count;
                     existing.end = poi.end;
@@ -246,10 +246,7 @@ mod tests {
         // Constant motion, never stopping.
         let records: Vec<Record> = (0..200)
             .map(|i| {
-                Record::new(
-                    Seconds::new(i as f64 * 30.0),
-                    gp(37.70 + i as f64 * 0.0005, -122.45),
-                )
+                Record::new(Seconds::new(i as f64 * 30.0), gp(37.70 + i as f64 * 0.0005, -122.45))
             })
             .collect();
         let moving = Trace::new(UserId::new(1), records).unwrap();
@@ -265,11 +262,9 @@ mod tests {
 
     #[test]
     fn single_record_trace_has_no_poi() {
-        let trace = Trace::new(
-            UserId::new(1),
-            vec![Record::new(Seconds::new(0.0), gp(37.75, -122.42))],
-        )
-        .unwrap();
+        let trace =
+            Trace::new(UserId::new(1), vec![Record::new(Seconds::new(0.0), gp(37.75, -122.42))])
+                .unwrap();
         assert!(PoiExtractor::default().extract(&trace).is_empty());
     }
 
@@ -312,10 +307,8 @@ mod tests {
         let distinct = extractor.extract_distinct(&trace);
         assert_eq!(distinct.len(), 2);
         // The merged POI at A accumulated both visits.
-        let at_a = distinct
-            .iter()
-            .find(|p| distance::haversine(p.location, a).as_f64() < 100.0)
-            .unwrap();
+        let at_a =
+            distinct.iter().find(|p| distance::haversine(p.location, a).as_f64() < 100.0).unwrap();
         assert!(at_a.record_count >= 80);
     }
 

@@ -53,10 +53,7 @@ pub struct PoiRetrieval {
 
 impl Default for PoiRetrieval {
     fn default() -> Self {
-        Self {
-            extractor: PoiExtractor::default(),
-            match_radius: Meters::new(200.0),
-        }
+        Self { extractor: PoiExtractor::default(), match_radius: Meters::new(200.0) }
     }
 }
 
@@ -94,9 +91,9 @@ impl PrivacyMetric for PoiRetrieval {
     }
 
     fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError> {
-        let pairs = actual.paired_with(protected).map_err(|e| MetricError::DatasetMismatch {
-            reason: e.to_string(),
-        })?;
+        let pairs = actual
+            .paired_with(protected)
+            .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
 
         let mut per_user = Vec::with_capacity(pairs.len());
         for (actual_trace, protected_trace) in pairs {
@@ -112,15 +109,15 @@ impl PrivacyMetric for PoiRetrieval {
             }
             // Index the protected POIs for radius queries.
             let projection = LocalProjection::centered_on(actual_pois[0].location);
-            let protected_points: Vec<_> = protected_pois
-                .iter()
-                .map(|p| projection.project(p.location))
-                .collect();
+            let protected_points: Vec<_> =
+                protected_pois.iter().map(|p| projection.project(p.location)).collect();
             let index = QuadTree::build(&protected_points);
 
             let retrieved = actual_pois
                 .iter()
-                .filter(|poi| index.any_within_radius(projection.project(poi.location), self.match_radius))
+                .filter(|poi| {
+                    index.any_within_radius(projection.project(poi.location), self.match_radius)
+                })
                 .count();
             per_user.push(retrieved as f64 / actual_pois.len() as f64);
         }
@@ -140,11 +137,7 @@ mod tests {
 
     fn taxi_dataset(seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        TaxiFleetBuilder::new()
-            .drivers(4)
-            .duration_hours(8.0)
-            .build(&mut rng)
-            .unwrap()
+        TaxiFleetBuilder::new().drivers(4).duration_hours(8.0).build(&mut rng).unwrap()
     }
 
     #[test]

@@ -40,9 +40,7 @@ fn stop_and_go_trace(user: u64, stops: usize, dwell_records: usize) -> Trace {
 
 fn dataset(users: usize, stops: usize, dwell_records: usize) -> Dataset {
     Dataset::new(
-        (0..users.max(1))
-            .map(|u| stop_and_go_trace(u as u64, stops, dwell_records))
-            .collect(),
+        (0..users.max(1)).map(|u| stop_and_go_trace(u as u64, stops, dwell_records)).collect(),
     )
     .expect("non-empty")
 }

@@ -103,9 +103,7 @@ impl Dataset {
     ///
     /// Propagates geospatial errors for degenerate datasets.
     pub fn bounding_box(&self) -> Result<BoundingBox, MobilityError> {
-        Ok(BoundingBox::enclosing(
-            self.traces.iter().flat_map(|t| t.iter().map(|r| r.location())),
-        )?)
+        Ok(BoundingBox::enclosing(self.traces.iter().flat_map(|t| t.iter().map(|r| r.location())))?)
     }
 
     /// Applies a fallible transformation to every trace, producing a new dataset.
@@ -120,7 +118,7 @@ impl Dataset {
     where
         F: FnMut(&Trace) -> Result<Trace, MobilityError>,
     {
-        let traces: Result<Vec<Trace>, MobilityError> = self.traces.iter().map(|t| f(t)).collect();
+        let traces: Result<Vec<Trace>, MobilityError> = self.traces.iter().map(&mut f).collect();
         Dataset::new(traces?)
     }
 
@@ -309,7 +307,8 @@ mod tests {
         let smaller = d.take(2).unwrap();
         assert!(d.paired_with(&smaller).is_err());
 
-        let other_users = Dataset::new(vec![trace(7, 37.76), trace(8, 37.77), trace(9, 37.78)]).unwrap();
+        let other_users =
+            Dataset::new(vec![trace(7, 37.76), trace(8, 37.77), trace(9, 37.78)]).unwrap();
         assert!(d.paired_with(&other_users).is_err());
     }
 }

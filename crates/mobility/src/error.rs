@@ -48,7 +48,9 @@ impl fmt::Display for MobilityError {
             MobilityError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
             }
-            MobilityError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            MobilityError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
             MobilityError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

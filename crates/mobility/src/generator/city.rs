@@ -96,11 +96,7 @@ impl CityModel {
                 spread: Meters::new(rng.gen_range(30.0..400.0)),
             })
             .collect();
-        Ok(Self {
-            bounds,
-            hotspots,
-            projection: LocalProjection::centered_on(bounds.center()),
-        })
+        Ok(Self { bounds, hotspots, projection: LocalProjection::centered_on(bounds.center()) })
     }
 
     /// Creates a city from explicitly provided hotspots.
@@ -108,18 +104,17 @@ impl CityModel {
     /// # Errors
     ///
     /// Returns [`MobilityError::InvalidParameter`] if `hotspots` is empty.
-    pub fn with_hotspots(bounds: BoundingBox, hotspots: Vec<Hotspot>) -> Result<Self, MobilityError> {
+    pub fn with_hotspots(
+        bounds: BoundingBox,
+        hotspots: Vec<Hotspot>,
+    ) -> Result<Self, MobilityError> {
         if hotspots.is_empty() {
             return Err(MobilityError::InvalidParameter {
                 name: "hotspots",
                 reason: "a city needs at least one hotspot".to_string(),
             });
         }
-        Ok(Self {
-            bounds,
-            hotspots,
-            projection: LocalProjection::centered_on(bounds.center()),
-        })
+        Ok(Self { bounds, hotspots, projection: LocalProjection::centered_on(bounds.center()) })
     }
 
     /// The city's bounding box.
@@ -221,11 +216,8 @@ mod tests {
     fn stop_locations_cluster_near_their_hotspot() {
         let mut rng = StdRng::seed_from_u64(4);
         let bounds = CityModel::default_bounds();
-        let hotspot = Hotspot {
-            location: bounds.center(),
-            weight: 1.0,
-            spread: Meters::new(100.0),
-        };
+        let hotspot =
+            Hotspot { location: bounds.center(), weight: 1.0, spread: Meters::new(100.0) };
         let city = CityModel::with_hotspots(bounds, vec![hotspot]).unwrap();
         for _ in 0..200 {
             let stop = city.sample_stop_location(&mut rng);
@@ -238,7 +230,8 @@ mod tests {
     fn uniform_locations_cover_the_bounds() {
         let mut rng = StdRng::seed_from_u64(5);
         let city = CityModel::san_francisco(3, &mut rng).unwrap();
-        let points: Vec<GeoPoint> = (0..500).map(|_| city.sample_uniform_location(&mut rng)).collect();
+        let points: Vec<GeoPoint> =
+            (0..500).map(|_| city.sample_uniform_location(&mut rng)).collect();
         assert!(points.iter().all(|p| city.bounds().contains(*p)));
         // Both halves of the box are hit.
         let mid = city.bounds().center().latitude();

@@ -259,10 +259,8 @@ mod tests {
         // most-visited 200 m cells should hold the vast majority of records.
         let bounds = dataset.bounding_box().unwrap().expanded(0.1);
         let grid = geopriv_geo::Grid::new(bounds, geopriv_geo::Meters::new(200.0)).unwrap();
-        let mut counts: Vec<usize> = grid
-            .histogram(trace.iter().map(|r| r.location()))
-            .into_values()
-            .collect();
+        let mut counts: Vec<usize> =
+            grid.histogram(trace.iter().map(|r| r.location())).into_values().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let top_two: usize = counts.iter().take(2).sum();
         assert!(

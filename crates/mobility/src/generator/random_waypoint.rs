@@ -176,7 +176,8 @@ impl RandomWaypointBuilder {
                         };
                         position = leg_origin.lerp(destination, progress);
                         let observed = gps_jitter(rng, position, noise);
-                        records.push(Record::new(Seconds::new(time), projection.unproject(observed)));
+                        records
+                            .push(Record::new(Seconds::new(time), projection.unproject(observed)));
                         time += dt;
                     }
                     position = destination;
@@ -184,11 +185,13 @@ impl RandomWaypointBuilder {
                         break;
                     }
                     // Pause.
-                    let pause = rng.gen_range(self.pause_range.0.as_f64()..=self.pause_range.1.as_f64());
+                    let pause =
+                        rng.gen_range(self.pause_range.0.as_f64()..=self.pause_range.1.as_f64());
                     let pause_end = (time + pause).min(horizon);
                     while time <= pause_end {
                         let observed = gps_jitter(rng, position, noise);
-                        records.push(Record::new(Seconds::new(time), projection.unproject(observed)));
+                        records
+                            .push(Record::new(Seconds::new(time), projection.unproject(observed)));
                         time += dt;
                     }
                 }
@@ -213,17 +216,17 @@ mod tests {
         assert!(RandomWaypointBuilder::new().sampling_interval_s(0.0).build(&mut rng).is_err());
         assert!(RandomWaypointBuilder::new().speed_range_mps(5.0, 1.0).build(&mut rng).is_err());
         assert!(RandomWaypointBuilder::new().speed_range_mps(0.0, 1.0).build(&mut rng).is_err());
-        assert!(RandomWaypointBuilder::new().pause_range_minutes(10.0, 1.0).build(&mut rng).is_err());
+        assert!(RandomWaypointBuilder::new()
+            .pause_range_minutes(10.0, 1.0)
+            .build(&mut rng)
+            .is_err());
     }
 
     #[test]
     fn users_wander_across_the_city() {
         let mut rng = StdRng::seed_from_u64(2);
-        let dataset = RandomWaypointBuilder::new()
-            .users(3)
-            .duration_hours(6.0)
-            .build(&mut rng)
-            .unwrap();
+        let dataset =
+            RandomWaypointBuilder::new().users(3).duration_hours(6.0).build(&mut rng).unwrap();
         for trace in &dataset {
             // Without hotspot structure the radius of gyration is large.
             assert!(trace.radius_of_gyration().to_kilometers() > 1.0);

@@ -419,10 +419,7 @@ mod tests {
             .first_user_id(10)
             .build(&mut rng)
             .unwrap();
-        assert_eq!(
-            dataset.users(),
-            vec![UserId::new(10), UserId::new(11)]
-        );
+        assert_eq!(dataset.users(), vec![UserId::new(10), UserId::new(11)]);
     }
 
     #[test]

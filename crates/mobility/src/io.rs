@@ -55,7 +55,8 @@ pub fn write_csv<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), Mobil
 /// [`MobilityError::EmptyDataset`] if no record was found.
 pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, MobilityError> {
     let reader = BufReader::new(reader);
-    let mut per_user: std::collections::BTreeMap<u64, Vec<Record>> = std::collections::BTreeMap::new();
+    let mut per_user: std::collections::BTreeMap<u64, Vec<Record>> =
+        std::collections::BTreeMap::new();
 
     for (i, line) in reader.lines().enumerate() {
         let line_no = i + 1;
@@ -87,14 +88,9 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, MobilityError> {
             line: line_no,
             reason: format!("invalid longitude {:?}", fields[3]),
         })?;
-        let location = GeoPoint::new(lat, lon).map_err(|e| MobilityError::Parse {
-            line: line_no,
-            reason: e.to_string(),
-        })?;
-        per_user
-            .entry(user)
-            .or_default()
-            .push(Record::new(Seconds::new(timestamp), location));
+        let location = GeoPoint::new(lat, lon)
+            .map_err(|e| MobilityError::Parse { line: line_no, reason: e.to_string() })?;
+        per_user.entry(user).or_default().push(Record::new(Seconds::new(timestamp), location));
     }
 
     let traces: Result<Vec<Trace>, MobilityError> = per_user
@@ -143,10 +139,8 @@ pub fn read_cabspotting_trace<R: Read>(user: UserId, reader: R) -> Result<Trace,
             line: line_no,
             reason: format!("invalid timestamp {:?}", fields[3]),
         })?;
-        let location = GeoPoint::new(lat, lon).map_err(|e| MobilityError::Parse {
-            line: line_no,
-            reason: e.to_string(),
-        })?;
+        let location = GeoPoint::new(lat, lon)
+            .map_err(|e| MobilityError::Parse { line: line_no, reason: e.to_string() })?;
         records.push(Record::new(Seconds::new(timestamp), location));
     }
     Trace::from_unordered(user, records)

@@ -59,7 +59,9 @@ pub use trace::Trace;
 pub mod prelude {
     pub use crate::dataset::Dataset;
     pub use crate::error::MobilityError;
-    pub use crate::generator::{CityModel, CommuterBuilder, RandomWaypointBuilder, TaxiFleetBuilder};
+    pub use crate::generator::{
+        CityModel, CommuterBuilder, RandomWaypointBuilder, TaxiFleetBuilder,
+    };
     pub use crate::properties::{DatasetProperties, TraceProperties};
     pub use crate::record::{Record, UserId};
     pub use crate::splitter;

@@ -135,9 +135,7 @@ impl DatasetProperties {
         let matrix = self.as_matrix();
         let n = matrix.len() as f64;
         let width = TraceProperties::NAMES.len();
-        (0..width)
-            .map(|j| matrix.iter().map(|row| row[j]).sum::<f64>() / n)
-            .collect()
+        (0..width).map(|j| matrix.iter().map(|row| row[j]).sum::<f64>() / n).collect()
     }
 }
 

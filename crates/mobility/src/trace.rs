@@ -236,12 +236,8 @@ impl Trace {
                 ),
             });
         }
-        let records = self
-            .records
-            .iter()
-            .zip(locations)
-            .map(|(r, loc)| r.with_location(loc))
-            .collect();
+        let records =
+            self.records.iter().zip(locations).map(|(r, loc)| r.with_location(loc)).collect();
         Trace::new(self.user, records)
     }
 }
@@ -278,10 +274,7 @@ mod tests {
 
     #[test]
     fn construction_validates_order_and_nonemptiness() {
-        assert!(matches!(
-            Trace::new(UserId::new(1), vec![]),
-            Err(MobilityError::EmptyTrace)
-        ));
+        assert!(matches!(Trace::new(UserId::new(1), vec![]), Err(MobilityError::EmptyTrace)));
         let unordered = vec![
             Record::new(Seconds::new(10.0), gp(37.77, -122.41)),
             Record::new(Seconds::new(5.0), gp(37.78, -122.42)),
@@ -329,11 +322,9 @@ mod tests {
         let v = t.mean_speed();
         assert!((d / 120.0 - v).abs() < 1e-9);
 
-        let stationary = Trace::new(
-            UserId::new(3),
-            vec![Record::new(Seconds::new(0.0), gp(37.77, -122.41))],
-        )
-        .unwrap();
+        let stationary =
+            Trace::new(UserId::new(3), vec![Record::new(Seconds::new(0.0), gp(37.77, -122.41))])
+                .unwrap();
         assert_eq!(stationary.mean_speed(), 0.0);
         assert_eq!(stationary.median_sampling_interval().as_f64(), 0.0);
     }

@@ -1,23 +1,22 @@
 //! Property-based tests of the mobility substrate and its generators.
 
 use geopriv_geo::{GeoPoint, Meters, Seconds};
-use geopriv_mobility::generator::{CityModel, CommuterBuilder, RandomWaypointBuilder, TaxiFleetBuilder};
+use geopriv_mobility::generator::{
+    CityModel, CommuterBuilder, RandomWaypointBuilder, TaxiFleetBuilder,
+};
 use geopriv_mobility::{io, Dataset, DatasetProperties, Record, Trace, UserId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arbitrary_records(max_len: usize) -> impl Strategy<Value = Vec<Record>> {
-    prop::collection::vec(
-        (0.0f64..100_000.0, 37.6f64..37.9, -122.6f64..-122.3),
-        1..max_len,
-    )
-    .prop_map(|entries| {
-        entries
-            .into_iter()
-            .map(|(t, lat, lon)| Record::new(Seconds::new(t), GeoPoint::clamped(lat, lon)))
-            .collect()
-    })
+    prop::collection::vec((0.0f64..100_000.0, 37.6f64..37.9, -122.6f64..-122.3), 1..max_len)
+        .prop_map(|entries| {
+            entries
+                .into_iter()
+                .map(|(t, lat, lon)| Record::new(Seconds::new(t), GeoPoint::clamped(lat, lon)))
+                .collect()
+        })
 }
 
 proptest! {

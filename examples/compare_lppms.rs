@@ -9,8 +9,8 @@
 //! cargo run --release --example compare_lppms
 //! ```
 
-use geopriv::prelude::*;
 use geopriv::metrics::MeanDistortion;
+use geopriv::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let privacy_metric = PoiRetrieval::default();
     let utility_metric = AreaCoverage::default();
 
-    println!(
-        "{:<55} {:>9} {:>9} {:>14}",
-        "mechanism", "privacy", "utility", "displacement"
-    );
+    println!("{:<55} {:>9} {:>9} {:>14}", "mechanism", "privacy", "utility", "displacement");
     for mechanism in &mechanisms {
         let mut mechanism_rng = StdRng::seed_from_u64(7);
         let protected = mechanism.protect_dataset(&dataset, &mut mechanism_rng)?;
@@ -59,6 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    println!("privacy = POI retrieval (lower is better); utility = area coverage (higher is better)");
+    println!(
+        "privacy = POI retrieval (lower is better); utility = area coverage (higher is better)"
+    );
     Ok(())
 }

@@ -30,13 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("system: {system:?}");
 
     // Step 2 — modeling: sweep epsilon, measure both metrics, fit Equation 2.
-    let sweep = ExperimentRunner::new(SweepConfig {
-        points: 15,
-        repetitions: 1,
-        seed: 42,
-        parallel: true,
-    })
-    .run(&system, &dataset)?;
+    let sweep =
+        ExperimentRunner::new(SweepConfig { points: 15, repetitions: 1, seed: 42, parallel: true })
+            .run(&system, &dataset)?;
     println!();
     println!("{}", report::sweep_to_table(&sweep));
     let fitted = Modeler::new().fit(&sweep)?;

@@ -6,9 +6,9 @@
 //! cargo run --release --example dataset_properties
 //! ```
 
-use geopriv::prelude::*;
 use geopriv::geo::Meters;
 use geopriv::mobility::TraceProperties;
+use geopriv::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

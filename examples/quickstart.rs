@@ -45,6 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("utility  (area coverage, higher is better): {:.3}", utility.value());
     println!("mean displacement introduced by the noise:  {:.0} m", distortion.as_f64());
     println!();
-    println!("per-user POI retrieval: {:?}", privacy.per_user().iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "per-user POI retrieval: {:?}",
+        privacy.per_user().iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     Ok(())
 }

@@ -37,14 +37,10 @@ fn protected_dataset_roundtrips_through_csv() {
 
     // The reloaded dataset is still comparable against the original actual
     // dataset: metric values barely move despite the 6-decimal rounding of CSV.
-    let utility_original = AreaCoverage::default()
-        .evaluate(&dataset, &protected)
-        .expect("metric succeeds")
-        .value();
-    let utility_reloaded = AreaCoverage::default()
-        .evaluate(&dataset, &reloaded)
-        .expect("metric succeeds")
-        .value();
+    let utility_original =
+        AreaCoverage::default().evaluate(&dataset, &protected).expect("metric succeeds").value();
+    let utility_reloaded =
+        AreaCoverage::default().evaluate(&dataset, &reloaded).expect("metric succeeds").value();
     assert!((utility_original - utility_reloaded).abs() < 0.02);
 }
 
@@ -62,14 +58,17 @@ fn pipelines_compose_mechanisms_and_degrade_both_metrics() {
         .then(GeoIndistinguishability::new(Epsilon::new(0.01).expect("valid")));
 
     let mut rng = StdRng::seed_from_u64(4);
-    let protected_geoi = geoi_only.protect_dataset(&dataset, &mut rng).expect("protection succeeds");
+    let protected_geoi =
+        geoi_only.protect_dataset(&dataset, &mut rng).expect("protection succeeds");
     let mut rng = StdRng::seed_from_u64(4);
-    let protected_pipeline = pipeline.protect_dataset(&dataset, &mut rng).expect("protection succeeds");
+    let protected_pipeline =
+        pipeline.protect_dataset(&dataset, &mut rng).expect("protection succeeds");
 
     // The pipeline drops records…
     assert!(protected_pipeline.record_count() < protected_geoi.record_count());
     // …and metrics stay well defined on the thinner release stream.
-    let privacy_pipeline = privacy_metric.evaluate(&dataset, &protected_pipeline).expect("metric succeeds");
+    let privacy_pipeline =
+        privacy_metric.evaluate(&dataset, &protected_pipeline).expect("metric succeeds");
     assert!((0.0..=1.0).contains(&privacy_pipeline.value()));
 
     // An aggressive pipeline (32x down-sampling, then noise) leaves too few
@@ -78,8 +77,10 @@ fn pipelines_compose_mechanisms_and_degrade_both_metrics() {
         .then(TemporalDownsampling::new(32).expect("valid"))
         .then(GeoIndistinguishability::new(Epsilon::new(0.01).expect("valid")));
     let mut rng = StdRng::seed_from_u64(4);
-    let protected_aggressive = aggressive.protect_dataset(&dataset, &mut rng).expect("protection succeeds");
-    let privacy_aggressive = privacy_metric.evaluate(&dataset, &protected_aggressive).expect("metric succeeds");
+    let protected_aggressive =
+        aggressive.protect_dataset(&dataset, &mut rng).expect("protection succeeds");
+    let privacy_aggressive =
+        privacy_metric.evaluate(&dataset, &protected_aggressive).expect("metric succeeds");
     assert!(
         privacy_aggressive.value() <= 0.1,
         "aggressive pipeline still leaks POIs: {}",
@@ -88,13 +89,13 @@ fn pipelines_compose_mechanisms_and_degrade_both_metrics() {
 
     // Utility of the pipeline cannot exceed the noise-only utility by much.
     let utility_geoi = utility_metric.evaluate(&dataset, &protected_geoi).expect("metric succeeds");
-    let utility_pipeline = utility_metric.evaluate(&dataset, &protected_pipeline).expect("metric succeeds");
+    let utility_pipeline =
+        utility_metric.evaluate(&dataset, &protected_pipeline).expect("metric succeeds");
     assert!(utility_pipeline.value() <= utility_geoi.value() + 0.05);
 
     // Both protected datasets displaced records by roughly 2/epsilon meters.
-    let displacement = MeanDistortion::new()
-        .of_datasets(&dataset, &protected_geoi)
-        .expect("distortion succeeds");
+    let displacement =
+        MeanDistortion::new().of_datasets(&dataset, &protected_geoi).expect("distortion succeeds");
     assert!((displacement.as_f64() - 200.0).abs() < 80.0, "displacement {displacement}");
 }
 
@@ -130,11 +131,7 @@ fn dataset_properties_feed_the_pca_selection() {
     // Taxi drivers travel much farther than commuters, so travelled distance
     // or coverage-related properties must rank above the sampling interval.
     let rank_of = |name: &str| {
-        selection
-            .ranked
-            .iter()
-            .position(|p| p.name == name)
-            .expect("property is ranked")
+        selection.ranked.iter().position(|p| p.name == name).expect("property is ranked")
     };
     assert!(rank_of("travelled_km") < rank_of("sampling_interval_s"));
 }
@@ -148,14 +145,10 @@ fn other_lppm_families_can_be_swept_through_the_framework() {
         Box::new(PoiRetrieval::default()),
         Box::new(AreaCoverage::default()),
     );
-    let sweep = ExperimentRunner::new(SweepConfig {
-        points: 7,
-        repetitions: 1,
-        seed: 9,
-        parallel: false,
-    })
-    .run(&system, &dataset)
-    .expect("sweep succeeds");
+    let sweep =
+        ExperimentRunner::new(SweepConfig { points: 7, repetitions: 1, seed: 9, parallel: false })
+            .run(&system, &dataset)
+            .expect("sweep succeeds");
 
     assert_eq!(sweep.lppm_name, "gaussian-perturbation");
     assert_eq!(sweep.parameter_name, "sigma");

@@ -21,14 +21,10 @@ fn taxi_dataset(drivers: usize, hours: f64, seed: u64) -> Dataset {
 fn figure_1_shape_holds_on_the_synthetic_taxi_workload() {
     let dataset = taxi_dataset(6, 8.0, 1);
     let system = SystemDefinition::paper_geoi();
-    let sweep = ExperimentRunner::new(SweepConfig {
-        points: 9,
-        repetitions: 1,
-        seed: 7,
-        parallel: true,
-    })
-    .run(&system, &dataset)
-    .expect("sweep succeeds");
+    let sweep =
+        ExperimentRunner::new(SweepConfig { points: 9, repetitions: 1, seed: 7, parallel: true })
+            .run(&system, &dataset)
+            .expect("sweep succeeds");
 
     let privacy = sweep.privacy_values();
     let utility = sweep.utility_values();
@@ -53,14 +49,10 @@ fn figure_1_shape_holds_on_the_synthetic_taxi_workload() {
 fn equation_2_fit_and_inversion_recover_a_usable_operating_point() {
     let dataset = taxi_dataset(8, 10.0, 2);
     let system = SystemDefinition::paper_geoi();
-    let sweep = ExperimentRunner::new(SweepConfig {
-        points: 13,
-        repetitions: 1,
-        seed: 3,
-        parallel: true,
-    })
-    .run(&system, &dataset)
-    .expect("sweep succeeds");
+    let sweep =
+        ExperimentRunner::new(SweepConfig { points: 13, repetitions: 1, seed: 3, parallel: true })
+            .run(&system, &dataset)
+            .expect("sweep succeeds");
 
     let fitted = Modeler::new().fit(&sweep).expect("modeling succeeds");
 
@@ -69,8 +61,16 @@ fn equation_2_fit_and_inversion_recover_a_usable_operating_point() {
     assert!(fitted.privacy.model.slope() > 0.0);
     assert!(fitted.utility.model.slope() > 0.0);
     assert!(fitted.privacy.model.slope() > fitted.utility.model.slope());
-    assert!(fitted.privacy.model.r_squared() > 0.6, "R² privacy {}", fitted.privacy.model.r_squared());
-    assert!(fitted.utility.model.r_squared() > 0.6, "R² utility {}", fitted.utility.model.r_squared());
+    assert!(
+        fitted.privacy.model.r_squared() > 0.6,
+        "R² privacy {}",
+        fitted.privacy.model.r_squared()
+    );
+    assert!(
+        fitted.utility.model.r_squared() > 0.6,
+        "R² utility {}",
+        fitted.utility.model.r_squared()
+    );
 
     // Invert for moderately strict objectives; the recommendation must fall
     // inside its own feasible range and inside the paper's epsilon range.
@@ -92,11 +92,14 @@ fn equation_2_fit_and_inversion_recover_a_usable_operating_point() {
     // that direction is conservative and acceptable. What must hold is that
     // the measured values satisfy the stated objectives (with a small
     // sampling tolerance) and that utility is predicted reasonably well.
-    let lppm = system.factory().instantiate(recommendation.parameter).expect("instantiation succeeds");
+    let lppm =
+        system.factory().instantiate(recommendation.parameter).expect("instantiation succeeds");
     let mut rng = StdRng::seed_from_u64(11);
     let protected = lppm.protect_dataset(&dataset, &mut rng).expect("protection succeeds");
-    let measured_privacy = PoiRetrieval::default().evaluate(&dataset, &protected).expect("metric succeeds");
-    let measured_utility = AreaCoverage::default().evaluate(&dataset, &protected).expect("metric succeeds");
+    let measured_privacy =
+        PoiRetrieval::default().evaluate(&dataset, &protected).expect("metric succeeds");
+    let measured_utility =
+        AreaCoverage::default().evaluate(&dataset, &protected).expect("metric succeeds");
     assert!(
         measured_privacy.value() <= objectives.privacy.bound() + 0.1,
         "measured privacy {} violates the objective {}",
@@ -127,14 +130,10 @@ fn equation_2_fit_and_inversion_recover_a_usable_operating_point() {
 fn infeasible_objectives_are_detected() {
     let dataset = taxi_dataset(5, 6.0, 4);
     let system = SystemDefinition::paper_geoi();
-    let sweep = ExperimentRunner::new(SweepConfig {
-        points: 9,
-        repetitions: 1,
-        seed: 5,
-        parallel: true,
-    })
-    .run(&system, &dataset)
-    .expect("sweep succeeds");
+    let sweep =
+        ExperimentRunner::new(SweepConfig { points: 9, repetitions: 1, seed: 5, parallel: true })
+            .run(&system, &dataset)
+            .expect("sweep succeeds");
     let fitted = Modeler::new().fit(&sweep).expect("modeling succeeds");
     let configurator = Configurator::new(fitted, system.parameter().scale());
 

@@ -1,0 +1,465 @@
+//! Offline, API-compatible subset of
+//! [`proptest`](https://crates.io/crates/proptest), vendored because this
+//! build environment has no network access.
+//!
+//! The subset covers what the geopriv property suites use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * range strategies over primitives, tuple strategies, `Just`,
+//!   [`Strategy::prop_map`], [`Strategy::prop_filter`], and
+//!   `prop::collection::vec`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * no shrinking — a failing case reports the generated inputs via the
+//!   panic message and the deterministic case seed instead;
+//! * generation is derandomized: the stream is a pure function of the test
+//!   name and case index, so failures always reproduce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches upstream proptest's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion or hit an unexpected error.
+    Fail(String),
+    /// The case's inputs were rejected by a precondition (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "test case failed: {reason}"),
+            TestCaseError::Reject(reason) => write!(f, "test case rejected: {reason}"),
+        }
+    }
+}
+
+/// The generation-time state handed to strategies. A thin wrapper over the
+/// vendored [`StdRng`] so strategies can be written against a concrete type.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner whose stream is a pure function of `(test_name, case)`.
+    pub fn deterministic(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`, regenerating (upstream
+    /// proptest rejects and retries too; `_why` mirrors its signature).
+    fn prop_filter<F>(self, _why: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Boxes the strategy, erasing its concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).generate(runner)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        self.0.generate(runner)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(runner);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive values");
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Mirrors the `proptest::prop` facade module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRunner};
+        use rand::Rng;
+
+        /// The size of a generated collection: either fixed or a range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                SizeRange { lo: r.start, hi: r.end }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            }
+        }
+
+        /// A strategy for `Vec<T>` with sizes drawn from a [`SizeRange`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let len = if self.size.lo + 1 >= self.size.hi {
+                    self.size.lo
+                } else {
+                    runner.rng().gen_range(self.size.lo..self.size.hi)
+                };
+                (0..len).map(|_| self.element.generate(runner)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`: vectors of `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+}
+
+/// Everything a property test module usually imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Upstream proptest rejects and regenerates; the shim simply moves on to
+/// the next case, which preserves soundness (no false failures) at a small
+/// cost in per-test case counts.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut runner =
+                        $crate::TestRunner::deterministic(concat!(module_path!(), "::", stringify!($name)), case);
+                    // Bodies may `return Ok(())` early, `prop_assume!`
+                    // away the case, or surface a `TestCaseError`, exactly
+                    // like upstream proptest's closure-per-case shape.
+                    #[allow(unreachable_code)]
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $pat = $crate::Strategy::generate(&($strategy), &mut runner);)+
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(reason)) => {
+                            panic!("proptest case {case} of {}: {reason}", stringify!($name))
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut runner = TestRunner::deterministic("t", 0);
+        for _ in 0..100 {
+            let (x, n) = Strategy::generate(&(0.0f64..1.0, 3usize..10), &mut runner);
+            assert!((0.0..1.0).contains(&x));
+            assert!((3..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_fixed_and_ranged_sizes() {
+        let mut runner = TestRunner::deterministic("v", 1);
+        let fixed = prop::collection::vec(0.0f64..1.0, 3).generate(&mut runner);
+        assert_eq!(fixed.len(), 3);
+        for _ in 0..50 {
+            let v = prop::collection::vec(0u64..5, 1..4).generate(&mut runner);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_filter_compose() {
+        let mut runner = TestRunner::deterministic("m", 2);
+        let s = (0u32..100).prop_map(|n| n * 2).prop_filter("even half", |n| *n >= 50);
+        for _ in 0..50 {
+            let n = s.generate(&mut runner);
+            assert!(n % 2 == 0 && n >= 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_runner_reproduces() {
+        let a: Vec<u64> = {
+            let mut r = TestRunner::deterministic("x", 7);
+            (0..10).map(|_| Strategy::generate(&(0u64..1000), &mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRunner::deterministic("x", 7);
+            (0..10).map(|_| Strategy::generate(&(0u64..1000), &mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0.0f64..1.0, n in 1usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assume!(n > 1);
+            prop_assert_ne!(n, 1);
+            prop_assert_eq!(n, n);
+        }
+    }
+}

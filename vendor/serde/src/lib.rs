@@ -1,0 +1,18 @@
+//! Offline, API-compatible subset of [`serde`](https://crates.io/crates/serde),
+//! vendored because this build environment has no network access.
+//!
+//! The geopriv workspace uses serde purely declaratively today: types derive
+//! `Serialize`/`Deserialize` (and annotate `#[serde(...)]`) so that swapping
+//! in the real crate later is zero-effort, but nothing serializes at runtime
+//! (persistence goes through the hand-rolled CSV codec in
+//! `geopriv-mobility::io`). The shim therefore provides the two marker
+//! traits and derive macros that accept the attributes and implement them.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

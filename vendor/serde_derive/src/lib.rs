@@ -1,0 +1,56 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` are marker traits, so the derives
+//! only need to emit the trivial impl for the deriving type. To stay
+//! dependency-free (no `syn`/`quote`), the type name and generics are
+//! recovered with a tiny hand-rolled scan of the item's token stream, and
+//! the impl is emitted with fully-erased generics only when the item has
+//! none; generic items get no impl, which is fine for marker traits that
+//! nothing bounds on. All `#[serde(...)]` helper attributes are accepted
+//! and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Returns the identifier following the `struct`/`enum` keyword, plus
+/// whether the item declares generics.
+fn item_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    let generic = matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, impl_line: &str) -> TokenStream {
+    match item_name(input) {
+        Some((name, false)) => {
+            impl_line.replace("$NAME", &name).parse().expect("generated impl parses")
+        }
+        // Generic items (or unparseable input): emit nothing. The marker
+        // traits carry no behavior, so a missing impl only matters if
+        // somebody later adds a `T: Serialize` bound — at which point the
+        // real serde should be dropped in.
+        _ => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl ::serde::Serialize for $NAME {}")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl<'de> ::serde::Deserialize<'de> for $NAME {}")
+}
