@@ -1,0 +1,54 @@
+//! Criterion bench for the campaign engine: a 3-system sweep study run as one
+//! campaign (shared work pool + prepared actual-side metric state) versus the
+//! same study run as three back-to-back `ExperimentRunner` sweeps.
+//!
+//! The first BENCH trajectory of the repo: the `campaign` binary
+//! (`cargo run -p geopriv-bench --release --bin campaign`) emits the
+//! machine-readable `BENCH_campaign.json` counterpart of this measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geopriv_bench::campaign_systems;
+use geopriv_core::prelude::*;
+use geopriv_mobility::generator::TaxiFleetBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn campaign_vs_back_to_back(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(20161212);
+    let dataset = TaxiFleetBuilder::new()
+        .drivers(3)
+        .duration_hours(4.0)
+        .sampling_interval_s(60.0)
+        .build(&mut rng)
+        .expect("static generator configuration is valid");
+    let systems = campaign_systems();
+    let config = SweepConfig { points: 6, repetitions: 1, seed: 20161212, parallel: true };
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((systems.len() * config.points) as u64));
+
+    group.bench_function("back_to_back_3_systems", |b| {
+        let runner = ExperimentRunner::new(config);
+        b.iter(|| {
+            let results: Vec<SweepResult> =
+                systems.iter().map(|s| runner.run(s, &dataset).expect("sweep succeeds")).collect();
+            black_box(results.len())
+        });
+    });
+
+    group.bench_function("campaign_3_systems", |b| {
+        let runner = CampaignRunner::new(config);
+        b.iter(|| {
+            let campaign =
+                runner.run(&systems, std::slice::from_ref(&dataset)).expect("campaign succeeds");
+            black_box(campaign.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, campaign_vs_back_to_back);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Campaign-engine throughput baseline: times a 3-system campaign against the
+//! same three sweeps run back-to-back through independent `ExperimentRunner`s,
+//! verifies the results are bit-identical, and emits a `BENCH_campaign.json`
+//! baseline so future PRs have a perf trajectory to compare against.
+//!
+//! ```text
+//! cargo run -p geopriv-bench --release --bin campaign \
+//!     [-- --fidelity smoke|standard|full] [--out BENCH_campaign.json]
+//! ```
+
+use geopriv_bench::{campaign_config, campaign_systems, fidelity_from_args, reproduction_dataset};
+use geopriv_core::prelude::*;
+use std::time::Instant;
+
+/// Parses `--out <path>` from the command line, defaulting to
+/// `BENCH_campaign.json` in the working directory.
+fn out_path_from_args() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_campaign.json".to_string())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = fidelity_from_args();
+    let out_path = out_path_from_args();
+
+    eprintln!("building the synthetic SF taxi dataset ({fidelity:?})…");
+    let dataset = reproduction_dataset(fidelity);
+    let systems = campaign_systems();
+    let config = campaign_config(fidelity);
+    eprintln!(
+        "campaign: {} systems x 1 dataset x {} points x {} repetitions",
+        systems.len(),
+        config.points,
+        config.repetitions
+    );
+
+    // Untimed warm-up of both paths, so the timed rounds below compare the
+    // two engines rather than first-touch page faults and allocator warm-up
+    // (whichever path runs first would otherwise pay them). The warm-up
+    // results double as the bit-identity cross-check.
+    let runner = ExperimentRunner::new(config);
+    eprintln!("warming up…");
+    let mut independent = Vec::with_capacity(systems.len());
+    for system in &systems {
+        independent.push(runner.run(system, &dataset)?);
+    }
+    let campaign = CampaignRunner::new(config).run(&systems, std::slice::from_ref(&dataset))?;
+
+    // The campaign must be a pure optimization: bit-identical measurements.
+    for (s, expected) in independent.iter().enumerate() {
+        let got = campaign.get(s, 0).expect("campaign covers every system");
+        assert_eq!(got, expected, "campaign diverged from the independent sweep of system {s}");
+    }
+    eprintln!("verified: campaign output is bit-identical to the independent sweeps");
+
+    // Timed rounds, alternating the two paths so drift (CPU frequency,
+    // memory layout) hits both equally; the medians are compared.
+    const ROUNDS: usize = 5;
+    let mut back_to_back_times = Vec::with_capacity(ROUNDS);
+    let mut campaign_times = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        eprintln!("round {}/{ROUNDS}…", round + 1);
+        let started = Instant::now();
+        for system in &systems {
+            std::hint::black_box(runner.run(system, &dataset)?);
+        }
+        back_to_back_times.push(started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        std::hint::black_box(
+            CampaignRunner::new(config).run(&systems, std::slice::from_ref(&dataset))?,
+        );
+        campaign_times.push(started.elapsed().as_secs_f64());
+    }
+    let median = |times: &mut Vec<f64>| {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        times[times.len() / 2]
+    };
+    let seconds_back_to_back = median(&mut back_to_back_times);
+    let seconds_campaign = median(&mut campaign_times);
+
+    let speedup = seconds_back_to_back / seconds_campaign;
+    let sweep_points = systems.len() * config.points * config.repetitions;
+    let json = format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"fidelity\": \"{:?}\",\n  \"systems\": {},\n  \
+         \"datasets\": 1,\n  \"points\": {},\n  \"repetitions\": {},\n  \
+         \"drivers\": {},\n  \"records\": {},\n  \"sweep_samples_total\": {},\n  \
+         \"seconds_back_to_back\": {:.6},\n  \"seconds_campaign\": {:.6},\n  \
+         \"speedup\": {:.3},\n  \"samples_per_second_campaign\": {:.3}\n}}",
+        fidelity,
+        systems.len(),
+        config.points,
+        config.repetitions,
+        dataset.user_count(),
+        dataset.record_count(),
+        sweep_points,
+        seconds_back_to_back,
+        seconds_campaign,
+        speedup,
+        sweep_points as f64 / seconds_campaign,
+    );
+    println!("{json}");
+    std::fs::write(&out_path, format!("{json}\n"))?;
+    eprintln!("baseline written to {out_path}");
+    eprintln!(
+        "back-to-back: {seconds_back_to_back:.3}s  campaign: {seconds_campaign:.3}s  \
+         speedup: {speedup:.2}x"
+    );
+    Ok(())
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 use geopriv_core::prelude::*;
+use geopriv_metrics::{AreaCoverage, PoiRetrieval};
 use geopriv_mobility::generator::TaxiFleetBuilder;
 use geopriv_mobility::Dataset;
 use rand::rngs::StdRng;
@@ -121,13 +122,38 @@ pub fn reproduction_dataset(fidelity: Fidelity) -> Dataset {
 /// Propagates framework errors (none are expected for the built-in scenario).
 pub fn run_paper_sweep(dataset: &Dataset, fidelity: Fidelity) -> Result<SweepResult, CoreError> {
     let system = SystemDefinition::paper_geoi();
-    let config = SweepConfig {
+    ExperimentRunner::new(campaign_config(fidelity)).run(&system, dataset)
+}
+
+/// The three systems of the campaign workloads: the paper's GEO-I system plus
+/// grid-cloaking and Gaussian-perturbation variants sharing the same
+/// privacy/utility metric pair — the "multiple LPPMs, same objectives" study
+/// the framework was built for.
+pub fn campaign_systems() -> Vec<SystemDefinition> {
+    vec![
+        SystemDefinition::paper_geoi(),
+        SystemDefinition::new(
+            Box::new(GridCloakingFactory::new()),
+            Box::new(PoiRetrieval::default()),
+            Box::new(AreaCoverage::default()),
+        ),
+        SystemDefinition::new(
+            Box::new(GaussianPerturbationFactory::new()),
+            Box::new(PoiRetrieval::default()),
+            Box::new(AreaCoverage::default()),
+        ),
+    ]
+}
+
+/// The sweep configuration the campaign workloads use at a given fidelity —
+/// the same configuration [`run_paper_sweep`] applies per system.
+pub fn campaign_config(fidelity: Fidelity) -> SweepConfig {
+    SweepConfig {
         points: fidelity.sweep_points(),
         repetitions: fidelity.repetitions(),
         seed: REPRODUCTION_SEED,
         parallel: true,
-    };
-    ExperimentRunner::new(config).run(&system, dataset)
+    }
 }
 
 /// Parses `--fidelity <level>` from command-line arguments, defaulting to
@@ -162,6 +188,24 @@ mod tests {
         let b = reproduction_dataset(Fidelity::Smoke);
         assert_eq!(a, b);
         assert_eq!(a.user_count(), Fidelity::Smoke.drivers());
+    }
+
+    #[test]
+    fn campaign_workload_is_well_formed() {
+        let systems = campaign_systems();
+        assert_eq!(systems.len(), 3);
+        // Three distinct mechanisms sharing one metric pair.
+        let keys: std::collections::BTreeSet<String> =
+            systems.iter().map(|s| s.cache_key()).collect();
+        assert_eq!(keys.len(), 3);
+        for system in &systems {
+            assert_eq!(system.privacy_metric().name(), "poi-retrieval");
+            assert_eq!(system.utility_metric().name(), "area-coverage");
+        }
+        let config = campaign_config(Fidelity::Smoke);
+        assert_eq!(config.points, Fidelity::Smoke.sweep_points());
+        assert_eq!(config.seed, REPRODUCTION_SEED);
+        assert!(config.parallel);
     }
 
     #[test]

@@ -1,0 +1,568 @@
+//! Campaign engine: many systems × many datasets through one shared work pool.
+//!
+//! The paper's Figure 1 family evaluates *multiple* LPPMs against privacy and
+//! utility metric pairs. Running each sweep through its own
+//! [`crate::ExperimentRunner`] wastes work twice: every run re-extracts the
+//! actual dataset's POIs, quadtrees and grids at each of its sweep samples,
+//! and each run synchronizes on its own thread pool, leaving cores idle at
+//! every sweep boundary.
+//!
+//! [`CampaignRunner`] fixes both. It flattens an M-system × K-dataset study
+//! into one pool of `(system, dataset, point, repetition)` work units that
+//! threads claim greedily, and it calls each metric's
+//! [`geopriv_metrics::PrivacyMetric::prepare`] hook exactly once per distinct
+//! `(metric configuration, dataset)` pair, sharing the prepared actual-side
+//! state across every point, repetition and system of the campaign.
+//!
+//! Determinism is preserved exactly: the per-unit RNG seed is derived by the
+//! same [`derive_unit_seed`] contract the [`crate::ExperimentRunner`] uses —
+//! a function of the master seed, the point index and the repetition index
+//! only — and each metric guarantees that prepared evaluation is bit-identical
+//! to direct evaluation. A campaign therefore returns the exact
+//! [`SweepResult`]s that M × K independent sequential runs would produce.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use geopriv_core::campaign::CampaignRunner;
+//! use geopriv_core::prelude::*;
+//! use geopriv_mobility::generator::TaxiFleetBuilder;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let dataset = TaxiFleetBuilder::new().drivers(10).duration_hours(8.0).build(&mut rng)?;
+//!
+//! let systems = vec![
+//!     SystemDefinition::paper_geoi(),
+//!     SystemDefinition::new(
+//!         Box::new(GaussianPerturbationFactory::new()),
+//!         Box::new(geopriv_metrics::PoiRetrieval::default()),
+//!         Box::new(geopriv_metrics::AreaCoverage::default()),
+//!     ),
+//! ];
+//! let campaign = CampaignRunner::new(SweepConfig::default()).run(&systems, &[dataset])?;
+//! for run in &campaign.runs {
+//!     println!("{}: {} samples", run.system_key, run.result.samples.len());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::CoreError;
+use crate::experiment::{derive_unit_seed, run_indexed, SweepConfig, SweepResult, SweepSample};
+use crate::system::SystemDefinition;
+use geopriv_metrics::PreparedState;
+use geopriv_mobility::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The sweep of one `(system, dataset)` cell of a campaign.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// Index of the system in the `systems` slice passed to
+    /// [`CampaignRunner::run`].
+    pub system_index: usize,
+    /// Index of the dataset in the `datasets` slice passed to
+    /// [`CampaignRunner::run`].
+    pub dataset_index: usize,
+    /// The system's configuration key ([`SystemDefinition::cache_key`]).
+    pub system_key: String,
+    /// The sweep measurements, bit-identical to an independent
+    /// [`crate::ExperimentRunner::run`] with the same configuration.
+    pub result: SweepResult,
+}
+
+/// The results of a campaign: one [`CampaignRun`] per `(system, dataset)`
+/// cell, ordered by system index then dataset index.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// The per-cell sweeps.
+    pub runs: Vec<CampaignRun>,
+}
+
+impl CampaignResult {
+    /// The sweep of one `(system, dataset)` cell.
+    pub fn get(&self, system_index: usize, dataset_index: usize) -> Option<&SweepResult> {
+        self.runs
+            .iter()
+            .find(|r| r.system_index == system_index && r.dataset_index == dataset_index)
+            .map(|r| &r.result)
+    }
+
+    /// Number of `(system, dataset)` cells.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Returns `true` when the campaign produced no runs (never the case for
+    /// a successful [`CampaignRunner::run`]).
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+/// One schedulable work unit: a single protection + evaluation.
+struct Unit {
+    system: usize,
+    dataset: usize,
+    point: usize,
+    value: f64,
+    repetition: usize,
+}
+
+/// The prepared actual-side metric state of one `(system, dataset)` cell.
+struct PreparedCell {
+    privacy: Arc<PreparedState>,
+    utility: Arc<PreparedState>,
+}
+
+/// Runs campaigns of M systems × K datasets on a shared work pool.
+///
+/// The same [`SweepConfig`] (points, repetitions, master seed, parallelism)
+/// applies to every system, exactly as if each were run through its own
+/// [`crate::ExperimentRunner`] with that configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignRunner {
+    config: SweepConfig,
+}
+
+impl CampaignRunner {
+    /// Creates a campaign runner with the given per-system sweep configuration.
+    pub fn new(config: SweepConfig) -> Self {
+        Self { config }
+    }
+
+    /// The per-system sweep configuration.
+    pub fn config(&self) -> SweepConfig {
+        self.config
+    }
+
+    /// Runs every system against every dataset.
+    ///
+    /// Results are deterministic for a given `(systems, datasets,
+    /// config.seed)` triple regardless of thread count, and bit-identical to
+    /// the corresponding independent [`crate::ExperimentRunner::run`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for an invalid sweep
+    /// configuration or empty `systems`/`datasets`. A failing work unit
+    /// short-circuits the rest of the campaign; the error propagated is the
+    /// first genuine unit error in `(system, dataset, point, repetition)`
+    /// order among the units that ran (in sequential mode, exactly the first
+    /// failing unit).
+    pub fn run(
+        &self,
+        systems: &[SystemDefinition],
+        datasets: &[Dataset],
+    ) -> Result<CampaignResult, CoreError> {
+        self.config.validate()?;
+        if systems.is_empty() {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "a campaign needs at least one system".to_string(),
+            });
+        }
+        if datasets.is_empty() {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "a campaign needs at least one dataset".to_string(),
+            });
+        }
+
+        let sweep_values: Vec<Vec<f64>> =
+            systems.iter().map(|s| s.parameter().sweep(self.config.points)).collect();
+        let prepared = self.prepare_cells(systems, datasets)?;
+
+        // Flatten the whole campaign into one unit list. Unit index order is
+        // the deterministic (system, dataset, point, repetition) order used
+        // for both error reporting and result assembly.
+        let mut units = Vec::new();
+        for (s, values) in sweep_values.iter().enumerate() {
+            for d in 0..datasets.len() {
+                for (point, &value) in values.iter().enumerate() {
+                    for repetition in 0..self.config.repetitions {
+                        units.push(Unit { system: s, dataset: d, point, value, repetition });
+                    }
+                }
+            }
+        }
+
+        // Short-circuit flag: once any unit fails, remaining units are
+        // skipped (`None`) instead of protecting and evaluating for nothing.
+        // Skipped slots are distinct from errors so a skip can never mask the
+        // genuine failure that caused it, whatever the thread interleaving.
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        let measurements = run_indexed(units.len(), self.config.parallel, |i| {
+            if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                return None;
+            }
+            let unit = &units[i];
+            let cell = &prepared[unit.system][unit.dataset];
+            let result =
+                self.measure_unit(&systems[unit.system], &datasets[unit.dataset], cell, unit);
+            if result.is_err() {
+                abort.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            Some(result)
+        });
+
+        self.assemble(systems, datasets, &sweep_values, &units, measurements)
+    }
+
+    /// Prepares the actual-side metric state of every `(system, dataset)`
+    /// cell, sharing state between identically configured metrics: each
+    /// distinct `(metric cache key, dataset)` pair is prepared exactly once
+    /// per campaign, with the distinct preparation jobs running through the
+    /// same work pool as the measurement units.
+    fn prepare_cells(
+        &self,
+        systems: &[SystemDefinition],
+        datasets: &[Dataset],
+    ) -> Result<Vec<Vec<PreparedCell>>, CoreError> {
+        /// A distinct preparation job: which system's metric (by side) to
+        /// prepare against which dataset.
+        struct PrepareJob {
+            privacy: bool,
+            system: usize,
+            dataset: usize,
+        }
+
+        // Deduplicate by (cache key, dataset) in deterministic (system,
+        // dataset, side) order; the maps point each cell at its job index.
+        let mut jobs: Vec<PrepareJob> = Vec::new();
+        let mut privacy_jobs: HashMap<(String, usize), usize> = HashMap::new();
+        let mut utility_jobs: HashMap<(String, usize), usize> = HashMap::new();
+        for (s, system) in systems.iter().enumerate() {
+            for d in 0..datasets.len() {
+                privacy_jobs.entry((system.privacy_metric().cache_key(), d)).or_insert_with(|| {
+                    jobs.push(PrepareJob { privacy: true, system: s, dataset: d });
+                    jobs.len() - 1
+                });
+                utility_jobs.entry((system.utility_metric().cache_key(), d)).or_insert_with(|| {
+                    jobs.push(PrepareJob { privacy: false, system: s, dataset: d });
+                    jobs.len() - 1
+                });
+            }
+        }
+
+        let states: Vec<Arc<PreparedState>> = run_indexed(jobs.len(), self.config.parallel, |i| {
+            let job = &jobs[i];
+            let dataset = &datasets[job.dataset];
+            if job.privacy {
+                systems[job.system].privacy_metric().prepare(dataset)
+            } else {
+                systems[job.system].utility_metric().prepare(dataset)
+            }
+        })
+        .into_iter()
+        .map(|state| state.map(Arc::new).map_err(CoreError::from))
+        .collect::<Result<_, _>>()?;
+
+        let cells = systems
+            .iter()
+            .map(|system| {
+                (0..datasets.len())
+                    .map(|d| PreparedCell {
+                        privacy: Arc::clone(
+                            &states[privacy_jobs[&(system.privacy_metric().cache_key(), d)]],
+                        ),
+                        utility: Arc::clone(
+                            &states[utility_jobs[&(system.utility_metric().cache_key(), d)]],
+                        ),
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(cells)
+    }
+
+    /// Executes one work unit: instantiate, protect, evaluate both metrics
+    /// against the cell's prepared state.
+    fn measure_unit(
+        &self,
+        system: &SystemDefinition,
+        dataset: &Dataset,
+        cell: &PreparedCell,
+        unit: &Unit,
+    ) -> Result<(f64, f64), CoreError> {
+        let lppm = system.factory().instantiate(unit.value)?;
+        let mut rng =
+            StdRng::seed_from_u64(derive_unit_seed(self.config.seed, unit.point, unit.repetition));
+        let protected = lppm.protect_dataset(dataset, &mut rng)?;
+        let privacy =
+            system.privacy_metric().evaluate_prepared(&cell.privacy, dataset, &protected)?.value();
+        let utility =
+            system.utility_metric().evaluate_prepared(&cell.utility, dataset, &protected)?.value();
+        Ok((privacy, utility))
+    }
+
+    /// Groups per-unit measurements back into per-cell [`SweepResult`]s,
+    /// reproducing [`crate::ExperimentRunner`]'s aggregation arithmetic
+    /// exactly (repetitions averaged in repetition order).
+    ///
+    /// Returns the first genuine unit error in unit order; `None` slots mark
+    /// units skipped by the short-circuit after some unit failed.
+    fn assemble(
+        &self,
+        systems: &[SystemDefinition],
+        datasets: &[Dataset],
+        sweep_values: &[Vec<f64>],
+        units: &[Unit],
+        measurements: Vec<Option<Result<(f64, f64), CoreError>>>,
+    ) -> Result<CampaignResult, CoreError> {
+        // (system, dataset, point) -> per-repetition (privacy, utility).
+        // Every system's sweep has the same number of points (the single
+        // source of truth for the slot stride).
+        let points = sweep_values.first().map_or(0, Vec::len);
+        let reps = self.config.repetitions;
+        let mut per_point: Vec<Vec<(f64, f64)>> =
+            vec![Vec::with_capacity(reps); systems.len() * datasets.len() * points];
+        let mut skipped = false;
+        for (unit, measurement) in units.iter().zip(measurements) {
+            let (privacy, utility) = match measurement {
+                Some(result) => result?,
+                None => {
+                    skipped = true;
+                    continue;
+                }
+            };
+            let slot = (unit.system * datasets.len() + unit.dataset) * points + unit.point;
+            // Units are generated with `repetition` innermost, and
+            // `run_indexed` returns results in unit order, so pushes arrive
+            // in repetition order — except when an earlier repetition was
+            // skipped by the abort flag, in which case the whole campaign is
+            // discarded below anyway.
+            debug_assert!(skipped || per_point[slot].len() == unit.repetition);
+            per_point[slot].push((privacy, utility));
+        }
+        if skipped {
+            // Unreachable in practice: units are only skipped after a failed
+            // unit, and that failure is returned by the loop above.
+            return Err(CoreError::InvalidConfiguration {
+                reason: "campaign aborted without a recorded unit error".to_string(),
+            });
+        }
+
+        let mut runs = Vec::with_capacity(systems.len() * datasets.len());
+        for (s, system) in systems.iter().enumerate() {
+            let descriptor = system.parameter();
+            for d in 0..datasets.len() {
+                let samples: Vec<SweepSample> = sweep_values[s]
+                    .iter()
+                    .enumerate()
+                    .map(|(point, &value)| {
+                        let slot = (s * datasets.len() + d) * points + point;
+                        let privacy_runs: Vec<f64> =
+                            per_point[slot].iter().map(|&(p, _)| p).collect();
+                        let utility_runs: Vec<f64> =
+                            per_point[slot].iter().map(|&(_, u)| u).collect();
+                        SweepSample {
+                            parameter: value,
+                            privacy: privacy_runs.iter().sum::<f64>() / privacy_runs.len() as f64,
+                            utility: utility_runs.iter().sum::<f64>() / utility_runs.len() as f64,
+                            privacy_runs,
+                            utility_runs,
+                        }
+                    })
+                    .collect();
+                runs.push(CampaignRun {
+                    system_index: s,
+                    dataset_index: d,
+                    system_key: system.cache_key(),
+                    result: SweepResult {
+                        lppm_name: system.factory().name().to_string(),
+                        parameter_name: descriptor.name().to_string(),
+                        parameter_scale: descriptor.scale(),
+                        privacy_metric_name: system.privacy_metric().name().to_string(),
+                        utility_metric_name: system.utility_metric().name().to_string(),
+                        samples,
+                    },
+                });
+            }
+        }
+        Ok(CampaignResult { runs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentRunner;
+    use crate::system::{GaussianPerturbationFactory, GridCloakingFactory};
+    use geopriv_metrics::{AreaCoverage, MetricError, MetricValue, PoiRetrieval, PrivacyMetric};
+    use geopriv_mobility::generator::TaxiFleetBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn small_dataset(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TaxiFleetBuilder::new()
+            .drivers(3)
+            .duration_hours(3.0)
+            .sampling_interval_s(60.0)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    fn three_systems() -> Vec<SystemDefinition> {
+        vec![
+            SystemDefinition::paper_geoi(),
+            SystemDefinition::new(
+                Box::new(GridCloakingFactory::new()),
+                Box::new(PoiRetrieval::default()),
+                Box::new(AreaCoverage::default()),
+            ),
+            SystemDefinition::new(
+                Box::new(GaussianPerturbationFactory::new()),
+                Box::new(PoiRetrieval::default()),
+                Box::new(AreaCoverage::default()),
+            ),
+        ]
+    }
+
+    fn small_config() -> SweepConfig {
+        SweepConfig { points: 4, repetitions: 2, seed: 33, parallel: true }
+    }
+
+    #[test]
+    fn campaign_rejects_degenerate_inputs() {
+        let runner = CampaignRunner::new(small_config());
+        assert_eq!(runner.config(), small_config());
+        let dataset = small_dataset(1);
+        assert!(runner.run(&[], std::slice::from_ref(&dataset)).is_err());
+        assert!(runner.run(&three_systems(), &[]).is_err());
+        let invalid = CampaignRunner::new(SweepConfig { points: 1, ..small_config() });
+        assert!(invalid.run(&three_systems(), &[dataset]).is_err());
+    }
+
+    #[test]
+    fn campaign_covers_every_cell_in_order() {
+        let systems = three_systems();
+        let datasets = [small_dataset(2), small_dataset(3)];
+        let campaign = CampaignRunner::new(small_config()).run(&systems, &datasets).unwrap();
+        assert_eq!(campaign.len(), 6);
+        assert!(!campaign.is_empty());
+        let mut expected_cells = Vec::new();
+        for s in 0..3 {
+            for d in 0..2 {
+                expected_cells.push((s, d));
+            }
+        }
+        let cells: Vec<(usize, usize)> =
+            campaign.runs.iter().map(|r| (r.system_index, r.dataset_index)).collect();
+        assert_eq!(cells, expected_cells);
+        for run in &campaign.runs {
+            assert_eq!(run.result.samples.len(), 4);
+            assert_eq!(run.system_key, systems[run.system_index].cache_key());
+            for sample in &run.result.samples {
+                assert_eq!(sample.privacy_runs.len(), 2);
+                assert_eq!(sample.utility_runs.len(), 2);
+            }
+        }
+        assert!(campaign.get(0, 1).is_some());
+        assert!(campaign.get(3, 0).is_none());
+    }
+
+    #[test]
+    fn campaign_matches_independent_runs() {
+        let systems = three_systems();
+        let dataset = small_dataset(4);
+        let config = small_config();
+        let campaign =
+            CampaignRunner::new(config).run(&systems, std::slice::from_ref(&dataset)).unwrap();
+        for (s, system) in systems.iter().enumerate() {
+            let independent = ExperimentRunner::new(config).run(system, &dataset).unwrap();
+            assert_eq!(campaign.get(s, 0).unwrap(), &independent, "system {s}");
+        }
+    }
+
+    /// A privacy metric that counts its `prepare` calls, to observe the
+    /// campaign's prepared-state sharing.
+    struct CountingMetric {
+        prepares: Arc<AtomicUsize>,
+        inner: PoiRetrieval,
+    }
+
+    impl PrivacyMetric for CountingMetric {
+        fn name(&self) -> &str {
+            "counting-poi-retrieval"
+        }
+        fn evaluate(
+            &self,
+            actual: &Dataset,
+            protected: &Dataset,
+        ) -> Result<MetricValue, MetricError> {
+            self.inner.evaluate(actual, protected)
+        }
+        fn prepare(&self, actual: &Dataset) -> Result<PreparedState, MetricError> {
+            self.prepares.fetch_add(1, Ordering::SeqCst);
+            self.inner.prepare(actual)
+        }
+        fn evaluate_prepared(
+            &self,
+            prepared: &PreparedState,
+            actual: &Dataset,
+            protected: &Dataset,
+        ) -> Result<MetricValue, MetricError> {
+            self.inner.evaluate_prepared(prepared, actual, protected)
+        }
+    }
+
+    /// A privacy metric that always fails, counting its evaluation attempts.
+    struct FailingMetric {
+        evaluations: Arc<AtomicUsize>,
+    }
+
+    impl PrivacyMetric for FailingMetric {
+        fn name(&self) -> &str {
+            "failing"
+        }
+        fn evaluate(&self, _: &Dataset, _: &Dataset) -> Result<MetricValue, MetricError> {
+            self.evaluations.fetch_add(1, Ordering::SeqCst);
+            Err(MetricError::DatasetMismatch { reason: "always fails".to_string() })
+        }
+    }
+
+    #[test]
+    fn a_failing_unit_short_circuits_the_rest_of_the_campaign() {
+        let evaluations = Arc::new(AtomicUsize::new(0));
+        let system = SystemDefinition::new(
+            Box::new(GaussianPerturbationFactory::new()),
+            Box::new(FailingMetric { evaluations: Arc::clone(&evaluations) }),
+            Box::new(AreaCoverage::default()),
+        );
+        let dataset = small_dataset(7);
+        let config = SweepConfig { points: 8, repetitions: 2, seed: 1, parallel: false };
+        let result = CampaignRunner::new(config).run(std::slice::from_ref(&system), &[dataset]);
+        assert!(result.is_err());
+        // Sequential mode: the first unit fails, every later unit is skipped.
+        assert_eq!(evaluations.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn prepared_state_is_shared_across_points_repetitions_and_systems() {
+        let prepares = Arc::new(AtomicUsize::new(0));
+        let system_with_counter =
+            |prepares: &Arc<AtomicUsize>, factory: Box<dyn crate::system::LppmFactory>| {
+                SystemDefinition::new(
+                    factory,
+                    Box::new(CountingMetric {
+                        prepares: Arc::clone(prepares),
+                        inner: PoiRetrieval::default(),
+                    }),
+                    Box::new(AreaCoverage::default()),
+                )
+            };
+        let systems = vec![
+            system_with_counter(&prepares, Box::new(GaussianPerturbationFactory::new())),
+            system_with_counter(&prepares, Box::new(GridCloakingFactory::new())),
+        ];
+        let datasets = [small_dataset(5), small_dataset(6)];
+        CampaignRunner::new(small_config()).run(&systems, &datasets).unwrap();
+        // 2 systems × 2 datasets × 4 points × 2 repetitions = 32 evaluations,
+        // but both systems' metrics share a cache key, so the actual POIs are
+        // extracted exactly once per dataset.
+        assert_eq!(prepares.load(Ordering::SeqCst), datasets.len());
+    }
+}

@@ -94,6 +94,62 @@ fn std_dev(values: &[f64]) -> f64 {
     (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
 }
 
+/// Derives the RNG seed of one `(point, repetition)` work unit from the
+/// sweep's master seed.
+///
+/// This is the seed contract shared by [`ExperimentRunner`] and
+/// [`crate::campaign::CampaignRunner`]: because the derived seed depends only
+/// on the master seed, the point index and the repetition index — never on
+/// scheduling, thread count or the position of the unit inside a larger
+/// campaign — any execution strategy reproduces the exact same random streams.
+pub fn derive_unit_seed(master_seed: u64, point_index: usize, repetition: usize) -> u64 {
+    master_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((point_index as u64) << 32)
+        .wrapping_add(repetition as u64)
+}
+
+/// Runs `count` independent work items on a shared work-stealing pool and
+/// returns their results in index order.
+///
+/// Sequential execution (`parallel == false`, a single item, or a single
+/// available core) calls `work` in index order on the current thread; parallel
+/// execution lets each thread atomically claim the next unclaimed index. The
+/// output is indistinguishable between the two modes as long as `work(i)` is
+/// a pure function of `i`.
+pub(crate) fn run_indexed<T, F>(count: usize, parallel: bool, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(count).max(1);
+    if !parallel || threads == 1 {
+        return (0..count).map(work).collect();
+    }
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+    let next_index = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next_index.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= count {
+                    break;
+                }
+                let result = work(i);
+                results.lock()[i] = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every work item was executed"))
+        .collect()
+}
+
 /// The result of a full parameter sweep: one [`SweepSample`] per point,
 /// sorted by increasing parameter value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -149,6 +205,11 @@ impl ExperimentRunner {
     /// Runs the sweep: for every parameter value, protect the dataset and
     /// evaluate both metrics.
     ///
+    /// The actual-side metric state (POI extraction, bounding boxes — see
+    /// [`geopriv_metrics::PrivacyMetric::prepare`]) is prepared once for the
+    /// whole sweep and reused at every `(point, repetition)` sample; the
+    /// metrics guarantee this is bit-identical to direct evaluation.
+    ///
     /// Results are deterministic for a given `(dataset, config.seed)` pair,
     /// regardless of the number of threads.
     ///
@@ -163,14 +224,22 @@ impl ExperimentRunner {
         self.config.validate()?;
         let descriptor = system.parameter();
         let values = descriptor.sweep(self.config.points);
+        let prepared = PreparedPair {
+            privacy: system.privacy_metric().prepare(dataset).map_err(CoreError::from)?,
+            utility: system.utility_metric().prepare(dataset).map_err(CoreError::from)?,
+        };
 
         let samples: Vec<SweepSample> = if self.config.parallel {
-            self.run_parallel(system, dataset, &values)?
+            run_indexed(values.len(), true, |i| {
+                self.measure_point(system, dataset, &prepared, i, values[i])
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, CoreError>>()?
         } else {
             values
                 .iter()
                 .enumerate()
-                .map(|(i, &v)| self.measure_point(system, dataset, i, v))
+                .map(|(i, &v)| self.measure_point(system, dataset, &prepared, i, v))
                 .collect::<Result<Vec<_>, CoreError>>()?
         };
 
@@ -184,45 +253,11 @@ impl ExperimentRunner {
         })
     }
 
-    fn run_parallel(
-        &self,
-        system: &SystemDefinition,
-        dataset: &Dataset,
-        values: &[f64],
-    ) -> Result<Vec<SweepSample>, CoreError> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(values.len())
-            .max(1);
-        let results: Mutex<Vec<Option<Result<SweepSample, CoreError>>>> =
-            Mutex::new((0..values.len()).map(|_| None).collect());
-        let next_index = std::sync::atomic::AtomicUsize::new(0);
-
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next_index.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if i >= values.len() {
-                        break;
-                    }
-                    let sample = self.measure_point(system, dataset, i, values[i]);
-                    results.lock()[i] = Some(sample);
-                });
-            }
-        });
-
-        results
-            .into_inner()
-            .into_iter()
-            .map(|slot| slot.expect("every sweep point was measured"))
-            .collect()
-    }
-
     fn measure_point(
         &self,
         system: &SystemDefinition,
         dataset: &Dataset,
+        prepared: &PreparedPair,
         index: usize,
         value: f64,
     ) -> Result<SweepSample, CoreError> {
@@ -232,16 +267,21 @@ impl ExperimentRunner {
         for repetition in 0..self.config.repetitions {
             // Derive a per-(point, repetition) seed so parallel execution and
             // sequential execution see exactly the same random streams.
-            let seed = self
-                .config
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((index as u64) << 32)
-                .wrapping_add(repetition as u64);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng =
+                StdRng::seed_from_u64(derive_unit_seed(self.config.seed, index, repetition));
             let protected = lppm.protect_dataset(dataset, &mut rng)?;
-            privacy_runs.push(system.privacy_metric().evaluate(dataset, &protected)?.value());
-            utility_runs.push(system.utility_metric().evaluate(dataset, &protected)?.value());
+            privacy_runs.push(
+                system
+                    .privacy_metric()
+                    .evaluate_prepared(&prepared.privacy, dataset, &protected)?
+                    .value(),
+            );
+            utility_runs.push(
+                system
+                    .utility_metric()
+                    .evaluate_prepared(&prepared.utility, dataset, &protected)?
+                    .value(),
+            );
         }
         Ok(SweepSample {
             parameter: value,
@@ -251,6 +291,12 @@ impl ExperimentRunner {
             utility_runs,
         })
     }
+}
+
+/// The prepared actual-side state of a system's two metrics.
+struct PreparedPair {
+    privacy: geopriv_metrics::PreparedState,
+    utility: geopriv_metrics::PreparedState,
 }
 
 #[cfg(test)]
@@ -292,10 +338,12 @@ mod tests {
         assert_eq!(result.privacy_metric_name, "poi-retrieval");
         assert_eq!(result.utility_metric_name, "area-coverage");
 
-        // Parameters are sorted and within the paper's range.
+        // Parameters are sorted and span exactly the paper's range: the sweep
+        // pins both endpoints, no floating-point drift tolerated.
         let params = result.parameters();
         assert!(params.windows(2).all(|w| w[0] < w[1]));
-        assert!(params[0] >= 1e-4 && *params.last().unwrap() <= 1.0 + 1e-9);
+        assert_eq!(params[0], 1e-4);
+        assert_eq!(*params.last().unwrap(), 1.0);
 
         // Metrics are bounded.
         for s in &result.samples {
@@ -354,6 +402,30 @@ mod tests {
             assert!((mean - s.privacy).abs() < 1e-12);
             assert!(s.privacy_std() >= 0.0);
         }
+    }
+
+    #[test]
+    fn unit_seeds_are_unique_and_scheduling_independent() {
+        // Distinct (point, repetition) pairs in a realistic sweep never share
+        // a seed under one master seed.
+        let mut seen = std::collections::BTreeSet::new();
+        for point in 0..64 {
+            for rep in 0..16 {
+                assert!(seen.insert(derive_unit_seed(42, point, rep)));
+            }
+        }
+        // The derivation is a pure function of its three inputs.
+        assert_eq!(derive_unit_seed(7, 3, 1), derive_unit_seed(7, 3, 1));
+        assert_ne!(derive_unit_seed(7, 3, 1), derive_unit_seed(8, 3, 1));
+    }
+
+    #[test]
+    fn run_indexed_preserves_index_order_in_both_modes() {
+        let sequential = run_indexed(17, false, |i| i * i);
+        let parallel = run_indexed(17, true, |i| i * i);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert!(run_indexed(0, true, |i| i).is_empty());
     }
 
     #[test]

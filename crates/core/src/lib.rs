@@ -12,7 +12,9 @@
 //!    [`property_selection`] ranks candidate dataset properties with a PCA.
 //! 2. **Modeling** ([`experiment`] + [`modeling`]) — automatically sweep the
 //!    parameter, measure both metrics, detect the non-saturated zone and fit
-//!    the invertible (log-)linear relationship of Equation 2.
+//!    the invertible (log-)linear relationship of Equation 2. The [`campaign`]
+//!    engine scales this step to many systems × many datasets on one shared
+//!    work pool with amortized actual-side metric state.
 //! 3. **Configuration** ([`configurator`]) — invert the fitted models under
 //!    the designer's [`objectives`] and recommend a parameter value.
 //!
@@ -46,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod configurator;
 pub mod error;
 pub mod experiment;
@@ -57,9 +60,10 @@ pub mod report;
 pub mod system;
 pub mod validation;
 
+pub use campaign::{CampaignResult, CampaignRun, CampaignRunner};
 pub use configurator::{Configurator, Recommendation};
 pub use error::CoreError;
-pub use experiment::{ExperimentRunner, SweepConfig, SweepResult, SweepSample};
+pub use experiment::{derive_unit_seed, ExperimentRunner, SweepConfig, SweepResult, SweepSample};
 pub use modeling::{FittedRelationship, MetricModel, Modeler, ParametricModel};
 pub use objectives::{Objectives, PrivacyObjective, UtilityObjective};
 pub use pareto::{ParetoFrontier, TradeOffPoint};
@@ -72,6 +76,7 @@ pub use validation::{HoldOutValidator, PredictionError, ValidationReport};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::campaign::{CampaignResult, CampaignRun, CampaignRunner};
     pub use crate::configurator::{Configurator, Recommendation};
     pub use crate::error::CoreError;
     pub use crate::experiment::{ExperimentRunner, SweepConfig, SweepResult, SweepSample};

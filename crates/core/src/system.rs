@@ -188,6 +188,21 @@ impl SystemDefinition {
     pub fn parameter(&self) -> ParameterDescriptor {
         self.factory.parameter()
     }
+
+    /// A stable key identifying this system's full configuration: mechanism
+    /// family, swept-parameter range/scale and both metric configurations.
+    ///
+    /// The campaign engine uses it to label runs and to recognize systems
+    /// whose metrics can share prepared actual-side state.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{}[{}]|{}|{}",
+            self.factory.name(),
+            self.factory.parameter().cache_token(),
+            self.privacy_metric.cache_key(),
+            self.utility_metric.cache_key()
+        )
+    }
 }
 
 impl std::fmt::Debug for SystemDefinition {
@@ -255,6 +270,28 @@ mod tests {
         assert_eq!(system.parameter().name(), "epsilon");
         let debug = format!("{system:?}");
         assert!(debug.contains("poi-retrieval"));
+    }
+
+    #[test]
+    fn cache_key_distinguishes_systems_and_is_stable() {
+        let paper = SystemDefinition::paper_geoi();
+        assert_eq!(paper.cache_key(), SystemDefinition::paper_geoi().cache_key());
+        assert!(paper.cache_key().contains("geo-indistinguishability"));
+
+        let cloaking = SystemDefinition::new(
+            Box::new(GridCloakingFactory::new()),
+            Box::new(PoiRetrieval::default()),
+            Box::new(AreaCoverage::default()),
+        );
+        assert_ne!(paper.cache_key(), cloaking.cache_key());
+
+        // Same mechanism over a different range is a different system.
+        let narrow = SystemDefinition::new(
+            Box::new(GeoIndistinguishabilityFactory::with_range(1e-3, 0.1).unwrap()),
+            Box::new(PoiRetrieval::default()),
+            Box::new(AreaCoverage::default()),
+        );
+        assert_ne!(paper.cache_key(), narrow.cache_key());
     }
 
     #[test]

@@ -163,18 +163,42 @@ impl ParameterDescriptor {
     /// Generates `count` sweep values across the range, spaced according to
     /// the parameter scale (geometric for logarithmic parameters).
     ///
-    /// Always includes both endpoints; `count` is clamped to at least 2.
+    /// Both endpoints are included *exactly*: the formulas
+    /// `min + (max - min) * t` and `min * (max / min).powf(t)` drift off `max`
+    /// by a few ULPs at `t = 1`, which would make the last sweep value fall
+    /// outside the descriptor's own range. `count` is clamped to at least 2.
     pub fn sweep(&self, count: usize) -> Vec<f64> {
         let count = count.max(2);
-        match self.scale {
-            ParameterScale::Linear => (0..count)
-                .map(|i| self.min + (self.max - self.min) * i as f64 / (count - 1) as f64)
-                .collect(),
-            ParameterScale::Logarithmic => {
-                let ratio = self.max / self.min;
-                (0..count).map(|i| self.min * ratio.powf(i as f64 / (count - 1) as f64)).collect()
+        let last = count - 1;
+        let interior = |i: usize| {
+            let t = i as f64 / last as f64;
+            match self.scale {
+                ParameterScale::Linear => self.min + (self.max - self.min) * t,
+                ParameterScale::Logarithmic => self.min * (self.max / self.min).powf(t),
             }
-        }
+        };
+        (0..count)
+            .map(|i| {
+                if i == 0 {
+                    self.min
+                } else if i == last {
+                    self.max
+                } else {
+                    interior(i)
+                }
+            })
+            .collect()
+    }
+
+    /// A stable token encoding the descriptor's name, range and scale, for
+    /// use in cache keys (two systems sweeping the same mechanism over
+    /// different ranges must not be conflated).
+    pub fn cache_token(&self) -> String {
+        let scale = match self.scale {
+            ParameterScale::Linear => "lin",
+            ParameterScale::Logarithmic => "log",
+        };
+        format!("{}:{:e}..{:e}:{}", self.name, self.min, self.max, scale)
     }
 }
 
@@ -244,12 +268,45 @@ mod tests {
             ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap();
         let sweep = d.sweep(5);
         assert_eq!(sweep.len(), 5);
-        assert!((sweep[0] - 1e-4).abs() < 1e-12);
-        assert!((sweep[4] - 1.0).abs() < 1e-9);
+        // Endpoints are pinned exactly, not merely within a tolerance.
+        assert_eq!(sweep[0], 1e-4);
+        assert_eq!(sweep[4], 1.0);
         // Constant ratio between consecutive points.
         let r1 = sweep[1] / sweep[0];
         let r2 = sweep[3] / sweep[2];
         assert!((r1 - r2).abs() < 1e-9);
         assert!((r1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_endpoints_are_exact_for_any_range() {
+        // Ranges whose ratio/step is not a power of two drift off the exact
+        // endpoint under `min * ratio.powf(1.0)` / `min + span * 1.0`.
+        let ranges = [(1e-4, 1.0), (0.1, 0.3), (3e-3, 7e-1), (1.0, 9999.0), (2.5e-5, 0.123)];
+        for &(min, max) in &ranges {
+            for scale in [ParameterScale::Linear, ParameterScale::Logarithmic] {
+                let d = ParameterDescriptor::new("p", min, max, scale).unwrap();
+                for count in [2, 3, 7, 25, 100] {
+                    let sweep = d.sweep(count);
+                    assert_eq!(sweep[0], min, "{scale:?} {min}..{max} x{count}");
+                    assert_eq!(*sweep.last().unwrap(), max, "{scale:?} {min}..{max} x{count}");
+                    // Every sweep value lies inside the descriptor's range.
+                    assert!(sweep.iter().all(|&v| d.contains(v)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_token_distinguishes_configurations() {
+        let a =
+            ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap();
+        let b =
+            ParameterDescriptor::new("epsilon", 1e-3, 1.0, ParameterScale::Logarithmic).unwrap();
+        let c = ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Linear).unwrap();
+        assert_ne!(a.cache_token(), b.cache_token());
+        assert_ne!(a.cache_token(), c.cache_token());
+        assert_eq!(a.cache_token(), a.clone().cache_token());
+        assert!(a.cache_token().contains("epsilon"));
     }
 }

@@ -7,8 +7,9 @@
 //! less accurate." Higher is better.
 
 use crate::error::MetricError;
+use crate::grid_support::combined_bounds;
 use crate::traits::{MetricValue, UtilityMetric};
-use geopriv_geo::{BoundingBox, Grid, Meters};
+use geopriv_geo::{Grid, Meters};
 use geopriv_mobility::Dataset;
 use serde::{Deserialize, Serialize};
 
@@ -113,18 +114,6 @@ impl AreaCoverage {
     pub fn similarity(&self) -> CoverageSimilarity {
         self.similarity
     }
-
-    fn combined_bounds(actual: &Dataset, protected: &Dataset) -> Result<BoundingBox, MetricError> {
-        let a = actual.bounding_box()?;
-        let b = protected.bounding_box()?;
-        Ok(BoundingBox::new(
-            a.min_latitude().min(b.min_latitude()),
-            a.min_longitude().min(b.min_longitude()),
-            a.max_latitude().max(b.max_latitude()),
-            a.max_longitude().max(b.max_longitude()),
-        )?
-        .expanded(0.02))
-    }
 }
 
 impl UtilityMetric for AreaCoverage {
@@ -135,13 +124,17 @@ impl UtilityMetric for AreaCoverage {
         }
     }
 
+    // The grid metrics keep the trait's default passthrough `prepare`: the
+    // grid spans the *protected* dataset too, so the only actual-side
+    // invariant is a bounding box whose re-scan costs no more than verifying
+    // a cached copy would.
     fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError> {
         let pairs = actual
             .paired_with(protected)
             .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
         // One grid spanning both datasets so clamping at the border never
         // creates artificial matches between far-away cells.
-        let bounds = Self::combined_bounds(actual, protected)?;
+        let bounds = combined_bounds(actual, protected)?;
         let grid = Grid::new(bounds, self.cell_size)?;
 
         let mut per_user = Vec::with_capacity(pairs.len());
@@ -163,6 +156,10 @@ impl UtilityMetric for AreaCoverage {
             per_user.push(similarity);
         }
         MetricValue::from_per_user(per_user)
+    }
+
+    fn cache_key(&self) -> String {
+        format!("{}/cell={}", self.name(), self.cell_size.as_f64())
     }
 }
 
@@ -282,5 +279,28 @@ mod tests {
             AreaCoverage::default().evaluate(&a, &b),
             Err(MetricError::DatasetMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn prepared_evaluation_matches_direct_evaluation() {
+        let actual = taxi_dataset(36);
+        let mut rng = StdRng::seed_from_u64(5);
+        let protected = GeoIndistinguishability::new(Epsilon::new(0.01).unwrap())
+            .protect_dataset(&actual, &mut rng)
+            .unwrap();
+        for metric in [AreaCoverage::default(), AreaCoverage::cell_overlap()] {
+            // The grid metrics use the default passthrough prepare.
+            let prepared = metric.prepare(&actual).unwrap();
+            assert!(prepared.is_empty());
+            let direct = metric.evaluate(&actual, &protected).unwrap();
+            let via_prepared = metric.evaluate_prepared(&prepared, &actual, &protected).unwrap();
+            assert_eq!(direct, via_prepared, "{}", metric.name());
+        }
+        // Distinct configurations have distinct cache keys.
+        assert_ne!(AreaCoverage::default().cache_key(), AreaCoverage::cell_overlap().cache_key());
+        assert_ne!(
+            AreaCoverage::new(Meters::new(100.0)).unwrap().cache_key(),
+            AreaCoverage::default().cache_key()
+        );
     }
 }

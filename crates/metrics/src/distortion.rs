@@ -132,6 +132,13 @@ impl UtilityMetric for DistortionUtility {
             .collect();
         MetricValue::from_per_user(per_user)
     }
+
+    // Every quantity this metric computes is pairwise (actual record vs
+    // protected record matched by timestamp), so there is no actual-only
+    // state worth preparing: the default passthrough `prepare` applies.
+    fn cache_key(&self) -> String {
+        format!("distortion-utility/scale={}", self.scale.as_f64())
+    }
 }
 
 #[cfg(test)]

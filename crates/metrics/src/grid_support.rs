@@ -1,0 +1,30 @@
+//! Shared actual-side machinery of the grid-based metrics
+//! ([`crate::AreaCoverage`], [`crate::HotspotPreservation`]).
+//!
+//! The grid metrics use the trait's *default* passthrough `prepare`: their
+//! only actual-side invariant is the bounding box, and verifying that cached
+//! state matches the dataset would cost a full record pass — the same order
+//! of work as just re-scanning the box. There is nothing worth caching.
+
+use crate::error::MetricError;
+use geopriv_geo::BoundingBox;
+use geopriv_mobility::Dataset;
+
+/// The bounding box of both datasets together, expanded by a small margin —
+/// the grid frame the metrics lay their cells in, spanning both datasets so
+/// clamping at the border never creates artificial matches between far-away
+/// cells.
+pub(crate) fn combined_bounds(
+    actual: &Dataset,
+    protected: &Dataset,
+) -> Result<BoundingBox, MetricError> {
+    let a = actual.bounding_box()?;
+    let b = protected.bounding_box()?;
+    Ok(BoundingBox::new(
+        a.min_latitude().min(b.min_latitude()),
+        a.min_longitude().min(b.min_longitude()),
+        a.max_latitude().max(b.max_latitude()),
+        a.max_longitude().max(b.max_longitude()),
+    )?
+    .expanded(0.02))
+}

@@ -9,8 +9,9 @@
 //! the provided model to specific privacy and utility guarantees").
 
 use crate::error::MetricError;
+use crate::grid_support::combined_bounds;
 use crate::traits::{MetricValue, UtilityMetric};
-use geopriv_geo::{BoundingBox, CellId, Grid, Meters};
+use geopriv_geo::{CellId, Grid, Meters};
 use geopriv_mobility::{Dataset, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -88,18 +89,6 @@ impl HotspotPreservation {
         cells.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         cells.into_iter().take(self.top_k).map(|(cell, _)| cell).collect()
     }
-
-    fn combined_bounds(actual: &Dataset, protected: &Dataset) -> Result<BoundingBox, MetricError> {
-        let a = actual.bounding_box()?;
-        let b = protected.bounding_box()?;
-        Ok(BoundingBox::new(
-            a.min_latitude().min(b.min_latitude()),
-            a.min_longitude().min(b.min_longitude()),
-            a.max_latitude().max(b.max_latitude()),
-            a.max_longitude().max(b.max_longitude()),
-        )?
-        .expanded(0.02))
-    }
 }
 
 impl UtilityMetric for HotspotPreservation {
@@ -107,11 +96,15 @@ impl UtilityMetric for HotspotPreservation {
         "hotspot-preservation"
     }
 
+    // Keeps the trait's default passthrough `prepare`: the grid spans the
+    // *protected* dataset too, so the only actual-side invariant is a
+    // bounding box whose re-scan costs no more than verifying a cached copy
+    // would.
     fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError> {
         let pairs = actual
             .paired_with(protected)
             .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
-        let grid = Grid::new(Self::combined_bounds(actual, protected)?, self.cell_size)?;
+        let grid = Grid::new(combined_bounds(actual, protected)?, self.cell_size)?;
 
         let mut per_user = Vec::with_capacity(pairs.len());
         for (actual_trace, protected_trace) in pairs {
@@ -125,6 +118,10 @@ impl UtilityMetric for HotspotPreservation {
             per_user.push(preserved as f64 / actual_top.len() as f64);
         }
         MetricValue::from_per_user(per_user)
+    }
+
+    fn cache_key(&self) -> String {
+        format!("hotspot-preservation/cell={}/k={}", self.cell_size.as_f64(), self.top_k)
     }
 }
 
@@ -187,5 +184,25 @@ mod tests {
             HotspotPreservation::default().evaluate(&a, &b),
             Err(MetricError::DatasetMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn prepared_evaluation_matches_direct_evaluation() {
+        let actual = taxi_dataset(54);
+        let mut rng = StdRng::seed_from_u64(4);
+        let protected = GeoIndistinguishability::new(Epsilon::new(0.005).unwrap())
+            .protect_dataset(&actual, &mut rng)
+            .unwrap();
+        let metric = HotspotPreservation::default();
+        // The grid metrics use the default passthrough prepare.
+        let prepared = metric.prepare(&actual).unwrap();
+        assert!(prepared.is_empty());
+        let direct = metric.evaluate(&actual, &protected).unwrap();
+        let via_prepared = metric.evaluate_prepared(&prepared, &actual, &protected).unwrap();
+        assert_eq!(direct, via_prepared);
+        assert_ne!(
+            HotspotPreservation::new(Meters::new(200.0), 3).unwrap().cache_key(),
+            metric.cache_key()
+        );
     }
 }

@@ -42,6 +42,7 @@
 pub mod area_coverage;
 pub mod distortion;
 pub mod error;
+mod grid_support;
 pub mod hotspot;
 pub mod poi;
 pub mod poi_retrieval;
@@ -53,7 +54,7 @@ pub use error::MetricError;
 pub use hotspot::HotspotPreservation;
 pub use poi::{Poi, PoiExtractor};
 pub use poi_retrieval::PoiRetrieval;
-pub use traits::{MetricValue, PrivacyMetric, UtilityMetric};
+pub use traits::{DatasetFingerprint, MetricValue, PreparedState, PrivacyMetric, UtilityMetric};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -63,5 +64,7 @@ pub mod prelude {
     pub use crate::hotspot::HotspotPreservation;
     pub use crate::poi::{Poi, PoiExtractor};
     pub use crate::poi_retrieval::PoiRetrieval;
-    pub use crate::traits::{MetricValue, PrivacyMetric, UtilityMetric};
+    pub use crate::traits::{
+        DatasetFingerprint, MetricValue, PreparedState, PrivacyMetric, UtilityMetric,
+    };
 }

@@ -9,7 +9,103 @@
 use crate::error::MetricError;
 use geopriv_mobility::Dataset;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
 use std::fmt;
+
+/// Opaque actual-side state computed once by a metric's
+/// [`PrivacyMetric::prepare`] / [`UtilityMetric::prepare`] and reused across
+/// many evaluations against the *same* actual dataset.
+///
+/// Sweeps and campaigns evaluate a metric at every `(point, repetition)`
+/// sample while the actual dataset never changes; whatever the metric derives
+/// from the actual side alone (POI extraction, bounding boxes, grids) is
+/// invariant across the whole run and can be computed once. The state is
+/// deliberately opaque — each metric downcasts back to its own private type —
+/// so the trait stays object-safe and new metrics can cache whatever they
+/// need without touching the interface.
+pub struct PreparedState(Option<Box<dyn Any + Send + Sync>>);
+
+impl PreparedState {
+    /// Wraps a metric-specific prepared value.
+    pub fn new<T: Any + Send + Sync>(state: T) -> Self {
+        Self(Some(Box::new(state)))
+    }
+
+    /// The state of metrics that have nothing to prepare (the default).
+    pub fn empty() -> Self {
+        Self(None)
+    }
+
+    /// Returns `true` when no state was prepared.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Borrows the prepared value as `T`, or `None` if this state is empty or
+    /// was prepared by a different metric type.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.as_ref().and_then(|boxed| boxed.downcast_ref::<T>())
+    }
+}
+
+impl fmt::Debug for PreparedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedState").field("prepared", &self.0.is_some()).finish()
+    }
+}
+
+/// A fingerprint of a dataset — each trace's user id, record count and an
+/// order-sensitive hash over *every* record — embedded in prepared state so
+/// evaluation detects state built for a different dataset instead of
+/// silently computing wrong values from it.
+///
+/// Computing (and re-checking) the fingerprint is a single cheap pass over
+/// the records, far below the cost of the work the prepared state caches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetFingerprint {
+    traces: Vec<(u64, usize, u64)>,
+}
+
+impl DatasetFingerprint {
+    /// Fingerprints a dataset.
+    pub fn of(dataset: &Dataset) -> Self {
+        let mix = |r: &geopriv_mobility::Record| {
+            r.timestamp().as_f64().to_bits()
+                ^ r.location().latitude().to_bits().rotate_left(21)
+                ^ r.location().longitude().to_bits().rotate_left(42)
+        };
+        Self {
+            traces: dataset
+                .iter()
+                .map(|t| {
+                    // Multiply-mix fold (FNV-style): position-dependent, so
+                    // permuting records never collides the way a plain
+                    // rotate-xor fold would for positions 64 apart.
+                    let hash = t.records().iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, r| {
+                        (acc ^ mix(r)).wrapping_mul(0x100_0000_01b3)
+                    });
+                    (t.user().value(), t.len(), hash)
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns an error unless `dataset` has the fingerprinted structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::DatasetMismatch`] naming `metric` when the
+    /// dataset's traces differ from the fingerprint.
+    pub fn ensure_matches(&self, dataset: &Dataset, metric: &str) -> Result<(), MetricError> {
+        if *self == Self::of(dataset) {
+            Ok(())
+        } else {
+            Err(MetricError::DatasetMismatch {
+                reason: format!("prepared state of {metric} was built for a different dataset"),
+            })
+        }
+    }
+}
 
 /// A metric value in `[0, 1]` together with its per-user breakdown.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,6 +148,12 @@ impl MetricValue {
     }
 
     /// The per-user metric values, in dataset (user id) order.
+    ///
+    /// A metric may exclude users it cannot evaluate (e.g. POI retrieval for
+    /// users without POIs — see the metric's docs); the breakdown then covers
+    /// the evaluated users in dataset order and is shorter than the dataset.
+    /// The values carry no user ids, so don't zip this with the dataset's
+    /// users unless the metric guarantees full coverage.
     pub fn per_user(&self) -> &[f64] {
         &self.per_user
     }
@@ -90,6 +192,47 @@ pub trait PrivacyMetric: Send + Sync {
     /// Returns [`MetricError::DatasetMismatch`] when the datasets are not
     /// aligned, or configuration errors.
     fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError>;
+
+    /// Precomputes the actual-side state reused by
+    /// [`PrivacyMetric::evaluate_prepared`]. The default prepares nothing.
+    ///
+    /// Implementations must guarantee that `evaluate(a, p)` and
+    /// `evaluate_prepared(&prepare(a)?, a, p)` return bit-identical values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from analyzing the actual dataset.
+    fn prepare(&self, actual: &Dataset) -> Result<PreparedState, MetricError> {
+        let _ = actual;
+        Ok(PreparedState::empty())
+    }
+
+    /// Evaluates the metric, reusing state prepared from the same actual
+    /// dataset by [`PrivacyMetric::prepare`]. The default ignores the state
+    /// and falls back to [`PrivacyMetric::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::DatasetMismatch`] when the datasets are not
+    /// aligned or (for metrics that prepare state and fingerprint it, see
+    /// [`DatasetFingerprint`]) `prepared` was built for a different dataset.
+    fn evaluate_prepared(
+        &self,
+        prepared: &PreparedState,
+        actual: &Dataset,
+        protected: &Dataset,
+    ) -> Result<MetricValue, MetricError> {
+        let _ = prepared;
+        self.evaluate(actual, protected)
+    }
+
+    /// A stable key encoding the metric's full configuration, so prepared
+    /// state can be shared between separately constructed but identically
+    /// configured metric instances. Defaults to the metric name; metrics with
+    /// parameters must include them.
+    fn cache_key(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// A utility metric: *higher is better* (the protected data remains useful).
@@ -106,6 +249,47 @@ pub trait UtilityMetric: Send + Sync {
     /// Returns [`MetricError::DatasetMismatch`] when the datasets are not
     /// aligned, or configuration errors.
     fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError>;
+
+    /// Precomputes the actual-side state reused by
+    /// [`UtilityMetric::evaluate_prepared`]. The default prepares nothing.
+    ///
+    /// Implementations must guarantee that `evaluate(a, p)` and
+    /// `evaluate_prepared(&prepare(a)?, a, p)` return bit-identical values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from analyzing the actual dataset.
+    fn prepare(&self, actual: &Dataset) -> Result<PreparedState, MetricError> {
+        let _ = actual;
+        Ok(PreparedState::empty())
+    }
+
+    /// Evaluates the metric, reusing state prepared from the same actual
+    /// dataset by [`UtilityMetric::prepare`]. The default ignores the state
+    /// and falls back to [`UtilityMetric::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::DatasetMismatch`] when the datasets are not
+    /// aligned or (for metrics that prepare state and fingerprint it, see
+    /// [`DatasetFingerprint`]) `prepared` was built for a different dataset.
+    fn evaluate_prepared(
+        &self,
+        prepared: &PreparedState,
+        actual: &Dataset,
+        protected: &Dataset,
+    ) -> Result<MetricValue, MetricError> {
+        let _ = prepared;
+        self.evaluate(actual, protected)
+    }
+
+    /// A stable key encoding the metric's full configuration, so prepared
+    /// state can be shared between separately constructed but identically
+    /// configured metric instances. Defaults to the metric name; metrics with
+    /// parameters must include them.
+    fn cache_key(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +311,72 @@ mod tests {
         assert!(MetricValue::from_per_user(vec![]).is_err());
         assert!(MetricValue::from_per_user(vec![0.5, f64::NAN]).is_err());
         assert!(MetricValue::from_per_user(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn prepared_state_wraps_and_downcasts() {
+        let empty = PreparedState::empty();
+        assert!(empty.is_empty());
+        assert!(empty.downcast_ref::<u32>().is_none());
+        assert!(format!("{empty:?}").contains("false"));
+
+        let state = PreparedState::new(vec![1u32, 2, 3]);
+        assert!(!state.is_empty());
+        assert_eq!(state.downcast_ref::<Vec<u32>>(), Some(&vec![1u32, 2, 3]));
+        // Downcasting to the wrong type fails instead of panicking.
+        assert!(state.downcast_ref::<String>().is_none());
+    }
+
+    #[test]
+    fn fingerprint_detects_interior_record_changes() {
+        use geopriv_geo::{GeoPoint, Seconds};
+        use geopriv_mobility::{Record, Trace, UserId};
+
+        let dataset_with_middle = |lat: f64| {
+            let records = vec![
+                Record::new(Seconds::new(0.0), GeoPoint::clamped(37.70, -122.45)),
+                Record::new(Seconds::new(60.0), GeoPoint::clamped(lat, -122.44)),
+                Record::new(Seconds::new(120.0), GeoPoint::clamped(37.72, -122.43)),
+            ];
+            Dataset::new(vec![Trace::new(UserId::new(1), records).unwrap()]).unwrap()
+        };
+        // Same user, length, first and last records — only the middle differs.
+        let a = dataset_with_middle(37.71);
+        let b = dataset_with_middle(37.99);
+        let fp = DatasetFingerprint::of(&a);
+        assert!(fp.ensure_matches(&a, "test").is_ok());
+        assert!(matches!(fp.ensure_matches(&b, "test"), Err(MetricError::DatasetMismatch { .. })));
+    }
+
+    #[test]
+    fn default_prepare_is_a_passthrough() {
+        use geopriv_geo::{GeoPoint, Seconds};
+        use geopriv_mobility::{Record, Trace, UserId};
+
+        /// A metric relying entirely on the trait's default prepared-state
+        /// plumbing.
+        struct ConstantMetric;
+        impl PrivacyMetric for ConstantMetric {
+            fn name(&self) -> &str {
+                "constant"
+            }
+            fn evaluate(&self, actual: &Dataset, _: &Dataset) -> Result<MetricValue, MetricError> {
+                MetricValue::from_per_user(vec![0.5; actual.len()])
+            }
+        }
+
+        let trace = Trace::new(
+            UserId::new(1),
+            vec![Record::new(Seconds::new(0.0), GeoPoint::clamped(37.77, -122.41))],
+        )
+        .unwrap();
+        let dataset = Dataset::new(vec![trace]).unwrap();
+        let metric = ConstantMetric;
+        assert_eq!(metric.cache_key(), "constant");
+        let prepared = metric.prepare(&dataset).unwrap();
+        assert!(prepared.is_empty());
+        let direct = metric.evaluate(&dataset, &dataset).unwrap();
+        let via_prepared = metric.evaluate_prepared(&prepared, &dataset, &dataset).unwrap();
+        assert_eq!(direct, via_prepared);
     }
 }

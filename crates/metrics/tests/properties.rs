@@ -72,7 +72,10 @@ proptest! {
         for metric in &metrics_privacy {
             let v = metric.evaluate(&actual, &protected).unwrap();
             prop_assert!((0.0..=1.0).contains(&v.value()), "{} = {}", metric.name(), v.value());
-            prop_assert_eq!(v.per_user().len(), actual.len());
+            // The breakdown covers the evaluable users (all of them, when no
+            // user lacks POIs) and is never empty.
+            prop_assert!(!v.per_user().is_empty());
+            prop_assert!(v.per_user().len() <= actual.len());
         }
         for metric in &metrics_utility {
             let v = metric.evaluate(&actual, &protected).unwrap();
@@ -150,6 +153,45 @@ proptest! {
             DistortionUtility::default().evaluate(&actual, &protected).unwrap().value()
         };
         prop_assert!(evaluate(sigma_small) > evaluate(sigma_large));
+    }
+
+    /// `evaluate` and `prepare` + `evaluate_prepared` are two routes to the
+    /// same number, for every metric and any input.
+    #[test]
+    fn prepared_state_never_changes_a_metric_value(
+        users in 1usize..4,
+        stops in 1usize..5,
+        dwell in 5usize..30,
+        epsilon in 1e-4f64..1.0,
+        seed in 0u64..300,
+    ) {
+        let actual = dataset(users, stops, dwell);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protected = GeoIndistinguishability::new(Epsilon::new(epsilon).unwrap())
+            .protect_dataset(&actual, &mut rng)
+            .unwrap();
+
+        let privacy = PoiRetrieval::default();
+        let prepared = privacy.prepare(&actual).unwrap();
+        prop_assert_eq!(
+            privacy.evaluate(&actual, &protected).unwrap(),
+            privacy.evaluate_prepared(&prepared, &actual, &protected).unwrap()
+        );
+
+        let utilities: Vec<Box<dyn UtilityMetric>> = vec![
+            Box::new(AreaCoverage::default()),
+            Box::new(AreaCoverage::cell_overlap()),
+            Box::new(HotspotPreservation::default()),
+            Box::new(DistortionUtility::default()),
+        ];
+        for metric in &utilities {
+            let prepared = metric.prepare(&actual).unwrap();
+            prop_assert_eq!(
+                metric.evaluate(&actual, &protected).unwrap(),
+                metric.evaluate_prepared(&prepared, &actual, &protected).unwrap(),
+                "{}", metric.name()
+            );
+        }
     }
 
     #[test]

@@ -63,3 +63,66 @@ fn parallel_and_sequential_sweeps_measure_identically() {
     assert_eq!(a.privacy_values(), b.privacy_values());
     assert_eq!(a.utility_values(), b.utility_values());
 }
+
+/// The systems of the campaign determinism tests: the paper's GEO-I system
+/// plus a Gaussian-perturbation variant sharing the same metric pair.
+fn campaign_systems() -> Vec<SystemDefinition> {
+    vec![
+        SystemDefinition::paper_geoi(),
+        SystemDefinition::new(
+            Box::new(GaussianPerturbationFactory::new()),
+            Box::new(PoiRetrieval::default()),
+            Box::new(AreaCoverage::default()),
+        ),
+    ]
+}
+
+/// A campaign over several systems and datasets returns, cell by cell, the
+/// exact `SweepResult` that an independent `ExperimentRunner::run` with the
+/// same configuration produces — bit for bit, whether the campaign pool runs
+/// parallel or sequential. This is the contract that makes the campaign
+/// engine a pure optimization: shared prepared metric state and work-stealing
+/// scheduling must never leak into the measurements.
+#[test]
+fn campaigns_match_independent_runs_bit_for_bit() {
+    let systems = campaign_systems();
+    let datasets = [taxi_dataset(5), taxi_dataset(6)];
+
+    for parallel in [true, false] {
+        let config = SweepConfig { points: 5, repetitions: 2, seed: 11, parallel };
+        let campaign =
+            CampaignRunner::new(config).run(&systems, &datasets).expect("campaign succeeds");
+        assert_eq!(campaign.len(), systems.len() * datasets.len());
+
+        for (s, system) in systems.iter().enumerate() {
+            for (d, dataset) in datasets.iter().enumerate() {
+                let independent =
+                    ExperimentRunner::new(config).run(system, dataset).expect("sweep succeeds");
+                assert_eq!(
+                    campaign.get(s, d).expect("cell exists"),
+                    &independent,
+                    "system {s} on dataset {d} diverged (parallel = {parallel})"
+                );
+            }
+        }
+    }
+}
+
+/// Parallel and sequential campaign execution are interchangeable.
+#[test]
+fn parallel_and_sequential_campaigns_measure_identically() {
+    let systems = campaign_systems();
+    let datasets = [taxi_dataset(7)];
+    let run = |parallel: bool| {
+        CampaignRunner::new(SweepConfig { points: 4, repetitions: 2, seed: 3, parallel })
+            .run(&systems, &datasets)
+            .expect("campaign succeeds")
+    };
+    let a = run(true);
+    let b = run(false);
+    for (run_a, run_b) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(run_a.system_index, run_b.system_index);
+        assert_eq!(run_a.dataset_index, run_b.dataset_index);
+        assert_eq!(run_a.result, run_b.result);
+    }
+}
