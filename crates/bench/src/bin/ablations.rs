@@ -88,12 +88,14 @@ fn fleet_size_ablation(fidelity: Fidelity) -> Result<(), Box<dyn std::error::Err
         })
         .run(&system, &dataset)?;
         let fitted = Modeler::new().fit(&sweep)?;
+        let privacy = &fitted.model(&MetricId::new("poi-retrieval")).expect("privacy model").model;
+        let utility = &fitted.model(&MetricId::new("area-coverage")).expect("utility model").model;
         println!(
             "{drivers:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-            fitted.privacy.model.intercept(),
-            fitted.privacy.model.slope(),
-            fitted.utility.model.intercept(),
-            fitted.utility.model.slope()
+            privacy.intercept(),
+            privacy.slope(),
+            utility.intercept(),
+            utility.slope()
         );
     }
     println!("expected shape: coefficients stay in the same ballpark as the fleet grows");

@@ -8,23 +8,16 @@
 //!     [-- --fidelity smoke|standard|full] [--out BENCH_campaign.json]
 //! ```
 
-use geopriv_bench::{campaign_config, campaign_systems, fidelity_from_args, reproduction_dataset};
+use geopriv_bench::{
+    campaign_config, campaign_systems, fidelity_from_args, median_seconds, out_path_from_args,
+    reproduction_dataset, BenchJson,
+};
 use geopriv_core::prelude::*;
 use std::time::Instant;
 
-/// Parses `--out <path>` from the command line, defaulting to
-/// `BENCH_campaign.json` in the working directory.
-fn out_path_from_args() -> String {
-    let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|w| w[0] == "--out")
-        .map(|w| w[1].clone())
-        .unwrap_or_else(|| "BENCH_campaign.json".to_string())
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fidelity = fidelity_from_args();
-    let out_path = out_path_from_args();
+    let out_path = out_path_from_args("BENCH_campaign.json");
 
     eprintln!("building the synthetic SF taxi dataset ({fidelity:?})…");
     let dataset = reproduction_dataset(fidelity);
@@ -75,35 +68,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         campaign_times.push(started.elapsed().as_secs_f64());
     }
-    let median = |times: &mut Vec<f64>| {
-        times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-        times[times.len() / 2]
-    };
-    let seconds_back_to_back = median(&mut back_to_back_times);
-    let seconds_campaign = median(&mut campaign_times);
+    let seconds_back_to_back = median_seconds(&mut back_to_back_times);
+    let seconds_campaign = median_seconds(&mut campaign_times);
 
     let speedup = seconds_back_to_back / seconds_campaign;
     let sweep_points = systems.len() * config.points * config.repetitions;
-    let json = format!(
-        "{{\n  \"bench\": \"campaign\",\n  \"fidelity\": \"{:?}\",\n  \"systems\": {},\n  \
-         \"datasets\": 1,\n  \"points\": {},\n  \"repetitions\": {},\n  \
-         \"drivers\": {},\n  \"records\": {},\n  \"sweep_samples_total\": {},\n  \
-         \"seconds_back_to_back\": {:.6},\n  \"seconds_campaign\": {:.6},\n  \
-         \"speedup\": {:.3},\n  \"samples_per_second_campaign\": {:.3}\n}}",
-        fidelity,
-        systems.len(),
-        config.points,
-        config.repetitions,
-        dataset.user_count(),
-        dataset.record_count(),
-        sweep_points,
-        seconds_back_to_back,
-        seconds_campaign,
-        speedup,
-        sweep_points as f64 / seconds_campaign,
-    );
-    println!("{json}");
-    std::fs::write(&out_path, format!("{json}\n"))?;
+    let json = BenchJson::new("campaign")
+        .string("fidelity", format!("{fidelity:?}"))
+        .int("systems", systems.len() as u64)
+        .int("datasets", 1)
+        .int("points", config.points as u64)
+        .int("repetitions", config.repetitions as u64)
+        .int("drivers", dataset.user_count() as u64)
+        .int("records", dataset.record_count() as u64)
+        .int("sweep_samples_total", sweep_points as u64)
+        .float("seconds_back_to_back", seconds_back_to_back, 6)
+        .float("seconds_campaign", seconds_campaign, 6)
+        .float("speedup", speedup, 3)
+        .float("samples_per_second_campaign", sweep_points as f64 / seconds_campaign, 3);
+    println!("{}", json.render());
+    json.write(&out_path)?;
     eprintln!("baseline written to {out_path}");
     eprintln!(
         "back-to-back: {seconds_back_to_back:.3}s  campaign: {seconds_campaign:.3}s  \

@@ -21,32 +21,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("sweeping epsilon and fitting Equation 2…");
     let sweep = run_paper_sweep(&dataset, fidelity)?;
     let fitted = Modeler::new().fit(&sweep)?;
+    let privacy = &fitted.model(&MetricId::new("poi-retrieval")).expect("privacy model").model;
+    let utility = &fitted.model(&MetricId::new("area-coverage")).expect("utility model").model;
 
     println!("== Equation 2: fitted coefficients ==");
-    println!("{}", report::relationship_report(&fitted));
+    println!("{}", report::suite_report(&fitted));
 
     println!("== Side-by-side with the paper ==");
     println!("{:<12} {:>12} {:>12}", "coefficient", "paper", "measured");
-    println!("{:<12} {:>12.2} {:>12.3}", "a (privacy)", 0.84, fitted.privacy.model.intercept());
-    println!("{:<12} {:>12.2} {:>12.3}", "b (privacy)", 0.17, fitted.privacy.model.slope());
-    println!("{:<12} {:>12.2} {:>12.3}", "α (utility)", 1.21, fitted.utility.model.intercept());
-    println!("{:<12} {:>12.2} {:>12.3}", "β (utility)", 0.09, fitted.utility.model.slope());
+    println!("{:<12} {:>12.2} {:>12.3}", "a (privacy)", 0.84, privacy.intercept());
+    println!("{:<12} {:>12.2} {:>12.3}", "b (privacy)", 0.17, privacy.slope());
+    println!("{:<12} {:>12.2} {:>12.3}", "α (utility)", 1.21, utility.intercept());
+    println!("{:<12} {:>12.2} {:>12.3}", "β (utility)", 0.09, utility.slope());
     println!();
     println!(
         "fit quality: R²(privacy) = {:.3}, R²(utility) = {:.3}",
-        fitted.privacy.model.r_squared(),
-        fitted.utility.model.r_squared()
+        privacy.r_squared(),
+        utility.r_squared()
     );
     println!();
     println!("shape checks:");
     println!(
         "  both slopes positive (metrics increase with epsilon): privacy {} utility {}",
-        fitted.privacy.model.slope() > 0.0,
-        fitted.utility.model.slope() > 0.0
+        privacy.slope() > 0.0,
+        utility.slope() > 0.0
     );
     println!(
         "  privacy responds more steeply than utility (b > β): {}",
-        fitted.privacy.model.slope() > fitted.utility.model.slope()
+        privacy.slope() > utility.slope()
     );
     Ok(())
 }

@@ -30,27 +30,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The non-saturated zones (the vertical lines of Figure 1).
     let fitted = Modeler::new().fit(&sweep)?;
+    let privacy = fitted.model(&MetricId::new("poi-retrieval")).expect("privacy model");
+    let utility = fitted.model(&MetricId::new("area-coverage")).expect("utility model");
     println!("== Non-saturated zones (the vertical lines of Figure 1) ==");
     println!(
         "privacy ({}):  epsilon in [{:.5}, {:.5}]   (paper: ~0.007 to ~0.08)",
-        fitted.privacy.metric_name, fitted.privacy.active_zone.0, fitted.privacy.active_zone.1
+        privacy.id, privacy.active_zone.0, privacy.active_zone.1
     );
     println!(
         "utility ({}):  epsilon in [{:.5}, {:.5}]   (paper: wider than the privacy zone)",
-        fitted.utility.metric_name, fitted.utility.active_zone.0, fitted.utility.active_zone.1
+        utility.id, utility.active_zone.0, utility.active_zone.1
     );
 
     // Shape checks mirrored in EXPERIMENTS.md.
-    let first = sweep.samples.first().expect("sweep is non-empty");
-    let last = sweep.samples.last().expect("sweep is non-empty");
+    let privacy_means = sweep.values(&MetricId::new("poi-retrieval")).expect("privacy column");
+    let utility_means = sweep.values(&MetricId::new("area-coverage")).expect("utility column");
     println!();
     println!(
         "shape check: privacy rises from {:.3} to {:.3} (paper: ~0 to ~0.4)",
-        first.privacy, last.privacy
+        privacy_means.first().expect("sweep is non-empty"),
+        privacy_means.last().expect("sweep is non-empty")
     );
     println!(
         "shape check: utility rises from {:.3} to {:.3} (paper: ~0.2 to ~1.0)",
-        first.utility, last.utility
+        utility_means.first().expect("sweep is non-empty"),
+        utility_means.last().expect("sweep is non-empty")
     );
     Ok(())
 }

@@ -13,6 +13,8 @@
 //! | `operating_point` | the ε = 0.01 operating point (≤ 10 % privacy, ≈ 80 % utility) |
 //! | `pca_properties` | the PCA-based dataset-property selection of §3 step 1 |
 //! | `ablations` | sensitivity of the curves to metric/dataset parameters and other LPPMs |
+//! | `sweep` | single-sweep throughput baseline (`BENCH_sweep.json`) |
+//! | `campaign` | campaign-vs-independent-sweeps baseline (`BENCH_campaign.json`) |
 //!
 //! The Criterion benches (`benches/`) measure the throughput of the
 //! components the figures depend on (protection, POI extraction, metric
@@ -132,17 +134,115 @@ pub fn run_paper_sweep(dataset: &Dataset, fidelity: Fidelity) -> Result<SweepRes
 pub fn campaign_systems() -> Vec<SystemDefinition> {
     vec![
         SystemDefinition::paper_geoi(),
-        SystemDefinition::new(
+        SystemDefinition::with_pair(
             Box::new(GridCloakingFactory::new()),
             Box::new(PoiRetrieval::default()),
             Box::new(AreaCoverage::default()),
-        ),
-        SystemDefinition::new(
+        )
+        .expect("distinct metric names"),
+        SystemDefinition::with_pair(
             Box::new(GaussianPerturbationFactory::new()),
             Box::new(PoiRetrieval::default()),
             Box::new(AreaCoverage::default()),
-        ),
+        )
+        .expect("distinct metric names"),
     ]
+}
+
+/// Builder for the `BENCH_*.json` baseline files the bench binaries emit, so
+/// every baseline shares one diff-friendly format (two-space indent, one key
+/// per line, insertion order preserved).
+#[derive(Debug, Clone, Default)]
+pub struct BenchJson {
+    entries: Vec<(String, String)>,
+}
+
+impl BenchJson {
+    /// Starts a baseline for the named bench (the `"bench"` key).
+    pub fn new(bench: &str) -> Self {
+        Self::default().string("bench", bench)
+    }
+
+    /// Escapes a string for embedding inside a JSON string literal.
+    fn escape(raw: &str) -> String {
+        let mut out = String::with_capacity(raw.len());
+        for c in raw.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Adds a string field (the value is JSON-escaped).
+    #[must_use]
+    pub fn string(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.entries.push((Self::escape(key), format!("\"{}\"", Self::escape(&value.to_string()))));
+        self
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.entries.push((Self::escape(key), value.to_string()));
+        self
+    }
+
+    /// Adds a float field rendered with `decimals` fractional digits.
+    /// Non-finite values render as `null` (JSON has no inf/NaN tokens).
+    #[must_use]
+    pub fn float(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        let rendered =
+            if value.is_finite() { format!("{value:.decimals$}") } else { "null".to_string() };
+        self.entries.push((Self::escape(key), rendered));
+        self
+    }
+
+    /// Renders the JSON object.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            out.push_str(&format!("  \"{key}\": {value}"));
+            out.push_str(if i + 1 < self.entries.len() { ",\n" } else { "\n" });
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes the rendered object (plus a trailing newline) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.render()))
+    }
+}
+
+/// Parses `--out <path>` from the command line, defaulting to `default`.
+pub fn out_path_from_args(default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Median of a list of timings (sorts in place).
+///
+/// # Panics
+///
+/// Panics on an empty list or non-finite timings (never produced by the
+/// bench binaries).
+pub fn median_seconds(times: &mut [f64]) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
 }
 
 /// The sweep configuration the campaign workloads use at a given fidelity —
@@ -199,8 +299,10 @@ mod tests {
             systems.iter().map(|s| s.cache_key()).collect();
         assert_eq!(keys.len(), 3);
         for system in &systems {
-            assert_eq!(system.privacy_metric().name(), "poi-retrieval");
-            assert_eq!(system.utility_metric().name(), "area-coverage");
+            assert_eq!(
+                system.suite().ids(),
+                vec![MetricId::new("poi-retrieval"), MetricId::new("area-coverage")]
+            );
         }
         let config = campaign_config(Fidelity::Smoke);
         assert_eq!(config.points, Fidelity::Smoke.sweep_points());
@@ -212,11 +314,37 @@ mod tests {
     fn smoke_sweep_produces_figure_shaped_curves() {
         let dataset = reproduction_dataset(Fidelity::Smoke);
         let sweep = run_paper_sweep(&dataset, Fidelity::Smoke).unwrap();
-        assert_eq!(sweep.samples.len(), Fidelity::Smoke.sweep_points());
-        let first = sweep.samples.first().unwrap();
-        let last = sweep.samples.last().unwrap();
+        assert_eq!(sweep.points(), Fidelity::Smoke.sweep_points());
         // Figure 1 shape: both metrics higher at epsilon = 1 than at 1e-4.
-        assert!(last.privacy > first.privacy);
-        assert!(last.utility > first.utility);
+        for column in &sweep.columns {
+            assert!(column.means.last().unwrap() > column.means.first().unwrap());
+        }
+    }
+
+    #[test]
+    fn bench_json_renders_stable_baselines() {
+        let json = BenchJson::new("sweep")
+            .string("fidelity", "Smoke")
+            .int("points", 9)
+            .float("seconds", 1.25, 3);
+        assert_eq!(
+            json.render(),
+            "{\n  \"bench\": \"sweep\",\n  \"fidelity\": \"Smoke\",\n  \"points\": 9,\n  \
+             \"seconds\": 1.250\n}"
+        );
+        let mut times = vec![3.0, 1.0, 2.0];
+        assert_eq!(median_seconds(&mut times), 2.0);
+    }
+
+    #[test]
+    fn bench_json_escapes_quotes_and_control_characters() {
+        let json = BenchJson::new("x").string("note", "a \"quoted\\\" name\nnext");
+        assert_eq!(
+            json.render(),
+            "{\n  \"bench\": \"x\",\n  \"note\": \"a \\\"quoted\\\\\\\" name\\nnext\"\n}"
+        );
+        // Non-finite floats degrade to null, never to invalid JSON tokens.
+        let json = BenchJson::new("x").float("speedup", f64::INFINITY, 3);
+        assert!(json.render().contains("\"speedup\": null"));
     }
 }

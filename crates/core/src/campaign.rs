@@ -1,7 +1,7 @@
 //! Campaign engine: many systems × many datasets through one shared work pool.
 //!
-//! The paper's Figure 1 family evaluates *multiple* LPPMs against privacy and
-//! utility metric pairs. Running each sweep through its own
+//! The paper's Figure 1 family evaluates *multiple* LPPMs against the same
+//! metric suite. Running each sweep through its own
 //! [`crate::ExperimentRunner`] wastes work twice: every run re-extracts the
 //! actual dataset's POIs, quadtrees and grids at each of its sweep samples,
 //! and each run synchronizes on its own thread pool, leaving cores idle at
@@ -12,7 +12,8 @@
 //! threads claim greedily, and it calls each metric's
 //! [`geopriv_metrics::PrivacyMetric::prepare`] hook exactly once per distinct
 //! `(metric configuration, dataset)` pair, sharing the prepared actual-side
-//! state across every point, repetition and system of the campaign.
+//! state across every point, repetition, system and suite position of the
+//! campaign.
 //!
 //! Determinism is preserved exactly: the per-unit RNG seed is derived by the
 //! same [`derive_unit_seed`] contract the [`crate::ExperimentRunner`] uses —
@@ -35,22 +36,22 @@
 //!
 //! let systems = vec![
 //!     SystemDefinition::paper_geoi(),
-//!     SystemDefinition::new(
+//!     SystemDefinition::with_pair(
 //!         Box::new(GaussianPerturbationFactory::new()),
 //!         Box::new(geopriv_metrics::PoiRetrieval::default()),
 //!         Box::new(geopriv_metrics::AreaCoverage::default()),
-//!     ),
+//!     )?,
 //! ];
 //! let campaign = CampaignRunner::new(SweepConfig::default()).run(&systems, &[dataset])?;
 //! for run in &campaign.runs {
-//!     println!("{}: {} samples", run.system_key, run.result.samples.len());
+//!     println!("{}: {} samples", run.system_key, run.result.points());
 //! }
 //! # Ok(())
 //! # }
 //! ```
 
 use crate::error::CoreError;
-use crate::experiment::{derive_unit_seed, run_indexed, SweepConfig, SweepResult, SweepSample};
+use crate::experiment::{derive_unit_seed, run_indexed, MetricColumn, SweepConfig, SweepResult};
 use crate::system::SystemDefinition;
 use geopriv_metrics::PreparedState;
 use geopriv_mobility::Dataset;
@@ -111,12 +112,6 @@ struct Unit {
     point: usize,
     value: f64,
     repetition: usize,
-}
-
-/// The prepared actual-side metric state of one `(system, dataset)` cell.
-struct PreparedCell {
-    privacy: Arc<PreparedState>,
-    utility: Arc<PreparedState>,
 }
 
 /// Runs campaigns of M systems × K datasets on a shared work pool.
@@ -216,45 +211,41 @@ impl CampaignRunner {
     /// distinct `(metric cache key, dataset)` pair is prepared exactly once
     /// per campaign, with the distinct preparation jobs running through the
     /// same work pool as the measurement units.
+    ///
+    /// Returns, per system and dataset, one prepared state per suite metric
+    /// (in suite order).
     fn prepare_cells(
         &self,
         systems: &[SystemDefinition],
         datasets: &[Dataset],
-    ) -> Result<Vec<Vec<PreparedCell>>, CoreError> {
-        /// A distinct preparation job: which system's metric (by side) to
-        /// prepare against which dataset.
+    ) -> Result<Vec<Vec<Vec<Arc<PreparedState>>>>, CoreError> {
+        /// A distinct preparation job: which system's metric (by suite
+        /// position) to prepare against which dataset.
         struct PrepareJob {
-            privacy: bool,
             system: usize,
+            metric: usize,
             dataset: usize,
         }
 
         // Deduplicate by (cache key, dataset) in deterministic (system,
-        // dataset, side) order; the maps point each cell at its job index.
+        // dataset, suite position) order; the map points each cell's metric
+        // at its job index.
         let mut jobs: Vec<PrepareJob> = Vec::new();
-        let mut privacy_jobs: HashMap<(String, usize), usize> = HashMap::new();
-        let mut utility_jobs: HashMap<(String, usize), usize> = HashMap::new();
+        let mut job_index: HashMap<(String, usize), usize> = HashMap::new();
         for (s, system) in systems.iter().enumerate() {
             for d in 0..datasets.len() {
-                privacy_jobs.entry((system.privacy_metric().cache_key(), d)).or_insert_with(|| {
-                    jobs.push(PrepareJob { privacy: true, system: s, dataset: d });
-                    jobs.len() - 1
-                });
-                utility_jobs.entry((system.utility_metric().cache_key(), d)).or_insert_with(|| {
-                    jobs.push(PrepareJob { privacy: false, system: s, dataset: d });
-                    jobs.len() - 1
-                });
+                for (k, metric) in system.suite().iter().enumerate() {
+                    job_index.entry((metric.cache_key(), d)).or_insert_with(|| {
+                        jobs.push(PrepareJob { system: s, metric: k, dataset: d });
+                        jobs.len() - 1
+                    });
+                }
             }
         }
 
         let states: Vec<Arc<PreparedState>> = run_indexed(jobs.len(), self.config.parallel, |i| {
             let job = &jobs[i];
-            let dataset = &datasets[job.dataset];
-            if job.privacy {
-                systems[job.system].privacy_metric().prepare(dataset)
-            } else {
-                systems[job.system].utility_metric().prepare(dataset)
-            }
+            systems[job.system].suite().metrics()[job.metric].prepare(&datasets[job.dataset])
         })
         .into_iter()
         .map(|state| state.map(Arc::new).map_err(CoreError::from))
@@ -264,13 +255,12 @@ impl CampaignRunner {
             .iter()
             .map(|system| {
                 (0..datasets.len())
-                    .map(|d| PreparedCell {
-                        privacy: Arc::clone(
-                            &states[privacy_jobs[&(system.privacy_metric().cache_key(), d)]],
-                        ),
-                        utility: Arc::clone(
-                            &states[utility_jobs[&(system.utility_metric().cache_key(), d)]],
-                        ),
+                    .map(|d| {
+                        system
+                            .suite()
+                            .iter()
+                            .map(|metric| Arc::clone(&states[job_index[&(metric.cache_key(), d)]]))
+                            .collect()
                     })
                     .collect()
             })
@@ -278,29 +268,33 @@ impl CampaignRunner {
         Ok(cells)
     }
 
-    /// Executes one work unit: instantiate, protect, evaluate both metrics
-    /// against the cell's prepared state.
+    /// Executes one work unit: instantiate, protect, evaluate every suite
+    /// metric against the cell's prepared state, in suite order.
     fn measure_unit(
         &self,
         system: &SystemDefinition,
         dataset: &Dataset,
-        cell: &PreparedCell,
+        cell: &[Arc<PreparedState>],
         unit: &Unit,
-    ) -> Result<(f64, f64), CoreError> {
+    ) -> Result<Vec<f64>, CoreError> {
         let lppm = system.factory().instantiate(unit.value)?;
         let mut rng =
             StdRng::seed_from_u64(derive_unit_seed(self.config.seed, unit.point, unit.repetition));
         let protected = lppm.protect_dataset(dataset, &mut rng)?;
-        let privacy =
-            system.privacy_metric().evaluate_prepared(&cell.privacy, dataset, &protected)?.value();
-        let utility =
-            system.utility_metric().evaluate_prepared(&cell.utility, dataset, &protected)?.value();
-        Ok((privacy, utility))
+        system
+            .suite()
+            .iter()
+            .zip(cell)
+            .map(|(metric, state)| {
+                Ok(metric.evaluate_prepared(state, dataset, &protected)?.value())
+            })
+            .collect()
     }
 
     /// Groups per-unit measurements back into per-cell [`SweepResult`]s,
     /// reproducing [`crate::ExperimentRunner`]'s aggregation arithmetic
-    /// exactly (repetitions averaged in repetition order).
+    /// exactly (repetitions averaged in repetition order, one column per
+    /// suite metric).
     ///
     /// Returns the first genuine unit error in unit order; `None` slots mark
     /// units skipped by the short-circuit after some unit failed.
@@ -310,18 +304,18 @@ impl CampaignRunner {
         datasets: &[Dataset],
         sweep_values: &[Vec<f64>],
         units: &[Unit],
-        measurements: Vec<Option<Result<(f64, f64), CoreError>>>,
+        measurements: Vec<Option<Result<Vec<f64>, CoreError>>>,
     ) -> Result<CampaignResult, CoreError> {
-        // (system, dataset, point) -> per-repetition (privacy, utility).
+        // (system, dataset, point) -> per-repetition metric-value vectors.
         // Every system's sweep has the same number of points (the single
         // source of truth for the slot stride).
         let points = sweep_values.first().map_or(0, Vec::len);
         let reps = self.config.repetitions;
-        let mut per_point: Vec<Vec<(f64, f64)>> =
+        let mut per_point: Vec<Vec<Vec<f64>>> =
             vec![Vec::with_capacity(reps); systems.len() * datasets.len() * points];
         let mut skipped = false;
         for (unit, measurement) in units.iter().zip(measurements) {
-            let (privacy, utility) = match measurement {
+            let values = match measurement {
                 Some(result) => result?,
                 None => {
                     skipped = true;
@@ -335,7 +329,7 @@ impl CampaignRunner {
             // skipped by the abort flag, in which case the whole campaign is
             // discarded below anyway.
             debug_assert!(skipped || per_point[slot].len() == unit.repetition);
-            per_point[slot].push((privacy, utility));
+            per_point[slot].push(values);
         }
         if skipped {
             // Unreachable in practice: units are only skipped after a failed
@@ -349,36 +343,36 @@ impl CampaignRunner {
         for (s, system) in systems.iter().enumerate() {
             let descriptor = system.parameter();
             for d in 0..datasets.len() {
-                let samples: Vec<SweepSample> = sweep_values[s]
+                let mut columns: Vec<MetricColumn> = system
+                    .suite()
                     .iter()
-                    .enumerate()
-                    .map(|(point, &value)| {
-                        let slot = (s * datasets.len() + d) * points + point;
-                        let privacy_runs: Vec<f64> =
-                            per_point[slot].iter().map(|&(p, _)| p).collect();
-                        let utility_runs: Vec<f64> =
-                            per_point[slot].iter().map(|&(_, u)| u).collect();
-                        SweepSample {
-                            parameter: value,
-                            privacy: privacy_runs.iter().sum::<f64>() / privacy_runs.len() as f64,
-                            utility: utility_runs.iter().sum::<f64>() / utility_runs.len() as f64,
-                            privacy_runs,
-                            utility_runs,
-                        }
+                    .map(|m| MetricColumn {
+                        id: m.id(),
+                        direction: m.direction(),
+                        means: Vec::with_capacity(points),
+                        runs: Vec::with_capacity(points),
                     })
                     .collect();
+                for point in 0..sweep_values[s].len() {
+                    let slot = (s * datasets.len() + d) * points + point;
+                    for (k, column) in columns.iter_mut().enumerate() {
+                        let runs: Vec<f64> =
+                            per_point[slot].iter().map(|values| values[k]).collect();
+                        column.means.push(runs.iter().sum::<f64>() / runs.len() as f64);
+                        column.runs.push(runs);
+                    }
+                }
                 runs.push(CampaignRun {
                     system_index: s,
                     dataset_index: d,
                     system_key: system.cache_key(),
-                    result: SweepResult {
-                        lppm_name: system.factory().name().to_string(),
-                        parameter_name: descriptor.name().to_string(),
-                        parameter_scale: descriptor.scale(),
-                        privacy_metric_name: system.privacy_metric().name().to_string(),
-                        utility_metric_name: system.utility_metric().name().to_string(),
-                        samples,
-                    },
+                    result: SweepResult::new(
+                        system.factory().name(),
+                        descriptor.name(),
+                        descriptor.scale(),
+                        sweep_values[s].clone(),
+                        columns,
+                    )?,
                 });
             }
         }
@@ -391,7 +385,10 @@ mod tests {
     use super::*;
     use crate::experiment::ExperimentRunner;
     use crate::system::{GaussianPerturbationFactory, GridCloakingFactory};
-    use geopriv_metrics::{AreaCoverage, MetricError, MetricValue, PoiRetrieval, PrivacyMetric};
+    use geopriv_metrics::{
+        AreaCoverage, DistortionUtility, HotspotPreservation, MetricError, MetricSuite,
+        MetricValue, PoiRetrieval, PrivacyMetric, SuiteMetric,
+    };
     use geopriv_mobility::generator::TaxiFleetBuilder;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -408,16 +405,18 @@ mod tests {
     fn three_systems() -> Vec<SystemDefinition> {
         vec![
             SystemDefinition::paper_geoi(),
-            SystemDefinition::new(
+            SystemDefinition::with_pair(
                 Box::new(GridCloakingFactory::new()),
                 Box::new(PoiRetrieval::default()),
                 Box::new(AreaCoverage::default()),
-            ),
-            SystemDefinition::new(
+            )
+            .unwrap(),
+            SystemDefinition::with_pair(
                 Box::new(GaussianPerturbationFactory::new()),
                 Box::new(PoiRetrieval::default()),
                 Box::new(AreaCoverage::default()),
-            ),
+            )
+            .unwrap(),
         ]
     }
 
@@ -453,11 +452,12 @@ mod tests {
             campaign.runs.iter().map(|r| (r.system_index, r.dataset_index)).collect();
         assert_eq!(cells, expected_cells);
         for run in &campaign.runs {
-            assert_eq!(run.result.samples.len(), 4);
+            assert_eq!(run.result.points(), 4);
             assert_eq!(run.system_key, systems[run.system_index].cache_key());
-            for sample in &run.result.samples {
-                assert_eq!(sample.privacy_runs.len(), 2);
-                assert_eq!(sample.utility_runs.len(), 2);
+            for column in &run.result.columns {
+                for runs in &column.runs {
+                    assert_eq!(runs.len(), 2);
+                }
             }
         }
         assert!(campaign.get(0, 1).is_some());
@@ -475,6 +475,30 @@ mod tests {
             let independent = ExperimentRunner::new(config).run(system, &dataset).unwrap();
             assert_eq!(campaign.get(s, 0).unwrap(), &independent, "system {s}");
         }
+    }
+
+    #[test]
+    fn multi_metric_suites_run_through_campaigns() {
+        let suite_system = || {
+            SystemDefinition::new(
+                Box::new(GaussianPerturbationFactory::new()),
+                MetricSuite::new(vec![
+                    SuiteMetric::privacy(PoiRetrieval::default()),
+                    SuiteMetric::utility(DistortionUtility::default()),
+                    SuiteMetric::utility(AreaCoverage::default()),
+                    SuiteMetric::utility(HotspotPreservation::default()),
+                ])
+                .unwrap(),
+            )
+        };
+        let dataset = small_dataset(9);
+        let config = SweepConfig { points: 3, repetitions: 1, seed: 21, parallel: true };
+        let campaign = CampaignRunner::new(config)
+            .run(&[suite_system()], std::slice::from_ref(&dataset))
+            .unwrap();
+        let independent = ExperimentRunner::new(config).run(&suite_system(), &dataset).unwrap();
+        assert_eq!(campaign.get(0, 0).unwrap(), &independent);
+        assert_eq!(independent.columns.len(), 4);
     }
 
     /// A privacy metric that counts its `prepare` calls, to observe the
@@ -527,11 +551,12 @@ mod tests {
     #[test]
     fn a_failing_unit_short_circuits_the_rest_of_the_campaign() {
         let evaluations = Arc::new(AtomicUsize::new(0));
-        let system = SystemDefinition::new(
+        let system = SystemDefinition::with_pair(
             Box::new(GaussianPerturbationFactory::new()),
             Box::new(FailingMetric { evaluations: Arc::clone(&evaluations) }),
             Box::new(AreaCoverage::default()),
-        );
+        )
+        .unwrap();
         let dataset = small_dataset(7);
         let config = SweepConfig { points: 8, repetitions: 2, seed: 1, parallel: false };
         let result = CampaignRunner::new(config).run(std::slice::from_ref(&system), &[dataset]);
@@ -545,7 +570,7 @@ mod tests {
         let prepares = Arc::new(AtomicUsize::new(0));
         let system_with_counter =
             |prepares: &Arc<AtomicUsize>, factory: Box<dyn crate::system::LppmFactory>| {
-                SystemDefinition::new(
+                SystemDefinition::with_pair(
                     factory,
                     Box::new(CountingMetric {
                         prepares: Arc::clone(prepares),
@@ -553,6 +578,7 @@ mod tests {
                     }),
                     Box::new(AreaCoverage::default()),
                 )
+                .unwrap()
             };
         let systems = vec![
             system_with_counter(&prepares, Box::new(GaussianPerturbationFactory::new())),

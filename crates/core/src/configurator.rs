@@ -2,150 +2,167 @@
 //!
 //! "Finally, the LPPM configuration (i.e. the value of p_i) is computed by
 //! inverting the f function, using the specified privacy and utility
-//! objectives." [`Configurator`] turns a [`FittedRelationship`] and a pair of
-//! [`Objectives`] into a concrete parameter recommendation — the paper's
-//! "configuring ε = 0.01 ensures 80 % utility while guaranteeing 10 %
-//! privacy".
+//! objectives." [`Configurator`] turns a [`FittedSuite`] and a set of
+//! per-metric [`Objectives`] into a concrete parameter recommendation — the
+//! paper's "configuring ε = 0.01 ensures 80 % utility while guaranteeing
+//! 10 % privacy" — by intersecting the feasible interval of every
+//! constraint.
 
 use crate::error::CoreError;
-use crate::modeling::FittedRelationship;
-use crate::objectives::Objectives;
+use crate::modeling::FittedSuite;
+use crate::objectives::{Constraint, ConstraintKind, Objectives};
 use geopriv_lppm::ParameterScale;
+use geopriv_metrics::MetricId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// The outcome of inverting the fitted models for a pair of objectives.
+/// The outcome of inverting the fitted models for a set of objectives.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Recommendation {
     /// Name of the configured parameter (e.g. `"epsilon"`).
     pub parameter_name: String,
-    /// The interval of parameter values satisfying both objectives
-    /// (intersected with the modeled domain).
+    /// The interval of parameter values satisfying every constraint
+    /// (intersected with the constrained models' domains).
     pub feasible_range: (f64, f64),
     /// The recommended parameter value (the midpoint of the feasible range,
     /// geometric midpoint for logarithmic parameters).
     pub parameter: f64,
-    /// Privacy predicted by the model at the recommended value.
-    pub predicted_privacy: f64,
-    /// Utility predicted by the model at the recommended value.
-    pub predicted_utility: f64,
+    /// Metric values predicted by the fitted models at the recommended value,
+    /// for every metric of the suite, in suite order.
+    pub predictions: Vec<(MetricId, f64)>,
+}
+
+impl Recommendation {
+    /// The predicted value of one metric at the recommended parameter.
+    pub fn predicted(&self, id: &MetricId) -> Option<f64> {
+        self.predictions.iter().find(|(m, _)| m == id).map(|(_, v)| *v)
+    }
 }
 
 impl fmt::Display for Recommendation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} = {:.4} (feasible in [{:.4}, {:.4}]), predicted privacy {:.3}, predicted utility {:.3}",
-            self.parameter_name,
-            self.parameter,
-            self.feasible_range.0,
-            self.feasible_range.1,
-            self.predicted_privacy,
-            self.predicted_utility
-        )
+            "{} = {:.4} (feasible in [{:.4}, {:.4}])",
+            self.parameter_name, self.parameter, self.feasible_range.0, self.feasible_range.1,
+        )?;
+        for (id, value) in &self.predictions {
+            write!(f, ", predicted {id} {value:.3}")?;
+        }
+        Ok(())
     }
 }
 
 /// Inverts fitted metric models to recommend a configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Configurator {
-    relationship: FittedRelationship,
+    fitted: FittedSuite,
     scale: ParameterScale,
 }
 
 impl Configurator {
-    /// Creates a configurator from a fitted relationship.
+    /// Creates a configurator from a fitted suite.
     ///
     /// `scale` must be the scale of the swept parameter (it decides whether
     /// midpoints are arithmetic or geometric).
-    pub fn new(relationship: FittedRelationship, scale: ParameterScale) -> Self {
-        Self { relationship, scale }
+    pub fn new(fitted: FittedSuite, scale: ParameterScale) -> Self {
+        Self { fitted, scale }
     }
 
-    /// The underlying fitted relationship.
-    pub fn relationship(&self) -> &FittedRelationship {
-        &self.relationship
+    /// The underlying fitted suite.
+    pub fn fitted(&self) -> &FittedSuite {
+        &self.fitted
     }
 
-    /// Computes the parameter interval satisfying one *upper-bound* constraint
-    /// `metric(x) <= bound` for a monotone model, clipped to `domain`.
-    fn interval_for_upper_bound(
+    /// Computes the parameter interval satisfying one constraint
+    /// `metric(x) ≤/≥ bound` for a monotone model, clipped to `domain`.
+    fn interval_for(
         model: &crate::modeling::ParametricModel,
-        bound: f64,
+        constraint: &Constraint,
         domain: (f64, f64),
     ) -> Result<(f64, f64), CoreError> {
-        let critical = model.invert(bound)?;
-        if model.is_increasing() {
-            // Metric grows with x: the constraint caps x from above.
+        let critical = model.invert(constraint.bound())?;
+        // An upper bound on an increasing metric caps the parameter from
+        // above; the three other (kind, slope-sign) combinations follow by
+        // symmetry.
+        let caps_above = match constraint.kind() {
+            ConstraintKind::AtMost => model.is_increasing(),
+            ConstraintKind::AtLeast => !model.is_increasing(),
+        };
+        if caps_above {
             Ok((domain.0, critical.min(domain.1)))
         } else {
             Ok((critical.max(domain.0), domain.1))
         }
     }
 
-    /// Computes the parameter interval satisfying one *lower-bound* constraint
-    /// `metric(x) >= bound`, clipped to `domain`.
-    fn interval_for_lower_bound(
-        model: &crate::modeling::ParametricModel,
-        bound: f64,
-        domain: (f64, f64),
-    ) -> Result<(f64, f64), CoreError> {
-        let critical = model.invert(bound)?;
-        if model.is_increasing() {
-            Ok((critical.max(domain.0), domain.1))
-        } else {
-            Ok((domain.0, critical.min(domain.1)))
-        }
-    }
-
-    /// Recommends a parameter value satisfying both objectives.
+    /// Recommends a parameter value satisfying every constraint.
     ///
     /// # Errors
     ///
+    /// * [`CoreError::InvalidConfiguration`] for an empty objective set or an
+    ///   invalid bound.
+    /// * [`CoreError::UnknownMetric`] when a constraint references a metric
+    ///   that was not fitted.
     /// * [`CoreError::Infeasible`] when no parameter value in the modeled
-    ///   domain satisfies both objectives — the error message reports which
-    ///   direction the conflict goes.
+    ///   domain satisfies every constraint — the error message reports each
+    ///   constraint's individual feasible interval.
     /// * [`CoreError::Analysis`] when a model cannot be inverted.
-    pub fn recommend(&self, objectives: Objectives) -> Result<Recommendation, CoreError> {
-        let privacy_model = &self.relationship.privacy.model;
-        let utility_model = &self.relationship.utility.model;
+    pub fn recommend(&self, objectives: &Objectives) -> Result<Recommendation, CoreError> {
+        if objectives.is_empty() {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "recommendation needs at least one constraint".to_string(),
+            });
+        }
+        let constrained: Vec<(&MetricId, &Constraint, &crate::modeling::MetricModel)> = objectives
+            .constraints()
+            .iter()
+            .map(|(id, constraint)| {
+                constraint.validate()?;
+                let model = self.fitted.model(id).ok_or_else(|| CoreError::UnknownMetric {
+                    metric: id.to_string(),
+                    available: self.fitted.ids().iter().map(MetricId::to_string).collect(),
+                })?;
+                Ok((id, constraint, model))
+            })
+            .collect::<Result<_, CoreError>>()?;
 
-        // Work inside the union of what both models were fitted on: the
-        // privacy zone is typically narrower (Figure 1a) than the utility
-        // zone (Figure 1b); the recommendation must stay where both models
-        // are meaningful, i.e. in the intersection of their domains.
-        let privacy_domain = privacy_model.domain();
-        let utility_domain = utility_model.domain();
-        let domain =
-            (privacy_domain.0.max(utility_domain.0), privacy_domain.1.min(utility_domain.1));
+        // Work inside the intersection of what the constrained models were
+        // fitted on: in the paper's pair the privacy zone is typically
+        // narrower (Figure 1a) than the utility zone (Figure 1b); the
+        // recommendation must stay where every constrained model is
+        // meaningful.
+        let domain = constrained
+            .iter()
+            .map(|(_, _, m)| m.model.domain())
+            .reduce(|a, b| (a.0.max(b.0), a.1.min(b.1)))
+            .expect("objectives are non-empty");
         if domain.0 >= domain.1 {
             return Err(CoreError::Infeasible {
-                reason: "the privacy and utility models were fitted on disjoint parameter ranges"
+                reason: "the constrained metrics' models were fitted on disjoint parameter ranges"
                     .to_string(),
             });
         }
 
-        let privacy_interval =
-            Self::interval_for_upper_bound(privacy_model, objectives.privacy.bound(), domain)?;
-        let utility_interval =
-            Self::interval_for_lower_bound(utility_model, objectives.utility.bound(), domain)?;
-
-        let feasible = (
-            privacy_interval.0.max(utility_interval.0),
-            privacy_interval.1.min(utility_interval.1),
-        );
+        let mut feasible = domain;
+        let mut intervals = Vec::with_capacity(constrained.len());
+        for (id, constraint, model) in &constrained {
+            let interval = Self::interval_for(&model.model, constraint, domain)?;
+            feasible = (feasible.0.max(interval.0), feasible.1.min(interval.1));
+            intervals.push((*id, *constraint, interval));
+        }
         if feasible.0 > feasible.1 {
+            let conflict: Vec<String> = intervals
+                .iter()
+                .map(|(id, constraint, interval)| {
+                    format!(
+                        "{id} {constraint} requires {} in [{:.4}, {:.4}]",
+                        self.fitted.parameter_name, interval.0, interval.1
+                    )
+                })
+                .collect();
             return Err(CoreError::Infeasible {
-                reason: format!(
-                    "privacy objective ({}) requires {} in [{:.4}, {:.4}] but utility objective ({}) requires [{:.4}, {:.4}]",
-                    objectives.privacy,
-                    self.relationship.parameter_name,
-                    privacy_interval.0,
-                    privacy_interval.1,
-                    objectives.utility,
-                    utility_interval.0,
-                    utility_interval.1,
-                ),
+                reason: format!("no value satisfies every constraint: {}", conflict.join("; ")),
             });
         }
 
@@ -155,11 +172,15 @@ impl Configurator {
         };
 
         Ok(Recommendation {
-            parameter_name: self.relationship.parameter_name.clone(),
+            parameter_name: self.fitted.parameter_name.clone(),
             feasible_range: feasible,
             parameter,
-            predicted_privacy: privacy_model.predict(parameter),
-            predicted_utility: utility_model.predict(parameter),
+            predictions: self
+                .fitted
+                .models
+                .iter()
+                .map(|m| (m.id.clone(), m.model.predict(parameter)))
+                .collect(),
         })
     }
 }
@@ -167,42 +188,58 @@ impl Configurator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{SweepResult, SweepSample};
+    use crate::experiment::{MetricColumn, SweepResult};
     use crate::modeling::Modeler;
-    use crate::objectives::{Objectives, PrivacyObjective, UtilityObjective};
+    use crate::objectives::{at_least, at_most, Objectives};
+    use geopriv_metrics::Direction;
 
-    fn paper_like_relationship() -> FittedRelationship {
+    fn privacy_id() -> MetricId {
+        MetricId::new("poi-retrieval")
+    }
+
+    fn utility_id() -> MetricId {
+        MetricId::new("area-coverage")
+    }
+
+    fn paper_like_suite() -> FittedSuite {
         let points = 41;
-        let samples: Vec<SweepSample> = (0..points)
-            .map(|i| {
-                let epsilon = 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / (points - 1) as f64);
-                let privacy = (0.84 + 0.17 * epsilon.ln()).clamp(0.0, 0.45);
-                let utility = (1.21 + 0.09 * epsilon.ln()).clamp(0.2, 1.0);
-                SweepSample {
-                    parameter: epsilon,
-                    privacy,
-                    utility,
-                    privacy_runs: vec![],
-                    utility_runs: vec![],
-                }
-            })
+        let parameters: Vec<f64> = (0..points)
+            .map(|i| 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / (points - 1) as f64))
             .collect();
+        let privacy: Vec<f64> =
+            parameters.iter().map(|e| (0.84 + 0.17 * e.ln()).clamp(0.0, 0.45)).collect();
+        let utility: Vec<f64> =
+            parameters.iter().map(|e| (1.21 + 0.09 * e.ln()).clamp(0.2, 1.0)).collect();
         let sweep = SweepResult {
             lppm_name: "geo-indistinguishability".to_string(),
             parameter_name: "epsilon".to_string(),
             parameter_scale: geopriv_lppm::ParameterScale::Logarithmic,
-            privacy_metric_name: "poi-retrieval".to_string(),
-            utility_metric_name: "area-coverage".to_string(),
-            samples,
+            parameters,
+            columns: vec![
+                MetricColumn {
+                    id: privacy_id(),
+                    direction: Direction::LowerIsBetter,
+                    runs: vec![],
+                    means: privacy,
+                },
+                MetricColumn {
+                    id: utility_id(),
+                    direction: Direction::HigherIsBetter,
+                    runs: vec![],
+                    means: utility,
+                },
+            ],
         };
         Modeler::new().fit(&sweep).unwrap()
     }
 
+    fn configurator() -> Configurator {
+        Configurator::new(paper_like_suite(), geopriv_lppm::ParameterScale::Logarithmic)
+    }
+
     #[test]
     fn paper_objectives_yield_an_epsilon_near_0_01() {
-        let configurator =
-            Configurator::new(paper_like_relationship(), geopriv_lppm::ParameterScale::Logarithmic);
-        let recommendation = configurator.recommend(Objectives::paper_example()).unwrap();
+        let recommendation = configurator().recommend(&Objectives::paper_example()).unwrap();
         assert_eq!(recommendation.parameter_name, "epsilon");
         // The paper picks 0.01; any epsilon satisfying both objectives lies
         // between ~0.009 (utility >= 0.8) and ~0.013 (privacy <= 0.1).
@@ -213,21 +250,25 @@ mod tests {
         );
         assert!(recommendation.feasible_range.0 <= recommendation.parameter);
         assert!(recommendation.feasible_range.1 >= recommendation.parameter);
-        assert!(recommendation.predicted_privacy <= 0.10 + 0.02);
-        assert!(recommendation.predicted_utility >= 0.80 - 0.02);
+        assert!(recommendation.predicted(&privacy_id()).unwrap() <= 0.10 + 0.02);
+        assert!(recommendation.predicted(&utility_id()).unwrap() >= 0.80 - 0.02);
+        assert!(recommendation.predicted(&"unknown".into()).is_none());
         assert!(recommendation.to_string().contains("epsilon"));
+        assert!(recommendation.to_string().contains("poi-retrieval"));
     }
 
     #[test]
     fn looser_objectives_widen_the_feasible_range() {
-        let configurator =
-            Configurator::new(paper_like_relationship(), geopriv_lppm::ParameterScale::Logarithmic);
-        let strict = configurator.recommend(Objectives::paper_example()).unwrap();
+        let configurator = configurator();
+        let strict = configurator.recommend(&Objectives::paper_example()).unwrap();
         let loose = configurator
-            .recommend(Objectives::new(
-                PrivacyObjective::at_most(0.3).unwrap(),
-                UtilityObjective::at_least(0.5).unwrap(),
-            ))
+            .recommend(
+                &Objectives::new()
+                    .require("poi-retrieval", at_most(0.3))
+                    .unwrap()
+                    .require("area-coverage", at_least(0.5))
+                    .unwrap(),
+            )
             .unwrap();
         let strict_width = strict.feasible_range.1 / strict.feasible_range.0;
         let loose_width = loose.feasible_range.1 / loose.feasible_range.0;
@@ -236,36 +277,73 @@ mod tests {
 
     #[test]
     fn impossible_objectives_are_reported_as_infeasible() {
-        let configurator =
-            Configurator::new(paper_like_relationship(), geopriv_lppm::ParameterScale::Logarithmic);
         // Perfect privacy *and* perfect utility cannot both hold.
-        let result = configurator.recommend(Objectives::new(
-            PrivacyObjective::at_most(0.01).unwrap(),
-            UtilityObjective::at_least(0.99).unwrap(),
-        ));
+        let result = configurator().recommend(
+            &Objectives::new()
+                .require("poi-retrieval", at_most(0.01))
+                .unwrap()
+                .require("area-coverage", at_least(0.99))
+                .unwrap(),
+        );
         match result {
             Err(CoreError::Infeasible { reason }) => {
-                assert!(reason.contains("privacy"), "reason: {reason}");
-                assert!(reason.contains("utility"), "reason: {reason}");
+                assert!(reason.contains("poi-retrieval"), "reason: {reason}");
+                assert!(reason.contains("area-coverage"), "reason: {reason}");
             }
             other => panic!("expected infeasible, got {other:?}"),
         }
     }
 
     #[test]
+    fn unknown_metrics_and_empty_objectives_are_rejected() {
+        let configurator = configurator();
+        assert!(matches!(
+            configurator.recommend(&Objectives::new()),
+            Err(CoreError::InvalidConfiguration { .. })
+        ));
+        let result = configurator
+            .recommend(&Objectives::new().require("poi-retrival", at_most(0.1)).unwrap());
+        match result {
+            Err(CoreError::UnknownMetric { metric, available }) => {
+                assert_eq!(metric, "poi-retrival");
+                assert!(available.contains(&"poi-retrieval".to_string()));
+            }
+            other => panic!("expected unknown metric, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constraint_bands_on_one_metric_intersect() {
+        // A band on the utility metric alone: at least 0.5 but at most 0.9.
+        let recommendation = configurator()
+            .recommend(
+                &Objectives::new()
+                    .require("area-coverage", at_least(0.5))
+                    .unwrap()
+                    .require("area-coverage", at_most(0.9))
+                    .unwrap(),
+            )
+            .unwrap();
+        let predicted = recommendation.predicted(&utility_id()).unwrap();
+        assert!((0.5 - 1e-6..=0.9 + 1e-6).contains(&predicted), "predicted {predicted}");
+    }
+
+    #[test]
     fn recommendation_respects_the_model_domain() {
-        let configurator =
-            Configurator::new(paper_like_relationship(), geopriv_lppm::ParameterScale::Logarithmic);
+        let configurator = configurator();
         // Very loose objectives: the feasible range collapses to the fitted
         // domain, and the recommendation stays inside it.
         let recommendation = configurator
-            .recommend(Objectives::new(
-                PrivacyObjective::at_most(1.0).unwrap(),
-                UtilityObjective::at_least(0.0).unwrap(),
-            ))
+            .recommend(
+                &Objectives::new()
+                    .require("poi-retrieval", at_most(1.0))
+                    .unwrap()
+                    .require("area-coverage", at_least(0.0))
+                    .unwrap(),
+            )
             .unwrap();
-        let privacy_domain = configurator.relationship().privacy.model.domain();
-        let utility_domain = configurator.relationship().utility.model.domain();
+        let privacy_domain = configurator.fitted().model(&privacy_id()).unwrap().model.domain();
+        let utility_domain = configurator.fitted().model(&utility_id()).unwrap().model.domain();
         let lo = privacy_domain.0.max(utility_domain.0);
         let hi = privacy_domain.1.min(utility_domain.1);
         assert!(recommendation.parameter >= lo && recommendation.parameter <= hi);

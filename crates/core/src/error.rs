@@ -29,6 +29,14 @@ pub enum CoreError {
         /// Description of the conflicting constraints.
         reason: String,
     },
+    /// A constraint or query referenced a metric id that is not part of the
+    /// suite under study.
+    UnknownMetric {
+        /// The unresolved metric id.
+        metric: String,
+        /// The ids that are available.
+        available: Vec<String>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +50,9 @@ impl fmt::Display for CoreError {
             CoreError::Analysis(e) => write!(f, "analysis error: {e}"),
             CoreError::Mobility(e) => write!(f, "mobility error: {e}"),
             CoreError::Infeasible { reason } => write!(f, "objectives are infeasible: {reason}"),
+            CoreError::UnknownMetric { metric, available } => {
+                write!(f, "unknown metric \"{metric}\" (available: {})", available.join(", "))
+            }
         }
     }
 }
@@ -105,6 +116,14 @@ mod tests {
 
         let e = CoreError::Infeasible { reason: "privacy and utility conflict".into() };
         assert!(e.to_string().contains("infeasible"));
+
+        let e = CoreError::UnknownMetric {
+            metric: "typo-metric".into(),
+            available: vec!["poi-retrieval".into(), "area-coverage".into()],
+        };
+        assert!(e.to_string().contains("typo-metric"));
+        assert!(e.to_string().contains("poi-retrieval"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

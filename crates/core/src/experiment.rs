@@ -4,13 +4,15 @@
 //! parameters p_i and d_i vary in turn while evaluation metrics are
 //! measured." [`ExperimentRunner`] sweeps the mechanism's configuration
 //! parameter over its range, protects the dataset at every sweep point
-//! (optionally several times with different seeds), evaluates the privacy and
-//! utility metrics, and collects the resulting [`SweepResult`] — the raw
-//! material behind Figure 1 and Equation 2.
+//! (optionally several times with different seeds), evaluates every metric of
+//! the system's suite, and collects the resulting [`SweepResult`] — the raw
+//! material behind Figure 1 and Equation 2, generalized from the paper's
+//! fixed privacy/utility pair to any number of metrics.
 
 use crate::error::CoreError;
 use crate::system::SystemDefinition;
 use geopriv_lppm::ParameterScale;
+use geopriv_metrics::{Direction, MetricId};
 use geopriv_mobility::Dataset;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -58,31 +60,26 @@ impl SweepConfig {
     }
 }
 
-/// The measurements collected at one sweep point.
+/// The measurements of one metric across a whole sweep: one column of the
+/// [`SweepResult`] column store.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SweepSample {
-    /// The parameter value (e.g. ε in m⁻¹).
-    pub parameter: f64,
-    /// Mean privacy-metric value over the repetitions.
-    pub privacy: f64,
-    /// Mean utility-metric value over the repetitions.
-    pub utility: f64,
-    /// Per-repetition privacy values.
-    pub privacy_runs: Vec<f64>,
-    /// Per-repetition utility values.
-    pub utility_runs: Vec<f64>,
+pub struct MetricColumn {
+    /// Id of the metric inside the suite.
+    pub id: MetricId,
+    /// Which way the metric improves.
+    pub direction: Direction,
+    /// Mean metric value per sweep point (over the repetitions), aligned with
+    /// [`SweepResult::parameters`].
+    pub means: Vec<f64>,
+    /// Per-repetition metric values per sweep point.
+    pub runs: Vec<Vec<f64>>,
 }
 
-impl SweepSample {
-    /// Standard deviation of the privacy metric over the repetitions
-    /// (zero for a single repetition).
-    pub fn privacy_std(&self) -> f64 {
-        std_dev(&self.privacy_runs)
-    }
-
-    /// Standard deviation of the utility metric over the repetitions.
-    pub fn utility_std(&self) -> f64 {
-        std_dev(&self.utility_runs)
+impl MetricColumn {
+    /// Standard deviation of the metric over the repetitions at one sweep
+    /// point (zero for a single repetition).
+    pub fn std(&self, point: usize) -> f64 {
+        self.runs.get(point).map_or(0.0, |runs| std_dev(runs))
     }
 }
 
@@ -150,8 +147,9 @@ where
         .collect()
 }
 
-/// The result of a full parameter sweep: one [`SweepSample`] per point,
-/// sorted by increasing parameter value.
+/// The result of a full parameter sweep: a per-metric column store, one
+/// [`MetricColumn`] per suite metric, over parameters sorted by increasing
+/// value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepResult {
     /// Name of the mechanism that was swept.
@@ -160,28 +158,92 @@ pub struct SweepResult {
     pub parameter_name: String,
     /// Scale of the swept parameter.
     pub parameter_scale: ParameterScale,
-    /// Name of the privacy metric.
-    pub privacy_metric_name: String,
-    /// Name of the utility metric.
-    pub utility_metric_name: String,
-    /// The per-point measurements, sorted by parameter value.
-    pub samples: Vec<SweepSample>,
+    /// The swept parameter values, in increasing order.
+    pub parameters: Vec<f64>,
+    /// One column per metric, in suite order.
+    pub columns: Vec<MetricColumn>,
 }
 
 impl SweepResult {
-    /// The swept parameter values.
-    pub fn parameters(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.parameter).collect()
+    /// Builds a result, validating that every column has one mean (and, when
+    /// per-repetition runs are recorded, one run list) per parameter and that
+    /// metric ids are unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for ragged columns or
+    /// duplicate ids.
+    pub fn new(
+        lppm_name: impl Into<String>,
+        parameter_name: impl Into<String>,
+        parameter_scale: ParameterScale,
+        parameters: Vec<f64>,
+        columns: Vec<MetricColumn>,
+    ) -> Result<Self, CoreError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for column in &columns {
+            if column.means.len() != parameters.len() {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: format!(
+                        "metric \"{}\" has {} means for {} sweep points",
+                        column.id,
+                        column.means.len(),
+                        parameters.len()
+                    ),
+                });
+            }
+            // An empty runs vector means "per-repetition values not recorded"
+            // (synthetic sweeps); anything else must align with the points.
+            if !column.runs.is_empty() && column.runs.len() != parameters.len() {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: format!(
+                        "metric \"{}\" has {} run lists for {} sweep points",
+                        column.id,
+                        column.runs.len(),
+                        parameters.len()
+                    ),
+                });
+            }
+            if !seen.insert(column.id.clone()) {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: format!("duplicate metric id \"{}\" in sweep result", column.id),
+                });
+            }
+        }
+        Ok(Self {
+            lppm_name: lppm_name.into(),
+            parameter_name: parameter_name.into(),
+            parameter_scale,
+            parameters,
+            columns,
+        })
     }
 
-    /// The mean privacy values, aligned with [`SweepResult::parameters`].
-    pub fn privacy_values(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.privacy).collect()
+    /// Number of sweep points.
+    pub fn points(&self) -> usize {
+        self.parameters.len()
     }
 
-    /// The mean utility values, aligned with [`SweepResult::parameters`].
-    pub fn utility_values(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.utility).collect()
+    /// The metric ids, in suite order.
+    pub fn ids(&self) -> Vec<MetricId> {
+        self.columns.iter().map(|c| c.id.clone()).collect()
+    }
+
+    /// The column of one metric.
+    pub fn column(&self, id: &MetricId) -> Option<&MetricColumn> {
+        self.columns.iter().find(|c| &c.id == id)
+    }
+
+    /// The mean values of one metric, aligned with
+    /// [`SweepResult::parameters`].
+    pub fn values(&self, id: &MetricId) -> Option<&[f64]> {
+        self.column(id).map(|c| c.means.as_slice())
+    }
+
+    /// The first column improving in `direction` — how the paper's "the
+    /// privacy curve" / "the utility curve" map onto a column store.
+    pub fn column_by_direction(&self, direction: Direction) -> Option<&MetricColumn> {
+        self.columns.iter().find(|c| c.direction == direction)
     }
 }
 
@@ -203,7 +265,7 @@ impl ExperimentRunner {
     }
 
     /// Runs the sweep: for every parameter value, protect the dataset and
-    /// evaluate both metrics.
+    /// evaluate every metric of the suite, in suite order.
     ///
     /// The actual-side metric state (POI extraction, bounding boxes — see
     /// [`geopriv_metrics::PrivacyMetric::prepare`]) is prepared once for the
@@ -224,79 +286,70 @@ impl ExperimentRunner {
         self.config.validate()?;
         let descriptor = system.parameter();
         let values = descriptor.sweep(self.config.points);
-        let prepared = PreparedPair {
-            privacy: system.privacy_metric().prepare(dataset).map_err(CoreError::from)?,
-            utility: system.utility_metric().prepare(dataset).map_err(CoreError::from)?,
-        };
+        let prepared: Vec<geopriv_metrics::PreparedState> = system
+            .suite()
+            .iter()
+            .map(|m| m.prepare(dataset).map_err(CoreError::from))
+            .collect::<Result<_, _>>()?;
 
-        let samples: Vec<SweepSample> = if self.config.parallel {
-            run_indexed(values.len(), true, |i| {
-                self.measure_point(system, dataset, &prepared, i, values[i])
-            })
-            .into_iter()
-            .collect::<Result<Vec<_>, CoreError>>()?
-        } else {
-            values
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| self.measure_point(system, dataset, &prepared, i, v))
-                .collect::<Result<Vec<_>, CoreError>>()?
-        };
-
-        Ok(SweepResult {
-            lppm_name: system.factory().name().to_string(),
-            parameter_name: descriptor.name().to_string(),
-            parameter_scale: descriptor.scale(),
-            privacy_metric_name: system.privacy_metric().name().to_string(),
-            utility_metric_name: system.utility_metric().name().to_string(),
-            samples,
+        // Per point: per metric (suite order): per repetition value.
+        let per_point: Vec<Vec<Vec<f64>>> = run_indexed(values.len(), self.config.parallel, |i| {
+            self.measure_point(system, dataset, &prepared, i, values[i])
         })
+        .into_iter()
+        .collect::<Result<Vec<_>, CoreError>>()?;
+
+        let mut columns: Vec<MetricColumn> = system
+            .suite()
+            .iter()
+            .map(|m| MetricColumn {
+                id: m.id(),
+                direction: m.direction(),
+                means: Vec::with_capacity(values.len()),
+                runs: Vec::with_capacity(values.len()),
+            })
+            .collect();
+        for point_runs in per_point {
+            for (column, runs) in columns.iter_mut().zip(point_runs) {
+                column.means.push(runs.iter().sum::<f64>() / runs.len() as f64);
+                column.runs.push(runs);
+            }
+        }
+
+        SweepResult::new(
+            system.factory().name(),
+            descriptor.name(),
+            descriptor.scale(),
+            values,
+            columns,
+        )
     }
 
     fn measure_point(
         &self,
         system: &SystemDefinition,
         dataset: &Dataset,
-        prepared: &PreparedPair,
+        prepared: &[geopriv_metrics::PreparedState],
         index: usize,
         value: f64,
-    ) -> Result<SweepSample, CoreError> {
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
         let lppm = system.factory().instantiate(value)?;
-        let mut privacy_runs = Vec::with_capacity(self.config.repetitions);
-        let mut utility_runs = Vec::with_capacity(self.config.repetitions);
+        let mut runs_by_metric: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(self.config.repetitions); system.suite().len()];
         for repetition in 0..self.config.repetitions {
             // Derive a per-(point, repetition) seed so parallel execution and
             // sequential execution see exactly the same random streams.
             let mut rng =
                 StdRng::seed_from_u64(derive_unit_seed(self.config.seed, index, repetition));
             let protected = lppm.protect_dataset(dataset, &mut rng)?;
-            privacy_runs.push(
-                system
-                    .privacy_metric()
-                    .evaluate_prepared(&prepared.privacy, dataset, &protected)?
-                    .value(),
-            );
-            utility_runs.push(
-                system
-                    .utility_metric()
-                    .evaluate_prepared(&prepared.utility, dataset, &protected)?
-                    .value(),
-            );
+            for ((metric, state), runs) in
+                system.suite().iter().zip(prepared).zip(runs_by_metric.iter_mut())
+            {
+                runs.push(metric.evaluate_prepared(state, dataset, &protected)?.value());
+            }
         }
-        Ok(SweepSample {
-            parameter: value,
-            privacy: privacy_runs.iter().sum::<f64>() / privacy_runs.len() as f64,
-            utility: utility_runs.iter().sum::<f64>() / utility_runs.len() as f64,
-            privacy_runs,
-            utility_runs,
-        })
+        Ok(runs_by_metric)
     }
-}
-
-/// The prepared actual-side state of a system's two metrics.
-struct PreparedPair {
-    privacy: geopriv_metrics::PreparedState,
-    utility: geopriv_metrics::PreparedState,
 }
 
 #[cfg(test)]
@@ -318,6 +371,14 @@ mod tests {
         SweepConfig { points: 6, repetitions: 1, seed: 42, parallel: true }
     }
 
+    fn privacy_id() -> MetricId {
+        MetricId::new("poi-retrieval")
+    }
+
+    fn utility_id() -> MetricId {
+        MetricId::new("area-coverage")
+    }
+
     #[test]
     fn config_validation() {
         assert!(SweepConfig::default().validate().is_ok());
@@ -332,34 +393,35 @@ mod tests {
         let runner = ExperimentRunner::new(small_config());
         let result = runner.run(&system, &dataset).unwrap();
 
-        assert_eq!(result.samples.len(), 6);
+        assert_eq!(result.points(), 6);
         assert_eq!(result.lppm_name, "geo-indistinguishability");
         assert_eq!(result.parameter_name, "epsilon");
-        assert_eq!(result.privacy_metric_name, "poi-retrieval");
-        assert_eq!(result.utility_metric_name, "area-coverage");
+        assert_eq!(result.ids(), vec![privacy_id(), utility_id()]);
+        assert_eq!(result.column(&privacy_id()).unwrap().direction, Direction::LowerIsBetter);
+        assert_eq!(result.column(&utility_id()).unwrap().direction, Direction::HigherIsBetter);
+        assert_eq!(result.column_by_direction(Direction::LowerIsBetter).unwrap().id, privacy_id());
 
         // Parameters are sorted and span exactly the paper's range: the sweep
         // pins both endpoints, no floating-point drift tolerated.
-        let params = result.parameters();
-        assert!(params.windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(params[0], 1e-4);
-        assert_eq!(*params.last().unwrap(), 1.0);
+        assert!(result.parameters.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(result.parameters[0], 1e-4);
+        assert_eq!(*result.parameters.last().unwrap(), 1.0);
 
         // Metrics are bounded.
-        for s in &result.samples {
-            assert!((0.0..=1.0).contains(&s.privacy), "privacy {}", s.privacy);
-            assert!((0.0..=1.0).contains(&s.utility), "utility {}", s.utility);
-            assert_eq!(s.privacy_runs.len(), 1);
-            assert_eq!(s.privacy_std(), 0.0);
-            assert_eq!(s.utility_std(), 0.0);
+        for column in &result.columns {
+            assert_eq!(column.means.len(), 6);
+            for (point, mean) in column.means.iter().enumerate() {
+                assert!((0.0..=1.0).contains(mean), "{} = {mean}", column.id);
+                assert_eq!(column.runs[point].len(), 1);
+                assert_eq!(column.std(point), 0.0);
+            }
         }
 
         // The qualitative shape of Figure 1: privacy and utility are (weakly)
         // higher at the largest epsilon than at the smallest.
-        let first = &result.samples[0];
-        let last = &result.samples[result.samples.len() - 1];
-        assert!(last.privacy >= first.privacy);
-        assert!(last.utility >= first.utility);
+        for column in &result.columns {
+            assert!(column.means.last().unwrap() >= column.means.first().unwrap());
+        }
     }
 
     #[test]
@@ -395,12 +457,13 @@ mod tests {
         let system = SystemDefinition::paper_geoi();
         let config = SweepConfig { points: 3, repetitions: 3, seed: 5, parallel: true };
         let result = ExperimentRunner::new(config).run(&system, &dataset).unwrap();
-        for s in &result.samples {
-            assert_eq!(s.privacy_runs.len(), 3);
-            assert_eq!(s.utility_runs.len(), 3);
-            let mean: f64 = s.privacy_runs.iter().sum::<f64>() / 3.0;
-            assert!((mean - s.privacy).abs() < 1e-12);
-            assert!(s.privacy_std() >= 0.0);
+        for column in &result.columns {
+            for (point, runs) in column.runs.iter().enumerate() {
+                assert_eq!(runs.len(), 3);
+                let mean: f64 = runs.iter().sum::<f64>() / 3.0;
+                assert!((mean - column.means[point]).abs() < 1e-12);
+                assert!(column.std(point) >= 0.0);
+            }
         }
     }
 
@@ -426,6 +489,64 @@ mod tests {
         assert_eq!(sequential, parallel);
         assert_eq!(sequential, (0..17).map(|i| i * i).collect::<Vec<_>>());
         assert!(run_indexed(0, true, |i| i).is_empty());
+    }
+
+    #[test]
+    fn sweep_result_constructor_validates() {
+        let column = |id: &str, means: Vec<f64>| MetricColumn {
+            id: MetricId::new(id),
+            direction: Direction::HigherIsBetter,
+            runs: means.iter().map(|&m| vec![m]).collect(),
+            means,
+        };
+        assert!(SweepResult::new(
+            "m",
+            "p",
+            ParameterScale::Linear,
+            vec![0.1, 0.2],
+            vec![column("a", vec![0.0, 1.0]), column("b", vec![1.0, 0.0])],
+        )
+        .is_ok());
+        // Ragged column.
+        assert!(SweepResult::new(
+            "m",
+            "p",
+            ParameterScale::Linear,
+            vec![0.1, 0.2],
+            vec![column("a", vec![0.0])],
+        )
+        .is_err());
+        // Runs recorded but not aligned with the points.
+        let mut misaligned = column("a", vec![0.0, 1.0]);
+        misaligned.runs.pop();
+        assert!(SweepResult::new(
+            "m",
+            "p",
+            ParameterScale::Linear,
+            vec![0.1, 0.2],
+            vec![misaligned],
+        )
+        .is_err());
+        // Empty runs are the "not recorded" convention used by synthetic sweeps.
+        let mut unrecorded = column("a", vec![0.0, 1.0]);
+        unrecorded.runs.clear();
+        assert!(SweepResult::new(
+            "m",
+            "p",
+            ParameterScale::Linear,
+            vec![0.1, 0.2],
+            vec![unrecorded],
+        )
+        .is_ok());
+        // Duplicate id.
+        assert!(SweepResult::new(
+            "m",
+            "p",
+            ParameterScale::Linear,
+            vec![0.1, 0.2],
+            vec![column("a", vec![0.0, 1.0]), column("a", vec![1.0, 0.0])],
+        )
+        .is_err());
     }
 
     #[test]

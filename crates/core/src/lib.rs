@@ -7,16 +7,20 @@
 //!
 //! The three steps of the paper map onto three modules:
 //!
-//! 1. **System definition** ([`system`]) — pick the privacy metric, the
-//!    utility metric and the LPPM with its swept parameter;
-//!    [`property_selection`] ranks candidate dataset properties with a PCA.
+//! 1. **System definition** ([`system`]) — pick the LPPM with its swept
+//!    parameter and a [`geopriv_metrics::MetricSuite`]: an ordered set of
+//!    named, direction-tagged metrics generalizing the paper's fixed
+//!    privacy/utility pair; [`property_selection`] ranks candidate dataset
+//!    properties with a PCA.
 //! 2. **Modeling** ([`experiment`] + [`modeling`]) — automatically sweep the
-//!    parameter, measure both metrics, detect the non-saturated zone and fit
-//!    the invertible (log-)linear relationship of Equation 2. The [`campaign`]
-//!    engine scales this step to many systems × many datasets on one shared
-//!    work pool with amortized actual-side metric state.
+//!    parameter, measure every suite metric into a per-metric column store,
+//!    detect each metric's non-saturated zone and fit the invertible
+//!    (log-)linear relationship of Equation 2. The [`campaign`] engine scales
+//!    this step to many systems × many datasets on one shared work pool with
+//!    amortized actual-side metric state.
 //! 3. **Configuration** ([`configurator`]) — invert the fitted models under
-//!    the designer's [`objectives`] and recommend a parameter value.
+//!    the designer's per-metric [`objectives`] and recommend a parameter
+//!    value satisfying every constraint.
 //!
 //! ## End-to-end example
 //!
@@ -33,13 +37,16 @@
 //! // Step 1 — define the system (GEO-I, POI retrieval, area coverage).
 //! let system = SystemDefinition::paper_geoi();
 //!
-//! // Step 2 — sweep ε, measure, and fit the invertible model.
+//! // Step 2 — sweep ε, measure every suite metric, fit the invertible models.
 //! let sweep = ExperimentRunner::new(SweepConfig::default()).run(&system, &dataset)?;
 //! let fitted = Modeler::new().fit(&sweep)?;
 //!
-//! // Step 3 — state objectives and invert.
+//! // Step 3 — state per-metric objectives and invert.
+//! let objectives = Objectives::new()
+//!     .require("poi-retrieval", at_most(0.10))?
+//!     .require("area-coverage", at_least(0.80))?;
 //! let configurator = Configurator::new(fitted, system.parameter().scale());
-//! let recommendation = configurator.recommend(Objectives::paper_example())?;
+//! let recommendation = configurator.recommend(&objectives)?;
 //! println!("use ε = {:.4}", recommendation.parameter);
 //! # Ok(())
 //! # }
@@ -63,9 +70,9 @@ pub mod validation;
 pub use campaign::{CampaignResult, CampaignRun, CampaignRunner};
 pub use configurator::{Configurator, Recommendation};
 pub use error::CoreError;
-pub use experiment::{derive_unit_seed, ExperimentRunner, SweepConfig, SweepResult, SweepSample};
-pub use modeling::{FittedRelationship, MetricModel, Modeler, ParametricModel};
-pub use objectives::{Objectives, PrivacyObjective, UtilityObjective};
+pub use experiment::{derive_unit_seed, ExperimentRunner, MetricColumn, SweepConfig, SweepResult};
+pub use modeling::{FittedSuite, MetricModel, Modeler, ParametricModel};
+pub use objectives::{at_least, at_most, Constraint, ConstraintKind, Objectives};
 pub use pareto::{ParetoFrontier, TradeOffPoint};
 pub use property_selection::{PropertySelection, PropertySelector, RankedProperty};
 pub use system::{
@@ -74,14 +81,18 @@ pub use system::{
 };
 pub use validation::{HoldOutValidator, PredictionError, ValidationReport};
 
+// The metric-suite vocabulary the core API is expressed in, re-exported so
+// `geopriv_core` users need not depend on `geopriv_metrics` directly.
+pub use geopriv_metrics::{Direction, MetricId, MetricSuite, SuiteMetric};
+
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::campaign::{CampaignResult, CampaignRun, CampaignRunner};
     pub use crate::configurator::{Configurator, Recommendation};
     pub use crate::error::CoreError;
-    pub use crate::experiment::{ExperimentRunner, SweepConfig, SweepResult, SweepSample};
-    pub use crate::modeling::{FittedRelationship, MetricModel, Modeler, ParametricModel};
-    pub use crate::objectives::{Objectives, PrivacyObjective, UtilityObjective};
+    pub use crate::experiment::{ExperimentRunner, MetricColumn, SweepConfig, SweepResult};
+    pub use crate::modeling::{FittedSuite, MetricModel, Modeler, ParametricModel};
+    pub use crate::objectives::{at_least, at_most, Constraint, ConstraintKind, Objectives};
     pub use crate::pareto::{ParetoFrontier, TradeOffPoint};
     pub use crate::property_selection::{PropertySelection, PropertySelector};
     pub use crate::report;
@@ -90,4 +101,5 @@ pub mod prelude {
         LppmFactory, SystemDefinition,
     };
     pub use crate::validation::{HoldOutValidator, PredictionError, ValidationReport};
+    pub use geopriv_metrics::{Direction, MetricId, MetricSuite, SuiteMetric};
 }

@@ -11,13 +11,15 @@
 //!
 //! [`Modeler::fit`] takes a [`SweepResult`], detects the non-saturated zone
 //! of each metric (the vertical lines of Figure 1), and fits an invertible
-//! parametric model restricted to that zone.
+//! parametric model restricted to that zone — one [`MetricModel`] per column
+//! of the sweep, collected into a [`FittedSuite`].
 
 use crate::error::CoreError;
 use crate::experiment::SweepResult;
 use geopriv_analysis::model::{LinearModel, LogLinearModel, ResponseModel};
 use geopriv_analysis::{find_active_zone, ActiveZone, AnalysisError, Curve};
 use geopriv_lppm::ParameterScale;
+use geopriv_metrics::{Direction, MetricId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -103,8 +105,10 @@ impl fmt::Display for ParametricModel {
 /// non-saturated zone, and the parametric model fitted inside that zone.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricModel {
-    /// Name of the metric.
-    pub metric_name: String,
+    /// Id of the metric.
+    pub id: MetricId,
+    /// Which way the metric improves.
+    pub direction: Direction,
     /// The full empirical response (parameter → metric), all sweep points.
     pub curve: Curve,
     /// The detected non-saturated zone, in parameter units.
@@ -120,25 +124,43 @@ impl MetricModel {
     }
 }
 
-/// The complete modeling result: one [`MetricModel`] per metric.
+/// The complete modeling result: one [`MetricModel`] per metric of the swept
+/// suite, in suite order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FittedRelationship {
+pub struct FittedSuite {
     /// Name of the swept parameter.
     pub parameter_name: String,
-    /// The fitted privacy response (`Pr = a + b·ln ε` in the paper).
-    pub privacy: MetricModel,
-    /// The fitted utility response (`Ut = α + β·ln ε` in the paper).
-    pub utility: MetricModel,
+    /// The fitted per-metric responses (`Pr = a + b·ln ε` and
+    /// `Ut = α + β·ln ε` in the paper).
+    pub models: Vec<MetricModel>,
 }
 
-impl fmt::Display for FittedRelationship {
+impl FittedSuite {
+    /// The fitted model of one metric.
+    pub fn model(&self, id: &MetricId) -> Option<&MetricModel> {
+        self.models.iter().find(|m| &m.id == id)
+    }
+
+    /// The metric ids, in suite order.
+    pub fn ids(&self) -> Vec<MetricId> {
+        self.models.iter().map(|m| m.id.clone()).collect()
+    }
+
+    /// The first fitted model improving in `direction`.
+    pub fn model_by_direction(&self, direction: Direction) -> Option<&MetricModel> {
+        self.models.iter().find(|m| m.direction == direction)
+    }
+}
+
+impl fmt::Display for FittedSuite {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "{} ({}): {}",
-            self.privacy.metric_name, self.parameter_name, self.privacy.model
-        )?;
-        write!(f, "{} ({}): {}", self.utility.metric_name, self.parameter_name, self.utility.model)
+        for (i, m) in self.models.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{} ({}): {}", m.id, self.parameter_name, m.model)?;
+        }
+        Ok(())
     }
 }
 
@@ -154,36 +176,34 @@ impl Modeler {
         Self::default()
     }
 
-    /// Fits both metric models from a sweep result.
+    /// Fits every metric's model from a sweep result.
     ///
     /// # Errors
     ///
     /// * [`CoreError::InvalidConfiguration`] if the sweep has fewer than four points.
     /// * [`CoreError::Analysis`] if a metric never responds to the parameter
     ///   (zero dynamic range) or the fit is degenerate.
-    pub fn fit(&self, sweep: &SweepResult) -> Result<FittedRelationship, CoreError> {
-        if sweep.samples.len() < 4 {
+    pub fn fit(&self, sweep: &SweepResult) -> Result<FittedSuite, CoreError> {
+        if sweep.points() < 4 {
             return Err(CoreError::InvalidConfiguration {
-                reason: format!(
-                    "modeling needs at least 4 sweep points, got {}",
-                    sweep.samples.len()
-                ),
+                reason: format!("modeling needs at least 4 sweep points, got {}", sweep.points()),
             });
         }
-        let privacy =
-            self.fit_metric(sweep, &sweep.privacy_metric_name, &sweep.privacy_values())?;
-        let utility =
-            self.fit_metric(sweep, &sweep.utility_metric_name, &sweep.utility_values())?;
-        Ok(FittedRelationship { parameter_name: sweep.parameter_name.clone(), privacy, utility })
+        let models = sweep
+            .columns
+            .iter()
+            .map(|column| self.fit_metric(sweep, column))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FittedSuite { parameter_name: sweep.parameter_name.clone(), models })
     }
 
     fn fit_metric(
         &self,
         sweep: &SweepResult,
-        metric_name: &str,
-        values: &[f64],
+        column: &crate::experiment::MetricColumn,
     ) -> Result<MetricModel, CoreError> {
-        let parameters = sweep.parameters();
+        let parameters = &sweep.parameters;
+        let values = &column.means;
         let logarithmic = sweep.parameter_scale == ParameterScale::Logarithmic;
 
         // Work on a transformed x-axis (ln for logarithmic parameters) so the
@@ -221,40 +241,59 @@ impl Modeler {
             zone_params.iter().copied().fold(f64::INFINITY, f64::min),
             zone_params.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         );
-        Ok(MetricModel { metric_name: metric_name.to_string(), curve, active_zone, model })
+        Ok(MetricModel {
+            id: column.id.clone(),
+            direction: column.direction,
+            curve,
+            active_zone,
+            model,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{SweepResult, SweepSample};
+    use crate::experiment::{MetricColumn, SweepResult};
     use geopriv_lppm::ParameterScale;
+
+    fn privacy_id() -> MetricId {
+        MetricId::new("poi-retrieval")
+    }
+
+    fn utility_id() -> MetricId {
+        MetricId::new("area-coverage")
+    }
 
     /// Builds a synthetic sweep result following the paper's Equation 2 with
     /// saturation outside the active zone, without running any experiment.
     fn paper_like_sweep(points: usize) -> SweepResult {
-        let samples: Vec<SweepSample> = (0..points)
-            .map(|i| {
-                let epsilon = 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / (points - 1) as f64);
-                let privacy = (0.84 + 0.17 * epsilon.ln()).clamp(0.0, 0.45);
-                let utility = (1.21 + 0.09 * epsilon.ln()).clamp(0.2, 1.0);
-                SweepSample {
-                    parameter: epsilon,
-                    privacy,
-                    utility,
-                    privacy_runs: vec![privacy],
-                    utility_runs: vec![utility],
-                }
-            })
+        let parameters: Vec<f64> = (0..points)
+            .map(|i| 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / (points - 1) as f64))
             .collect();
+        let privacy: Vec<f64> =
+            parameters.iter().map(|e| (0.84 + 0.17 * e.ln()).clamp(0.0, 0.45)).collect();
+        let utility: Vec<f64> =
+            parameters.iter().map(|e| (1.21 + 0.09 * e.ln()).clamp(0.2, 1.0)).collect();
         SweepResult {
             lppm_name: "geo-indistinguishability".to_string(),
             parameter_name: "epsilon".to_string(),
             parameter_scale: ParameterScale::Logarithmic,
-            privacy_metric_name: "poi-retrieval".to_string(),
-            utility_metric_name: "area-coverage".to_string(),
-            samples,
+            parameters,
+            columns: vec![
+                MetricColumn {
+                    id: privacy_id(),
+                    direction: Direction::LowerIsBetter,
+                    runs: privacy.iter().map(|&v| vec![v]).collect(),
+                    means: privacy,
+                },
+                MetricColumn {
+                    id: utility_id(),
+                    direction: Direction::HigherIsBetter,
+                    runs: utility.iter().map(|&v| vec![v]).collect(),
+                    means: utility,
+                },
+            ],
         }
     }
 
@@ -262,19 +301,23 @@ mod tests {
     fn recovers_the_paper_coefficients_from_a_clean_sweep() {
         let sweep = paper_like_sweep(41);
         let fitted = Modeler::new().fit(&sweep).unwrap();
+        assert_eq!(fitted.ids(), vec![privacy_id(), utility_id()]);
 
         // Privacy side of Equation 2: a = 0.84, b = 0.17.
-        let p = &fitted.privacy.model;
+        let p = &fitted.model(&privacy_id()).unwrap().model;
         assert!((p.intercept() - 0.84).abs() < 0.08, "a = {}", p.intercept());
         assert!((p.slope() - 0.17).abs() < 0.04, "b = {}", p.slope());
         assert!(p.r_squared() > 0.95);
         assert!(p.is_increasing());
 
         // Utility side: alpha = 1.21, beta = 0.09.
-        let u = &fitted.utility.model;
+        let u = &fitted.model(&utility_id()).unwrap().model;
         assert!((u.intercept() - 1.21).abs() < 0.12, "alpha = {}", u.intercept());
         assert!((u.slope() - 0.09).abs() < 0.03, "beta = {}", u.slope());
         assert!(u.r_squared() > 0.95);
+
+        // Directions flow from the columns into the models.
+        assert_eq!(fitted.model_by_direction(Direction::LowerIsBetter).unwrap().id, privacy_id());
 
         // The display mentions both metrics.
         let text = fitted.to_string();
@@ -285,19 +328,21 @@ mod tests {
     fn active_zones_exclude_the_saturated_tails() {
         let sweep = paper_like_sweep(41);
         let fitted = Modeler::new().fit(&sweep).unwrap();
+        let privacy = fitted.model(&privacy_id()).unwrap();
+        let utility = fitted.model(&utility_id()).unwrap();
         // Privacy saturates at 0 below eps~0.007 and at 0.45 above eps~0.1:
         // the active zone must be a strict sub-range of the sweep.
-        let (lo, hi) = fitted.privacy.active_zone;
+        let (lo, hi) = privacy.active_zone;
         assert!(lo > 1e-4 * 1.5, "zone starts too early: {lo}");
         assert!(hi < 1.0 / 1.5, "zone ends too late: {hi}");
-        assert!(fitted.privacy.in_active_zone(0.01));
-        assert!(!fitted.privacy.in_active_zone(1e-4));
+        assert!(privacy.in_active_zone(0.01));
+        assert!(!privacy.in_active_zone(1e-4));
 
         // The utility response spans more of the range, so its zone is wider
         // (in log terms) than the privacy zone — the paper's "evolves more
         // slowly on a larger range".
-        let privacy_width = (fitted.privacy.active_zone.1 / fitted.privacy.active_zone.0).ln();
-        let utility_width = (fitted.utility.active_zone.1 / fitted.utility.active_zone.0).ln();
+        let privacy_width = (privacy.active_zone.1 / privacy.active_zone.0).ln();
+        let utility_width = (utility.active_zone.1 / utility.active_zone.0).ln();
         assert!(utility_width > privacy_width, "{utility_width} vs {privacy_width}");
     }
 
@@ -307,11 +352,27 @@ mod tests {
         let fitted = Modeler::new().fit(&sweep).unwrap();
         // Inverting the privacy model at 10% gives an epsilon near 0.0128
         // (the paper rounds to 0.01).
-        let eps_for_privacy = fitted.privacy.model.invert(0.10).unwrap();
+        let eps_for_privacy = fitted.model(&privacy_id()).unwrap().model.invert(0.10).unwrap();
         assert!((0.008..0.02).contains(&eps_for_privacy), "eps {eps_for_privacy}");
         // And the utility model predicts about 80% utility there.
-        let predicted_utility = fitted.utility.model.predict(eps_for_privacy);
+        let predicted_utility = fitted.model(&utility_id()).unwrap().model.predict(eps_for_privacy);
         assert!((0.75..0.88).contains(&predicted_utility), "utility {predicted_utility}");
+    }
+
+    #[test]
+    fn every_metric_of_a_larger_suite_is_fitted() {
+        let mut sweep = paper_like_sweep(30);
+        let extra: Vec<f64> =
+            sweep.parameters.iter().map(|e| (0.95 + 0.05 * e.ln()).clamp(0.1, 0.9)).collect();
+        sweep.columns.push(MetricColumn {
+            id: MetricId::new("hotspot-preservation"),
+            direction: Direction::HigherIsBetter,
+            runs: extra.iter().map(|&v| vec![v]).collect(),
+            means: extra,
+        });
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+        assert_eq!(fitted.models.len(), 3);
+        assert!(fitted.model(&MetricId::new("hotspot-preservation")).is_some());
     }
 
     #[test]
@@ -320,37 +381,40 @@ mod tests {
         assert!(Modeler::new().fit(&sweep).is_err());
 
         let mut flat = paper_like_sweep(20);
-        for s in &mut flat.samples {
-            s.privacy = 0.3;
-        }
+        flat.columns[0].means = vec![0.3; 20];
         assert!(matches!(Modeler::new().fit(&flat), Err(CoreError::Analysis(_))));
     }
 
     #[test]
     fn linear_scale_parameters_use_a_linear_model() {
-        let samples: Vec<SweepSample> = (0..15)
-            .map(|i| {
-                let p = i as f64 / 14.0; // release probability 0..1
-                SweepSample {
-                    parameter: p.max(0.01),
-                    privacy: 0.05 + 0.4 * p,
-                    utility: 0.2 + 0.75 * p,
-                    privacy_runs: vec![],
-                    utility_runs: vec![],
-                }
-            })
-            .collect();
+        let parameters: Vec<f64> = (0..15).map(|i| (i as f64 / 14.0).max(0.01)).collect();
+        let privacy: Vec<f64> = parameters.iter().map(|p| 0.05 + 0.4 * p).collect();
+        let utility: Vec<f64> = parameters.iter().map(|p| 0.2 + 0.75 * p).collect();
         let sweep = SweepResult {
             lppm_name: "release-sampling".to_string(),
             parameter_name: "probability".to_string(),
             parameter_scale: ParameterScale::Linear,
-            privacy_metric_name: "poi-retrieval".to_string(),
-            utility_metric_name: "area-coverage".to_string(),
-            samples,
+            parameters,
+            columns: vec![
+                MetricColumn {
+                    id: privacy_id(),
+                    direction: Direction::LowerIsBetter,
+                    runs: vec![],
+                    means: privacy,
+                },
+                MetricColumn {
+                    id: utility_id(),
+                    direction: Direction::HigherIsBetter,
+                    runs: vec![],
+                    means: utility,
+                },
+            ],
         };
         let fitted = Modeler::new().fit(&sweep).unwrap();
-        assert!(matches!(fitted.privacy.model, ParametricModel::Linear(_)));
-        assert!((fitted.privacy.model.slope() - 0.4).abs() < 0.05);
-        assert!((fitted.utility.model.slope() - 0.75).abs() < 0.05);
+        let p = fitted.model(&privacy_id()).unwrap();
+        let u = fitted.model(&utility_id()).unwrap();
+        assert!(matches!(p.model, ParametricModel::Linear(_)));
+        assert!((p.model.slope() - 0.4).abs() < 0.05);
+        assert!((u.model.slope() - 0.75).abs() < 0.05);
     }
 }

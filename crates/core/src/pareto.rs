@@ -1,84 +1,165 @@
-//! Privacy/utility trade-off frontier.
+//! Metric trade-off frontier.
 //!
 //! A natural extension of the paper's framework ("our future work will focus
 //! in testing other LPPMs … we also plan to extend our framework with more
-//! metrics and parameters"): instead of answering a single objective pair,
-//! expose the whole *Pareto frontier* of the measured sweep — the set of
-//! parameter values that are not dominated (some other value being both more
-//! private and more useful). The configurator's recommendations always lie on
-//! this frontier; the frontier view helps a system designer pick objectives
-//! that are actually reachable before invoking the inversion step.
+//! metrics and parameters"): instead of answering a single objective set,
+//! expose the whole *Pareto frontier* of the measured sweep over any chosen
+//! metric pair — the set of parameter values that are not dominated (some
+//! other value being better on both chosen metrics). The configurator's
+//! recommendations always lie on this frontier; the frontier view helps a
+//! system designer pick objectives that are actually reachable before
+//! invoking the inversion step.
 
+use crate::error::CoreError;
 use crate::experiment::SweepResult;
+use crate::objectives::Constraint;
+use geopriv_metrics::{Direction, MetricId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// One point of the privacy/utility trade-off frontier.
+/// One point of a two-metric trade-off frontier.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TradeOffPoint {
     /// The parameter value (e.g. ε).
     pub parameter: f64,
-    /// The measured privacy metric (lower is better).
-    pub privacy: f64,
-    /// The measured utility metric (higher is better).
-    pub utility: f64,
+    /// The measured value of the frontier's first (x) metric.
+    pub x: f64,
+    /// The measured value of the frontier's second (y) metric.
+    pub y: f64,
 }
 
 impl TradeOffPoint {
-    /// Returns `true` if `self` dominates `other`: at least as private *and*
-    /// at least as useful, and strictly better on one of the two.
-    pub fn dominates(&self, other: &TradeOffPoint) -> bool {
-        let no_worse = self.privacy <= other.privacy && self.utility >= other.utility;
-        let strictly_better = self.privacy < other.privacy || self.utility > other.utility;
+    /// Returns `true` if `self` dominates `other` under the given metric
+    /// directions: at least as good on both metrics, strictly better on one.
+    pub fn dominates(&self, other: &TradeOffPoint, x: Direction, y: Direction) -> bool {
+        let (sx, sy) = (x.goodness(self.x), y.goodness(self.y));
+        let (ox, oy) = (x.goodness(other.x), y.goodness(other.y));
+        let no_worse = sx >= ox && sy >= oy;
+        let strictly_better = sx > ox || sy > oy;
         no_worse && strictly_better
     }
 }
 
 impl fmt::Display for TradeOffPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "parameter {:.5}: privacy {:.3}, utility {:.3}",
-            self.parameter, self.privacy, self.utility
-        )
+        write!(f, "parameter {:.5}: {:.3} vs {:.3}", self.parameter, self.x, self.y)
     }
 }
 
-/// The Pareto frontier extracted from a sweep.
+/// The Pareto frontier of a sweep over a chosen metric pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParetoFrontier {
+    x_id: MetricId,
+    x_direction: Direction,
+    y_id: MetricId,
+    y_direction: Direction,
     points: Vec<TradeOffPoint>,
 }
 
 impl ParetoFrontier {
-    /// Extracts the non-dominated points of a sweep, sorted by increasing
-    /// privacy (i.e. from the most private to the most useful end).
-    pub fn from_sweep(sweep: &SweepResult) -> Self {
-        let candidates: Vec<TradeOffPoint> = sweep
-            .samples
-            .iter()
-            .map(|s| TradeOffPoint {
-                parameter: s.parameter,
-                privacy: s.privacy,
-                utility: s.utility,
+    /// Extracts the frontier over the paper's default pair: the sweep's first
+    /// lower-is-better metric (x) against its first higher-is-better metric
+    /// (y).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfiguration`] when the sweep lacks a metric of
+    ///   either direction (choose the pair explicitly with
+    ///   [`ParetoFrontier::for_pair`]) or contains non-finite metric values.
+    pub fn from_sweep(sweep: &SweepResult) -> Result<Self, CoreError> {
+        let pick = |direction: Direction| {
+            sweep.column_by_direction(direction).map(|c| c.id.clone()).ok_or_else(|| {
+                CoreError::InvalidConfiguration {
+                    reason: format!(
+                        "sweep has no {direction} metric; pick the frontier pair explicitly"
+                    ),
+                }
             })
+        };
+        let x = pick(Direction::LowerIsBetter)?;
+        let y = pick(Direction::HigherIsBetter)?;
+        Self::for_pair(sweep, &x, &y)
+    }
+
+    /// Extracts the non-dominated points of a sweep over an explicitly chosen
+    /// metric pair, sorted from best-x to best-y end.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownMetric`] when either id is not a sweep column.
+    /// * [`CoreError::InvalidConfiguration`] when a metric value is NaN or
+    ///   infinite — dominance is meaningless on non-finite values, so
+    ///   construction rejects them instead of panicking mid-comparison.
+    pub fn for_pair(
+        sweep: &SweepResult,
+        x_id: &MetricId,
+        y_id: &MetricId,
+    ) -> Result<Self, CoreError> {
+        let column = |id: &MetricId| {
+            sweep.column(id).ok_or_else(|| CoreError::UnknownMetric {
+                metric: id.to_string(),
+                available: sweep.ids().iter().map(MetricId::to_string).collect(),
+            })
+        };
+        let x_column = column(x_id)?;
+        let y_column = column(y_id)?;
+        for column in [x_column, y_column] {
+            for (parameter, value) in sweep.parameters.iter().zip(&column.means) {
+                if !value.is_finite() {
+                    return Err(CoreError::InvalidConfiguration {
+                        reason: format!(
+                            "metric \"{}\" is non-finite ({value}) at parameter {parameter}; \
+                             a trade-off frontier needs finite metric values",
+                            column.id
+                        ),
+                    });
+                }
+            }
+        }
+
+        let (x_direction, y_direction) = (x_column.direction, y_column.direction);
+        let candidates: Vec<TradeOffPoint> = sweep
+            .parameters
+            .iter()
+            .zip(x_column.means.iter().zip(&y_column.means))
+            .map(|(&parameter, (&x, &y))| TradeOffPoint { parameter, x, y })
             .collect();
         let mut frontier: Vec<TradeOffPoint> = candidates
             .iter()
-            .filter(|candidate| !candidates.iter().any(|other| other.dominates(candidate)))
+            .filter(|candidate| {
+                !candidates.iter().any(|o| o.dominates(candidate, x_direction, y_direction))
+            })
             .copied()
             .collect();
         frontier.sort_by(|a, b| {
-            a.privacy
-                .partial_cmp(&b.privacy)
+            // Finiteness was checked above, so the comparisons are total.
+            x_direction
+                .goodness(b.x)
+                .partial_cmp(&x_direction.goodness(a.x))
                 .expect("metric values are finite")
-                .then(a.utility.partial_cmp(&b.utility).expect("finite"))
+                .then(a.y.partial_cmp(&b.y).expect("finite"))
         });
-        frontier.dedup_by(|a, b| a.privacy == b.privacy && a.utility == b.utility);
-        Self { points: frontier }
+        frontier.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+        Ok(Self {
+            x_id: x_id.clone(),
+            x_direction,
+            y_id: y_id.clone(),
+            y_direction,
+            points: frontier,
+        })
     }
 
-    /// The frontier points, sorted by increasing privacy.
+    /// The id of the frontier's x metric.
+    pub fn x_id(&self) -> &MetricId {
+        &self.x_id
+    }
+
+    /// The id of the frontier's y metric.
+    pub fn y_id(&self) -> &MetricId {
+        &self.y_id
+    }
+
+    /// The frontier points, sorted from best-x to best-y end.
     pub fn points(&self) -> &[TradeOffPoint] {
         &self.points
     }
@@ -93,31 +174,44 @@ impl ParetoFrontier {
         self.points.is_empty()
     }
 
-    /// The knee point: the frontier point maximizing `utility − privacy`,
-    /// i.e. the best balanced compromise when the designer has no explicit
-    /// objectives yet.
+    /// The knee point: the frontier point maximizing the summed goodness of
+    /// both metrics (for the paper's pair, `utility − privacy`), i.e. the
+    /// best balanced compromise when the designer has no explicit objectives
+    /// yet.
     pub fn knee(&self) -> Option<TradeOffPoint> {
         self.points.iter().copied().max_by(|a, b| {
-            (a.utility - a.privacy)
-                .partial_cmp(&(b.utility - b.privacy))
-                .expect("metric values are finite")
+            let score =
+                |p: &TradeOffPoint| self.x_direction.goodness(p.x) + self.y_direction.goodness(p.y);
+            score(a).partial_cmp(&score(b)).expect("metric values are finite")
         })
     }
 
-    /// The most private frontier point that still reaches `minimum_utility`,
-    /// if any.
-    pub fn most_private_with_utility(&self, minimum_utility: f64) -> Option<TradeOffPoint> {
+    /// The frontier point with the best x-metric value among those whose
+    /// y-metric satisfies `constraint` — e.g. "the most private point that
+    /// still reaches 90 % utility" for the paper's pair.
+    pub fn best_x_where_y(&self, constraint: Constraint) -> Option<TradeOffPoint> {
         self.points
             .iter()
-            .filter(|p| p.utility >= minimum_utility)
-            .min_by(|a, b| a.privacy.partial_cmp(&b.privacy).expect("finite"))
+            .filter(|p| constraint.is_satisfied_by(p.y))
+            .max_by(|a, b| {
+                self.x_direction
+                    .goodness(a.x)
+                    .partial_cmp(&self.x_direction.goodness(b.x))
+                    .expect("metric values are finite")
+            })
             .copied()
     }
 }
 
 impl fmt::Display for ParetoFrontier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Pareto frontier ({} points):", self.points.len())?;
+        writeln!(
+            f,
+            "Pareto frontier of {} vs {} ({} points):",
+            self.x_id,
+            self.y_id,
+            self.points.len()
+        )?;
         for p in &self.points {
             writeln!(f, "  {p}")?;
         }
@@ -128,37 +222,52 @@ impl fmt::Display for ParetoFrontier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{SweepResult, SweepSample};
+    use crate::experiment::MetricColumn;
+    use crate::objectives::at_least;
     use geopriv_lppm::ParameterScale;
+
+    fn privacy_id() -> MetricId {
+        MetricId::new("poi-retrieval")
+    }
+
+    fn utility_id() -> MetricId {
+        MetricId::new("area-coverage")
+    }
 
     fn sweep_from(points: &[(f64, f64, f64)]) -> SweepResult {
         SweepResult {
             lppm_name: "geo-indistinguishability".to_string(),
             parameter_name: "epsilon".to_string(),
             parameter_scale: ParameterScale::Logarithmic,
-            privacy_metric_name: "poi-retrieval".to_string(),
-            utility_metric_name: "area-coverage".to_string(),
-            samples: points
-                .iter()
-                .map(|&(parameter, privacy, utility)| SweepSample {
-                    parameter,
-                    privacy,
-                    utility,
-                    privacy_runs: vec![],
-                    utility_runs: vec![],
-                })
-                .collect(),
+            parameters: points.iter().map(|&(p, _, _)| p).collect(),
+            columns: vec![
+                MetricColumn {
+                    id: privacy_id(),
+                    direction: Direction::LowerIsBetter,
+                    means: points.iter().map(|&(_, privacy, _)| privacy).collect(),
+                    runs: vec![],
+                },
+                MetricColumn {
+                    id: utility_id(),
+                    direction: Direction::HigherIsBetter,
+                    means: points.iter().map(|&(_, _, utility)| utility).collect(),
+                    runs: vec![],
+                },
+            ],
         }
     }
 
     #[test]
     fn domination_logic() {
-        let a = TradeOffPoint { parameter: 0.01, privacy: 0.1, utility: 0.8 };
-        let b = TradeOffPoint { parameter: 0.02, privacy: 0.2, utility: 0.7 };
-        let c = TradeOffPoint { parameter: 0.03, privacy: 0.1, utility: 0.8 };
-        assert!(a.dominates(&b));
-        assert!(!b.dominates(&a));
-        assert!(!a.dominates(&c)); // equal on both axes: no strict improvement
+        let a = TradeOffPoint { parameter: 0.01, x: 0.1, y: 0.8 };
+        let b = TradeOffPoint { parameter: 0.02, x: 0.2, y: 0.7 };
+        let c = TradeOffPoint { parameter: 0.03, x: 0.1, y: 0.8 };
+        let (lower, higher) = (Direction::LowerIsBetter, Direction::HigherIsBetter);
+        assert!(a.dominates(&b, lower, higher));
+        assert!(!b.dominates(&a, lower, higher));
+        assert!(!a.dominates(&c, lower, higher)); // equal on both axes: no strict improvement
+                                                  // Directions matter: if x were higher-is-better, b would win on x.
+        assert!(!a.dominates(&b, higher, higher));
         assert!(a.to_string().contains("0.800"));
     }
 
@@ -168,11 +277,13 @@ mod tests {
         // every point is a genuine trade-off: nothing dominates anything.
         let sweep =
             sweep_from(&[(0.001, 0.0, 0.3), (0.01, 0.1, 0.6), (0.1, 0.5, 0.9), (1.0, 0.9, 1.0)]);
-        let frontier = ParetoFrontier::from_sweep(&sweep);
+        let frontier = ParetoFrontier::from_sweep(&sweep).unwrap();
         assert_eq!(frontier.len(), 4);
         assert!(!frontier.is_empty());
-        // Sorted by increasing privacy.
-        let privacies: Vec<f64> = frontier.points().iter().map(|p| p.privacy).collect();
+        assert_eq!(frontier.x_id(), &privacy_id());
+        assert_eq!(frontier.y_id(), &utility_id());
+        // Sorted from the most private end (best x) onward.
+        let privacies: Vec<f64> = frontier.points().iter().map(|p| p.x).collect();
         assert!(privacies.windows(2).all(|w| w[0] <= w[1]));
     }
 
@@ -183,27 +294,77 @@ mod tests {
             (0.01, 0.2, 0.4), // dominated by the first point (worse on both axes)
             (0.1, 0.3, 0.9),
         ]);
-        let frontier = ParetoFrontier::from_sweep(&sweep);
+        let frontier = ParetoFrontier::from_sweep(&sweep).unwrap();
         assert_eq!(frontier.len(), 2);
         assert!(frontier.points().iter().all(|p| p.parameter != 0.01));
     }
 
     #[test]
-    fn knee_and_utility_queries() {
+    fn knee_and_constraint_queries() {
         let sweep = sweep_from(&[
             (0.001, 0.0, 0.3),
             (0.01, 0.05, 0.8), // best balance: utility - privacy = 0.75
             (0.1, 0.5, 0.95),
             (1.0, 0.95, 1.0),
         ]);
-        let frontier = ParetoFrontier::from_sweep(&sweep);
+        let frontier = ParetoFrontier::from_sweep(&sweep).unwrap();
         let knee = frontier.knee().unwrap();
         assert_eq!(knee.parameter, 0.01);
 
-        let pick = frontier.most_private_with_utility(0.9).unwrap();
+        let pick = frontier.best_x_where_y(at_least(0.9)).unwrap();
         assert_eq!(pick.parameter, 0.1);
-        assert!(frontier.most_private_with_utility(1.1).is_none());
+        assert!(frontier.best_x_where_y(at_least(1.0)).is_some());
+        // An upper bound on y is also expressible (only the lowest-utility
+        // point qualifies, and it has the best privacy).
+        assert_eq!(
+            frontier.best_x_where_y(crate::objectives::at_most(0.3)).unwrap().parameter,
+            0.001
+        );
         assert!(frontier.to_string().contains("Pareto frontier"));
+    }
+
+    #[test]
+    fn explicit_pairs_choose_any_two_columns() {
+        let mut sweep = sweep_from(&[(0.001, 0.1, 0.3), (0.01, 0.2, 0.6), (0.1, 0.5, 0.9)]);
+        sweep.columns.push(MetricColumn {
+            id: MetricId::new("hotspot-preservation"),
+            direction: Direction::HigherIsBetter,
+            means: vec![0.9, 0.6, 0.2],
+            runs: vec![],
+        });
+        let frontier =
+            ParetoFrontier::for_pair(&sweep, &MetricId::new("hotspot-preservation"), &utility_id())
+                .unwrap();
+        // Both higher-is-better and moving in opposite directions: every
+        // point is a trade-off.
+        assert_eq!(frontier.len(), 3);
+        assert_eq!(frontier.x_id(), &MetricId::new("hotspot-preservation"));
+
+        // Unknown ids are typed errors.
+        assert!(matches!(
+            ParetoFrontier::for_pair(&sweep, &MetricId::new("nope"), &utility_id()),
+            Err(CoreError::UnknownMetric { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_metric_values_are_rejected_not_panicked_on() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let sweep = sweep_from(&[(0.001, 0.0, 0.5), (0.01, bad, 0.7), (0.1, 0.3, 0.9)]);
+            match ParetoFrontier::from_sweep(&sweep) {
+                Err(CoreError::InvalidConfiguration { reason }) => {
+                    assert!(reason.contains("poi-retrieval"), "reason: {reason}");
+                    assert!(reason.contains("non-finite"), "reason: {reason}");
+                }
+                other => panic!("expected a typed error for {bad}, got {other:?}"),
+            }
+        }
+        // Non-finite values in the y column are caught too.
+        let sweep = sweep_from(&[(0.001, 0.0, f64::NAN), (0.01, 0.1, 0.7)]);
+        assert!(matches!(
+            ParetoFrontier::from_sweep(&sweep),
+            Err(CoreError::InvalidConfiguration { .. })
+        ));
     }
 
     #[test]
@@ -220,10 +381,10 @@ mod tests {
                 )
             })
             .collect();
-        let frontier = ParetoFrontier::from_sweep(&sweep_from(&samples));
+        let frontier = ParetoFrontier::from_sweep(&sweep_from(&samples)).unwrap();
         // The saturated tails collapse to a single frontier point each; the
         // transition region (about one decade of epsilon) survives in full.
         assert!(frontier.len() >= 8, "frontier has only {} points", frontier.len());
-        assert!(frontier.points().iter().any(|p| p.privacy <= 0.10 && p.utility >= 0.7));
+        assert!(frontier.points().iter().any(|p| p.x <= 0.10 && p.y >= 0.7));
     }
 }

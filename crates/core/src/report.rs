@@ -1,83 +1,81 @@
 //! Reporting helpers used by the reproduction harness.
 //!
 //! The bench binaries regenerate the paper's figures as plain-text tables and
-//! CSV series; these helpers render [`SweepResult`]s, [`FittedRelationship`]s
-//! and [`Recommendation`]s in a stable, diff-friendly format.
+//! CSV series; these helpers render [`SweepResult`]s, [`FittedSuite`]s and
+//! [`Recommendation`]s in a stable, diff-friendly format, one column or line
+//! per suite metric.
 
 use crate::configurator::Recommendation;
 use crate::experiment::SweepResult;
-use crate::modeling::FittedRelationship;
+use crate::modeling::FittedSuite;
 use std::fmt::Write as _;
 
-/// Renders a sweep as CSV: `parameter,privacy,utility,privacy_std,utility_std`.
+/// Renders a sweep as CSV: the parameter column, one mean column per metric
+/// (suite order), then one `_std` column per metric.
 pub fn sweep_to_csv(sweep: &SweepResult) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{},{},{},{}_std,{}_std",
-        sweep.parameter_name,
-        sweep.privacy_metric_name,
-        sweep.utility_metric_name,
-        sweep.privacy_metric_name,
-        sweep.utility_metric_name
-    );
-    for s in &sweep.samples {
+    let mut header = sweep.parameter_name.clone();
+    for column in &sweep.columns {
+        let _ = write!(header, ",{}", column.id);
+    }
+    for column in &sweep.columns {
+        let _ = write!(header, ",{}_std", column.id);
+    }
+    let _ = writeln!(out, "{header}");
+    for (point, parameter) in sweep.parameters.iter().enumerate() {
+        let _ = write!(out, "{parameter:.6e}");
+        for column in &sweep.columns {
+            let _ = write!(out, ",{:.4}", column.means[point]);
+        }
+        for column in &sweep.columns {
+            let _ = write!(out, ",{:.4}", column.std(point));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a sweep as an aligned plain-text table (one row per sweep point,
+/// one column per metric).
+pub fn sweep_to_table(sweep: &SweepResult) -> String {
+    let mut out = String::new();
+    let width = |id: &geopriv_metrics::MetricId| id.as_str().len().max(10);
+    let _ = write!(out, "{:>12}", sweep.parameter_name);
+    for column in &sweep.columns {
+        let _ = write!(out, "  {:>w$}", column.id.as_str(), w = width(&column.id));
+    }
+    let _ = writeln!(out);
+    for (point, parameter) in sweep.parameters.iter().enumerate() {
+        let _ = write!(out, "{parameter:>12.6}");
+        for column in &sweep.columns {
+            let _ = write!(out, "  {:>w$.4}", column.means[point], w = width(&column.id));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the fitted Equation-2-style models, one line per metric.
+pub fn suite_report(fitted: &FittedSuite) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fitted suite ({}):", fitted.parameter_name);
+    for model in &fitted.models {
         let _ = writeln!(
             out,
-            "{:.6e},{:.4},{:.4},{:.4},{:.4}",
-            s.parameter,
-            s.privacy,
-            s.utility,
-            s.privacy_std(),
-            s.utility_std()
+            "  {:<20} = {:+.4} {:+.4}·ln({})   R² = {:.3}   active zone [{:.5}, {:.5}]",
+            model.id.as_str(),
+            model.model.intercept(),
+            model.model.slope(),
+            fitted.parameter_name,
+            model.model.r_squared(),
+            model.active_zone.0,
+            model.active_zone.1
         );
     }
     out
 }
 
-/// Renders a sweep as an aligned plain-text table (one row per sweep point).
-pub fn sweep_to_table(sweep: &SweepResult) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{:>12}  {:>10}  {:>10}", sweep.parameter_name, "privacy", "utility");
-    for s in &sweep.samples {
-        let _ = writeln!(out, "{:>12.6}  {:>10.4}  {:>10.4}", s.parameter, s.privacy, s.utility);
-    }
-    out
-}
-
-/// Renders the fitted Equation-2-style models, paper coefficients alongside.
-pub fn relationship_report(fitted: &FittedRelationship) -> String {
-    let mut out = String::new();
-    let p = &fitted.privacy.model;
-    let u = &fitted.utility.model;
-    let _ = writeln!(out, "Fitted relationship ({}):", fitted.parameter_name);
-    let _ = writeln!(
-        out,
-        "  {:<16} = {:+.4} {:+.4}·ln({})   R² = {:.3}   active zone [{:.5}, {:.5}]",
-        fitted.privacy.metric_name,
-        p.intercept(),
-        p.slope(),
-        fitted.parameter_name,
-        p.r_squared(),
-        fitted.privacy.active_zone.0,
-        fitted.privacy.active_zone.1
-    );
-    let _ = writeln!(
-        out,
-        "  {:<16} = {:+.4} {:+.4}·ln({})   R² = {:.3}   active zone [{:.5}, {:.5}]",
-        fitted.utility.metric_name,
-        u.intercept(),
-        u.slope(),
-        fitted.parameter_name,
-        u.r_squared(),
-        fitted.utility.active_zone.0,
-        fitted.utility.active_zone.1
-    );
-    let _ = writeln!(out, "  paper Equation 2: a = 0.84, b = 0.17, α = 1.21, β = 0.09");
-    out
-}
-
-/// Renders a configuration recommendation.
+/// Renders a configuration recommendation, one prediction line per metric.
 pub fn recommendation_report(recommendation: &Recommendation) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Recommended configuration:");
@@ -89,43 +87,47 @@ pub fn recommendation_report(recommendation: &Recommendation) -> String {
         recommendation.feasible_range.0,
         recommendation.feasible_range.1
     );
-    let _ = writeln!(
-        out,
-        "  predicted privacy = {:.3}, predicted utility = {:.3}",
-        recommendation.predicted_privacy, recommendation.predicted_utility
-    );
+    for (id, value) in &recommendation.predictions {
+        let _ = writeln!(out, "  predicted {id} = {value:.3}");
+    }
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::SweepSample;
+    use crate::experiment::MetricColumn;
     use crate::modeling::Modeler;
+    use crate::objectives::Objectives;
     use geopriv_lppm::ParameterScale;
+    use geopriv_metrics::{Direction, MetricId};
 
     fn sweep() -> SweepResult {
-        let samples: Vec<SweepSample> = (0..30)
-            .map(|i| {
-                let epsilon = 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / 29.0);
-                let privacy = (0.84 + 0.17 * epsilon.ln()).clamp(0.0, 0.45);
-                let utility = (1.21 + 0.09 * epsilon.ln()).clamp(0.2, 1.0);
-                SweepSample {
-                    parameter: epsilon,
-                    privacy,
-                    utility,
-                    privacy_runs: vec![privacy, privacy],
-                    utility_runs: vec![utility, utility],
-                }
-            })
-            .collect();
+        let parameters: Vec<f64> =
+            (0..30).map(|i| 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / 29.0)).collect();
+        let privacy: Vec<f64> =
+            parameters.iter().map(|e| (0.84 + 0.17 * e.ln()).clamp(0.0, 0.45)).collect();
+        let utility: Vec<f64> =
+            parameters.iter().map(|e| (1.21 + 0.09 * e.ln()).clamp(0.2, 1.0)).collect();
         SweepResult {
             lppm_name: "geo-indistinguishability".to_string(),
             parameter_name: "epsilon".to_string(),
             parameter_scale: ParameterScale::Logarithmic,
-            privacy_metric_name: "poi-retrieval".to_string(),
-            utility_metric_name: "area-coverage".to_string(),
-            samples,
+            parameters,
+            columns: vec![
+                MetricColumn {
+                    id: MetricId::new("poi-retrieval"),
+                    direction: Direction::LowerIsBetter,
+                    runs: privacy.iter().map(|&v| vec![v, v]).collect(),
+                    means: privacy,
+                },
+                MetricColumn {
+                    id: MetricId::new("area-coverage"),
+                    direction: Direction::HigherIsBetter,
+                    runs: utility.iter().map(|&v| vec![v, v]).collect(),
+                    means: utility,
+                },
+            ],
         }
     }
 
@@ -135,6 +137,7 @@ mod tests {
         let csv = sweep_to_csv(&s);
         assert_eq!(csv.lines().count(), 31);
         assert!(csv.starts_with("epsilon,poi-retrieval,area-coverage"));
+        assert!(csv.lines().next().unwrap().contains("poi-retrieval_std"));
         assert!(csv.lines().nth(1).unwrap().split(',').count() == 5);
     }
 
@@ -143,26 +146,25 @@ mod tests {
         let s = sweep();
         let table = sweep_to_table(&s);
         assert_eq!(table.lines().count(), 31);
-        assert!(table.contains("privacy"));
-        assert!(table.contains("utility"));
+        assert!(table.contains("poi-retrieval"));
+        assert!(table.contains("area-coverage"));
     }
 
     #[test]
-    fn relationship_and_recommendation_reports_mention_key_numbers() {
+    fn suite_and_recommendation_reports_mention_key_numbers() {
         let s = sweep();
         let fitted = Modeler::new().fit(&s).unwrap();
-        let report = relationship_report(&fitted);
+        let report = suite_report(&fitted);
         assert!(report.contains("poi-retrieval"));
         assert!(report.contains("area-coverage"));
         assert!(report.contains("R²"));
-        assert!(report.contains("0.84")); // the paper coefficients footer
 
         let configurator =
             crate::configurator::Configurator::new(fitted, ParameterScale::Logarithmic);
-        let recommendation =
-            configurator.recommend(crate::objectives::Objectives::paper_example()).unwrap();
+        let recommendation = configurator.recommend(&Objectives::paper_example()).unwrap();
         let report = recommendation_report(&recommendation);
         assert!(report.contains("epsilon"));
-        assert!(report.contains("predicted privacy"));
+        assert!(report.contains("predicted poi-retrieval"));
+        assert!(report.contains("predicted area-coverage"));
     }
 }

@@ -5,11 +5,12 @@
 //! and their range of values, and (3) the properties of the dataset d_i that
 //! are likely to influence privacy and utility metrics."
 //!
-//! [`SystemDefinition`] bundles exactly those three ingredients: a privacy
-//! metric, a utility metric, and an [`LppmFactory`] describing the mechanism
-//! and its swept parameter. Dataset properties are handled separately by
-//! [`crate::property_selection`] since the paper's GEO-I illustration uses
-//! none ("no dataset properties is considered").
+//! [`SystemDefinition`] bundles those ingredients: a [`MetricSuite`] — an
+//! ordered set of named, direction-tagged metrics generalizing the paper's
+//! fixed privacy/utility pair — and an [`LppmFactory`] describing the
+//! mechanism and its swept parameter. Dataset properties are handled
+//! separately by [`crate::property_selection`] since the paper's GEO-I
+//! illustration uses none ("no dataset properties is considered").
 
 use crate::error::CoreError;
 use geopriv_geo::Meters;
@@ -17,7 +18,7 @@ use geopriv_lppm::{
     Epsilon, GaussianPerturbation, GeoIndistinguishability, GridCloaking, Lppm,
     ParameterDescriptor, ParameterScale,
 };
-use geopriv_metrics::{AreaCoverage, PoiRetrieval, PrivacyMetric, UtilityMetric};
+use geopriv_metrics::{AreaCoverage, MetricSuite, PoiRetrieval, PrivacyMetric, UtilityMetric};
 
 /// A factory able to instantiate an LPPM for any value of its swept
 /// configuration parameter.
@@ -141,32 +142,45 @@ impl LppmFactory for GaussianPerturbationFactory {
     }
 }
 
-/// The system under study: the LPPM (with its swept parameter) and the two
-/// evaluation metrics.
+/// The system under study: the LPPM (with its swept parameter) and the suite
+/// of evaluation metrics.
 pub struct SystemDefinition {
     factory: Box<dyn LppmFactory>,
-    privacy_metric: Box<dyn PrivacyMetric>,
-    utility_metric: Box<dyn UtilityMetric>,
+    suite: MetricSuite,
 }
 
 impl SystemDefinition {
-    /// Defines a system from a mechanism factory and the two metrics.
-    pub fn new(
+    /// Defines a system from a mechanism factory and a metric suite.
+    pub fn new(factory: Box<dyn LppmFactory>, suite: MetricSuite) -> Self {
+        Self { factory, suite }
+    }
+
+    /// Defines a system from the paper's shape — one privacy metric and one
+    /// utility metric, in that order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] when both metrics share a
+    /// name (give them distinct ids via [`MetricSuite::new`] instead).
+    pub fn with_pair(
         factory: Box<dyn LppmFactory>,
         privacy_metric: Box<dyn PrivacyMetric>,
         utility_metric: Box<dyn UtilityMetric>,
-    ) -> Self {
-        Self { factory, privacy_metric, utility_metric }
+    ) -> Result<Self, CoreError> {
+        let suite = MetricSuite::pair(privacy_metric, utility_metric)
+            .map_err(|e| CoreError::InvalidConfiguration { reason: e.to_string() })?;
+        Ok(Self::new(factory, suite))
     }
 
     /// The paper's illustrated system: GEO-I swept over ε, POI retrieval as
     /// the privacy metric, city-block area coverage as the utility metric.
     pub fn paper_geoi() -> Self {
-        Self::new(
+        Self::with_pair(
             Box::new(GeoIndistinguishabilityFactory::new()),
             Box::new(PoiRetrieval::default()),
             Box::new(AreaCoverage::default()),
         )
+        .expect("the paper metrics have distinct names")
     }
 
     /// The mechanism factory.
@@ -174,14 +188,9 @@ impl SystemDefinition {
         self.factory.as_ref()
     }
 
-    /// The privacy metric.
-    pub fn privacy_metric(&self) -> &dyn PrivacyMetric {
-        self.privacy_metric.as_ref()
-    }
-
-    /// The utility metric.
-    pub fn utility_metric(&self) -> &dyn UtilityMetric {
-        self.utility_metric.as_ref()
+    /// The metric suite.
+    pub fn suite(&self) -> &MetricSuite {
+        &self.suite
     }
 
     /// The swept parameter descriptor (shortcut for `factory().parameter()`).
@@ -190,17 +199,18 @@ impl SystemDefinition {
     }
 
     /// A stable key identifying this system's full configuration: mechanism
-    /// family, swept-parameter range/scale and both metric configurations.
+    /// family, swept-parameter range/scale and every metric configuration, in
+    /// suite order.
     ///
     /// The campaign engine uses it to label runs and to recognize systems
     /// whose metrics can share prepared actual-side state.
     pub fn cache_key(&self) -> String {
+        let metric_keys: Vec<String> = self.suite.iter().map(|m| m.cache_key()).collect();
         format!(
-            "{}[{}]|{}|{}",
+            "{}[{}]|{}",
             self.factory.name(),
             self.factory.parameter().cache_token(),
-            self.privacy_metric.cache_key(),
-            self.utility_metric.cache_key()
+            metric_keys.join("|")
         )
     }
 }
@@ -210,8 +220,7 @@ impl std::fmt::Debug for SystemDefinition {
         f.debug_struct("SystemDefinition")
             .field("lppm", &self.factory.name())
             .field("parameter", &self.factory.parameter().name())
-            .field("privacy_metric", &self.privacy_metric.name())
-            .field("utility_metric", &self.utility_metric.name())
+            .field("metrics", &self.suite)
             .finish()
     }
 }
@@ -219,6 +228,7 @@ impl std::fmt::Debug for SystemDefinition {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use geopriv_metrics::{Direction, HotspotPreservation, MetricId, SuiteMetric};
     use geopriv_mobility::generator::TaxiFleetBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -265,11 +275,57 @@ mod tests {
     fn paper_system_definition_wires_the_right_components() {
         let system = SystemDefinition::paper_geoi();
         assert_eq!(system.factory().name(), "geo-indistinguishability");
-        assert_eq!(system.privacy_metric().name(), "poi-retrieval");
-        assert_eq!(system.utility_metric().name(), "area-coverage");
         assert_eq!(system.parameter().name(), "epsilon");
+        assert_eq!(
+            system.suite().ids(),
+            vec![MetricId::new("poi-retrieval"), MetricId::new("area-coverage")]
+        );
+        assert_eq!(system.suite().metrics()[0].direction(), Direction::LowerIsBetter);
+        assert_eq!(system.suite().metrics()[1].direction(), Direction::HigherIsBetter);
         let debug = format!("{system:?}");
         assert!(debug.contains("poi-retrieval"));
+    }
+
+    #[test]
+    fn systems_carry_suites_of_any_size() {
+        let system = SystemDefinition::new(
+            Box::new(GeoIndistinguishabilityFactory::new()),
+            MetricSuite::new(vec![
+                SuiteMetric::privacy(PoiRetrieval::default()),
+                SuiteMetric::utility(geopriv_metrics::DistortionUtility::default()),
+                SuiteMetric::utility(AreaCoverage::default()),
+                SuiteMetric::utility(HotspotPreservation::default()),
+            ])
+            .unwrap(),
+        );
+        assert_eq!(system.suite().len(), 4);
+        // The cache key covers every metric.
+        assert!(system.cache_key().contains("hotspot-preservation"));
+        assert!(system.cache_key().contains("distortion-utility"));
+    }
+
+    #[test]
+    fn with_pair_rejects_colliding_metric_names() {
+        /// A utility metric that (wrongly) reuses the privacy metric's name.
+        struct Impostor;
+        impl UtilityMetric for Impostor {
+            fn name(&self) -> &str {
+                "poi-retrieval"
+            }
+            fn evaluate(
+                &self,
+                actual: &geopriv_mobility::Dataset,
+                _: &geopriv_mobility::Dataset,
+            ) -> Result<geopriv_metrics::MetricValue, geopriv_metrics::MetricError> {
+                geopriv_metrics::MetricValue::from_per_user(vec![0.0; actual.len()])
+            }
+        }
+        let result = SystemDefinition::with_pair(
+            Box::new(GeoIndistinguishabilityFactory::new()),
+            Box::new(PoiRetrieval::default()),
+            Box::new(Impostor),
+        );
+        assert!(matches!(result, Err(CoreError::InvalidConfiguration { .. })));
     }
 
     #[test]
@@ -278,19 +334,21 @@ mod tests {
         assert_eq!(paper.cache_key(), SystemDefinition::paper_geoi().cache_key());
         assert!(paper.cache_key().contains("geo-indistinguishability"));
 
-        let cloaking = SystemDefinition::new(
+        let cloaking = SystemDefinition::with_pair(
             Box::new(GridCloakingFactory::new()),
             Box::new(PoiRetrieval::default()),
             Box::new(AreaCoverage::default()),
-        );
+        )
+        .unwrap();
         assert_ne!(paper.cache_key(), cloaking.cache_key());
 
         // Same mechanism over a different range is a different system.
-        let narrow = SystemDefinition::new(
+        let narrow = SystemDefinition::with_pair(
             Box::new(GeoIndistinguishabilityFactory::with_range(1e-3, 0.1).unwrap()),
             Box::new(PoiRetrieval::default()),
             Box::new(AreaCoverage::default()),
-        );
+        )
+        .unwrap();
         assert_ne!(paper.cache_key(), narrow.cache_key());
     }
 

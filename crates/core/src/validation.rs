@@ -1,17 +1,18 @@
-//! Hold-out validation of the fitted relationship.
+//! Hold-out validation of the fitted suite.
 //!
 //! The paper fits Equation 2 on one dataset and trusts it to configure the
 //! LPPM for that dataset. A natural robustness question (and a prerequisite
 //! for the paper's future work on "other datasets") is whether a model fitted
 //! on *some users* predicts the metrics measured on *other users*.
 //! [`HoldOutValidator`] splits a dataset into a training and a validation
-//! population, fits the relationship on the training sweep, and reports the
-//! prediction errors on the validation sweep.
+//! population, fits every suite metric's model on the training sweep, and
+//! reports the per-metric prediction errors on the validation sweep.
 
 use crate::error::CoreError;
 use crate::experiment::{ExperimentRunner, SweepConfig};
-use crate::modeling::{FittedRelationship, Modeler};
+use crate::modeling::{FittedSuite, Modeler};
 use crate::system::SystemDefinition;
+use geopriv_metrics::MetricId;
 use geopriv_mobility::Dataset;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -30,12 +31,10 @@ pub struct PredictionError {
 /// The outcome of a hold-out validation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ValidationReport {
-    /// Relationship fitted on the training population.
-    pub fitted: FittedRelationship,
-    /// Prediction error of the privacy model on the held-out population.
-    pub privacy_error: PredictionError,
-    /// Prediction error of the utility model on the held-out population.
-    pub utility_error: PredictionError,
+    /// Suite fitted on the training population.
+    pub fitted: FittedSuite,
+    /// Per-metric prediction error on the held-out population, in suite order.
+    pub errors: Vec<(MetricId, PredictionError)>,
     /// Number of training traces.
     pub training_traces: usize,
     /// Number of validation traces.
@@ -43,35 +42,33 @@ pub struct ValidationReport {
 }
 
 impl ValidationReport {
-    /// Returns `true` if both mean absolute errors are at or below `tolerance`
-    /// (in metric units, e.g. 0.1 = ten percentage points).
+    /// The prediction error of one metric.
+    pub fn error(&self, id: &MetricId) -> Option<&PredictionError> {
+        self.errors.iter().find(|(m, _)| m == id).map(|(_, e)| e)
+    }
+
+    /// Returns `true` if every metric's mean absolute error is at or below
+    /// `tolerance` (in metric units, e.g. 0.1 = ten percentage points).
     pub fn is_acceptable(&self, tolerance: f64) -> bool {
-        self.privacy_error.mean_absolute_error <= tolerance
-            && self.utility_error.mean_absolute_error <= tolerance
+        self.errors.iter().all(|(_, e)| e.mean_absolute_error <= tolerance)
     }
 }
 
 impl fmt::Display for ValidationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
+        write!(
             f,
             "hold-out validation ({} training traces, {} validation traces):",
             self.training_traces, self.validation_traces
         )?;
-        writeln!(
-            f,
-            "  privacy: MAE {:.3}, max {:.3} over {} points",
-            self.privacy_error.mean_absolute_error,
-            self.privacy_error.max_absolute_error,
-            self.privacy_error.points
-        )?;
-        write!(
-            f,
-            "  utility: MAE {:.3}, max {:.3} over {} points",
-            self.utility_error.mean_absolute_error,
-            self.utility_error.max_absolute_error,
-            self.utility_error.points
-        )
+        for (id, error) in &self.errors {
+            write!(
+                f,
+                "\n  {id}: MAE {:.3}, max {:.3} over {} points",
+                error.mean_absolute_error, error.max_absolute_error, error.points
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -89,8 +86,9 @@ impl HoldOutValidator {
     }
 
     /// Splits `dataset` by alternating traces (even-indexed traces train,
-    /// odd-indexed traces validate), fits the relationship on the training
-    /// population and measures prediction errors on the validation population.
+    /// odd-indexed traces validate), fits the suite on the training
+    /// population and measures per-metric prediction errors on the validation
+    /// population.
     ///
     /// # Errors
     ///
@@ -123,23 +121,26 @@ impl HoldOutValidator {
         let fitted = Modeler::new().fit(&training_sweep)?;
         let validation_sweep = runner.run(system, &validation)?;
 
-        let privacy_error = Self::prediction_error(
-            &validation_sweep.parameters(),
-            &validation_sweep.privacy_values(),
-            |x| fitted.privacy.model.predict(x),
-            fitted.privacy.active_zone,
-        );
-        let utility_error = Self::prediction_error(
-            &validation_sweep.parameters(),
-            &validation_sweep.utility_values(),
-            |x| fitted.utility.model.predict(x),
-            fitted.utility.active_zone,
-        );
+        let errors = fitted
+            .models
+            .iter()
+            .map(|model| {
+                let measured = validation_sweep
+                    .values(&model.id)
+                    .expect("validation sweep covers the same suite");
+                let error = Self::prediction_error(
+                    &validation_sweep.parameters,
+                    measured,
+                    |x| model.model.predict(x),
+                    model.active_zone,
+                );
+                (model.id.clone(), error)
+            })
+            .collect();
 
         Ok(ValidationReport {
             fitted,
-            privacy_error,
-            utility_error,
+            errors,
             training_traces: training.len(),
             validation_traces: validation.len(),
         })
@@ -211,23 +212,20 @@ mod tests {
 
         assert_eq!(report.training_traces, 4);
         assert_eq!(report.validation_traces, 4);
-        assert!(report.privacy_error.points > 0);
-        assert!(report.utility_error.points > 0);
+        let privacy = report.error(&"poi-retrieval".into()).unwrap();
+        let utility = report.error(&"area-coverage".into()).unwrap();
+        assert!(report.error(&"unknown".into()).is_none());
+        assert!(privacy.points > 0);
+        assert!(utility.points > 0);
         // Errors are valid magnitudes…
-        assert!(report.privacy_error.mean_absolute_error >= 0.0);
-        assert!(
-            report.privacy_error.max_absolute_error >= report.privacy_error.mean_absolute_error
-        );
-        assert!(report.utility_error.max_absolute_error <= 1.0);
+        assert!(privacy.mean_absolute_error >= 0.0);
+        assert!(privacy.max_absolute_error >= privacy.mean_absolute_error);
+        assert!(utility.max_absolute_error <= 1.0);
         // …and the utility model (a smooth, slowly varying response) transfers
         // across synthetic fleets with a small error.
-        assert!(
-            report.utility_error.mean_absolute_error < 0.15,
-            "utility MAE {}",
-            report.utility_error.mean_absolute_error
-        );
+        assert!(utility.mean_absolute_error < 0.15, "utility MAE {}", utility.mean_absolute_error);
         assert!(report.is_acceptable(1.0));
         let text = report.to_string();
-        assert!(text.contains("privacy") && text.contains("utility"));
+        assert!(text.contains("poi-retrieval") && text.contains("area-coverage"));
     }
 }

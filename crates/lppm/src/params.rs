@@ -190,6 +190,14 @@ impl ParameterDescriptor {
             .collect()
     }
 
+    /// Returns a copy of the descriptor under a different name (same range
+    /// and scale) — used e.g. by [`crate::Pipeline`] to qualify colliding
+    /// stage parameter names.
+    #[must_use]
+    pub fn with_name(&self, name: impl Into<String>) -> Self {
+        Self { name: name.into(), ..self.clone() }
+    }
+
     /// A stable token encoding the descriptor's name, range and scale, for
     /// use in cache keys (two systems sweeping the same mechanism over
     /// different ranges must not be conflated).

@@ -83,8 +83,54 @@ impl Lppm for Pipeline {
         &self.name
     }
 
+    /// Concatenates the stage descriptors, guaranteeing unique names. A
+    /// parameter name exposed by more than one stage (e.g. two GEO-I stages,
+    /// both `"epsilon"`) would be ambiguous — the sweep could not tell which
+    /// stage it targets — so every occurrence of a colliding name is
+    /// qualified by its 1-based stage position (`"1.epsilon"`,
+    /// `"2.epsilon"`). Names still colliding after that (a stage exposing one
+    /// name twice, or a stage literally naming a parameter `"1.epsilon"`)
+    /// get an occurrence suffix (`"1.epsilon#2"`). Unambiguous names are
+    /// passed through unqualified.
     fn parameters(&self) -> Vec<ParameterDescriptor> {
-        self.stages.iter().flat_map(|s| s.parameters()).collect()
+        let per_stage: Vec<Vec<ParameterDescriptor>> =
+            self.stages.iter().map(|s| s.parameters()).collect();
+        // How many *stages* expose each name (duplicates within one stage
+        // count once: position-qualification could not disambiguate those —
+        // the occurrence pass below handles them).
+        let mut stages_exposing: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for descriptors in &per_stage {
+            let mut seen_in_stage = std::collections::HashSet::new();
+            for d in descriptors {
+                if seen_in_stage.insert(d.name()) {
+                    *stages_exposing.entry(d.name().to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (stage, descriptors) in per_stage.iter().enumerate() {
+            for d in descriptors {
+                if stages_exposing[d.name()] > 1 {
+                    out.push(d.with_name(format!("{}.{}", stage + 1, d.name())));
+                } else {
+                    out.push(d.clone());
+                }
+            }
+        }
+        // Final uniqueness pass: whatever ambiguity survives stage
+        // qualification is resolved by occurrence, so the returned list never
+        // contains two descriptors the sweep cannot tell apart.
+        let mut occurrences: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for d in &mut out {
+            let n = occurrences.entry(d.name().to_string()).or_insert(0);
+            *n += 1;
+            if *n > 1 {
+                *d = d.with_name(format!("{}#{}", d.name(), n));
+            }
+        }
+        out
     }
 
     fn protect_trace(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, LppmError> {
@@ -159,6 +205,67 @@ mod tests {
         assert_eq!(pipeline.parameters().len(), 1);
         assert_eq!(pipeline.name(), "pipeline[identity, geo-indistinguishability]");
         assert!(format!("{pipeline:?}").contains("Pipeline"));
+    }
+
+    #[test]
+    fn colliding_stage_parameters_are_qualified_by_position() {
+        // Two GEO-I stages both expose "epsilon": without qualification the
+        // sweep could not tell which stage it targets.
+        let pipeline = Pipeline::new()
+            .then(GeoIndistinguishability::new(Epsilon::new(0.01).unwrap()))
+            .then(TemporalDownsampling::new(2).unwrap())
+            .then(GeoIndistinguishability::new(Epsilon::new(0.1).unwrap()));
+        let names: Vec<String> =
+            pipeline.parameters().iter().map(|d| d.name().to_string()).collect();
+        assert_eq!(names, vec!["1.epsilon", "factor", "3.epsilon"]);
+        // Qualification renames only; range and scale survive.
+        let first = &pipeline.parameters()[0];
+        assert_eq!((first.min(), first.max(), first.scale()), {
+            let d = GeoIndistinguishability::epsilon_descriptor();
+            (d.min(), d.max(), d.scale())
+        });
+        // Non-colliding names stay unqualified.
+        let single = Pipeline::new()
+            .then(TemporalDownsampling::new(2).unwrap())
+            .then(GeoIndistinguishability::new(Epsilon::new(0.01).unwrap()));
+        let names: Vec<String> = single.parameters().iter().map(|d| d.name().to_string()).collect();
+        assert_eq!(names, vec!["factor", "epsilon"]);
+    }
+
+    #[test]
+    fn within_stage_duplicates_get_occurrence_suffixes() {
+        use crate::params::ParameterScale;
+
+        /// A (misbehaved) stage exposing the same parameter name twice.
+        struct TwinParams;
+        impl Lppm for TwinParams {
+            fn name(&self) -> &str {
+                "twin-params"
+            }
+            fn parameters(&self) -> Vec<ParameterDescriptor> {
+                let d = ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic)
+                    .unwrap();
+                vec![d.clone(), d]
+            }
+            fn protect_trace(
+                &self,
+                trace: &Trace,
+                _: &mut dyn RngCore,
+            ) -> Result<Trace, LppmError> {
+                Ok(trace.clone())
+            }
+        }
+
+        // Stage qualification cannot split a within-stage duplicate, so the
+        // occurrence pass must — the returned names are always unique.
+        let pipeline = Pipeline::new()
+            .then(TwinParams)
+            .then(GeoIndistinguishability::new(Epsilon::new(0.01).unwrap()));
+        let names: Vec<String> =
+            pipeline.parameters().iter().map(|d| d.name().to_string()).collect();
+        assert_eq!(names, vec!["1.epsilon", "1.epsilon#2", "2.epsilon"]);
+        let unique: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
     }
 
     #[test]

@@ -71,6 +71,10 @@ impl Default for AreaCoverage {
 }
 
 impl AreaCoverage {
+    /// The id/name of the default ([`CoverageSimilarity::AreaRatio`]) variant
+    /// inside suites and sweep results.
+    pub const ID: &'static str = "area-coverage";
+
     /// Creates the metric with an explicit city-block cell size and the
     /// default (paper) similarity, [`CoverageSimilarity::AreaRatio`].
     ///
@@ -119,7 +123,7 @@ impl AreaCoverage {
 impl UtilityMetric for AreaCoverage {
     fn name(&self) -> &str {
         match self.similarity {
-            CoverageSimilarity::AreaRatio => "area-coverage",
+            CoverageSimilarity::AreaRatio => Self::ID,
             CoverageSimilarity::CellF1 => "area-coverage-f1",
         }
     }

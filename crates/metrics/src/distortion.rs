@@ -92,6 +92,9 @@ impl Default for DistortionUtility {
 }
 
 impl DistortionUtility {
+    /// The metric's id/name inside suites and sweep results.
+    pub const ID: &'static str = "distortion-utility";
+
     /// Creates the metric with an explicit half-utility displacement scale.
     ///
     /// # Errors
@@ -116,7 +119,7 @@ impl DistortionUtility {
 
 impl UtilityMetric for DistortionUtility {
     fn name(&self) -> &str {
-        "distortion-utility"
+        Self::ID
     }
 
     fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError> {

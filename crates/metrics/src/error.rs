@@ -23,6 +23,11 @@ pub enum MetricError {
         /// Description of the mismatch.
         reason: String,
     },
+    /// A metric suite is structurally invalid (empty, or duplicate ids).
+    InvalidSuite {
+        /// Description of the structural problem.
+        reason: String,
+    },
     /// A geospatial operation failed.
     Geo(GeoError),
     /// A mobility-data operation failed.
@@ -36,6 +41,7 @@ impl fmt::Display for MetricError {
                 write!(f, "invalid parameter {name} = {value}: {reason}")
             }
             MetricError::DatasetMismatch { reason } => write!(f, "dataset mismatch: {reason}"),
+            MetricError::InvalidSuite { reason } => write!(f, "invalid metric suite: {reason}"),
             MetricError::Geo(e) => write!(f, "geospatial error: {e}"),
             MetricError::Mobility(e) => write!(f, "mobility error: {e}"),
         }

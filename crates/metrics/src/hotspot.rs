@@ -48,6 +48,9 @@ impl Default for HotspotPreservation {
 }
 
 impl HotspotPreservation {
+    /// The metric's id/name inside suites and sweep results.
+    pub const ID: &'static str = "hotspot-preservation";
+
     /// Creates the metric with an explicit cell size and top-`k`.
     ///
     /// # Errors
@@ -93,7 +96,7 @@ impl HotspotPreservation {
 
 impl UtilityMetric for HotspotPreservation {
     fn name(&self) -> &str {
-        "hotspot-preservation"
+        Self::ID
     }
 
     // Keeps the trait's default passthrough `prepare`: the grid spans the

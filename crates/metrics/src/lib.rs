@@ -46,6 +46,7 @@ mod grid_support;
 pub mod hotspot;
 pub mod poi;
 pub mod poi_retrieval;
+pub mod suite;
 pub mod traits;
 
 pub use area_coverage::{AreaCoverage, CoverageSimilarity};
@@ -54,7 +55,10 @@ pub use error::MetricError;
 pub use hotspot::HotspotPreservation;
 pub use poi::{Poi, PoiExtractor};
 pub use poi_retrieval::PoiRetrieval;
-pub use traits::{DatasetFingerprint, MetricValue, PreparedState, PrivacyMetric, UtilityMetric};
+pub use suite::{MetricId, MetricSuite, SuiteMetric};
+pub use traits::{
+    DatasetFingerprint, Direction, MetricValue, PreparedState, PrivacyMetric, UtilityMetric,
+};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -64,7 +68,8 @@ pub mod prelude {
     pub use crate::hotspot::HotspotPreservation;
     pub use crate::poi::{Poi, PoiExtractor};
     pub use crate::poi_retrieval::PoiRetrieval;
+    pub use crate::suite::{MetricId, MetricSuite, SuiteMetric};
     pub use crate::traits::{
-        DatasetFingerprint, MetricValue, PreparedState, PrivacyMetric, UtilityMetric,
+        DatasetFingerprint, Direction, MetricValue, PreparedState, PrivacyMetric, UtilityMetric,
     };
 }

@@ -74,6 +74,9 @@ struct PreparedPois {
 }
 
 impl PoiRetrieval {
+    /// The metric's id/name inside suites and sweep results.
+    pub const ID: &'static str = "poi-retrieval";
+
     /// Creates the metric with an explicit extractor and match radius.
     ///
     /// # Errors
@@ -157,7 +160,7 @@ impl PoiRetrieval {
 
 impl PrivacyMetric for PoiRetrieval {
     fn name(&self) -> &str {
-        "poi-retrieval"
+        Self::ID
     }
 
     fn evaluate(&self, actual: &Dataset, protected: &Dataset) -> Result<MetricValue, MetricError> {

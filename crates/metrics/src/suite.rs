@@ -1,0 +1,395 @@
+//! Named, direction-tagged metric suites.
+//!
+//! The paper's framework fixes exactly one privacy and one utility metric,
+//! but is explicitly meant to grow: "we also plan to extend our framework
+//! with more metrics and parameters". [`MetricSuite`] is that growth point —
+//! an ordered set of metrics, each addressed by a [`MetricId`] and tagged
+//! with a [`Direction`], so a study can sweep POI retrieval, distortion,
+//! area coverage and hotspot preservation side by side instead of forking
+//! the framework per metric pair.
+
+use crate::error::MetricError;
+use crate::traits::{Direction, MetricValue, PreparedState, PrivacyMetric, UtilityMetric};
+use geopriv_mobility::Dataset;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a metric inside a suite.
+///
+/// Defaults to the metric's `name()`; [`SuiteMetric::with_id`] overrides it
+/// when one suite carries two differently configured instances of the same
+/// metric family (e.g. area coverage at two cell sizes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetricId(String);
+
+impl MetricId {
+    /// Creates an id from any string-like value.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self(id.into())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for MetricId {
+    fn from(id: &str) -> Self {
+        Self::new(id)
+    }
+}
+
+impl From<String> for MetricId {
+    fn from(id: String) -> Self {
+        Self(id)
+    }
+}
+
+impl PartialEq<str> for MetricId {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for MetricId {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+/// One entry of a [`MetricSuite`]: a boxed metric (either trait) plus its
+/// optional id override.
+///
+/// The wrapped trait decides the [`Direction`]: [`PrivacyMetric`]s improve
+/// downward, [`UtilityMetric`]s improve upward.
+pub struct SuiteMetric {
+    kind: Kind,
+    id: Option<MetricId>,
+}
+
+enum Kind {
+    Privacy(Box<dyn PrivacyMetric>),
+    Utility(Box<dyn UtilityMetric>),
+}
+
+impl SuiteMetric {
+    /// Wraps a privacy-style metric (lower is better).
+    pub fn privacy<M: PrivacyMetric + 'static>(metric: M) -> Self {
+        Self::privacy_boxed(Box::new(metric))
+    }
+
+    /// Wraps an already-boxed privacy-style metric.
+    pub fn privacy_boxed(metric: Box<dyn PrivacyMetric>) -> Self {
+        Self { kind: Kind::Privacy(metric), id: None }
+    }
+
+    /// Wraps a utility-style metric (higher is better).
+    pub fn utility<M: UtilityMetric + 'static>(metric: M) -> Self {
+        Self::utility_boxed(Box::new(metric))
+    }
+
+    /// Wraps an already-boxed utility-style metric.
+    pub fn utility_boxed(metric: Box<dyn UtilityMetric>) -> Self {
+        Self { kind: Kind::Utility(metric), id: None }
+    }
+
+    /// Overrides the id this metric is addressed by inside its suite
+    /// (default: the metric's `name()`).
+    #[must_use]
+    pub fn with_id(mut self, id: impl Into<MetricId>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+
+    /// The id this metric is addressed by.
+    pub fn id(&self) -> MetricId {
+        self.id.clone().unwrap_or_else(|| MetricId::new(self.name()))
+    }
+
+    /// The underlying metric's human-readable name.
+    pub fn name(&self) -> &str {
+        match &self.kind {
+            Kind::Privacy(m) => m.name(),
+            Kind::Utility(m) => m.name(),
+        }
+    }
+
+    /// Which way this metric improves.
+    pub fn direction(&self) -> Direction {
+        match &self.kind {
+            Kind::Privacy(m) => m.direction(),
+            Kind::Utility(m) => m.direction(),
+        }
+    }
+
+    /// Evaluates the metric on an actual/protected dataset pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying metric's errors.
+    pub fn evaluate(
+        &self,
+        actual: &Dataset,
+        protected: &Dataset,
+    ) -> Result<MetricValue, MetricError> {
+        match &self.kind {
+            Kind::Privacy(m) => m.evaluate(actual, protected),
+            Kind::Utility(m) => m.evaluate(actual, protected),
+        }
+    }
+
+    /// Precomputes the metric's actual-side state (see
+    /// [`PrivacyMetric::prepare`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying metric's errors.
+    pub fn prepare(&self, actual: &Dataset) -> Result<PreparedState, MetricError> {
+        match &self.kind {
+            Kind::Privacy(m) => m.prepare(actual),
+            Kind::Utility(m) => m.prepare(actual),
+        }
+    }
+
+    /// Evaluates the metric against prepared actual-side state (bit-identical
+    /// to [`SuiteMetric::evaluate`] by the metric traits' contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying metric's errors.
+    pub fn evaluate_prepared(
+        &self,
+        prepared: &PreparedState,
+        actual: &Dataset,
+        protected: &Dataset,
+    ) -> Result<MetricValue, MetricError> {
+        match &self.kind {
+            Kind::Privacy(m) => m.evaluate_prepared(prepared, actual, protected),
+            Kind::Utility(m) => m.evaluate_prepared(prepared, actual, protected),
+        }
+    }
+
+    /// The underlying metric's configuration cache key (see
+    /// [`PrivacyMetric::cache_key`]), used to share prepared state between
+    /// identically configured metrics.
+    pub fn cache_key(&self) -> String {
+        match &self.kind {
+            Kind::Privacy(m) => m.cache_key(),
+            Kind::Utility(m) => m.cache_key(),
+        }
+    }
+}
+
+impl fmt::Debug for SuiteMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SuiteMetric")
+            .field("id", &self.id())
+            .field("name", &self.name())
+            .field("direction", &self.direction())
+            .finish()
+    }
+}
+
+/// An ordered set of metrics with unique [`MetricId`]s — the measurement
+/// dimensions of one study.
+///
+/// # Examples
+///
+/// ```
+/// use geopriv_metrics::{AreaCoverage, MetricSuite, PoiRetrieval, SuiteMetric};
+///
+/// # fn main() -> Result<(), geopriv_metrics::MetricError> {
+/// let suite = MetricSuite::new(vec![
+///     SuiteMetric::privacy(PoiRetrieval::default()),
+///     SuiteMetric::utility(AreaCoverage::default()),
+/// ])?;
+/// assert_eq!(suite.len(), 2);
+/// assert!(suite.get(&"poi-retrieval".into()).is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub struct MetricSuite {
+    metrics: Vec<SuiteMetric>,
+}
+
+impl MetricSuite {
+    /// Creates a suite from an ordered list of metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidSuite`] for an empty list or duplicate
+    /// ids (disambiguate with [`SuiteMetric::with_id`]).
+    pub fn new(metrics: Vec<SuiteMetric>) -> Result<Self, MetricError> {
+        if metrics.is_empty() {
+            return Err(MetricError::InvalidSuite {
+                reason: "a suite needs at least one metric".to_string(),
+            });
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for metric in &metrics {
+            if !seen.insert(metric.id()) {
+                return Err(MetricError::InvalidSuite {
+                    reason: format!(
+                        "duplicate metric id \"{}\" — disambiguate with SuiteMetric::with_id",
+                        metric.id()
+                    ),
+                });
+            }
+        }
+        Ok(Self { metrics })
+    }
+
+    /// The paper's shape: one privacy metric and one utility metric, in that
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidSuite`] if both metrics share a name.
+    pub fn pair(
+        privacy: Box<dyn PrivacyMetric>,
+        utility: Box<dyn UtilityMetric>,
+    ) -> Result<Self, MetricError> {
+        Self::new(vec![SuiteMetric::privacy_boxed(privacy), SuiteMetric::utility_boxed(utility)])
+    }
+
+    /// Number of metrics.
+    #[allow(clippy::len_without_is_empty)] // a suite is never empty
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// The metrics, in suite order.
+    pub fn metrics(&self) -> &[SuiteMetric] {
+        &self.metrics
+    }
+
+    /// Iterates over the metrics in suite order.
+    pub fn iter(&self) -> impl Iterator<Item = &SuiteMetric> {
+        self.metrics.iter()
+    }
+
+    /// The metric ids, in suite order.
+    pub fn ids(&self) -> Vec<MetricId> {
+        self.metrics.iter().map(SuiteMetric::id).collect()
+    }
+
+    /// Looks a metric up by id.
+    pub fn get(&self, id: &MetricId) -> Option<&SuiteMetric> {
+        self.metrics.iter().find(|m| &m.id() == id)
+    }
+
+    /// The position of a metric inside the suite.
+    pub fn index_of(&self, id: &MetricId) -> Option<usize> {
+        self.metrics.iter().position(|m| &m.id() == id)
+    }
+
+    /// The first metric improving in `direction`, if any — how the paper's
+    /// "the privacy metric" / "the utility metric" map onto a suite.
+    pub fn first_with_direction(&self, direction: Direction) -> Option<&SuiteMetric> {
+        self.metrics.iter().find(|m| m.direction() == direction)
+    }
+}
+
+impl fmt::Debug for MetricSuite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.metrics.iter().map(|m| m.id())).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AreaCoverage, HotspotPreservation, PoiRetrieval};
+    use geopriv_mobility::generator::TaxiFleetBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_suite() -> MetricSuite {
+        MetricSuite::pair(Box::new(PoiRetrieval::default()), Box::new(AreaCoverage::default()))
+            .unwrap()
+    }
+
+    #[test]
+    fn metric_id_conversions_and_display() {
+        let id = MetricId::new("poi-retrieval");
+        assert_eq!(id, MetricId::from("poi-retrieval"));
+        assert_eq!(id, MetricId::from("poi-retrieval".to_string()));
+        assert_eq!(id.as_str(), "poi-retrieval");
+        assert_eq!(id, "poi-retrieval");
+        assert_eq!(id.to_string(), "poi-retrieval");
+    }
+
+    #[test]
+    fn direction_goodness_and_display() {
+        assert_eq!(Direction::LowerIsBetter.goodness(0.3), -0.3);
+        assert_eq!(Direction::HigherIsBetter.goodness(0.3), 0.3);
+        assert!(Direction::LowerIsBetter.to_string().contains("lower"));
+        assert!(Direction::HigherIsBetter.to_string().contains("higher"));
+    }
+
+    #[test]
+    fn suite_orders_and_tags_metrics() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 2);
+        assert_eq!(
+            suite.ids(),
+            vec![MetricId::new("poi-retrieval"), MetricId::new("area-coverage")]
+        );
+        assert_eq!(suite.metrics()[0].direction(), Direction::LowerIsBetter);
+        assert_eq!(suite.metrics()[1].direction(), Direction::HigherIsBetter);
+        assert_eq!(suite.index_of(&"area-coverage".into()), Some(1));
+        assert!(suite.get(&"nope".into()).is_none());
+        assert_eq!(
+            suite.first_with_direction(Direction::HigherIsBetter).unwrap().id(),
+            MetricId::new("area-coverage")
+        );
+        assert!(format!("{suite:?}").contains("poi-retrieval"));
+        assert!(format!("{:?}", suite.metrics()[0]).contains("LowerIsBetter"));
+    }
+
+    #[test]
+    fn suite_rejects_empty_and_duplicate_ids() {
+        assert!(matches!(MetricSuite::new(vec![]), Err(MetricError::InvalidSuite { .. })));
+        let duplicated = MetricSuite::new(vec![
+            SuiteMetric::utility(AreaCoverage::default()),
+            SuiteMetric::utility(AreaCoverage::default()),
+        ]);
+        assert!(
+            matches!(duplicated, Err(MetricError::InvalidSuite { reason }) if reason.contains("area-coverage"))
+        );
+        // with_id disambiguates.
+        let suite = MetricSuite::new(vec![
+            SuiteMetric::utility(AreaCoverage::default()),
+            SuiteMetric::utility(AreaCoverage::default()).with_id("area-coverage-fine"),
+        ])
+        .unwrap();
+        assert_eq!(suite.ids()[1], MetricId::new("area-coverage-fine"));
+    }
+
+    #[test]
+    fn suite_metric_delegates_evaluation_and_caching() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dataset =
+            TaxiFleetBuilder::new().drivers(2).duration_hours(3.0).build(&mut rng).unwrap();
+        let suite = MetricSuite::new(vec![
+            SuiteMetric::privacy(PoiRetrieval::default()),
+            SuiteMetric::utility(AreaCoverage::default()),
+            SuiteMetric::utility(HotspotPreservation::default()),
+        ])
+        .unwrap();
+        for metric in suite.iter() {
+            assert_eq!(metric.cache_key(), metric.cache_key());
+            let prepared = metric.prepare(&dataset).unwrap();
+            let direct = metric.evaluate(&dataset, &dataset).unwrap();
+            let via_prepared = metric.evaluate_prepared(&prepared, &dataset, &dataset).unwrap();
+            assert_eq!(direct, via_prepared);
+        }
+    }
+}

@@ -12,6 +12,42 @@ use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::fmt;
 
+/// Which way a metric improves.
+///
+/// The framework never hard-codes "privacy" and "utility": every metric in a
+/// [`crate::MetricSuite`] carries its direction, and objectives, frontiers and
+/// reports interpret values through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Smaller values are better — the privacy-style metrics (less
+    /// information retrievable by the adversary).
+    LowerIsBetter,
+    /// Larger values are better — the utility-style metrics (the protected
+    /// data remains useful).
+    HigherIsBetter,
+}
+
+impl Direction {
+    /// Converts a raw metric value to a *goodness* score where greater is
+    /// always better, so direction-agnostic comparisons (dominance, knees)
+    /// can use plain `>`.
+    pub fn goodness(self, value: f64) -> f64 {
+        match self {
+            Direction::LowerIsBetter => -value,
+            Direction::HigherIsBetter => value,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::LowerIsBetter => write!(f, "lower is better"),
+            Direction::HigherIsBetter => write!(f, "higher is better"),
+        }
+    }
+}
+
 /// Opaque actual-side state computed once by a metric's
 /// [`PrivacyMetric::prepare`] / [`UtilityMetric::prepare`] and reused across
 /// many evaluations against the *same* actual dataset.
@@ -185,6 +221,11 @@ pub trait PrivacyMetric: Send + Sync {
     /// Human-readable name of the metric.
     fn name(&self) -> &str;
 
+    /// Privacy metrics improve downward ([`Direction::LowerIsBetter`]).
+    fn direction(&self) -> Direction {
+        Direction::LowerIsBetter
+    }
+
     /// Evaluates the metric for an actual dataset and its protected counterpart.
     ///
     /// # Errors
@@ -241,6 +282,11 @@ pub trait PrivacyMetric: Send + Sync {
 pub trait UtilityMetric: Send + Sync {
     /// Human-readable name of the metric.
     fn name(&self) -> &str;
+
+    /// Utility metrics improve upward ([`Direction::HigherIsBetter`]).
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
 
     /// Evaluates the metric for an actual dataset and its protected counterpart.
     ///

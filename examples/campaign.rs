@@ -28,16 +28,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the actual POIs exactly once for all of them.
     let systems = vec![
         SystemDefinition::paper_geoi(),
-        SystemDefinition::new(
+        SystemDefinition::with_pair(
             Box::new(GridCloakingFactory::new()),
             Box::new(PoiRetrieval::default()),
             Box::new(AreaCoverage::default()),
-        ),
-        SystemDefinition::new(
+        )?,
+        SystemDefinition::with_pair(
             Box::new(GaussianPerturbationFactory::new()),
             Box::new(PoiRetrieval::default()),
             Box::new(AreaCoverage::default()),
-        ),
+        )?,
     ];
 
     let config = SweepConfig { points: 9, repetitions: 1, seed: 2016, parallel: true };
@@ -45,22 +45,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for run in &campaign.runs {
         let sweep = &run.result;
-        let first = sweep.samples.first().expect("sweep is non-empty");
-        let last = sweep.samples.last().expect("sweep is non-empty");
         println!();
-        println!("== {} ({} sweep points) ==", sweep.lppm_name, sweep.samples.len());
+        println!("== {} ({} sweep points) ==", sweep.lppm_name, sweep.points());
         println!(
             "   parameter {} in [{}, {}]",
-            sweep.parameter_name, first.parameter, last.parameter
+            sweep.parameter_name,
+            sweep.parameters.first().expect("sweep is non-empty"),
+            sweep.parameters.last().expect("sweep is non-empty")
         );
-        println!(
-            "   privacy ({}): {:.3} -> {:.3}",
-            sweep.privacy_metric_name, first.privacy, last.privacy
-        );
-        println!(
-            "   utility ({}): {:.3} -> {:.3}",
-            sweep.utility_metric_name, first.utility, last.utility
-        );
+        for column in &sweep.columns {
+            println!(
+                "   {} ({}): {:.3} -> {:.3}",
+                column.id,
+                column.direction,
+                column.means.first().expect("sweep is non-empty"),
+                column.means.last().expect("sweep is non-empty")
+            );
+        }
     }
     Ok(())
 }

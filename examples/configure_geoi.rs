@@ -1,16 +1,15 @@
 //! The paper's end-to-end scenario: automatically configure
 //! Geo-Indistinguishability so that at most 10 % of POIs are retrievable
-//! while at least 80 % utility is preserved.
-//!
-//! The three framework steps (define → model → invert) are spelled out
-//! explicitly; this is the programmatic equivalent of the `operating_point`
-//! reproduction binary.
+//! while at least 80 % utility is preserved — through the fluent
+//! [`AutoConf`] facade (the explicit step-by-step equivalent lives in
+//! `examples/step_by_step.rs`).
 //!
 //! ```text
 //! cargo run --release --example configure_geoi
 //! ```
 
 use geopriv::prelude::*;
+use geopriv::AutoConf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,37 +28,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = SystemDefinition::paper_geoi();
     println!("system: {system:?}");
 
-    // Step 2 — modeling: sweep epsilon, measure both metrics, fit Equation 2.
-    let sweep =
-        ExperimentRunner::new(SweepConfig { points: 15, repetitions: 1, seed: 42, parallel: true })
-            .run(&system, &dataset)?;
+    // Steps 2–3 in one chain: sweep epsilon, measure every suite metric, fit
+    // the invertible models, state the paper's objectives, and invert.
+    let studied = AutoConf::for_system(system)
+        .dataset(&dataset)
+        .sweep(|s| s.points(15).repetitions(1).seed(42))
+        .fit()?;
     println!();
-    println!("{}", report::sweep_to_table(&sweep));
-    let fitted = Modeler::new().fit(&sweep)?;
-    println!("{}", report::relationship_report(&fitted));
+    println!("{}", report::sweep_to_table(studied.sweep_result()));
+    println!("{}", report::suite_report(studied.fitted()));
+    println!("  paper Equation 2: a = 0.84, b = 0.17, α = 1.21, β = 0.09");
 
-    // Step 3 — configuration: state objectives and invert the model.
-    let objectives = Objectives::paper_example();
-    println!("objectives: {objectives}");
-    let configurator = Configurator::new(fitted, system.parameter().scale());
-    match configurator.recommend(objectives) {
+    let studied = studied
+        .require("poi-retrieval", at_most(0.10))?
+        .require("area-coverage", at_least(0.80))?;
+    println!("objectives: {}", studied.objectives());
+    match studied.recommend() {
         Ok(recommendation) => {
             println!("{}", report::recommendation_report(&recommendation));
 
             // Sanity check: protect with the recommended epsilon and re-measure.
-            let lppm = system.factory().instantiate(recommendation.parameter)?;
+            let lppm = studied.system().factory().instantiate(recommendation.parameter)?;
             let protected = lppm.protect_dataset(&dataset, &mut rng)?;
             let privacy = PoiRetrieval::default().evaluate(&dataset, &protected)?;
             let utility = AreaCoverage::default().evaluate(&dataset, &protected)?;
             println!(
-                "re-measured at the recommendation: privacy = {:.3} (target ≤ {:.2}), utility = {:.3} (target ≥ {:.2})",
+                "re-measured at the recommendation: privacy = {:.3} (target ≤ 0.10), utility = {:.3} (target ≥ 0.80)",
                 privacy.value(),
-                objectives.privacy.bound(),
                 utility.value(),
-                objectives.utility.bound()
             );
         }
-        Err(CoreError::Infeasible { reason }) => {
+        Err(geopriv::Error::Core(CoreError::Infeasible { reason })) => {
             println!("the requested objectives cannot be met on this dataset: {reason}");
             println!("relax one of the objectives and re-run.");
         }

@@ -1,11 +1,13 @@
-//! Quickstart: protect a synthetic mobility dataset with
-//! Geo-Indistinguishability and measure what the protection costs and buys.
+//! Quickstart: one fluent `AutoConf` chain from a raw mobility dataset to a
+//! recommended Geo-Indistinguishability configuration, then a protection run
+//! at the recommended ε to see what the protection costs and buys.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use geopriv::prelude::*;
+use geopriv::AutoConf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,30 +26,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.bounding_box()?.area_km2().round()
     );
 
-    // 2. Protect it with GEO-I at the paper's recommended operating point.
-    let epsilon = Epsilon::new(0.01)?;
-    let geoi = GeoIndistinguishability::new(epsilon);
+    // 2. Ask the framework for a configuration: sweep ε, fit the invertible
+    //    models, and invert under "≤ 15 % POI retrieval, ≥ 70 % utility".
+    let recommendation = AutoConf::for_system(SystemDefinition::paper_geoi())
+        .dataset(&dataset)
+        .sweep(|s| s.points(13).seed(42))
+        .fit()?
+        .require("poi-retrieval", at_most(0.15))?
+        .require("area-coverage", at_least(0.70))?
+        .recommend()?;
+    println!();
     println!(
-        "protecting with {} (epsilon = {}, expected noise radius {} m)",
+        "recommended epsilon = {:.4} m⁻¹ (feasible in [{:.4}, {:.4}])",
+        recommendation.parameter, recommendation.feasible_range.0, recommendation.feasible_range.1
+    );
+    for (metric, predicted) in &recommendation.predictions {
+        println!("  predicted {metric}: {predicted:.3}");
+    }
+
+    // 3. Protect at the recommended ε and re-measure the paper's two metrics.
+    let epsilon = Epsilon::new(recommendation.parameter)?;
+    let geoi = GeoIndistinguishability::new(epsilon);
+    println!();
+    println!(
+        "protecting with {} (expected noise radius {:.0} m)",
         geoi.name(),
-        epsilon.value(),
         epsilon.expected_noise_radius_m()
     );
     let protected = geoi.protect_dataset(&dataset, &mut rng)?;
-
-    // 3. Evaluate the paper's two metrics.
     let privacy = PoiRetrieval::default().evaluate(&dataset, &protected)?;
     let utility = AreaCoverage::default().evaluate(&dataset, &protected)?;
     let distortion = MeanDistortion::new().of_datasets(&dataset, &protected)?;
-
-    println!();
     println!("privacy  (POI retrieval, lower is better):  {:.3}", privacy.value());
     println!("utility  (area coverage, higher is better): {:.3}", utility.value());
     println!("mean displacement introduced by the noise:  {:.0} m", distortion.as_f64());
-    println!();
-    println!(
-        "per-user POI retrieval: {:?}",
-        privacy.per_user().iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
-    );
     Ok(())
 }

@@ -1,0 +1,60 @@
+//! The explicit, step-by-step path through the framework — what the
+//! [`geopriv::AutoConf`] facade (see `examples/configure_geoi.rs`) drives
+//! underneath. Useful when a study needs to inspect or persist the
+//! intermediate artifacts: the raw sweep, the fitted models, the frontier.
+//!
+//! ```text
+//! cargo run --release --example step_by_step
+//! ```
+
+use geopriv::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2016);
+    let dataset = TaxiFleetBuilder::new()
+        .drivers(10)
+        .duration_hours(10.0)
+        .sampling_interval_s(30.0)
+        .build(&mut rng)?;
+    println!("dataset: {} drivers, {} records", dataset.user_count(), dataset.record_count());
+
+    // Step 1 — system definition.
+    let system = SystemDefinition::paper_geoi();
+    println!("system: {system:?}");
+
+    // Step 2a — measurement: sweep epsilon, one column per suite metric.
+    let sweep =
+        ExperimentRunner::new(SweepConfig { points: 15, repetitions: 1, seed: 42, parallel: true })
+            .run(&system, &dataset)?;
+    println!();
+    println!("{}", report::sweep_to_table(&sweep));
+
+    // Step 2b — modeling: detect each metric's non-saturated zone and fit
+    // the invertible log-linear model of Equation 2.
+    let fitted = Modeler::new().fit(&sweep)?;
+    println!("{}", report::suite_report(&fitted));
+
+    // The measured trade-off frontier: which objective pairs are reachable.
+    let frontier = ParetoFrontier::from_sweep(&sweep)?;
+    println!("frontier has {} non-dominated points; knee:", frontier.len());
+    if let Some(knee) = frontier.knee() {
+        println!("  {knee}");
+    }
+
+    // Step 3 — configuration: per-metric constraints, then inversion.
+    let objectives = Objectives::new()
+        .require("poi-retrieval", at_most(0.10))?
+        .require("area-coverage", at_least(0.80))?;
+    println!("objectives: {objectives}");
+    let configurator = Configurator::new(fitted, system.parameter().scale());
+    match configurator.recommend(&objectives) {
+        Ok(recommendation) => println!("{}", report::recommendation_report(&recommendation)),
+        Err(CoreError::Infeasible { reason }) => {
+            println!("the requested objectives cannot be met on this dataset: {reason}");
+        }
+        Err(other) => return Err(other.into()),
+    }
+    Ok(())
+}

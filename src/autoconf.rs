@@ -1,0 +1,412 @@
+//! The fluent `AutoConf` facade: define → sweep → fit → require → recommend
+//! in one call chain.
+//!
+//! The explicit path through the framework (build an
+//! [`ExperimentRunner`], run it, feed the sweep to a [`Modeler`], wrap the
+//! fit in a [`Configurator`], invert under [`Objectives`]) stays available
+//! and is what this facade drives underneath — `AutoConf` only removes the
+//! plumbing, never changes the numbers. The chain is typestate-shaped:
+//! [`AutoConf::dataset`] is needed before [`AutoConfWithData::fit`], and
+//! [`FittedAutoConf::recommend`] only exists after `fit()`, so "invert before
+//! measuring" is unrepresentable rather than a runtime error.
+//!
+//! ```no_run
+//! use geopriv::prelude::*;
+//! use geopriv::AutoConf;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), geopriv::Error> {
+//! # let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! # let dataset = TaxiFleetBuilder::new().drivers(10).duration_hours(8.0).build(&mut rng)?;
+//! let recommendation = AutoConf::for_system(SystemDefinition::paper_geoi())
+//!     .dataset(&dataset)
+//!     .sweep(|s| s.points(25).seed(42))
+//!     .fit()?
+//!     .require("poi-retrieval", at_most(0.1))?
+//!     .require("area-coverage", at_least(0.8))?
+//!     .recommend()?;
+//! println!("use ε = {:.4}", recommendation.parameter);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::Error;
+use geopriv_core::{
+    Configurator, Constraint, ExperimentRunner, FittedSuite, MetricId, Modeler, Objectives,
+    ParetoFrontier, Recommendation, SweepConfig, SweepResult, SystemDefinition,
+};
+use geopriv_mobility::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fluent configuration of the underlying sweep ([`SweepConfig`]), passed to
+/// [`AutoConf::sweep`] / [`AutoConfWithData::sweep`] as a closure argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPlan {
+    config: SweepConfig,
+}
+
+impl SweepPlan {
+    fn new(config: SweepConfig) -> Self {
+        Self { config }
+    }
+
+    /// Number of sweep points across the parameter range (default 25).
+    #[must_use]
+    pub fn points(mut self, points: usize) -> Self {
+        self.config.points = points;
+        self
+    }
+
+    /// Number of protection/evaluation repetitions per point (default 1).
+    #[must_use]
+    pub fn repetitions(mut self, repetitions: usize) -> Self {
+        self.config.repetitions = repetitions;
+        self
+    }
+
+    /// Master seed of the sweep's deterministic RNG derivation.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Whether sweep points run on multiple threads (default true; either
+    /// way the measurements are bit-identical).
+    #[must_use]
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.config.parallel = parallel;
+        self
+    }
+}
+
+/// Entry state of the facade: a system, not yet bound to a dataset.
+///
+/// See the [module docs](self) for the full chain.
+pub struct AutoConf {
+    system: SystemDefinition,
+    config: SweepConfig,
+}
+
+impl AutoConf {
+    /// Starts a configuration study for one system.
+    pub fn for_system(system: SystemDefinition) -> Self {
+        Self { system, config: SweepConfig::default() }
+    }
+
+    /// Adjusts the sweep settings.
+    #[must_use]
+    pub fn sweep(mut self, configure: impl FnOnce(SweepPlan) -> SweepPlan) -> Self {
+        self.config = configure(SweepPlan::new(self.config)).config;
+        self
+    }
+
+    /// Binds the dataset to study, unlocking [`AutoConfWithData::fit`].
+    pub fn dataset(self, dataset: &Dataset) -> AutoConfWithData<'_> {
+        AutoConfWithData { system: self.system, config: self.config, dataset }
+    }
+}
+
+/// A system bound to a dataset — ready to measure and fit.
+pub struct AutoConfWithData<'a> {
+    system: SystemDefinition,
+    config: SweepConfig,
+    dataset: &'a Dataset,
+}
+
+impl AutoConfWithData<'_> {
+    /// Adjusts the sweep settings.
+    #[must_use]
+    pub fn sweep(mut self, configure: impl FnOnce(SweepPlan) -> SweepPlan) -> Self {
+        self.config = configure(SweepPlan::new(self.config)).config;
+        self
+    }
+
+    /// Runs the sweep and fits every suite metric's invertible model —
+    /// exactly [`ExperimentRunner::run`] followed by [`Modeler::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates sweep and modeling errors.
+    pub fn fit(self) -> Result<FittedAutoConf, Error> {
+        let sweep = ExperimentRunner::new(self.config).run(&self.system, self.dataset)?;
+        let fitted = Modeler::new().fit(&sweep)?;
+        let configurator = Configurator::new(fitted, self.system.parameter().scale());
+        Ok(FittedAutoConf {
+            system: self.system,
+            sweep,
+            configurator,
+            objectives: Objectives::new(),
+        })
+    }
+}
+
+/// The fitted state: models exist, constraints can be stated and inverted.
+///
+/// Only this state exposes [`FittedAutoConf::recommend`] — the typestate
+/// guarantee that inversion never runs before measurement.
+pub struct FittedAutoConf {
+    system: SystemDefinition,
+    sweep: SweepResult,
+    configurator: Configurator,
+    objectives: Objectives,
+}
+
+impl FittedAutoConf {
+    /// Adds a constraint on one suite metric ([`geopriv_core::at_most`] /
+    /// [`geopriv_core::at_least`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`geopriv_core::CoreError::UnknownMetric`] if `metric` was not part
+    ///   of the swept suite (fails fast, at the call naming the metric).
+    /// * [`geopriv_core::CoreError::InvalidConfiguration`] for a bound
+    ///   outside `[0, 1]`.
+    pub fn require(
+        mut self,
+        metric: impl Into<MetricId>,
+        constraint: Constraint,
+    ) -> Result<Self, Error> {
+        let metric = metric.into();
+        if self.fitted().model(&metric).is_none() {
+            return Err(geopriv_core::CoreError::UnknownMetric {
+                metric: metric.to_string(),
+                available: self.fitted().ids().iter().map(MetricId::to_string).collect(),
+            }
+            .into());
+        }
+        self.objectives = self.objectives.require(metric, constraint)?;
+        Ok(self)
+    }
+
+    /// The system under study.
+    pub fn system(&self) -> &SystemDefinition {
+        &self.system
+    }
+
+    /// The measured sweep.
+    pub fn sweep_result(&self) -> &SweepResult {
+        &self.sweep
+    }
+
+    /// The fitted per-metric models.
+    pub fn fitted(&self) -> &FittedSuite {
+        self.configurator.fitted()
+    }
+
+    /// The constraints stated so far.
+    pub fn objectives(&self) -> &Objectives {
+        &self.objectives
+    }
+
+    /// The measured trade-off frontier over the default metric pair (first
+    /// lower-is-better vs first higher-is-better metric).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParetoFrontier::from_sweep`] errors.
+    pub fn frontier(&self) -> Result<ParetoFrontier, Error> {
+        Ok(ParetoFrontier::from_sweep(&self.sweep)?)
+    }
+
+    /// The measured trade-off frontier over an explicitly chosen metric pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParetoFrontier::for_pair`] errors.
+    pub fn frontier_for(&self, x: &MetricId, y: &MetricId) -> Result<ParetoFrontier, Error> {
+        Ok(ParetoFrontier::for_pair(&self.sweep, x, y)?)
+    }
+
+    /// Inverts the fitted models under the stated constraints — exactly
+    /// [`Configurator::recommend`].
+    ///
+    /// # Errors
+    ///
+    /// * [`geopriv_core::CoreError::InvalidConfiguration`] when no constraint
+    ///   was stated.
+    /// * [`geopriv_core::CoreError::Infeasible`] when the constraints
+    ///   conflict.
+    pub fn recommend(&self) -> Result<Recommendation, Error> {
+        Ok(self.configurator.recommend(&self.objectives)?)
+    }
+
+    /// Double-checks a recommendation against the data rather than the
+    /// models: instantiate the mechanism at `parameter`, protect `dataset`
+    /// with a fresh RNG seeded from `seed`, and re-measure every suite
+    /// metric directly. Returns `(metric id, measured value)` in suite
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instantiation, protection and metric errors.
+    pub fn measure_at(
+        &self,
+        dataset: &Dataset,
+        parameter: f64,
+        seed: u64,
+    ) -> Result<Vec<(MetricId, f64)>, Error> {
+        let lppm = self.system.factory().instantiate(parameter)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protected = lppm.protect_dataset(dataset, &mut rng)?;
+        self.system
+            .suite()
+            .iter()
+            .map(|metric| Ok((metric.id(), metric.evaluate(dataset, &protected)?.value())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geopriv_core::{at_least, at_most, CoreError};
+    use geopriv_metrics::{
+        AreaCoverage, DistortionUtility, HotspotPreservation, MetricSuite, PoiRetrieval,
+        SuiteMetric,
+    };
+    use geopriv_mobility::generator::TaxiFleetBuilder;
+
+    fn dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(7);
+        TaxiFleetBuilder::new()
+            .drivers(6)
+            .duration_hours(8.0)
+            .sampling_interval_s(60.0)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn the_facade_reproduces_the_explicit_path_exactly() {
+        let dataset = dataset();
+        let config = SweepConfig { points: 13, repetitions: 1, seed: 42, parallel: true };
+
+        // Explicit path.
+        let system = SystemDefinition::paper_geoi();
+        let sweep = ExperimentRunner::new(config).run(&system, &dataset).unwrap();
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+        let configurator = Configurator::new(fitted.clone(), system.parameter().scale());
+        let explicit = configurator.recommend(&Objectives::paper_example()).unwrap();
+
+        // Facade path.
+        let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+            .dataset(&dataset)
+            .sweep(|s| s.points(13).repetitions(1).seed(42).parallel(true))
+            .fit()
+            .unwrap();
+        let recommendation = studied
+            .require("poi-retrieval", at_most(0.1))
+            .unwrap()
+            .require("area-coverage", at_least(0.8))
+            .unwrap()
+            .recommend()
+            .unwrap();
+
+        // Bit-identical, not merely close.
+        assert_eq!(recommendation, explicit);
+        assert_eq!(studied_eq_check(&dataset, config), (sweep, fitted));
+    }
+
+    /// Rebuilds the facade's intermediate state for the equality check above
+    /// (the facade consumed itself through `require`).
+    fn studied_eq_check(dataset: &Dataset, config: SweepConfig) -> (SweepResult, FittedSuite) {
+        let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+            .sweep(|s| s.points(config.points).seed(config.seed))
+            .dataset(dataset)
+            .fit()
+            .unwrap();
+        (studied.sweep_result().clone(), studied.fitted().clone())
+    }
+
+    #[test]
+    fn unknown_metrics_fail_fast_at_require() {
+        let dataset = dataset();
+        let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+            .dataset(&dataset)
+            .sweep(|s| s.points(9).seed(1))
+            .fit()
+            .unwrap();
+        let error = studied.require("poi-retrival", at_most(0.1)).err().expect("must fail");
+        match error {
+            Error::Core(CoreError::UnknownMetric { metric, available }) => {
+                assert_eq!(metric, "poi-retrival");
+                assert!(available.contains(&"poi-retrieval".to_string()));
+            }
+            other => panic!("expected unknown metric, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recommend_without_constraints_is_a_typed_error() {
+        let dataset = dataset();
+        let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+            .dataset(&dataset)
+            .sweep(|s| s.points(9).seed(1))
+            .fit()
+            .unwrap();
+        assert!(matches!(
+            studied.recommend(),
+            Err(Error::Core(CoreError::InvalidConfiguration { .. }))
+        ));
+    }
+
+    #[test]
+    fn a_four_metric_suite_flows_through_the_same_chain() {
+        let dataset = dataset();
+        let system = SystemDefinition::new(
+            Box::new(geopriv_core::GeoIndistinguishabilityFactory::new()),
+            MetricSuite::new(vec![
+                SuiteMetric::privacy(PoiRetrieval::default()),
+                SuiteMetric::utility(DistortionUtility::default()),
+                SuiteMetric::utility(AreaCoverage::default()),
+                SuiteMetric::utility(HotspotPreservation::default()),
+            ])
+            .unwrap(),
+        );
+        let studied = AutoConf::for_system(system)
+            .dataset(&dataset)
+            .sweep(|s| s.points(13).seed(5))
+            .fit()
+            .unwrap();
+        assert_eq!(studied.sweep_result().columns.len(), 4);
+        assert_eq!(studied.fitted().models.len(), 4);
+
+        let recommendation = studied
+            .require("poi-retrieval", at_most(0.3))
+            .unwrap()
+            .require("area-coverage", at_least(0.5))
+            .unwrap()
+            .recommend()
+            .unwrap();
+        // Every suite metric gets a prediction, constrained or not.
+        assert_eq!(recommendation.predictions.len(), 4);
+        // The frontier generalizes to any pair.
+        let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+            .dataset(&dataset)
+            .sweep(|s| s.points(9).seed(5))
+            .fit()
+            .unwrap();
+        let frontier = studied.frontier().unwrap();
+        assert!(!frontier.is_empty());
+    }
+
+    #[test]
+    fn measure_at_reevaluates_every_suite_metric() {
+        let dataset = dataset();
+        let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+            .dataset(&dataset)
+            .sweep(|s| s.points(9).seed(3))
+            .fit()
+            .unwrap();
+        let measured = studied.measure_at(&dataset, 0.01, 99).unwrap();
+        assert_eq!(measured.len(), 2);
+        assert_eq!(measured[0].0, MetricId::new("poi-retrieval"));
+        for (_, value) in &measured {
+            assert!((0.0..=1.0).contains(value));
+        }
+        // Deterministic in the seed.
+        assert_eq!(measured, studied.measure_at(&dataset, 0.01, 99).unwrap());
+    }
+}

@@ -5,19 +5,25 @@
 //! Mechanisms (LPPMs), reproducing Cerf et al., *Toward an Easy Configuration
 //! of Location Privacy Protection Mechanisms*, Middleware 2016.
 //!
-//! See the individual crates for details:
+//! The public entry point is the fluent [`AutoConf`] facade — define the
+//! system, sweep its parameter, fit every metric's invertible model, state
+//! per-metric constraints, and get an operating-point recommendation in one
+//! chain. The explicit step-by-step pipeline underneath stays public; see
+//! the individual crates for details:
 //!
 //! * [`geo`] — geospatial primitives (points, projections, grids).
 //! * [`analysis`] — regression, PCA, interpolation, saturation detection.
 //! * [`mobility`] — mobility traces, datasets and synthetic generators.
 //! * [`lppm`] — protection mechanisms (Geo-Indistinguishability & friends).
-//! * [`metrics`] — privacy and utility metrics.
+//! * [`metrics`] — metric traits and direction-tagged suites
+//!   ([`metrics::MetricSuite`]).
 //! * [`core`] — the configuration framework itself.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use geopriv::prelude::*;
+//! use geopriv::AutoConf;
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,18 +34,25 @@
 //!     .duration_hours(6.0)
 //!     .build(&mut rng)?;
 //!
-//! // 2. Protect it with Geo-Indistinguishability at a given epsilon.
-//! let geoi = GeoIndistinguishability::new(Epsilon::new(0.01)?);
-//! let protected = geoi.protect_dataset(&dataset, &mut rng)?;
+//! // 2. Sweep GEO-I's ε, fit the response models, and invert them under
+//! //    "at most 30 % POI retrieval, at least 50 % area coverage".
+//! let recommendation = AutoConf::for_system(SystemDefinition::paper_geoi())
+//!     .dataset(&dataset)
+//!     .sweep(|s| s.points(9).seed(42))
+//!     .fit()?
+//!     .require("poi-retrieval", at_most(0.30))?
+//!     .require("area-coverage", at_least(0.50))?
+//!     .recommend()?;
 //!
-//! // 3. Evaluate privacy (POI retrieval) and utility (area coverage).
-//! let privacy = PoiRetrieval::default().evaluate(&dataset, &protected)?;
-//! let utility = AreaCoverage::default().evaluate(&dataset, &protected)?;
-//! assert!((0.0..=1.0).contains(&privacy.value()));
-//! assert!((0.0..=1.0).contains(&utility.value()));
+//! // 3. The recommended ε comes with per-metric predictions.
+//! assert!(recommendation.parameter > 0.0);
+//! assert!(recommendation.predicted(&"poi-retrieval".into()).is_some());
 //! # Ok(())
 //! # }
 //! ```
+
+pub mod autoconf;
+pub mod error;
 
 pub use geopriv_analysis as analysis;
 pub use geopriv_core as core;
@@ -48,8 +61,13 @@ pub use geopriv_lppm as lppm;
 pub use geopriv_metrics as metrics;
 pub use geopriv_mobility as mobility;
 
+pub use autoconf::{AutoConf, AutoConfWithData, FittedAutoConf, SweepPlan};
+pub use error::Error;
+
 /// Convenient glob-import of the most commonly used items of the workspace.
 pub mod prelude {
+    pub use crate::autoconf::{AutoConf, AutoConfWithData, FittedAutoConf, SweepPlan};
+    pub use crate::error::Error;
     pub use geopriv_core::prelude::*;
     pub use geopriv_geo::prelude::*;
     pub use geopriv_lppm::prelude::*;

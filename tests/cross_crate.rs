@@ -140,11 +140,12 @@ fn dataset_properties_feed_the_pca_selection() {
 fn other_lppm_families_can_be_swept_through_the_framework() {
     // The framework is not GEO-I specific: sweep the Gaussian baseline too.
     let dataset = small_fleet(6);
-    let system = SystemDefinition::new(
+    let system = SystemDefinition::with_pair(
         Box::new(GaussianPerturbationFactory::new()),
         Box::new(PoiRetrieval::default()),
         Box::new(AreaCoverage::default()),
-    );
+    )
+    .expect("distinct metric names");
     let sweep =
         ExperimentRunner::new(SweepConfig { points: 7, repetitions: 1, seed: 9, parallel: false })
             .run(&system, &dataset)
@@ -154,8 +155,8 @@ fn other_lppm_families_can_be_swept_through_the_framework() {
     assert_eq!(sweep.parameter_name, "sigma");
     // For Gaussian noise the metrics *decrease* with sigma (more noise), the
     // mirror image of the epsilon behaviour.
-    let privacy = sweep.privacy_values();
-    let utility = sweep.utility_values();
+    let privacy = sweep.values(&"poi-retrieval".into()).expect("privacy column exists");
+    let utility = sweep.values(&"area-coverage".into()).expect("utility column exists");
     assert!(privacy.first().unwrap() >= privacy.last().unwrap());
     assert!(utility.first().unwrap() > utility.last().unwrap());
 }

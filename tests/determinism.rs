@@ -60,8 +60,9 @@ fn parallel_and_sequential_sweeps_measure_identically() {
     };
     let a = run(true);
     let b = run(false);
-    assert_eq!(a.privacy_values(), b.privacy_values());
-    assert_eq!(a.utility_values(), b.utility_values());
+    assert_eq!(a, b);
+    assert_eq!(a.values(&"poi-retrieval".into()), b.values(&"poi-retrieval".into()));
+    assert_eq!(a.values(&"area-coverage".into()), b.values(&"area-coverage".into()));
 }
 
 /// The systems of the campaign determinism tests: the paper's GEO-I system
@@ -69,11 +70,12 @@ fn parallel_and_sequential_sweeps_measure_identically() {
 fn campaign_systems() -> Vec<SystemDefinition> {
     vec![
         SystemDefinition::paper_geoi(),
-        SystemDefinition::new(
+        SystemDefinition::with_pair(
             Box::new(GaussianPerturbationFactory::new()),
             Box::new(PoiRetrieval::default()),
             Box::new(AreaCoverage::default()),
-        ),
+        )
+        .expect("distinct metric names"),
     ]
 }
 

@@ -17,6 +17,14 @@ fn taxi_dataset(drivers: usize, hours: f64, seed: u64) -> Dataset {
         .expect("static generator configuration is valid")
 }
 
+fn privacy_id() -> MetricId {
+    MetricId::new("poi-retrieval")
+}
+
+fn utility_id() -> MetricId {
+    MetricId::new("area-coverage")
+}
+
 #[test]
 fn figure_1_shape_holds_on_the_synthetic_taxi_workload() {
     let dataset = taxi_dataset(6, 8.0, 1);
@@ -26,11 +34,11 @@ fn figure_1_shape_holds_on_the_synthetic_taxi_workload() {
             .run(&system, &dataset)
             .expect("sweep succeeds");
 
-    let privacy = sweep.privacy_values();
-    let utility = sweep.utility_values();
+    let privacy = sweep.values(&privacy_id()).expect("privacy column exists");
+    let utility = sweep.values(&utility_id()).expect("utility column exists");
 
     // Both metrics are bounded and overall increasing in epsilon (Figure 1).
-    for (p, u) in privacy.iter().zip(&utility) {
+    for (p, u) in privacy.iter().zip(utility) {
         assert!((0.0..=1.0).contains(p));
         assert!((0.0..=1.0).contains(u));
     }
@@ -55,36 +63,31 @@ fn equation_2_fit_and_inversion_recover_a_usable_operating_point() {
             .expect("sweep succeeds");
 
     let fitted = Modeler::new().fit(&sweep).expect("modeling succeeds");
+    let privacy_model = &fitted.model(&privacy_id()).expect("privacy model").model;
+    let utility_model = &fitted.model(&utility_id()).expect("utility model").model;
 
     // Equation 2 shape: both metrics increase with ln(epsilon), and the
     // privacy metric responds more steeply than the utility metric.
-    assert!(fitted.privacy.model.slope() > 0.0);
-    assert!(fitted.utility.model.slope() > 0.0);
-    assert!(fitted.privacy.model.slope() > fitted.utility.model.slope());
-    assert!(
-        fitted.privacy.model.r_squared() > 0.6,
-        "R² privacy {}",
-        fitted.privacy.model.r_squared()
-    );
-    assert!(
-        fitted.utility.model.r_squared() > 0.6,
-        "R² utility {}",
-        fitted.utility.model.r_squared()
-    );
+    assert!(privacy_model.slope() > 0.0);
+    assert!(utility_model.slope() > 0.0);
+    assert!(privacy_model.slope() > utility_model.slope());
+    assert!(privacy_model.r_squared() > 0.6, "R² privacy {}", privacy_model.r_squared());
+    assert!(utility_model.r_squared() > 0.6, "R² utility {}", utility_model.r_squared());
 
     // Invert for moderately strict objectives; the recommendation must fall
     // inside its own feasible range and inside the paper's epsilon range.
-    let objectives = Objectives::new(
-        PrivacyObjective::at_most(0.3).expect("valid"),
-        UtilityObjective::at_least(0.5).expect("valid"),
-    );
+    let objectives = Objectives::new()
+        .require("poi-retrieval", at_most(0.3))
+        .expect("valid")
+        .require("area-coverage", at_least(0.5))
+        .expect("valid");
     let configurator = Configurator::new(fitted, system.parameter().scale());
-    let recommendation = configurator.recommend(objectives).expect("objectives are feasible");
+    let recommendation = configurator.recommend(&objectives).expect("objectives are feasible");
     assert!(recommendation.parameter >= recommendation.feasible_range.0);
     assert!(recommendation.parameter <= recommendation.feasible_range.1);
     assert!(recommendation.parameter > 1e-4 && recommendation.parameter < 1.0);
-    assert!(recommendation.predicted_privacy <= 0.3 + 0.05);
-    assert!(recommendation.predicted_utility >= 0.5 - 0.05);
+    assert!(recommendation.predicted(&privacy_id()).unwrap() <= 0.3 + 0.05);
+    assert!(recommendation.predicted(&utility_id()).unwrap() >= 0.5 - 0.05);
 
     // Verify by re-measuring at the recommended epsilon. The log-linear model
     // flattens the steep part of the privacy response (the paper fits the
@@ -101,29 +104,66 @@ fn equation_2_fit_and_inversion_recover_a_usable_operating_point() {
     let measured_utility =
         AreaCoverage::default().evaluate(&dataset, &protected).expect("metric succeeds");
     assert!(
-        measured_privacy.value() <= objectives.privacy.bound() + 0.1,
-        "measured privacy {} violates the objective {}",
+        measured_privacy.value() <= 0.3 + 0.1,
+        "measured privacy {} violates the objective",
         measured_privacy.value(),
-        objectives.privacy
     );
     assert!(
-        measured_privacy.value() <= recommendation.predicted_privacy + 0.1,
-        "model under-estimated the privacy risk: measured {} vs predicted {}",
+        measured_privacy.value() <= recommendation.predicted(&privacy_id()).unwrap() + 0.1,
+        "model under-estimated the privacy risk: measured {} vs predicted {:?}",
         measured_privacy.value(),
-        recommendation.predicted_privacy
+        recommendation.predicted(&privacy_id()),
     );
     assert!(
-        measured_utility.value() >= objectives.utility.bound() - 0.1,
-        "measured utility {} violates the objective {}",
+        measured_utility.value() >= 0.5 - 0.1,
+        "measured utility {} violates the objective",
         measured_utility.value(),
-        objectives.utility
     );
     assert!(
-        (measured_utility.value() - recommendation.predicted_utility).abs() < 0.2,
-        "measured utility {} vs predicted {}",
+        (measured_utility.value() - recommendation.predicted(&utility_id()).unwrap()).abs() < 0.2,
+        "measured utility {} vs predicted {:?}",
         measured_utility.value(),
-        recommendation.predicted_utility
+        recommendation.predicted(&utility_id()),
     );
+}
+
+#[test]
+fn the_autoconf_facade_matches_the_explicit_path_bit_for_bit() {
+    let dataset = taxi_dataset(6, 8.0, 3);
+
+    // Explicit three-step path.
+    let system = SystemDefinition::paper_geoi();
+    let config = SweepConfig { points: 11, repetitions: 1, seed: 17, parallel: true };
+    let sweep = ExperimentRunner::new(config).run(&system, &dataset).expect("sweep succeeds");
+    let fitted = Modeler::new().fit(&sweep).expect("modeling succeeds");
+    let explicit = Configurator::new(fitted, system.parameter().scale())
+        .recommend(
+            &Objectives::new()
+                .require("poi-retrieval", at_most(0.3))
+                .expect("valid")
+                .require("area-coverage", at_least(0.5))
+                .expect("valid"),
+        )
+        .expect("feasible");
+
+    // Facade path with identical settings.
+    let facade = AutoConf::for_system(SystemDefinition::paper_geoi())
+        .dataset(&dataset)
+        .sweep(|s| s.points(11).repetitions(1).seed(17))
+        .fit()
+        .expect("fit succeeds")
+        .require("poi-retrieval", at_most(0.3))
+        .expect("known metric")
+        .require("area-coverage", at_least(0.5))
+        .expect("known metric")
+        .recommend()
+        .expect("feasible");
+
+    assert_eq!(facade, explicit);
+    // The recommendation lands inside every constraint's feasible range by
+    // construction; its model predictions satisfy the constraints too.
+    assert!(at_most(0.3).is_satisfied_by(facade.predicted(&privacy_id()).unwrap()));
+    assert!(at_least(0.5).is_satisfied_by(facade.predicted(&utility_id()).unwrap()));
 }
 
 #[test]
@@ -138,11 +178,12 @@ fn infeasible_objectives_are_detected() {
     let configurator = Configurator::new(fitted, system.parameter().scale());
 
     // Essentially perfect privacy and perfect utility at the same time.
-    let impossible = Objectives::new(
-        PrivacyObjective::at_most(0.001).expect("valid"),
-        UtilityObjective::at_least(0.999).expect("valid"),
-    );
-    match configurator.recommend(impossible) {
+    let impossible = Objectives::new()
+        .require("poi-retrieval", at_most(0.001))
+        .expect("valid")
+        .require("area-coverage", at_least(0.999))
+        .expect("valid");
+    match configurator.recommend(&impossible) {
         Err(CoreError::Infeasible { .. }) => {}
         other => panic!("expected infeasible objectives to be rejected, got {other:?}"),
     }

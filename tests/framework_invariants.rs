@@ -128,40 +128,53 @@ proptest! {
         // Build an analytic Equation-2-like sweep, fit it, and invert random
         // objectives; whenever a recommendation is produced it must respect
         // its own feasible range and domain.
-        let samples: Vec<SweepSample> = (0..25)
-            .map(|i| {
-                let epsilon = 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / 24.0);
-                let privacy = (0.8 + slope_p * epsilon.ln()).clamp(0.0, 1.0);
-                let utility = (1.1 + slope_u * epsilon.ln()).clamp(0.0, 1.0);
-                SweepSample { parameter: epsilon, privacy, utility, privacy_runs: vec![], utility_runs: vec![] }
-            })
-            .collect();
+        let parameters: Vec<f64> =
+            (0..25).map(|i| 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / 24.0)).collect();
+        let privacy: Vec<f64> =
+            parameters.iter().map(|e| (0.8 + slope_p * e.ln()).clamp(0.0, 1.0)).collect();
+        let utility: Vec<f64> =
+            parameters.iter().map(|e| (1.1 + slope_u * e.ln()).clamp(0.0, 1.0)).collect();
         let sweep = SweepResult {
             lppm_name: "geo-indistinguishability".to_string(),
             parameter_name: "epsilon".to_string(),
             parameter_scale: geopriv::lppm::ParameterScale::Logarithmic,
-            privacy_metric_name: "poi-retrieval".to_string(),
-            utility_metric_name: "area-coverage".to_string(),
-            samples,
+            parameters,
+            columns: vec![
+                MetricColumn {
+                    id: MetricId::new("poi-retrieval"),
+                    direction: Direction::LowerIsBetter,
+                    means: privacy,
+                    runs: vec![],
+                },
+                MetricColumn {
+                    id: MetricId::new("area-coverage"),
+                    direction: Direction::HigherIsBetter,
+                    means: utility,
+                    runs: vec![],
+                },
+            ],
         };
         let fitted = match Modeler::new().fit(&sweep) {
             Ok(f) => f,
             Err(_) => return Ok(()), // degenerate saturation layouts are allowed to fail
         };
         let configurator = Configurator::new(fitted, geopriv::lppm::ParameterScale::Logarithmic);
-        let objectives = Objectives::new(
-            PrivacyObjective::at_most(privacy_bound).unwrap(),
-            UtilityObjective::at_least(utility_bound).unwrap(),
-        );
-        match configurator.recommend(objectives) {
+        let objectives = Objectives::new()
+            .require("poi-retrieval", at_most(privacy_bound))
+            .unwrap()
+            .require("area-coverage", at_least(utility_bound))
+            .unwrap();
+        match configurator.recommend(&objectives) {
             Ok(r) => {
                 prop_assert!(r.feasible_range.0 <= r.feasible_range.1);
                 prop_assert!(r.parameter >= r.feasible_range.0 && r.parameter <= r.feasible_range.1);
                 prop_assert!(r.parameter > 0.0);
                 // The model's own predictions at the recommendation satisfy the
                 // objectives up to a small tolerance.
-                prop_assert!(r.predicted_privacy <= privacy_bound + 1e-6);
-                prop_assert!(r.predicted_utility >= utility_bound - 1e-6);
+                let predicted_privacy = r.predicted(&MetricId::new("poi-retrieval")).unwrap();
+                let predicted_utility = r.predicted(&MetricId::new("area-coverage")).unwrap();
+                prop_assert!(predicted_privacy <= privacy_bound + 1e-6);
+                prop_assert!(predicted_utility >= utility_bound - 1e-6);
             }
             Err(CoreError::Infeasible { .. }) => {} // conflicting objectives are a valid outcome
             Err(other) => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
