@@ -5,7 +5,7 @@
 //! impactful characteristics of users such as the uniqueness)". This module
 //! computes a standard battery of candidate properties per user and per
 //! dataset; the framework then ranks them with a PCA
-//! ([`geopriv_analysis::Pca`]) and keeps the influential ones.
+//! (`geopriv_analysis::Pca`) and keeps the influential ones.
 
 use crate::dataset::Dataset;
 use crate::error::MobilityError;
@@ -125,7 +125,7 @@ impl DatasetProperties {
     }
 
     /// The property matrix as rows of feature vectors, suitable for
-    /// [`geopriv_analysis::Pca::fit`].
+    /// `geopriv_analysis::Pca::fit`.
     pub fn as_matrix(&self) -> Vec<Vec<f64>> {
         self.rows.iter().map(TraceProperties::as_vector).collect()
     }
