@@ -88,8 +88,18 @@ fn fleet_size_ablation(fidelity: Fidelity) -> Result<(), Box<dyn std::error::Err
         })
         .run(&system, &dataset)?;
         let fitted = Modeler::new().fit(&sweep)?;
-        let privacy = &fitted.model(&MetricId::new("poi-retrieval")).expect("privacy model").model;
-        let utility = &fitted.model(&MetricId::new("area-coverage")).expect("utility model").model;
+        let privacy = &fitted
+            .model(&MetricId::new("poi-retrieval"))
+            .expect("privacy model")
+            .axis()
+            .expect("1-D")
+            .model;
+        let utility = &fitted
+            .model(&MetricId::new("area-coverage"))
+            .expect("utility model")
+            .axis()
+            .expect("1-D")
+            .model;
         println!(
             "{drivers:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
             privacy.intercept(),

@@ -21,8 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("sweeping epsilon and fitting Equation 2…");
     let sweep = run_paper_sweep(&dataset, fidelity)?;
     let fitted = Modeler::new().fit(&sweep)?;
-    let privacy = &fitted.model(&MetricId::new("poi-retrieval")).expect("privacy model").model;
-    let utility = &fitted.model(&MetricId::new("area-coverage")).expect("utility model").model;
+    let privacy = &fitted
+        .model(&MetricId::new("poi-retrieval"))
+        .expect("privacy model")
+        .axis()
+        .expect("1-D")
+        .model;
+    let utility = &fitted
+        .model(&MetricId::new("area-coverage"))
+        .expect("utility model")
+        .axis()
+        .expect("1-D")
+        .model;
 
     println!("== Equation 2: fitted coefficients ==");
     println!("{}", report::suite_report(&fitted));

@@ -30,16 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The non-saturated zones (the vertical lines of Figure 1).
     let fitted = Modeler::new().fit(&sweep)?;
-    let privacy = fitted.model(&MetricId::new("poi-retrieval")).expect("privacy model");
-    let utility = fitted.model(&MetricId::new("area-coverage")).expect("utility model");
+    let privacy =
+        fitted.model(&MetricId::new("poi-retrieval")).expect("privacy model").axis().expect("1-D");
+    let utility =
+        fitted.model(&MetricId::new("area-coverage")).expect("utility model").axis().expect("1-D");
     println!("== Non-saturated zones (the vertical lines of Figure 1) ==");
     println!(
-        "privacy ({}):  epsilon in [{:.5}, {:.5}]   (paper: ~0.007 to ~0.08)",
-        privacy.id, privacy.active_zone.0, privacy.active_zone.1
+        "privacy (poi-retrieval):  epsilon in [{:.5}, {:.5}]   (paper: ~0.007 to ~0.08)",
+        privacy.active_zone.0, privacy.active_zone.1
     );
     println!(
-        "utility ({}):  epsilon in [{:.5}, {:.5}]   (paper: wider than the privacy zone)",
-        utility.id, utility.active_zone.0, utility.active_zone.1
+        "utility (area-coverage):  epsilon in [{:.5}, {:.5}]   (paper: wider than the privacy zone)",
+        utility.active_zone.0, utility.active_zone.1
     );
 
     // Shape checks mirrored in EXPERIMENTS.md.

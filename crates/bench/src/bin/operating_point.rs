@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 3: invert for the paper's objectives.
     let objectives = Objectives::paper_example();
-    let configurator = Configurator::new(fitted, system.parameter().scale());
+    let configurator = Configurator::new(fitted);
     let recommendation = configurator.recommend(&objectives)?;
 
     println!("== Objectives ==");
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Verification: protect the dataset at the recommended epsilon and
     // re-measure both metrics.
     eprintln!("re-measuring at the recommended epsilon…");
-    let lppm = system.factory().instantiate(recommendation.parameter)?;
+    let lppm = system.factory().instantiate_at(&recommendation.point)?;
     let mut rng = StdRng::seed_from_u64(REPRODUCTION_SEED ^ 0xA5A5);
     let protected = lppm.protect_dataset(&dataset, &mut rng)?;
     let measured_privacy = PoiRetrieval::default().evaluate(&dataset, &protected)?;

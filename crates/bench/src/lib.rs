@@ -14,6 +14,7 @@
 //! | `pca_properties` | the PCA-based dataset-property selection of §3 step 1 |
 //! | `ablations` | sensitivity of the curves to metric/dataset parameters and other LPPMs |
 //! | `sweep` | single-sweep throughput baseline (`BENCH_sweep.json`) |
+//! | `grid` | 2-D grid-study throughput baseline (`BENCH_grid.json`) |
 //! | `campaign` | campaign-vs-independent-sweeps baseline (`BENCH_campaign.json`) |
 //!
 //! The Criterion benches (`benches/`) measure the throughput of the
@@ -225,6 +226,48 @@ impl BenchJson {
     }
 }
 
+/// Points per configuration axis of the 2-D grid study at a given
+/// fidelity — kept below the 1-D sweep counts because the grid squares them.
+pub fn grid_points_per_axis(fidelity: Fidelity) -> usize {
+    match fidelity {
+        Fidelity::Smoke => 5,
+        Fidelity::Standard => 9,
+        Fidelity::Full => 13,
+    }
+}
+
+/// The 2-D study system of the `grid` bench: GEO-I ε × grid-cloaking cell
+/// size composed as one pipeline, with the paper's metric pair.
+///
+/// # Panics
+///
+/// Panics only if the static configuration is invalid, which the test suite
+/// rules out.
+pub fn grid_study_system() -> SystemDefinition {
+    SystemDefinition::with_pair(
+        Box::new(
+            PipelineFactory::new().then(GeoIndistinguishabilityFactory::new()).then(
+                GridCloakingFactory::with_range(100.0, 2000.0).expect("static range is valid"),
+            ),
+        ),
+        Box::new(PoiRetrieval::default()),
+        Box::new(AreaCoverage::default()),
+    )
+    .expect("distinct metric names")
+}
+
+/// Runs the 2-D grid study (full factorial, `grid_points_per_axis` values
+/// per axis) for the given fidelity.
+///
+/// # Errors
+///
+/// Propagates framework errors (none are expected for the built-in scenario).
+pub fn run_grid_study(dataset: &Dataset, fidelity: Fidelity) -> Result<SweepResult, CoreError> {
+    let config =
+        SweepConfig { points: grid_points_per_axis(fidelity), ..campaign_config(fidelity) };
+    ExperimentRunner::with_plan(SweepPlan::grid(config)).run(&grid_study_system(), dataset)
+}
+
 /// Parses `--out <path>` from the command line, defaulting to `default`.
 pub fn out_path_from_args(default: &str) -> String {
     let args: Vec<String> = std::env::args().collect();
@@ -314,7 +357,7 @@ mod tests {
     fn smoke_sweep_produces_figure_shaped_curves() {
         let dataset = reproduction_dataset(Fidelity::Smoke);
         let sweep = run_paper_sweep(&dataset, Fidelity::Smoke).unwrap();
-        assert_eq!(sweep.points(), Fidelity::Smoke.sweep_points());
+        assert_eq!(sweep.len(), Fidelity::Smoke.sweep_points());
         // Figure 1 shape: both metrics higher at epsilon = 1 than at 1e-4.
         for column in &sweep.columns {
             assert!(column.means.last().unwrap() > column.means.first().unwrap());

@@ -44,15 +44,18 @@
 //! ];
 //! let campaign = CampaignRunner::new(SweepConfig::default()).run(&systems, &[dataset])?;
 //! for run in &campaign.runs {
-//!     println!("{}: {} samples", run.system_key, run.result.points());
+//!     println!("{}: {} samples", run.system_key, run.result.len());
 //! }
 //! # Ok(())
 //! # }
 //! ```
 
 use crate::error::CoreError;
-use crate::experiment::{derive_unit_seed, run_indexed, MetricColumn, SweepConfig, SweepResult};
+use crate::experiment::{
+    derive_unit_seed, run_indexed, MetricColumn, SweepConfig, SweepPlan, SweepResult,
+};
 use crate::system::SystemDefinition;
+use geopriv_lppm::ConfigPoint;
 use geopriv_metrics::PreparedState;
 use geopriv_mobility::Dataset;
 use rand::rngs::StdRng;
@@ -110,7 +113,6 @@ struct Unit {
     system: usize,
     dataset: usize,
     point: usize,
-    value: f64,
     repetition: usize,
 }
 
@@ -119,20 +121,27 @@ struct Unit {
 /// The same [`SweepConfig`] (points, repetitions, master seed, parallelism)
 /// applies to every system, exactly as if each were run through its own
 /// [`crate::ExperimentRunner`] with that configuration.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignRunner {
-    config: SweepConfig,
+    plan: SweepPlan,
 }
 
 impl CampaignRunner {
-    /// Creates a campaign runner with the given per-system sweep configuration.
+    /// Creates a campaign runner with the given per-system sweep
+    /// configuration (full-factorial grid mode).
     pub fn new(config: SweepConfig) -> Self {
-        Self { config }
+        Self { plan: SweepPlan::grid(config) }
+    }
+
+    /// Creates a campaign runner with an explicit sweep plan (mode and
+    /// per-axis point counts), applied to every system.
+    pub fn with_plan(plan: SweepPlan) -> Self {
+        Self { plan }
     }
 
     /// The per-system sweep configuration.
     pub fn config(&self) -> SweepConfig {
-        self.config
+        self.plan.config
     }
 
     /// Runs every system against every dataset.
@@ -154,7 +163,7 @@ impl CampaignRunner {
         systems: &[SystemDefinition],
         datasets: &[Dataset],
     ) -> Result<CampaignResult, CoreError> {
-        self.config.validate()?;
+        self.plan.config.validate()?;
         if systems.is_empty() {
             return Err(CoreError::InvalidConfiguration {
                 reason: "a campaign needs at least one system".to_string(),
@@ -166,19 +175,19 @@ impl CampaignRunner {
             });
         }
 
-        let sweep_values: Vec<Vec<f64>> =
-            systems.iter().map(|s| s.parameter().sweep(self.config.points)).collect();
+        let design_points: Vec<Vec<ConfigPoint>> =
+            systems.iter().map(|s| self.plan.enumerate(&s.space())).collect::<Result<_, _>>()?;
         let prepared = self.prepare_cells(systems, datasets)?;
 
         // Flatten the whole campaign into one unit list. Unit index order is
         // the deterministic (system, dataset, point, repetition) order used
         // for both error reporting and result assembly.
         let mut units = Vec::new();
-        for (s, values) in sweep_values.iter().enumerate() {
+        for (s, points) in design_points.iter().enumerate() {
             for d in 0..datasets.len() {
-                for (point, &value) in values.iter().enumerate() {
-                    for repetition in 0..self.config.repetitions {
-                        units.push(Unit { system: s, dataset: d, point, value, repetition });
+                for point in 0..points.len() {
+                    for repetition in 0..self.plan.config.repetitions {
+                        units.push(Unit { system: s, dataset: d, point, repetition });
                     }
                 }
             }
@@ -189,21 +198,27 @@ impl CampaignRunner {
         // Skipped slots are distinct from errors so a skip can never mask the
         // genuine failure that caused it, whatever the thread interleaving.
         let abort = std::sync::atomic::AtomicBool::new(false);
-        let measurements = run_indexed(units.len(), self.config.parallel, |i| {
+        let measurements = run_indexed(units.len(), self.plan.config.parallel, |i| {
             if abort.load(std::sync::atomic::Ordering::Relaxed) {
                 return None;
             }
             let unit = &units[i];
             let cell = &prepared[unit.system][unit.dataset];
-            let result =
-                self.measure_unit(&systems[unit.system], &datasets[unit.dataset], cell, unit);
+            let point = &design_points[unit.system][unit.point];
+            let result = self.measure_unit(
+                &systems[unit.system],
+                &datasets[unit.dataset],
+                cell,
+                unit,
+                point,
+            );
             if result.is_err() {
                 abort.store(true, std::sync::atomic::Ordering::Relaxed);
             }
             Some(result)
         });
 
-        self.assemble(systems, datasets, &sweep_values, &units, measurements)
+        self.assemble(systems, datasets, &design_points, &units, measurements)
     }
 
     /// Prepares the actual-side metric state of every `(system, dataset)`
@@ -243,13 +258,14 @@ impl CampaignRunner {
             }
         }
 
-        let states: Vec<Arc<PreparedState>> = run_indexed(jobs.len(), self.config.parallel, |i| {
-            let job = &jobs[i];
-            systems[job.system].suite().metrics()[job.metric].prepare(&datasets[job.dataset])
-        })
-        .into_iter()
-        .map(|state| state.map(Arc::new).map_err(CoreError::from))
-        .collect::<Result<_, _>>()?;
+        let states: Vec<Arc<PreparedState>> =
+            run_indexed(jobs.len(), self.plan.config.parallel, |i| {
+                let job = &jobs[i];
+                systems[job.system].suite().metrics()[job.metric].prepare(&datasets[job.dataset])
+            })
+            .into_iter()
+            .map(|state| state.map(Arc::new).map_err(CoreError::from))
+            .collect::<Result<_, _>>()?;
 
         let cells = systems
             .iter()
@@ -276,10 +292,14 @@ impl CampaignRunner {
         dataset: &Dataset,
         cell: &[Arc<PreparedState>],
         unit: &Unit,
+        point: &ConfigPoint,
     ) -> Result<Vec<f64>, CoreError> {
-        let lppm = system.factory().instantiate(unit.value)?;
-        let mut rng =
-            StdRng::seed_from_u64(derive_unit_seed(self.config.seed, unit.point, unit.repetition));
+        let lppm = system.factory().instantiate_at(point)?;
+        let mut rng = StdRng::seed_from_u64(derive_unit_seed(
+            self.plan.config.seed,
+            unit.point,
+            unit.repetition,
+        ));
         let protected = lppm.protect_dataset(dataset, &mut rng)?;
         system
             .suite()
@@ -302,17 +322,24 @@ impl CampaignRunner {
         &self,
         systems: &[SystemDefinition],
         datasets: &[Dataset],
-        sweep_values: &[Vec<f64>],
+        design_points: &[Vec<ConfigPoint>],
         units: &[Unit],
         measurements: Vec<Option<Result<Vec<f64>, CoreError>>>,
     ) -> Result<CampaignResult, CoreError> {
         // (system, dataset, point) -> per-repetition metric-value vectors.
-        // Every system's sweep has the same number of points (the single
-        // source of truth for the slot stride).
-        let points = sweep_values.first().map_or(0, Vec::len);
-        let reps = self.config.repetitions;
-        let mut per_point: Vec<Vec<Vec<f64>>> =
-            vec![Vec::with_capacity(reps); systems.len() * datasets.len() * points];
+        // Systems may sweep differently sized designs (a 2-axis grid next to
+        // a 1-axis sweep), so slots are laid out with per-system offsets.
+        let mut system_offset = Vec::with_capacity(systems.len());
+        let mut total = 0usize;
+        for points in design_points {
+            system_offset.push(total);
+            total += datasets.len() * points.len();
+        }
+        let reps = self.plan.config.repetitions;
+        let slot_of = |system: usize, dataset: usize, point: usize| {
+            system_offset[system] + dataset * design_points[system].len() + point
+        };
+        let mut per_point: Vec<Vec<Vec<f64>>> = vec![Vec::with_capacity(reps); total];
         let mut skipped = false;
         for (unit, measurement) in units.iter().zip(measurements) {
             let values = match measurement {
@@ -322,7 +349,7 @@ impl CampaignRunner {
                     continue;
                 }
             };
-            let slot = (unit.system * datasets.len() + unit.dataset) * points + unit.point;
+            let slot = slot_of(unit.system, unit.dataset, unit.point);
             // Units are generated with `repetition` innermost, and
             // `run_indexed` returns results in unit order, so pushes arrive
             // in repetition order — except when an earlier repetition was
@@ -341,7 +368,6 @@ impl CampaignRunner {
 
         let mut runs = Vec::with_capacity(systems.len() * datasets.len());
         for (s, system) in systems.iter().enumerate() {
-            let descriptor = system.parameter();
             for d in 0..datasets.len() {
                 let mut columns: Vec<MetricColumn> = system
                     .suite()
@@ -349,12 +375,12 @@ impl CampaignRunner {
                     .map(|m| MetricColumn {
                         id: m.id(),
                         direction: m.direction(),
-                        means: Vec::with_capacity(points),
-                        runs: Vec::with_capacity(points),
+                        means: Vec::with_capacity(design_points[s].len()),
+                        runs: Vec::with_capacity(design_points[s].len()),
                     })
                     .collect();
-                for point in 0..sweep_values[s].len() {
-                    let slot = (s * datasets.len() + d) * points + point;
+                for point in 0..design_points[s].len() {
+                    let slot = slot_of(s, d, point);
                     for (k, column) in columns.iter_mut().enumerate() {
                         let runs: Vec<f64> =
                             per_point[slot].iter().map(|values| values[k]).collect();
@@ -368,9 +394,9 @@ impl CampaignRunner {
                     system_key: system.cache_key(),
                     result: SweepResult::new(
                         system.factory().name(),
-                        descriptor.name(),
-                        descriptor.scale(),
-                        sweep_values[s].clone(),
+                        system.space(),
+                        self.plan.mode,
+                        design_points[s].clone(),
                         columns,
                     )?,
                 });
@@ -452,7 +478,7 @@ mod tests {
             campaign.runs.iter().map(|r| (r.system_index, r.dataset_index)).collect();
         assert_eq!(cells, expected_cells);
         for run in &campaign.runs {
-            assert_eq!(run.result.points(), 4);
+            assert_eq!(run.result.len(), 4);
             assert_eq!(run.system_key, systems[run.system_index].cache_key());
             for column in &run.result.columns {
                 for runs in &column.runs {

@@ -3,15 +3,21 @@
 //! "Finally, the LPPM configuration (i.e. the value of p_i) is computed by
 //! inverting the f function, using the specified privacy and utility
 //! objectives." [`Configurator`] turns a [`FittedSuite`] and a set of
-//! per-metric [`Objectives`] into a concrete parameter recommendation — the
-//! paper's "configuring ε = 0.01 ensures 80 % utility while guaranteeing
-//! 10 % privacy" — by intersecting the feasible interval of every
-//! constraint.
+//! per-metric [`Objectives`] into a concrete [`ConfigPoint`]
+//! recommendation — the paper's "configuring ε = 0.01 ensures 80 % utility
+//! while guaranteeing 10 % privacy".
+//!
+//! On a one-axis space the inversion is analytic, exactly as in the paper:
+//! every constraint's feasible interval is computed by inverting the fitted
+//! model and the intervals are intersected. On multi-axis spaces the
+//! configurator searches the modeled region on a deterministic scale-aware
+//! candidate grid, keeps the points satisfying every constraint, and
+//! recommends the one with the largest worst-case slack.
 
 use crate::error::CoreError;
-use crate::modeling::FittedSuite;
+use crate::modeling::{FittedSuite, MetricModel, MetricResponse};
 use crate::objectives::{Constraint, ConstraintKind, Objectives};
-use geopriv_lppm::ParameterScale;
+use geopriv_lppm::{ConfigPoint, ConfigSpace, ParameterDescriptor, ParameterScale};
 use geopriv_metrics::MetricId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -19,33 +25,73 @@ use std::fmt;
 /// The outcome of inverting the fitted models for a set of objectives.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Recommendation {
-    /// Name of the configured parameter (e.g. `"epsilon"`).
-    pub parameter_name: String,
-    /// The interval of parameter values satisfying every constraint
-    /// (intersected with the constrained models' domains).
-    pub feasible_range: (f64, f64),
-    /// The recommended parameter value (the midpoint of the feasible range,
-    /// geometric midpoint for logarithmic parameters).
-    pub parameter: f64,
-    /// Metric values predicted by the fitted models at the recommended value,
-    /// for every metric of the suite, in suite order.
+    /// The recommended configuration: one value per axis of the space.
+    pub point: ConfigPoint,
+    /// Per axis, the interval of values covered by configurations satisfying
+    /// every constraint (for a one-axis space, the exact analytic feasible
+    /// interval intersected with the constrained models' domains).
+    pub feasible: Vec<(String, (f64, f64))>,
+    /// Metric values predicted by the fitted models at the recommended
+    /// point, for every metric of the suite, in suite order.
     pub predictions: Vec<(MetricId, f64)>,
 }
 
 impl Recommendation {
-    /// The predicted value of one metric at the recommended parameter.
+    /// The predicted value of one metric at the recommended point.
     pub fn predicted(&self, id: &MetricId) -> Option<f64> {
         self.predictions.iter().find(|(m, _)| m == id).map(|(_, v)| *v)
+    }
+
+    /// The recommended scalar value of a one-axis recommendation (legacy 1-D
+    /// accessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics for multi-axis recommendations — read
+    /// [`Recommendation::point`] there.
+    pub fn parameter(&self) -> f64 {
+        self.point.single().unwrap_or_else(|| {
+            panic!("recommendation spans {} axes; read .point instead", self.point.len())
+        })
+    }
+
+    /// The axis name of a one-axis recommendation (legacy 1-D accessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics for multi-axis recommendations.
+    pub fn parameter_name(&self) -> &str {
+        match self.point.values() {
+            [(name, _)] => name,
+            values => panic!("recommendation spans {} axes; read .point instead", values.len()),
+        }
+    }
+
+    /// The feasible interval of a one-axis recommendation (legacy 1-D
+    /// accessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics for multi-axis recommendations — read
+    /// [`Recommendation::feasible`] there.
+    pub fn feasible_range(&self) -> (f64, f64) {
+        match self.feasible.as_slice() {
+            [(_, range)] => *range,
+            ranges => panic!("recommendation spans {} axes; read .feasible instead", ranges.len()),
+        }
     }
 }
 
 impl fmt::Display for Recommendation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} = {:.4} (feasible in [{:.4}, {:.4}])",
-            self.parameter_name, self.parameter, self.feasible_range.0, self.feasible_range.1,
-        )?;
+        for (i, ((name, value), (_, range))) in
+            self.point.values().iter().zip(&self.feasible).enumerate()
+        {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{name} = {value:.4} (feasible in [{:.4}, {:.4}])", range.0, range.1)?;
+        }
         for (id, value) in &self.predictions {
             write!(f, ", predicted {id} {value:.3}")?;
         }
@@ -57,16 +103,24 @@ impl fmt::Display for Recommendation {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Configurator {
     fitted: FittedSuite,
-    scale: ParameterScale,
+    resolution: usize,
 }
 
 impl Configurator {
-    /// Creates a configurator from a fitted suite.
-    ///
-    /// `scale` must be the scale of the swept parameter (it decides whether
-    /// midpoints are arithmetic or geometric).
-    pub fn new(fitted: FittedSuite, scale: ParameterScale) -> Self {
-        Self { fitted, scale }
+    /// Creates a configurator from a fitted suite. Axis scales (arithmetic
+    /// vs geometric midpoints, candidate spacing) come from the suite's
+    /// [`geopriv_lppm::ConfigSpace`].
+    pub fn new(fitted: FittedSuite) -> Self {
+        Self { fitted, resolution: 25 }
+    }
+
+    /// Sets the per-axis candidate resolution of the multi-axis search
+    /// (default 25; clamped to at least 2). One-axis recommendations are
+    /// analytic and ignore it.
+    #[must_use]
+    pub fn with_search_resolution(mut self, resolution: usize) -> Self {
+        self.resolution = resolution.max(2);
+        self
     }
 
     /// The underlying fitted suite.
@@ -96,25 +150,17 @@ impl Configurator {
         }
     }
 
-    /// Recommends a parameter value satisfying every constraint.
-    ///
-    /// # Errors
-    ///
-    /// * [`CoreError::InvalidConfiguration`] for an empty objective set or an
-    ///   invalid bound.
-    /// * [`CoreError::UnknownMetric`] when a constraint references a metric
-    ///   that was not fitted.
-    /// * [`CoreError::Infeasible`] when no parameter value in the modeled
-    ///   domain satisfies every constraint — the error message reports each
-    ///   constraint's individual feasible interval.
-    /// * [`CoreError::Analysis`] when a model cannot be inverted.
-    pub fn recommend(&self, objectives: &Objectives) -> Result<Recommendation, CoreError> {
+    /// Resolves and validates every constrained metric's model.
+    fn constrained_models<'a>(
+        &'a self,
+        objectives: &'a Objectives,
+    ) -> Result<Vec<(&'a MetricId, &'a Constraint, &'a MetricModel)>, CoreError> {
         if objectives.is_empty() {
             return Err(CoreError::InvalidConfiguration {
                 reason: "recommendation needs at least one constraint".to_string(),
             });
         }
-        let constrained: Vec<(&MetricId, &Constraint, &crate::modeling::MetricModel)> = objectives
+        objectives
             .constraints()
             .iter()
             .map(|(id, constraint)| {
@@ -125,16 +171,52 @@ impl Configurator {
                 })?;
                 Ok((id, constraint, model))
             })
-            .collect::<Result<_, CoreError>>()?;
+            .collect()
+    }
+
+    /// Recommends a configuration point satisfying every constraint.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfiguration`] for an empty objective set or an
+    ///   invalid bound.
+    /// * [`CoreError::UnknownMetric`] when a constraint references a metric
+    ///   that was not fitted.
+    /// * [`CoreError::Infeasible`] when no configuration in the modeled
+    ///   region satisfies every constraint.
+    /// * [`CoreError::Analysis`] when a model cannot be inverted.
+    pub fn recommend(&self, objectives: &Objectives) -> Result<Recommendation, CoreError> {
+        let constrained = self.constrained_models(objectives)?;
+        if self.fitted.space.single_axis().is_some() {
+            self.recommend_analytic(&constrained)
+        } else {
+            self.recommend_searched(&constrained)
+        }
+    }
+
+    /// The paper's analytic inversion on a one-axis space — arithmetic
+    /// unchanged from the single-scalar framework.
+    fn recommend_analytic(
+        &self,
+        constrained: &[(&MetricId, &Constraint, &MetricModel)],
+    ) -> Result<Recommendation, CoreError> {
+        let axis = self.fitted.space.single_axis().expect("one-axis space").clone();
+        let models: Vec<(&MetricId, &Constraint, &crate::modeling::ParametricModel)> = constrained
+            .iter()
+            .map(|(id, constraint, model)| {
+                let fit = model.axis().expect("one-axis suites carry axis fits");
+                (*id, *constraint, &fit.model)
+            })
+            .collect();
 
         // Work inside the intersection of what the constrained models were
         // fitted on: in the paper's pair the privacy zone is typically
         // narrower (Figure 1a) than the utility zone (Figure 1b); the
         // recommendation must stay where every constrained model is
         // meaningful.
-        let domain = constrained
+        let domain = models
             .iter()
-            .map(|(_, _, m)| m.model.domain())
+            .map(|(_, _, m)| m.domain())
             .reduce(|a, b| (a.0.max(b.0), a.1.min(b.1)))
             .expect("objectives are non-empty");
         if domain.0 >= domain.1 {
@@ -145,9 +227,9 @@ impl Configurator {
         }
 
         let mut feasible = domain;
-        let mut intervals = Vec::with_capacity(constrained.len());
-        for (id, constraint, model) in &constrained {
-            let interval = Self::interval_for(&model.model, constraint, domain)?;
+        let mut intervals = Vec::with_capacity(models.len());
+        for (id, constraint, model) in &models {
+            let interval = Self::interval_for(model, constraint, domain)?;
             feasible = (feasible.0.max(interval.0), feasible.1.min(interval.1));
             intervals.push((*id, *constraint, interval));
         }
@@ -157,7 +239,9 @@ impl Configurator {
                 .map(|(id, constraint, interval)| {
                     format!(
                         "{id} {constraint} requires {} in [{:.4}, {:.4}]",
-                        self.fitted.parameter_name, interval.0, interval.1
+                        axis.name(),
+                        interval.0,
+                        interval.1
                     )
                 })
                 .collect();
@@ -166,21 +250,150 @@ impl Configurator {
             });
         }
 
-        let parameter = match self.scale {
+        let parameter = match axis.scale() {
             ParameterScale::Linear => (feasible.0 + feasible.1) / 2.0,
             ParameterScale::Logarithmic => (feasible.0 * feasible.1).sqrt(),
         };
 
         Ok(Recommendation {
-            parameter_name: self.fitted.parameter_name.clone(),
-            feasible_range: feasible,
-            parameter,
+            point: self.fitted.space.point_from_coords(&[parameter])?,
+            feasible: vec![(axis.name().to_string(), feasible)],
             predictions: self
                 .fitted
                 .models
                 .iter()
-                .map(|m| (m.id.clone(), m.model.predict(parameter)))
+                .map(|m| {
+                    let fit = m.axis().expect("one-axis suites carry axis fits");
+                    (m.id.clone(), fit.model.predict(parameter))
+                })
                 .collect(),
+        })
+    }
+
+    /// The candidate sub-axis of the multi-axis search: the modeled region
+    /// of one axis (the intersection of the constrained models' claimed
+    /// regions), keeping the axis name and scale.
+    fn candidate_axis(
+        &self,
+        axis: &ParameterDescriptor,
+        constrained: &[(&MetricId, &Constraint, &MetricModel)],
+    ) -> Result<ParameterDescriptor, CoreError> {
+        // Intersect the constrained models' claimed regions on this axis.
+        let mut lo = axis.min();
+        let mut hi = axis.max();
+        for (_, _, model) in constrained {
+            let (m_lo, m_hi) = match &model.response {
+                MetricResponse::Surface(surface) => {
+                    let index = surface
+                        .axes
+                        .iter()
+                        .position(|a| a == axis.name())
+                        .expect("surfaces cover every axis of the space");
+                    surface.domain[index]
+                }
+                MetricResponse::PerAxis(fits) => fits
+                    .iter()
+                    .find(|f| f.axis == axis.name())
+                    .map(|f| f.model.domain())
+                    .expect("per-axis responses cover every axis of the space"),
+                MetricResponse::Axis(fit) => fit.model.domain(),
+            };
+            lo = lo.max(m_lo);
+            hi = hi.min(m_hi);
+        }
+        if lo >= hi {
+            return Err(CoreError::Infeasible {
+                reason: format!(
+                    "the constrained metrics' models were fitted on disjoint ranges of axis \
+                     \"{}\"",
+                    axis.name()
+                ),
+            });
+        }
+        ParameterDescriptor::new(axis.name(), lo, hi, axis.scale()).map_err(CoreError::from)
+    }
+
+    /// Deterministic grid search over the modeled region of a multi-axis
+    /// space: keep every candidate satisfying all constraints, recommend the
+    /// one maximizing the smallest constraint slack (ties broken by
+    /// enumeration order).
+    fn recommend_searched(
+        &self,
+        constrained: &[(&MetricId, &Constraint, &MetricModel)],
+    ) -> Result<Recommendation, CoreError> {
+        let space = &self.fitted.space;
+        // Candidate points: ConfigSpace::grid over the intersected per-axis
+        // regions — the same deterministic row-major enumeration contract as
+        // the sweep itself.
+        let sub_axes: Vec<ParameterDescriptor> = space
+            .axes()
+            .iter()
+            .map(|axis| self.candidate_axis(axis, constrained))
+            .collect::<Result<_, _>>()?;
+        let sub_space = ConfigSpace::new(sub_axes).map_err(CoreError::from)?;
+        let candidates = sub_space.grid(&vec![self.resolution; space.len()])?;
+        let total = candidates.len();
+
+        let mut best: Option<(f64, ConfigPoint)> = None;
+        let mut feasible: Vec<Option<(f64, f64)>> = vec![None; space.len()];
+        let mut satisfying = 0usize;
+        for point in candidates {
+            let mut slack = f64::INFINITY;
+            for (_, constraint, model) in constrained {
+                let predicted = model.predict(&point)?;
+                let margin = match constraint.kind() {
+                    ConstraintKind::AtMost => constraint.bound() - predicted,
+                    ConstraintKind::AtLeast => predicted - constraint.bound(),
+                };
+                slack = slack.min(margin);
+            }
+            // The same numerical tolerance Constraint::is_satisfied_by uses.
+            if slack >= -1e-9 {
+                satisfying += 1;
+                for (i, &coord) in point.coords().iter().enumerate() {
+                    feasible[i] = Some(match feasible[i] {
+                        None => (coord, coord),
+                        Some((lo, hi)) => (lo.min(coord), hi.max(coord)),
+                    });
+                }
+                if best.as_ref().map_or(true, |(best_slack, _)| slack > *best_slack) {
+                    best = Some((slack, point));
+                }
+            }
+        }
+
+        let Some((_, point)) = best else {
+            let constraints: Vec<String> = constrained
+                .iter()
+                .map(|(id, constraint, _)| format!("{id} {constraint}"))
+                .collect();
+            return Err(CoreError::Infeasible {
+                reason: format!(
+                    "none of the {total} searched configurations of ({}) satisfies every \
+                     constraint: {}",
+                    space.names().join(", "),
+                    constraints.join("; ")
+                ),
+            });
+        };
+        debug_assert!(satisfying > 0);
+
+        Ok(Recommendation {
+            feasible: space
+                .names()
+                .iter()
+                .zip(feasible)
+                .map(|(name, range)| {
+                    (name.to_string(), range.expect("a satisfying point bounds every axis"))
+                })
+                .collect(),
+            predictions: self
+                .fitted
+                .models
+                .iter()
+                .map(|m| Ok((m.id.clone(), m.predict(&point)?)))
+                .collect::<Result<_, CoreError>>()?,
+            point,
         })
     }
 }
@@ -188,9 +401,10 @@ impl Configurator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{MetricColumn, SweepResult};
+    use crate::experiment::{MetricColumn, SweepMode, SweepResult};
     use crate::modeling::Modeler;
     use crate::objectives::{at_least, at_most, Objectives};
+    use geopriv_lppm::ConfigSpace;
     use geopriv_metrics::Direction;
 
     fn privacy_id() -> MetricId {
@@ -199,6 +413,10 @@ mod tests {
 
     fn utility_id() -> MetricId {
         MetricId::new("area-coverage")
+    }
+
+    fn epsilon_axis() -> ParameterDescriptor {
+        ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap()
     }
 
     fn paper_like_suite() -> FittedSuite {
@@ -210,12 +428,11 @@ mod tests {
             parameters.iter().map(|e| (0.84 + 0.17 * e.ln()).clamp(0.0, 0.45)).collect();
         let utility: Vec<f64> =
             parameters.iter().map(|e| (1.21 + 0.09 * e.ln()).clamp(0.2, 1.0)).collect();
-        let sweep = SweepResult {
-            lppm_name: "geo-indistinguishability".to_string(),
-            parameter_name: "epsilon".to_string(),
-            parameter_scale: geopriv_lppm::ParameterScale::Logarithmic,
-            parameters,
-            columns: vec![
+        let sweep = SweepResult::from_axis(
+            "geo-indistinguishability",
+            epsilon_axis(),
+            &parameters,
+            vec![
                 MetricColumn {
                     id: privacy_id(),
                     direction: Direction::LowerIsBetter,
@@ -229,27 +446,77 @@ mod tests {
                     means: utility,
                 },
             ],
-        };
+        )
+        .unwrap();
         Modeler::new().fit(&sweep).unwrap()
     }
 
     fn configurator() -> Configurator {
-        Configurator::new(paper_like_suite(), geopriv_lppm::ParameterScale::Logarithmic)
+        Configurator::new(paper_like_suite())
+    }
+
+    /// A 2-D grid suite: privacy rises with ε and falls with the cell size,
+    /// utility the other way around — every constraint is satisfiable
+    /// somewhere but not everywhere.
+    fn grid_suite() -> FittedSuite {
+        let space = ConfigSpace::new(vec![
+            epsilon_axis(),
+            ParameterDescriptor::new("cell_size", 50.0, 5000.0, ParameterScale::Logarithmic)
+                .unwrap(),
+        ])
+        .unwrap();
+        let points = space.grid(&[9, 9]).unwrap();
+        let privacy: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                0.75 + 0.06 * p.get("epsilon").unwrap().ln()
+                    - 0.05 * p.get("cell_size").unwrap().ln()
+            })
+            .collect();
+        let utility: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                0.55 + 0.04 * p.get("epsilon").unwrap().ln()
+                    + 0.03 * p.get("cell_size").unwrap().ln()
+            })
+            .collect();
+        let sweep = SweepResult::new(
+            "pipeline[geo-indistinguishability, grid-cloaking]",
+            space,
+            SweepMode::Grid,
+            points,
+            vec![
+                MetricColumn {
+                    id: privacy_id(),
+                    direction: Direction::LowerIsBetter,
+                    runs: vec![],
+                    means: privacy,
+                },
+                MetricColumn {
+                    id: utility_id(),
+                    direction: Direction::HigherIsBetter,
+                    runs: vec![],
+                    means: utility,
+                },
+            ],
+        )
+        .unwrap();
+        Modeler::new().fit(&sweep).unwrap()
     }
 
     #[test]
     fn paper_objectives_yield_an_epsilon_near_0_01() {
         let recommendation = configurator().recommend(&Objectives::paper_example()).unwrap();
-        assert_eq!(recommendation.parameter_name, "epsilon");
+        assert_eq!(recommendation.parameter_name(), "epsilon");
         // The paper picks 0.01; any epsilon satisfying both objectives lies
         // between ~0.009 (utility >= 0.8) and ~0.013 (privacy <= 0.1).
         assert!(
-            (0.005..0.02).contains(&recommendation.parameter),
+            (0.005..0.02).contains(&recommendation.parameter()),
             "recommended {}",
-            recommendation.parameter
+            recommendation.parameter()
         );
-        assert!(recommendation.feasible_range.0 <= recommendation.parameter);
-        assert!(recommendation.feasible_range.1 >= recommendation.parameter);
+        assert!(recommendation.feasible_range().0 <= recommendation.parameter());
+        assert!(recommendation.feasible_range().1 >= recommendation.parameter());
         assert!(recommendation.predicted(&privacy_id()).unwrap() <= 0.10 + 0.02);
         assert!(recommendation.predicted(&utility_id()).unwrap() >= 0.80 - 0.02);
         assert!(recommendation.predicted(&"unknown".into()).is_none());
@@ -270,8 +537,8 @@ mod tests {
                     .unwrap(),
             )
             .unwrap();
-        let strict_width = strict.feasible_range.1 / strict.feasible_range.0;
-        let loose_width = loose.feasible_range.1 / loose.feasible_range.0;
+        let strict_width = strict.feasible_range().1 / strict.feasible_range().0;
+        let loose_width = loose.feasible_range().1 / loose.feasible_range().0;
         assert!(loose_width > strict_width);
     }
 
@@ -342,11 +609,72 @@ mod tests {
                     .unwrap(),
             )
             .unwrap();
-        let privacy_domain = configurator.fitted().model(&privacy_id()).unwrap().model.domain();
-        let utility_domain = configurator.fitted().model(&utility_id()).unwrap().model.domain();
+        let models = &configurator.fitted().models;
+        let privacy_domain = models[0].axis().unwrap().model.domain();
+        let utility_domain = models[1].axis().unwrap().model.domain();
         let lo = privacy_domain.0.max(utility_domain.0);
         let hi = privacy_domain.1.min(utility_domain.1);
-        assert!(recommendation.parameter >= lo && recommendation.parameter <= hi);
-        assert_eq!(recommendation.feasible_range, (lo, hi));
+        assert!(recommendation.parameter() >= lo && recommendation.parameter() <= hi);
+        assert_eq!(recommendation.feasible_range(), (lo, hi));
+    }
+
+    #[test]
+    fn multi_axis_search_recommends_a_satisfying_point() {
+        let configurator = Configurator::new(grid_suite());
+        let objectives = Objectives::new()
+            .require("poi-retrieval", at_most(0.15))
+            .unwrap()
+            .require("area-coverage", at_least(0.55))
+            .unwrap();
+        let recommendation = configurator.recommend(&objectives).unwrap();
+
+        // The recommendation is a full configuration point…
+        assert_eq!(recommendation.point.len(), 2);
+        assert!(recommendation.point.get("epsilon").is_some());
+        assert!(recommendation.point.get("cell_size").is_some());
+        // …whose predictions satisfy every constraint.
+        assert!(at_most(0.15).is_satisfied_by(recommendation.predicted(&privacy_id()).unwrap()));
+        assert!(at_least(0.55).is_satisfied_by(recommendation.predicted(&utility_id()).unwrap()));
+        // The per-axis feasible summaries bracket the recommendation.
+        for ((name, value), (feasible_name, (lo, hi))) in
+            recommendation.point.values().iter().zip(&recommendation.feasible)
+        {
+            assert_eq!(name, feasible_name);
+            assert!(lo <= value && value <= hi);
+        }
+        // Display covers both axes.
+        let text = recommendation.to_string();
+        assert!(text.contains("epsilon") && text.contains("cell_size"));
+        // The legacy scalar accessors refuse multi-axis recommendations.
+        assert!(std::panic::catch_unwind(|| recommendation.parameter()).is_err());
+
+        // Deterministic: same inputs, same recommendation.
+        assert_eq!(configurator.recommend(&objectives).unwrap(), recommendation);
+    }
+
+    #[test]
+    fn multi_axis_search_reports_infeasible_objectives() {
+        let configurator = Configurator::new(grid_suite());
+        let impossible = Objectives::new()
+            .require("poi-retrieval", at_most(0.001))
+            .unwrap()
+            .require("area-coverage", at_least(0.999))
+            .unwrap();
+        match configurator.recommend(&impossible) {
+            Err(CoreError::Infeasible { reason }) => {
+                assert!(reason.contains("poi-retrieval"), "reason: {reason}");
+                assert!(reason.contains("area-coverage"), "reason: {reason}");
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_resolution_is_configurable_and_clamped() {
+        let coarse = Configurator::new(grid_suite()).with_search_resolution(0);
+        let objectives = Objectives::new().require("poi-retrieval", at_most(0.5)).unwrap();
+        // Even the coarsest search (2 per axis) still recommends.
+        let recommendation = coarse.recommend(&objectives).unwrap();
+        assert!(at_most(0.5).is_satisfied_by(recommendation.predicted(&privacy_id()).unwrap()));
     }
 }

@@ -2,16 +2,20 @@
 //!
 //! "Then comes the modeling phase: experiments are automatically run where
 //! parameters p_i and d_i vary in turn while evaluation metrics are
-//! measured." [`ExperimentRunner`] sweeps the mechanism's configuration
-//! parameter over its range, protects the dataset at every sweep point
-//! (optionally several times with different seeds), evaluates every metric of
-//! the system's suite, and collects the resulting [`SweepResult`] — the raw
-//! material behind Figure 1 and Equation 2, generalized from the paper's
-//! fixed privacy/utility pair to any number of metrics.
+//! measured." [`ExperimentRunner`] sweeps the mechanism's whole
+//! [`ConfigSpace`] under a [`SweepPlan`] — a full-factorial grid with
+//! per-axis point counts, or the paper's one-at-a-time design ("parameters
+//! p_i … vary in turn", other axes held at their defaults) — protects the
+//! dataset at every design point (optionally several times with different
+//! seeds), evaluates every metric of the system's suite, and collects the
+//! resulting [`SweepResult`]: a design matrix of [`ConfigPoint`]s with one
+//! metric column per suite metric — the raw material behind Figure 1 and
+//! Equation 2, generalized from the paper's fixed privacy/utility pair and
+//! single swept scalar to any number of metrics over any number of axes.
 
 use crate::error::CoreError;
 use crate::system::SystemDefinition;
-use geopriv_lppm::ParameterScale;
+use geopriv_lppm::{ConfigPoint, ConfigSpace, ParameterDescriptor};
 use geopriv_metrics::{Direction, MetricId};
 use geopriv_mobility::Dataset;
 use parking_lot::Mutex;
@@ -22,14 +26,15 @@ use serde::{Deserialize, Serialize};
 /// Configuration of a parameter sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepConfig {
-    /// Number of sweep points across the parameter range (Figure 1 uses ~25).
+    /// Number of sweep points per axis (Figure 1 uses ~25). Override
+    /// individual axes with [`SweepPlan::axis_points`].
     pub points: usize,
-    /// Number of protection/evaluation repetitions per point; metric values
-    /// are averaged to smooth out the randomness of the mechanism.
+    /// Number of protection/evaluation repetitions per design point; metric
+    /// values are averaged to smooth out the randomness of the mechanism.
     pub repetitions: usize,
     /// Master seed; every (point, repetition) pair derives its own RNG from it.
     pub seed: u64,
-    /// Run sweep points on multiple threads.
+    /// Run design points on multiple threads.
     pub parallel: bool,
 }
 
@@ -48,7 +53,7 @@ impl SweepConfig {
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.points < 2 {
             return Err(CoreError::InvalidConfiguration {
-                reason: format!("a sweep needs at least 2 points, got {}", self.points),
+                reason: format!("a sweep needs at least 2 points per axis, got {}", self.points),
             });
         }
         if self.repetitions == 0 {
@@ -60,6 +65,104 @@ impl SweepConfig {
     }
 }
 
+/// How a multi-axis configuration space is enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SweepMode {
+    /// Full-factorial grid: every combination of the per-axis sweep values.
+    #[default]
+    Grid,
+    /// The paper's design: each axis varies in turn over its sweep values
+    /// while the other axes are held at their defaults.
+    OneAtATime,
+}
+
+/// The full description of a sweep: base [`SweepConfig`], enumeration
+/// [`SweepMode`] and optional per-axis point-count overrides.
+///
+/// On a one-axis space both modes enumerate exactly
+/// [`ParameterDescriptor::sweep`]`(config.points)` in order — the historical
+/// single-scalar behavior, bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    /// Points per axis, repetitions, master seed, parallelism.
+    pub config: SweepConfig,
+    /// Grid or one-at-a-time enumeration.
+    pub mode: SweepMode,
+    per_axis: Vec<(String, usize)>,
+}
+
+impl SweepPlan {
+    /// A full-factorial plan with `config.points` values per axis.
+    pub fn grid(config: SweepConfig) -> Self {
+        Self { config, mode: SweepMode::Grid, per_axis: Vec::new() }
+    }
+
+    /// A one-at-a-time plan with `config.points` values per axis.
+    pub fn one_at_a_time(config: SweepConfig) -> Self {
+        Self { config, mode: SweepMode::OneAtATime, per_axis: Vec::new() }
+    }
+
+    /// Overrides the point count of one named axis (later calls win).
+    #[must_use]
+    pub fn axis_points(mut self, axis: impl Into<String>, points: usize) -> Self {
+        self.per_axis.push((axis.into(), points));
+        self
+    }
+
+    /// The per-axis point counts this plan assigns to `space`, in axis order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for an invalid base
+    /// config, an override naming no axis of the space, or an override below
+    /// 2 points.
+    pub fn counts(&self, space: &ConfigSpace) -> Result<Vec<usize>, CoreError> {
+        self.config.validate()?;
+        for (name, points) in &self.per_axis {
+            if space.axis(name).is_none() {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: format!(
+                        "axis-points override names \"{name}\", which is not an axis of the \
+                         space ({})",
+                        space.names().join(", ")
+                    ),
+                });
+            }
+            if *points < 2 {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: format!("axis \"{name}\" needs at least 2 points, got {points}"),
+                });
+            }
+        }
+        Ok(space
+            .names()
+            .iter()
+            .map(|name| {
+                self.per_axis
+                    .iter()
+                    .rev()
+                    .find(|(n, _)| n == name)
+                    .map_or(self.config.points, |(_, p)| *p)
+            })
+            .collect())
+    }
+
+    /// Enumerates the design points of this plan over `space`, in the
+    /// deterministic order the runner assigns point indices (and therefore
+    /// RNG streams) to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SweepPlan::counts`] errors.
+    pub fn enumerate(&self, space: &ConfigSpace) -> Result<Vec<ConfigPoint>, CoreError> {
+        let counts = self.counts(space)?;
+        match self.mode {
+            SweepMode::Grid => Ok(space.grid(&counts)?),
+            SweepMode::OneAtATime => Ok(space.one_at_a_time(&counts)?),
+        }
+    }
+}
+
 /// The measurements of one metric across a whole sweep: one column of the
 /// [`SweepResult`] column store.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,15 +171,15 @@ pub struct MetricColumn {
     pub id: MetricId,
     /// Which way the metric improves.
     pub direction: Direction,
-    /// Mean metric value per sweep point (over the repetitions), aligned with
-    /// [`SweepResult::parameters`].
+    /// Mean metric value per design point (over the repetitions), aligned
+    /// with [`SweepResult::points`].
     pub means: Vec<f64>,
-    /// Per-repetition metric values per sweep point.
+    /// Per-repetition metric values per design point.
     pub runs: Vec<Vec<f64>>,
 }
 
 impl MetricColumn {
-    /// Standard deviation of the metric over the repetitions at one sweep
+    /// Standard deviation of the metric over the repetitions at one design
     /// point (zero for a single repetition).
     pub fn std(&self, point: usize) -> f64 {
         self.runs.get(point).map_or(0.0, |runs| std_dev(runs))
@@ -147,60 +250,63 @@ where
         .collect()
 }
 
-/// The result of a full parameter sweep: a per-metric column store, one
-/// [`MetricColumn`] per suite metric, over parameters sorted by increasing
-/// value.
+/// The result of a full sweep: the design matrix (one [`ConfigPoint`] per
+/// measured configuration, in enumeration order) and a per-metric column
+/// store, one [`MetricColumn`] per suite metric.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepResult {
     /// Name of the mechanism that was swept.
     pub lppm_name: String,
-    /// Name of the swept parameter.
-    pub parameter_name: String,
-    /// Scale of the swept parameter.
-    pub parameter_scale: ParameterScale,
-    /// The swept parameter values, in increasing order.
-    pub parameters: Vec<f64>,
+    /// The swept configuration space.
+    pub space: ConfigSpace,
+    /// How the space was enumerated.
+    pub mode: SweepMode,
+    /// The measured design points, in enumeration order.
+    pub points: Vec<ConfigPoint>,
     /// One column per metric, in suite order.
     pub columns: Vec<MetricColumn>,
 }
 
 impl SweepResult {
-    /// Builds a result, validating that every column has one mean (and, when
-    /// per-repetition runs are recorded, one run list) per parameter and that
-    /// metric ids are unique.
+    /// Builds a result, validating that every design point belongs to the
+    /// space, that every column has one mean (and, when per-repetition runs
+    /// are recorded, one run list) per point and that metric ids are unique.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfiguration`] for ragged columns or
-    /// duplicate ids.
+    /// Returns [`CoreError::InvalidConfiguration`] for foreign points,
+    /// ragged columns or duplicate ids.
     pub fn new(
         lppm_name: impl Into<String>,
-        parameter_name: impl Into<String>,
-        parameter_scale: ParameterScale,
-        parameters: Vec<f64>,
+        space: ConfigSpace,
+        mode: SweepMode,
+        points: Vec<ConfigPoint>,
         columns: Vec<MetricColumn>,
     ) -> Result<Self, CoreError> {
+        for point in &points {
+            space.check(point).map_err(CoreError::from)?;
+        }
         let mut seen = std::collections::BTreeSet::new();
         for column in &columns {
-            if column.means.len() != parameters.len() {
+            if column.means.len() != points.len() {
                 return Err(CoreError::InvalidConfiguration {
                     reason: format!(
-                        "metric \"{}\" has {} means for {} sweep points",
+                        "metric \"{}\" has {} means for {} design points",
                         column.id,
                         column.means.len(),
-                        parameters.len()
+                        points.len()
                     ),
                 });
             }
             // An empty runs vector means "per-repetition values not recorded"
             // (synthetic sweeps); anything else must align with the points.
-            if !column.runs.is_empty() && column.runs.len() != parameters.len() {
+            if !column.runs.is_empty() && column.runs.len() != points.len() {
                 return Err(CoreError::InvalidConfiguration {
                     reason: format!(
-                        "metric \"{}\" has {} run lists for {} sweep points",
+                        "metric \"{}\" has {} run lists for {} design points",
                         column.id,
                         column.runs.len(),
-                        parameters.len()
+                        points.len()
                     ),
                 });
             }
@@ -210,18 +316,71 @@ impl SweepResult {
                 });
             }
         }
-        Ok(Self {
-            lppm_name: lppm_name.into(),
-            parameter_name: parameter_name.into(),
-            parameter_scale,
-            parameters,
-            columns,
-        })
+        Ok(Self { lppm_name: lppm_name.into(), space, mode, points, columns })
     }
 
-    /// Number of sweep points.
-    pub fn points(&self) -> usize {
-        self.parameters.len()
+    /// Builds a one-axis result from plain parameter values — the historical
+    /// single-scalar constructor, used by synthetic sweeps and tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepResult::new`], plus out-of-range parameter values.
+    pub fn from_axis(
+        lppm_name: impl Into<String>,
+        axis: ParameterDescriptor,
+        parameters: &[f64],
+        columns: Vec<MetricColumn>,
+    ) -> Result<Self, CoreError> {
+        let space = ConfigSpace::single(axis);
+        let points = parameters
+            .iter()
+            .map(|&value| space.point_from_coords(&[value]))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CoreError::from)?;
+        Self::new(lppm_name, space, SweepMode::Grid, points, columns)
+    }
+
+    /// Number of design points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` for an empty design (never produced by a runner).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The values of one named axis across the design matrix, aligned with
+    /// [`SweepResult::points`].
+    pub fn axis_values(&self, axis: &str) -> Option<Vec<f64>> {
+        self.space.axis(axis)?;
+        Some(self.points.iter().map(|p| p.get(axis).expect("points belong to the space")).collect())
+    }
+
+    /// The single axis of a one-axis sweep, or `None` for multi-axis sweeps.
+    pub fn single_axis(&self) -> Option<&ParameterDescriptor> {
+        self.space.single_axis()
+    }
+
+    /// The swept scalar values of a one-axis sweep (legacy 1-D accessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sweep covers more than one axis — use
+    /// [`SweepResult::axis_values`] there.
+    pub fn parameters(&self) -> Vec<f64> {
+        let axis = self
+            .single_axis()
+            .unwrap_or_else(|| {
+                panic!(
+                    "sweep covers {} axes ({}); use axis_values() instead of parameters()",
+                    self.space.len(),
+                    self.space.names().join(", ")
+                )
+            })
+            .name()
+            .to_string();
+        self.axis_values(&axis).expect("the single axis exists")
     }
 
     /// The metric ids, in suite order.
@@ -234,8 +393,7 @@ impl SweepResult {
         self.columns.iter().find(|c| &c.id == id)
     }
 
-    /// The mean values of one metric, aligned with
-    /// [`SweepResult::parameters`].
+    /// The mean values of one metric, aligned with [`SweepResult::points`].
     pub fn values(&self, id: &MetricId) -> Option<&[f64]> {
         self.column(id).map(|c| c.means.as_slice())
     }
@@ -247,25 +405,37 @@ impl SweepResult {
     }
 }
 
-/// Runs parameter sweeps for a [`SystemDefinition`] on a dataset.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Runs configuration-space sweeps for a [`SystemDefinition`] on a dataset.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRunner {
-    config: SweepConfig,
+    plan: SweepPlan,
 }
 
 impl ExperimentRunner {
-    /// Creates a runner with the given sweep configuration.
+    /// Creates a runner sweeping the full-factorial grid with the given
+    /// sweep configuration (`config.points` values per axis).
     pub fn new(config: SweepConfig) -> Self {
-        Self { config }
+        Self { plan: SweepPlan::grid(config) }
+    }
+
+    /// Creates a runner with an explicit [`SweepPlan`] (mode and per-axis
+    /// point counts).
+    pub fn with_plan(plan: SweepPlan) -> Self {
+        Self { plan }
     }
 
     /// The sweep configuration.
     pub fn config(&self) -> SweepConfig {
-        self.config
+        self.plan.config
     }
 
-    /// Runs the sweep: for every parameter value, protect the dataset and
-    /// evaluate every metric of the suite, in suite order.
+    /// The full sweep plan.
+    pub fn plan(&self) -> &SweepPlan {
+        &self.plan
+    }
+
+    /// Runs the sweep: for every design point of the plan, protect the
+    /// dataset and evaluate every metric of the suite, in suite order.
     ///
     /// The actual-side metric state (POI extraction, bounding boxes — see
     /// [`geopriv_metrics::PrivacyMetric::prepare`]) is prepared once for the
@@ -283,9 +453,8 @@ impl ExperimentRunner {
         system: &SystemDefinition,
         dataset: &Dataset,
     ) -> Result<SweepResult, CoreError> {
-        self.config.validate()?;
-        let descriptor = system.parameter();
-        let values = descriptor.sweep(self.config.points);
+        let space = system.space();
+        let points = self.plan.enumerate(&space)?;
         let prepared: Vec<geopriv_metrics::PreparedState> = system
             .suite()
             .iter()
@@ -293,11 +462,12 @@ impl ExperimentRunner {
             .collect::<Result<_, _>>()?;
 
         // Per point: per metric (suite order): per repetition value.
-        let per_point: Vec<Vec<Vec<f64>>> = run_indexed(values.len(), self.config.parallel, |i| {
-            self.measure_point(system, dataset, &prepared, i, values[i])
-        })
-        .into_iter()
-        .collect::<Result<Vec<_>, CoreError>>()?;
+        let per_point: Vec<Vec<Vec<f64>>> =
+            run_indexed(points.len(), self.plan.config.parallel, |i| {
+                self.measure_point(system, dataset, &prepared, i, &points[i])
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, CoreError>>()?;
 
         let mut columns: Vec<MetricColumn> = system
             .suite()
@@ -305,8 +475,8 @@ impl ExperimentRunner {
             .map(|m| MetricColumn {
                 id: m.id(),
                 direction: m.direction(),
-                means: Vec::with_capacity(values.len()),
-                runs: Vec::with_capacity(values.len()),
+                means: Vec::with_capacity(points.len()),
+                runs: Vec::with_capacity(points.len()),
             })
             .collect();
         for point_runs in per_point {
@@ -316,13 +486,7 @@ impl ExperimentRunner {
             }
         }
 
-        SweepResult::new(
-            system.factory().name(),
-            descriptor.name(),
-            descriptor.scale(),
-            values,
-            columns,
-        )
+        SweepResult::new(system.factory().name(), space, self.plan.mode, points, columns)
     }
 
     fn measure_point(
@@ -331,16 +495,16 @@ impl ExperimentRunner {
         dataset: &Dataset,
         prepared: &[geopriv_metrics::PreparedState],
         index: usize,
-        value: f64,
+        point: &ConfigPoint,
     ) -> Result<Vec<Vec<f64>>, CoreError> {
-        let lppm = system.factory().instantiate(value)?;
+        let lppm = system.factory().instantiate_at(point)?;
         let mut runs_by_metric: Vec<Vec<f64>> =
-            vec![Vec::with_capacity(self.config.repetitions); system.suite().len()];
-        for repetition in 0..self.config.repetitions {
+            vec![Vec::with_capacity(self.plan.config.repetitions); system.suite().len()];
+        for repetition in 0..self.plan.config.repetitions {
             // Derive a per-(point, repetition) seed so parallel execution and
             // sequential execution see exactly the same random streams.
             let mut rng =
-                StdRng::seed_from_u64(derive_unit_seed(self.config.seed, index, repetition));
+                StdRng::seed_from_u64(derive_unit_seed(self.plan.config.seed, index, repetition));
             let protected = lppm.protect_dataset(dataset, &mut rng)?;
             for ((metric, state), runs) in
                 system.suite().iter().zip(prepared).zip(runs_by_metric.iter_mut())
@@ -355,6 +519,9 @@ impl ExperimentRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::{GeoIndistinguishabilityFactory, GridCloakingFactory, PipelineFactory};
+    use geopriv_lppm::ParameterScale;
+    use geopriv_metrics::{AreaCoverage, PoiRetrieval};
     use geopriv_mobility::generator::TaxiFleetBuilder;
 
     fn small_dataset() -> Dataset {
@@ -379,11 +546,47 @@ mod tests {
         MetricId::new("area-coverage")
     }
 
+    fn epsilon_axis() -> ParameterDescriptor {
+        ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap()
+    }
+
+    fn composed_system() -> SystemDefinition {
+        SystemDefinition::with_pair(
+            Box::new(
+                PipelineFactory::new()
+                    .then(GeoIndistinguishabilityFactory::new())
+                    .then(GridCloakingFactory::with_range(100.0, 2000.0).unwrap()),
+            ),
+            Box::new(PoiRetrieval::default()),
+            Box::new(AreaCoverage::default()),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn config_validation() {
         assert!(SweepConfig::default().validate().is_ok());
         assert!(SweepConfig { points: 1, ..SweepConfig::default() }.validate().is_err());
         assert!(SweepConfig { repetitions: 0, ..SweepConfig::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn plans_resolve_per_axis_counts() {
+        let space = composed_system().space();
+        let plan = SweepPlan::grid(small_config());
+        assert_eq!(plan.counts(&space).unwrap(), vec![6, 6]);
+        let plan = plan.axis_points("cell_size", 3);
+        assert_eq!(plan.counts(&space).unwrap(), vec![6, 3]);
+        // Later overrides win.
+        let plan = plan.axis_points("cell_size", 4);
+        assert_eq!(plan.counts(&space).unwrap(), vec![6, 4]);
+        assert_eq!(plan.enumerate(&space).unwrap().len(), 24);
+        // Unknown axis and degenerate counts are typed errors.
+        assert!(SweepPlan::grid(small_config()).axis_points("sigma", 5).counts(&space).is_err());
+        assert!(SweepPlan::grid(small_config()).axis_points("epsilon", 1).counts(&space).is_err());
+        assert!(SweepPlan::grid(SweepConfig { points: 0, ..small_config() })
+            .counts(&space)
+            .is_err());
     }
 
     #[test]
@@ -393,9 +596,11 @@ mod tests {
         let runner = ExperimentRunner::new(small_config());
         let result = runner.run(&system, &dataset).unwrap();
 
-        assert_eq!(result.points(), 6);
+        assert_eq!(result.len(), 6);
+        assert!(!result.is_empty());
         assert_eq!(result.lppm_name, "geo-indistinguishability");
-        assert_eq!(result.parameter_name, "epsilon");
+        assert_eq!(result.space.names(), vec!["epsilon"]);
+        assert_eq!(result.mode, SweepMode::Grid);
         assert_eq!(result.ids(), vec![privacy_id(), utility_id()]);
         assert_eq!(result.column(&privacy_id()).unwrap().direction, Direction::LowerIsBetter);
         assert_eq!(result.column(&utility_id()).unwrap().direction, Direction::HigherIsBetter);
@@ -403,9 +608,13 @@ mod tests {
 
         // Parameters are sorted and span exactly the paper's range: the sweep
         // pins both endpoints, no floating-point drift tolerated.
-        assert!(result.parameters.windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(result.parameters[0], 1e-4);
-        assert_eq!(*result.parameters.last().unwrap(), 1.0);
+        let parameters = result.parameters();
+        assert!(parameters.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(parameters[0], 1e-4);
+        assert_eq!(*parameters.last().unwrap(), 1.0);
+        assert_eq!(result.axis_values("epsilon").unwrap(), parameters);
+        assert!(result.axis_values("sigma").is_none());
+        assert_eq!(result.single_axis().unwrap().name(), "epsilon");
 
         // Metrics are bounded.
         for column in &result.columns {
@@ -421,6 +630,47 @@ mod tests {
         // higher at the largest epsilon than at the smallest.
         for column in &result.columns {
             assert!(column.means.last().unwrap() >= column.means.first().unwrap());
+        }
+    }
+
+    #[test]
+    fn multi_axis_grids_cover_the_full_factorial() {
+        let dataset = small_dataset();
+        let system = composed_system();
+        let plan = SweepPlan::grid(SweepConfig { points: 3, ..small_config() });
+        let result = ExperimentRunner::with_plan(plan).run(&system, &dataset).unwrap();
+
+        assert_eq!(result.len(), 9);
+        assert_eq!(result.space.names(), vec!["epsilon", "cell_size"]);
+        // Row-major order: the first three points share the epsilon minimum.
+        for point in &result.points[..3] {
+            assert_eq!(point.get("epsilon"), Some(1e-4));
+        }
+        assert_eq!(result.points[0].get("cell_size"), Some(100.0));
+        assert_eq!(result.points[2].get("cell_size"), Some(2000.0));
+        // Every column is aligned with the design matrix and bounded.
+        for column in &result.columns {
+            assert_eq!(column.means.len(), 9);
+            assert!(column.means.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn one_at_a_time_holds_other_axes_at_defaults() {
+        let dataset = small_dataset();
+        let system = composed_system();
+        let plan = SweepPlan::one_at_a_time(SweepConfig { points: 3, ..small_config() });
+        let result = ExperimentRunner::with_plan(plan).run(&system, &dataset).unwrap();
+
+        assert_eq!(result.mode, SweepMode::OneAtATime);
+        assert_eq!(result.len(), 6);
+        let cell_default = system.space().axis("cell_size").unwrap().default_value();
+        let epsilon_default = system.space().axis("epsilon").unwrap().default_value();
+        for point in &result.points[..3] {
+            assert_eq!(point.get("cell_size"), Some(cell_default));
+        }
+        for point in &result.points[3..] {
+            assert_eq!(point.get("epsilon"), Some(epsilon_default));
         }
     }
 
@@ -499,52 +749,50 @@ mod tests {
             runs: means.iter().map(|&m| vec![m]).collect(),
             means,
         };
-        assert!(SweepResult::new(
+        let axis = || ParameterDescriptor::new("p", 0.05, 0.5, ParameterScale::Linear).unwrap();
+        assert!(SweepResult::from_axis(
             "m",
-            "p",
-            ParameterScale::Linear,
-            vec![0.1, 0.2],
+            axis(),
+            &[0.1, 0.2],
             vec![column("a", vec![0.0, 1.0]), column("b", vec![1.0, 0.0])],
         )
         .is_ok());
-        // Ragged column.
-        assert!(SweepResult::new(
+        // Out-of-range design points are rejected.
+        assert!(SweepResult::from_axis(
             "m",
-            "p",
-            ParameterScale::Linear,
-            vec![0.1, 0.2],
-            vec![column("a", vec![0.0])],
+            axis(),
+            &[0.1, 2.0],
+            vec![column("a", vec![0.0, 1.0])]
         )
         .is_err());
+        // Ragged column.
+        assert!(
+            SweepResult::from_axis("m", axis(), &[0.1, 0.2], vec![column("a", vec![0.0])]).is_err()
+        );
         // Runs recorded but not aligned with the points.
         let mut misaligned = column("a", vec![0.0, 1.0]);
         misaligned.runs.pop();
-        assert!(SweepResult::new(
-            "m",
-            "p",
-            ParameterScale::Linear,
-            vec![0.1, 0.2],
-            vec![misaligned],
-        )
-        .is_err());
+        assert!(SweepResult::from_axis("m", axis(), &[0.1, 0.2], vec![misaligned]).is_err());
         // Empty runs are the "not recorded" convention used by synthetic sweeps.
         let mut unrecorded = column("a", vec![0.0, 1.0]);
         unrecorded.runs.clear();
-        assert!(SweepResult::new(
-            "m",
-            "p",
-            ParameterScale::Linear,
-            vec![0.1, 0.2],
-            vec![unrecorded],
-        )
-        .is_ok());
+        assert!(SweepResult::from_axis("m", axis(), &[0.1, 0.2], vec![unrecorded]).is_ok());
         // Duplicate id.
+        assert!(SweepResult::from_axis(
+            "m",
+            axis(),
+            &[0.1, 0.2],
+            vec![column("a", vec![0.0, 1.0]), column("a", vec![1.0, 0.0])],
+        )
+        .is_err());
+        // Points from a different space are rejected by the full constructor.
+        let foreign = ConfigSpace::single(epsilon_axis()).point(&[("epsilon", 0.01)]).unwrap();
         assert!(SweepResult::new(
             "m",
-            "p",
-            ParameterScale::Linear,
-            vec![0.1, 0.2],
-            vec![column("a", vec![0.0, 1.0]), column("a", vec![1.0, 0.0])],
+            ConfigSpace::single(axis()),
+            SweepMode::Grid,
+            vec![foreign],
+            vec![column("a", vec![0.5])],
         )
         .is_err());
     }

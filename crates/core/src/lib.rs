@@ -7,20 +7,23 @@
 //!
 //! The three steps of the paper map onto three modules:
 //!
-//! 1. **System definition** ([`system`]) — pick the LPPM with its swept
-//!    parameter and a [`geopriv_metrics::MetricSuite`]: an ordered set of
+//! 1. **System definition** ([`system`]) — pick the LPPM with its
+//!    [`geopriv_lppm::ConfigSpace`] of swept parameters and a
+//!    [`geopriv_metrics::MetricSuite`]: an ordered set of
 //!    named, direction-tagged metrics generalizing the paper's fixed
 //!    privacy/utility pair; [`property_selection`] ranks candidate dataset
 //!    properties with a PCA.
 //! 2. **Modeling** ([`experiment`] + [`modeling`]) — automatically sweep the
-//!    parameter, measure every suite metric into a per-metric column store,
-//!    detect each metric's non-saturated zone and fit the invertible
-//!    (log-)linear relationship of Equation 2. The [`campaign`] engine scales
+//!    configuration space (full-factorial grid or the paper's one-at-a-time
+//!    design), measure every suite metric into a per-metric column store,
+//!    and fit the invertible (log-)linear relationship of Equation 2 — per
+//!    axis inside its non-saturated zone, or as a multivariate surface on
+//!    grids. The [`campaign`] engine scales
 //!    this step to many systems × many datasets on one shared work pool with
 //!    amortized actual-side metric state.
 //! 3. **Configuration** ([`configurator`]) — invert the fitted models under
-//!    the designer's per-metric [`objectives`] and recommend a parameter
-//!    value satisfying every constraint.
+//!    the designer's per-metric [`objectives`] and recommend a
+//!    [`geopriv_lppm::ConfigPoint`] satisfying every constraint.
 //!
 //! ## End-to-end example
 //!
@@ -45,9 +48,9 @@
 //! let objectives = Objectives::new()
 //!     .require("poi-retrieval", at_most(0.10))?
 //!     .require("area-coverage", at_least(0.80))?;
-//! let configurator = Configurator::new(fitted, system.parameter().scale());
+//! let configurator = Configurator::new(fitted);
 //! let recommendation = configurator.recommend(&objectives)?;
-//! println!("use ε = {:.4}", recommendation.parameter);
+//! println!("use ε = {:.4}", recommendation.parameter());
 //! # Ok(())
 //! # }
 //! ```
@@ -70,14 +73,20 @@ pub mod validation;
 pub use campaign::{CampaignResult, CampaignRun, CampaignRunner};
 pub use configurator::{Configurator, Recommendation};
 pub use error::CoreError;
-pub use experiment::{derive_unit_seed, ExperimentRunner, MetricColumn, SweepConfig, SweepResult};
-pub use modeling::{FittedSuite, MetricModel, Modeler, ParametricModel};
+pub use experiment::{
+    derive_unit_seed, ExperimentRunner, MetricColumn, SweepConfig, SweepMode, SweepPlan,
+    SweepResult,
+};
+pub use modeling::{
+    AxisFit, FittedSuite, MetricModel, MetricResponse, Modeler, ParametricModel, PerAxisFit,
+    SurfaceFit,
+};
 pub use objectives::{at_least, at_most, Constraint, ConstraintKind, Objectives};
 pub use pareto::{ParetoFrontier, TradeOffPoint};
 pub use property_selection::{PropertySelection, PropertySelector, RankedProperty};
 pub use system::{
     GaussianPerturbationFactory, GeoIndistinguishabilityFactory, GridCloakingFactory, LppmFactory,
-    SystemDefinition,
+    PipelineFactory, SystemDefinition,
 };
 pub use validation::{HoldOutValidator, PredictionError, ValidationReport};
 
@@ -85,21 +94,30 @@ pub use validation::{HoldOutValidator, PredictionError, ValidationReport};
 // `geopriv_core` users need not depend on `geopriv_metrics` directly.
 pub use geopriv_metrics::{Direction, MetricId, MetricSuite, SuiteMetric};
 
+// The configuration-space vocabulary the factories and sweeps are expressed
+// in, re-exported for the same reason.
+pub use geopriv_lppm::{ConfigPoint, ConfigSpace};
+
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::campaign::{CampaignResult, CampaignRun, CampaignRunner};
     pub use crate::configurator::{Configurator, Recommendation};
     pub use crate::error::CoreError;
-    pub use crate::experiment::{ExperimentRunner, MetricColumn, SweepConfig, SweepResult};
-    pub use crate::modeling::{FittedSuite, MetricModel, Modeler, ParametricModel};
+    pub use crate::experiment::{
+        ExperimentRunner, MetricColumn, SweepConfig, SweepMode, SweepPlan, SweepResult,
+    };
+    pub use crate::modeling::{
+        AxisFit, FittedSuite, MetricModel, MetricResponse, Modeler, ParametricModel, SurfaceFit,
+    };
     pub use crate::objectives::{at_least, at_most, Constraint, ConstraintKind, Objectives};
     pub use crate::pareto::{ParetoFrontier, TradeOffPoint};
     pub use crate::property_selection::{PropertySelection, PropertySelector};
     pub use crate::report;
     pub use crate::system::{
         GaussianPerturbationFactory, GeoIndistinguishabilityFactory, GridCloakingFactory,
-        LppmFactory, SystemDefinition,
+        LppmFactory, PipelineFactory, SystemDefinition,
     };
     pub use crate::validation::{HoldOutValidator, PredictionError, ValidationReport};
+    pub use geopriv_lppm::{ConfigPoint, ConfigSpace};
     pub use geopriv_metrics::{Direction, MetricId, MetricSuite, SuiteMetric};
 }

@@ -9,16 +9,26 @@
 //! ln ε = (Pr − a)/b = (Ut − α)/β
 //! ```
 //!
-//! [`Modeler::fit`] takes a [`SweepResult`], detects the non-saturated zone
-//! of each metric (the vertical lines of Figure 1), and fits an invertible
-//! parametric model restricted to that zone — one [`MetricModel`] per column
-//! of the sweep, collected into a [`FittedSuite`].
+//! [`Modeler::fit`] takes a [`SweepResult`] over any [`ConfigSpace`] and
+//! fits, per metric column:
+//!
+//! * **one axis** — the historical path, unchanged: detect the non-saturated
+//!   zone (the vertical lines of Figure 1) and fit the invertible
+//!   (log-)linear model inside it ([`AxisFit`]);
+//! * **multi-axis grid** — Equation 1's multivariate form: an ordinary
+//!   least-squares plane over the scaled axes (ln-axis per
+//!   [`ParameterScale::Logarithmic`]), via
+//!   [`geopriv_analysis::regression::MultipleLinearRegression`]
+//!   ([`SurfaceFit`]);
+//! * **multi-axis one-at-a-time** — one [`AxisFit`] per axis, each fitted on
+//!   that axis's leg of the design (other axes at their defaults).
 
 use crate::error::CoreError;
-use crate::experiment::SweepResult;
+use crate::experiment::{SweepMode, SweepResult};
 use geopriv_analysis::model::{LinearModel, LogLinearModel, ResponseModel};
+use geopriv_analysis::regression::MultipleLinearRegression;
 use geopriv_analysis::{find_active_zone, ActiveZone, AnalysisError, Curve};
-use geopriv_lppm::ParameterScale;
+use geopriv_lppm::{ConfigPoint, ConfigSpace, ParameterScale};
 use geopriv_metrics::{Direction, MetricId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -101,15 +111,15 @@ impl fmt::Display for ParametricModel {
     }
 }
 
-/// The fitted model of one metric: the empirical response curve, its
-/// non-saturated zone, and the parametric model fitted inside that zone.
+/// The fitted 1-D response of one metric along one named axis: the empirical
+/// curve, its non-saturated zone, and the parametric model fitted inside
+/// that zone.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct MetricModel {
-    /// Id of the metric.
-    pub id: MetricId,
-    /// Which way the metric improves.
-    pub direction: Direction,
-    /// The full empirical response (parameter → metric), all sweep points.
+pub struct AxisFit {
+    /// Name of the axis the fit varies.
+    pub axis: String,
+    /// The full empirical response (axis value → metric), all design points
+    /// of the axis's leg.
     pub curve: Curve,
     /// The detected non-saturated zone, in parameter units.
     pub active_zone: (f64, f64),
@@ -117,19 +127,203 @@ pub struct MetricModel {
     pub model: ParametricModel,
 }
 
+impl AxisFit {
+    /// Returns `true` if `value` lies inside the non-saturated zone.
+    pub fn in_active_zone(&self, value: f64) -> bool {
+        (self.active_zone.0..=self.active_zone.1).contains(&value)
+    }
+}
+
+/// The fitted multivariate response of one metric over all axes of a grid
+/// design: `metric = β₀ + Σ βᵢ · scaledᵢ(xᵢ)` with `scaledᵢ = ln` on
+/// logarithmic axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurfaceFit {
+    /// Axis names, in space order (the regression's predictor order).
+    pub axes: Vec<String>,
+    /// Per-axis scale (decides the `ln` transform), aligned with `axes`.
+    pub scales: Vec<ParameterScale>,
+    /// The fitted least-squares plane over the scaled axes.
+    pub regression: MultipleLinearRegression,
+    /// Per-axis fitted domain in parameter units, aligned with `axes`.
+    pub domain: Vec<(f64, f64)>,
+}
+
+impl SurfaceFit {
+    fn scaled(&self, coords: &[f64]) -> Vec<f64> {
+        coords
+            .iter()
+            .zip(&self.scales)
+            .map(|(&value, scale)| match scale {
+                ParameterScale::Linear => value,
+                ParameterScale::Logarithmic => value.ln(),
+            })
+            .collect()
+    }
+
+    /// Predicted metric value at a configuration point (axis order must
+    /// match the fitted axes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for a point over
+    /// different axes.
+    pub fn predict(&self, point: &ConfigPoint) -> Result<f64, CoreError> {
+        let names: Vec<&str> = point.values().iter().map(|(n, _)| n.as_str()).collect();
+        if names != self.axes.iter().map(String::as_str).collect::<Vec<_>>() {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!(
+                    "point axes ({}) do not match the fitted axes ({})",
+                    names.join(", "),
+                    self.axes.join(", ")
+                ),
+            });
+        }
+        Ok(self.regression.predict(&self.scaled(&point.coords()))?)
+    }
+
+    /// Returns `true` if every coordinate lies inside its fitted domain.
+    pub fn in_domain(&self, point: &ConfigPoint) -> bool {
+        point.len() == self.domain.len()
+            && point
+                .coords()
+                .iter()
+                .zip(&self.domain)
+                .all(|(value, (lo, hi))| value >= lo && value <= hi)
+    }
+
+    /// Coefficient of determination of the fit.
+    pub fn r_squared(&self) -> f64 {
+        self.regression.r_squared()
+    }
+}
+
+/// An [`AxisFit`] plus its prediction at the axis default, pre-computed for
+/// the additive one-at-a-time combination in [`MetricModel::predict`] and
+/// stored alongside the fit so a deserialized suite predicts identically.
+///
+/// Dereferences to its [`AxisFit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerAxisFit {
+    fit: AxisFit,
+    default_prediction: f64,
+}
+
+impl std::ops::Deref for PerAxisFit {
+    type Target = AxisFit;
+
+    fn deref(&self) -> &AxisFit {
+        &self.fit
+    }
+}
+
+/// The fitted response of one metric — the shape depends on the sweep's
+/// dimensionality and mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricResponse {
+    /// A one-axis sweep: the historical invertible fit.
+    Axis(AxisFit),
+    /// A multi-axis one-at-a-time sweep: one 1-D fit per axis.
+    PerAxis(Vec<PerAxisFit>),
+    /// A multi-axis grid sweep: one multivariate plane over all axes.
+    Surface(SurfaceFit),
+}
+
+/// The fitted model of one metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricModel {
+    /// Id of the metric.
+    pub id: MetricId,
+    /// Which way the metric improves.
+    pub direction: Direction,
+    /// The fitted response.
+    pub response: MetricResponse,
+}
+
 impl MetricModel {
-    /// Returns `true` if `parameter` lies inside the non-saturated zone.
-    pub fn in_active_zone(&self, parameter: f64) -> bool {
-        (self.active_zone.0..=self.active_zone.1).contains(&parameter)
+    /// The single-axis fit of a one-axis sweep, or `None` for multi-axis
+    /// responses — the hinge legacy 1-D code paths turn on.
+    pub fn axis(&self) -> Option<&AxisFit> {
+        match &self.response {
+            MetricResponse::Axis(fit) => Some(fit),
+            _ => None,
+        }
+    }
+
+    /// The 1-D fit along one named axis: the whole fit of a matching
+    /// single-axis response, or the matching per-axis leg of a one-at-a-time
+    /// response. `None` for surfaces and unknown axes.
+    pub fn axis_fit(&self, axis: &str) -> Option<&AxisFit> {
+        match &self.response {
+            MetricResponse::Axis(fit) => (fit.axis == axis).then_some(fit),
+            MetricResponse::PerAxis(fits) => fits.iter().find(|f| f.axis == axis).map(|f| &f.fit),
+            MetricResponse::Surface(_) => None,
+        }
+    }
+
+    /// Predicted metric value at a configuration point.
+    ///
+    /// For one-at-a-time responses the prediction combines the per-axis fits
+    /// additively around the all-defaults baseline (the star design measures
+    /// no interactions): `ŷ(x) = Σᵢ fᵢ(xᵢ) − (k−1) · ȳ₀` with `ȳ₀` the mean
+    /// per-axis prediction at the defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for a point whose axes do
+    /// not match the fitted response.
+    pub fn predict(&self, point: &ConfigPoint) -> Result<f64, CoreError> {
+        match &self.response {
+            MetricResponse::Axis(fit) => {
+                let value =
+                    point.get(&fit.axis).ok_or_else(|| CoreError::InvalidConfiguration {
+                        reason: format!("point has no axis \"{}\"", fit.axis),
+                    })?;
+                Ok(fit.model.predict(value))
+            }
+            MetricResponse::Surface(surface) => surface.predict(point),
+            MetricResponse::PerAxis(fits) => {
+                let mut total = 0.0;
+                let mut baseline = 0.0;
+                for fit in fits {
+                    let value =
+                        point.get(&fit.axis).ok_or_else(|| CoreError::InvalidConfiguration {
+                            reason: format!("point has no axis \"{}\"", fit.axis),
+                        })?;
+                    total += fit.model.predict(value);
+                    baseline += fit.default_prediction;
+                }
+                let k = fits.len() as f64;
+                let mean_baseline = baseline / k;
+                Ok(total - (k - 1.0) * mean_baseline)
+            }
+        }
+    }
+
+    /// Returns `true` if the point lies where the fitted response claims
+    /// validity: inside the active zone (1-D and per-axis fits) or the
+    /// fitted domain (surfaces).
+    pub fn in_zone(&self, point: &ConfigPoint) -> bool {
+        match &self.response {
+            MetricResponse::Axis(fit) => {
+                point.get(&fit.axis).is_some_and(|v| fit.in_active_zone(v))
+            }
+            MetricResponse::Surface(surface) => surface.in_domain(point),
+            MetricResponse::PerAxis(fits) => {
+                fits.iter().all(|fit| point.get(&fit.axis).is_some_and(|v| fit.in_active_zone(v)))
+            }
+        }
     }
 }
 
 /// The complete modeling result: one [`MetricModel`] per metric of the swept
-/// suite, in suite order.
+/// suite, in suite order, over the sweep's [`ConfigSpace`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FittedSuite {
-    /// Name of the swept parameter.
-    pub parameter_name: String,
+    /// The swept configuration space.
+    pub space: ConfigSpace,
+    /// How the space was enumerated (decides the response shape).
+    pub mode: SweepMode,
     /// The fitted per-metric responses (`Pr = a + b·ln ε` and
     /// `Ut = α + β·ln ε` in the paper).
     pub models: Vec<MetricModel>,
@@ -150,6 +344,12 @@ impl FittedSuite {
     pub fn model_by_direction(&self, direction: Direction) -> Option<&MetricModel> {
         self.models.iter().find(|m| m.direction == direction)
     }
+
+    /// The axis names joined for display (`"epsilon"` for the paper's 1-D
+    /// study, `"epsilon × cell_size"` for a composed one).
+    pub fn axis_label(&self) -> String {
+        self.space.names().join(" × ")
+    }
 }
 
 impl fmt::Display for FittedSuite {
@@ -158,7 +358,26 @@ impl fmt::Display for FittedSuite {
             if i > 0 {
                 writeln!(f)?;
             }
-            write!(f, "{} ({}): {}", m.id, self.parameter_name, m.model)?;
+            match &m.response {
+                MetricResponse::Axis(fit) => {
+                    write!(f, "{} ({}): {}", m.id, fit.axis, fit.model)?;
+                }
+                MetricResponse::PerAxis(fits) => {
+                    write!(f, "{} (one-at-a-time):", m.id)?;
+                    for fit in fits {
+                        write!(f, "\n  {}: {}", fit.axis, fit.model)?;
+                    }
+                }
+                MetricResponse::Surface(surface) => {
+                    write!(
+                        f,
+                        "{} ({}): multivariate R² = {:.3}",
+                        m.id,
+                        self.axis_label(),
+                        surface.r_squared()
+                    )?;
+                }
+            }
         }
         Ok(())
     }
@@ -180,31 +399,64 @@ impl Modeler {
     ///
     /// # Errors
     ///
-    /// * [`CoreError::InvalidConfiguration`] if the sweep has fewer than four points.
-    /// * [`CoreError::Analysis`] if a metric never responds to the parameter
+    /// * [`CoreError::InvalidConfiguration`] if the sweep has fewer than four
+    ///   points (per axis leg in one-at-a-time mode).
+    /// * [`CoreError::Analysis`] if a metric never responds to the parameters
     ///   (zero dynamic range) or the fit is degenerate.
     pub fn fit(&self, sweep: &SweepResult) -> Result<FittedSuite, CoreError> {
-        if sweep.points() < 4 {
-            return Err(CoreError::InvalidConfiguration {
-                reason: format!("modeling needs at least 4 sweep points, got {}", sweep.points()),
-            });
-        }
         let models = sweep
             .columns
             .iter()
-            .map(|column| self.fit_metric(sweep, column))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(FittedSuite { parameter_name: sweep.parameter_name.clone(), models })
+            .map(|column| {
+                let response = self.fit_response(sweep, &column.means, &column.id)?;
+                Ok(MetricModel { id: column.id.clone(), direction: column.direction, response })
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(FittedSuite { space: sweep.space.clone(), mode: sweep.mode, models })
     }
 
-    fn fit_metric(
+    fn fit_response(
         &self,
         sweep: &SweepResult,
-        column: &crate::experiment::MetricColumn,
-    ) -> Result<MetricModel, CoreError> {
-        let parameters = &sweep.parameters;
-        let values = &column.means;
-        let logarithmic = sweep.parameter_scale == ParameterScale::Logarithmic;
+        means: &[f64],
+        id: &MetricId,
+    ) -> Result<MetricResponse, CoreError> {
+        if let Some(axis) = sweep.single_axis() {
+            let parameters = sweep.axis_values(axis.name()).expect("single axis exists");
+            let fit =
+                self.fit_axis(axis.name(), axis.scale(), &parameters, means, sweep.len(), id)?;
+            return Ok(MetricResponse::Axis(fit));
+        }
+        match sweep.mode {
+            SweepMode::Grid => Ok(MetricResponse::Surface(self.fit_surface(sweep, means)?)),
+            SweepMode::OneAtATime => {
+                let fits = self.fit_legs(sweep, means, id)?;
+                Ok(MetricResponse::PerAxis(fits))
+            }
+        }
+    }
+
+    /// The historical 1-D fit: saturation-windowed invertible model on one
+    /// axis — arithmetic unchanged from the single-scalar framework.
+    fn fit_axis(
+        &self,
+        axis: &str,
+        scale: ParameterScale,
+        parameters: &[f64],
+        values: &[f64],
+        design_points: usize,
+        id: &MetricId,
+    ) -> Result<AxisFit, CoreError> {
+        if parameters.len() < 4 {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!(
+                    "modeling metric \"{id}\" on axis \"{axis}\" needs at least 4 sweep points, \
+                     got {} (of {design_points} design points)",
+                    parameters.len()
+                ),
+            });
+        }
+        let logarithmic = scale == ParameterScale::Logarithmic;
 
         // Work on a transformed x-axis (ln for logarithmic parameters) so the
         // saturation detector sees evenly spaced samples, exactly like the
@@ -212,7 +464,7 @@ impl Modeler {
         let transformed: Vec<f64> = if logarithmic {
             parameters.iter().map(|p| p.ln()).collect()
         } else {
-            parameters.clone()
+            parameters.to_vec()
         };
         let detection_curve =
             Curve::new(transformed.iter().copied().zip(values.iter().copied()).collect())?;
@@ -241,12 +493,79 @@ impl Modeler {
             zone_params.iter().copied().fold(f64::INFINITY, f64::min),
             zone_params.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         );
-        Ok(MetricModel {
-            id: column.id.clone(),
-            direction: column.direction,
-            curve,
-            active_zone,
-            model,
+        Ok(AxisFit { axis: axis.to_string(), curve, active_zone, model })
+    }
+
+    /// One 1-D fit per axis of a one-at-a-time design: each axis's leg is
+    /// every design point holding all *other* axes at their defaults.
+    fn fit_legs(
+        &self,
+        sweep: &SweepResult,
+        means: &[f64],
+        id: &MetricId,
+    ) -> Result<Vec<PerAxisFit>, CoreError> {
+        let defaults: Vec<f64> =
+            sweep.space.axes().iter().map(|axis| axis.default_value()).collect();
+        let mut fits = Vec::with_capacity(sweep.space.len());
+        for (i, axis) in sweep.space.axes().iter().enumerate() {
+            let leg: Vec<(f64, f64)> = sweep
+                .points
+                .iter()
+                .zip(means)
+                .filter(|(point, _)| {
+                    point
+                        .coords()
+                        .iter()
+                        .enumerate()
+                        .all(|(j, &value)| j == i || value == defaults[j])
+                })
+                .map(|(point, &mean)| (point.coords()[i], mean))
+                .collect();
+            let parameters: Vec<f64> = leg.iter().map(|(p, _)| *p).collect();
+            let values: Vec<f64> = leg.iter().map(|(_, v)| *v).collect();
+            let fit =
+                self.fit_axis(axis.name(), axis.scale(), &parameters, &values, sweep.len(), id)?;
+            let default_prediction = fit.model.predict(defaults[i]);
+            fits.push(PerAxisFit { fit, default_prediction });
+        }
+        Ok(fits)
+    }
+
+    /// Equation 1's multivariate form on a grid design: a least-squares
+    /// plane over the scaled axes.
+    fn fit_surface(&self, sweep: &SweepResult, means: &[f64]) -> Result<SurfaceFit, CoreError> {
+        let scales: Vec<ParameterScale> =
+            sweep.space.axes().iter().map(|axis| axis.scale()).collect();
+        let predictors: Vec<Vec<f64>> = sweep
+            .points
+            .iter()
+            .map(|point| {
+                point
+                    .coords()
+                    .iter()
+                    .zip(&scales)
+                    .map(|(&value, scale)| match scale {
+                        ParameterScale::Linear => value,
+                        ParameterScale::Logarithmic => value.ln(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let regression = MultipleLinearRegression::fit(&predictors, means)?;
+        let domain: Vec<(f64, f64)> = (0..sweep.space.len())
+            .map(|i| {
+                let axis_values: Vec<f64> = sweep.points.iter().map(|p| p.coords()[i]).collect();
+                (
+                    axis_values.iter().copied().fold(f64::INFINITY, f64::min),
+                    axis_values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                )
+            })
+            .collect();
+        Ok(SurfaceFit {
+            axes: sweep.space.names().iter().map(|n| n.to_string()).collect(),
+            scales,
+            regression,
+            domain,
         })
     }
 }
@@ -254,8 +573,8 @@ impl Modeler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{MetricColumn, SweepResult};
-    use geopriv_lppm::ParameterScale;
+    use crate::experiment::MetricColumn;
+    use geopriv_lppm::{ParameterDescriptor, ParameterScale};
 
     fn privacy_id() -> MetricId {
         MetricId::new("poi-retrieval")
@@ -263,6 +582,10 @@ mod tests {
 
     fn utility_id() -> MetricId {
         MetricId::new("area-coverage")
+    }
+
+    fn epsilon_axis() -> ParameterDescriptor {
+        ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap()
     }
 
     /// Builds a synthetic sweep result following the paper's Equation 2 with
@@ -275,12 +598,11 @@ mod tests {
             parameters.iter().map(|e| (0.84 + 0.17 * e.ln()).clamp(0.0, 0.45)).collect();
         let utility: Vec<f64> =
             parameters.iter().map(|e| (1.21 + 0.09 * e.ln()).clamp(0.2, 1.0)).collect();
-        SweepResult {
-            lppm_name: "geo-indistinguishability".to_string(),
-            parameter_name: "epsilon".to_string(),
-            parameter_scale: ParameterScale::Logarithmic,
-            parameters,
-            columns: vec![
+        SweepResult::from_axis(
+            "geo-indistinguishability",
+            epsilon_axis(),
+            &parameters,
+            vec![
                 MetricColumn {
                     id: privacy_id(),
                     direction: Direction::LowerIsBetter,
@@ -294,7 +616,39 @@ mod tests {
                     means: utility,
                 },
             ],
-        }
+        )
+        .unwrap()
+    }
+
+    /// A synthetic 2-D grid sweep: an additive plane in (ln ε, ln cell).
+    fn grid_sweep() -> SweepResult {
+        let space = geopriv_lppm::ConfigSpace::new(vec![
+            epsilon_axis(),
+            ParameterDescriptor::new("cell_size", 50.0, 5000.0, ParameterScale::Logarithmic)
+                .unwrap(),
+        ])
+        .unwrap();
+        let points = space.grid(&[5, 5]).unwrap();
+        let response: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                0.9 + 0.05 * p.get("epsilon").unwrap().ln()
+                    - 0.04 * p.get("cell_size").unwrap().ln()
+            })
+            .collect();
+        SweepResult::new(
+            "pipeline[geo-indistinguishability, grid-cloaking]",
+            space,
+            SweepMode::Grid,
+            points,
+            vec![MetricColumn {
+                id: privacy_id(),
+                direction: Direction::LowerIsBetter,
+                runs: vec![],
+                means: response,
+            }],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -302,16 +656,17 @@ mod tests {
         let sweep = paper_like_sweep(41);
         let fitted = Modeler::new().fit(&sweep).unwrap();
         assert_eq!(fitted.ids(), vec![privacy_id(), utility_id()]);
+        assert_eq!(fitted.axis_label(), "epsilon");
 
         // Privacy side of Equation 2: a = 0.84, b = 0.17.
-        let p = &fitted.model(&privacy_id()).unwrap().model;
+        let p = &fitted.model(&privacy_id()).unwrap().axis().unwrap().model;
         assert!((p.intercept() - 0.84).abs() < 0.08, "a = {}", p.intercept());
         assert!((p.slope() - 0.17).abs() < 0.04, "b = {}", p.slope());
         assert!(p.r_squared() > 0.95);
         assert!(p.is_increasing());
 
         // Utility side: alpha = 1.21, beta = 0.09.
-        let u = &fitted.model(&utility_id()).unwrap().model;
+        let u = &fitted.model(&utility_id()).unwrap().axis().unwrap().model;
         assert!((u.intercept() - 1.21).abs() < 0.12, "alpha = {}", u.intercept());
         assert!((u.slope() - 0.09).abs() < 0.03, "beta = {}", u.slope());
         assert!(u.r_squared() > 0.95);
@@ -322,14 +677,21 @@ mod tests {
         // The display mentions both metrics.
         let text = fitted.to_string();
         assert!(text.contains("poi-retrieval") && text.contains("area-coverage"));
+
+        // Point-based prediction equals scalar prediction on the 1-D path.
+        let model = fitted.model(&privacy_id()).unwrap();
+        let point = sweep.space.point(&[("epsilon", 0.01)]).unwrap();
+        assert_eq!(model.predict(&point).unwrap(), p.predict(0.01));
+        assert_eq!(model.axis_fit("epsilon").unwrap().axis, "epsilon");
+        assert!(model.axis_fit("sigma").is_none());
     }
 
     #[test]
     fn active_zones_exclude_the_saturated_tails() {
         let sweep = paper_like_sweep(41);
         let fitted = Modeler::new().fit(&sweep).unwrap();
-        let privacy = fitted.model(&privacy_id()).unwrap();
-        let utility = fitted.model(&utility_id()).unwrap();
+        let privacy = fitted.model(&privacy_id()).unwrap().axis().unwrap().clone();
+        let utility = fitted.model(&utility_id()).unwrap().axis().unwrap().clone();
         // Privacy saturates at 0 below eps~0.007 and at 0.45 above eps~0.1:
         // the active zone must be a strict sub-range of the sweep.
         let (lo, hi) = privacy.active_zone;
@@ -337,6 +699,10 @@ mod tests {
         assert!(hi < 1.0 / 1.5, "zone ends too late: {hi}");
         assert!(privacy.in_active_zone(0.01));
         assert!(!privacy.in_active_zone(1e-4));
+        // The point-level zone query agrees.
+        let model = fitted.model(&privacy_id()).unwrap();
+        assert!(model.in_zone(&sweep.space.point(&[("epsilon", 0.01)]).unwrap()));
+        assert!(!model.in_zone(&sweep.space.point(&[("epsilon", 1e-4)]).unwrap()));
 
         // The utility response spans more of the range, so its zone is wider
         // (in log terms) than the privacy zone — the paper's "evolves more
@@ -352,18 +718,23 @@ mod tests {
         let fitted = Modeler::new().fit(&sweep).unwrap();
         // Inverting the privacy model at 10% gives an epsilon near 0.0128
         // (the paper rounds to 0.01).
-        let eps_for_privacy = fitted.model(&privacy_id()).unwrap().model.invert(0.10).unwrap();
+        let eps_for_privacy =
+            fitted.model(&privacy_id()).unwrap().axis().unwrap().model.invert(0.10).unwrap();
         assert!((0.008..0.02).contains(&eps_for_privacy), "eps {eps_for_privacy}");
         // And the utility model predicts about 80% utility there.
-        let predicted_utility = fitted.model(&utility_id()).unwrap().model.predict(eps_for_privacy);
+        let predicted_utility =
+            fitted.model(&utility_id()).unwrap().axis().unwrap().model.predict(eps_for_privacy);
         assert!((0.75..0.88).contains(&predicted_utility), "utility {predicted_utility}");
     }
 
     #[test]
     fn every_metric_of_a_larger_suite_is_fitted() {
         let mut sweep = paper_like_sweep(30);
-        let extra: Vec<f64> =
-            sweep.parameters.iter().map(|e| (0.95 + 0.05 * e.ln()).clamp(0.1, 0.9)).collect();
+        let extra: Vec<f64> = sweep
+            .points
+            .iter()
+            .map(|p| (0.95 + 0.05 * p.single().unwrap().ln()).clamp(0.1, 0.9))
+            .collect();
         sweep.columns.push(MetricColumn {
             id: MetricId::new("hotspot-preservation"),
             direction: Direction::HigherIsBetter,
@@ -390,12 +761,11 @@ mod tests {
         let parameters: Vec<f64> = (0..15).map(|i| (i as f64 / 14.0).max(0.01)).collect();
         let privacy: Vec<f64> = parameters.iter().map(|p| 0.05 + 0.4 * p).collect();
         let utility: Vec<f64> = parameters.iter().map(|p| 0.2 + 0.75 * p).collect();
-        let sweep = SweepResult {
-            lppm_name: "release-sampling".to_string(),
-            parameter_name: "probability".to_string(),
-            parameter_scale: ParameterScale::Linear,
-            parameters,
-            columns: vec![
+        let sweep = SweepResult::from_axis(
+            "release-sampling",
+            ParameterDescriptor::new("probability", 0.01, 1.0, ParameterScale::Linear).unwrap(),
+            &parameters,
+            vec![
                 MetricColumn {
                     id: privacy_id(),
                     direction: Direction::LowerIsBetter,
@@ -409,12 +779,95 @@ mod tests {
                     means: utility,
                 },
             ],
-        };
+        )
+        .unwrap();
         let fitted = Modeler::new().fit(&sweep).unwrap();
-        let p = fitted.model(&privacy_id()).unwrap();
-        let u = fitted.model(&utility_id()).unwrap();
+        let p = fitted.model(&privacy_id()).unwrap().axis().unwrap();
+        let u = fitted.model(&utility_id()).unwrap().axis().unwrap();
         assert!(matches!(p.model, ParametricModel::Linear(_)));
         assert!((p.model.slope() - 0.4).abs() < 0.05);
         assert!((u.model.slope() - 0.75).abs() < 0.05);
+    }
+
+    #[test]
+    fn grid_sweeps_fit_a_multivariate_surface() {
+        let sweep = grid_sweep();
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+        assert_eq!(fitted.axis_label(), "epsilon × cell_size");
+        let model = fitted.model(&privacy_id()).unwrap();
+        let surface = match &model.response {
+            MetricResponse::Surface(s) => s,
+            other => panic!("expected a surface, got {other:?}"),
+        };
+        // The plane is recovered near-exactly.
+        assert!(surface.r_squared() > 0.999, "R² {}", surface.r_squared());
+        let c = surface.regression.coefficients();
+        assert!((c[0] - 0.9).abs() < 1e-9);
+        assert!((c[1] - 0.05).abs() < 1e-9);
+        assert!((c[2] + 0.04).abs() < 1e-9);
+
+        // Prediction at an interior point matches the generating plane.
+        let point = sweep.space.point(&[("epsilon", 0.01), ("cell_size", 500.0)]).unwrap();
+        let expected = 0.9 + 0.05 * 0.01f64.ln() - 0.04 * 500.0f64.ln();
+        assert!((model.predict(&point).unwrap() - expected).abs() < 1e-9);
+        assert!(model.in_zone(&point));
+        assert!(model.axis().is_none());
+        assert!(model.axis_fit("epsilon").is_none());
+        // Foreign points are typed errors.
+        let foreign =
+            geopriv_lppm::ConfigSpace::single(epsilon_axis()).point(&[("epsilon", 0.01)]).unwrap();
+        assert!(model.predict(&foreign).is_err());
+        assert!(!model.in_zone(&foreign));
+        // The display mentions the multivariate fit.
+        assert!(fitted.to_string().contains("multivariate"));
+    }
+
+    #[test]
+    fn one_at_a_time_sweeps_fit_per_axis_models() {
+        let space = geopriv_lppm::ConfigSpace::new(vec![
+            epsilon_axis(),
+            ParameterDescriptor::new("cell_size", 50.0, 5000.0, ParameterScale::Logarithmic)
+                .unwrap(),
+        ])
+        .unwrap();
+        let points = space.one_at_a_time(&[9, 9]).unwrap();
+        let response: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                0.9 + 0.05 * p.get("epsilon").unwrap().ln()
+                    - 0.04 * p.get("cell_size").unwrap().ln()
+            })
+            .collect();
+        let sweep = SweepResult::new(
+            "pipeline",
+            space.clone(),
+            SweepMode::OneAtATime,
+            points,
+            vec![MetricColumn {
+                id: privacy_id(),
+                direction: Direction::LowerIsBetter,
+                runs: vec![],
+                means: response,
+            }],
+        )
+        .unwrap();
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+        let model = fitted.model(&privacy_id()).unwrap();
+        let fits = match &model.response {
+            MetricResponse::PerAxis(fits) => fits,
+            other => panic!("expected per-axis fits, got {other:?}"),
+        };
+        assert_eq!(fits.len(), 2);
+        assert_eq!(fits[0].axis, "epsilon");
+        assert_eq!(fits[1].axis, "cell_size");
+        // Each leg recovers its own slope.
+        assert!((fits[0].model.slope() - 0.05).abs() < 1e-6, "{}", fits[0].model.slope());
+        assert!((fits[1].model.slope() + 0.04).abs() < 1e-6, "{}", fits[1].model.slope());
+        // The additive combination reproduces the generating plane at an
+        // off-star point (no interactions in the synthetic response).
+        let point = space.point(&[("epsilon", 0.05), ("cell_size", 200.0)]).unwrap();
+        let expected = 0.9 + 0.05 * 0.05f64.ln() - 0.04 * 200.0f64.ln();
+        assert!((model.predict(&point).unwrap() - expected).abs() < 1e-6);
+        assert!(model.axis_fit("cell_size").is_some());
     }
 }

@@ -13,15 +13,16 @@
 use crate::error::CoreError;
 use crate::experiment::SweepResult;
 use crate::objectives::Constraint;
+use geopriv_lppm::ConfigPoint;
 use geopriv_metrics::{Direction, MetricId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One point of a two-metric trade-off frontier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TradeOffPoint {
-    /// The parameter value (e.g. ε).
-    pub parameter: f64,
+    /// The measured configuration (one value per swept axis).
+    pub point: ConfigPoint,
     /// The measured value of the frontier's first (x) metric.
     pub x: f64,
     /// The measured value of the frontier's second (y) metric.
@@ -42,7 +43,10 @@ impl TradeOffPoint {
 
 impl fmt::Display for TradeOffPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parameter {:.5}: {:.3} vs {:.3}", self.parameter, self.x, self.y)
+        match self.point.single() {
+            Some(value) => write!(f, "parameter {:.5}: {:.3} vs {:.3}", value, self.x, self.y),
+            None => write!(f, "{}: {:.3} vs {:.3}", self.point, self.x, self.y),
+        }
     }
 }
 
@@ -104,11 +108,11 @@ impl ParetoFrontier {
         let x_column = column(x_id)?;
         let y_column = column(y_id)?;
         for column in [x_column, y_column] {
-            for (parameter, value) in sweep.parameters.iter().zip(&column.means) {
+            for (point, value) in sweep.points.iter().zip(&column.means) {
                 if !value.is_finite() {
                     return Err(CoreError::InvalidConfiguration {
                         reason: format!(
-                            "metric \"{}\" is non-finite ({value}) at parameter {parameter}; \
+                            "metric \"{}\" is non-finite ({value}) at {point}; \
                              a trade-off frontier needs finite metric values",
                             column.id
                         ),
@@ -119,17 +123,17 @@ impl ParetoFrontier {
 
         let (x_direction, y_direction) = (x_column.direction, y_column.direction);
         let candidates: Vec<TradeOffPoint> = sweep
-            .parameters
+            .points
             .iter()
             .zip(x_column.means.iter().zip(&y_column.means))
-            .map(|(&parameter, (&x, &y))| TradeOffPoint { parameter, x, y })
+            .map(|(point, (&x, &y))| TradeOffPoint { point: point.clone(), x, y })
             .collect();
         let mut frontier: Vec<TradeOffPoint> = candidates
             .iter()
             .filter(|candidate| {
                 !candidates.iter().any(|o| o.dominates(candidate, x_direction, y_direction))
             })
-            .copied()
+            .cloned()
             .collect();
         frontier.sort_by(|a, b| {
             // Finiteness was checked above, so the comparisons are total.
@@ -179,7 +183,7 @@ impl ParetoFrontier {
     /// best balanced compromise when the designer has no explicit objectives
     /// yet.
     pub fn knee(&self) -> Option<TradeOffPoint> {
-        self.points.iter().copied().max_by(|a, b| {
+        self.points.iter().cloned().max_by(|a, b| {
             let score =
                 |p: &TradeOffPoint| self.x_direction.goodness(p.x) + self.y_direction.goodness(p.y);
             score(a).partial_cmp(&score(b)).expect("metric values are finite")
@@ -199,7 +203,7 @@ impl ParetoFrontier {
                     .partial_cmp(&self.x_direction.goodness(b.x))
                     .expect("metric values are finite")
             })
-            .copied()
+            .cloned()
     }
 }
 
@@ -224,7 +228,7 @@ mod tests {
     use super::*;
     use crate::experiment::MetricColumn;
     use crate::objectives::at_least;
-    use geopriv_lppm::ParameterScale;
+    use geopriv_lppm::{ConfigSpace, ParameterDescriptor, ParameterScale};
 
     fn privacy_id() -> MetricId {
         MetricId::new("poi-retrieval")
@@ -234,13 +238,23 @@ mod tests {
         MetricId::new("area-coverage")
     }
 
+    fn epsilon_space() -> ConfigSpace {
+        ConfigSpace::single(
+            ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap(),
+        )
+    }
+
+    fn tradeoff(parameter: f64, x: f64, y: f64) -> TradeOffPoint {
+        TradeOffPoint { point: epsilon_space().point(&[("epsilon", parameter)]).unwrap(), x, y }
+    }
+
     fn sweep_from(points: &[(f64, f64, f64)]) -> SweepResult {
-        SweepResult {
-            lppm_name: "geo-indistinguishability".to_string(),
-            parameter_name: "epsilon".to_string(),
-            parameter_scale: ParameterScale::Logarithmic,
-            parameters: points.iter().map(|&(p, _, _)| p).collect(),
-            columns: vec![
+        let parameters: Vec<f64> = points.iter().map(|&(p, _, _)| p).collect();
+        SweepResult::from_axis(
+            "geo-indistinguishability",
+            ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap(),
+            &parameters,
+            vec![
                 MetricColumn {
                     id: privacy_id(),
                     direction: Direction::LowerIsBetter,
@@ -254,14 +268,15 @@ mod tests {
                     runs: vec![],
                 },
             ],
-        }
+        )
+        .unwrap()
     }
 
     #[test]
     fn domination_logic() {
-        let a = TradeOffPoint { parameter: 0.01, x: 0.1, y: 0.8 };
-        let b = TradeOffPoint { parameter: 0.02, x: 0.2, y: 0.7 };
-        let c = TradeOffPoint { parameter: 0.03, x: 0.1, y: 0.8 };
+        let a = tradeoff(0.01, 0.1, 0.8);
+        let b = tradeoff(0.02, 0.2, 0.7);
+        let c = tradeoff(0.03, 0.1, 0.8);
         let (lower, higher) = (Direction::LowerIsBetter, Direction::HigherIsBetter);
         assert!(a.dominates(&b, lower, higher));
         assert!(!b.dominates(&a, lower, higher));
@@ -296,7 +311,7 @@ mod tests {
         ]);
         let frontier = ParetoFrontier::from_sweep(&sweep).unwrap();
         assert_eq!(frontier.len(), 2);
-        assert!(frontier.points().iter().all(|p| p.parameter != 0.01));
+        assert!(frontier.points().iter().all(|p| p.point.single() != Some(0.01)));
     }
 
     #[test]
@@ -309,16 +324,16 @@ mod tests {
         ]);
         let frontier = ParetoFrontier::from_sweep(&sweep).unwrap();
         let knee = frontier.knee().unwrap();
-        assert_eq!(knee.parameter, 0.01);
+        assert_eq!(knee.point.single(), Some(0.01));
 
         let pick = frontier.best_x_where_y(at_least(0.9)).unwrap();
-        assert_eq!(pick.parameter, 0.1);
+        assert_eq!(pick.point.single(), Some(0.1));
         assert!(frontier.best_x_where_y(at_least(1.0)).is_some());
         // An upper bound on y is also expressible (only the lowest-utility
         // point qualifies, and it has the best privacy).
         assert_eq!(
-            frontier.best_x_where_y(crate::objectives::at_most(0.3)).unwrap().parameter,
-            0.001
+            frontier.best_x_where_y(crate::objectives::at_most(0.3)).unwrap().point.single(),
+            Some(0.001)
         );
         assert!(frontier.to_string().contains("Pareto frontier"));
     }

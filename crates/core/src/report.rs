@@ -2,19 +2,21 @@
 //!
 //! The bench binaries regenerate the paper's figures as plain-text tables and
 //! CSV series; these helpers render [`SweepResult`]s, [`FittedSuite`]s and
-//! [`Recommendation`]s in a stable, diff-friendly format, one column or line
-//! per suite metric.
+//! [`Recommendation`]s in a stable, diff-friendly format — one column per
+//! configuration axis, one column or line per suite metric. A one-axis sweep
+//! renders byte-identically to the historical single-scalar output.
 
 use crate::configurator::Recommendation;
 use crate::experiment::SweepResult;
-use crate::modeling::FittedSuite;
+use crate::modeling::{FittedSuite, MetricResponse};
 use std::fmt::Write as _;
 
-/// Renders a sweep as CSV: the parameter column, one mean column per metric
-/// (suite order), then one `_std` column per metric.
+/// Renders a sweep as CSV: one column per configuration axis (design-matrix
+/// order), one mean column per metric (suite order), then one `_std` column
+/// per metric.
 pub fn sweep_to_csv(sweep: &SweepResult) -> String {
     let mut out = String::new();
-    let mut header = sweep.parameter_name.clone();
+    let mut header = sweep.space.names().join(",");
     for column in &sweep.columns {
         let _ = write!(header, ",{}", column.id);
     }
@@ -22,71 +24,131 @@ pub fn sweep_to_csv(sweep: &SweepResult) -> String {
         let _ = write!(header, ",{}_std", column.id);
     }
     let _ = writeln!(out, "{header}");
-    for (point, parameter) in sweep.parameters.iter().enumerate() {
-        let _ = write!(out, "{parameter:.6e}");
-        for column in &sweep.columns {
-            let _ = write!(out, ",{:.4}", column.means[point]);
+    for (index, point) in sweep.points.iter().enumerate() {
+        for (i, (_, value)) in point.values().iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ",");
+            }
+            let _ = write!(out, "{value:.6e}");
         }
         for column in &sweep.columns {
-            let _ = write!(out, ",{:.4}", column.std(point));
+            let _ = write!(out, ",{:.4}", column.means[index]);
+        }
+        for column in &sweep.columns {
+            let _ = write!(out, ",{:.4}", column.std(index));
         }
         let _ = writeln!(out);
     }
     out
 }
 
-/// Renders a sweep as an aligned plain-text table (one row per sweep point,
-/// one column per metric).
+/// Renders a sweep as an aligned plain-text table (one row per design point,
+/// one column per axis and per metric).
 pub fn sweep_to_table(sweep: &SweepResult) -> String {
     let mut out = String::new();
     let width = |id: &geopriv_metrics::MetricId| id.as_str().len().max(10);
-    let _ = write!(out, "{:>12}", sweep.parameter_name);
+    for (i, name) in sweep.space.names().iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, "  ");
+        }
+        let _ = write!(out, "{name:>12}");
+    }
     for column in &sweep.columns {
         let _ = write!(out, "  {:>w$}", column.id.as_str(), w = width(&column.id));
     }
     let _ = writeln!(out);
-    for (point, parameter) in sweep.parameters.iter().enumerate() {
-        let _ = write!(out, "{parameter:>12.6}");
+    for (index, point) in sweep.points.iter().enumerate() {
+        for (i, (_, value)) in point.values().iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, "  ");
+            }
+            let _ = write!(out, "{value:>12.6}");
+        }
         for column in &sweep.columns {
-            let _ = write!(out, "  {:>w$.4}", column.means[point], w = width(&column.id));
+            let _ = write!(out, "  {:>w$.4}", column.means[index], w = width(&column.id));
         }
         let _ = writeln!(out);
     }
     out
 }
 
-/// Renders the fitted Equation-2-style models, one line per metric.
+/// Renders the fitted Equation-2-style models, one line per metric (one
+/// line per axis for one-at-a-time fits).
 pub fn suite_report(fitted: &FittedSuite) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fitted suite ({}):", fitted.parameter_name);
+    let _ = writeln!(out, "Fitted suite ({}):", fitted.axis_label());
     for model in &fitted.models {
-        let _ = writeln!(
-            out,
-            "  {:<20} = {:+.4} {:+.4}·ln({})   R² = {:.3}   active zone [{:.5}, {:.5}]",
-            model.id.as_str(),
-            model.model.intercept(),
-            model.model.slope(),
-            fitted.parameter_name,
-            model.model.r_squared(),
-            model.active_zone.0,
-            model.active_zone.1
-        );
+        match &model.response {
+            MetricResponse::Axis(fit) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} = {:+.4} {:+.4}·ln({})   R² = {:.3}   active zone [{:.5}, {:.5}]",
+                    model.id.as_str(),
+                    fit.model.intercept(),
+                    fit.model.slope(),
+                    fit.axis,
+                    fit.model.r_squared(),
+                    fit.active_zone.0,
+                    fit.active_zone.1
+                );
+            }
+            MetricResponse::PerAxis(fits) => {
+                let _ = writeln!(out, "  {:<20} (one axis at a time)", model.id.as_str());
+                for fit in fits.iter() {
+                    let _ = writeln!(
+                        out,
+                        "    {:<18} = {:+.4} {:+.4}·ln({})   R² = {:.3}   active zone \
+                         [{:.5}, {:.5}]",
+                        fit.axis,
+                        fit.model.intercept(),
+                        fit.model.slope(),
+                        fit.axis,
+                        fit.model.r_squared(),
+                        fit.active_zone.0,
+                        fit.active_zone.1
+                    );
+                }
+            }
+            MetricResponse::Surface(surface) => {
+                let mut terms = format!("{:+.4}", surface.regression.intercept());
+                for (axis, coefficient) in
+                    surface.axes.iter().zip(&surface.regression.coefficients()[1..])
+                {
+                    let scaled = match surface.scales
+                        [surface.axes.iter().position(|a| a == axis).expect("aligned")]
+                    {
+                        geopriv_lppm::ParameterScale::Logarithmic => format!("ln({axis})"),
+                        geopriv_lppm::ParameterScale::Linear => axis.clone(),
+                    };
+                    let _ = write!(terms, " {coefficient:+.4}·{scaled}");
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<20} = {}   R² = {:.3}",
+                    model.id.as_str(),
+                    terms,
+                    surface.r_squared()
+                );
+            }
+        }
     }
     out
 }
 
-/// Renders a configuration recommendation, one prediction line per metric.
+/// Renders a configuration recommendation: one line per configuration axis,
+/// then one prediction line per metric.
 pub fn recommendation_report(recommendation: &Recommendation) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Recommended configuration:");
-    let _ = writeln!(
-        out,
-        "  {} = {:.5}  (feasible range [{:.5}, {:.5}])",
-        recommendation.parameter_name,
-        recommendation.parameter,
-        recommendation.feasible_range.0,
-        recommendation.feasible_range.1
-    );
+    for ((name, value), (_, range)) in
+        recommendation.point.values().iter().zip(&recommendation.feasible)
+    {
+        let _ = writeln!(
+            out,
+            "  {} = {:.5}  (feasible range [{:.5}, {:.5}])",
+            name, value, range.0, range.1
+        );
+    }
     for (id, value) in &recommendation.predictions {
         let _ = writeln!(out, "  predicted {id} = {value:.3}");
     }
@@ -96,10 +158,10 @@ pub fn recommendation_report(recommendation: &Recommendation) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::MetricColumn;
+    use crate::experiment::{MetricColumn, SweepMode};
     use crate::modeling::Modeler;
-    use crate::objectives::Objectives;
-    use geopriv_lppm::ParameterScale;
+    use crate::objectives::{at_least, at_most, Objectives};
+    use geopriv_lppm::{ConfigSpace, ParameterDescriptor, ParameterScale};
     use geopriv_metrics::{Direction, MetricId};
 
     fn sweep() -> SweepResult {
@@ -109,12 +171,11 @@ mod tests {
             parameters.iter().map(|e| (0.84 + 0.17 * e.ln()).clamp(0.0, 0.45)).collect();
         let utility: Vec<f64> =
             parameters.iter().map(|e| (1.21 + 0.09 * e.ln()).clamp(0.2, 1.0)).collect();
-        SweepResult {
-            lppm_name: "geo-indistinguishability".to_string(),
-            parameter_name: "epsilon".to_string(),
-            parameter_scale: ParameterScale::Logarithmic,
-            parameters,
-            columns: vec![
+        SweepResult::from_axis(
+            "geo-indistinguishability",
+            ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap(),
+            &parameters,
+            vec![
                 MetricColumn {
                     id: MetricId::new("poi-retrieval"),
                     direction: Direction::LowerIsBetter,
@@ -128,7 +189,38 @@ mod tests {
                     means: utility,
                 },
             ],
-        }
+        )
+        .unwrap()
+    }
+
+    fn grid_sweep() -> SweepResult {
+        let space = ConfigSpace::new(vec![
+            ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap(),
+            ParameterDescriptor::new("cell_size", 50.0, 5000.0, ParameterScale::Logarithmic)
+                .unwrap(),
+        ])
+        .unwrap();
+        let points = space.grid(&[5, 5]).unwrap();
+        let response: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                0.9 + 0.05 * p.get("epsilon").unwrap().ln()
+                    - 0.04 * p.get("cell_size").unwrap().ln()
+            })
+            .collect();
+        SweepResult::new(
+            "pipeline[geo-indistinguishability, grid-cloaking]",
+            space,
+            SweepMode::Grid,
+            points,
+            vec![MetricColumn {
+                id: MetricId::new("poi-retrieval"),
+                direction: Direction::LowerIsBetter,
+                runs: vec![],
+                means: response,
+            }],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -142,12 +234,24 @@ mod tests {
     }
 
     #[test]
+    fn multi_axis_csv_has_one_column_per_axis() {
+        let csv = sweep_to_csv(&grid_sweep());
+        assert!(csv.starts_with("epsilon,cell_size,poi-retrieval"));
+        assert_eq!(csv.lines().count(), 26);
+        assert_eq!(csv.lines().nth(1).unwrap().split(',').count(), 4);
+    }
+
+    #[test]
     fn table_is_aligned_and_complete() {
         let s = sweep();
         let table = sweep_to_table(&s);
         assert_eq!(table.lines().count(), 31);
         assert!(table.contains("poi-retrieval"));
         assert!(table.contains("area-coverage"));
+
+        let grid_table = sweep_to_table(&grid_sweep());
+        assert_eq!(grid_table.lines().count(), 26);
+        assert!(grid_table.contains("cell_size"));
     }
 
     #[test]
@@ -159,12 +263,33 @@ mod tests {
         assert!(report.contains("area-coverage"));
         assert!(report.contains("R²"));
 
-        let configurator =
-            crate::configurator::Configurator::new(fitted, ParameterScale::Logarithmic);
+        let configurator = crate::configurator::Configurator::new(fitted);
         let recommendation = configurator.recommend(&Objectives::paper_example()).unwrap();
         let report = recommendation_report(&recommendation);
         assert!(report.contains("epsilon"));
         assert!(report.contains("predicted poi-retrieval"));
         assert!(report.contains("predicted area-coverage"));
+    }
+
+    #[test]
+    fn surface_reports_render_every_axis() {
+        let fitted = Modeler::new().fit(&grid_sweep()).unwrap();
+        let report = suite_report(&fitted);
+        assert!(report.starts_with("Fitted suite (epsilon × cell_size):"));
+        assert!(report.contains("ln(epsilon)"));
+        assert!(report.contains("ln(cell_size)"));
+
+        let recommendation = crate::configurator::Configurator::new(fitted)
+            .recommend(
+                &Objectives::new()
+                    .require("poi-retrieval", at_most(0.4))
+                    .unwrap()
+                    .require("poi-retrieval", at_least(0.0))
+                    .unwrap(),
+            )
+            .unwrap();
+        let report = recommendation_report(&recommendation);
+        assert!(report.contains("epsilon ="));
+        assert!(report.contains("cell_size ="));
     }
 }

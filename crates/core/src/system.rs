@@ -8,38 +8,87 @@
 //! [`SystemDefinition`] bundles those ingredients: a [`MetricSuite`] — an
 //! ordered set of named, direction-tagged metrics generalizing the paper's
 //! fixed privacy/utility pair — and an [`LppmFactory`] describing the
-//! mechanism and its swept parameter. Dataset properties are handled
-//! separately by [`crate::property_selection`] since the paper's GEO-I
-//! illustration uses none ("no dataset properties is considered").
+//! mechanism and its [`ConfigSpace`] of swept parameters (note the paper's
+//! plural: "the LPPM configuration parameters p_i"). Dataset properties are
+//! handled separately by [`crate::property_selection`] since the paper's
+//! GEO-I illustration uses none ("no dataset properties is considered").
 
 use crate::error::CoreError;
 use geopriv_geo::Meters;
 use geopriv_lppm::{
-    Epsilon, GaussianPerturbation, GeoIndistinguishability, GridCloaking, Lppm,
-    ParameterDescriptor, ParameterScale,
+    qualify_stage_parameters, ConfigPoint, ConfigSpace, Epsilon, GaussianPerturbation,
+    GeoIndistinguishability, GridCloaking, Lppm, ParameterDescriptor, ParameterScale, Pipeline,
 };
 use geopriv_metrics::{AreaCoverage, MetricSuite, PoiRetrieval, PrivacyMetric, UtilityMetric};
 
-/// A factory able to instantiate an LPPM for any value of its swept
-/// configuration parameter.
+/// A factory able to instantiate an LPPM at any point of its configuration
+/// space.
 ///
-/// The framework sweeps a single scalar parameter per study, exactly like the
-/// paper's treatment of GEO-I's ε; multi-parameter mechanisms are studied one
-/// parameter at a time (the others held at fixed values inside the factory).
+/// The framework sweeps the whole [`ConfigSpace`] — one axis for the paper's
+/// GEO-I ε, several for multi-parameter mechanisms or composed pipelines
+/// (grid or one-at-a-time, see [`crate::experiment::SweepPlan`]).
+///
+/// Single-parameter factories keep the historical scalar API for free:
+/// [`LppmFactory::parameter`] and the scalar [`LppmFactory::instantiate`]
+/// are provided shims over the one-axis space.
 pub trait LppmFactory: Send + Sync {
     /// Name of the mechanism family (e.g. `"geo-indistinguishability"`).
     fn name(&self) -> &str;
 
-    /// The swept parameter: name, range and scale.
-    fn parameter(&self) -> ParameterDescriptor;
+    /// The full configuration space: every swept parameter with its range,
+    /// scale and default.
+    fn space(&self) -> ConfigSpace;
 
-    /// Instantiates the mechanism for a concrete parameter value.
+    /// Instantiates the mechanism at a concrete configuration point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for points that do not
+    /// belong to the factory's space.
+    fn instantiate_at(&self, point: &ConfigPoint) -> Result<Box<dyn Lppm>, CoreError>;
+
+    /// The swept parameter of a single-axis factory (legacy 1-D accessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the factory exposes more than one axis — use
+    /// [`LppmFactory::space`] there.
+    fn parameter(&self) -> ParameterDescriptor {
+        let space = self.space();
+        space
+            .single_axis()
+            .unwrap_or_else(|| {
+                panic!(
+                    "factory \"{}\" sweeps {} axes; use space() instead of parameter()",
+                    self.name(),
+                    space.len()
+                )
+            })
+            .clone()
+    }
+
+    /// Instantiates a single-axis factory's mechanism for a scalar parameter
+    /// value (legacy 1-D shim over [`LppmFactory::instantiate_at`]).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfiguration`] for values outside the
-    /// parameter's valid range.
-    fn instantiate(&self, value: f64) -> Result<Box<dyn Lppm>, CoreError>;
+    /// parameter's valid range, or when the factory exposes more than one
+    /// axis.
+    fn instantiate(&self, value: f64) -> Result<Box<dyn Lppm>, CoreError> {
+        let space = self.space();
+        if space.single_axis().is_none() {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!(
+                    "factory \"{}\" sweeps {} axes; instantiate it at a ConfigPoint",
+                    self.name(),
+                    space.len()
+                ),
+            });
+        }
+        let point = space.point_from_coords(&[value]).map_err(CoreError::from)?;
+        self.instantiate_at(&point)
+    }
 }
 
 /// Factory for [`GeoIndistinguishability`] swept over ε.
@@ -82,24 +131,49 @@ impl LppmFactory for GeoIndistinguishabilityFactory {
         "geo-indistinguishability"
     }
 
-    fn parameter(&self) -> ParameterDescriptor {
-        self.descriptor.clone()
+    fn space(&self) -> ConfigSpace {
+        ConfigSpace::single(self.descriptor.clone())
     }
 
-    fn instantiate(&self, value: f64) -> Result<Box<dyn Lppm>, CoreError> {
-        let epsilon = Epsilon::new(value).map_err(CoreError::from)?;
+    fn instantiate_at(&self, point: &ConfigPoint) -> Result<Box<dyn Lppm>, CoreError> {
+        self.space().check(point).map_err(CoreError::from)?;
+        let epsilon = Epsilon::new(point.coords()[0]).map_err(CoreError::from)?;
         Ok(Box::new(GeoIndistinguishability::new(epsilon)))
     }
 }
 
 /// Factory for [`GridCloaking`] swept over the cell size (meters).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct GridCloakingFactory;
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCloakingFactory {
+    descriptor: ParameterDescriptor,
+}
+
+impl Default for GridCloakingFactory {
+    fn default() -> Self {
+        Self { descriptor: GridCloaking::cell_size_descriptor() }
+    }
+}
 
 impl GridCloakingFactory {
     /// Creates the factory with the default cell-size range (50 m – 5 km).
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Creates the factory with a custom cell-size range (meters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for an invalid range.
+    pub fn with_range(min_cell_m: f64, max_cell_m: f64) -> Result<Self, CoreError> {
+        let descriptor = ParameterDescriptor::new(
+            "cell_size",
+            min_cell_m,
+            max_cell_m,
+            ParameterScale::Logarithmic,
+        )
+        .map_err(|e| CoreError::InvalidConfiguration { reason: e.to_string() })?;
+        Ok(Self { descriptor })
     }
 }
 
@@ -108,23 +182,48 @@ impl LppmFactory for GridCloakingFactory {
         "grid-cloaking"
     }
 
-    fn parameter(&self) -> ParameterDescriptor {
-        GridCloaking::cell_size_descriptor()
+    fn space(&self) -> ConfigSpace {
+        ConfigSpace::single(self.descriptor.clone())
     }
 
-    fn instantiate(&self, value: f64) -> Result<Box<dyn Lppm>, CoreError> {
-        Ok(Box::new(GridCloaking::new(Meters::new(value)).map_err(CoreError::from)?))
+    fn instantiate_at(&self, point: &ConfigPoint) -> Result<Box<dyn Lppm>, CoreError> {
+        self.space().check(point).map_err(CoreError::from)?;
+        Ok(Box::new(GridCloaking::new(Meters::new(point.coords()[0])).map_err(CoreError::from)?))
     }
 }
 
 /// Factory for [`GaussianPerturbation`] swept over σ (meters).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct GaussianPerturbationFactory;
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianPerturbationFactory {
+    descriptor: ParameterDescriptor,
+}
+
+impl Default for GaussianPerturbationFactory {
+    fn default() -> Self {
+        Self { descriptor: GaussianPerturbation::sigma_descriptor() }
+    }
+}
 
 impl GaussianPerturbationFactory {
     /// Creates the factory with the default σ range (1 m – 10 km).
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Creates the factory with a custom σ range (meters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for an invalid range.
+    pub fn with_range(min_sigma_m: f64, max_sigma_m: f64) -> Result<Self, CoreError> {
+        let descriptor = ParameterDescriptor::new(
+            "sigma",
+            min_sigma_m,
+            max_sigma_m,
+            ParameterScale::Logarithmic,
+        )
+        .map_err(|e| CoreError::InvalidConfiguration { reason: e.to_string() })?;
+        Ok(Self { descriptor })
     }
 }
 
@@ -133,17 +232,140 @@ impl LppmFactory for GaussianPerturbationFactory {
         "gaussian-perturbation"
     }
 
-    fn parameter(&self) -> ParameterDescriptor {
-        GaussianPerturbation::sigma_descriptor()
+    fn space(&self) -> ConfigSpace {
+        ConfigSpace::single(self.descriptor.clone())
     }
 
-    fn instantiate(&self, value: f64) -> Result<Box<dyn Lppm>, CoreError> {
-        Ok(Box::new(GaussianPerturbation::new(Meters::new(value)).map_err(CoreError::from)?))
+    fn instantiate_at(&self, point: &ConfigPoint) -> Result<Box<dyn Lppm>, CoreError> {
+        self.space().check(point).map_err(CoreError::from)?;
+        Ok(Box::new(
+            GaussianPerturbation::new(Meters::new(point.coords()[0])).map_err(CoreError::from)?,
+        ))
     }
 }
 
-/// The system under study: the LPPM (with its swept parameter) and the suite
-/// of evaluation metrics.
+/// Factory for a composed [`Pipeline`]: stage factories applied in order,
+/// with one configuration axis per stage parameter — the first-class entry
+/// point to multi-axis studies (e.g. GEO-I ε × cloaking cell size).
+///
+/// The combined space concatenates the stage spaces with the same
+/// qualification contract as [`Pipeline::parameters`]: a name exposed by
+/// more than one stage is prefixed with its 1-based stage position
+/// (`"1.epsilon"`, `"3.epsilon"`), so every axis maps back to exactly one
+/// stage parameter.
+///
+/// # Examples
+///
+/// ```
+/// use geopriv_core::{GeoIndistinguishabilityFactory, GridCloakingFactory, LppmFactory,
+///     PipelineFactory};
+///
+/// # fn main() -> Result<(), geopriv_core::CoreError> {
+/// let factory = PipelineFactory::new()
+///     .then(GeoIndistinguishabilityFactory::new())
+///     .then(GridCloakingFactory::new());
+/// let space = factory.space();
+/// assert_eq!(space.names(), vec!["epsilon", "cell_size"]);
+/// let lppm = factory.instantiate_at(&space.point(&[("epsilon", 0.01), ("cell_size", 500.0)])?)?;
+/// assert_eq!(lppm.name(), "pipeline[geo-indistinguishability, grid-cloaking]");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct PipelineFactory {
+    stages: Vec<Box<dyn LppmFactory>>,
+    name: String,
+    /// Per-stage axis lists after cross-stage qualification, rebuilt once
+    /// per composition step so the sweep hot path (one `instantiate_at` per
+    /// design point) never re-derives them.
+    qualified: Vec<Vec<ParameterDescriptor>>,
+}
+
+impl PipelineFactory {
+    /// Creates an empty pipeline factory; add stages with
+    /// [`PipelineFactory::then`].
+    pub fn new() -> Self {
+        Self { stages: Vec::new(), name: "pipeline[]".to_string(), qualified: Vec::new() }
+    }
+
+    /// Appends a stage factory.
+    #[must_use]
+    pub fn then<F: LppmFactory + 'static>(self, factory: F) -> Self {
+        self.then_boxed(Box::new(factory))
+    }
+
+    /// Appends an already-boxed stage factory.
+    #[must_use]
+    pub fn then_boxed(mut self, factory: Box<dyn LppmFactory>) -> Self {
+        self.stages.push(factory);
+        let names: Vec<&str> = self.stages.iter().map(|s| s.name()).collect();
+        self.name = format!("pipeline[{}]", names.join(", "));
+        let per_stage: Vec<Vec<ParameterDescriptor>> =
+            self.stages.iter().map(|s| s.space().axes().to_vec()).collect();
+        self.qualified = qualify_stage_parameters(&per_stage);
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Returns `true` if the factory has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl LppmFactory for PipelineFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the factory has no stages (an empty pipeline has no
+    /// configuration space); compose at least one stage first.
+    fn space(&self) -> ConfigSpace {
+        ConfigSpace::new(self.qualified.iter().flatten().cloned().collect())
+            .expect("stage factories expose at least one uniquely qualified axis")
+    }
+
+    fn instantiate_at(&self, point: &ConfigPoint) -> Result<Box<dyn Lppm>, CoreError> {
+        if self.stages.is_empty() {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "a pipeline factory needs at least one stage".to_string(),
+            });
+        }
+        self.space().check(point).map_err(CoreError::from)?;
+        // The point's coordinates are in space order, which is per-stage
+        // concatenation order: hand each stage its own slice, translated back
+        // to the stage's unqualified axis names.
+        let coords = point.coords();
+        let mut pipeline = Pipeline::new();
+        let mut offset = 0;
+        for (stage, qualified) in self.stages.iter().zip(&self.qualified) {
+            let stage_space = stage.space();
+            let stage_point =
+                stage_space.point_from_coords(&coords[offset..offset + qualified.len()])?;
+            offset += qualified.len();
+            pipeline = pipeline.then_boxed(stage.instantiate_at(&stage_point)?);
+        }
+        Ok(Box::new(pipeline))
+    }
+}
+
+impl std::fmt::Debug for PipelineFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineFactory")
+            .field("stages", &self.name)
+            .field("len", &self.stages.len())
+            .finish()
+    }
+}
+
+/// The system under study: the LPPM (with its configuration space) and the
+/// suite of evaluation metrics.
 pub struct SystemDefinition {
     factory: Box<dyn LppmFactory>,
     suite: MetricSuite,
@@ -193,14 +415,25 @@ impl SystemDefinition {
         &self.suite
     }
 
-    /// The swept parameter descriptor (shortcut for `factory().parameter()`).
+    /// The full configuration space (shortcut for `factory().space()`).
+    pub fn space(&self) -> ConfigSpace {
+        self.factory.space()
+    }
+
+    /// The swept parameter descriptor of a single-axis system (shortcut for
+    /// `factory().parameter()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the system sweeps more than one axis — use
+    /// [`SystemDefinition::space`] there.
     pub fn parameter(&self) -> ParameterDescriptor {
         self.factory.parameter()
     }
 
     /// A stable key identifying this system's full configuration: mechanism
-    /// family, swept-parameter range/scale and every metric configuration, in
-    /// suite order.
+    /// family, the configuration space (every axis's range/scale) and every
+    /// metric configuration, in suite order.
     ///
     /// The campaign engine uses it to label runs and to recognize systems
     /// whose metrics can share prepared actual-side state.
@@ -209,7 +442,7 @@ impl SystemDefinition {
         format!(
             "{}[{}]|{}",
             self.factory.name(),
-            self.factory.parameter().cache_token(),
+            self.factory.space().cache_token(),
             metric_keys.join("|")
         )
     }
@@ -219,7 +452,7 @@ impl std::fmt::Debug for SystemDefinition {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SystemDefinition")
             .field("lppm", &self.factory.name())
-            .field("parameter", &self.factory.parameter().name())
+            .field("parameters", &self.factory.space().names())
             .field("metrics", &self.suite)
             .finish()
     }
@@ -272,10 +505,91 @@ mod tests {
     }
 
     #[test]
+    fn every_factory_gains_a_custom_range_constructor() {
+        // The API-consistency satellite: with_range exists on all three
+        // single-axis factories, with identical validation behavior.
+        let cloaking = GridCloakingFactory::with_range(100.0, 1000.0).unwrap();
+        assert_eq!((cloaking.parameter().min(), cloaking.parameter().max()), (100.0, 1000.0));
+        assert_eq!(cloaking.parameter().scale(), ParameterScale::Logarithmic);
+        // The scalar shim now enforces the configured range uniformly.
+        assert!(cloaking.instantiate(500.0).is_ok());
+        assert!(cloaking.instantiate(50.0).is_err());
+        assert!(GridCloakingFactory::with_range(1000.0, 100.0).is_err());
+        assert!(GridCloakingFactory::with_range(0.0, 100.0).is_err());
+
+        let gaussian = GaussianPerturbationFactory::with_range(10.0, 200.0).unwrap();
+        assert_eq!((gaussian.parameter().min(), gaussian.parameter().max()), (10.0, 200.0));
+        assert!(gaussian.instantiate(100.0).is_ok());
+        assert!(gaussian.instantiate(1000.0).is_err());
+        assert!(GaussianPerturbationFactory::with_range(200.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn pipeline_factory_composes_spaces_and_mechanisms() {
+        let factory = PipelineFactory::new()
+            .then(GeoIndistinguishabilityFactory::new())
+            .then(GridCloakingFactory::with_range(100.0, 2000.0).unwrap());
+        assert_eq!(factory.len(), 2);
+        assert!(!factory.is_empty());
+        assert_eq!(factory.name(), "pipeline[geo-indistinguishability, grid-cloaking]");
+        assert!(format!("{factory:?}").contains("PipelineFactory"));
+
+        let space = factory.space();
+        assert_eq!(space.names(), vec!["epsilon", "cell_size"]);
+        assert_eq!(space.axis("cell_size").unwrap().max(), 2000.0);
+
+        let point = space.point(&[("epsilon", 0.01), ("cell_size", 500.0)]).unwrap();
+        let lppm = factory.instantiate_at(&point).unwrap();
+        assert_eq!(lppm.name(), "pipeline[geo-indistinguishability, grid-cloaking]");
+
+        // Out-of-space points and foreign points are rejected.
+        let foreign = ConfigSpace::single(GeoIndistinguishability::epsilon_descriptor())
+            .point(&[("epsilon", 0.01)])
+            .unwrap();
+        assert!(factory.instantiate_at(&foreign).is_err());
+        // Multi-axis factories reject the scalar shim with a typed error.
+        assert!(matches!(factory.instantiate(0.01), Err(CoreError::InvalidConfiguration { .. })));
+        assert!(PipelineFactory::new().instantiate_at(&foreign).is_err());
+    }
+
+    #[test]
+    fn pipeline_factory_qualifies_colliding_stage_axes() {
+        let factory = PipelineFactory::new()
+            .then(GeoIndistinguishabilityFactory::new())
+            .then(GeoIndistinguishabilityFactory::with_range(1e-3, 0.1).unwrap());
+        let space = factory.space();
+        assert_eq!(space.names(), vec!["1.epsilon", "2.epsilon"]);
+        // Each qualified axis keeps its own stage's range.
+        assert_eq!(space.axis("2.epsilon").unwrap().min(), 1e-3);
+
+        // Instantiation routes each qualified value to its stage.
+        let point = space.point(&[("1.epsilon", 0.5), ("2.epsilon", 0.002)]).unwrap();
+        let lppm = factory.instantiate_at(&point).unwrap();
+        assert_eq!(lppm.parameters().len(), 2);
+        // A value valid for stage 1 but not stage 2 fails validation.
+        assert!(space.point(&[("1.epsilon", 0.5), ("2.epsilon", 0.5)]).is_err());
+    }
+
+    #[test]
+    fn pipeline_factory_protects_data_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dataset =
+            TaxiFleetBuilder::new().drivers(1).duration_hours(1.0).build(&mut rng).unwrap();
+        let factory = PipelineFactory::new()
+            .then(GeoIndistinguishabilityFactory::new())
+            .then(GridCloakingFactory::new());
+        let space = factory.space();
+        let lppm = factory.instantiate_at(&space.default_point()).unwrap();
+        let protected = lppm.protect_dataset(&dataset, &mut rng).unwrap();
+        assert_eq!(protected.record_count(), dataset.record_count());
+    }
+
+    #[test]
     fn paper_system_definition_wires_the_right_components() {
         let system = SystemDefinition::paper_geoi();
         assert_eq!(system.factory().name(), "geo-indistinguishability");
         assert_eq!(system.parameter().name(), "epsilon");
+        assert_eq!(system.space().names(), vec!["epsilon"]);
         assert_eq!(
             system.suite().ids(),
             vec![MetricId::new("poi-retrieval"), MetricId::new("area-coverage")]
@@ -350,6 +664,21 @@ mod tests {
         )
         .unwrap();
         assert_ne!(paper.cache_key(), narrow.cache_key());
+
+        // A composed system's key covers every axis of its space.
+        let composed = SystemDefinition::with_pair(
+            Box::new(
+                PipelineFactory::new()
+                    .then(GeoIndistinguishabilityFactory::new())
+                    .then(GridCloakingFactory::new()),
+            ),
+            Box::new(PoiRetrieval::default()),
+            Box::new(AreaCoverage::default()),
+        )
+        .unwrap();
+        assert!(composed.cache_key().contains("epsilon"));
+        assert!(composed.cache_key().contains("cell_size"));
+        assert_ne!(composed.cache_key(), paper.cache_key());
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! reports the per-metric prediction errors on the validation sweep.
 
 use crate::error::CoreError;
-use crate::experiment::{ExperimentRunner, SweepConfig};
-use crate::modeling::{FittedSuite, Modeler};
+use crate::experiment::{ExperimentRunner, SweepConfig, SweepPlan, SweepResult};
+use crate::modeling::{FittedSuite, MetricModel, Modeler};
 use crate::system::SystemDefinition;
 use geopriv_metrics::MetricId;
 use geopriv_mobility::Dataset;
@@ -73,16 +73,22 @@ impl fmt::Display for ValidationReport {
 }
 
 /// Splits a dataset, fits on one half, and validates on the other.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HoldOutValidator {
-    config: SweepConfig,
+    plan: SweepPlan,
 }
 
 impl HoldOutValidator {
-    /// Creates a validator using the given sweep configuration for both the
-    /// training and the validation sweeps.
+    /// Creates a validator using the given sweep configuration (grid mode)
+    /// for both the training and the validation sweeps.
     pub fn new(config: SweepConfig) -> Self {
-        Self { config }
+        Self { plan: SweepPlan::grid(config) }
+    }
+
+    /// Creates a validator with an explicit sweep plan (mode and per-axis
+    /// point counts).
+    pub fn with_plan(plan: SweepPlan) -> Self {
+        Self { plan }
     }
 
     /// Splits `dataset` by alternating traces (even-indexed traces train,
@@ -116,7 +122,7 @@ impl HoldOutValidator {
         let training = Dataset::new(training)?;
         let validation = Dataset::new(validation)?;
 
-        let runner = ExperimentRunner::new(self.config);
+        let runner = ExperimentRunner::with_plan(self.plan.clone());
         let training_sweep = runner.run(system, &training)?;
         let fitted = Modeler::new().fit(&training_sweep)?;
         let validation_sweep = runner.run(system, &validation)?;
@@ -128,12 +134,7 @@ impl HoldOutValidator {
                 let measured = validation_sweep
                     .values(&model.id)
                     .expect("validation sweep covers the same suite");
-                let error = Self::prediction_error(
-                    &validation_sweep.parameters,
-                    measured,
-                    |x| model.model.predict(x),
-                    model.active_zone,
-                );
+                let error = Self::prediction_error(model, &validation_sweep, measured);
                 (model.id.clone(), error)
             })
             .collect();
@@ -146,19 +147,26 @@ impl HoldOutValidator {
         })
     }
 
-    fn prediction_error<F: Fn(f64) -> f64>(
-        parameters: &[f64],
+    fn prediction_error(
+        model: &MetricModel,
+        validation: &SweepResult,
         measured: &[f64],
-        predict: F,
-        zone: (f64, f64),
     ) -> PredictionError {
-        // The model only claims validity inside its non-saturated zone, so the
-        // comparison is restricted to it (mirroring the paper's Equation 2).
-        let errors: Vec<f64> = parameters
+        // The model only claims validity where it was fitted — inside the
+        // non-saturated zone of each 1-D fit, inside the swept domain of a
+        // surface (mirroring the paper's Equation 2).
+        let errors: Vec<f64> = validation
+            .points
             .iter()
             .zip(measured)
-            .filter(|(p, _)| **p >= zone.0 && **p <= zone.1)
-            .map(|(p, m)| (predict(*p).clamp(0.0, 1.0) - m).abs())
+            .filter(|(point, _)| model.in_zone(point))
+            .map(|(point, m)| {
+                let predicted = model
+                    .predict(point)
+                    .expect("validation points share the fitted space")
+                    .clamp(0.0, 1.0);
+                (predicted - m).abs()
+            })
             .collect();
         if errors.is_empty() {
             return PredictionError {

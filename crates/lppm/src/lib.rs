@@ -14,7 +14,10 @@
 //!   targets, used as baselines and ablations;
 //! * [`Pipeline`] — sequential composition of mechanisms;
 //! * [`Epsilon`], [`ParameterDescriptor`] — typed configuration parameters and
-//!   the sweep metadata the framework consumes.
+//!   the sweep metadata the framework consumes;
+//! * [`ConfigSpace`], [`ConfigPoint`] — multi-dimensional configuration
+//!   spaces (ordered, uniquely named axes) and validated points inside them,
+//!   the unit the framework sweeps and recommends.
 //!
 //! ## Example
 //!
@@ -47,6 +50,7 @@ pub mod params;
 pub mod pipeline;
 pub mod promesse;
 pub mod rounding;
+pub mod space;
 pub mod temporal;
 pub mod traits;
 
@@ -56,9 +60,10 @@ pub use gaussian::GaussianPerturbation;
 pub use geo_ind::{GeoIndistinguishability, PAPER_EPSILON_RANGE};
 pub use laplace::PlanarLaplace;
 pub use params::{Epsilon, ParameterDescriptor, ParameterScale};
-pub use pipeline::Pipeline;
+pub use pipeline::{qualify_stage_parameters, Pipeline};
 pub use promesse::SpeedSmoothing;
 pub use rounding::CoordinateRounding;
+pub use space::{ConfigPoint, ConfigSpace};
 pub use temporal::{ReleaseSampling, TemporalDownsampling};
 pub use traits::{Identity, Lppm};
 
@@ -72,6 +77,7 @@ pub mod prelude {
     pub use crate::pipeline::Pipeline;
     pub use crate::promesse::SpeedSmoothing;
     pub use crate::rounding::CoordinateRounding;
+    pub use crate::space::{ConfigPoint, ConfigSpace};
     pub use crate::temporal::{ReleaseSampling, TemporalDownsampling};
     pub use crate::traits::{Identity, Lppm};
 }

@@ -92,6 +92,24 @@ pub enum ParameterScale {
     Logarithmic,
 }
 
+impl ParameterScale {
+    /// The lowercase prose token of the scale (`"linear"` / `"log"`), shared
+    /// by [`ParameterDescriptor`]'s `Display` and
+    /// [`ParameterDescriptor::cache_token`] so the two never disagree.
+    pub const fn token(self) -> &'static str {
+        match self {
+            ParameterScale::Linear => "linear",
+            ParameterScale::Logarithmic => "log",
+        }
+    }
+}
+
+impl fmt::Display for ParameterScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
 /// Description of one configuration parameter of an LPPM: its name, valid
 /// range and sweep scale.
 ///
@@ -103,6 +121,10 @@ pub struct ParameterDescriptor {
     min: f64,
     max: f64,
     scale: ParameterScale,
+    /// Explicit default value, if one was set with
+    /// [`ParameterDescriptor::with_default`]; otherwise the scale-aware
+    /// midpoint of the range acts as the default.
+    default: Option<f64>,
 }
 
 impl ParameterDescriptor {
@@ -132,7 +154,36 @@ impl ParameterDescriptor {
                 reason: "logarithmic parameters must have a strictly positive range",
             });
         }
-        Ok(Self { name: name.into(), min, max, scale })
+        Ok(Self { name: name.into(), min, max, scale, default: None })
+    }
+
+    /// Returns a copy of the descriptor with an explicit default value —
+    /// the value a multi-axis sweep holds this parameter at while other axes
+    /// vary (see [`crate::ConfigSpace::one_at_a_time`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LppmError::InvalidParameter`] if `default` lies outside the
+    /// descriptor's range.
+    pub fn with_default(&self, default: f64) -> Result<Self, LppmError> {
+        if !self.contains(default) {
+            return Err(LppmError::InvalidParameter {
+                name: "default",
+                value: default,
+                reason: "the default value must lie inside the parameter range",
+            });
+        }
+        Ok(Self { default: Some(default), ..self.clone() })
+    }
+
+    /// The axis default: the explicitly set default if any, otherwise the
+    /// scale-aware midpoint of the range (arithmetic for linear parameters,
+    /// geometric for logarithmic ones).
+    pub fn default_value(&self) -> f64 {
+        self.default.unwrap_or(match self.scale {
+            ParameterScale::Linear => (self.min + self.max) / 2.0,
+            ParameterScale::Logarithmic => (self.min * self.max).sqrt(),
+        })
     }
 
     /// The parameter name.
@@ -202,17 +253,13 @@ impl ParameterDescriptor {
     /// use in cache keys (two systems sweeping the same mechanism over
     /// different ranges must not be conflated).
     pub fn cache_token(&self) -> String {
-        let scale = match self.scale {
-            ParameterScale::Linear => "lin",
-            ParameterScale::Logarithmic => "log",
-        };
-        format!("{}:{:e}..{:e}:{}", self.name, self.min, self.max, scale)
+        format!("{}:{:e}..{:e}:{}", self.name, self.min, self.max, self.scale.token())
     }
 }
 
 impl fmt::Display for ParameterDescriptor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ∈ [{}, {}] ({:?})", self.name, self.min, self.max, self.scale)
+        write!(f, "{} ∈ [{}, {}] ({})", self.name, self.min, self.max, self.scale.token())
     }
 }
 
@@ -303,6 +350,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn display_and_cache_token_share_the_scale_token() {
+        let log =
+            ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap();
+        let lin = ParameterDescriptor::new("cell", 50.0, 1000.0, ParameterScale::Linear).unwrap();
+        // Lowercase prose, not the `{:?}` variant name.
+        assert_eq!(log.to_string(), "epsilon ∈ [0.0001, 1] (log)");
+        assert_eq!(lin.to_string(), "cell ∈ [50, 1000] (linear)");
+        assert!(!log.to_string().contains("Logarithmic"));
+        assert!(log.cache_token().ends_with(ParameterScale::Logarithmic.token()));
+        assert!(lin.cache_token().ends_with(ParameterScale::Linear.token()));
+        assert_eq!(ParameterScale::Linear.to_string(), "linear");
+        assert_eq!(ParameterScale::Logarithmic.to_string(), "log");
+    }
+
+    #[test]
+    fn defaults_fall_back_to_the_scale_aware_midpoint() {
+        let log =
+            ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap();
+        assert!((log.default_value() - 0.01).abs() < 1e-12); // geometric midpoint
+        let lin = ParameterDescriptor::new("cell", 100.0, 300.0, ParameterScale::Linear).unwrap();
+        assert_eq!(lin.default_value(), 200.0);
+
+        let pinned = log.with_default(0.05).unwrap();
+        assert_eq!(pinned.default_value(), 0.05);
+        // Qualifying the name keeps the pinned default.
+        assert_eq!(pinned.with_name("1.epsilon").default_value(), 0.05);
+        assert!(log.with_default(2.0).is_err());
+        assert!(log.with_default(f64::NAN).is_err());
     }
 
     #[test]

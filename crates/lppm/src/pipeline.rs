@@ -7,9 +7,68 @@
 
 use crate::error::LppmError;
 use crate::params::ParameterDescriptor;
+use crate::space::ConfigSpace;
 use crate::traits::Lppm;
 use geopriv_mobility::Trace;
 use rand::RngCore;
+
+/// Qualifies per-stage parameter descriptors so the flattened list has
+/// globally unique names, preserving the per-stage grouping.
+///
+/// A name exposed by more than one stage is qualified by its 1-based stage
+/// position (`"1.epsilon"`, `"3.epsilon"`); names still colliding after that
+/// (a stage exposing one name twice, or a literal `"1.epsilon"` parameter)
+/// get an occurrence suffix (`"1.epsilon#2"`). Unambiguous names pass
+/// through unqualified. This is the naming contract of
+/// [`Pipeline::parameters`], shared with factory-side pipeline composition
+/// so a qualified axis name always maps back to one stage parameter.
+pub fn qualify_stage_parameters(
+    per_stage: &[Vec<ParameterDescriptor>],
+) -> Vec<Vec<ParameterDescriptor>> {
+    // How many *stages* expose each name (duplicates within one stage count
+    // once: position-qualification could not disambiguate those — the
+    // occurrence pass below handles them).
+    let mut stages_exposing: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    for descriptors in per_stage {
+        let mut seen_in_stage = std::collections::HashSet::new();
+        for d in descriptors {
+            if seen_in_stage.insert(d.name()) {
+                *stages_exposing.entry(d.name().to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<Vec<ParameterDescriptor>> = Vec::with_capacity(per_stage.len());
+    for (stage, descriptors) in per_stage.iter().enumerate() {
+        out.push(
+            descriptors
+                .iter()
+                .map(|d| {
+                    if stages_exposing[d.name()] > 1 {
+                        d.with_name(format!("{}.{}", stage + 1, d.name()))
+                    } else {
+                        d.clone()
+                    }
+                })
+                .collect(),
+        );
+    }
+    // Final uniqueness pass: whatever ambiguity survives stage qualification
+    // is resolved by occurrence, so the flattened list never contains two
+    // descriptors a sweep cannot tell apart.
+    let mut occurrences: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    for descriptors in &mut out {
+        for d in descriptors {
+            let n = occurrences.entry(d.name().to_string()).or_insert(0);
+            *n += 1;
+            if *n > 1 {
+                *d = d.with_name(format!("{}#{}", d.name(), n));
+            }
+        }
+    }
+    out
+}
 
 /// A sequence of LPPMs applied one after the other.
 ///
@@ -67,6 +126,17 @@ impl Pipeline {
         let names: Vec<&str> = self.stages.iter().map(|s| s.name()).collect();
         self.name = format!("pipeline[{}]", names.join(", "));
     }
+
+    /// The pipeline's full qualified configuration space: one axis per stage
+    /// parameter, with the unique names of [`Pipeline::parameters`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LppmError::InvalidParameter`] when the pipeline exposes no
+    /// parameters at all (nothing to sweep).
+    pub fn config_space(&self) -> Result<ConfigSpace, LppmError> {
+        ConfigSpace::new(self.parameters())
+    }
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -95,42 +165,7 @@ impl Lppm for Pipeline {
     fn parameters(&self) -> Vec<ParameterDescriptor> {
         let per_stage: Vec<Vec<ParameterDescriptor>> =
             self.stages.iter().map(|s| s.parameters()).collect();
-        // How many *stages* expose each name (duplicates within one stage
-        // count once: position-qualification could not disambiguate those —
-        // the occurrence pass below handles them).
-        let mut stages_exposing: std::collections::HashMap<String, usize> =
-            std::collections::HashMap::new();
-        for descriptors in &per_stage {
-            let mut seen_in_stage = std::collections::HashSet::new();
-            for d in descriptors {
-                if seen_in_stage.insert(d.name()) {
-                    *stages_exposing.entry(d.name().to_string()).or_insert(0) += 1;
-                }
-            }
-        }
-        let mut out = Vec::new();
-        for (stage, descriptors) in per_stage.iter().enumerate() {
-            for d in descriptors {
-                if stages_exposing[d.name()] > 1 {
-                    out.push(d.with_name(format!("{}.{}", stage + 1, d.name())));
-                } else {
-                    out.push(d.clone());
-                }
-            }
-        }
-        // Final uniqueness pass: whatever ambiguity survives stage
-        // qualification is resolved by occurrence, so the returned list never
-        // contains two descriptors the sweep cannot tell apart.
-        let mut occurrences: std::collections::HashMap<String, usize> =
-            std::collections::HashMap::new();
-        for d in &mut out {
-            let n = occurrences.entry(d.name().to_string()).or_insert(0);
-            *n += 1;
-            if *n > 1 {
-                *d = d.with_name(format!("{}#{}", d.name(), n));
-            }
-        }
-        out
+        qualify_stage_parameters(&per_stage).into_iter().flatten().collect()
     }
 
     fn protect_trace(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, LppmError> {
@@ -266,6 +301,19 @@ mod tests {
         assert_eq!(names, vec!["1.epsilon", "1.epsilon#2", "2.epsilon"]);
         let unique: std::collections::HashSet<&String> = names.iter().collect();
         assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn config_space_exposes_the_qualified_axes() {
+        let pipeline = Pipeline::new()
+            .then(GeoIndistinguishability::new(Epsilon::new(0.01).unwrap()))
+            .then(TemporalDownsampling::new(2).unwrap())
+            .then(GeoIndistinguishability::new(Epsilon::new(0.1).unwrap()));
+        let space = pipeline.config_space().unwrap();
+        assert_eq!(space.names(), vec!["1.epsilon", "factor", "3.epsilon"]);
+        // A parameterless pipeline has no space to sweep.
+        assert!(Pipeline::new().config_space().is_err());
+        assert!(Pipeline::new().then(Identity::new()).config_space().is_err());
     }
 
     #[test]

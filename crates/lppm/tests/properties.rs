@@ -177,3 +177,119 @@ proptest! {
         }
     }
 }
+
+/// Property tests of the configuration-space enumeration contract
+/// (`ParameterDescriptor::sweep` and `ConfigSpace::grid` /
+/// `ConfigSpace::one_at_a_time`): monotone per axis, exact endpoints, every
+/// generated point valid, deterministic ordering.
+mod space_enumeration {
+    use geopriv_lppm::{ConfigSpace, ParameterDescriptor, ParameterScale};
+    use proptest::prelude::*;
+
+    /// A strategy over valid descriptors: name, range and scale (strictly
+    /// positive ranges so both scales are valid).
+    fn descriptor(name: &'static str) -> impl Strategy<Value = ParameterDescriptor> {
+        // The vendored proptest shim has no prop_oneof!; draw the scale from
+        // an integer instead.
+        (1e-6f64..1e3, 1.0001f64..1e4, 0u8..2).prop_map(move |(min, ratio, scale_pick)| {
+            let scale =
+                if scale_pick == 0 { ParameterScale::Linear } else { ParameterScale::Logarithmic };
+            ParameterDescriptor::new(name, min, min * ratio, scale)
+                .expect("strictly positive non-empty range")
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn sweeps_are_monotone_with_exact_endpoints_inside_the_range(
+            axis in descriptor("p"),
+            count in 0usize..60,
+        ) {
+            let sweep = axis.sweep(count);
+            // The count is clamped to at least 2.
+            prop_assert_eq!(sweep.len(), count.max(2));
+            // Both endpoints exactly — no ULP drift tolerated.
+            prop_assert_eq!(sweep[0], axis.min());
+            prop_assert_eq!(*sweep.last().unwrap(), axis.max());
+            // Strictly increasing, and every value in range.
+            prop_assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(sweep.iter().all(|&v| axis.contains(v)));
+            // Deterministic: re-enumeration is identical.
+            prop_assert_eq!(sweep, axis.sweep(count));
+        }
+
+        #[test]
+        fn grids_enumerate_the_full_factorial_in_row_major_order(
+            a in descriptor("a"),
+            b in descriptor("b"),
+            count_a in 2usize..7,
+            count_b in 2usize..7,
+        ) {
+            let space = ConfigSpace::new(vec![a.clone(), b.clone()]).unwrap();
+            let grid = space.grid(&[count_a, count_b]).unwrap();
+            prop_assert_eq!(grid.len(), count_a * count_b);
+
+            // Every generated point validates against the space.
+            prop_assert!(grid.iter().all(|p| space.contains(p)));
+
+            // Row-major: the last axis varies fastest, each axis's own
+            // column is monotone within a row/block.
+            let sweep_a = a.sweep(count_a);
+            let sweep_b = b.sweep(count_b);
+            for (index, point) in grid.iter().enumerate() {
+                prop_assert_eq!(point.get("a").unwrap(), sweep_a[index / count_b]);
+                prop_assert_eq!(point.get("b").unwrap(), sweep_b[index % count_b]);
+            }
+            // Corners carry the exact endpoints.
+            prop_assert_eq!(grid[0].coords(), vec![a.min(), b.min()]);
+            prop_assert_eq!(grid[grid.len() - 1].coords(), vec![a.max(), b.max()]);
+
+            // Deterministic ordering: re-enumeration is identical.
+            prop_assert_eq!(space.grid(&[count_a, count_b]).unwrap(), grid);
+        }
+
+        #[test]
+        fn one_at_a_time_legs_hold_other_axes_at_defaults(
+            a in descriptor("a"),
+            b in descriptor("b"),
+            count_a in 2usize..7,
+            count_b in 2usize..7,
+        ) {
+            let space = ConfigSpace::new(vec![a.clone(), b.clone()]).unwrap();
+            let star = space.one_at_a_time(&[count_a, count_b]).unwrap();
+            prop_assert_eq!(star.len(), count_a + count_b);
+            prop_assert!(star.iter().all(|p| space.contains(p)));
+
+            let sweep_a = a.sweep(count_a);
+            let sweep_b = b.sweep(count_b);
+            for (i, point) in star[..count_a].iter().enumerate() {
+                prop_assert_eq!(point.get("a").unwrap(), sweep_a[i]);
+                prop_assert_eq!(point.get("b").unwrap(), b.default_value());
+            }
+            for (i, point) in star[count_a..].iter().enumerate() {
+                prop_assert_eq!(point.get("a").unwrap(), a.default_value());
+                prop_assert_eq!(point.get("b").unwrap(), sweep_b[i]);
+            }
+            prop_assert_eq!(space.one_at_a_time(&[count_a, count_b]).unwrap(), star);
+        }
+
+        #[test]
+        fn one_axis_grids_equal_the_descriptor_sweep(
+            axis in descriptor("p"),
+            count in 2usize..40,
+        ) {
+            let space = ConfigSpace::single(axis.clone());
+            let grid = space.grid(&[count]).unwrap();
+            let star = space.one_at_a_time(&[count]).unwrap();
+            let sweep = axis.sweep(count);
+            prop_assert_eq!(grid.len(), sweep.len());
+            for (point, value) in grid.iter().zip(&sweep) {
+                prop_assert_eq!(point.single().unwrap(), *value);
+            }
+            // Both modes coincide on one axis — the single-scalar contract.
+            prop_assert_eq!(star, grid);
+        }
+    }
+}

@@ -46,13 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for run in &campaign.runs {
         let sweep = &run.result;
         println!();
-        println!("== {} ({} sweep points) ==", sweep.lppm_name, sweep.points());
-        println!(
-            "   parameter {} in [{}, {}]",
-            sweep.parameter_name,
-            sweep.parameters.first().expect("sweep is non-empty"),
-            sweep.parameters.last().expect("sweep is non-empty")
-        );
+        println!("== {} ({} sweep points) ==", sweep.lppm_name, sweep.len());
+        for axis in sweep.space.names() {
+            let values = sweep.axis_values(axis).expect("axis belongs to the space");
+            let (lo, hi) = values
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            println!("   parameter {axis} in [{lo}, {hi}]");
+        }
         for column in &sweep.columns {
             println!(
                 "   {} ({}): {:.3} -> {:.3}",

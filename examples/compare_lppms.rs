@@ -1,18 +1,29 @@
 //! Compare several protection mechanisms on the same dataset — the "other
-//! LPPMs" the paper's future work plans to feed through the framework.
+//! LPPMs" the paper's future work plans to feed through the framework —
+//! through the current facade: one [`geopriv::AutoConf`] study per system,
+//! identical sweep settings and objectives, side-by-side recommendations.
 //!
-//! Each mechanism is evaluated with the paper's two metrics plus the mean
-//! displacement it introduces, at configurations chosen to have comparable
-//! noise scales (~200 m).
+//! Each system pairs a mechanism factory (including a composed
+//! [`PipelineFactory`]) with the paper's metric pair; the facade sweeps the
+//! mechanism's configuration space, fits the response models, and inverts
+//! the shared objectives.
 //!
 //! ```text
 //! cargo run --release --example compare_lppms
 //! ```
 
-use geopriv::metrics::MeanDistortion;
 use geopriv::prelude::*;
+use geopriv::AutoConf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn paper_pair(factory: Box<dyn LppmFactory>) -> Result<SystemDefinition, CoreError> {
+    SystemDefinition::with_pair(
+        factory,
+        Box::new(PoiRetrieval::default()),
+        Box::new(AreaCoverage::default()),
+    )
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(99);
@@ -24,44 +35,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("dataset: {} drivers, {} records", dataset.user_count(), dataset.record_count());
     println!();
 
-    let mechanisms: Vec<Box<dyn Lppm>> = vec![
-        Box::new(Identity::new()),
-        Box::new(GeoIndistinguishability::new(Epsilon::new(0.01)?)),
-        Box::new(GaussianPerturbation::new(geopriv::geo::Meters::new(160.0))?),
-        Box::new(GridCloaking::new(geopriv::geo::Meters::new(400.0))?),
-        Box::new(TemporalDownsampling::new(8)?),
-        Box::new(
-            Pipeline::new()
-                .then(TemporalDownsampling::new(4)?)
-                .then(GeoIndistinguishability::new(Epsilon::new(0.01)?)),
-        ),
+    // The contenders, all through the factory API — the composed pipeline
+    // sweeps two axes (ε × cell size) where the others sweep one.
+    let systems: Vec<SystemDefinition> = vec![
+        paper_pair(Box::new(GeoIndistinguishabilityFactory::new()))?,
+        paper_pair(Box::new(GaussianPerturbationFactory::with_range(20.0, 2000.0)?))?,
+        paper_pair(Box::new(GridCloakingFactory::with_range(100.0, 2000.0)?))?,
+        paper_pair(Box::new(
+            PipelineFactory::new()
+                .then(GeoIndistinguishabilityFactory::new())
+                .then(GridCloakingFactory::with_range(100.0, 2000.0)?),
+        ))?,
     ];
 
-    let privacy_metric = PoiRetrieval::default();
-    let utility_metric = AreaCoverage::default();
-    // The actual dataset never changes across the comparison: prepare the
-    // actual-side metric state (POI extraction, bounds) once and share it.
-    let prepared_privacy = privacy_metric.prepare(&dataset)?;
-    let prepared_utility = utility_metric.prepare(&dataset)?;
-
-    println!("{:<55} {:>9} {:>9} {:>14}", "mechanism", "privacy", "utility", "displacement");
-    for mechanism in &mechanisms {
-        let mut mechanism_rng = StdRng::seed_from_u64(7);
-        let protected = mechanism.protect_dataset(&dataset, &mut mechanism_rng)?;
-        let privacy = privacy_metric.evaluate_prepared(&prepared_privacy, &dataset, &protected)?;
-        let utility = utility_metric.evaluate_prepared(&prepared_utility, &dataset, &protected)?;
-        let displacement = MeanDistortion::new().of_datasets(&dataset, &protected)?;
-        println!(
-            "{:<55} {:>9.3} {:>9.3} {:>12.0} m",
-            mechanism.name(),
-            privacy.value(),
-            utility.value(),
-            displacement.as_f64()
-        );
-    }
-    println!();
     println!(
-        "privacy = POI retrieval (lower is better); utility = area coverage (higher is better)"
+        "objectives for every system: poi-retrieval ≤ 0.60, area-coverage ≥ 0.30 (shared sweep \
+         seed, 7 points per axis)"
     );
+    for system in systems {
+        let name = system.factory().name().to_string();
+        let axes = system.space().names().join(" × ");
+        let studied = AutoConf::for_system(system)
+            .dataset(&dataset)
+            .sweep(|s| s.points_per_axis(7).seed(7))
+            .fit()?;
+        println!();
+        println!("== {name} (axes: {axes}) ==");
+        let result = studied
+            .require("poi-retrieval", at_most(0.60))?
+            .require("area-coverage", at_least(0.30))?
+            .recommend();
+        match result {
+            Ok(recommendation) => {
+                println!("   recommended {}", recommendation.point);
+                for (id, value) in &recommendation.predictions {
+                    println!("   predicted {id} = {value:.3}");
+                }
+            }
+            Err(geopriv::Error::Core(CoreError::Infeasible { reason })) => {
+                println!("   infeasible under the shared objectives: {reason}");
+            }
+            Err(other) => return Err(other.into()),
+        }
+    }
     Ok(())
 }

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", report::recommendation_report(&recommendation));
 
             // Sanity check: protect with the recommended epsilon and re-measure.
-            let lppm = studied.system().factory().instantiate(recommendation.parameter)?;
+            let lppm = studied.system().factory().instantiate_at(&recommendation.point)?;
             let protected = lppm.protect_dataset(&dataset, &mut rng)?;
             let privacy = PoiRetrieval::default().evaluate(&dataset, &protected)?;
             let utility = AreaCoverage::default().evaluate(&dataset, &protected)?;

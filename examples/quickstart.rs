@@ -38,14 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!(
         "recommended epsilon = {:.4} m⁻¹ (feasible in [{:.4}, {:.4}])",
-        recommendation.parameter, recommendation.feasible_range.0, recommendation.feasible_range.1
+        recommendation.parameter(),
+        recommendation.feasible_range().0,
+        recommendation.feasible_range().1
     );
     for (metric, predicted) in &recommendation.predictions {
         println!("  predicted {metric}: {predicted:.3}");
     }
 
     // 3. Protect at the recommended ε and re-measure the paper's two metrics.
-    let epsilon = Epsilon::new(recommendation.parameter)?;
+    let epsilon = Epsilon::new(recommendation.parameter())?;
     let geoi = GeoIndistinguishability::new(epsilon);
     println!();
     println!(

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .require("poi-retrieval", at_most(0.10))?
         .require("area-coverage", at_least(0.80))?;
     println!("objectives: {objectives}");
-    let configurator = Configurator::new(fitted, system.parameter().scale());
+    let configurator = Configurator::new(fitted);
     match configurator.recommend(&objectives) {
         Ok(recommendation) => println!("{}", report::recommendation_report(&recommendation)),
         Err(CoreError::Infeasible { reason }) => {

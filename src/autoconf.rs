@@ -10,6 +10,12 @@
 //! [`FittedAutoConf::recommend`] only exists after `fit()`, so "invert before
 //! measuring" is unrepresentable rather than a runtime error.
 //!
+//! Multi-axis systems (composed pipelines, multi-parameter mechanisms) flow
+//! through the same chain: configure the design with
+//! [`SweepBuilder::points_per_axis`], [`SweepBuilder::axis_points`] and
+//! [`SweepBuilder::one_at_a_time`], and the recommendation surfaces a full
+//! [`geopriv_core::ConfigPoint`].
+//!
 //! ```no_run
 //! use geopriv::prelude::*;
 //! use geopriv::AutoConf;
@@ -25,7 +31,7 @@
 //!     .require("poi-retrieval", at_most(0.1))?
 //!     .require("area-coverage", at_least(0.8))?
 //!     .recommend()?;
-//! println!("use ε = {:.4}", recommendation.parameter);
+//! println!("use ε = {:.4}", recommendation.parameter());
 //! # Ok(())
 //! # }
 //! ```
@@ -35,48 +41,77 @@ use geopriv_core::{
     Configurator, Constraint, ExperimentRunner, FittedSuite, MetricId, Modeler, Objectives,
     ParetoFrontier, Recommendation, SweepConfig, SweepResult, SystemDefinition,
 };
+use geopriv_lppm::ConfigPoint;
 use geopriv_mobility::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Fluent configuration of the underlying sweep ([`SweepConfig`]), passed to
-/// [`AutoConf::sweep`] / [`AutoConfWithData::sweep`] as a closure argument.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SweepPlan {
-    config: SweepConfig,
+/// Fluent configuration of the underlying sweep
+/// ([`geopriv_core::SweepPlan`]), passed to [`AutoConf::sweep`] /
+/// [`AutoConfWithData::sweep`] as a closure argument.
+///
+/// (Named `SweepBuilder` so the prelude can also export the core
+/// [`geopriv_core::SweepPlan`] it configures without a glob collision.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepBuilder {
+    plan: geopriv_core::SweepPlan,
 }
 
-impl SweepPlan {
-    fn new(config: SweepConfig) -> Self {
-        Self { config }
+impl SweepBuilder {
+    fn new(plan: geopriv_core::SweepPlan) -> Self {
+        Self { plan }
     }
 
-    /// Number of sweep points across the parameter range (default 25).
+    /// Number of sweep points per configuration axis (default 25).
     #[must_use]
     pub fn points(mut self, points: usize) -> Self {
-        self.config.points = points;
+        self.plan.config.points = points;
+        self
+    }
+
+    /// Number of sweep points per configuration axis — the same setting as
+    /// [`SweepBuilder::points`] under the name that reads naturally for
+    /// multi-axis studies.
+    #[must_use]
+    pub fn points_per_axis(self, points: usize) -> Self {
+        self.points(points)
+    }
+
+    /// Overrides the point count of one named axis (later calls win).
+    #[must_use]
+    pub fn axis_points(mut self, axis: impl Into<String>, points: usize) -> Self {
+        self.plan = self.plan.axis_points(axis, points);
+        self
+    }
+
+    /// Switches the design to the paper's one-at-a-time mode: each axis
+    /// sweeps in turn while the other axes sit at their defaults (the
+    /// default is the full-factorial grid).
+    #[must_use]
+    pub fn one_at_a_time(mut self) -> Self {
+        self.plan.mode = geopriv_core::SweepMode::OneAtATime;
         self
     }
 
     /// Number of protection/evaluation repetitions per point (default 1).
     #[must_use]
     pub fn repetitions(mut self, repetitions: usize) -> Self {
-        self.config.repetitions = repetitions;
+        self.plan.config.repetitions = repetitions;
         self
     }
 
     /// Master seed of the sweep's deterministic RNG derivation.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.config.seed = seed;
+        self.plan.config.seed = seed;
         self
     }
 
-    /// Whether sweep points run on multiple threads (default true; either
+    /// Whether design points run on multiple threads (default true; either
     /// way the measurements are bit-identical).
     #[must_use]
     pub fn parallel(mut self, parallel: bool) -> Self {
-        self.config.parallel = parallel;
+        self.plan.config.parallel = parallel;
         self
     }
 }
@@ -86,53 +121,53 @@ impl SweepPlan {
 /// See the [module docs](self) for the full chain.
 pub struct AutoConf {
     system: SystemDefinition,
-    config: SweepConfig,
+    plan: geopriv_core::SweepPlan,
 }
 
 impl AutoConf {
     /// Starts a configuration study for one system.
     pub fn for_system(system: SystemDefinition) -> Self {
-        Self { system, config: SweepConfig::default() }
+        Self { system, plan: geopriv_core::SweepPlan::grid(SweepConfig::default()) }
     }
 
     /// Adjusts the sweep settings.
     #[must_use]
-    pub fn sweep(mut self, configure: impl FnOnce(SweepPlan) -> SweepPlan) -> Self {
-        self.config = configure(SweepPlan::new(self.config)).config;
+    pub fn sweep(mut self, configure: impl FnOnce(SweepBuilder) -> SweepBuilder) -> Self {
+        self.plan = configure(SweepBuilder::new(self.plan)).plan;
         self
     }
 
     /// Binds the dataset to study, unlocking [`AutoConfWithData::fit`].
     pub fn dataset(self, dataset: &Dataset) -> AutoConfWithData<'_> {
-        AutoConfWithData { system: self.system, config: self.config, dataset }
+        AutoConfWithData { system: self.system, plan: self.plan, dataset }
     }
 }
 
 /// A system bound to a dataset — ready to measure and fit.
 pub struct AutoConfWithData<'a> {
     system: SystemDefinition,
-    config: SweepConfig,
+    plan: geopriv_core::SweepPlan,
     dataset: &'a Dataset,
 }
 
 impl AutoConfWithData<'_> {
     /// Adjusts the sweep settings.
     #[must_use]
-    pub fn sweep(mut self, configure: impl FnOnce(SweepPlan) -> SweepPlan) -> Self {
-        self.config = configure(SweepPlan::new(self.config)).config;
+    pub fn sweep(mut self, configure: impl FnOnce(SweepBuilder) -> SweepBuilder) -> Self {
+        self.plan = configure(SweepBuilder::new(self.plan)).plan;
         self
     }
 
-    /// Runs the sweep and fits every suite metric's invertible model —
-    /// exactly [`ExperimentRunner::run`] followed by [`Modeler::fit`].
+    /// Runs the sweep and fits every suite metric's model — exactly
+    /// [`ExperimentRunner::run`] followed by [`Modeler::fit`].
     ///
     /// # Errors
     ///
     /// Propagates sweep and modeling errors.
     pub fn fit(self) -> Result<FittedAutoConf, Error> {
-        let sweep = ExperimentRunner::new(self.config).run(&self.system, self.dataset)?;
+        let sweep = ExperimentRunner::with_plan(self.plan).run(&self.system, self.dataset)?;
         let fitted = Modeler::new().fit(&sweep)?;
-        let configurator = Configurator::new(fitted, self.system.parameter().scale());
+        let configurator = Configurator::new(fitted);
         Ok(FittedAutoConf {
             system: self.system,
             sweep,
@@ -220,7 +255,8 @@ impl FittedAutoConf {
     }
 
     /// Inverts the fitted models under the stated constraints — exactly
-    /// [`Configurator::recommend`].
+    /// [`Configurator::recommend`]. The recommendation carries a full
+    /// [`ConfigPoint`] (one value per axis of the system's space).
     ///
     /// # Errors
     ///
@@ -233,21 +269,20 @@ impl FittedAutoConf {
     }
 
     /// Double-checks a recommendation against the data rather than the
-    /// models: instantiate the mechanism at `parameter`, protect `dataset`
-    /// with a fresh RNG seeded from `seed`, and re-measure every suite
-    /// metric directly. Returns `(metric id, measured value)` in suite
-    /// order.
+    /// models: instantiate the mechanism at `point`, protect `dataset` with
+    /// a fresh RNG seeded from `seed`, and re-measure every suite metric
+    /// directly. Returns `(metric id, measured value)` in suite order.
     ///
     /// # Errors
     ///
     /// Propagates instantiation, protection and metric errors.
-    pub fn measure_at(
+    pub fn measure_at_point(
         &self,
         dataset: &Dataset,
-        parameter: f64,
+        point: &ConfigPoint,
         seed: u64,
     ) -> Result<Vec<(MetricId, f64)>, Error> {
-        let lppm = self.system.factory().instantiate(parameter)?;
+        let lppm = self.system.factory().instantiate_at(point)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let protected = lppm.protect_dataset(dataset, &mut rng)?;
         self.system
@@ -256,12 +291,46 @@ impl FittedAutoConf {
             .map(|metric| Ok((metric.id(), metric.evaluate(dataset, &protected)?.value())))
             .collect()
     }
+
+    /// [`FittedAutoConf::measure_at_point`] for single-axis systems, taking
+    /// the scalar parameter value directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`FittedAutoConf::measure_at_point`], plus
+    /// [`geopriv_core::CoreError::InvalidConfiguration`] when the system
+    /// sweeps more than one axis.
+    pub fn measure_at(
+        &self,
+        dataset: &Dataset,
+        parameter: f64,
+        seed: u64,
+    ) -> Result<Vec<(MetricId, f64)>, Error> {
+        let space = self.system.space();
+        if space.single_axis().is_none() {
+            return Err(geopriv_core::CoreError::InvalidConfiguration {
+                reason: format!(
+                    "measure_at takes one scalar, but the system sweeps ({}); use \
+                     measure_at_point",
+                    space.names().join(", ")
+                ),
+            }
+            .into());
+        }
+        // On a one-axis system any remaining failure is the genuine one
+        // (out-of-range value) — propagate it untouched.
+        let point = space.point_from_coords(&[parameter]).map_err(geopriv_core::CoreError::from)?;
+        self.measure_at_point(dataset, &point, seed)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geopriv_core::{at_least, at_most, CoreError};
+    use geopriv_core::{
+        at_least, at_most, CoreError, GeoIndistinguishabilityFactory, GridCloakingFactory,
+        PipelineFactory,
+    };
     use geopriv_metrics::{
         AreaCoverage, DistortionUtility, HotspotPreservation, MetricSuite, PoiRetrieval,
         SuiteMetric,
@@ -278,6 +347,19 @@ mod tests {
             .unwrap()
     }
 
+    fn composed_system() -> SystemDefinition {
+        SystemDefinition::with_pair(
+            Box::new(
+                PipelineFactory::new()
+                    .then(GeoIndistinguishabilityFactory::new())
+                    .then(GridCloakingFactory::with_range(100.0, 2000.0).unwrap()),
+            ),
+            Box::new(PoiRetrieval::default()),
+            Box::new(AreaCoverage::default()),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn the_facade_reproduces_the_explicit_path_exactly() {
         let dataset = dataset();
@@ -287,7 +369,7 @@ mod tests {
         let system = SystemDefinition::paper_geoi();
         let sweep = ExperimentRunner::new(config).run(&system, &dataset).unwrap();
         let fitted = Modeler::new().fit(&sweep).unwrap();
-        let configurator = Configurator::new(fitted.clone(), system.parameter().scale());
+        let configurator = Configurator::new(fitted.clone());
         let explicit = configurator.recommend(&Objectives::paper_example()).unwrap();
 
         // Facade path.
@@ -390,6 +472,64 @@ mod tests {
             .unwrap();
         let frontier = studied.frontier().unwrap();
         assert!(!frontier.is_empty());
+    }
+
+    #[test]
+    fn a_two_axis_pipeline_flows_through_the_same_chain() {
+        let dataset = dataset();
+        let studied = AutoConf::for_system(composed_system())
+            .dataset(&dataset)
+            .sweep(|s| s.points_per_axis(5).axis_points("cell_size", 4).seed(11))
+            .fit()
+            .unwrap();
+        // 5 epsilon values × 4 cell sizes.
+        assert_eq!(studied.sweep_result().len(), 20);
+        assert_eq!(studied.sweep_result().space.names(), vec!["epsilon", "cell_size"]);
+
+        let recommendation = studied
+            .require("poi-retrieval", at_most(0.6))
+            .unwrap()
+            .require("area-coverage", at_least(0.3))
+            .unwrap()
+            .recommend()
+            .unwrap();
+        // The recommendation is a full configuration point with predictions
+        // satisfying the stated constraints.
+        assert_eq!(recommendation.point.len(), 2);
+        assert!(at_most(0.6)
+            .is_satisfied_by(recommendation.predicted(&"poi-retrieval".into()).unwrap()));
+        assert!(at_least(0.3)
+            .is_satisfied_by(recommendation.predicted(&"area-coverage".into()).unwrap()));
+
+        // measure_at refuses multi-axis systems; measure_at_point works.
+        let studied = AutoConf::for_system(composed_system())
+            .dataset(&dataset)
+            .sweep(|s| s.points(5).seed(11))
+            .fit()
+            .unwrap();
+        assert!(matches!(
+            studied.measure_at(&dataset, 0.01, 3),
+            Err(Error::Core(CoreError::InvalidConfiguration { .. }))
+        ));
+        let measured = studied.measure_at_point(&dataset, &recommendation.point, 3).unwrap();
+        assert_eq!(measured.len(), 2);
+    }
+
+    #[test]
+    fn one_at_a_time_mode_flows_through_the_facade() {
+        let dataset = dataset();
+        let studied = AutoConf::for_system(composed_system())
+            .dataset(&dataset)
+            .sweep(|s| s.one_at_a_time().points_per_axis(7).seed(13))
+            .fit()
+            .unwrap();
+        // 7 points per axis, 2 axes, no cross terms: 14 design points.
+        assert_eq!(studied.sweep_result().len(), 14);
+        assert_eq!(studied.sweep_result().mode, geopriv_core::SweepMode::OneAtATime);
+        // Recommendation still produces a full point.
+        let recommendation =
+            studied.require("poi-retrieval", at_most(0.9)).unwrap().recommend().unwrap();
+        assert_eq!(recommendation.point.len(), 2);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! of Location Privacy Protection Mechanisms*, Middleware 2016.
 //!
 //! The public entry point is the fluent [`AutoConf`] facade — define the
-//! system, sweep its parameter, fit every metric's invertible model, state
-//! per-metric constraints, and get an operating-point recommendation in one
-//! chain. The explicit step-by-step pipeline underneath stays public; see
+//! system, sweep its configuration space (one axis or many), fit every
+//! metric's model, state per-metric constraints, and get an operating-point
+//! recommendation ([`core::Recommendation`], carrying a full
+//! [`core::ConfigPoint`]) in one chain. The explicit step-by-step pipeline underneath stays public; see
 //! the individual crates for details:
 //!
 //! * [`geo`] — geospatial primitives (points, projections, grids).
@@ -45,7 +46,7 @@
 //!     .recommend()?;
 //!
 //! // 3. The recommended ε comes with per-metric predictions.
-//! assert!(recommendation.parameter > 0.0);
+//! assert!(recommendation.parameter() > 0.0);
 //! assert!(recommendation.predicted(&"poi-retrieval".into()).is_some());
 //! # Ok(())
 //! # }
@@ -61,12 +62,12 @@ pub use geopriv_lppm as lppm;
 pub use geopriv_metrics as metrics;
 pub use geopriv_mobility as mobility;
 
-pub use autoconf::{AutoConf, AutoConfWithData, FittedAutoConf, SweepPlan};
+pub use autoconf::{AutoConf, AutoConfWithData, FittedAutoConf, SweepBuilder};
 pub use error::Error;
 
 /// Convenient glob-import of the most commonly used items of the workspace.
 pub mod prelude {
-    pub use crate::autoconf::{AutoConf, AutoConfWithData, FittedAutoConf, SweepPlan};
+    pub use crate::autoconf::{AutoConf, AutoConfWithData, FittedAutoConf, SweepBuilder};
     pub use crate::error::Error;
     pub use geopriv_core::prelude::*;
     pub use geopriv_geo::prelude::*;

@@ -152,7 +152,7 @@ fn other_lppm_families_can_be_swept_through_the_framework() {
             .expect("sweep succeeds");
 
     assert_eq!(sweep.lppm_name, "gaussian-perturbation");
-    assert_eq!(sweep.parameter_name, "sigma");
+    assert_eq!(sweep.space.names(), vec!["sigma"]);
     // For Gaussian noise the metrics *decrease* with sigma (more noise), the
     // mirror image of the epsilon behaviour.
     let privacy = sweep.values(&"poi-retrieval".into()).expect("privacy column exists");

@@ -63,8 +63,10 @@ fn equation_2_fit_and_inversion_recover_a_usable_operating_point() {
             .expect("sweep succeeds");
 
     let fitted = Modeler::new().fit(&sweep).expect("modeling succeeds");
-    let privacy_model = &fitted.model(&privacy_id()).expect("privacy model").model;
-    let utility_model = &fitted.model(&utility_id()).expect("utility model").model;
+    let privacy_model =
+        &fitted.model(&privacy_id()).expect("privacy model").axis().expect("1-D fit").model;
+    let utility_model =
+        &fitted.model(&utility_id()).expect("utility model").axis().expect("1-D fit").model;
 
     // Equation 2 shape: both metrics increase with ln(epsilon), and the
     // privacy metric responds more steeply than the utility metric.
@@ -81,11 +83,11 @@ fn equation_2_fit_and_inversion_recover_a_usable_operating_point() {
         .expect("valid")
         .require("area-coverage", at_least(0.5))
         .expect("valid");
-    let configurator = Configurator::new(fitted, system.parameter().scale());
+    let configurator = Configurator::new(fitted);
     let recommendation = configurator.recommend(&objectives).expect("objectives are feasible");
-    assert!(recommendation.parameter >= recommendation.feasible_range.0);
-    assert!(recommendation.parameter <= recommendation.feasible_range.1);
-    assert!(recommendation.parameter > 1e-4 && recommendation.parameter < 1.0);
+    assert!(recommendation.parameter() >= recommendation.feasible_range().0);
+    assert!(recommendation.parameter() <= recommendation.feasible_range().1);
+    assert!(recommendation.parameter() > 1e-4 && recommendation.parameter() < 1.0);
     assert!(recommendation.predicted(&privacy_id()).unwrap() <= 0.3 + 0.05);
     assert!(recommendation.predicted(&utility_id()).unwrap() >= 0.5 - 0.05);
 
@@ -96,7 +98,7 @@ fn equation_2_fit_and_inversion_recover_a_usable_operating_point() {
     // the measured values satisfy the stated objectives (with a small
     // sampling tolerance) and that utility is predicted reasonably well.
     let lppm =
-        system.factory().instantiate(recommendation.parameter).expect("instantiation succeeds");
+        system.factory().instantiate_at(&recommendation.point).expect("instantiation succeeds");
     let mut rng = StdRng::seed_from_u64(11);
     let protected = lppm.protect_dataset(&dataset, &mut rng).expect("protection succeeds");
     let measured_privacy =
@@ -136,7 +138,7 @@ fn the_autoconf_facade_matches_the_explicit_path_bit_for_bit() {
     let config = SweepConfig { points: 11, repetitions: 1, seed: 17, parallel: true };
     let sweep = ExperimentRunner::new(config).run(&system, &dataset).expect("sweep succeeds");
     let fitted = Modeler::new().fit(&sweep).expect("modeling succeeds");
-    let explicit = Configurator::new(fitted, system.parameter().scale())
+    let explicit = Configurator::new(fitted)
         .recommend(
             &Objectives::new()
                 .require("poi-retrieval", at_most(0.3))
@@ -175,7 +177,7 @@ fn infeasible_objectives_are_detected() {
             .run(&system, &dataset)
             .expect("sweep succeeds");
     let fitted = Modeler::new().fit(&sweep).expect("modeling succeeds");
-    let configurator = Configurator::new(fitted, system.parameter().scale());
+    let configurator = Configurator::new(fitted);
 
     // Essentially perfect privacy and perfect utility at the same time.
     let impossible = Objectives::new()

@@ -134,12 +134,17 @@ proptest! {
             parameters.iter().map(|e| (0.8 + slope_p * e.ln()).clamp(0.0, 1.0)).collect();
         let utility: Vec<f64> =
             parameters.iter().map(|e| (1.1 + slope_u * e.ln()).clamp(0.0, 1.0)).collect();
-        let sweep = SweepResult {
-            lppm_name: "geo-indistinguishability".to_string(),
-            parameter_name: "epsilon".to_string(),
-            parameter_scale: geopriv::lppm::ParameterScale::Logarithmic,
-            parameters,
-            columns: vec![
+        let sweep = SweepResult::from_axis(
+            "geo-indistinguishability",
+            geopriv::lppm::ParameterDescriptor::new(
+                "epsilon",
+                1e-4,
+                1.0,
+                geopriv::lppm::ParameterScale::Logarithmic,
+            )
+            .unwrap(),
+            &parameters,
+            vec![
                 MetricColumn {
                     id: MetricId::new("poi-retrieval"),
                     direction: Direction::LowerIsBetter,
@@ -153,12 +158,13 @@ proptest! {
                     runs: vec![],
                 },
             ],
-        };
+        )
+        .unwrap();
         let fitted = match Modeler::new().fit(&sweep) {
             Ok(f) => f,
             Err(_) => return Ok(()), // degenerate saturation layouts are allowed to fail
         };
-        let configurator = Configurator::new(fitted, geopriv::lppm::ParameterScale::Logarithmic);
+        let configurator = Configurator::new(fitted);
         let objectives = Objectives::new()
             .require("poi-retrieval", at_most(privacy_bound))
             .unwrap()
@@ -166,9 +172,12 @@ proptest! {
             .unwrap();
         match configurator.recommend(&objectives) {
             Ok(r) => {
-                prop_assert!(r.feasible_range.0 <= r.feasible_range.1);
-                prop_assert!(r.parameter >= r.feasible_range.0 && r.parameter <= r.feasible_range.1);
-                prop_assert!(r.parameter > 0.0);
+                prop_assert!(r.feasible_range().0 <= r.feasible_range().1);
+                prop_assert!(
+                    r.parameter() >= r.feasible_range().0
+                        && r.parameter() <= r.feasible_range().1
+                );
+                prop_assert!(r.parameter() > 0.0);
                 // The model's own predictions at the recommendation satisfy the
                 // objectives up to a small tolerance.
                 let predicted_privacy = r.predicted(&MetricId::new("poi-retrieval")).unwrap();

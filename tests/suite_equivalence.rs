@@ -73,7 +73,7 @@ fn the_suite_path_reproduces_the_legacy_pair_sweep_bit_for_bit() {
         .run(&SystemDefinition::paper_geoi(), &dataset)
         .expect("sweep succeeds");
 
-    assert_eq!(sweep.parameters, parameters);
+    assert_eq!(sweep.parameters(), parameters);
     assert_eq!(sweep.values(&privacy_id()).expect("privacy column"), privacy.as_slice());
     assert_eq!(sweep.values(&utility_id()).expect("utility column"), utility.as_slice());
 }
@@ -89,7 +89,7 @@ fn campaigns_reproduce_the_legacy_pair_sweep_bit_for_bit() {
         .expect("campaign succeeds");
     let cell = campaign.get(0, 0).expect("cell exists");
 
-    assert_eq!(cell.parameters, parameters);
+    assert_eq!(cell.parameters(), parameters);
     assert_eq!(cell.values(&privacy_id()).expect("privacy column"), privacy.as_slice());
     assert_eq!(cell.values(&utility_id()).expect("utility column"), utility.as_slice());
 }
@@ -122,7 +122,7 @@ fn growing_the_suite_never_perturbs_the_existing_columns() {
         .expect("4-metric sweep succeeds");
 
     assert_eq!(four.columns.len(), 4);
-    assert_eq!(four.parameters, pair.parameters);
+    assert_eq!(four.parameters(), pair.parameters());
     assert_eq!(four.column(&privacy_id()), pair.column(&privacy_id()));
     assert_eq!(four.column(&utility_id()), pair.column(&utility_id()));
     // And the extra columns are real measurements, not placeholders.
@@ -143,8 +143,10 @@ fn recommendations_on_the_suite_path_match_a_legacy_style_inversion() {
     // Legacy-style inversion, derived from the fitted models by hand: clip
     // each constraint's critical parameter to the shared domain and intersect
     // (exactly what the old hard-wired privacy/utility configurator did).
-    let privacy_model = &fitted.model(&privacy_id()).expect("privacy model").model;
-    let utility_model = &fitted.model(&utility_id()).expect("utility model").model;
+    let privacy_model =
+        &fitted.model(&privacy_id()).expect("privacy model").axis().expect("1-D fit").model;
+    let utility_model =
+        &fitted.model(&utility_id()).expect("utility model").axis().expect("1-D fit").model;
     let domain = {
         let p = privacy_model.domain();
         let u = utility_model.domain();
@@ -163,11 +165,10 @@ fn recommendations_on_the_suite_path_match_a_legacy_style_inversion() {
         .expect("valid")
         .require("area-coverage", at_least(0.50))
         .expect("valid");
-    let recommendation = Configurator::new(fitted.clone(), system.parameter().scale())
-        .recommend(&objectives)
-        .expect("feasible");
-    assert_eq!(recommendation.feasible_range, feasible);
-    assert_eq!(recommendation.parameter, expected_parameter);
+    let recommendation =
+        Configurator::new(fitted.clone()).recommend(&objectives).expect("feasible");
+    assert_eq!(recommendation.feasible_range(), feasible);
+    assert_eq!(recommendation.parameter(), expected_parameter);
     assert_eq!(
         recommendation.predicted(&privacy_id()).expect("prediction"),
         privacy_model.predict(expected_parameter)
@@ -200,7 +201,7 @@ fn autoconf_recommendations_land_inside_every_constraint_feasible_range() {
         match studied.recommend() {
             Ok(r) => {
                 assert!(
-                    r.feasible_range.0 <= r.parameter && r.parameter <= r.feasible_range.1,
+                    r.feasible_range().0 <= r.parameter() && r.parameter() <= r.feasible_range().1,
                     "({privacy_bound}, {utility_bound}): {r}"
                 );
                 let predicted_privacy = r.predicted(&privacy_id()).expect("prediction");
