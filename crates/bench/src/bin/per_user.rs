@@ -1,0 +1,89 @@
+//! Per-user fit+recommend throughput baseline: runs the paper's GEO-I sweep
+//! once at per-user grain (untimed — the sweep cost is the `sweep` bench's
+//! business), then times the per-user half of the pipeline — fitting one
+//! model per (user, metric) from the shared sweep and recommending a
+//! configuration point per user — and emits a `BENCH_peruser.json` baseline
+//! reporting users/s.
+//!
+//! ```text
+//! cargo run -p geopriv-bench --release --bin per_user \
+//!     [-- --fidelity smoke|standard|full] [--out BENCH_peruser.json]
+//! ```
+
+use geopriv_bench::{
+    campaign_config, fidelity_from_args, median_seconds, out_path_from_args, reproduction_dataset,
+    BenchJson,
+};
+use geopriv_core::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = fidelity_from_args();
+    let out_path = out_path_from_args("BENCH_peruser.json");
+
+    eprintln!("building the synthetic SF taxi dataset ({fidelity:?})…");
+    let dataset = reproduction_dataset(fidelity);
+    let config = campaign_config(fidelity);
+    let system = SystemDefinition::paper_geoi();
+
+    eprintln!(
+        "shared sweep: {} points at per-user grain over {} users…",
+        config.points,
+        dataset.user_count()
+    );
+    let plan = SweepPlan::grid(config).per_user();
+    let sweep = ExperimentRunner::with_plan(plan).run(&system, &dataset)?;
+
+    // The grain contract, asserted on every bench run: recording user curves
+    // never changes the aggregate columns.
+    let dataset_grain = ExperimentRunner::new(config).run(&system, &dataset)?;
+    assert_eq!(sweep.columns, dataset_grain.columns, "per-user grain changed the aggregates");
+
+    let users = sweep.users().len();
+    let objectives = Objectives::new()
+        .require("poi-retrieval", at_most(0.25))?
+        .require("area-coverage", at_least(0.60))?;
+
+    // Warm-up (also the determinism reference for the timed rounds).
+    eprintln!("warming up…");
+    let fitted = Modeler::new().fit(&sweep)?;
+    let reference_fits = Modeler::new().fit_per_user(&sweep)?;
+    let reference =
+        Configurator::new(fitted.clone()).recommend_per_user(&reference_fits, &objectives)?;
+
+    const ROUNDS: usize = 5;
+    let mut times = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        eprintln!("round {}/{ROUNDS}…", round + 1);
+        let started = Instant::now();
+        let fits = std::hint::black_box(Modeler::new().fit_per_user(&sweep)?);
+        let recommendation = std::hint::black_box(
+            Configurator::new(fitted.clone()).recommend_per_user(&fits, &objectives)?,
+        );
+        times.push(started.elapsed().as_secs_f64());
+        assert_eq!(recommendation, reference, "per-user pipeline is not deterministic");
+    }
+    let seconds_fit_recommend = median_seconds(&mut times);
+
+    let json = BenchJson::new("per_user")
+        .string("fidelity", format!("{fidelity:?}"))
+        .string("lppm", &sweep.lppm_name)
+        .int("metrics", sweep.columns.len() as u64)
+        .int("points", config.points as u64)
+        .int("users", users as u64)
+        .int("modeled_users", reference_fits.fitted_count() as u64)
+        .int("feasible_users", reference.feasible_count() as u64)
+        .int("fallback_users", reference.fallback_count() as u64)
+        .int("records", dataset.record_count() as u64)
+        .float("seconds_fit_recommend", seconds_fit_recommend, 6)
+        .float("users_per_second", users as f64 / seconds_fit_recommend, 3);
+    println!("{}", json.render());
+    json.write(&out_path)?;
+    eprintln!("baseline written to {out_path}");
+    eprintln!(
+        "fit+recommend off one shared sweep: {seconds_fit_recommend:.4}s for {users} users \
+         ({:.1} users/s)",
+        users as f64 / seconds_fit_recommend
+    );
+    Ok(())
+}

@@ -52,11 +52,13 @@
 
 use crate::error::CoreError;
 use crate::experiment::{
-    derive_unit_seed, run_indexed, MetricColumn, SweepConfig, SweepPlan, SweepResult,
+    assemble_sweep, derive_unit_seed, run_indexed, MetricSample, SweepConfig, SweepPlan,
+    SweepResult,
 };
 use crate::system::SystemDefinition;
 use geopriv_lppm::ConfigPoint;
 use geopriv_metrics::PreparedState;
+use geopriv_metrics::{Direction, MetricId};
 use geopriv_mobility::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -285,7 +287,10 @@ impl CampaignRunner {
     }
 
     /// Executes one work unit: instantiate, protect, evaluate every suite
-    /// metric against the cell's prepared state, in suite order.
+    /// metric against the cell's prepared state, in suite order. At
+    /// [`crate::experiment::Grain::PerUser`] the samples keep their
+    /// user-keyed breakdowns; at dataset grain they are dropped here, inside
+    /// the unit, exactly as [`crate::ExperimentRunner`] does.
     fn measure_unit(
         &self,
         system: &SystemDefinition,
@@ -293,7 +298,7 @@ impl CampaignRunner {
         cell: &[Arc<PreparedState>],
         unit: &Unit,
         point: &ConfigPoint,
-    ) -> Result<Vec<f64>, CoreError> {
+    ) -> Result<Vec<MetricSample>, CoreError> {
         let lppm = system.factory().instantiate_at(point)?;
         let mut rng = StdRng::seed_from_u64(derive_unit_seed(
             self.plan.config.seed,
@@ -306,7 +311,8 @@ impl CampaignRunner {
             .iter()
             .zip(cell)
             .map(|(metric, state)| {
-                Ok(metric.evaluate_prepared(state, dataset, &protected)?.value())
+                let measured = metric.evaluate_prepared(state, dataset, &protected)?;
+                Ok(MetricSample::of(&measured, self.plan.grain))
             })
             .collect()
     }
@@ -324,9 +330,9 @@ impl CampaignRunner {
         datasets: &[Dataset],
         design_points: &[Vec<ConfigPoint>],
         units: &[Unit],
-        measurements: Vec<Option<Result<Vec<f64>, CoreError>>>,
+        measurements: Vec<Option<Result<Vec<MetricSample>, CoreError>>>,
     ) -> Result<CampaignResult, CoreError> {
-        // (system, dataset, point) -> per-repetition metric-value vectors.
+        // (system, dataset, point) -> per-repetition metric samples.
         // Systems may sweep differently sized designs (a 2-axis grid next to
         // a 1-axis sweep), so slots are laid out with per-system offsets.
         let mut system_offset = Vec::with_capacity(systems.len());
@@ -339,7 +345,7 @@ impl CampaignRunner {
         let slot_of = |system: usize, dataset: usize, point: usize| {
             system_offset[system] + dataset * design_points[system].len() + point
         };
-        let mut per_point: Vec<Vec<Vec<f64>>> = vec![Vec::with_capacity(reps); total];
+        let mut per_point: Vec<Vec<Vec<MetricSample>>> = vec![Vec::with_capacity(reps); total];
         let mut skipped = false;
         for (unit, measurement) in units.iter().zip(measurements) {
             let values = match measurement {
@@ -368,36 +374,24 @@ impl CampaignRunner {
 
         let mut runs = Vec::with_capacity(systems.len() * datasets.len());
         for (s, system) in systems.iter().enumerate() {
+            let meta: Vec<(MetricId, Direction)> =
+                system.suite().iter().map(|m| (m.id(), m.direction())).collect();
             for d in 0..datasets.len() {
-                let mut columns: Vec<MetricColumn> = system
-                    .suite()
-                    .iter()
-                    .map(|m| MetricColumn {
-                        id: m.id(),
-                        direction: m.direction(),
-                        means: Vec::with_capacity(design_points[s].len()),
-                        runs: Vec::with_capacity(design_points[s].len()),
-                    })
+                let cell: Vec<Vec<Vec<MetricSample>>> = (0..design_points[s].len())
+                    .map(|point| std::mem::take(&mut per_point[slot_of(s, d, point)]))
                     .collect();
-                for point in 0..design_points[s].len() {
-                    let slot = slot_of(s, d, point);
-                    for (k, column) in columns.iter_mut().enumerate() {
-                        let runs: Vec<f64> =
-                            per_point[slot].iter().map(|values| values[k]).collect();
-                        column.means.push(runs.iter().sum::<f64>() / runs.len() as f64);
-                        column.runs.push(runs);
-                    }
-                }
                 runs.push(CampaignRun {
                     system_index: s,
                     dataset_index: d,
                     system_key: system.cache_key(),
-                    result: SweepResult::new(
+                    result: assemble_sweep(
                         system.factory().name(),
                         system.space(),
                         self.plan.mode,
+                        self.plan.grain,
                         design_points[s].clone(),
-                        columns,
+                        &meta,
+                        &cell,
                     )?,
                 });
             }
@@ -500,6 +494,28 @@ mod tests {
         for (s, system) in systems.iter().enumerate() {
             let independent = ExperimentRunner::new(config).run(system, &dataset).unwrap();
             assert_eq!(campaign.get(s, 0).unwrap(), &independent, "system {s}");
+        }
+    }
+
+    #[test]
+    fn per_user_campaign_cells_match_independent_per_user_runs() {
+        let systems = three_systems();
+        let dataset = small_dataset(4);
+        let plan = SweepPlan::grid(small_config()).per_user();
+        let campaign = CampaignRunner::with_plan(plan.clone())
+            .run(&systems, std::slice::from_ref(&dataset))
+            .unwrap();
+        for (s, system) in systems.iter().enumerate() {
+            let independent =
+                ExperimentRunner::with_plan(plan.clone()).run(system, &dataset).unwrap();
+            // Bit-identical including the user columns.
+            assert_eq!(campaign.get(s, 0).unwrap(), &independent, "system {s}");
+            assert_eq!(
+                campaign.get(s, 0).unwrap().grain,
+                crate::experiment::Grain::PerUser,
+                "system {s}"
+            );
+            assert!(!campaign.get(s, 0).unwrap().user_columns.is_empty());
         }
     }
 

@@ -15,10 +15,12 @@
 //! recommends the one with the largest worst-case slack.
 
 use crate::error::CoreError;
-use crate::modeling::{FittedSuite, MetricModel, MetricResponse};
+use crate::experiment::run_indexed;
+use crate::modeling::{FittedSuite, MetricModel, MetricResponse, PerUserFits, UserFitOutcome};
 use crate::objectives::{Constraint, ConstraintKind, Objectives};
 use geopriv_lppm::{ConfigPoint, ConfigSpace, ParameterDescriptor, ParameterScale};
 use geopriv_metrics::MetricId;
+use geopriv_mobility::UserId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -99,6 +101,110 @@ impl fmt::Display for Recommendation {
     }
 }
 
+/// The explicit per-user feasibility verdict of a
+/// [`Configurator::recommend_per_user`] entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UserVerdict {
+    /// The user's own models admit a configuration satisfying every
+    /// constraint; her recommended point is her own.
+    Feasible,
+    /// No configuration satisfies every constraint under this user's models;
+    /// the fallback policy assigned her the dataset-level point.
+    Infeasible {
+        /// Why the user's own inversion failed.
+        reason: String,
+    },
+    /// The user could not be modeled at all (a metric excluded her, or her
+    /// response was degenerate); the fallback policy assigned her the
+    /// dataset-level point.
+    Unmodeled {
+        /// Why the user has no models.
+        reason: String,
+    },
+}
+
+impl UserVerdict {
+    /// Returns `true` for a user whose own models produced her point.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, UserVerdict::Feasible)
+    }
+
+    /// Short machine-stable label (`feasible` / `infeasible` / `unmodeled`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            UserVerdict::Feasible => "feasible",
+            UserVerdict::Infeasible { .. } => "infeasible",
+            UserVerdict::Unmodeled { .. } => "unmodeled",
+        }
+    }
+}
+
+impl fmt::Display for UserVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UserVerdict::Feasible => write!(f, "feasible"),
+            UserVerdict::Infeasible { reason } => write!(f, "infeasible ({reason})"),
+            UserVerdict::Unmodeled { reason } => write!(f, "unmodeled ({reason})"),
+        }
+    }
+}
+
+/// One user's row of a per-user recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserRecommendation {
+    /// The user this row configures.
+    pub user: UserId,
+    /// Whether the point is the user's own or the fallback, and why.
+    pub verdict: UserVerdict,
+    /// The configuration to deploy for this user: her own satisfying point
+    /// when feasible, the dataset-level point otherwise.
+    pub point: ConfigPoint,
+    /// Metric values predicted at `point` under the *user's own* models, in
+    /// suite order — empty for [`UserVerdict::Unmodeled`] users (they have
+    /// no models to predict with).
+    pub predictions: Vec<(MetricId, f64)>,
+}
+
+impl UserRecommendation {
+    /// The predicted value of one metric at this user's point.
+    pub fn predicted(&self, id: &MetricId) -> Option<f64> {
+        self.predictions.iter().find(|(m, _)| m == id).map(|(_, v)| *v)
+    }
+
+    /// Returns `true` when the fallback policy assigned this user's point.
+    pub fn used_fallback(&self) -> bool {
+        !self.verdict.is_feasible()
+    }
+}
+
+/// The outcome of a per-user inversion: the dataset-level recommendation
+/// (also the fallback anchor) plus one [`UserRecommendation`] per user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerUserRecommendation {
+    /// The dataset-grain recommendation — what every user would get without
+    /// per-user configuration, and the fallback point for infeasible users.
+    pub dataset: Recommendation,
+    /// One row per user, in the sweep's user order.
+    pub users: Vec<UserRecommendation>,
+}
+
+impl PerUserRecommendation {
+    /// The row of one user.
+    pub fn get(&self, user: UserId) -> Option<&UserRecommendation> {
+        self.users.iter().find(|u| u.user == user)
+    }
+
+    /// Number of users configured with their own point.
+    pub fn feasible_count(&self) -> usize {
+        self.users.iter().filter(|u| u.verdict.is_feasible()).count()
+    }
+
+    /// Number of users on the fallback point.
+    pub fn fallback_count(&self) -> usize {
+        self.users.len() - self.feasible_count()
+    }
+}
+
 /// Inverts fitted metric models to recommend a configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Configurator {
@@ -150,9 +256,10 @@ impl Configurator {
         }
     }
 
-    /// Resolves and validates every constrained metric's model.
+    /// Resolves and validates every constrained metric's model inside
+    /// `fitted`.
     fn constrained_models<'a>(
-        &'a self,
+        fitted: &'a FittedSuite,
         objectives: &'a Objectives,
     ) -> Result<Vec<(&'a MetricId, &'a Constraint, &'a MetricModel)>, CoreError> {
         if objectives.is_empty() {
@@ -165,9 +272,9 @@ impl Configurator {
             .iter()
             .map(|(id, constraint)| {
                 constraint.validate()?;
-                let model = self.fitted.model(id).ok_or_else(|| CoreError::UnknownMetric {
+                let model = fitted.model(id).ok_or_else(|| CoreError::UnknownMetric {
                     metric: id.to_string(),
-                    available: self.fitted.ids().iter().map(MetricId::to_string).collect(),
+                    available: fitted.ids().iter().map(MetricId::to_string).collect(),
                 })?;
                 Ok((id, constraint, model))
             })
@@ -186,21 +293,32 @@ impl Configurator {
     ///   region satisfies every constraint.
     /// * [`CoreError::Analysis`] when a model cannot be inverted.
     pub fn recommend(&self, objectives: &Objectives) -> Result<Recommendation, CoreError> {
-        let constrained = self.constrained_models(objectives)?;
-        if self.fitted.space.single_axis().is_some() {
-            self.recommend_analytic(&constrained)
+        Self::recommend_on(&self.fitted, self.resolution, objectives)
+    }
+
+    /// [`Configurator::recommend`] over an arbitrary fitted suite — the
+    /// shared engine behind the dataset-level recommendation and every
+    /// per-user recommendation.
+    fn recommend_on(
+        fitted: &FittedSuite,
+        resolution: usize,
+        objectives: &Objectives,
+    ) -> Result<Recommendation, CoreError> {
+        let constrained = Self::constrained_models(fitted, objectives)?;
+        if fitted.space.single_axis().is_some() {
+            Self::recommend_analytic(fitted, &constrained)
         } else {
-            self.recommend_searched(&constrained)
+            Self::recommend_searched(fitted, resolution, &constrained)
         }
     }
 
     /// The paper's analytic inversion on a one-axis space — arithmetic
     /// unchanged from the single-scalar framework.
     fn recommend_analytic(
-        &self,
+        fitted: &FittedSuite,
         constrained: &[(&MetricId, &Constraint, &MetricModel)],
     ) -> Result<Recommendation, CoreError> {
-        let axis = self.fitted.space.single_axis().expect("one-axis space").clone();
+        let axis = fitted.space.single_axis().expect("one-axis space").clone();
         let models: Vec<(&MetricId, &Constraint, &crate::modeling::ParametricModel)> = constrained
             .iter()
             .map(|(id, constraint, model)| {
@@ -256,10 +374,9 @@ impl Configurator {
         };
 
         Ok(Recommendation {
-            point: self.fitted.space.point_from_coords(&[parameter])?,
+            point: fitted.space.point_from_coords(&[parameter])?,
             feasible: vec![(axis.name().to_string(), feasible)],
-            predictions: self
-                .fitted
+            predictions: fitted
                 .models
                 .iter()
                 .map(|m| {
@@ -274,7 +391,6 @@ impl Configurator {
     /// of one axis (the intersection of the constrained models' claimed
     /// regions), keeping the axis name and scale.
     fn candidate_axis(
-        &self,
         axis: &ParameterDescriptor,
         constrained: &[(&MetricId, &Constraint, &MetricModel)],
     ) -> Result<ParameterDescriptor, CoreError> {
@@ -318,20 +434,21 @@ impl Configurator {
     /// one maximizing the smallest constraint slack (ties broken by
     /// enumeration order).
     fn recommend_searched(
-        &self,
+        fitted: &FittedSuite,
+        resolution: usize,
         constrained: &[(&MetricId, &Constraint, &MetricModel)],
     ) -> Result<Recommendation, CoreError> {
-        let space = &self.fitted.space;
+        let space = &fitted.space;
         // Candidate points: ConfigSpace::grid over the intersected per-axis
         // regions — the same deterministic row-major enumeration contract as
         // the sweep itself.
         let sub_axes: Vec<ParameterDescriptor> = space
             .axes()
             .iter()
-            .map(|axis| self.candidate_axis(axis, constrained))
+            .map(|axis| Self::candidate_axis(axis, constrained))
             .collect::<Result<_, _>>()?;
         let sub_space = ConfigSpace::new(sub_axes).map_err(CoreError::from)?;
-        let candidates = sub_space.grid(&vec![self.resolution; space.len()])?;
+        let candidates = sub_space.grid(&vec![resolution; space.len()])?;
         let total = candidates.len();
 
         let mut best: Option<(f64, ConfigPoint)> = None;
@@ -387,13 +504,126 @@ impl Configurator {
                     (name.to_string(), range.expect("a satisfying point bounds every axis"))
                 })
                 .collect(),
-            predictions: self
-                .fitted
+            predictions: fitted
                 .models
                 .iter()
                 .map(|m| Ok((m.id.clone(), m.predict(&point)?)))
                 .collect::<Result<_, CoreError>>()?,
             point,
+        })
+    }
+
+    /// Recommends a configuration point *per user* from per-user fitted
+    /// models — the paper's headline scenario: one sweep of the
+    /// configuration space, then every user gets her own operating point.
+    ///
+    /// Each user with a complete fitted suite is inverted independently
+    /// (analytic on one axis, the deterministic grid search otherwise) by
+    /// the exact engine behind [`Configurator::recommend`]; the per-user
+    /// inversions run on the shared work-stealing pool.
+    ///
+    /// **Fallback policy** (documented contract): a user whose own models
+    /// are infeasible under the objectives, or who could not be modeled at
+    /// all, is assigned the *dataset-level* recommended point — the nearest
+    /// satisfying configuration the framework can justify for her (it
+    /// satisfies the constraints in expectation over the population). Her
+    /// [`UserVerdict`] says explicitly why the fallback was applied; fallback
+    /// users are never silently mixed with feasible ones.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfiguration`] when the per-user models were
+    ///   fitted on a different configuration space, or the objective set is
+    ///   empty.
+    /// * [`CoreError::Infeasible`] when even the *dataset-level* models admit
+    ///   no satisfying configuration — then there is no fallback point to
+    ///   anchor infeasible users on, and no per-user table is produced.
+    /// * [`CoreError::UnknownMetric`] when a constraint references a metric
+    ///   that was not fitted.
+    pub fn recommend_per_user(
+        &self,
+        per_user: &PerUserFits,
+        objectives: &Objectives,
+    ) -> Result<PerUserRecommendation, CoreError> {
+        if per_user.space != self.fitted.space {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!(
+                    "per-user models cover ({}) but the dataset suite covers ({})",
+                    per_user.space.names().join(", "),
+                    self.fitted.space.names().join(", ")
+                ),
+            });
+        }
+        let dataset = self.recommend(objectives)?;
+        let users: Vec<UserRecommendation> = run_indexed(per_user.users.len(), true, |i| {
+            let fit = &per_user.users[i];
+            self.recommend_user(fit.user, &fit.outcome, &dataset, objectives)
+        })
+        .into_iter()
+        .collect::<Result<_, CoreError>>()?;
+        Ok(PerUserRecommendation { dataset, users })
+    }
+
+    /// One user's recommendation: her own inversion when possible, the
+    /// dataset-level fallback point (with an explicit verdict) otherwise.
+    fn recommend_user(
+        &self,
+        user: UserId,
+        outcome: &UserFitOutcome,
+        dataset: &Recommendation,
+        objectives: &Objectives,
+    ) -> Result<UserRecommendation, CoreError> {
+        let suite = match outcome {
+            UserFitOutcome::Unfit { reason } => {
+                return Ok(UserRecommendation {
+                    user,
+                    verdict: UserVerdict::Unmodeled { reason: reason.clone() },
+                    point: dataset.point.clone(),
+                    predictions: Vec::new(),
+                });
+            }
+            UserFitOutcome::Fitted(suite) => suite,
+        };
+        match Self::recommend_on(suite, self.resolution, objectives) {
+            Ok(recommendation) => Ok(UserRecommendation {
+                user,
+                verdict: UserVerdict::Feasible,
+                point: recommendation.point,
+                predictions: recommendation.predictions,
+            }),
+            // This user's own models admit no satisfying configuration (or
+            // cannot be inverted): apply the documented fallback.
+            Err(CoreError::Infeasible { reason }) => {
+                self.fallback_for(user, suite, dataset, reason)
+            }
+            Err(CoreError::Analysis(error)) => {
+                self.fallback_for(user, suite, dataset, error.to_string())
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Builds the fallback recommendation of one infeasible user: the
+    /// dataset-level point, with the metrics predicted at that point under
+    /// the *user's own* models — the report shows what she can actually
+    /// expect there, not the population average.
+    fn fallback_for(
+        &self,
+        user: UserId,
+        suite: &FittedSuite,
+        dataset: &Recommendation,
+        reason: String,
+    ) -> Result<UserRecommendation, CoreError> {
+        let predictions = suite
+            .models
+            .iter()
+            .map(|m| Ok((m.id.clone(), m.predict(&dataset.point)?)))
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(UserRecommendation {
+            user,
+            verdict: UserVerdict::Infeasible { reason },
+            point: dataset.point.clone(),
+            predictions,
         })
     }
 }
@@ -667,6 +897,97 @@ mod tests {
             }
             other => panic!("expected infeasible, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn per_user_recommendation_separates_feasible_and_fallback_users() {
+        use geopriv_mobility::UserId;
+
+        let sweep = crate::modeling::fixtures::per_user_sweep();
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+        let per_user = Modeler::new().fit_per_user(&sweep).unwrap();
+        let configurator = Configurator::new(fitted);
+        // Privacy ≤ 0.15 and utility ≥ 0.80: feasible for the population and
+        // for user 1, infeasible for user 2 (her privacy intercept is worse).
+        let objectives = Objectives::new()
+            .require("poi-retrieval", at_most(0.15))
+            .unwrap()
+            .require("area-coverage", at_least(0.80))
+            .unwrap();
+        let recommendation = configurator.recommend_per_user(&per_user, &objectives).unwrap();
+
+        // The dataset anchor is exactly the plain recommendation.
+        assert_eq!(recommendation.dataset, configurator.recommend(&objectives).unwrap());
+        assert_eq!(recommendation.users.len(), 4);
+        assert_eq!(recommendation.feasible_count(), 1);
+        assert_eq!(recommendation.fallback_count(), 3);
+
+        // User 1 gets her own point, satisfying every constraint under her
+        // own models.
+        let own = recommendation.get(UserId::new(1)).unwrap();
+        assert!(own.verdict.is_feasible());
+        assert!(!own.used_fallback());
+        assert_eq!(own.verdict.label(), "feasible");
+        assert!(at_most(0.15).is_satisfied_by(own.predicted(&privacy_id()).unwrap()));
+        assert!(at_least(0.80).is_satisfied_by(own.predicted(&utility_id()).unwrap()));
+
+        // User 2's own models are infeasible: she lands on the dataset point
+        // with an explicit verdict, and her predictions there come from HER
+        // models (the report shows what she can actually expect).
+        let fallback = recommendation.get(UserId::new(2)).unwrap();
+        assert!(matches!(&fallback.verdict, UserVerdict::Infeasible { .. }));
+        assert!(fallback.used_fallback());
+        assert_eq!(fallback.point, recommendation.dataset.point);
+        let expected = per_user
+            .fitted(UserId::new(2))
+            .unwrap()
+            .model(&privacy_id())
+            .unwrap()
+            .predict(&recommendation.dataset.point)
+            .unwrap();
+        assert_eq!(fallback.predicted(&privacy_id()), Some(expected));
+        assert!(fallback.verdict.to_string().contains("infeasible"));
+
+        // Users 3 and 4 could not be modeled: fallback point, no predictions.
+        for user in [3u64, 4] {
+            let unmodeled = recommendation.get(UserId::new(user)).unwrap();
+            assert!(matches!(&unmodeled.verdict, UserVerdict::Unmodeled { .. }));
+            assert_eq!(unmodeled.verdict.label(), "unmodeled");
+            assert_eq!(unmodeled.point, recommendation.dataset.point);
+            assert!(unmodeled.predictions.is_empty());
+        }
+        assert!(recommendation.get(UserId::new(9)).is_none());
+
+        // Deterministic regardless of the thread pool.
+        assert_eq!(
+            configurator.recommend_per_user(&per_user, &objectives).unwrap(),
+            recommendation
+        );
+    }
+
+    #[test]
+    fn per_user_recommendation_needs_a_feasible_dataset_anchor() {
+        let sweep = crate::modeling::fixtures::per_user_sweep();
+        let configurator = Configurator::new(Modeler::new().fit(&sweep).unwrap());
+        let per_user = Modeler::new().fit_per_user(&sweep).unwrap();
+        // Impossible for the population: no fallback anchor exists.
+        let impossible = Objectives::new()
+            .require("poi-retrieval", at_most(0.01))
+            .unwrap()
+            .require("area-coverage", at_least(0.99))
+            .unwrap();
+        assert!(matches!(
+            configurator.recommend_per_user(&per_user, &impossible),
+            Err(CoreError::Infeasible { .. })
+        ));
+
+        // A space mismatch between the per-user models and the suite is a
+        // typed configuration error.
+        let foreign = Configurator::new(grid_suite());
+        assert!(matches!(
+            foreign.recommend_per_user(&per_user, &Objectives::paper_example()),
+            Err(CoreError::InvalidConfiguration { .. })
+        ));
     }
 
     #[test]

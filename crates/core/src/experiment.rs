@@ -17,7 +17,7 @@ use crate::error::CoreError;
 use crate::system::SystemDefinition;
 use geopriv_lppm::{ConfigPoint, ConfigSpace, ParameterDescriptor};
 use geopriv_metrics::{Direction, MetricId};
-use geopriv_mobility::Dataset;
+use geopriv_mobility::{Dataset, UserId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -76,8 +76,27 @@ pub enum SweepMode {
     OneAtATime,
 }
 
+/// The grain at which a sweep records its measurements.
+///
+/// Every metric evaluation computes a user-keyed breakdown either way (the
+/// metrics need it for their aggregates); the grain decides whether the sweep
+/// *keeps* it. At [`Grain::Dataset`] only the dataset-level means survive —
+/// the historical behavior, with unchanged memory. At [`Grain::PerUser`] the
+/// sweep additionally records one [`UserColumn`] per metric: one response
+/// curve per user over the design points, the raw material for configuring
+/// each user's LPPM individually (the paper's headline scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Grain {
+    /// Record dataset-level aggregates only (the default).
+    #[default]
+    Dataset,
+    /// Additionally record one curve per user and metric.
+    PerUser,
+}
+
 /// The full description of a sweep: base [`SweepConfig`], enumeration
-/// [`SweepMode`] and optional per-axis point-count overrides.
+/// [`SweepMode`], measurement [`Grain`] and optional per-axis point-count
+/// overrides.
 ///
 /// On a one-axis space both modes enumerate exactly
 /// [`ParameterDescriptor::sweep`]`(config.points)` in order — the historical
@@ -88,24 +107,42 @@ pub struct SweepPlan {
     pub config: SweepConfig,
     /// Grid or one-at-a-time enumeration.
     pub mode: SweepMode,
+    /// Whether per-user curves are recorded alongside the dataset means.
+    pub grain: Grain,
     per_axis: Vec<(String, usize)>,
 }
 
 impl SweepPlan {
     /// A full-factorial plan with `config.points` values per axis.
     pub fn grid(config: SweepConfig) -> Self {
-        Self { config, mode: SweepMode::Grid, per_axis: Vec::new() }
+        Self { config, mode: SweepMode::Grid, grain: Grain::Dataset, per_axis: Vec::new() }
     }
 
     /// A one-at-a-time plan with `config.points` values per axis.
     pub fn one_at_a_time(config: SweepConfig) -> Self {
-        Self { config, mode: SweepMode::OneAtATime, per_axis: Vec::new() }
+        Self { config, mode: SweepMode::OneAtATime, grain: Grain::Dataset, per_axis: Vec::new() }
     }
 
     /// Overrides the point count of one named axis (later calls win).
     #[must_use]
     pub fn axis_points(mut self, axis: impl Into<String>, points: usize) -> Self {
         self.per_axis.push((axis.into(), points));
+        self
+    }
+
+    /// Records per-user curves ([`Grain::PerUser`]) alongside the dataset
+    /// means. The aggregate columns stay bit-identical to a dataset-grain
+    /// sweep with the same seed.
+    #[must_use]
+    pub fn per_user(mut self) -> Self {
+        self.grain = Grain::PerUser;
+        self
+    }
+
+    /// Sets the measurement grain explicitly.
+    #[must_use]
+    pub fn grain(mut self, grain: Grain) -> Self {
+        self.grain = grain;
         self
     }
 
@@ -186,6 +223,143 @@ impl MetricColumn {
     }
 }
 
+/// The user-resolved measurements of one metric across a whole sweep: one
+/// response curve per evaluated user, recorded only when the sweep requests
+/// [`Grain::PerUser`].
+///
+/// A metric may exclude users it cannot evaluate (POI retrieval for users
+/// without POIs), so different metrics of the same sweep may resolve
+/// different user sets — join them by [`UserId`], never by position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserColumn {
+    /// Id of the metric inside the suite.
+    pub id: MetricId,
+    /// Which way the metric improves.
+    pub direction: Direction,
+    /// The users this metric evaluated, in dataset (trace) order.
+    pub users: Vec<UserId>,
+    /// `curves[u][p]`: mean metric value of `users[u]` at design point `p`
+    /// (over the repetitions), aligned with [`SweepResult::points`].
+    pub curves: Vec<Vec<f64>>,
+}
+
+impl UserColumn {
+    /// The response curve of one user, aligned with the design points.
+    pub fn curve(&self, user: UserId) -> Option<&[f64]> {
+        self.users.iter().position(|u| *u == user).map(|i| self.curves[i].as_slice())
+    }
+
+    /// Number of users this metric resolved.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+}
+
+/// One metric evaluation as the sweep engines carry it between measurement
+/// and assembly: the dataset-level aggregate, plus the user-keyed breakdown
+/// when (and only when) the sweep runs at [`Grain::PerUser`] — dataset-grain
+/// sweeps drop the breakdown inside the work unit, keeping their memory
+/// footprint unchanged.
+#[derive(Debug, Clone)]
+pub(crate) struct MetricSample {
+    pub(crate) value: f64,
+    pub(crate) per_user: Vec<(UserId, f64)>,
+}
+
+impl MetricSample {
+    pub(crate) fn of(measured: &geopriv_metrics::MetricValue, grain: Grain) -> Self {
+        Self {
+            value: measured.value(),
+            per_user: match grain {
+                Grain::Dataset => Vec::new(),
+                Grain::PerUser => measured.per_user().to_vec(),
+            },
+        }
+    }
+}
+
+/// Groups per-unit measurements into a [`SweepResult`], reproducing the
+/// historical aggregation arithmetic exactly (repetitions averaged in
+/// repetition order, one column per suite metric) and — at
+/// [`Grain::PerUser`] — assembling one [`UserColumn`] per metric from the
+/// per-unit breakdowns.
+///
+/// `per_point[p][r][k]` is the sample of metric `k` at design point `p`,
+/// repetition `r`. Shared by [`ExperimentRunner`] and
+/// [`crate::campaign::CampaignRunner`] so both engines produce identical
+/// stores by construction.
+pub(crate) fn assemble_sweep(
+    lppm_name: &str,
+    space: ConfigSpace,
+    mode: SweepMode,
+    grain: Grain,
+    points: Vec<ConfigPoint>,
+    meta: &[(MetricId, Direction)],
+    per_point: &[Vec<Vec<MetricSample>>],
+) -> Result<SweepResult, CoreError> {
+    let mut columns: Vec<MetricColumn> = meta
+        .iter()
+        .map(|(id, direction)| MetricColumn {
+            id: id.clone(),
+            direction: *direction,
+            means: Vec::with_capacity(points.len()),
+            runs: Vec::with_capacity(points.len()),
+        })
+        .collect();
+    for point_reps in per_point {
+        for (k, column) in columns.iter_mut().enumerate() {
+            let runs: Vec<f64> = point_reps.iter().map(|rep| rep[k].value).collect();
+            column.means.push(runs.iter().sum::<f64>() / runs.len() as f64);
+            column.runs.push(runs);
+        }
+    }
+
+    if grain == Grain::Dataset {
+        return SweepResult::new(lppm_name, space, mode, points, columns);
+    }
+
+    // Per-user curves. A metric's evaluated-user set is derived from the
+    // *actual* dataset alone (the metric contracts guarantee it), so it must
+    // be identical at every (point, repetition) — anything else would make
+    // the curves meaningless and is reported as an error.
+    let mut user_columns = Vec::with_capacity(meta.len());
+    for (k, (id, direction)) in meta.iter().enumerate() {
+        let users: Vec<UserId> = per_point
+            .first()
+            .and_then(|reps| reps.first())
+            .map(|rep| rep[k].per_user.iter().map(|(user, _)| *user).collect())
+            .unwrap_or_default();
+        for (p, point_reps) in per_point.iter().enumerate() {
+            for (r, rep) in point_reps.iter().enumerate() {
+                if rep[k].per_user.len() != users.len()
+                    || rep[k].per_user.iter().zip(&users).any(|((u, _), expected)| u != expected)
+                {
+                    return Err(CoreError::InvalidConfiguration {
+                        reason: format!(
+                            "metric \"{id}\" resolved a different user set at design point {p}, \
+                             repetition {r} — per-user sweeps need a breakdown that is stable \
+                             across the sweep"
+                        ),
+                    });
+                }
+            }
+        }
+        let reps = per_point.first().map_or(0, Vec::len).max(1) as f64;
+        let curves: Vec<Vec<f64>> = (0..users.len())
+            .map(|u| {
+                per_point
+                    .iter()
+                    .map(|point_reps| {
+                        point_reps.iter().map(|rep| rep[k].per_user[u].1).sum::<f64>() / reps
+                    })
+                    .collect()
+            })
+            .collect();
+        user_columns.push(UserColumn { id: id.clone(), direction: *direction, users, curves });
+    }
+    SweepResult::with_user_columns(lppm_name, space, mode, points, columns, user_columns)
+}
+
 fn std_dev(values: &[f64]) -> f64 {
     if values.len() < 2 {
         return 0.0;
@@ -261,16 +435,23 @@ pub struct SweepResult {
     pub space: ConfigSpace,
     /// How the space was enumerated.
     pub mode: SweepMode,
+    /// The grain the sweep was recorded at. At [`Grain::Dataset`] (the
+    /// historical behavior) `user_columns` is empty.
+    pub grain: Grain,
     /// The measured design points, in enumeration order.
     pub points: Vec<ConfigPoint>,
     /// One column per metric, in suite order.
     pub columns: Vec<MetricColumn>,
+    /// One user-resolved column per metric (suite order), recorded only at
+    /// [`Grain::PerUser`].
+    pub user_columns: Vec<UserColumn>,
 }
 
 impl SweepResult {
-    /// Builds a result, validating that every design point belongs to the
-    /// space, that every column has one mean (and, when per-repetition runs
-    /// are recorded, one run list) per point and that metric ids are unique.
+    /// Builds a dataset-grain result, validating that every design point
+    /// belongs to the space, that every column has one mean (and, when
+    /// per-repetition runs are recorded, one run list) per point and that
+    /// metric ids are unique.
     ///
     /// # Errors
     ///
@@ -316,7 +497,92 @@ impl SweepResult {
                 });
             }
         }
-        Ok(Self { lppm_name: lppm_name.into(), space, mode, points, columns })
+        Ok(Self {
+            lppm_name: lppm_name.into(),
+            space,
+            mode,
+            grain: Grain::Dataset,
+            points,
+            columns,
+            user_columns: Vec::new(),
+        })
+    }
+
+    /// Builds a per-user ([`Grain::PerUser`]) result: the dataset-grain
+    /// column store plus one [`UserColumn`] per metric.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepResult::new`], plus: a user column referencing a metric
+    /// that has no aggregate column (or disagreeing on its direction),
+    /// duplicate users inside a column, or curves not aligned with the
+    /// design points.
+    pub fn with_user_columns(
+        lppm_name: impl Into<String>,
+        space: ConfigSpace,
+        mode: SweepMode,
+        points: Vec<ConfigPoint>,
+        columns: Vec<MetricColumn>,
+        user_columns: Vec<UserColumn>,
+    ) -> Result<Self, CoreError> {
+        let mut result = Self::new(lppm_name, space, mode, points, columns)?;
+        let mut seen = std::collections::BTreeSet::new();
+        for user_column in &user_columns {
+            let Some(column) = result.columns.iter().find(|c| c.id == user_column.id) else {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: format!(
+                        "user column \"{}\" has no matching aggregate column",
+                        user_column.id
+                    ),
+                });
+            };
+            if column.direction != user_column.direction {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: format!(
+                        "user column \"{}\" disagrees with its aggregate column's direction",
+                        user_column.id
+                    ),
+                });
+            }
+            if !seen.insert(user_column.id.clone()) {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: format!("duplicate user column \"{}\"", user_column.id),
+                });
+            }
+            if user_column.curves.len() != user_column.users.len() {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: format!(
+                        "user column \"{}\" has {} curves for {} users",
+                        user_column.id,
+                        user_column.curves.len(),
+                        user_column.users.len()
+                    ),
+                });
+            }
+            let mut users = std::collections::BTreeSet::new();
+            for user in &user_column.users {
+                if !users.insert(*user) {
+                    return Err(CoreError::InvalidConfiguration {
+                        reason: format!("user column \"{}\" repeats {user}", user_column.id),
+                    });
+                }
+            }
+            for curve in &user_column.curves {
+                if curve.len() != result.points.len() {
+                    return Err(CoreError::InvalidConfiguration {
+                        reason: format!(
+                            "user column \"{}\" has a curve with {} values for {} design points",
+                            user_column.id,
+                            curve.len(),
+                            result.points.len()
+                        ),
+                    });
+                }
+            }
+        }
+        result.grain = Grain::PerUser;
+        result.user_columns = user_columns;
+        Ok(result)
     }
 
     /// Builds a one-axis result from plain parameter values — the historical
@@ -393,6 +659,26 @@ impl SweepResult {
         self.columns.iter().find(|c| &c.id == id)
     }
 
+    /// The user-resolved column of one metric (only present at
+    /// [`Grain::PerUser`]).
+    pub fn user_column(&self, id: &MetricId) -> Option<&UserColumn> {
+        self.user_columns.iter().find(|c| &c.id == id)
+    }
+
+    /// Every user resolved by at least one metric, in order of first
+    /// appearance across the user columns (suite order).
+    pub fn users(&self) -> Vec<UserId> {
+        let mut users = Vec::new();
+        for column in &self.user_columns {
+            for user in &column.users {
+                if !users.contains(user) {
+                    users.push(*user);
+                }
+            }
+        }
+        users
+    }
+
     /// The mean values of one metric, aligned with [`SweepResult::points`].
     pub fn values(&self, id: &MetricId) -> Option<&[f64]> {
         self.column(id).map(|c| c.means.as_slice())
@@ -461,32 +747,25 @@ impl ExperimentRunner {
             .map(|m| m.prepare(dataset).map_err(CoreError::from))
             .collect::<Result<_, _>>()?;
 
-        // Per point: per metric (suite order): per repetition value.
-        let per_point: Vec<Vec<Vec<f64>>> =
+        // Per point: per repetition: per metric (suite order) sample.
+        let per_point: Vec<Vec<Vec<MetricSample>>> =
             run_indexed(points.len(), self.plan.config.parallel, |i| {
                 self.measure_point(system, dataset, &prepared, i, &points[i])
             })
             .into_iter()
             .collect::<Result<Vec<_>, CoreError>>()?;
 
-        let mut columns: Vec<MetricColumn> = system
-            .suite()
-            .iter()
-            .map(|m| MetricColumn {
-                id: m.id(),
-                direction: m.direction(),
-                means: Vec::with_capacity(points.len()),
-                runs: Vec::with_capacity(points.len()),
-            })
-            .collect();
-        for point_runs in per_point {
-            for (column, runs) in columns.iter_mut().zip(point_runs) {
-                column.means.push(runs.iter().sum::<f64>() / runs.len() as f64);
-                column.runs.push(runs);
-            }
-        }
-
-        SweepResult::new(system.factory().name(), space, self.plan.mode, points, columns)
+        let meta: Vec<(MetricId, Direction)> =
+            system.suite().iter().map(|m| (m.id(), m.direction())).collect();
+        assemble_sweep(
+            system.factory().name(),
+            space,
+            self.plan.mode,
+            self.plan.grain,
+            points,
+            &meta,
+            &per_point,
+        )
     }
 
     fn measure_point(
@@ -496,23 +775,23 @@ impl ExperimentRunner {
         prepared: &[geopriv_metrics::PreparedState],
         index: usize,
         point: &ConfigPoint,
-    ) -> Result<Vec<Vec<f64>>, CoreError> {
+    ) -> Result<Vec<Vec<MetricSample>>, CoreError> {
         let lppm = system.factory().instantiate_at(point)?;
-        let mut runs_by_metric: Vec<Vec<f64>> =
-            vec![Vec::with_capacity(self.plan.config.repetitions); system.suite().len()];
+        let mut reps = Vec::with_capacity(self.plan.config.repetitions);
         for repetition in 0..self.plan.config.repetitions {
             // Derive a per-(point, repetition) seed so parallel execution and
             // sequential execution see exactly the same random streams.
             let mut rng =
                 StdRng::seed_from_u64(derive_unit_seed(self.plan.config.seed, index, repetition));
             let protected = lppm.protect_dataset(dataset, &mut rng)?;
-            for ((metric, state), runs) in
-                system.suite().iter().zip(prepared).zip(runs_by_metric.iter_mut())
-            {
-                runs.push(metric.evaluate_prepared(state, dataset, &protected)?.value());
+            let mut samples = Vec::with_capacity(system.suite().len());
+            for (metric, state) in system.suite().iter().zip(prepared) {
+                let measured = metric.evaluate_prepared(state, dataset, &protected)?;
+                samples.push(MetricSample::of(&measured, self.plan.grain));
             }
+            reps.push(samples);
         }
-        Ok(runs_by_metric)
+        Ok(reps)
     }
 }
 
@@ -672,6 +951,59 @@ mod tests {
         for point in &result.points[3..] {
             assert_eq!(point.get("epsilon"), Some(epsilon_default));
         }
+    }
+
+    #[test]
+    fn per_user_grain_keeps_aggregates_identical_and_records_curves() {
+        let dataset = small_dataset();
+        let system = SystemDefinition::paper_geoi();
+        let dataset_grain = ExperimentRunner::new(small_config()).run(&system, &dataset).unwrap();
+        let per_user = ExperimentRunner::with_plan(SweepPlan::grid(small_config()).per_user())
+            .run(&system, &dataset)
+            .unwrap();
+
+        // The grain is opt-in: dataset-grain sweeps record nothing per user.
+        assert_eq!(dataset_grain.grain, Grain::Dataset);
+        assert!(dataset_grain.user_columns.is_empty());
+        assert!(dataset_grain.users().is_empty());
+        assert_eq!(per_user.grain, Grain::PerUser);
+
+        // The aggregate store is bit-identical — same seeds, same arithmetic.
+        assert_eq!(per_user.points, dataset_grain.points);
+        assert_eq!(per_user.columns, dataset_grain.columns);
+
+        // One user column per metric, every curve aligned with the design.
+        assert_eq!(per_user.user_columns.len(), per_user.columns.len());
+        for column in &per_user.user_columns {
+            assert!(column.user_count() >= 1, "{}", column.id);
+            assert_eq!(column.curves.len(), column.users.len());
+            for curve in &column.curves {
+                assert_eq!(curve.len(), per_user.len());
+                assert!(curve.iter().all(|v| (0.0..=1.0).contains(v)));
+            }
+            // With one repetition the aggregate mean at each point is exactly
+            // the mean of the user curves (same values, same summation order).
+            for point in 0..per_user.len() {
+                let mean = column.curves.iter().map(|c| c[point]).sum::<f64>()
+                    / column.user_count() as f64;
+                assert_eq!(
+                    mean,
+                    per_user.column(&column.id).unwrap().means[point],
+                    "{} point {point}",
+                    column.id
+                );
+            }
+        }
+
+        // Per-user accessors: the utility metric covers every dataset user.
+        let coverage = per_user.user_column(&utility_id()).unwrap();
+        assert_eq!(coverage.user_count(), dataset.len());
+        for trace in dataset.iter() {
+            assert!(coverage.curve(trace.user()).is_some());
+        }
+        assert!(coverage.curve(geopriv_mobility::UserId::new(9999)).is_none());
+        assert!(!per_user.users().is_empty());
+        assert!(per_user.user_column(&MetricId::new("nope")).is_none());
     }
 
     #[test]

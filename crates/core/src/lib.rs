@@ -71,15 +71,17 @@ pub mod system;
 pub mod validation;
 
 pub use campaign::{CampaignResult, CampaignRun, CampaignRunner};
-pub use configurator::{Configurator, Recommendation};
+pub use configurator::{
+    Configurator, PerUserRecommendation, Recommendation, UserRecommendation, UserVerdict,
+};
 pub use error::CoreError;
 pub use experiment::{
-    derive_unit_seed, ExperimentRunner, MetricColumn, SweepConfig, SweepMode, SweepPlan,
-    SweepResult,
+    derive_unit_seed, ExperimentRunner, Grain, MetricColumn, SweepConfig, SweepMode, SweepPlan,
+    SweepResult, UserColumn,
 };
 pub use modeling::{
     AxisFit, FittedSuite, MetricModel, MetricResponse, Modeler, ParametricModel, PerAxisFit,
-    SurfaceFit,
+    PerUserFits, SurfaceFit, UserFit, UserFitOutcome,
 };
 pub use objectives::{at_least, at_most, Constraint, ConstraintKind, Objectives};
 pub use pareto::{ParetoFrontier, TradeOffPoint};
@@ -101,13 +103,17 @@ pub use geopriv_lppm::{ConfigPoint, ConfigSpace};
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::campaign::{CampaignResult, CampaignRun, CampaignRunner};
-    pub use crate::configurator::{Configurator, Recommendation};
+    pub use crate::configurator::{
+        Configurator, PerUserRecommendation, Recommendation, UserRecommendation, UserVerdict,
+    };
     pub use crate::error::CoreError;
     pub use crate::experiment::{
-        ExperimentRunner, MetricColumn, SweepConfig, SweepMode, SweepPlan, SweepResult,
+        ExperimentRunner, Grain, MetricColumn, SweepConfig, SweepMode, SweepPlan, SweepResult,
+        UserColumn,
     };
     pub use crate::modeling::{
-        AxisFit, FittedSuite, MetricModel, MetricResponse, Modeler, ParametricModel, SurfaceFit,
+        AxisFit, FittedSuite, MetricModel, MetricResponse, Modeler, ParametricModel, PerUserFits,
+        SurfaceFit, UserFit, UserFitOutcome,
     };
     pub use crate::objectives::{at_least, at_most, Constraint, ConstraintKind, Objectives};
     pub use crate::pareto::{ParetoFrontier, TradeOffPoint};

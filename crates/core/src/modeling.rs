@@ -24,12 +24,13 @@
 //!   that axis's leg of the design (other axes at their defaults).
 
 use crate::error::CoreError;
-use crate::experiment::{SweepMode, SweepResult};
+use crate::experiment::{run_indexed, Grain, SweepMode, SweepResult};
 use geopriv_analysis::model::{LinearModel, LogLinearModel, ResponseModel};
 use geopriv_analysis::regression::MultipleLinearRegression;
 use geopriv_analysis::{find_active_zone, ActiveZone, AnalysisError, Curve};
 use geopriv_lppm::{ConfigPoint, ConfigSpace, ParameterScale};
 use geopriv_metrics::{Direction, MetricId};
+use geopriv_mobility::UserId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -383,6 +384,83 @@ impl fmt::Display for FittedSuite {
     }
 }
 
+/// The modeling outcome of one user in a per-user fit: either a complete
+/// [`FittedSuite`] over the user's own response curves, or the reason no
+/// suite could be fitted (a metric excluded the user, or her response was
+/// degenerate — flat, too few points in the active zone, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UserFitOutcome {
+    /// Every suite metric's model was fitted on this user's curves.
+    Fitted(FittedSuite),
+    /// No usable per-user model; the configurator falls back to the
+    /// dataset-level recommendation for this user.
+    Unfit {
+        /// Why the user could not be modeled.
+        reason: String,
+    },
+}
+
+impl UserFitOutcome {
+    /// The fitted suite, if the user was modeled.
+    pub fn fitted(&self) -> Option<&FittedSuite> {
+        match self {
+            UserFitOutcome::Fitted(suite) => Some(suite),
+            UserFitOutcome::Unfit { .. } => None,
+        }
+    }
+}
+
+/// One user's per-user modeling result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserFit {
+    /// The user the models belong to.
+    pub user: UserId,
+    /// The fitted suite, or why there is none.
+    pub outcome: UserFitOutcome,
+}
+
+/// The complete per-user modeling result of one sweep: one [`UserFit`] per
+/// user resolved by the sweep's [`crate::experiment::UserColumn`]s — the
+/// paper's "one sweep, N user models" efficiency claim made concrete: the
+/// expensive measurement runs once, and every user's models are fitted from
+/// the shared design matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerUserFits {
+    /// The swept configuration space (shared by every user's models).
+    pub space: ConfigSpace,
+    /// How the space was enumerated.
+    pub mode: SweepMode,
+    /// One entry per user, in the sweep's user order.
+    pub users: Vec<UserFit>,
+}
+
+impl PerUserFits {
+    /// The modeling outcome of one user.
+    pub fn get(&self, user: UserId) -> Option<&UserFitOutcome> {
+        self.users.iter().find(|f| f.user == user).map(|f| &f.outcome)
+    }
+
+    /// The fitted suite of one user, if she was modeled.
+    pub fn fitted(&self, user: UserId) -> Option<&FittedSuite> {
+        self.get(user).and_then(UserFitOutcome::fitted)
+    }
+
+    /// Number of users (modeled or not).
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Returns `true` when the sweep resolved no users at all.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Number of users with a complete fitted suite.
+    pub fn fitted_count(&self) -> usize {
+        self.users.iter().filter(|f| f.outcome.fitted().is_some()).count()
+    }
+}
+
 /// Fits invertible metric models from sweep measurements.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Modeler {
@@ -413,6 +491,81 @@ impl Modeler {
             })
             .collect::<Result<Vec<_>, CoreError>>()?;
         Ok(FittedSuite { space: sweep.space.clone(), mode: sweep.mode, models })
+    }
+
+    /// Fits one model per *user* and metric from a per-user sweep — the
+    /// paper's per-user configuration scenario: the sweep runs once, then
+    /// every user's own response curves go through exactly the same
+    /// axis/surface machinery as the dataset-level fit.
+    ///
+    /// Users whose curves cannot be modeled (a metric excluded them, or
+    /// their response is degenerate) are reported as
+    /// [`UserFitOutcome::Unfit`] with the reason, never dropped silently —
+    /// the configurator applies its documented fallback policy to them.
+    ///
+    /// The per-user fits are independent, so they run on the same
+    /// work-stealing pool as the sweep itself; the result does not depend on
+    /// the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] when the sweep was
+    /// recorded at [`Grain::Dataset`] (request `per_user()` on the sweep
+    /// plan).
+    pub fn fit_per_user(&self, sweep: &SweepResult) -> Result<PerUserFits, CoreError> {
+        if sweep.grain != Grain::PerUser {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "per-user modeling needs a per-user sweep — request it with \
+                         SweepPlan::per_user() (or .sweep(|s| s.per_user()) on the facade)"
+                    .to_string(),
+            });
+        }
+        let users = sweep.users();
+        let fits = run_indexed(users.len(), true, |i| self.fit_user(sweep, users[i]));
+        Ok(PerUserFits { space: sweep.space.clone(), mode: sweep.mode, users: fits })
+    }
+
+    /// Fits every suite metric on one user's curves; any failure becomes an
+    /// [`UserFitOutcome::Unfit`] with the reason.
+    fn fit_user(&self, sweep: &SweepResult, user: UserId) -> UserFit {
+        let mut models = Vec::with_capacity(sweep.columns.len());
+        for column in &sweep.columns {
+            let curve = sweep.user_column(&column.id).and_then(|uc| uc.curve(user));
+            let Some(curve) = curve else {
+                return UserFit {
+                    user,
+                    outcome: UserFitOutcome::Unfit {
+                        reason: format!(
+                            "metric \"{}\" excluded {user} from measurement (no evaluable data)",
+                            column.id
+                        ),
+                    },
+                };
+            };
+            match self.fit_response(sweep, curve, &column.id) {
+                Ok(response) => models.push(MetricModel {
+                    id: column.id.clone(),
+                    direction: column.direction,
+                    response,
+                }),
+                Err(error) => {
+                    return UserFit {
+                        user,
+                        outcome: UserFitOutcome::Unfit {
+                            reason: format!("metric \"{}\": {error}", column.id),
+                        },
+                    };
+                }
+            }
+        }
+        UserFit {
+            user,
+            outcome: UserFitOutcome::Fitted(FittedSuite {
+                space: sweep.space.clone(),
+                mode: sweep.mode,
+                models,
+            }),
+        }
     }
 
     fn fit_response(
@@ -567,6 +720,80 @@ impl Modeler {
             regression,
             domain,
         })
+    }
+}
+
+/// Shared synthetic per-user fixture for the core unit tests (modeling and
+/// configurator).
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use super::*;
+    use crate::experiment::{MetricColumn, UserColumn};
+    use geopriv_lppm::{ParameterDescriptor, ParameterScale};
+    use geopriv_mobility::UserId;
+
+    /// A synthetic per-user sweep: users 1 and 2 follow Equation 2 with
+    /// per-user intercept shifts (user 2 is strictly worse off on privacy),
+    /// user 3 is excluded from the privacy metric (no POIs), and user 4's
+    /// utility response is flat (degenerate fit). The aggregate columns
+    /// follow the paper's population curves, so the dataset-level scenario
+    /// stays the classic feasible one.
+    pub(crate) fn per_user_sweep() -> SweepResult {
+        let points = 41;
+        let parameters: Vec<f64> = (0..points)
+            .map(|i| 1e-4 * (1.0f64 / 1e-4).powf(i as f64 / (points - 1) as f64))
+            .collect();
+        let privacy_curve = |shift: f64| -> Vec<f64> {
+            parameters.iter().map(|e| (0.84 + shift + 0.17 * e.ln()).clamp(0.0, 0.45)).collect()
+        };
+        let utility_curve = |shift: f64| -> Vec<f64> {
+            parameters.iter().map(|e| (1.21 + shift + 0.09 * e.ln()).clamp(0.2, 1.0)).collect()
+        };
+        let privacy_curves = vec![privacy_curve(0.0), privacy_curve(0.05), privacy_curve(0.02)];
+        let utility_curves =
+            vec![utility_curve(0.0), utility_curve(-0.03), utility_curve(0.02), vec![0.5; points]];
+        let columns = vec![
+            MetricColumn {
+                id: MetricId::new("poi-retrieval"),
+                direction: Direction::LowerIsBetter,
+                runs: vec![],
+                means: privacy_curve(0.0),
+            },
+            MetricColumn {
+                id: MetricId::new("area-coverage"),
+                direction: Direction::HigherIsBetter,
+                runs: vec![],
+                means: utility_curve(0.0),
+            },
+        ];
+        let user_columns = vec![
+            UserColumn {
+                id: MetricId::new("poi-retrieval"),
+                direction: Direction::LowerIsBetter,
+                users: vec![UserId::new(1), UserId::new(2), UserId::new(4)],
+                curves: privacy_curves,
+            },
+            UserColumn {
+                id: MetricId::new("area-coverage"),
+                direction: Direction::HigherIsBetter,
+                users: vec![UserId::new(1), UserId::new(2), UserId::new(3), UserId::new(4)],
+                curves: utility_curves,
+            },
+        ];
+        let space = ConfigSpace::single(
+            ParameterDescriptor::new("epsilon", 1e-4, 1.0, ParameterScale::Logarithmic).unwrap(),
+        );
+        let points: Vec<_> =
+            parameters.iter().map(|&value| space.point_from_coords(&[value]).unwrap()).collect();
+        SweepResult::with_user_columns(
+            "geo-indistinguishability",
+            space,
+            SweepMode::Grid,
+            points,
+            columns,
+            user_columns,
+        )
+        .unwrap()
     }
 }
 
@@ -820,6 +1047,58 @@ mod tests {
         assert!(!model.in_zone(&foreign));
         // The display mentions the multivariate fit.
         assert!(fitted.to_string().contains("multivariate"));
+    }
+
+    use crate::modeling::fixtures::per_user_sweep;
+
+    #[test]
+    fn per_user_fits_model_every_modellable_user() {
+        use geopriv_mobility::UserId;
+
+        let sweep = per_user_sweep();
+        let fits = Modeler::new().fit_per_user(&sweep).unwrap();
+        assert_eq!(fits.mode, SweepMode::Grid);
+        assert_eq!(fits.len(), 4);
+        assert!(!fits.is_empty());
+        assert_eq!(fits.fitted_count(), 2);
+
+        // Users 1 and 2 get a complete suite fitted on their own curves —
+        // user 2's shifted privacy intercept is recovered.
+        for user in [1u64, 2] {
+            let suite = fits.fitted(UserId::new(user)).unwrap();
+            assert_eq!(suite.ids(), vec![privacy_id(), utility_id()]);
+        }
+        let own = fits.fitted(UserId::new(2)).unwrap();
+        let intercept = own.model(&privacy_id()).unwrap().axis().unwrap().model.intercept();
+        assert!((intercept - 0.89).abs() < 0.08, "user 2 intercept {intercept}");
+
+        // User 3 was excluded from the privacy metric: unfit, with the
+        // metric named in the reason.
+        match fits.get(UserId::new(3)).unwrap() {
+            UserFitOutcome::Unfit { reason } => {
+                assert!(reason.contains("poi-retrieval"), "reason: {reason}");
+                assert!(reason.contains("user-3"), "reason: {reason}");
+            }
+            other => panic!("expected unfit, got {other:?}"),
+        }
+        // User 4's flat utility response cannot be modeled.
+        match fits.get(UserId::new(4)).unwrap() {
+            UserFitOutcome::Unfit { reason } => {
+                assert!(reason.contains("area-coverage"), "reason: {reason}");
+            }
+            other => panic!("expected unfit, got {other:?}"),
+        }
+        assert!(fits.get(UserId::new(9)).is_none());
+        assert!(fits.fitted(UserId::new(3)).is_none());
+    }
+
+    #[test]
+    fn per_user_fitting_requires_a_per_user_sweep() {
+        let dataset_grain = paper_like_sweep(20);
+        assert!(matches!(
+            Modeler::new().fit_per_user(&dataset_grain),
+            Err(CoreError::InvalidConfiguration { .. })
+        ));
     }
 
     #[test]

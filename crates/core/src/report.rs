@@ -6,9 +6,10 @@
 //! configuration axis, one column or line per suite metric. A one-axis sweep
 //! renders byte-identically to the historical single-scalar output.
 
-use crate::configurator::Recommendation;
+use crate::configurator::{PerUserRecommendation, Recommendation, UserVerdict};
 use crate::experiment::SweepResult;
 use crate::modeling::{FittedSuite, MetricResponse};
+use geopriv_metrics::MetricId;
 use std::fmt::Write as _;
 
 /// Renders a sweep as CSV: one column per configuration axis (design-matrix
@@ -155,6 +156,259 @@ pub fn recommendation_report(recommendation: &Recommendation) -> String {
     out
 }
 
+/// Renders one metric's per-user response curves as CSV: one column per
+/// configuration axis, then one column per user (`user-<id>`), one row per
+/// design point. Returns `None` when the sweep recorded no user column for
+/// the metric (dataset grain, or unknown id).
+pub fn user_curves_csv(sweep: &SweepResult, id: &MetricId) -> Option<String> {
+    let column = sweep.user_column(id)?;
+    let mut out = String::new();
+    let mut header = sweep.space.names().join(",");
+    for user in &column.users {
+        let _ = write!(header, ",{user}");
+    }
+    let _ = writeln!(out, "{header}");
+    for (index, point) in sweep.points.iter().enumerate() {
+        for (i, (_, value)) in point.values().iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ",");
+            }
+            let _ = write!(out, "{value:.6e}");
+        }
+        for curve in &column.curves {
+            let _ = write!(out, ",{:.4}", curve[index]);
+        }
+        let _ = writeln!(out);
+    }
+    Some(out)
+}
+
+/// Renders a per-user recommendation as an aligned plain-text table: the
+/// dataset-level anchor, one row per user (verdict, configuration point,
+/// per-metric predictions under the user's own models), and the reason each
+/// fallback user was assigned the dataset-level point.
+pub fn per_user_table(recommendation: &PerUserRecommendation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Per-user recommendations ({} users, {} feasible, {} on the dataset-level fallback):",
+        recommendation.users.len(),
+        recommendation.feasible_count(),
+        recommendation.fallback_count()
+    );
+    let _ = writeln!(out, "  dataset-level anchor: {}", recommendation.dataset);
+
+    let axes: Vec<String> =
+        recommendation.dataset.point.values().iter().map(|(name, _)| name.clone()).collect();
+    let metrics: Vec<MetricId> =
+        recommendation.dataset.predictions.iter().map(|(id, _)| id.clone()).collect();
+    let metric_width = |id: &MetricId| id.as_str().len().max(10);
+    let _ = write!(out, "  {:>12}  {:>10}", "user", "verdict");
+    for axis in &axes {
+        let _ = write!(out, "  {axis:>12}");
+    }
+    for id in &metrics {
+        let _ = write!(out, "  {:>w$}", id.as_str(), w = metric_width(id));
+    }
+    let _ = writeln!(out);
+    for user in &recommendation.users {
+        let _ = write!(out, "  {:>12}  {:>10}", user.user.to_string(), user.verdict.label());
+        for (_, value) in user.point.values() {
+            let _ = write!(out, "  {value:>12.6}");
+        }
+        for id in &metrics {
+            match user.predicted(id) {
+                Some(value) => {
+                    let _ = write!(out, "  {:>w$.4}", value, w = metric_width(id));
+                }
+                None => {
+                    let _ = write!(out, "  {:>w$}", "-", w = metric_width(id));
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let fallbacks: Vec<_> = recommendation.users.iter().filter(|u| u.used_fallback()).collect();
+    if !fallbacks.is_empty() {
+        let _ = writeln!(out, "  fallback policy: dataset-level point applied to:");
+        for user in fallbacks {
+            let _ = writeln!(out, "    {}: {}", user.user, user.verdict);
+        }
+    }
+    out
+}
+
+/// Renders a per-user recommendation as CSV:
+/// `user,verdict,fallback,<axes…>,<metric ids…>,reason` — predictions of
+/// unmodeled users are empty cells, reasons are double-quoted.
+pub fn per_user_csv(recommendation: &PerUserRecommendation) -> String {
+    let mut out = String::new();
+    let axes: Vec<String> =
+        recommendation.dataset.point.values().iter().map(|(name, _)| name.clone()).collect();
+    let metrics: Vec<MetricId> =
+        recommendation.dataset.predictions.iter().map(|(id, _)| id.clone()).collect();
+    let mut header = String::from("user,verdict,fallback");
+    for axis in &axes {
+        let _ = write!(header, ",{axis}");
+    }
+    for id in &metrics {
+        let _ = write!(header, ",{id}");
+    }
+    let _ = writeln!(out, "{header},reason");
+    for user in &recommendation.users {
+        let _ =
+            write!(out, "{},{},{}", user.user.value(), user.verdict.label(), user.used_fallback());
+        for (_, value) in user.point.values() {
+            let _ = write!(out, ",{value:.6e}");
+        }
+        for id in &metrics {
+            match user.predicted(id) {
+                Some(value) => {
+                    let _ = write!(out, ",{value:.4}");
+                }
+                None => {
+                    let _ = write!(out, ",");
+                }
+            }
+        }
+        let reason = match &user.verdict {
+            UserVerdict::Feasible => String::new(),
+            UserVerdict::Infeasible { reason } | UserVerdict::Unmodeled { reason } => {
+                reason.clone()
+            }
+        };
+        let _ = writeln!(out, ",\"{}\"", reason.replace('"', "\"\""));
+    }
+    out
+}
+
+// --- JSON export -----------------------------------------------------------
+//
+// The vendored `serde` is a marker-trait shim (see `vendor/README.md`), so
+// machine-consumable output is rendered by hand, exactly like the bench
+// harness's `BenchJson`. Floats use Rust's shortest round-trip `Display`
+// (valid JSON numbers, bit-faithful on re-parse); non-finite values become
+// `null`.
+
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_point(point: &geopriv_lppm::ConfigPoint, indent: &str) -> String {
+    let entries: Vec<String> = point
+        .values()
+        .iter()
+        .map(|(name, value)| format!("{indent}  {}: {}", json_string(name), json_number(*value)))
+        .collect();
+    format!("{{\n{}\n{indent}}}", entries.join(",\n"))
+}
+
+fn json_predictions(predictions: &[(MetricId, f64)], indent: &str) -> String {
+    if predictions.is_empty() {
+        return "{}".to_string();
+    }
+    let entries: Vec<String> = predictions
+        .iter()
+        .map(|(id, value)| {
+            format!("{indent}  {}: {}", json_string(id.as_str()), json_number(*value))
+        })
+        .collect();
+    format!("{{\n{}\n{indent}}}", entries.join(",\n"))
+}
+
+fn json_recommendation(recommendation: &Recommendation, indent: &str) -> String {
+    let feasible: Vec<String> = recommendation
+        .feasible
+        .iter()
+        .map(|(name, (lo, hi))| {
+            format!(
+                "{indent}    {}: {{\"min\": {}, \"max\": {}}}",
+                json_string(name),
+                json_number(*lo),
+                json_number(*hi)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n{indent}  \"point\": {},\n{indent}  \"feasible\": {{\n{}\n{indent}  }},\n{indent}  \
+         \"predictions\": {}\n{indent}}}",
+        json_point(&recommendation.point, &format!("{indent}  ")),
+        feasible.join(",\n"),
+        json_predictions(&recommendation.predictions, &format!("{indent}  ")),
+    )
+}
+
+/// Renders a [`Recommendation`] as a deterministic, pretty-printed JSON
+/// object: the configuration point (axis order), per-axis feasible intervals
+/// and per-metric predictions (suite order).
+pub fn recommendation_to_json(recommendation: &Recommendation) -> String {
+    format!("{}\n", json_recommendation(recommendation, ""))
+}
+
+/// Renders a [`PerUserRecommendation`] as deterministic JSON: the documented
+/// fallback policy, the dataset-level anchor and one object per user with
+/// its verdict, fallback flag, point and predictions.
+pub fn per_user_recommendation_to_json(recommendation: &PerUserRecommendation) -> String {
+    let mut users = Vec::with_capacity(recommendation.users.len());
+    for user in &recommendation.users {
+        let reason = match &user.verdict {
+            UserVerdict::Feasible => String::new(),
+            UserVerdict::Infeasible { reason } | UserVerdict::Unmodeled { reason } => {
+                reason.clone()
+            }
+        };
+        let mut entry = format!(
+            "    {{\n      \"user\": {},\n      \"verdict\": {},\n      \"fallback\": {}",
+            user.user.value(),
+            json_string(user.verdict.label()),
+            user.used_fallback()
+        );
+        if !reason.is_empty() {
+            let _ = write!(entry, ",\n      \"reason\": {}", json_string(&reason));
+        }
+        let _ = write!(
+            entry,
+            ",\n      \"point\": {},\n      \"predictions\": {}\n    }}",
+            json_point(&user.point, "      "),
+            json_predictions(&user.predictions, "      ")
+        );
+        users.push(entry);
+    }
+    format!(
+        "{{\n  \"fallback_policy\": {},\n  \"feasible_users\": {},\n  \"fallback_users\": {},\n  \
+         \"dataset\": {},\n  \"users\": [\n{}\n  ]\n}}\n",
+        json_string("infeasible and unmodeled users are assigned the dataset-level point"),
+        recommendation.feasible_count(),
+        recommendation.fallback_count(),
+        json_recommendation(&recommendation.dataset, "  "),
+        users.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +523,104 @@ mod tests {
         assert!(report.contains("epsilon"));
         assert!(report.contains("predicted poi-retrieval"));
         assert!(report.contains("predicted area-coverage"));
+    }
+
+    fn per_user_recommendation() -> PerUserRecommendation {
+        let sweep = crate::modeling::fixtures::per_user_sweep();
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+        let per_user = Modeler::new().fit_per_user(&sweep).unwrap();
+        crate::configurator::Configurator::new(fitted)
+            .recommend_per_user(
+                &per_user,
+                &Objectives::new()
+                    .require("poi-retrieval", at_most(0.15))
+                    .unwrap()
+                    .require("area-coverage", at_least(0.80))
+                    .unwrap(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn user_curves_render_one_column_per_user() {
+        let per_user = crate::modeling::fixtures::per_user_sweep();
+        let csv = user_curves_csv(&per_user, &MetricId::new("area-coverage")).unwrap();
+        assert!(csv.starts_with("epsilon,user-1,user-2,user-3,user-4"));
+        assert_eq!(csv.lines().count(), per_user.len() + 1);
+        assert_eq!(csv.lines().nth(1).unwrap().split(',').count(), 5);
+        // Unknown metrics and dataset-grain sweeps have no user curves.
+        assert!(user_curves_csv(&per_user, &MetricId::new("nope")).is_none());
+        assert!(user_curves_csv(&sweep(), &MetricId::new("poi-retrieval")).is_none());
+    }
+
+    #[test]
+    fn per_user_table_and_csv_cover_every_user_and_fallback() {
+        let recommendation = per_user_recommendation();
+        let table = per_user_table(&recommendation);
+        assert!(table.contains("4 users, 1 feasible, 3 on the dataset-level fallback"));
+        assert!(table.contains("dataset-level anchor"));
+        for user in ["user-1", "user-2", "user-3", "user-4"] {
+            assert!(table.contains(user), "missing {user} in:\n{table}");
+        }
+        assert!(table.contains("feasible"));
+        assert!(table.contains("unmodeled"));
+        assert!(table.contains("fallback policy: dataset-level point applied to:"));
+
+        let csv = per_user_csv(&recommendation);
+        assert!(csv.starts_with("user,verdict,fallback,epsilon,poi-retrieval,area-coverage,reason"));
+        assert_eq!(csv.lines().count(), 5);
+        let feasible_row = csv.lines().nth(1).unwrap();
+        assert!(feasible_row.starts_with("1,feasible,false,"));
+        // Unmodeled users have empty prediction cells and a quoted reason.
+        // (User order is first-appearance across the user columns: 1, 2, 4
+        // from the privacy column, then 3 from the utility column.)
+        let unmodeled_row = csv.lines().nth(3).unwrap();
+        assert!(unmodeled_row.starts_with("4,unmodeled,true,"), "row: {unmodeled_row}");
+        assert!(unmodeled_row.contains(",,"));
+        assert!(unmodeled_row.ends_with('"'));
+    }
+
+    #[test]
+    fn json_exports_are_valid_and_deterministic() {
+        let s = sweep();
+        let fitted = Modeler::new().fit(&s).unwrap();
+        let recommendation = crate::configurator::Configurator::new(fitted)
+            .recommend(&Objectives::paper_example())
+            .unwrap();
+        let json = recommendation_to_json(&recommendation);
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"point\""));
+        assert!(json.contains("\"epsilon\""));
+        assert!(json.contains("\"feasible\""));
+        assert!(json.contains("\"min\""));
+        assert!(json.contains("\"predictions\""));
+        assert!(json.contains("\"poi-retrieval\""));
+        assert_eq!(json, recommendation_to_json(&recommendation));
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let per_user = per_user_recommendation();
+        let json = per_user_recommendation_to_json(&per_user);
+        assert!(json.contains("\"fallback_policy\""));
+        assert!(json.contains("\"dataset\""));
+        assert!(json.contains("\"users\""));
+        assert!(json.contains("\"verdict\": \"feasible\""));
+        assert!(json.contains("\"verdict\": \"unmodeled\""));
+        assert!(json.contains("\"reason\""));
+        assert!(json.contains("\"feasible_users\": 1"));
+        assert!(json.contains("\"fallback_users\": 3"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_strings_and_numbers_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\tand\u{1}"), "\"line\\nbreak\\tand\\u0001\"");
+        assert_eq!(json_number(0.5), "0.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
     }
 
     #[test]

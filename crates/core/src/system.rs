@@ -631,7 +631,9 @@ mod tests {
                 actual: &geopriv_mobility::Dataset,
                 _: &geopriv_mobility::Dataset,
             ) -> Result<geopriv_metrics::MetricValue, geopriv_metrics::MetricError> {
-                geopriv_metrics::MetricValue::from_per_user(vec![0.0; actual.len()])
+                geopriv_metrics::MetricValue::from_per_user(
+                    actual.iter().map(|t| (t.user(), 0.0)).collect(),
+                )
             }
         }
         let result = SystemDefinition::with_pair(

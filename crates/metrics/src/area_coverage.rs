@@ -157,7 +157,7 @@ impl UtilityMetric for AreaCoverage {
                 }
                 CoverageSimilarity::CellF1 => actual_cells.f1_of(&protected_cells),
             };
-            per_user.push(similarity);
+            per_user.push((actual_trace.user(), similarity));
         }
         MetricValue::from_per_user(per_user)
     }

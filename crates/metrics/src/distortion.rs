@@ -126,11 +126,11 @@ impl UtilityMetric for DistortionUtility {
         let pairs = actual
             .paired_with(protected)
             .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
-        let per_user: Vec<f64> = pairs
+        let per_user: Vec<_> = pairs
             .iter()
             .map(|(a, p)| {
                 let d = MeanDistortion::of_traces(a, p).as_f64();
-                1.0 / (1.0 + d / self.scale.as_f64())
+                (a.user(), 1.0 / (1.0 + d / self.scale.as_f64()))
             })
             .collect();
         MetricValue::from_per_user(per_user)

@@ -114,11 +114,11 @@ impl UtilityMetric for HotspotPreservation {
             let actual_top = self.top_cells(&grid, actual_trace);
             let protected_top = self.top_cells(&grid, protected_trace);
             if actual_top.is_empty() {
-                per_user.push(1.0);
+                per_user.push((actual_trace.user(), 1.0));
                 continue;
             }
             let preserved = actual_top.intersection(&protected_top).count();
-            per_user.push(preserved as f64 / actual_top.len() as f64);
+            per_user.push((actual_trace.user(), preserved as f64 / actual_top.len() as f64));
         }
         MetricValue::from_per_user(per_user)
     }

@@ -139,20 +139,22 @@ impl PoiRetrieval {
             .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
         // Users without any actual POI are skipped: their retrieval is
         // undefined, and averaging them in as 0.0 would bias the dataset mean
-        // toward "perfectly private".
+        // toward "perfectly private". The breakdown carries each evaluated
+        // user's id, so downstream joins with metrics covering *all* users
+        // (area coverage, distortion) align by user instead of by position.
         let mut per_user = Vec::with_capacity(pairs.len());
-        for ((_, protected_trace), actual_pois) in pairs.iter().zip(per_trace) {
+        for ((actual_trace, protected_trace), actual_pois) in pairs.iter().zip(per_trace) {
             if actual_pois.is_empty() {
                 continue;
             }
             let protected_pois = self.extractor.extract_distinct(protected_trace);
-            per_user.push(self.retrieval(actual_pois, &protected_pois));
+            per_user.push((actual_trace.user(), self.retrieval(actual_pois, &protected_pois)));
         }
         if per_user.is_empty() {
             // No user has a single POI: nothing is retrievable. The breakdown
             // rule stays consistent — excluded users never appear in it — so
-            // the defined value is a single 0.0 entry.
-            return MetricValue::from_per_user(vec![0.0]);
+            // the defined 0.0 value carries an empty breakdown.
+            return Ok(MetricValue::defined_zero());
         }
         MetricValue::from_per_user(per_user)
     }
@@ -299,8 +301,8 @@ mod tests {
         let value = PoiRetrieval::default().evaluate(&dataset, &protected).unwrap();
         assert_eq!(value.value(), 0.0);
         // Consistent breakdown rule: users without POIs never appear in it,
-        // so the all-excluded case carries a single defined entry.
-        assert_eq!(value.per_user(), &[0.0]);
+        // so the all-excluded case carries an empty breakdown.
+        assert!(value.per_user().is_empty());
     }
 
     /// Regression test for the zero-bias bug: a user with no actual POI used
@@ -318,8 +320,10 @@ mod tests {
         // Releasing the truth retrieves 100% of user 1's POIs; user 2 has
         // nothing to retrieve and must not drag the mean to 0.5.
         assert_eq!(value.value(), 1.0, "no-POI user biased the mean");
-        // The breakdown only covers users that were actually evaluated.
-        assert_eq!(value.per_user(), &[1.0]);
+        // The breakdown only covers users that were actually evaluated — and
+        // names them, so nobody has to guess which users were excluded.
+        assert_eq!(value.per_user(), &[(UserId::new(1), 1.0)]);
+        assert_eq!(value.value_for(UserId::new(2)), None);
     }
 
     /// Regression test for the projection-anchor bug: distances used to be

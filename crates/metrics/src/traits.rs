@@ -7,7 +7,7 @@
 //! counterpart and return a value in `[0, 1]`.
 
 use crate::error::MetricError;
-use geopriv_mobility::Dataset;
+use geopriv_mobility::{Dataset, UserId};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::fmt;
@@ -143,23 +143,40 @@ impl DatasetFingerprint {
     }
 }
 
-/// A metric value in `[0, 1]` together with its per-user breakdown.
+/// A metric value in `[0, 1]` together with its *user-keyed* per-user
+/// breakdown.
+///
+/// Every breakdown entry carries the [`UserId`] it was measured for, so two
+/// metrics evaluated over the same dataset can be joined by user even when
+/// one of them excludes users it cannot evaluate (e.g. POI retrieval for
+/// users without POIs) — positional zipping of breakdowns is never needed
+/// and never correct.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricValue {
     value: f64,
-    per_user: Vec<f64>,
+    per_user: Vec<(UserId, f64)>,
 }
 
 impl MetricValue {
-    /// Creates a metric value from per-user values (the aggregate is their mean).
+    /// Creates a metric value from user-keyed per-trace values.
     ///
-    /// Non-finite per-user values are rejected.
+    /// The aggregate is the mean over the given entries, summed in the given
+    /// order — for metrics that evaluate one entry per trace this is the
+    /// historical trace-grain mean, bit for bit. A user appearing several
+    /// times (a dataset may hold several traces per user, e.g. one per day)
+    /// contributes one *breakdown* entry carrying the mean of her traces, at
+    /// her first position, so breakdown keys stay unique and joinable while
+    /// the aggregate keeps weighting every trace equally.
+    ///
+    /// Non-finite values and an empty list are rejected; a metric that
+    /// cannot evaluate *any* user represents that with
+    /// [`MetricValue::defined_zero`] instead.
     ///
     /// # Errors
     ///
     /// Returns [`MetricError::InvalidParameter`] if `per_user` is empty or
     /// contains non-finite values.
-    pub fn from_per_user(per_user: Vec<f64>) -> Result<Self, MetricError> {
+    pub fn from_per_user(per_user: Vec<(UserId, f64)>) -> Result<Self, MetricError> {
         if per_user.is_empty() {
             return Err(MetricError::InvalidParameter {
                 name: "per_user",
@@ -167,42 +184,86 @@ impl MetricValue {
                 reason: "metric needs at least one per-user value",
             });
         }
-        if per_user.iter().any(|v| !v.is_finite()) {
+        if per_user.iter().any(|(_, v)| !v.is_finite()) {
             return Err(MetricError::InvalidParameter {
                 name: "per_user",
                 value: f64::NAN,
                 reason: "per-user metric values must be finite",
             });
         }
-        let value = per_user.iter().sum::<f64>() / per_user.len() as f64;
+        let value = per_user.iter().map(|(_, v)| v).sum::<f64>() / per_user.len() as f64;
+        // Merge multi-trace users: one breakdown entry per user, in
+        // first-appearance order, carrying the mean of the user's entries
+        // (exactly the single entry for the common one-trace-per-user case).
+        let mut index = std::collections::BTreeMap::new();
+        let mut merged: Vec<(UserId, f64, usize)> = Vec::with_capacity(per_user.len());
+        for (user, v) in per_user {
+            match index.get(&user) {
+                Some(&i) => {
+                    let (_, sum, count): &mut (UserId, f64, usize) = &mut merged[i];
+                    *sum += v;
+                    *count += 1;
+                }
+                None => {
+                    index.insert(user, merged.len());
+                    merged.push((user, v, 1));
+                }
+            }
+        }
+        let per_user = merged.into_iter().map(|(user, sum, n)| (user, sum / n as f64)).collect();
         Ok(Self { value, per_user })
     }
 
-    /// The aggregate metric value (mean over users), in `[0, 1]`.
+    /// The metric value of a dataset on which *no* user could be evaluated
+    /// but the metric is still well defined as zero (e.g. POI retrieval when
+    /// no user has a single POI: nothing is retrievable at all). The
+    /// aggregate is `0.0` and the breakdown is empty — excluded users never
+    /// appear in a breakdown.
+    pub fn defined_zero() -> Self {
+        Self { value: 0.0, per_user: Vec::new() }
+    }
+
+    /// The aggregate metric value (mean over the evaluated traces), in
+    /// `[0, 1]`.
     pub fn value(&self) -> f64 {
         self.value
     }
 
-    /// The per-user metric values, in dataset (user id) order.
+    /// The user-keyed per-user metric values, in dataset (trace) order.
     ///
     /// A metric may exclude users it cannot evaluate (e.g. POI retrieval for
     /// users without POIs — see the metric's docs); the breakdown then covers
-    /// the evaluated users in dataset order and is shorter than the dataset.
-    /// The values carry no user ids, so don't zip this with the dataset's
-    /// users unless the metric guarantees full coverage.
-    pub fn per_user(&self) -> &[f64] {
+    /// only the evaluated users. Join breakdowns of different metrics by
+    /// [`UserId`], never by position.
+    pub fn per_user(&self) -> &[(UserId, f64)] {
         &self.per_user
     }
 
-    /// The worst per-user value — the maximum for a privacy metric (where
-    /// higher is worse), the minimum for a utility metric.
-    pub fn worst_for_privacy(&self) -> f64 {
-        self.per_user.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    /// The evaluated users, in breakdown order.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.per_user.iter().map(|(user, _)| *user)
     }
 
-    /// The worst per-user value for a utility metric (minimum).
+    /// The value measured for one user, or `None` if the metric excluded
+    /// that user.
+    pub fn value_for(&self, user: UserId) -> Option<f64> {
+        self.per_user.iter().find(|(u, _)| *u == user).map(|(_, v)| *v)
+    }
+
+    /// The worst per-user value — the maximum for a privacy metric (where
+    /// higher is worse), the minimum for a utility metric. Falls back to the
+    /// aggregate when the breakdown is empty ([`MetricValue::defined_zero`]).
+    pub fn worst_for_privacy(&self) -> f64 {
+        self.per_user.iter().map(|(_, v)| *v).fold(self.value, f64::max)
+    }
+
+    /// The worst per-user value for a utility metric (minimum). Falls back to
+    /// the aggregate when the breakdown is empty.
     pub fn worst_for_utility(&self) -> f64 {
-        self.per_user.iter().copied().fold(f64::INFINITY, f64::min)
+        if self.per_user.is_empty() {
+            return self.value;
+        }
+        self.per_user.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -342,11 +403,21 @@ pub trait UtilityMetric: Send + Sync {
 mod tests {
     use super::*;
 
+    fn keyed(values: &[(u64, f64)]) -> Vec<(UserId, f64)> {
+        values.iter().map(|&(u, v)| (UserId::new(u), v)).collect()
+    }
+
     #[test]
     fn metric_value_aggregates_per_user_values() {
-        let v = MetricValue::from_per_user(vec![0.1, 0.3, 0.2]).unwrap();
+        let v = MetricValue::from_per_user(keyed(&[(1, 0.1), (2, 0.3), (3, 0.2)])).unwrap();
         assert!((v.value() - 0.2).abs() < 1e-12);
         assert_eq!(v.per_user().len(), 3);
+        assert_eq!(
+            v.users().collect::<Vec<_>>(),
+            vec![UserId::new(1), UserId::new(2), UserId::new(3)]
+        );
+        assert_eq!(v.value_for(UserId::new(2)), Some(0.3));
+        assert_eq!(v.value_for(UserId::new(9)), None);
         assert_eq!(v.worst_for_privacy(), 0.3);
         assert_eq!(v.worst_for_utility(), 0.1);
         assert!(v.to_string().contains("3 users"));
@@ -355,8 +426,37 @@ mod tests {
     #[test]
     fn metric_value_rejects_bad_input() {
         assert!(MetricValue::from_per_user(vec![]).is_err());
-        assert!(MetricValue::from_per_user(vec![0.5, f64::NAN]).is_err());
-        assert!(MetricValue::from_per_user(vec![f64::INFINITY]).is_err());
+        assert!(MetricValue::from_per_user(keyed(&[(1, 0.5), (2, f64::NAN)])).is_err());
+        assert!(MetricValue::from_per_user(keyed(&[(1, f64::INFINITY)])).is_err());
+    }
+
+    /// A dataset may hold several traces per user (one per day, say): the
+    /// aggregate stays the per-trace mean while the breakdown merges the
+    /// user's traces into one joinable entry.
+    #[test]
+    fn multi_trace_users_are_merged_in_the_breakdown_only() {
+        let v = MetricValue::from_per_user(keyed(&[(1, 0.2), (2, 0.9), (1, 0.4)])).unwrap();
+        // Aggregate: mean over the three traces, not over the two users.
+        assert!((v.value() - 0.5).abs() < 1e-12);
+        // Breakdown: one entry per user, first-appearance order, per-user
+        // mean of her traces.
+        assert_eq!(v.per_user().len(), 2);
+        assert_eq!(v.per_user()[0].0, UserId::new(1));
+        assert!((v.per_user()[0].1 - 0.3).abs() < 1e-12);
+        assert_eq!(v.value_for(UserId::new(2)), Some(0.9));
+    }
+
+    #[test]
+    fn defined_zero_has_an_empty_breakdown() {
+        let v = MetricValue::defined_zero();
+        assert_eq!(v.value(), 0.0);
+        assert!(v.per_user().is_empty());
+        assert_eq!(v.users().count(), 0);
+        assert_eq!(v.value_for(UserId::new(1)), None);
+        // The worst-case accessors fall back to the aggregate.
+        assert_eq!(v.worst_for_privacy(), 0.0);
+        assert_eq!(v.worst_for_utility(), 0.0);
+        assert!(v.to_string().contains("0 users"));
     }
 
     #[test]
@@ -407,7 +507,7 @@ mod tests {
                 "constant"
             }
             fn evaluate(&self, actual: &Dataset, _: &Dataset) -> Result<MetricValue, MetricError> {
-                MetricValue::from_per_user(vec![0.5; actual.len()])
+                MetricValue::from_per_user(actual.iter().map(|t| (t.user(), 0.5)).collect())
             }
         }
 

@@ -69,17 +69,40 @@ proptest! {
             Box::new(HotspotPreservation::default()),
             Box::new(DistortionUtility::default()),
         ];
+        // Every metric's aggregate is exactly the mean of its user-keyed
+        // breakdown (bit-identical: the constructor sums in breakdown order),
+        // every breakdown user is a dataset user, and no user repeats. An
+        // empty breakdown is allowed only for the defined-zero case (no user
+        // evaluable at all).
+        let users_of = |d: &Dataset| d.iter().map(|t| t.user()).collect::<Vec<_>>();
+        let check = |v: &geopriv_metrics::MetricValue, name: &str| {
+            if v.per_user().is_empty() {
+                prop_assert_eq!(v.value(), 0.0, "{}: empty breakdown must be defined zero", name);
+            } else {
+                let mean =
+                    v.per_user().iter().map(|(_, x)| x).sum::<f64>() / v.per_user().len() as f64;
+                prop_assert_eq!(v.value(), mean, "{}: aggregate is not the breakdown mean", name);
+            }
+            let dataset_users = users_of(&actual);
+            let mut seen = std::collections::BTreeSet::new();
+            for (user, _) in v.per_user() {
+                prop_assert!(dataset_users.contains(user), "{name}: foreign user {user}");
+                prop_assert!(seen.insert(*user), "{name}: duplicate user {user}");
+            }
+            Ok(())
+        };
         for metric in &metrics_privacy {
             let v = metric.evaluate(&actual, &protected).unwrap();
             prop_assert!((0.0..=1.0).contains(&v.value()), "{} = {}", metric.name(), v.value());
-            // The breakdown covers the evaluable users (all of them, when no
-            // user lacks POIs) and is never empty.
-            prop_assert!(!v.per_user().is_empty());
             prop_assert!(v.per_user().len() <= actual.len());
+            check(&v, metric.name())?;
         }
         for metric in &metrics_utility {
             let v = metric.evaluate(&actual, &protected).unwrap();
             prop_assert!((0.0..=1.0).contains(&v.value()), "{} = {}", metric.name(), v.value());
+            // The utility metrics cover every user of the dataset.
+            prop_assert_eq!(v.per_user().len(), actual.len());
+            check(&v, metric.name())?;
         }
         // Distortion is non-negative and finite.
         let d = MeanDistortion::new().of_datasets(&actual, &protected).unwrap();
@@ -207,4 +230,93 @@ proptest! {
         let v = metric.evaluate(&actual, &released).unwrap();
         prop_assert!((v.value() - 1.0).abs() < 1e-9);
     }
+}
+
+/// A trace in constant motion: it never dwells anywhere, so it has no POI.
+fn moving_trace(user: u64) -> Trace {
+    let records: Vec<Record> = (0..200)
+        .map(|i| {
+            Record::new(
+                Seconds::new(i as f64 * 30.0),
+                GeoPoint::new(37.70 + i as f64 * 0.0004, -122.45).unwrap(),
+            )
+        })
+        .collect();
+    Trace::new(UserId::new(user), records).unwrap()
+}
+
+/// Regression test: a dataset may hold several traces for the same user
+/// ("kept as distinct traces, e.g. one trace per day for the same driver" —
+/// `Dataset::new`'s documented contract). Every metric must still evaluate:
+/// the aggregate stays the per-trace mean, and the breakdown carries one
+/// merged entry per user so joins stay unambiguous.
+#[test]
+fn metrics_evaluate_datasets_with_several_traces_per_user() {
+    let traces = vec![
+        stop_and_go_trace(1, 2, 20),
+        stop_and_go_trace(1, 4, 25), // same driver, another day
+        stop_and_go_trace(2, 3, 20),
+    ];
+    let actual = Dataset::new(traces).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let protected = GeoIndistinguishability::new(Epsilon::new(0.01).unwrap())
+        .protect_dataset(&actual, &mut rng)
+        .unwrap();
+
+    let metrics: Vec<Box<dyn UtilityMetric>> = vec![
+        Box::new(AreaCoverage::default()),
+        Box::new(HotspotPreservation::default()),
+        Box::new(DistortionUtility::default()),
+    ];
+    for metric in &metrics {
+        let v = metric.evaluate(&actual, &protected).unwrap_or_else(|e| {
+            panic!("{} failed on a multi-trace-per-user dataset: {e}", metric.name())
+        });
+        assert!((0.0..=1.0).contains(&v.value()), "{}", metric.name());
+        // Two users, three traces: the breakdown merges user 1's traces.
+        assert_eq!(v.per_user().len(), 2, "{}", metric.name());
+        assert_eq!(v.users().collect::<Vec<_>>(), vec![UserId::new(1), UserId::new(2)]);
+    }
+    let privacy = PoiRetrieval::default().evaluate(&actual, &protected).unwrap();
+    assert!((0.0..=1.0).contains(&privacy.value()));
+    assert!(privacy.per_user().len() <= 2);
+}
+
+/// Regression test for the breakdown-alignment bug: `PoiRetrieval` excludes
+/// users without POIs, so its breakdown used to be a *shorter* positional
+/// `Vec<f64>` than a full-coverage metric's over the same dataset — zipping
+/// the two by position silently paired user 3's retrieval with user 2's
+/// coverage. User-keyed breakdowns make the join exact.
+#[test]
+fn breakdowns_of_different_metrics_join_by_user_not_position() {
+    // User 2 (the middle trace) never stops, so POI retrieval excludes her.
+    let traces = vec![stop_and_go_trace(1, 3, 20), moving_trace(2), stop_and_go_trace(3, 3, 20)];
+    let actual = Dataset::new(traces).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let released = Identity::new().protect_dataset(&actual, &mut rng).unwrap();
+
+    let privacy = PoiRetrieval::default().evaluate(&actual, &released).unwrap();
+    let utility = AreaCoverage::default().evaluate(&actual, &released).unwrap();
+
+    // The privacy breakdown names exactly the users that have POIs…
+    assert_eq!(
+        privacy.users().collect::<Vec<_>>(),
+        vec![UserId::new(1), UserId::new(3)],
+        "excluded user must not appear in the breakdown"
+    );
+    // …while the utility breakdown covers every user.
+    assert_eq!(utility.per_user().len(), 3);
+
+    // Joining by user id pairs the right values for every evaluated user.
+    for (user, retrieval) in privacy.per_user() {
+        let coverage = utility.value_for(*user).expect("utility covers every user");
+        assert!((0.0..=1.0).contains(retrieval) && (0.0..=1.0).contains(&coverage));
+    }
+    assert_eq!(privacy.value_for(UserId::new(2)), None);
+
+    // The positional zip this replaces was genuinely wrong: position 1 of the
+    // privacy breakdown is user 3, while position 1 of the utility breakdown
+    // is user 2.
+    assert_eq!(privacy.per_user()[1].0, UserId::new(3));
+    assert_eq!(utility.per_user()[1].0, UserId::new(2));
 }

@@ -1,0 +1,97 @@
+//! Per-user configuration — the paper's headline scenario: *one* sweep of
+//! the configuration space yields a privacy/utility curve per user, and
+//! every user gets her own recommended operating point.
+//!
+//! The example sweeps GEO-I's ε once at per-user grain, fits one model per
+//! (user, metric) from the shared sweep, recommends a `ConfigPoint` per user
+//! under the stated objectives, prints the per-user table (including the
+//! documented fallback policy for infeasible users), and then *verifies* the
+//! promise: each feasible user's traces are re-protected at her own ε and
+//! every constraint is re-checked against the measured values.
+//!
+//! ```text
+//! cargo run --release --example per_user
+//! ```
+
+use geopriv::prelude::*;
+use geopriv::AutoConf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The fleet to protect — one trace per driver.
+    let mut rng = StdRng::seed_from_u64(2016);
+    let dataset = TaxiFleetBuilder::new()
+        .drivers(8)
+        .duration_hours(10.0)
+        .sampling_interval_s(30.0)
+        .build(&mut rng)?;
+    println!("dataset: {} drivers, {} records", dataset.user_count(), dataset.record_count());
+
+    // One sweep at per-user grain: the aggregate columns are bit-identical
+    // to a dataset-grain sweep, and every user's own response curves are
+    // recorded on the side.
+    let privacy_bound = at_most(0.12);
+    let utility_bound = at_least(0.75);
+    let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+        .dataset(&dataset)
+        .sweep(|s| s.points(15).seed(42).per_user())
+        .fit()?
+        .require("poi-retrieval", privacy_bound)?
+        .require("area-coverage", utility_bound)?;
+
+    let models = studied.per_user_models().expect("per-user sweep");
+    println!(
+        "one sweep, {} user models ({} users modeled, {} not)",
+        models.len(),
+        models.fitted_count(),
+        models.len() - models.fitted_count()
+    );
+    println!("objectives: {}", studied.objectives());
+    println!();
+
+    // One recommendation per user, with an explicit feasibility verdict.
+    // Fallback policy: infeasible and unmodeled users get the dataset-level
+    // point — the best configuration the population models can justify.
+    let recommendation = studied.recommend_per_user()?;
+    println!("{}", geopriv::core::report::per_user_table(&recommendation));
+
+    // Verify the promise against the data, not the models: re-protect each
+    // user's own traces at her recommended point and re-measure both
+    // metrics.
+    println!("re-measured per user (seed 7):");
+    for user in &recommendation.users {
+        let traces = dataset.traces_of(user.user);
+        let single = Dataset::new(traces.into_iter().cloned().collect())?;
+        let measured = studied.measure_at_point(&single, &user.point, 7)?;
+        let privacy = measured[0].1;
+        let utility = measured[1].1;
+        println!(
+            "  {:>8} [{:>10}]  epsilon = {:.5}  poi-retrieval = {:.3}  area-coverage = {:.3}",
+            user.user.to_string(),
+            user.verdict.label(),
+            user.point.single().expect("one-axis system"),
+            privacy,
+            utility
+        );
+        if user.verdict.is_feasible() {
+            assert!(
+                privacy_bound.is_satisfied_by(privacy),
+                "{}: measured poi-retrieval {privacy:.3} violates {privacy_bound}",
+                user.user
+            );
+            assert!(
+                utility_bound.is_satisfied_by(utility),
+                "{}: measured area-coverage {utility:.3} violates {utility_bound}",
+                user.user
+            );
+        }
+    }
+    println!();
+    println!("every feasible user's point satisfies both constraints under re-measurement.");
+
+    // The same table, machine-consumable.
+    println!();
+    println!("CSV:\n{}", geopriv::core::report::per_user_csv(&recommendation));
+    Ok(())
+}

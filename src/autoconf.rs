@@ -38,8 +38,9 @@
 
 use crate::error::Error;
 use geopriv_core::{
-    Configurator, Constraint, ExperimentRunner, FittedSuite, MetricId, Modeler, Objectives,
-    ParetoFrontier, Recommendation, SweepConfig, SweepResult, SystemDefinition,
+    Configurator, Constraint, ExperimentRunner, FittedSuite, Grain, HoldOutValidator, MetricId,
+    Modeler, Objectives, ParetoFrontier, PerUserFits, PerUserRecommendation, Recommendation,
+    SweepConfig, SweepResult, SystemDefinition, ValidationReport,
 };
 use geopriv_lppm::ConfigPoint;
 use geopriv_mobility::Dataset;
@@ -90,6 +91,23 @@ impl SweepBuilder {
     #[must_use]
     pub fn one_at_a_time(mut self) -> Self {
         self.plan.mode = geopriv_core::SweepMode::OneAtATime;
+        self
+    }
+
+    /// Records per-user response curves alongside the dataset means
+    /// ([`Grain::PerUser`]), unlocking
+    /// [`FittedAutoConf::recommend_per_user`]. The aggregate columns stay
+    /// bit-identical to a dataset-grain sweep with the same seed.
+    #[must_use]
+    pub fn per_user(mut self) -> Self {
+        self.plan = self.plan.per_user();
+        self
+    }
+
+    /// Sets the measurement grain explicitly.
+    #[must_use]
+    pub fn grain(mut self, grain: Grain) -> Self {
+        self.plan = self.plan.grain(grain);
         self
     }
 
@@ -150,7 +168,7 @@ pub struct AutoConfWithData<'a> {
     dataset: &'a Dataset,
 }
 
-impl AutoConfWithData<'_> {
+impl<'a> AutoConfWithData<'a> {
     /// Adjusts the sweep settings.
     #[must_use]
     pub fn sweep(mut self, configure: impl FnOnce(SweepBuilder) -> SweepBuilder) -> Self {
@@ -159,18 +177,28 @@ impl AutoConfWithData<'_> {
     }
 
     /// Runs the sweep and fits every suite metric's model — exactly
-    /// [`ExperimentRunner::run`] followed by [`Modeler::fit`].
+    /// [`ExperimentRunner::run`] followed by [`Modeler::fit`]. On a
+    /// per-user sweep ([`SweepBuilder::per_user`]) the per-user models are
+    /// fitted too, from the same single sweep.
     ///
     /// # Errors
     ///
     /// Propagates sweep and modeling errors.
-    pub fn fit(self) -> Result<FittedAutoConf, Error> {
-        let sweep = ExperimentRunner::with_plan(self.plan).run(&self.system, self.dataset)?;
+    pub fn fit(self) -> Result<FittedAutoConf<'a>, Error> {
+        let sweep =
+            ExperimentRunner::with_plan(self.plan.clone()).run(&self.system, self.dataset)?;
         let fitted = Modeler::new().fit(&sweep)?;
+        let per_user = match self.plan.grain {
+            Grain::PerUser => Some(Modeler::new().fit_per_user(&sweep)?),
+            Grain::Dataset => None,
+        };
         let configurator = Configurator::new(fitted);
         Ok(FittedAutoConf {
             system: self.system,
+            dataset: self.dataset,
+            plan: self.plan,
             sweep,
+            per_user,
             configurator,
             objectives: Objectives::new(),
         })
@@ -181,14 +209,17 @@ impl AutoConfWithData<'_> {
 ///
 /// Only this state exposes [`FittedAutoConf::recommend`] — the typestate
 /// guarantee that inversion never runs before measurement.
-pub struct FittedAutoConf {
+pub struct FittedAutoConf<'a> {
     system: SystemDefinition,
+    dataset: &'a Dataset,
+    plan: geopriv_core::SweepPlan,
     sweep: SweepResult,
+    per_user: Option<PerUserFits>,
     configurator: Configurator,
     objectives: Objectives,
 }
 
-impl FittedAutoConf {
+impl FittedAutoConf<'_> {
     /// Adds a constraint on one suite metric ([`geopriv_core::at_most`] /
     /// [`geopriv_core::at_least`]).
     ///
@@ -266,6 +297,72 @@ impl FittedAutoConf {
     ///   conflict.
     pub fn recommend(&self) -> Result<Recommendation, Error> {
         Ok(self.configurator.recommend(&self.objectives)?)
+    }
+
+    /// The per-user fitted models, when the sweep ran at
+    /// [`Grain::PerUser`].
+    pub fn per_user_models(&self) -> Option<&PerUserFits> {
+        self.per_user.as_ref()
+    }
+
+    /// Inverts every user's own models under the stated constraints —
+    /// exactly [`Configurator::recommend_per_user`]: each user gets her own
+    /// [`ConfigPoint`] with an explicit feasibility verdict; infeasible and
+    /// unmodeled users fall back to the dataset-level point (the documented
+    /// fallback policy).
+    ///
+    /// # Errors
+    ///
+    /// * [`geopriv_core::CoreError::InvalidConfiguration`] when the sweep was
+    ///   not per-user (request it with `.sweep(|s| s.per_user())`) or no
+    ///   constraint was stated.
+    /// * [`geopriv_core::CoreError::Infeasible`] when even the dataset-level
+    ///   models admit no satisfying configuration (no fallback anchor).
+    pub fn recommend_per_user(&self) -> Result<PerUserRecommendation, Error> {
+        let Some(per_user) = &self.per_user else {
+            return Err(geopriv_core::CoreError::InvalidConfiguration {
+                reason: "per-user recommendation needs a per-user sweep — request it with \
+                         .sweep(|s| s.per_user()) before fit()"
+                    .to_string(),
+            }
+            .into());
+        };
+        Ok(self.configurator.recommend_per_user(per_user, &self.objectives)?)
+    }
+
+    /// Hold-out validation of the fitted models: split the dataset by
+    /// alternating traces, fit on one half, and measure the per-metric
+    /// prediction error on the other — exactly
+    /// [`HoldOutValidator::validate`] with this study's sweep plan (at
+    /// dataset grain; the split sweeps need no per-user curves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HoldOutValidator::validate`] errors (fewer than two
+    /// traces, sweep or modeling failures on a split half).
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use geopriv::prelude::*;
+    /// use geopriv::AutoConf;
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), geopriv::Error> {
+    /// # let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// # let dataset = TaxiFleetBuilder::new().drivers(8).duration_hours(8.0).build(&mut rng)?;
+    /// let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+    ///     .dataset(&dataset)
+    ///     .sweep(|s| s.points(15).seed(42))
+    ///     .fit()?;
+    /// let report = studied.validate()?;
+    /// assert!(report.is_acceptable(0.2), "models do not transfer: {report}");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn validate(&self) -> Result<ValidationReport, Error> {
+        let plan = self.plan.clone().grain(Grain::Dataset);
+        Ok(HoldOutValidator::with_plan(plan).validate(&self.system, self.dataset)?)
     }
 
     /// Double-checks a recommendation against the data rather than the
@@ -530,6 +627,97 @@ mod tests {
         let recommendation =
             studied.require("poi-retrieval", at_most(0.9)).unwrap().recommend().unwrap();
         assert_eq!(recommendation.point.len(), 2);
+    }
+
+    #[test]
+    fn per_user_flow_runs_through_the_facade() {
+        let dataset = dataset();
+        let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+            .dataset(&dataset)
+            .sweep(|s| s.points(13).seed(42).per_user())
+            .fit()
+            .unwrap()
+            .require("poi-retrieval", at_most(0.6))
+            .unwrap()
+            .require("area-coverage", at_least(0.3))
+            .unwrap();
+
+        // The per-user grain is recorded and modeled.
+        assert_eq!(studied.sweep_result().grain, geopriv_core::Grain::PerUser);
+        let models = studied.per_user_models().unwrap();
+        assert!(!models.is_empty());
+
+        // The aggregate columns are bit-identical to a dataset-grain sweep
+        // with the same seed — the facade's equivalence contract.
+        let dataset_grain = AutoConf::for_system(SystemDefinition::paper_geoi())
+            .dataset(&dataset)
+            .sweep(|s| s.points(13).seed(42))
+            .fit()
+            .unwrap();
+        assert_eq!(studied.sweep_result().columns, dataset_grain.sweep_result().columns);
+        assert_eq!(studied.sweep_result().points, dataset_grain.sweep_result().points);
+
+        // Per-user recommendation: one row per modeled user, anchored on the
+        // dataset recommendation.
+        let recommendation = studied.recommend_per_user().unwrap();
+        assert_eq!(recommendation.dataset, studied.recommend().unwrap());
+        assert_eq!(recommendation.users.len(), models.len());
+        for user in &recommendation.users {
+            if user.verdict.is_feasible() {
+                assert!(
+                    at_most(0.6).is_satisfied_by(user.predicted(&"poi-retrieval".into()).unwrap())
+                );
+                assert!(
+                    at_least(0.3).is_satisfied_by(user.predicted(&"area-coverage".into()).unwrap())
+                );
+            } else {
+                assert_eq!(user.point, recommendation.dataset.point);
+            }
+        }
+    }
+
+    #[test]
+    fn per_user_recommendation_requires_a_per_user_sweep() {
+        let dataset = dataset();
+        let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+            .dataset(&dataset)
+            .sweep(|s| s.points(9).seed(1))
+            .fit()
+            .unwrap()
+            .require("poi-retrieval", at_most(0.5))
+            .unwrap();
+        assert!(studied.per_user_models().is_none());
+        match studied.recommend_per_user() {
+            Err(Error::Core(CoreError::InvalidConfiguration { reason })) => {
+                assert!(reason.contains("per_user"), "reason: {reason}");
+            }
+            other => panic!("expected invalid configuration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_wraps_the_hold_out_validator() {
+        let dataset = dataset();
+        let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+            .dataset(&dataset)
+            .sweep(|s| s.points(9).seed(13))
+            .fit()
+            .unwrap();
+        let report = studied.validate().unwrap();
+        assert_eq!(report.training_traces + report.validation_traces, dataset.len());
+        assert!(report.error(&"poi-retrieval".into()).is_some());
+        assert!(report.error(&"area-coverage".into()).is_some());
+        // Identical to driving the validator by hand with the same plan.
+        let by_hand =
+            geopriv_core::HoldOutValidator::with_plan(geopriv_core::SweepPlan::grid(SweepConfig {
+                points: 9,
+                repetitions: 1,
+                seed: 13,
+                parallel: true,
+            }))
+            .validate(studied.system(), &dataset)
+            .unwrap();
+        assert_eq!(report, by_hand);
     }
 
     #[test]

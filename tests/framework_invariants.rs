@@ -74,7 +74,7 @@ proptest! {
         let utility = AreaCoverage::default().evaluate(&dataset, &protected).unwrap();
         prop_assert!((0.0..=1.0).contains(&privacy.value()));
         prop_assert!((0.0..=1.0).contains(&utility.value()));
-        for v in privacy.per_user().iter().chain(utility.per_user()) {
+        for (_, v) in privacy.per_user().iter().chain(utility.per_user()) {
             prop_assert!((0.0..=1.0).contains(v));
         }
     }
