@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .sampling_interval_s(120.0)
         .first_user_id(1_000)
         .build(&mut rng)?;
-    let mut traces = taxis.traces().to_vec();
-    traces.extend(commuters.traces().iter().cloned());
+    let mut traces = taxis.to_traces();
+    traces.extend(commuters.to_traces());
     let dataset = Dataset::new(traces)?;
     println!(
         "dataset: {} users ({} taxi drivers + {} commuters), {} records",

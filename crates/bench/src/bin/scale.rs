@@ -1,0 +1,149 @@
+//! Million-user scale baseline for the sharded per-user sweep path.
+//!
+//! Two measurements, one committed `BENCH_scale.json`:
+//!
+//! 1. **Throughput** — the paper's GEO-I system swept at per-user grain over
+//!    a 10,000-user [`generator::scaled`] dataset in 1,000-user shards,
+//!    median of 5 timed runs, reported as users/s.
+//! 2. **Memory bound** — a 100,000-user (1,000,000 at `--fidelity full`)
+//!    dataset through the same sharded sweep, with the peak-RSS high-water
+//!    mark reset before the sweep so the reading isolates the sweep's own
+//!    working set: with O(shard) execution the overhead beyond the resident
+//!    input dataset stays shard-sized, not dataset-sized.
+//!
+//! ```text
+//! cargo run -p geopriv-bench --release --bin scale \
+//!     [-- --fidelity smoke|standard|full] [--out BENCH_scale.json]
+//! ```
+
+use geopriv_bench::{
+    current_rss_kb, fidelity_from_args, median_seconds, out_path_from_args, peak_rss_kb,
+    reset_peak_rss, BenchJson, Fidelity, REPRODUCTION_SEED,
+};
+use geopriv_core::prelude::*;
+use geopriv_mobility::generator;
+use std::time::Instant;
+
+/// Users in the timed-throughput phase.
+fn throughput_users(fidelity: Fidelity) -> usize {
+    match fidelity {
+        Fidelity::Smoke => 1_000,
+        Fidelity::Standard | Fidelity::Full => 10_000,
+    }
+}
+
+/// Users in the memory-bound phase.
+fn scale_users(fidelity: Fidelity) -> usize {
+    match fidelity {
+        Fidelity::Smoke => 10_000,
+        Fidelity::Standard => 100_000,
+        Fidelity::Full => 1_000_000,
+    }
+}
+
+/// Shard size of both phases: the O(shard) working-set bound being measured.
+const SHARD_USERS: usize = 1_000;
+
+/// Sweep shape of both phases: few points, the scale axis is the user count.
+const SWEEP_POINTS: usize = 4;
+
+fn sharded_plan() -> SweepPlan {
+    let config = SweepConfig {
+        points: SWEEP_POINTS,
+        repetitions: 1,
+        seed: REPRODUCTION_SEED,
+        parallel: true,
+    };
+    SweepPlan::grid(config).per_user().shard_users(SHARD_USERS)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = fidelity_from_args();
+    let out_path = out_path_from_args("BENCH_scale.json");
+    let system = SystemDefinition::paper_geoi();
+
+    // Phase 1: throughput, median of 5.
+    let users = throughput_users(fidelity);
+    eprintln!("throughput phase: {users} users in {SHARD_USERS}-user shards ({fidelity:?})…");
+    let dataset = generator::scaled(users, REPRODUCTION_SEED)?;
+    let runner = ExperimentRunner::with_plan(sharded_plan());
+
+    eprintln!("warming up…");
+    let reference = runner.run(&system, &dataset)?;
+    assert_eq!(
+        reference
+            .user_column(&MetricId::new("area-coverage"))
+            .expect("per-user grain")
+            .user_count(),
+        users,
+        "sharded sweep dropped users"
+    );
+
+    const ROUNDS: usize = 5;
+    let mut times = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        eprintln!("round {}/{ROUNDS}…", round + 1);
+        let started = Instant::now();
+        let sweep = std::hint::black_box(runner.run(&system, &dataset)?);
+        times.push(started.elapsed().as_secs_f64());
+        assert_eq!(sweep, reference, "sharded sweep is not deterministic");
+    }
+    let seconds_sweep = median_seconds(&mut times);
+    let records = dataset.record_count();
+    drop(reference);
+    drop(dataset);
+
+    // Phase 2: memory bound at scale.
+    let big_users = scale_users(fidelity);
+    eprintln!("memory phase: {big_users} users in {SHARD_USERS}-user shards…");
+    let big = generator::scaled(big_users, REPRODUCTION_SEED)?;
+    let big_records = big.record_count();
+    let column_kb = (big_records * 3 * std::mem::size_of::<f64>()) as u64 / 1024;
+    reset_peak_rss();
+    let rss_before_kb = current_rss_kb();
+    let started = Instant::now();
+    let sweep = runner.run(&system, &big)?;
+    let seconds_scale = started.elapsed().as_secs_f64();
+    let peak_kb = peak_rss_kb();
+    assert_eq!(
+        sweep.user_column(&MetricId::new("area-coverage")).expect("per-user grain").user_count(),
+        big_users,
+        "sharded sweep dropped users at scale"
+    );
+    let overhead_kb = match (peak_kb, rss_before_kb) {
+        (Some(peak), Some(before)) => Some(peak.saturating_sub(before)),
+        _ => None,
+    };
+
+    let mut json = BenchJson::new("scale")
+        .string("fidelity", format!("{fidelity:?}"))
+        .string("lppm", &sweep.lppm_name)
+        .int("points", SWEEP_POINTS as u64)
+        .int("shard_users", SHARD_USERS as u64)
+        .int("users", users as u64)
+        .int("records", records as u64)
+        .float("seconds_sweep", seconds_sweep, 6)
+        .float("users_per_second", users as f64 / seconds_sweep, 3)
+        .int("scale_users", big_users as u64)
+        .int("scale_records", big_records as u64)
+        .int("scale_dataset_columns_kb", column_kb)
+        .float("seconds_scale_sweep", seconds_scale, 6);
+    if let (Some(before), Some(peak), Some(overhead)) = (rss_before_kb, peak_kb, overhead_kb) {
+        json = json
+            .int("scale_rss_before_kb", before)
+            .int("scale_peak_rss_kb", peak)
+            .int("scale_sweep_overhead_kb", overhead);
+    }
+    println!("{}", json.render());
+    json.write(&out_path)?;
+    eprintln!("baseline written to {out_path}");
+    eprintln!(
+        "sharded per-user sweep: {:.1} users/s at {users} users; {big_users} users in \
+         {seconds_scale:.1}s{}",
+        users as f64 / seconds_sweep,
+        overhead_kb
+            .map(|kb| format!(", sweep overhead {kb} kB beyond the resident dataset"))
+            .unwrap_or_default()
+    );
+    Ok(())
+}

@@ -277,6 +277,32 @@ pub fn out_path_from_args(default: &str) -> String {
         .unwrap_or_else(|| default.to_string())
 }
 
+/// Reads one kB-valued field of `/proc/self/status` (Linux only — `None`
+/// elsewhere or when the field is absent).
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Current resident set size in kB (`VmRSS`), when the platform exposes it.
+pub fn current_rss_kb() -> Option<u64> {
+    proc_status_kb("VmRSS:")
+}
+
+/// Peak resident set size in kB (`VmHWM`), when the platform exposes it.
+pub fn peak_rss_kb() -> Option<u64> {
+    proc_status_kb("VmHWM:")
+}
+
+/// Resets the process's peak-RSS high-water mark (`VmHWM`) to the current
+/// RSS, so a following [`peak_rss_kb`] reading measures only the work in
+/// between. Best-effort: silently does nothing where the kernel interface
+/// (`/proc/self/clear_refs`) is unavailable.
+pub fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
 /// Median of a list of timings (sorts in place).
 ///
 /// # Panics

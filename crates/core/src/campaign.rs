@@ -177,6 +177,28 @@ impl CampaignRunner {
             });
         }
 
+        // Sharded plans trade the campaign's cross-cell pooling for the
+        // O(shard) memory bound: every cell delegates to the sharded
+        // [`crate::ExperimentRunner`] path, one cell at a time in (system,
+        // dataset) order, so at most one shard's working set is live. The
+        // results are bit-identical to independent sharded runs by
+        // construction — it *is* that code path.
+        if self.plan.user_shard_size().is_some() {
+            let runner = crate::experiment::ExperimentRunner::with_plan(self.plan.clone());
+            let mut runs = Vec::with_capacity(systems.len() * datasets.len());
+            for (s, system) in systems.iter().enumerate() {
+                for (d, dataset) in datasets.iter().enumerate() {
+                    runs.push(CampaignRun {
+                        system_index: s,
+                        dataset_index: d,
+                        system_key: system.cache_key(),
+                        result: runner.run(system, dataset)?,
+                    });
+                }
+            }
+            return Ok(CampaignResult { runs });
+        }
+
         let design_points: Vec<Vec<ConfigPoint>> =
             systems.iter().map(|s| self.plan.enumerate(&s.space())).collect::<Result<_, _>>()?;
         let prepared = self.prepare_cells(systems, datasets)?;
@@ -516,6 +538,22 @@ mod tests {
                 "system {s}"
             );
             assert!(!campaign.get(s, 0).unwrap().user_columns.is_empty());
+        }
+    }
+
+    #[test]
+    fn sharded_campaign_cells_match_independent_sharded_runs() {
+        let systems = three_systems();
+        let datasets = [small_dataset(4), small_dataset(8)];
+        let plan = SweepPlan::grid(small_config()).per_user().shard_users(1);
+        let campaign = CampaignRunner::with_plan(plan.clone()).run(&systems, &datasets).unwrap();
+        assert_eq!(campaign.len(), systems.len() * datasets.len());
+        for (s, system) in systems.iter().enumerate() {
+            for (d, dataset) in datasets.iter().enumerate() {
+                let independent =
+                    ExperimentRunner::with_plan(plan.clone()).run(system, dataset).unwrap();
+                assert_eq!(campaign.get(s, d).unwrap(), &independent, "cell ({s}, {d})");
+            }
         }
     }
 

@@ -110,17 +110,30 @@ pub struct SweepPlan {
     /// Whether per-user curves are recorded alongside the dataset means.
     pub grain: Grain,
     per_axis: Vec<(String, usize)>,
+    shard_users: Option<usize>,
 }
 
 impl SweepPlan {
     /// A full-factorial plan with `config.points` values per axis.
     pub fn grid(config: SweepConfig) -> Self {
-        Self { config, mode: SweepMode::Grid, grain: Grain::Dataset, per_axis: Vec::new() }
+        Self {
+            config,
+            mode: SweepMode::Grid,
+            grain: Grain::Dataset,
+            per_axis: Vec::new(),
+            shard_users: None,
+        }
     }
 
     /// A one-at-a-time plan with `config.points` values per axis.
     pub fn one_at_a_time(config: SweepConfig) -> Self {
-        Self { config, mode: SweepMode::OneAtATime, grain: Grain::Dataset, per_axis: Vec::new() }
+        Self {
+            config,
+            mode: SweepMode::OneAtATime,
+            grain: Grain::Dataset,
+            per_axis: Vec::new(),
+            shard_users: None,
+        }
     }
 
     /// Overrides the point count of one named axis (later calls win).
@@ -144,6 +157,34 @@ impl SweepPlan {
     pub fn grain(mut self, grain: Grain) -> Self {
         self.grain = grain;
         self
+    }
+
+    /// Executes the sweep in shards of at most `users` users at a time.
+    ///
+    /// The columnar dataset is sorted by user, so each shard is one
+    /// contiguous [`geopriv_mobility::Dataset::user_slice`] copy: the live
+    /// working set of a sharded sweep (shard columns, protected columns,
+    /// prepared metric state) is O(shard), not O(dataset) — the execution
+    /// mode that carries per-user sweeps to million-user datasets.
+    ///
+    /// Determinism contract: a plan whose shard covers the whole dataset
+    /// (`users >= user_count`) is **bit-identical** to the unsharded run —
+    /// the first shard draws exactly the [`derive_unit_seed`] streams and its
+    /// samples are passed through unmerged. A genuinely multi-shard run is a
+    /// *different* deterministic experiment: shard `s > 0` draws its own
+    /// documented stream ([`derive_shard_seed`]), dataset-level aggregates
+    /// become evaluated-trace-weighted means of the shard aggregates, and
+    /// metrics that frame themselves on the actual dataset (grid metrics)
+    /// build shard-local frames.
+    #[must_use]
+    pub fn shard_users(mut self, users: usize) -> Self {
+        self.shard_users = Some(users);
+        self
+    }
+
+    /// The shard size in users, if sharded execution was requested.
+    pub fn user_shard_size(&self) -> Option<usize> {
+        self.shard_users
     }
 
     /// The per-axis point counts this plan assigns to `space`, in axis order.
@@ -263,6 +304,9 @@ impl UserColumn {
 #[derive(Debug, Clone)]
 pub(crate) struct MetricSample {
     pub(crate) value: f64,
+    /// Number of evaluated traces behind `value` — the weight sharded
+    /// execution combines shard aggregates with.
+    pub(crate) weight: usize,
     pub(crate) per_user: Vec<(UserId, f64)>,
 }
 
@@ -270,11 +314,26 @@ impl MetricSample {
     pub(crate) fn of(measured: &geopriv_metrics::MetricValue, grain: Grain) -> Self {
         Self {
             value: measured.value(),
+            weight: measured.evaluated_count(),
             per_user: match grain {
                 Grain::Dataset => Vec::new(),
                 Grain::PerUser => measured.per_user().to_vec(),
             },
         }
+    }
+
+    /// Folds another shard's sample of the same (point, repetition, metric)
+    /// into this one: the aggregate becomes the evaluated-trace-weighted mean
+    /// and the user-keyed breakdowns concatenate (shards partition the user
+    /// axis, so the keys are disjoint by construction).
+    fn absorb(&mut self, shard: MetricSample) {
+        let total = self.weight + shard.weight;
+        if total > 0 {
+            self.value = (self.value * self.weight as f64 + shard.value * shard.weight as f64)
+                / total as f64;
+        }
+        self.weight = total;
+        self.per_user.extend(shard.per_user);
     }
 }
 
@@ -381,6 +440,27 @@ pub fn derive_unit_seed(master_seed: u64, point_index: usize, repetition: usize)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add((point_index as u64) << 32)
         .wrapping_add(repetition as u64)
+}
+
+/// Derives the RNG seed of one `(point, repetition, shard)` work unit of a
+/// sharded sweep ([`SweepPlan::shard_users`]).
+///
+/// Shard 0 draws **exactly** the [`derive_unit_seed`] stream — this is what
+/// makes a whole-dataset shard bit-identical to the unsharded run. Every
+/// later shard remixes the unit seed with its shard index, so shards are
+/// independent deterministic streams regardless of scheduling.
+pub fn derive_shard_seed(
+    master_seed: u64,
+    point_index: usize,
+    repetition: usize,
+    shard: usize,
+) -> u64 {
+    let unit = derive_unit_seed(master_seed, point_index, repetition);
+    if shard == 0 {
+        unit
+    } else {
+        unit.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(shard as u64)
+    }
 }
 
 /// Runs `count` independent work items on a shared work-stealing pool and
@@ -741,19 +821,19 @@ impl ExperimentRunner {
     ) -> Result<SweepResult, CoreError> {
         let space = system.space();
         let points = self.plan.enumerate(&space)?;
-        let prepared: Vec<geopriv_metrics::PreparedState> = system
-            .suite()
-            .iter()
-            .map(|m| m.prepare(dataset).map_err(CoreError::from))
-            .collect::<Result<_, _>>()?;
-
-        // Per point: per repetition: per metric (suite order) sample.
-        let per_point: Vec<Vec<Vec<MetricSample>>> =
-            run_indexed(points.len(), self.plan.config.parallel, |i| {
-                self.measure_point(system, dataset, &prepared, i, &points[i])
-            })
-            .into_iter()
-            .collect::<Result<Vec<_>, CoreError>>()?;
+        let per_point = match self.plan.user_shard_size() {
+            Some(0) => {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: "a sharded sweep needs a shard size of at least 1 user".to_string(),
+                })
+            }
+            // A shard covering the whole dataset is the unsharded run: same
+            // data, same shard-0 (= unit) seeds, no merge arithmetic.
+            Some(users) if users < dataset.user_count() => {
+                self.measure_sharded(system, dataset, &points, users)?
+            }
+            _ => self.measure_shard(system, dataset, &points, 0)?,
+        };
 
         let meta: Vec<(MetricId, Direction)> =
             system.suite().iter().map(|m| (m.id(), m.direction())).collect();
@@ -768,6 +848,60 @@ impl ExperimentRunner {
         )
     }
 
+    /// Measures every design point against one dataset (the whole dataset,
+    /// or one user shard of it), preparing the actual-side metric state once.
+    fn measure_shard(
+        &self,
+        system: &SystemDefinition,
+        dataset: &Dataset,
+        points: &[ConfigPoint],
+        shard: usize,
+    ) -> Result<Vec<Vec<Vec<MetricSample>>>, CoreError> {
+        let prepared: Vec<geopriv_metrics::PreparedState> = system
+            .suite()
+            .iter()
+            .map(|m| m.prepare(dataset).map_err(CoreError::from))
+            .collect::<Result<_, _>>()?;
+
+        // Per point: per repetition: per metric (suite order) sample.
+        run_indexed(points.len(), self.plan.config.parallel, |i| {
+            self.measure_point(system, dataset, &prepared, i, &points[i], shard)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Sharded execution: runs the whole design over one contiguous user
+    /// shard at a time and folds the shards together ([`MetricSample::absorb`]).
+    /// Only one shard's columns, protected copies and prepared metric state
+    /// are live at any moment, so peak memory is O(shard), not O(dataset).
+    fn measure_sharded(
+        &self,
+        system: &SystemDefinition,
+        dataset: &Dataset,
+        points: &[ConfigPoint],
+        shard_users: usize,
+    ) -> Result<Vec<Vec<Vec<MetricSample>>>, CoreError> {
+        let user_count = dataset.user_count();
+        let mut merged: Vec<Vec<Vec<MetricSample>>> = Vec::new();
+        for (shard, start) in (0..user_count).step_by(shard_users).enumerate() {
+            let slice = dataset.user_slice(start..(start + shard_users).min(user_count))?;
+            let shard_points = self.measure_shard(system, &slice, points, shard)?;
+            if shard == 0 {
+                merged = shard_points;
+            } else {
+                for (merged_reps, shard_reps) in merged.iter_mut().zip(shard_points) {
+                    for (merged_rep, shard_rep) in merged_reps.iter_mut().zip(shard_reps) {
+                        for (merged_sample, shard_sample) in merged_rep.iter_mut().zip(shard_rep) {
+                            merged_sample.absorb(shard_sample);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(merged)
+    }
+
     fn measure_point(
         &self,
         system: &SystemDefinition,
@@ -775,14 +909,20 @@ impl ExperimentRunner {
         prepared: &[geopriv_metrics::PreparedState],
         index: usize,
         point: &ConfigPoint,
+        shard: usize,
     ) -> Result<Vec<Vec<MetricSample>>, CoreError> {
         let lppm = system.factory().instantiate_at(point)?;
         let mut reps = Vec::with_capacity(self.plan.config.repetitions);
         for repetition in 0..self.plan.config.repetitions {
-            // Derive a per-(point, repetition) seed so parallel execution and
-            // sequential execution see exactly the same random streams.
-            let mut rng =
-                StdRng::seed_from_u64(derive_unit_seed(self.plan.config.seed, index, repetition));
+            // Derive a per-(point, repetition, shard) seed so parallel
+            // execution and sequential execution see exactly the same random
+            // streams; shard 0 is the historical per-(point, repetition) seed.
+            let mut rng = StdRng::seed_from_u64(derive_shard_seed(
+                self.plan.config.seed,
+                index,
+                repetition,
+                shard,
+            ));
             let protected = lppm.protect_dataset(dataset, &mut rng)?;
             let mut samples = Vec::with_capacity(system.suite().len());
             for (metric, state) in system.suite().iter().zip(prepared) {
@@ -1004,6 +1144,118 @@ mod tests {
         assert!(coverage.curve(geopriv_mobility::UserId::new(9999)).is_none());
         assert!(!per_user.users().is_empty());
         assert!(per_user.user_column(&MetricId::new("nope")).is_none());
+    }
+
+    #[test]
+    fn whole_dataset_shard_is_bit_identical_to_unsharded() {
+        let dataset = small_dataset();
+        let system = SystemDefinition::paper_geoi();
+        let unsharded = ExperimentRunner::with_plan(SweepPlan::grid(small_config()).per_user())
+            .run(&system, &dataset)
+            .unwrap();
+        // Any shard size covering every user takes the passthrough path.
+        for shard_users in [dataset.user_count(), dataset.user_count() + 10, usize::MAX] {
+            let sharded = ExperimentRunner::with_plan(
+                SweepPlan::grid(small_config()).per_user().shard_users(shard_users),
+            )
+            .run(&system, &dataset)
+            .unwrap();
+            assert_eq!(sharded, unsharded, "shard size {shard_users}");
+        }
+    }
+
+    #[test]
+    fn multi_shard_sweeps_are_deterministic_and_cover_every_user() {
+        let dataset = small_dataset();
+        let system = SystemDefinition::paper_geoi();
+        let plan = || SweepPlan::grid(small_config()).per_user().shard_users(1);
+        let sharded = ExperimentRunner::with_plan(plan()).run(&system, &dataset).unwrap();
+        // Deterministic: the same sharded plan reproduces itself exactly.
+        assert_eq!(sharded, ExperimentRunner::with_plan(plan()).run(&system, &dataset).unwrap());
+
+        // The design matrix and column shape are those of the unsharded run.
+        let unsharded = ExperimentRunner::with_plan(SweepPlan::grid(small_config()).per_user())
+            .run(&system, &dataset)
+            .unwrap();
+        assert_eq!(sharded.points, unsharded.points);
+        assert_eq!(sharded.ids(), unsharded.ids());
+
+        // Every user of every metric is covered, in the same dataset order
+        // (shards partition the user axis contiguously), and every value is
+        // bounded like the unsharded measurements.
+        for (sharded_col, unsharded_col) in sharded.user_columns.iter().zip(&unsharded.user_columns)
+        {
+            assert_eq!(sharded_col.users, unsharded_col.users, "{}", sharded_col.id);
+            for curve in &sharded_col.curves {
+                assert_eq!(curve.len(), sharded.len());
+                assert!(curve.iter().all(|v| (0.0..=1.0).contains(v)));
+            }
+        }
+        for column in &sharded.columns {
+            assert!(column.means.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+
+        // Shard 0 of a multi-shard run draws the unit-seed streams, so the
+        // first user's curve differs from the unsharded run only where later
+        // shards would — i.e. not at all: it is the same single-user slice
+        // protected under the same seed. (The *aggregates* differ, because
+        // shards 1+ draw their own streams.)
+        assert_ne!(sharded.columns, unsharded.columns);
+    }
+
+    #[test]
+    fn sharded_aggregates_are_the_trace_weighted_mean_of_shard_aggregates() {
+        // One user per shard and one trace per user: the weighted mean
+        // reduces to the plain mean of the per-user values — which is exactly
+        // what the per-user curves record, so the invariant checked in
+        // `per_user_grain_keeps_aggregates_identical_and_records_curves`
+        // must hold shard-merged too.
+        let dataset = small_dataset();
+        let system = SystemDefinition::paper_geoi();
+        let sharded =
+            ExperimentRunner::with_plan(SweepPlan::grid(small_config()).per_user().shard_users(1))
+                .run(&system, &dataset)
+                .unwrap();
+        for column in &sharded.user_columns {
+            for point in 0..sharded.len() {
+                let mean = column.curves.iter().map(|c| c[point]).sum::<f64>()
+                    / column.user_count() as f64;
+                let aggregate = sharded.column(&column.id).unwrap().means[point];
+                assert!(
+                    (mean - aggregate).abs() < 1e-12,
+                    "{} point {point}: {mean} vs {aggregate}",
+                    column.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shard_size_is_rejected() {
+        let dataset = small_dataset();
+        let system = SystemDefinition::paper_geoi();
+        let plan = SweepPlan::grid(small_config()).shard_users(0);
+        assert_eq!(plan.user_shard_size(), Some(0));
+        assert!(ExperimentRunner::with_plan(plan).run(&system, &dataset).is_err());
+    }
+
+    #[test]
+    fn shard_seeds_extend_unit_seeds() {
+        // Shard 0 is the unit-seed identity — the passthrough guarantee.
+        for point in 0..8 {
+            for rep in 0..4 {
+                assert_eq!(derive_shard_seed(42, point, rep, 0), derive_unit_seed(42, point, rep));
+            }
+        }
+        // Distinct (point, rep, shard) units never collide in a realistic sweep.
+        let mut seen = std::collections::BTreeSet::new();
+        for point in 0..16 {
+            for rep in 0..4 {
+                for shard in 0..32 {
+                    assert!(seen.insert(derive_shard_seed(42, point, rep, shard)));
+                }
+            }
+        }
     }
 
     #[test]

@@ -174,8 +174,8 @@ mod tests {
             .first_user_id(100)
             .build(&mut rng)
             .unwrap();
-        let mut traces = taxis.traces().to_vec();
-        traces.extend(commuters.traces().iter().cloned());
+        let mut traces = taxis.to_traces();
+        traces.extend(commuters.to_traces());
         Dataset::new(traces).unwrap()
     }
 

@@ -114,9 +114,9 @@ impl HoldOutValidator {
         let mut validation = Vec::new();
         for (i, trace) in dataset.iter().enumerate() {
             if i % 2 == 0 {
-                training.push(trace.clone());
+                training.push(trace.to_trace());
             } else {
-                validation.push(trace.clone());
+                validation.push(trace.to_trace());
             }
         }
         let training = Dataset::new(training)?;

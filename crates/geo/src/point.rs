@@ -94,6 +94,24 @@ impl GeoPoint {
     pub fn into_parts(self) -> (f64, f64) {
         (self.lat, self.lon)
     }
+
+    /// Reconstructs a point from coordinates previously extracted from a
+    /// valid `GeoPoint` (e.g. stored in columnar `f64` buffers).
+    ///
+    /// This skips the range checks of [`GeoPoint::new`] in release builds —
+    /// the caller asserts the values originate from an already-validated
+    /// point. Debug builds still verify the invariant.
+    pub fn from_stored(lat: f64, lon: f64) -> Self {
+        debug_assert!(
+            lat.is_finite() && (-90.0..=90.0).contains(&lat),
+            "stored latitude {lat} out of range"
+        );
+        debug_assert!(
+            lon.is_finite() && (-180.0..=180.0).contains(&lon),
+            "stored longitude {lon} out of range"
+        );
+        Self { lat, lon }
+    }
 }
 
 impl fmt::Display for GeoPoint {

@@ -11,7 +11,7 @@ use crate::error::LppmError;
 use crate::params::{ParameterDescriptor, ParameterScale};
 use crate::traits::Lppm;
 use geopriv_geo::{GeoPoint, LocalProjection, Meters, Point};
-use geopriv_mobility::Trace;
+use geopriv_mobility::{DatasetBuilder, Trace, TraceView};
 use rand::RngCore;
 
 /// Grid-rounding spatial cloaking with a fixed, data-independent grid origin.
@@ -100,6 +100,23 @@ impl Lppm for GridCloaking {
         let locations = trace.iter().map(|r| self.snap(&projection, r.location())).collect();
         Ok(trace.with_locations(locations)?)
     }
+
+    fn protect_view(
+        &self,
+        trace: TraceView<'_>,
+        out: &mut DatasetBuilder,
+        _rng: &mut dyn RngCore,
+    ) -> Result<(), LppmError> {
+        // Columnar twin of `protect_trace`: a deterministic scan snapping
+        // each coordinate pair straight into the output columns.
+        let projection = LocalProjection::centered_on(self.origin);
+        out.begin_trace(trace.user());
+        for record in trace.iter() {
+            out.push_record(record.timestamp(), self.snap(&projection, record.location()));
+        }
+        out.finish_trace()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +193,7 @@ mod tests {
         )
         .unwrap();
         let protected = cloaking.protect_trace(&t, &mut rng).unwrap();
-        assert_eq!(protected.records()[0].location(), protected.records()[1].location());
+        assert_eq!(protected.view().location(0), protected.view().location(1));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::error::LppmError;
 use crate::params::{ParameterDescriptor, ParameterScale};
 use crate::traits::Lppm;
 use geopriv_geo::{LocalProjection, Meters};
-use geopriv_mobility::Trace;
+use geopriv_mobility::{DatasetBuilder, Trace, TraceView};
 use rand::{Rng, RngCore};
 
 /// Isotropic Gaussian location perturbation.
@@ -92,6 +92,27 @@ impl Lppm for GaussianPerturbation {
             })
             .collect();
         Ok(trace.with_locations(locations)?)
+    }
+
+    fn protect_view(
+        &self,
+        trace: TraceView<'_>,
+        out: &mut DatasetBuilder,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), LppmError> {
+        // Columnar twin of `protect_trace`: identical per-record operation
+        // and RNG draw order (dx before dy), writing into the output columns.
+        let projection = LocalProjection::centered_on(trace.first().location());
+        let sigma = self.sigma.as_f64();
+        out.begin_trace(trace.user());
+        for record in trace.iter() {
+            let p = projection.project(record.location());
+            let dx = Self::sample_normal(rng, sigma);
+            let dy = Self::sample_normal(rng, sigma);
+            out.push_record(record.timestamp(), projection.unproject(p.translated(dx, dy)));
+        }
+        out.finish_trace()?;
+        Ok(())
     }
 }
 

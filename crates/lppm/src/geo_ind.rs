@@ -12,7 +12,7 @@ use crate::laplace::PlanarLaplace;
 use crate::params::{Epsilon, ParameterDescriptor, ParameterScale};
 use crate::traits::Lppm;
 use geopriv_geo::LocalProjection;
-use geopriv_mobility::Trace;
+use geopriv_mobility::{DatasetBuilder, Trace, TraceView};
 use rand::RngCore;
 
 /// The ε range swept by the paper's evaluation (Figure 1): 10⁻⁴ to 1 m⁻¹.
@@ -98,6 +98,26 @@ impl Lppm for GeoIndistinguishability {
             })
             .collect();
         Ok(trace.with_locations(locations)?)
+    }
+
+    fn protect_view(
+        &self,
+        trace: TraceView<'_>,
+        out: &mut DatasetBuilder,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), LppmError> {
+        // Columnar twin of `protect_trace`: identical per-record operation
+        // and RNG draw order, writing straight into the output columns.
+        let noise = PlanarLaplace::new(self.epsilon);
+        let projection = LocalProjection::centered_on(trace.first().location());
+        out.begin_trace(trace.user());
+        for record in trace.iter() {
+            let (dx, dy) = noise.sample(rng);
+            let actual = projection.project(record.location());
+            out.push_record(record.timestamp(), projection.unproject(actual.translated(dx, dy)));
+        }
+        out.finish_trace()?;
+        Ok(())
     }
 }
 

@@ -10,7 +10,7 @@ use crate::error::LppmError;
 use crate::params::{ParameterDescriptor, ParameterScale};
 use crate::traits::Lppm;
 use geopriv_geo::GeoPoint;
-use geopriv_mobility::Trace;
+use geopriv_mobility::{DatasetBuilder, Trace, TraceView};
 use rand::RngCore;
 
 /// Maximum number of decimal digits that still constitutes a reduction for
@@ -94,6 +94,26 @@ impl Lppm for CoordinateRounding {
             })
             .collect();
         Ok(trace.with_locations(locations)?)
+    }
+
+    fn protect_view(
+        &self,
+        trace: TraceView<'_>,
+        out: &mut DatasetBuilder,
+        _rng: &mut dyn RngCore,
+    ) -> Result<(), LppmError> {
+        // Columnar twin of `protect_trace`: a pure scan over the coordinate
+        // columns (the mechanism is deterministic, no RNG involved).
+        out.begin_trace(trace.user());
+        for record in trace.iter() {
+            let released = GeoPoint::clamped(
+                self.round_coordinate(record.location().latitude()),
+                self.round_coordinate(record.location().longitude()),
+            );
+            out.push_record(record.timestamp(), released);
+        }
+        out.finish_trace()?;
+        Ok(())
     }
 }
 

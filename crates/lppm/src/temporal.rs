@@ -120,7 +120,7 @@ impl Lppm for ReleaseSampling {
             .iter()
             .enumerate()
             .filter(|(i, _)| *i == 0 || rng.gen_bool(self.probability))
-            .map(|(_, r)| *r)
+            .map(|(_, r)| r)
             .collect();
         if records.is_empty() {
             return Err(LppmError::EmptyProtectedTrace);

@@ -2,7 +2,7 @@
 
 use crate::error::LppmError;
 use crate::params::ParameterDescriptor;
-use geopriv_mobility::{Dataset, Trace};
+use geopriv_mobility::{Dataset, DatasetBuilder, Trace, TraceView};
 use rand::RngCore;
 
 /// A Location Privacy Protection Mechanism.
@@ -32,10 +32,40 @@ pub trait Lppm: Send + Sync {
     /// constructed (for example when every record was dropped).
     fn protect_trace(&self, trace: &Trace, rng: &mut dyn RngCore) -> Result<Trace, LppmError>;
 
+    /// Protects one trace given as a zero-copy columnar view, appending the
+    /// protected trace to the columnar `out` builder.
+    ///
+    /// This is the hot path of [`Lppm::protect_dataset`]: perturbation
+    /// mechanisms override it to write protected coordinates straight into
+    /// the shared output columns, skipping every intermediate `Vec<Record>`.
+    /// The default implementation materializes the view and falls back to
+    /// [`Lppm::protect_trace`] — correct for any mechanism, including those
+    /// that drop or resample records.
+    ///
+    /// Overrides must draw from `rng` in exactly the per-record order of
+    /// their `protect_trace`, so that the columnar and row paths stay
+    /// bit-identical under a fixed seed.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`LppmError`] if the protected trace cannot be
+    /// constructed (for example when every record was dropped).
+    fn protect_view(
+        &self,
+        trace: TraceView<'_>,
+        out: &mut DatasetBuilder,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), LppmError> {
+        let protected = self.protect_trace(&trace.to_trace(), rng)?;
+        out.push_trace(&protected);
+        Ok(())
+    }
+
     /// Protects every trace of a dataset.
     ///
-    /// The default implementation applies [`Lppm::protect_trace`] to each
-    /// trace in order.
+    /// The default implementation streams [`Lppm::protect_view`] over each
+    /// trace in order, assembling the protected dataset columnar-to-columnar
+    /// through a [`DatasetBuilder`].
     ///
     /// # Errors
     ///
@@ -45,11 +75,11 @@ pub trait Lppm: Send + Sync {
         dataset: &Dataset,
         rng: &mut dyn RngCore,
     ) -> Result<Dataset, LppmError> {
-        let mut protected = Vec::with_capacity(dataset.len());
+        let mut out = DatasetBuilder::with_capacity(dataset.len(), dataset.record_count());
         for trace in dataset {
-            protected.push(self.protect_trace(trace, rng)?);
+            self.protect_view(trace, &mut out, rng)?;
         }
-        Ok(Dataset::new(protected)?)
+        Ok(out.finish()?)
     }
 }
 
@@ -78,6 +108,16 @@ impl Lppm for Identity {
 
     fn protect_trace(&self, trace: &Trace, _rng: &mut dyn RngCore) -> Result<Trace, LppmError> {
         Ok(trace.clone())
+    }
+
+    fn protect_view(
+        &self,
+        trace: TraceView<'_>,
+        out: &mut DatasetBuilder,
+        _rng: &mut dyn RngCore,
+    ) -> Result<(), LppmError> {
+        out.push_view(trace);
+        Ok(())
     }
 }
 

@@ -61,7 +61,7 @@ proptest! {
             // Timestamps stay within the original observation window and ordered.
             prop_assert!(protected.first().timestamp() >= t.first().timestamp() - Seconds::new(1e-9));
             prop_assert!(protected.last().timestamp() <= t.last().timestamp() + Seconds::new(1e-9));
-            for w in protected.records().windows(2) {
+            for w in protected.to_records().windows(2) {
                 prop_assert!(w[0].timestamp() <= w[1].timestamp());
             }
             // Coordinates stay valid.

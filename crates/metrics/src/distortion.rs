@@ -9,7 +9,7 @@
 use crate::error::MetricError;
 use crate::traits::{MetricValue, UtilityMetric};
 use geopriv_geo::{distance, Meters};
-use geopriv_mobility::{Dataset, Trace};
+use geopriv_mobility::{Dataset, TraceView};
 use serde::{Deserialize, Serialize};
 
 /// Mean point-wise displacement between an actual trace and its protected
@@ -29,7 +29,7 @@ impl MeanDistortion {
     /// Mean displacement for a single pair of traces, in meters.
     ///
     /// Returns zero when no timestamps match.
-    pub fn of_traces(actual: &Trace, protected: &Trace) -> Meters {
+    pub fn of_traces(actual: TraceView<'_>, protected: TraceView<'_>) -> Meters {
         let mut total = 0.0;
         let mut count = 0usize;
         let mut protected_iter = protected.iter().peekable();
@@ -70,7 +70,7 @@ impl MeanDistortion {
             .paired_with(protected)
             .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
         let per_user: Vec<f64> =
-            pairs.iter().map(|(a, p)| Self::of_traces(a, p).as_f64()).collect();
+            pairs.iter().map(|&(a, p)| Self::of_traces(a, p).as_f64()).collect();
         Ok(Meters::new(per_user.iter().sum::<f64>() / per_user.len() as f64))
     }
 }
@@ -128,7 +128,7 @@ impl UtilityMetric for DistortionUtility {
             .map_err(|e| MetricError::DatasetMismatch { reason: e.to_string() })?;
         let per_user: Vec<_> = pairs
             .iter()
-            .map(|(a, p)| {
+            .map(|&(a, p)| {
                 let d = MeanDistortion::of_traces(a, p).as_f64();
                 (a.user(), 1.0 / (1.0 + d / self.scale.as_f64()))
             })

@@ -12,7 +12,7 @@ use crate::error::MetricError;
 use crate::grid_support::combined_bounds;
 use crate::traits::{MetricValue, UtilityMetric};
 use geopriv_geo::{CellId, Grid, Meters};
-use geopriv_mobility::{Dataset, Trace};
+use geopriv_mobility::{Dataset, TraceView};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -85,7 +85,7 @@ impl HotspotPreservation {
         self.top_k
     }
 
-    fn top_cells(&self, grid: &Grid, trace: &Trace) -> BTreeSet<CellId> {
+    fn top_cells(&self, grid: &Grid, trace: TraceView<'_>) -> BTreeSet<CellId> {
         let histogram = grid.histogram(trace.iter().map(|r| r.location()));
         let mut cells: Vec<(CellId, usize)> = histogram.into_iter().collect();
         // Sort by decreasing count, breaking ties by cell id for determinism.

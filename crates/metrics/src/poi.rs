@@ -9,7 +9,7 @@
 
 use crate::error::MetricError;
 use geopriv_geo::{distance, GeoPoint, LocalProjection, Meters, Point, Seconds};
-use geopriv_mobility::Trace;
+use geopriv_mobility::TraceView;
 use serde::{Deserialize, Serialize};
 
 /// A point of interest: a significant stop of one user.
@@ -49,7 +49,7 @@ impl Poi {
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
 /// let dataset = TaxiFleetBuilder::new().drivers(1).duration_hours(8.0).build(&mut rng)?;
 /// let extractor = PoiExtractor::default();
-/// let pois = extractor.extract(&dataset.traces()[0]);
+/// let pois = extractor.extract(dataset.trace_at(0));
 /// assert!(!pois.is_empty());
 /// # Ok(())
 /// # }
@@ -101,16 +101,16 @@ impl PoiExtractor {
     }
 
     /// Extracts the POIs of a trace, in chronological order.
-    pub fn extract(&self, trace: &Trace) -> Vec<Poi> {
-        let records = trace.records();
-        let n = records.len();
+    pub fn extract(&self, trace: TraceView<'_>) -> Vec<Poi> {
+        let n = trace.len();
         let mut pois = Vec::new();
         if n == 0 {
             return pois;
         }
-        let projection = LocalProjection::centered_on(records[0].location());
+        let timestamps = trace.timestamps();
+        let projection = LocalProjection::centered_on(trace.first().location());
         let projected: Vec<Point> =
-            records.iter().map(|r| projection.project(r.location())).collect();
+            trace.iter().map(|r| projection.project(r.location())).collect();
 
         let mut i = 0;
         while i < n {
@@ -123,14 +123,14 @@ impl PoiExtractor {
                 j += 1;
             }
             // Records i..j stay near the anchor; check the dwell duration.
-            let dwell = records[j - 1].timestamp() - records[i].timestamp();
+            let dwell = Seconds::new(timestamps[j - 1]) - Seconds::new(timestamps[i]);
             if dwell >= self.min_dwell {
                 let centroid_planar =
                     geopriv_geo::point::centroid(&projected[i..j]).expect("run is non-empty");
                 pois.push(Poi {
                     location: projection.unproject(centroid_planar),
-                    start: records[i].timestamp(),
-                    end: records[j - 1].timestamp(),
+                    start: Seconds::new(timestamps[i]),
+                    end: Seconds::new(timestamps[j - 1]),
                     record_count: j - i,
                 });
                 i = j;
@@ -146,7 +146,7 @@ impl PoiExtractor {
     ///
     /// The result is the user's set of *distinct* meaningful places, which is
     /// what the privacy metric counts.
-    pub fn extract_distinct(&self, trace: &Trace) -> Vec<Poi> {
+    pub fn extract_distinct(&self, trace: TraceView<'_>) -> Vec<Poi> {
         let pois = self.extract(trace);
         let mut merged: Vec<Poi> = Vec::new();
         for poi in pois {
@@ -177,7 +177,7 @@ impl PoiExtractor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geopriv_mobility::{Record, UserId};
+    use geopriv_mobility::{Record, Trace, UserId};
 
     fn gp(lat: f64, lon: f64) -> GeoPoint {
         GeoPoint::new(lat, lon).unwrap()
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn finds_exactly_the_two_stops() {
         let trace = two_stop_trace();
-        let pois = PoiExtractor::default().extract(&trace);
+        let pois = PoiExtractor::default().extract(trace.view());
         assert_eq!(pois.len(), 2, "found {pois:?}");
         // The POIs are at A and B.
         assert!(distance::haversine(pois[0].location, gp(37.7600, -122.4500)).as_f64() < 50.0);
@@ -250,14 +250,14 @@ mod tests {
             })
             .collect();
         let moving = Trace::new(UserId::new(1), records).unwrap();
-        assert!(PoiExtractor::default().extract(&moving).is_empty());
+        assert!(PoiExtractor::default().extract(moving.view()).is_empty());
 
         // A stop that is long enough spatially but too short temporally.
         let brief: Vec<Record> = (0..10)
             .map(|i| Record::new(Seconds::new(i as f64 * 30.0), gp(37.75, -122.42)))
             .collect();
         let brief = Trace::new(UserId::new(2), brief).unwrap();
-        assert!(PoiExtractor::default().extract(&brief).is_empty());
+        assert!(PoiExtractor::default().extract(brief.view()).is_empty());
     }
 
     #[test]
@@ -265,7 +265,7 @@ mod tests {
         let trace =
             Trace::new(UserId::new(1), vec![Record::new(Seconds::new(0.0), gp(37.75, -122.42))])
                 .unwrap();
-        assert!(PoiExtractor::default().extract(&trace).is_empty());
+        assert!(PoiExtractor::default().extract(trace.view()).is_empty());
     }
 
     #[test]
@@ -303,8 +303,8 @@ mod tests {
         let trace = Trace::new(UserId::new(1), records).unwrap();
 
         let extractor = PoiExtractor::default();
-        assert_eq!(extractor.extract(&trace).len(), 3);
-        let distinct = extractor.extract_distinct(&trace);
+        assert_eq!(extractor.extract(trace.view()).len(), 3);
+        let distinct = extractor.extract_distinct(trace.view());
         assert_eq!(distinct.len(), 2);
         // The merged POI at A accumulated both visits.
         let at_a =
@@ -327,7 +327,7 @@ mod tests {
             })
             .collect();
         let trace = Trace::new(UserId::new(1), records).unwrap();
-        let pois = PoiExtractor::default().extract(&trace);
+        let pois = PoiExtractor::default().extract(trace.view());
         assert_eq!(pois.len(), 1);
         assert!(distance::haversine(pois[0].location, base).as_f64() < 30.0);
     }

@@ -143,7 +143,7 @@ impl PoiRetrieval {
         // user's id, so downstream joins with metrics covering *all* users
         // (area coverage, distortion) align by user instead of by position.
         let mut per_user = Vec::with_capacity(pairs.len());
-        for ((actual_trace, protected_trace), actual_pois) in pairs.iter().zip(per_trace) {
+        for (&(actual_trace, protected_trace), actual_pois) in pairs.iter().zip(per_trace) {
             if actual_pois.is_empty() {
                 continue;
             }

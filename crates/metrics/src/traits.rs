@@ -95,8 +95,15 @@ impl fmt::Debug for PreparedState {
 /// evaluation detects state built for a different dataset instead of
 /// silently computing wrong values from it.
 ///
+/// The hash is computed straight off the columnar storage: one pass over each
+/// trace span's `t`/`lat`/`lon` slices, mixing the raw `f64` bit patterns.
+/// Because the columns store exactly the bits the old row layout stored per
+/// [`geopriv_mobility::Record`], this produces *identical* fingerprints to
+/// the historical record-by-record walk — prepared state cached before the
+/// columnar refactor would still validate.
+///
 /// Computing (and re-checking) the fingerprint is a single cheap pass over
-/// the records, far below the cost of the work the prepared state caches.
+/// the columns, far below the cost of the work the prepared state caches.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatasetFingerprint {
     traces: Vec<(u64, usize, u64)>,
@@ -105,21 +112,21 @@ pub struct DatasetFingerprint {
 impl DatasetFingerprint {
     /// Fingerprints a dataset.
     pub fn of(dataset: &Dataset) -> Self {
-        let mix = |r: &geopriv_mobility::Record| {
-            r.timestamp().as_f64().to_bits()
-                ^ r.location().latitude().to_bits().rotate_left(21)
-                ^ r.location().longitude().to_bits().rotate_left(42)
-        };
         Self {
             traces: dataset
                 .iter()
                 .map(|t| {
-                    // Multiply-mix fold (FNV-style): position-dependent, so
-                    // permuting records never collides the way a plain
-                    // rotate-xor fold would for positions 64 apart.
-                    let hash = t.records().iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, r| {
-                        (acc ^ mix(r)).wrapping_mul(0x100_0000_01b3)
-                    });
+                    // Multiply-mix fold (FNV-style) over the trace's column
+                    // slices: position-dependent, so permuting records never
+                    // collides the way a plain rotate-xor fold would for
+                    // positions 64 apart.
+                    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+                    for i in 0..t.len() {
+                        let mixed = t.timestamps()[i].to_bits()
+                            ^ t.latitudes()[i].to_bits().rotate_left(21)
+                            ^ t.longitudes()[i].to_bits().rotate_left(42);
+                        hash = (hash ^ mixed).wrapping_mul(0x100_0000_01b3);
+                    }
                     (t.user().value(), t.len(), hash)
                 })
                 .collect(),
@@ -154,6 +161,7 @@ impl DatasetFingerprint {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricValue {
     value: f64,
+    evaluated: usize,
     per_user: Vec<(UserId, f64)>,
 }
 
@@ -192,6 +200,7 @@ impl MetricValue {
             });
         }
         let value = per_user.iter().map(|(_, v)| v).sum::<f64>() / per_user.len() as f64;
+        let evaluated = per_user.len();
         // Merge multi-trace users: one breakdown entry per user, in
         // first-appearance order, carrying the mean of the user's entries
         // (exactly the single entry for the common one-trace-per-user case).
@@ -211,7 +220,7 @@ impl MetricValue {
             }
         }
         let per_user = merged.into_iter().map(|(user, sum, n)| (user, sum / n as f64)).collect();
-        Ok(Self { value, per_user })
+        Ok(Self { value, evaluated, per_user })
     }
 
     /// The metric value of a dataset on which *no* user could be evaluated
@@ -220,13 +229,23 @@ impl MetricValue {
     /// aggregate is `0.0` and the breakdown is empty — excluded users never
     /// appear in a breakdown.
     pub fn defined_zero() -> Self {
-        Self { value: 0.0, per_user: Vec::new() }
+        Self { value: 0.0, evaluated: 0, per_user: Vec::new() }
     }
 
     /// The aggregate metric value (mean over the evaluated traces), in
     /// `[0, 1]`.
     pub fn value(&self) -> f64 {
         self.value
+    }
+
+    /// Number of per-trace entries behind the aggregate mean — the count of
+    /// traces the metric actually evaluated, *before* multi-trace users are
+    /// merged into the breakdown (zero for [`MetricValue::defined_zero`]).
+    ///
+    /// Sharded sweep execution uses this as the weight when combining
+    /// shard-level aggregates into a dataset-level mean.
+    pub fn evaluated_count(&self) -> usize {
+        self.evaluated
     }
 
     /// The user-keyed per-user metric values, in dataset (trace) order.
@@ -411,6 +430,7 @@ mod tests {
     fn metric_value_aggregates_per_user_values() {
         let v = MetricValue::from_per_user(keyed(&[(1, 0.1), (2, 0.3), (3, 0.2)])).unwrap();
         assert!((v.value() - 0.2).abs() < 1e-12);
+        assert_eq!(v.evaluated_count(), 3);
         assert_eq!(v.per_user().len(), 3);
         assert_eq!(
             v.users().collect::<Vec<_>>(),
@@ -438,6 +458,8 @@ mod tests {
         let v = MetricValue::from_per_user(keyed(&[(1, 0.2), (2, 0.9), (1, 0.4)])).unwrap();
         // Aggregate: mean over the three traces, not over the two users.
         assert!((v.value() - 0.5).abs() < 1e-12);
+        // The evaluated count keeps the trace grain too.
+        assert_eq!(v.evaluated_count(), 3);
         // Breakdown: one entry per user, first-appearance order, per-user
         // mean of her traces.
         assert_eq!(v.per_user().len(), 2);
@@ -450,6 +472,7 @@ mod tests {
     fn defined_zero_has_an_empty_breakdown() {
         let v = MetricValue::defined_zero();
         assert_eq!(v.value(), 0.0);
+        assert_eq!(v.evaluated_count(), 0);
         assert!(v.per_user().is_empty());
         assert_eq!(v.users().count(), 0);
         assert_eq!(v.value_for(UserId::new(1)), None);

@@ -145,11 +145,11 @@ proptest! {
     ) {
         let trace = stop_and_go_trace(1, stops, dwell);
         let extractor = PoiExtractor::default();
-        let pois = extractor.extract(&trace);
+        let pois = extractor.extract(trace.view());
         // Each dwell period lasts >= 16 minutes (dwell >= 16 records at 60 s),
         // so every stop is found, and nothing else is.
         prop_assert_eq!(pois.len(), stops);
-        let distinct = extractor.extract_distinct(&trace);
+        let distinct = extractor.extract_distinct(trace.view());
         prop_assert!(distinct.len() <= pois.len());
         prop_assert!(!distinct.is_empty());
         for poi in &pois {

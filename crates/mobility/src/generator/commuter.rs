@@ -250,7 +250,7 @@ mod tests {
             .sampling_interval_s(120.0)
             .build(&mut rng)
             .unwrap();
-        let trace = &dataset.traces()[0];
+        let trace = dataset.trace_at(0);
         // 86400 / 120 = 720 records.
         assert_eq!(trace.len(), 720);
         assert!(trace.duration().to_hours() > 23.5);

@@ -23,3 +23,60 @@ pub use city::{CityModel, Hotspot};
 pub use commuter::CommuterBuilder;
 pub use random_waypoint::RandomWaypointBuilder;
 pub use taxi::TaxiFleetBuilder;
+
+use crate::dataset::Dataset;
+use crate::error::MobilityError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generates a scale-test taxi dataset with `users` drivers, deterministic
+/// from one `seed`.
+///
+/// This is the entry point the scale benches use to emit 10 → 1,000,000-user
+/// datasets: a deliberately short observation window (30 minutes at a
+/// 2-minute sampling interval, 16 records per driver) keeps the per-user
+/// footprint small enough that million-user datasets fit in memory while
+/// still exercising every protection and metric path. The same
+/// `(users, seed)` pair always produces the bit-identical dataset.
+///
+/// # Errors
+///
+/// Returns [`MobilityError::EmptyDataset`] if `users` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use geopriv_mobility::generator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = generator::scaled(10, 42)?;
+/// assert_eq!(dataset.user_count(), 10);
+/// assert_eq!(dataset, generator::scaled(10, 42)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn scaled(users: usize, seed: u64) -> Result<Dataset, MobilityError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TaxiFleetBuilder::new()
+        .drivers(users)
+        .duration_hours(0.5)
+        .sampling_interval_s(120.0)
+        .build(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_is_deterministic_and_compact() {
+        let d = scaled(25, 7).unwrap();
+        assert_eq!(d.user_count(), 25);
+        // The scale profile keeps the per-user footprint small (~16 records).
+        let per_user = d.record_count() / d.user_count();
+        assert!((10..=20).contains(&per_user), "got {per_user} records/user");
+        assert_eq!(d, scaled(25, 7).unwrap());
+        assert_ne!(scaled(25, 8).unwrap(), d);
+        assert!(scaled(0, 7).is_err());
+    }
+}

@@ -200,7 +200,7 @@ mod tests {
     fn read_csv_sorts_unordered_records() {
         let text = "1,100,37.78,-122.42\n1,0,37.77,-122.41\n";
         let parsed = read_csv(text.as_bytes()).unwrap();
-        let trace = &parsed.traces()[0];
+        let trace = parsed.trace_at(0);
         assert_eq!(trace.first().timestamp().as_f64(), 0.0);
         assert_eq!(trace.last().timestamp().as_f64(), 100.0);
     }

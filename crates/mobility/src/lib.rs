@@ -11,7 +11,11 @@
 //! random waypoint) that reproduce the structural characteristics the
 //! privacy/utility metrics depend on.
 //!
-//! * [`Record`], [`Trace`], [`Dataset`] — the data model.
+//! * [`Record`], [`Trace`], [`Dataset`] — the data model. Since the
+//!   struct-of-arrays refactor the dataset is a *columnar* store
+//!   ([`ColumnarDataset`] is an alias): contiguous timestamp/latitude/
+//!   longitude buffers plus a [`TraceSpan`] table and a per-user index,
+//!   with zero-copy [`TraceView`]s preserving the trace-oriented API.
 //! * [`io`] — CSV import/export (combined layout and cabspotting layout).
 //! * [`properties`] — candidate dataset properties (the `d_j` of Equation 1).
 //! * [`generator`] — synthetic workload generators.
@@ -49,15 +53,15 @@ pub mod record;
 pub mod splitter;
 pub mod trace;
 
-pub use dataset::Dataset;
+pub use dataset::{ColumnarDataset, Dataset, DatasetBuilder, TraceSpan};
 pub use error::MobilityError;
 pub use properties::{DatasetProperties, TraceProperties};
 pub use record::{Record, UserId};
-pub use trace::Trace;
+pub use trace::{Trace, TraceView};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::dataset::Dataset;
+    pub use crate::dataset::{ColumnarDataset, Dataset, DatasetBuilder, TraceSpan};
     pub use crate::error::MobilityError;
     pub use crate::generator::{
         CityModel, CommuterBuilder, RandomWaypointBuilder, TaxiFleetBuilder,
@@ -65,5 +69,5 @@ pub mod prelude {
     pub use crate::properties::{DatasetProperties, TraceProperties};
     pub use crate::record::{Record, UserId};
     pub use crate::splitter;
-    pub use crate::trace::Trace;
+    pub use crate::trace::{Trace, TraceView};
 }

@@ -9,7 +9,7 @@
 
 use crate::dataset::Dataset;
 use crate::error::MobilityError;
-use crate::trace::Trace;
+use crate::trace::TraceView;
 use geopriv_geo::{Grid, Meters};
 use serde::{Deserialize, Serialize};
 
@@ -48,8 +48,10 @@ impl TraceProperties {
         "visit_entropy_bits",
     ];
 
-    /// Computes the properties of a trace on the given coverage grid.
-    pub fn of(trace: &Trace, grid: &Grid) -> Self {
+    /// Computes the properties of a trace (given as a zero-copy columnar
+    /// view; use [`Trace::view`](crate::Trace::view) for an owned trace) on
+    /// the given coverage grid.
+    pub fn of(trace: TraceView<'_>, grid: &Grid) -> Self {
         let histogram = grid.histogram(trace.iter().map(|r| r.location()));
         let total: usize = histogram.values().sum();
         let entropy = if total == 0 {
@@ -143,6 +145,7 @@ impl DatasetProperties {
 mod tests {
     use super::*;
     use crate::record::{Record, UserId};
+    use crate::trace::Trace;
     use geopriv_geo::{GeoPoint, Seconds};
 
     fn gp(lat: f64, lon: f64) -> GeoPoint {

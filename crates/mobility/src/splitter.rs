@@ -7,7 +7,7 @@
 
 use crate::dataset::Dataset;
 use crate::error::MobilityError;
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceView};
 use geopriv_geo::Seconds;
 
 /// Splits a trace into consecutive windows of `window` duration, dropping
@@ -31,12 +31,15 @@ use geopriv_geo::Seconds;
 ///     .map(|i| Record::new(Seconds::new(i as f64 * 3_600.0), GeoPoint::clamped(37.77, -122.41)))
 ///     .collect();
 /// let trace = Trace::new(UserId::new(1), records)?;
-/// let days = splitter::split_trace_by_window(&trace, Seconds::from_hours(24.0))?;
+/// let days = splitter::split_trace_by_window(trace.view(), Seconds::from_hours(24.0))?;
 /// assert_eq!(days.len(), 2);
 /// # Ok(())
 /// # }
 /// ```
-pub fn split_trace_by_window(trace: &Trace, window: Seconds) -> Result<Vec<Trace>, MobilityError> {
+pub fn split_trace_by_window(
+    trace: TraceView<'_>,
+    window: Seconds,
+) -> Result<Vec<Trace>, MobilityError> {
     if !(window.as_f64().is_finite() && window.as_f64() > 0.0) {
         return Err(MobilityError::InvalidParameter {
             name: "window",
@@ -121,9 +124,9 @@ pub fn split_dataset_in_half(dataset: &Dataset) -> Result<(Dataset, Dataset), Mo
     let mut odd = Vec::new();
     for (i, trace) in dataset.iter().enumerate() {
         if i % 2 == 0 {
-            even.push(trace.clone());
+            even.push(trace.to_trace());
         } else {
-            odd.push(trace.clone());
+            odd.push(trace.to_trace());
         }
     }
     Ok((Dataset::new(even)?, Dataset::new(odd)?))
@@ -150,7 +153,7 @@ mod tests {
     #[test]
     fn trace_splitting_by_day() {
         let trace = hourly_trace(1, 72); // three days of hourly records
-        let days = split_trace_by_window(&trace, Seconds::from_hours(24.0)).unwrap();
+        let days = split_trace_by_window(trace.view(), Seconds::from_hours(24.0)).unwrap();
         assert_eq!(days.len(), 3);
         assert_eq!(days.iter().map(Trace::len).sum::<usize>(), 72);
         for day in &days {
@@ -165,15 +168,15 @@ mod tests {
     #[test]
     fn invalid_windows_are_rejected() {
         let trace = hourly_trace(1, 5);
-        assert!(split_trace_by_window(&trace, Seconds::new(0.0)).is_err());
-        assert!(split_trace_by_window(&trace, Seconds::new(-60.0)).is_err());
-        assert!(split_trace_by_window(&trace, Seconds::new(f64::NAN)).is_err());
+        assert!(split_trace_by_window(trace.view(), Seconds::new(0.0)).is_err());
+        assert!(split_trace_by_window(trace.view(), Seconds::new(-60.0)).is_err());
+        assert!(split_trace_by_window(trace.view(), Seconds::new(f64::NAN)).is_err());
     }
 
     #[test]
     fn short_trace_yields_a_single_window() {
         let trace = hourly_trace(2, 3);
-        let windows = split_trace_by_window(&trace, Seconds::from_hours(24.0)).unwrap();
+        let windows = split_trace_by_window(trace.view(), Seconds::from_hours(24.0)).unwrap();
         assert_eq!(windows.len(), 1);
         assert_eq!(windows[0].len(), 3);
     }

@@ -1,4 +1,4 @@
-//! Per-user mobility traces.
+//! Per-user mobility traces, stored in columnar (struct-of-arrays) form.
 
 use crate::error::MobilityError;
 use crate::record::{Record, UserId};
@@ -10,6 +10,13 @@ use serde::{Deserialize, Serialize};
 /// This is the unit of protection and evaluation in the paper — LPPMs protect
 /// a trace, POIs are extracted per trace, and the privacy/utility metrics
 /// compare a user's actual and protected traces.
+///
+/// Internally the trace is stored as three contiguous `f64` columns
+/// (timestamps, latitudes, longitudes) rather than a `Vec<Record>`, so hot
+/// loops can scan cache-friendly slices; [`Record`]s are materialized on the
+/// fly by [`Trace::iter`]. [`Trace::view`] exposes the columns as a borrowed
+/// [`TraceView`] — the same representation a [`Dataset`](crate::Dataset) span
+/// yields — so every computational method is implemented once, on the view.
 ///
 /// # Examples
 ///
@@ -33,7 +40,9 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     user: UserId,
-    records: Vec<Record>,
+    t: Vec<f64>,
+    lat: Vec<f64>,
+    lon: Vec<f64>,
 }
 
 impl Trace {
@@ -44,15 +53,53 @@ impl Trace {
     /// * [`MobilityError::EmptyTrace`] if `records` is empty.
     /// * [`MobilityError::UnorderedRecords`] if timestamps are not non-decreasing.
     pub fn new(user: UserId, records: Vec<Record>) -> Result<Self, MobilityError> {
-        if records.is_empty() {
+        let mut t = Vec::with_capacity(records.len());
+        let mut lat = Vec::with_capacity(records.len());
+        let mut lon = Vec::with_capacity(records.len());
+        for r in &records {
+            t.push(r.timestamp().as_f64());
+            lat.push(r.location().latitude());
+            lon.push(r.location().longitude());
+        }
+        Self::from_columns(user, t, lat, lon)
+    }
+
+    /// Creates a trace directly from timestamp / latitude / longitude columns.
+    ///
+    /// Coordinates must come from valid [`GeoPoint`]s (LPPMs and the columnar
+    /// [`Dataset`](crate::Dataset) builder only ever store validated points).
+    ///
+    /// # Errors
+    ///
+    /// * [`MobilityError::EmptyTrace`] if the columns are empty.
+    /// * [`MobilityError::InvalidParameter`] if the columns have different lengths.
+    /// * [`MobilityError::UnorderedRecords`] if timestamps are not non-decreasing.
+    pub fn from_columns(
+        user: UserId,
+        t: Vec<f64>,
+        lat: Vec<f64>,
+        lon: Vec<f64>,
+    ) -> Result<Self, MobilityError> {
+        if t.is_empty() {
             return Err(MobilityError::EmptyTrace);
         }
-        for (i, pair) in records.windows(2).enumerate() {
-            if pair[1].timestamp() < pair[0].timestamp() {
+        if t.len() != lat.len() || t.len() != lon.len() {
+            return Err(MobilityError::InvalidParameter {
+                name: "columns",
+                reason: format!(
+                    "column lengths differ: t={}, lat={}, lon={}",
+                    t.len(),
+                    lat.len(),
+                    lon.len()
+                ),
+            });
+        }
+        for (i, pair) in t.windows(2).enumerate() {
+            if pair[1] < pair[0] {
                 return Err(MobilityError::UnorderedRecords { index: i + 1 });
             }
         }
-        Ok(Self { user, records })
+        Ok(Self { user, t, lat, lon })
     }
 
     /// Creates a trace from possibly unordered records, sorting them by timestamp.
@@ -73,50 +120,275 @@ impl Trace {
         Self::new(user, records)
     }
 
+    /// A zero-copy view over this trace's columns.
+    pub fn view(&self) -> TraceView<'_> {
+        TraceView { user: self.user, t: &self.t, lat: &self.lat, lon: &self.lon }
+    }
+
     /// The user this trace belongs to.
     pub fn user(&self) -> UserId {
         self.user
     }
 
-    /// The chronologically ordered records.
-    pub fn records(&self) -> &[Record] {
-        &self.records
+    /// The chronologically ordered records, materialized from the columns.
+    pub fn to_records(&self) -> Vec<Record> {
+        self.view().iter().collect()
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.t.len()
     }
 
     /// Returns `true` if the trace has no records (never the case for a
     /// successfully constructed trace).
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.t.is_empty()
     }
 
     /// Iterates over the records.
-    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
-        self.records.iter()
+    pub fn iter(&self) -> Records<'_> {
+        self.view().iter()
+    }
+
+    /// The timestamp column, in seconds.
+    pub fn timestamps(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// The latitude column, in decimal degrees.
+    pub fn latitudes(&self) -> &[f64] {
+        &self.lat
+    }
+
+    /// The longitude column, in decimal degrees.
+    pub fn longitudes(&self) -> &[f64] {
+        &self.lon
     }
 
     /// The locations of all records, in chronological order.
     pub fn locations(&self) -> Vec<GeoPoint> {
-        self.records.iter().map(|r| r.location()).collect()
+        self.view().locations()
     }
 
     /// The first record.
-    pub fn first(&self) -> &Record {
-        &self.records[0]
+    pub fn first(&self) -> Record {
+        self.view().first()
     }
 
     /// The last record.
-    pub fn last(&self) -> &Record {
-        &self.records[self.records.len() - 1]
+    pub fn last(&self) -> Record {
+        self.view().last()
     }
 
     /// Total observation duration (last timestamp minus first timestamp).
     pub fn duration(&self) -> Seconds {
-        self.last().timestamp() - self.first().timestamp()
+        self.view().duration()
+    }
+
+    /// Total distance travelled along the trace.
+    pub fn travelled_distance(&self) -> Meters {
+        self.view().travelled_distance()
+    }
+
+    /// Median interval between consecutive records.
+    ///
+    /// Returns zero for a single-record trace.
+    pub fn median_sampling_interval(&self) -> Seconds {
+        self.view().median_sampling_interval()
+    }
+
+    /// Geographic centroid of the trace (unweighted mean of coordinates).
+    pub fn centroid(&self) -> GeoPoint {
+        self.view().centroid()
+    }
+
+    /// Radius of gyration: root-mean-square distance of the records to the
+    /// trace centroid. A classic mobility-compactness property used as a
+    /// candidate dataset property `d_j`.
+    pub fn radius_of_gyration(&self) -> Meters {
+        self.view().radius_of_gyration()
+    }
+
+    /// Mean speed over the trace in meters per second.
+    ///
+    /// Returns zero for traces with no elapsed time.
+    pub fn mean_speed(&self) -> f64 {
+        self.view().mean_speed()
+    }
+
+    /// The smallest bounding box containing every record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`geopriv_geo::GeoError`] for degenerate traces (all records
+    /// at exactly the same coordinate are padded into a small box).
+    pub fn bounding_box(&self) -> Result<BoundingBox, MobilityError> {
+        self.view().bounding_box()
+    }
+
+    /// Returns a copy of the trace restricted to records with
+    /// `start <= timestamp < end`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::EmptyTrace`] if no record falls in the window.
+    pub fn time_window(&self, start: Seconds, end: Seconds) -> Result<Trace, MobilityError> {
+        self.view().time_window(start, end)
+    }
+
+    /// Returns a copy of the trace keeping every `n`-th record (downsampling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::InvalidParameter`] if `n == 0`.
+    pub fn downsampled(&self, n: usize) -> Result<Trace, MobilityError> {
+        self.view().downsampled(n)
+    }
+
+    /// Builds a new trace with the same user and timestamps but different
+    /// locations, in the same order.
+    ///
+    /// This is the primitive LPPMs use to emit a protected trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::InvalidParameter`] if `locations.len()` does
+    /// not match the number of records.
+    pub fn with_locations(&self, locations: Vec<GeoPoint>) -> Result<Trace, MobilityError> {
+        if locations.len() != self.t.len() {
+            return Err(MobilityError::InvalidParameter {
+                name: "locations",
+                reason: format!("expected {} locations, got {}", self.t.len(), locations.len()),
+            });
+        }
+        let mut lat = Vec::with_capacity(locations.len());
+        let mut lon = Vec::with_capacity(locations.len());
+        for loc in &locations {
+            lat.push(loc.latitude());
+            lon.push(loc.longitude());
+        }
+        // Timestamps are copied from an already-validated trace, so no
+        // re-validation is needed.
+        Ok(Self { user: self.user, t: self.t.clone(), lat, lon })
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = Record;
+    type IntoIter = Records<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// A zero-copy view over one trace's columns.
+///
+/// Views are what a columnar [`Dataset`](crate::Dataset) hands out for each
+/// of its spans: three borrowed `f64` slices plus the owning user. All trace
+/// computations (distance, centroid, bounding box, …) are implemented here,
+/// on contiguous slices, and [`Trace`] delegates to its own view.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    pub(crate) user: UserId,
+    pub(crate) t: &'a [f64],
+    pub(crate) lat: &'a [f64],
+    pub(crate) lon: &'a [f64],
+}
+
+impl<'a> TraceView<'a> {
+    /// Assembles a view from raw columns (lengths must match, and be non-zero).
+    pub fn from_columns(user: UserId, t: &'a [f64], lat: &'a [f64], lon: &'a [f64]) -> Self {
+        assert!(
+            !t.is_empty() && t.len() == lat.len() && t.len() == lon.len(),
+            "view columns must be non-empty and of equal length"
+        );
+        Self { user, t, lat, lon }
+    }
+
+    /// The user this trace belongs to.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Returns `true` if the view has no records (never the case for views
+    /// handed out by a dataset or trace).
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// The timestamp column, in seconds.
+    pub fn timestamps(&self) -> &'a [f64] {
+        self.t
+    }
+
+    /// The latitude column, in decimal degrees.
+    pub fn latitudes(&self) -> &'a [f64] {
+        self.lat
+    }
+
+    /// The longitude column, in decimal degrees.
+    pub fn longitudes(&self) -> &'a [f64] {
+        self.lon
+    }
+
+    /// The `i`-th record, materialized from the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn record(&self, i: usize) -> Record {
+        Record::new(Seconds::new(self.t[i]), GeoPoint::from_stored(self.lat[i], self.lon[i]))
+    }
+
+    /// The `i`-th location, materialized from the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn location(&self, i: usize) -> GeoPoint {
+        GeoPoint::from_stored(self.lat[i], self.lon[i])
+    }
+
+    /// Iterates over the records, materializing each from the columns.
+    pub fn iter(&self) -> Records<'a> {
+        Records { view: *self, next: 0 }
+    }
+
+    /// The locations of all records, in chronological order.
+    pub fn locations(&self) -> Vec<GeoPoint> {
+        (0..self.len()).map(|i| self.location(i)).collect()
+    }
+
+    /// The first record.
+    pub fn first(&self) -> Record {
+        self.record(0)
+    }
+
+    /// The last record.
+    pub fn last(&self) -> Record {
+        self.record(self.len() - 1)
+    }
+
+    /// Copies the view into an owned [`Trace`].
+    pub fn to_trace(&self) -> Trace {
+        Trace {
+            user: self.user,
+            t: self.t.to_vec(),
+            lat: self.lat.to_vec(),
+            lon: self.lon.to_vec(),
+        }
+    }
+
+    /// Total observation duration (last timestamp minus first timestamp).
+    pub fn duration(&self) -> Seconds {
+        Seconds::new(self.t[self.t.len() - 1] - self.t[0])
     }
 
     /// Total distance travelled along the trace.
@@ -128,38 +400,34 @@ impl Trace {
     ///
     /// Returns zero for a single-record trace.
     pub fn median_sampling_interval(&self) -> Seconds {
-        if self.records.len() < 2 {
+        if self.t.len() < 2 {
             return Seconds::new(0.0);
         }
-        let mut intervals: Vec<f64> = self
-            .records
-            .windows(2)
-            .map(|w| (w[1].timestamp() - w[0].timestamp()).as_f64())
-            .collect();
+        let mut intervals: Vec<f64> = self.t.windows(2).map(|w| w[1] - w[0]).collect();
         intervals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         Seconds::new(intervals[intervals.len() / 2])
     }
 
     /// Geographic centroid of the trace (unweighted mean of coordinates).
     pub fn centroid(&self) -> GeoPoint {
-        let n = self.records.len() as f64;
-        let (lat, lon) = self.records.iter().fold((0.0, 0.0), |(la, lo), r| {
-            (la + r.location().latitude(), lo + r.location().longitude())
-        });
-        GeoPoint::clamped(lat / n, lon / n)
+        let n = self.t.len() as f64;
+        let mut la = 0.0;
+        let mut lo = 0.0;
+        for i in 0..self.t.len() {
+            la += self.lat[i];
+            lo += self.lon[i];
+        }
+        GeoPoint::clamped(la / n, lo / n)
     }
 
     /// Radius of gyration: root-mean-square distance of the records to the
-    /// trace centroid. A classic mobility-compactness property used as a
-    /// candidate dataset property `d_j`.
+    /// trace centroid.
     pub fn radius_of_gyration(&self) -> Meters {
         let c = self.centroid();
-        let mean_sq = self
-            .records
-            .iter()
-            .map(|r| distance::haversine(r.location(), c).as_f64().powi(2))
+        let mean_sq = (0..self.len())
+            .map(|i| distance::haversine(self.location(i), c).as_f64().powi(2))
             .sum::<f64>()
-            / self.records.len() as f64;
+            / self.len() as f64;
         Meters::new(mean_sq.sqrt())
     }
 
@@ -178,29 +446,36 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Propagates [`geopriv_geo::GeoError`] for degenerate traces (all records
-    /// at exactly the same coordinate are padded into a small box).
+    /// Propagates [`geopriv_geo::GeoError`] for degenerate traces.
     pub fn bounding_box(&self) -> Result<BoundingBox, MobilityError> {
-        Ok(BoundingBox::enclosing(self.locations())?)
+        Ok(BoundingBox::enclosing((0..self.len()).map(|i| self.location(i)))?)
     }
 
-    /// Returns a copy of the trace restricted to records with
+    /// Returns an owned trace restricted to records with
     /// `start <= timestamp < end`.
     ///
     /// # Errors
     ///
     /// Returns [`MobilityError::EmptyTrace`] if no record falls in the window.
     pub fn time_window(&self, start: Seconds, end: Seconds) -> Result<Trace, MobilityError> {
-        let records: Vec<Record> = self
-            .records
-            .iter()
-            .filter(|r| r.timestamp() >= start && r.timestamp() < end)
-            .copied()
-            .collect();
-        Trace::new(self.user, records)
+        let (s, e) = (start.as_f64(), end.as_f64());
+        let mut t = Vec::new();
+        let mut lat = Vec::new();
+        let mut lon = Vec::new();
+        for i in 0..self.len() {
+            if self.t[i] >= s && self.t[i] < e {
+                t.push(self.t[i]);
+                lat.push(self.lat[i]);
+                lon.push(self.lon[i]);
+            }
+        }
+        if t.is_empty() {
+            return Err(MobilityError::EmptyTrace);
+        }
+        Ok(Trace { user: self.user, t, lat, lon })
     }
 
-    /// Returns a copy of the trace keeping every `n`-th record (downsampling).
+    /// Returns an owned trace keeping every `n`-th record (downsampling).
     ///
     /// # Errors
     ///
@@ -212,44 +487,51 @@ impl Trace {
                 reason: "downsampling factor must be at least 1".to_string(),
             });
         }
-        let records: Vec<Record> = self.records.iter().step_by(n).copied().collect();
-        Trace::new(self.user, records)
-    }
-
-    /// Builds a new trace with the same user and timestamps but different
-    /// locations, in the same order.
-    ///
-    /// This is the primitive LPPMs use to emit a protected trace.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MobilityError::InvalidParameter`] if `locations.len()` does
-    /// not match the number of records.
-    pub fn with_locations(&self, locations: Vec<GeoPoint>) -> Result<Trace, MobilityError> {
-        if locations.len() != self.records.len() {
-            return Err(MobilityError::InvalidParameter {
-                name: "locations",
-                reason: format!(
-                    "expected {} locations, got {}",
-                    self.records.len(),
-                    locations.len()
-                ),
-            });
-        }
-        let records =
-            self.records.iter().zip(locations).map(|(r, loc)| r.with_location(loc)).collect();
-        Trace::new(self.user, records)
+        Ok(Trace {
+            user: self.user,
+            t: self.t.iter().step_by(n).copied().collect(),
+            lat: self.lat.iter().step_by(n).copied().collect(),
+            lon: self.lon.iter().step_by(n).copied().collect(),
+        })
     }
 }
 
-impl<'a> IntoIterator for &'a Trace {
-    type Item = &'a Record;
-    type IntoIter = std::slice::Iter<'a, Record>;
+impl<'a> IntoIterator for TraceView<'a> {
+    type Item = Record;
+    type IntoIter = Records<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.records.iter()
+        self.iter()
     }
 }
+
+/// Iterator over the records of a [`TraceView`], materializing each [`Record`]
+/// from the underlying columns.
+#[derive(Debug, Clone)]
+pub struct Records<'a> {
+    view: TraceView<'a>,
+    next: usize,
+}
+
+impl Iterator for Records<'_> {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        if self.next >= self.view.len() {
+            return None;
+        }
+        let record = self.view.record(self.next);
+        self.next += 1;
+        Some(record)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.view.len() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Records<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -289,6 +571,35 @@ mod tests {
     }
 
     #[test]
+    fn column_construction_validates_shape() {
+        let t = Trace::from_columns(
+            UserId::new(1),
+            vec![0.0, 10.0],
+            vec![37.7, 37.8],
+            vec![-122.4, -122.5],
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(matches!(
+            Trace::from_columns(UserId::new(1), vec![], vec![], vec![]),
+            Err(MobilityError::EmptyTrace)
+        ));
+        assert!(matches!(
+            Trace::from_columns(UserId::new(1), vec![0.0, 1.0], vec![37.7], vec![-122.4, -122.5]),
+            Err(MobilityError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            Trace::from_columns(
+                UserId::new(1),
+                vec![10.0, 0.0],
+                vec![37.7, 37.8],
+                vec![-122.4, -122.5,]
+            ),
+            Err(MobilityError::UnorderedRecords { index: 1 })
+        ));
+    }
+
+    #[test]
     fn equal_timestamps_are_allowed() {
         let t = Trace::new(
             UserId::new(2),
@@ -312,6 +623,25 @@ mod tests {
         assert_eq!((&t).into_iter().count(), 4);
         assert_eq!(t.first().timestamp().as_f64(), 0.0);
         assert_eq!(t.last().timestamp().as_f64(), 120.0);
+        assert_eq!(t.timestamps(), &[0.0, 30.0, 60.0, 120.0]);
+        assert_eq!(t.latitudes().len(), 4);
+        assert_eq!(t.longitudes().len(), 4);
+    }
+
+    #[test]
+    fn records_round_trip_through_columns() {
+        let records = vec![
+            Record::new(Seconds::new(0.0), gp(37.7700, -122.4100)),
+            Record::new(Seconds::new(30.0), gp(37.7710, -122.4110)),
+        ];
+        let t = Trace::new(UserId::new(1), records.clone()).unwrap();
+        assert_eq!(t.to_records(), records);
+        let view = t.view();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.record(1), records[1]);
+        assert_eq!(view.to_trace(), t);
+        assert_eq!(view.iter().len(), 2);
+        assert_eq!(view.into_iter().collect::<Vec<_>>(), records);
     }
 
     #[test]

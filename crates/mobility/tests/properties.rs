@@ -25,7 +25,7 @@ proptest! {
     #[test]
     fn from_unordered_always_yields_a_chronological_trace(records in arbitrary_records(80)) {
         let trace = Trace::from_unordered(UserId::new(1), records).unwrap();
-        for w in trace.records().windows(2) {
+        for w in trace.to_records().windows(2) {
             prop_assert!(w[0].timestamp() <= w[1].timestamp());
         }
         prop_assert!(trace.duration().as_f64() >= 0.0);
@@ -109,6 +109,59 @@ proptest! {
             // A commuter's radius of gyration stays within the city.
             prop_assert!(trace.radius_of_gyration().to_kilometers() < 25.0);
             prop_assert!(trace.len() > 100);
+        }
+    }
+
+    #[test]
+    fn columnar_roundtrip_is_bit_identical(
+        records in arbitrary_records(60),
+        user_count in 1u64..5,
+        traces_per_user in 1usize..3,
+    ) {
+        let mut traces = Vec::new();
+        for u in 0..user_count {
+            for _ in 0..traces_per_user {
+                traces.push(Trace::from_unordered(UserId::new(u), records.clone()).unwrap());
+            }
+        }
+        let dataset = Dataset::new(traces.clone()).unwrap();
+
+        // Row round-trip: Vec<Trace> -> columnar Dataset -> Vec<Trace> gives
+        // back every record bit for bit (the inputs are already sorted by
+        // user, so the construction sort is a no-op).
+        prop_assert_eq!(dataset.to_traces(), traces);
+
+        // The span table tiles the column buffers exactly: contiguous,
+        // gap-free, non-empty, covering every record.
+        let mut cursor = 0usize;
+        for span in dataset.spans() {
+            prop_assert_eq!(span.start(), cursor);
+            prop_assert!(!span.is_empty());
+            cursor += span.len();
+        }
+        prop_assert_eq!(cursor, dataset.record_count());
+        prop_assert_eq!(dataset.timestamps().len(), cursor);
+        prop_assert_eq!(dataset.latitudes().len(), cursor);
+        prop_assert_eq!(dataset.longitudes().len(), cursor);
+
+        // Every view reads exactly its trace's columns.
+        for (view, trace) in dataset.iter().zip(&traces) {
+            prop_assert_eq!(view.user(), trace.user());
+            prop_assert_eq!(view.timestamps(), trace.timestamps());
+            prop_assert_eq!(view.latitudes(), trace.latitudes());
+            prop_assert_eq!(view.longitudes(), trace.longitudes());
+        }
+
+        // The per-user index agrees with a naive scan over all traces.
+        for user in dataset.users() {
+            let indexed: Vec<Trace> =
+                dataset.traces_of(user).into_iter().map(|v| v.to_trace()).collect();
+            let naive: Vec<Trace> = dataset
+                .iter()
+                .filter(|v| v.user() == user)
+                .map(|v| v.to_trace())
+                .collect();
+            prop_assert_eq!(indexed, naive);
         }
     }
 

@@ -41,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Merge both populations and let the PCA rank the properties.
-    let mut traces = taxis.traces().to_vec();
-    traces.extend(commuters.traces().iter().cloned());
+    let mut traces = taxis.to_traces();
+    traces.extend(commuters.to_traces());
     let merged = Dataset::new(traces)?;
     let merged_props = DatasetProperties::compute(&merged, Meters::new(200.0))?;
     let selection = PropertySelector::default().select(&merged_props)?;

@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("re-measured per user (seed 7):");
     for user in &recommendation.users {
         let traces = dataset.traces_of(user.user);
-        let single = Dataset::new(traces.into_iter().cloned().collect())?;
+        let single = Dataset::new(traces.into_iter().map(|t| t.to_trace()).collect())?;
         let measured = studied.measure_at_point(&single, &user.point, 7)?;
         let privacy = measured[0].1;
         let utility = measured[1].1;

@@ -117,8 +117,8 @@ fn dataset_properties_feed_the_pca_selection() {
         .first_user_id(50)
         .build(&mut rng)
         .expect("valid");
-    let mut traces = taxis.traces().to_vec();
-    traces.extend(commuters.traces().iter().cloned());
+    let mut traces = taxis.to_traces();
+    traces.extend(commuters.to_traces());
     let merged = Dataset::new(traces).expect("non-empty");
 
     let properties = DatasetProperties::compute(&merged, Meters::new(200.0)).expect("properties");
