@@ -1,0 +1,139 @@
+//! Adaptive-vs-grid study baseline: runs the 2-D configuration study (GEO-I
+//! ε × grid-cloaking cell size) twice — once as the full factorial, once
+//! through the staged adaptive planner (`SweepMode::Adaptive`, coarse pass +
+//! model-guided refinement) — and emits a `BENCH_adaptive.json` baseline
+//! recording the evaluation savings, wall-time of both paths and how far the
+//! adaptive recommendation lands from the full-grid one.
+//!
+//! Contract asserted on every run: the adaptive study spends at most 40 % of
+//! the grid's evaluations, and its recommended operating point predicts every
+//! metric within 0.08 (absolute, on [0, 1]-valued metrics) of the full-grid
+//! recommendation. (Measured drift: ~0.056 at Standard — the tolerance
+//! leaves headroom, not slack for regressions of 2x.)
+//!
+//! ```text
+//! cargo run -p geopriv-bench --release --bin adaptive \
+//!     [-- --fidelity smoke|standard|full] [--out BENCH_adaptive.json]
+//! ```
+
+use geopriv_bench::{
+    adaptive_budget, adaptive_coarse_points_per_axis, fidelity_from_args, grid_points_per_axis,
+    median_seconds, out_path_from_args, reproduction_dataset, run_adaptive_study, run_grid_study,
+    BenchJson,
+};
+use geopriv_core::prelude::*;
+use std::time::Instant;
+
+/// The tolerance (absolute, in metric units) within which the adaptive
+/// recommendation must track the full-grid one.
+const PREDICTION_TOLERANCE: f64 = 0.08;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = fidelity_from_args();
+    let out_path = out_path_from_args("BENCH_adaptive.json");
+
+    eprintln!("building the synthetic SF taxi dataset ({fidelity:?})…");
+    let dataset = reproduction_dataset(fidelity);
+    let per_axis = grid_points_per_axis(fidelity);
+    let coarse = adaptive_coarse_points_per_axis(fidelity);
+    let budget = adaptive_budget(fidelity);
+    eprintln!(
+        "grid {per_axis} x {per_axis} vs adaptive {coarse} x {coarse} + refinement \
+         (budget {budget})"
+    );
+
+    // Untimed warm-ups that double as determinism references.
+    eprintln!("warming up…");
+    let grid_reference = run_grid_study(&dataset, fidelity)?;
+    let adaptive_reference = run_adaptive_study(&dataset, fidelity)?;
+    assert_eq!(grid_reference.len(), per_axis * per_axis);
+    assert!(
+        adaptive_reference.len() > coarse * coarse,
+        "refinement never spent its budget ({} points)",
+        adaptive_reference.len()
+    );
+    assert!(adaptive_reference.len() <= budget);
+    // The headline contract: at most 40 % of the grid's evaluations.
+    assert!(
+        adaptive_reference.len() * 5 <= grid_reference.len() * 2,
+        "adaptive spent {} of {} grid evaluations (> 40 %)",
+        adaptive_reference.len(),
+        grid_reference.len()
+    );
+
+    const ROUNDS: usize = 3;
+    let mut grid_times = Vec::with_capacity(ROUNDS);
+    let mut adaptive_times = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        eprintln!("round {}/{ROUNDS}…", round + 1);
+        let started = Instant::now();
+        let study = std::hint::black_box(run_grid_study(&dataset, fidelity)?);
+        grid_times.push(started.elapsed().as_secs_f64());
+        assert_eq!(study, grid_reference, "grid study is not deterministic across rounds");
+
+        let started = Instant::now();
+        let study = std::hint::black_box(run_adaptive_study(&dataset, fidelity)?);
+        adaptive_times.push(started.elapsed().as_secs_f64());
+        assert_eq!(study, adaptive_reference, "adaptive study is not deterministic across rounds");
+    }
+    let seconds_grid = median_seconds(&mut grid_times);
+    let seconds_adaptive = median_seconds(&mut adaptive_times);
+
+    // Both designs feed the same downstream pipeline: fit, then recommend
+    // under objectives both studies can satisfy.
+    let objectives = Objectives::new()
+        .require("poi-retrieval", at_most(0.60))?
+        .require("area-coverage", at_least(0.30))?;
+    let grid_fit = Modeler::new().fit(&grid_reference)?;
+    let adaptive_fit = Modeler::new().fit(&adaptive_reference)?;
+    let grid_rec = Configurator::new(grid_fit).recommend(&objectives)?;
+    let adaptive_rec = Configurator::new(adaptive_fit).recommend(&objectives)?;
+
+    // Distance between the two operating points, measured where it matters:
+    // in metric space, as the worst per-metric prediction delta.
+    let prediction_delta = grid_rec
+        .predictions
+        .iter()
+        .filter_map(|(id, grid_value)| {
+            adaptive_rec.predicted(id).map(|adaptive_value| (adaptive_value - grid_value).abs())
+        })
+        .fold(0.0, f64::max);
+    assert!(
+        prediction_delta <= PREDICTION_TOLERANCE,
+        "adaptive recommendation drifted {prediction_delta:.4} (> {PREDICTION_TOLERANCE}) \
+         from the full-grid operating point"
+    );
+
+    let evaluations_saved =
+        100.0 * (1.0 - adaptive_reference.len() as f64 / grid_reference.len() as f64);
+    let mut json = BenchJson::new("adaptive")
+        .string("fidelity", format!("{fidelity:?}"))
+        .string("lppm", &grid_reference.lppm_name)
+        .string("axes", grid_reference.space.names().join(" x "))
+        .int("grid_evaluations", grid_reference.len() as u64)
+        .int("coarse_points_per_axis", coarse as u64)
+        .int("adaptive_budget", budget as u64)
+        .int("adaptive_evaluations", adaptive_reference.len() as u64)
+        .float("evaluations_saved_percent", evaluations_saved, 1)
+        .float("seconds_grid", seconds_grid, 6)
+        .float("seconds_adaptive", seconds_adaptive, 6)
+        .float("adaptive_speedup", seconds_grid / seconds_adaptive, 3)
+        .float("recommendation_prediction_delta", prediction_delta, 4)
+        .float("prediction_tolerance", PREDICTION_TOLERANCE, 2);
+    for (axis, value) in grid_rec.point.values() {
+        json = json.float(&format!("grid_recommended_{axis}"), *value, 6);
+    }
+    for (axis, value) in adaptive_rec.point.values() {
+        json = json.float(&format!("adaptive_recommended_{axis}"), *value, 6);
+    }
+    println!("{}", json.render());
+    json.write(&out_path)?;
+    eprintln!("baseline written to {out_path}");
+    eprintln!(
+        "adaptive: {} of {} evaluations ({evaluations_saved:.0}% saved), \
+         {seconds_adaptive:.3}s vs {seconds_grid:.3}s, prediction delta {prediction_delta:.4}",
+        adaptive_reference.len(),
+        grid_reference.len()
+    );
+    Ok(())
+}

@@ -5,14 +5,19 @@
 //! configuration point per user — and emits a `BENCH_peruser.json` baseline
 //! reporting users/s.
 //!
+//! The dataset is the *scaled fleet* (thousands of users, ~16 records each),
+//! not the record-heavy figure-reproduction fleet: per-user fit+recommend
+//! cost scales with the user count, so a 20-user run would extrapolate a
+//! meaningless users/s figure from fractions of a millisecond.
+//!
 //! ```text
 //! cargo run -p geopriv-bench --release --bin per_user \
 //!     [-- --fidelity smoke|standard|full] [--out BENCH_peruser.json]
 //! ```
 
 use geopriv_bench::{
-    campaign_config, fidelity_from_args, median_seconds, out_path_from_args, reproduction_dataset,
-    BenchJson,
+    campaign_config, fidelity_from_args, median_seconds, out_path_from_args,
+    per_user_bench_dataset, BenchJson,
 };
 use geopriv_core::prelude::*;
 use std::time::Instant;
@@ -21,8 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fidelity = fidelity_from_args();
     let out_path = out_path_from_args("BENCH_peruser.json");
 
-    eprintln!("building the synthetic SF taxi dataset ({fidelity:?})…");
-    let dataset = reproduction_dataset(fidelity);
+    eprintln!("building the scaled taxi fleet ({fidelity:?})…");
+    let dataset = per_user_bench_dataset(fidelity);
     let config = campaign_config(fidelity);
     let system = SystemDefinition::paper_geoi();
 
@@ -39,10 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset_grain = ExperimentRunner::new(config).run(&system, &dataset)?;
     assert_eq!(sweep.columns, dataset_grain.columns, "per-user grain changed the aggregates");
 
+    // Bounds chosen to be feasible on the scaled fleet's short traces (the
+    // figure-reproduction bounds 0.25/0.60 have disjoint ε intervals there).
     let users = sweep.users().len();
     let objectives = Objectives::new()
-        .require("poi-retrieval", at_most(0.25))?
-        .require("area-coverage", at_least(0.60))?;
+        .require("poi-retrieval", at_most(0.45))?
+        .require("area-coverage", at_least(0.45))?;
 
     // Warm-up (also the determinism reference for the timed rounds).
     eprintln!("warming up…");

@@ -268,6 +268,69 @@ pub fn run_grid_study(dataset: &Dataset, fidelity: Fidelity) -> Result<SweepResu
     ExperimentRunner::with_plan(SweepPlan::grid(config)).run(&grid_study_system(), dataset)
 }
 
+/// Coarse-pass points per axis of the adaptive study — below
+/// [`grid_points_per_axis`] on purpose: the whole point of
+/// [`SweepMode::Adaptive`] is to start coarse and let model-guided
+/// refinement spend the rest of the budget.
+pub fn adaptive_coarse_points_per_axis(fidelity: Fidelity) -> usize {
+    match fidelity {
+        Fidelity::Smoke => 3,
+        Fidelity::Standard => 5,
+        Fidelity::Full => 7,
+    }
+}
+
+/// Total evaluation budget (coarse pass + refinement) of the adaptive study,
+/// kept at or below 40 % of the full grid's evaluation count at the same
+/// fidelity — the headline saving `BENCH_adaptive.json` tracks.
+pub fn adaptive_budget(fidelity: Fidelity) -> usize {
+    match fidelity {
+        Fidelity::Smoke => 10,    // vs 5² = 25 grid evaluations
+        Fidelity::Standard => 32, // vs 9² = 81
+        Fidelity::Full => 67,     // vs 13² = 169
+    }
+}
+
+/// Runs the adaptive counterpart of [`run_grid_study`]: same 2-D system,
+/// coarse `adaptive_coarse_points_per_axis` grid, then model-guided
+/// refinement up to `adaptive_budget` total evaluations.
+///
+/// # Errors
+///
+/// Propagates framework errors (none are expected for the built-in scenario).
+pub fn run_adaptive_study(dataset: &Dataset, fidelity: Fidelity) -> Result<SweepResult, CoreError> {
+    let config = SweepConfig {
+        points: adaptive_coarse_points_per_axis(fidelity),
+        ..campaign_config(fidelity)
+    };
+    ExperimentRunner::with_plan(SweepPlan::adaptive(config, adaptive_budget(fidelity)))
+        .run(&grid_study_system(), dataset)
+}
+
+/// Number of users of the per-user throughput bench's scaled fleet —
+/// unlike [`reproduction_dataset`] (whose record-heavy traces exist for the
+/// figure reproductions), the per-user bench wants *many cheap users*, since
+/// per-user fit+recommend cost scales with the user count.
+pub fn per_user_bench_users(fidelity: Fidelity) -> usize {
+    match fidelity {
+        Fidelity::Smoke => 500,
+        Fidelity::Standard => 10_000,
+        Fidelity::Full => 50_000,
+    }
+}
+
+/// Builds the compact scaled fleet ([`geopriv_mobility::generator::scaled`],
+/// ~16 records per user) the per-user throughput bench runs on.
+///
+/// # Panics
+///
+/// Panics only if the static generator configuration is invalid, which the
+/// test suite rules out.
+pub fn per_user_bench_dataset(fidelity: Fidelity) -> Dataset {
+    geopriv_mobility::generator::scaled(per_user_bench_users(fidelity), REPRODUCTION_SEED)
+        .expect("static scaled-fleet configuration is valid")
+}
+
 /// Parses `--out <path>` from the command line, defaulting to `default`.
 pub fn out_path_from_args(default: &str) -> String {
     let args: Vec<String> = std::env::args().collect();
@@ -388,6 +451,29 @@ mod tests {
         for column in &sweep.columns {
             assert!(column.means.last().unwrap() > column.means.first().unwrap());
         }
+    }
+
+    #[test]
+    fn adaptive_budget_stays_under_forty_percent_of_the_grid() {
+        for fidelity in [Fidelity::Smoke, Fidelity::Standard, Fidelity::Full] {
+            let grid = grid_points_per_axis(fidelity) * grid_points_per_axis(fidelity);
+            let budget = adaptive_budget(fidelity);
+            // budget <= 0.40 * grid, in integers.
+            assert!(budget * 5 <= grid * 2, "{fidelity:?}: budget {budget} vs grid {grid}");
+            // The coarse pass fits inside the budget, leaving room to refine.
+            let coarse = adaptive_coarse_points_per_axis(fidelity);
+            assert!(coarse * coarse < budget, "{fidelity:?}: no refinement headroom");
+        }
+    }
+
+    #[test]
+    fn per_user_bench_fleet_is_deterministic_and_compact() {
+        let a = per_user_bench_dataset(Fidelity::Smoke);
+        assert_eq!(a.user_count(), per_user_bench_users(Fidelity::Smoke));
+        assert_eq!(a, per_user_bench_dataset(Fidelity::Smoke));
+        // The scaled profile keeps traces cheap: the bench measures per-user
+        // modeling throughput, not raw record crunching.
+        assert!(a.record_count() / a.user_count() <= 20);
     }
 
     #[test]

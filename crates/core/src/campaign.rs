@@ -52,7 +52,7 @@
 
 use crate::error::CoreError;
 use crate::experiment::{
-    assemble_sweep, derive_unit_seed, run_indexed, MetricSample, SweepConfig, SweepPlan,
+    assemble_sweep, derive_unit_seed, run_indexed, MetricSample, SweepConfig, SweepMode, SweepPlan,
     SweepResult,
 };
 use crate::system::SystemDefinition;
@@ -177,13 +177,15 @@ impl CampaignRunner {
             });
         }
 
-        // Sharded plans trade the campaign's cross-cell pooling for the
-        // O(shard) memory bound: every cell delegates to the sharded
-        // [`crate::ExperimentRunner`] path, one cell at a time in (system,
-        // dataset) order, so at most one shard's working set is live. The
-        // results are bit-identical to independent sharded runs by
-        // construction — it *is* that code path.
-        if self.plan.user_shard_size().is_some() {
+        // Sharded and adaptive plans trade the campaign's cross-cell pooling
+        // for per-cell delegation to the [`crate::ExperimentRunner`] path —
+        // sharded for the O(shard) memory bound, adaptive because its design
+        // matrix is chosen at run time (coarse pass → fit → refine) and so
+        // cannot be flattened into a static unit list. Cells run one at a
+        // time in (system, dataset) order (each cell still drives the shared
+        // work pool internally), and the results are bit-identical to
+        // independent runs by construction — it *is* that code path.
+        if self.plan.user_shard_size().is_some() || self.plan.mode == SweepMode::Adaptive {
             let runner = crate::experiment::ExperimentRunner::with_plan(self.plan.clone());
             let mut runs = Vec::with_capacity(systems.len() * datasets.len());
             for (s, system) in systems.iter().enumerate() {
@@ -240,7 +242,7 @@ impl CampaignRunner {
                 abort.store(true, std::sync::atomic::Ordering::Relaxed);
             }
             Some(result)
-        });
+        })?;
 
         self.assemble(systems, datasets, &design_points, &units, measurements)
     }
@@ -286,7 +288,7 @@ impl CampaignRunner {
             run_indexed(jobs.len(), self.plan.config.parallel, |i| {
                 let job = &jobs[i];
                 systems[job.system].suite().metrics()[job.metric].prepare(&datasets[job.dataset])
-            })
+            })?
             .into_iter()
             .map(|state| state.map(Arc::new).map_err(CoreError::from))
             .collect::<Result<_, _>>()?;
@@ -553,6 +555,25 @@ mod tests {
                 let independent =
                     ExperimentRunner::with_plan(plan.clone()).run(system, dataset).unwrap();
                 assert_eq!(campaign.get(s, d).unwrap(), &independent, "cell ({s}, {d})");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_campaign_cells_match_independent_adaptive_runs() {
+        let systems = three_systems();
+        let datasets = [small_dataset(4), small_dataset(8)];
+        let plan = SweepPlan::adaptive(small_config(), 7);
+        let campaign = CampaignRunner::with_plan(plan.clone()).run(&systems, &datasets).unwrap();
+        assert_eq!(campaign.len(), systems.len() * datasets.len());
+        for (s, system) in systems.iter().enumerate() {
+            for (d, dataset) in datasets.iter().enumerate() {
+                let independent =
+                    ExperimentRunner::with_plan(plan.clone()).run(system, dataset).unwrap();
+                let cell = campaign.get(s, d).unwrap();
+                assert_eq!(cell, &independent, "cell ({s}, {d})");
+                assert_eq!(cell.mode, SweepMode::Adaptive);
+                assert!(cell.len() >= 4, "adaptive cell kept its coarse pass");
             }
         }
     }

@@ -256,6 +256,44 @@ impl Configurator {
         }
     }
 
+    /// The per-axis locations of the constraint boundaries: for every
+    /// constrained metric with an invertible 1-D fit along an axis, the
+    /// parameter value where the fitted model meets the constraint's bound —
+    /// `(axis name, (boundary, boundary))` as a degenerate interval, the
+    /// format [`crate::experiment::SweepPlan::focus`] accepts.
+    ///
+    /// This is the feedback edge of the adaptive planning loop
+    /// ([`crate::experiment::SweepMode::Adaptive`]): a coarse fit's boundary
+    /// estimates go back into the plan, and refinement bisects the measured
+    /// gaps around them so the next fit pins the feasibility boundary down
+    /// more precisely. Metrics without an axis fit on a given axis (surface
+    /// responses) and non-invertible (flat) responses contribute nothing;
+    /// boundaries outside a model's fitted domain are dropped (they are
+    /// extrapolations, not boundaries the data saw).
+    ///
+    /// # Errors
+    ///
+    /// As [`Configurator::recommend`] for unknown metrics, invalid bounds or
+    /// an empty objective set.
+    pub fn constraint_boundaries(
+        &self,
+        objectives: &Objectives,
+    ) -> Result<Vec<crate::experiment::AxisInterval>, CoreError> {
+        let constrained = Self::constrained_models(&self.fitted, objectives)?;
+        let mut boundaries = Vec::new();
+        for axis in self.fitted.space.axes() {
+            for (_, constraint, model) in &constrained {
+                let Some(fit) = model.axis_fit(axis.name()) else { continue };
+                let Ok(critical) = fit.model.invert(constraint.bound()) else { continue };
+                let (lo, hi) = fit.model.domain();
+                if critical.is_finite() && critical >= lo && critical <= hi {
+                    boundaries.push((axis.name().to_string(), (critical, critical)));
+                }
+            }
+        }
+        Ok(boundaries)
+    }
+
     /// Resolves and validates every constrained metric's model inside
     /// `fitted`.
     fn constrained_models<'a>(
@@ -558,7 +596,7 @@ impl Configurator {
         let users: Vec<UserRecommendation> = run_indexed(per_user.users.len(), true, |i| {
             let fit = &per_user.users[i];
             self.recommend_user(fit.user, &fit.outcome, &dataset, objectives)
-        })
+        })?
         .into_iter()
         .collect::<Result<_, CoreError>>()?;
         Ok(PerUserRecommendation { dataset, users })
@@ -997,5 +1035,37 @@ mod tests {
         // Even the coarsest search (2 per axis) still recommends.
         let recommendation = coarse.recommend(&objectives).unwrap();
         assert!(at_most(0.5).is_satisfied_by(recommendation.predicted(&privacy_id()).unwrap()));
+    }
+
+    #[test]
+    fn constraint_boundaries_bracket_the_critical_parameters() {
+        let configurator = configurator();
+        let boundaries = configurator.constraint_boundaries(&Objectives::paper_example()).unwrap();
+        // One degenerate interval per (axis, constraint) pair whose critical
+        // value falls inside the modeled domain: privacy <= 0.10 crosses near
+        // epsilon ~ 0.013, utility >= 0.80 near epsilon ~ 0.011.
+        assert_eq!(boundaries.len(), 2);
+        for (axis, (lo, hi)) in &boundaries {
+            assert_eq!(axis, "epsilon");
+            assert_eq!(lo, hi, "boundary intervals are degenerate (a single crossing)");
+            assert!((0.005..0.02).contains(lo), "critical value {lo}");
+        }
+
+        // Constraints no model can cross inside its domain contribute
+        // nothing rather than erroring out: the privacy response saturates
+        // at 0.45, so an at-most-0.5 bound never crosses in the active zone.
+        let unreachable = Objectives::new()
+            .require(privacy_id(), at_most(0.5))
+            .and_then(|o| o.require(utility_id(), at_least(0.8)))
+            .unwrap();
+        let boundaries = configurator.constraint_boundaries(&unreachable).unwrap();
+        assert_eq!(boundaries.len(), 1);
+
+        // Unknown metrics are still typed errors.
+        let bogus = Objectives::new().require(MetricId::new("nope"), at_most(0.1)).unwrap();
+        assert!(matches!(
+            configurator.constraint_boundaries(&bogus),
+            Err(CoreError::UnknownMetric { .. })
+        ));
     }
 }

@@ -37,6 +37,13 @@ pub enum CoreError {
         /// The ids that are available.
         available: Vec<String>,
     },
+    /// An internal invariant of the execution engine was violated — a bug in
+    /// the framework (never in the caller's configuration), surfaced as a
+    /// typed error instead of a worker panic.
+    Internal {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +59,9 @@ impl fmt::Display for CoreError {
             CoreError::Infeasible { reason } => write!(f, "objectives are infeasible: {reason}"),
             CoreError::UnknownMetric { metric, available } => {
                 write!(f, "unknown metric \"{metric}\" (available: {})", available.join(", "))
+            }
+            CoreError::Internal { reason } => {
+                write!(f, "internal framework error (please report): {reason}")
             }
         }
     }
@@ -123,6 +133,11 @@ mod tests {
         };
         assert!(e.to_string().contains("typo-metric"));
         assert!(e.to_string().contains("poi-retrieval"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = CoreError::Internal { reason: "a work slot was never filled".into() };
+        assert!(e.to_string().contains("internal framework error"));
+        assert!(e.to_string().contains("never filled"));
         assert!(std::error::Error::source(&e).is_none());
     }
 

@@ -76,12 +76,12 @@ pub use configurator::{
 };
 pub use error::CoreError;
 pub use experiment::{
-    derive_unit_seed, ExperimentRunner, Grain, MetricColumn, SweepConfig, SweepMode, SweepPlan,
-    SweepResult, UserColumn,
+    derive_point_seed, derive_unit_seed, AxisInterval, ExperimentRunner, Grain, MetricColumn,
+    SweepConfig, SweepMode, SweepPlan, SweepResult, UserColumn,
 };
 pub use modeling::{
-    AxisFit, FittedSuite, MetricModel, MetricResponse, Modeler, ParametricModel, PerAxisFit,
-    PerUserFits, SurfaceFit, UserFit, UserFitOutcome,
+    AxisFit, FitDiagnostics, FittedSuite, MetricDiagnostics, MetricModel, MetricResponse, Modeler,
+    ParametricModel, PerAxisFit, PerUserFits, SurfaceFit, UserFit, UserFitOutcome,
 };
 pub use objectives::{at_least, at_most, Constraint, ConstraintKind, Objectives};
 pub use pareto::{ParetoFrontier, TradeOffPoint};
@@ -112,8 +112,8 @@ pub mod prelude {
         UserColumn,
     };
     pub use crate::modeling::{
-        AxisFit, FittedSuite, MetricModel, MetricResponse, Modeler, ParametricModel, PerUserFits,
-        SurfaceFit, UserFit, UserFitOutcome,
+        AxisFit, FitDiagnostics, FittedSuite, MetricDiagnostics, MetricModel, MetricResponse,
+        Modeler, ParametricModel, PerUserFits, SurfaceFit, UserFit, UserFitOutcome,
     };
     pub use crate::objectives::{at_least, at_most, Constraint, ConstraintKind, Objectives};
     pub use crate::pareto::{ParetoFrontier, TradeOffPoint};

@@ -22,6 +22,13 @@
 //!   ([`SurfaceFit`]);
 //! * **multi-axis one-at-a-time** — one [`AxisFit`] per axis, each fitted on
 //!   that axis's leg of the design (other axes at their defaults).
+//!
+//! Adaptive sweeps ([`SweepMode::Adaptive`]) fit exactly like grids — the
+//! surface regression and the 1-D saturation detector both work on arbitrary
+//! (irregular) point sets. [`Modeler::diagnose`] additionally reports where a
+//! fit is still uncertain ([`FitDiagnostics`]: per-point residuals,
+//! active-zone edges, the worst-fit point), which is what adaptive refinement
+//! steers by.
 
 use crate::error::CoreError;
 use crate::experiment::{run_indexed, Grain, SweepMode, SweepResult};
@@ -461,6 +468,49 @@ impl PerUserFits {
     }
 }
 
+/// Where one metric's fitted model is still uncertain against the sweep it
+/// was fitted on: the boundary/uncertainty report driving adaptive
+/// refinement ([`SweepMode::Adaptive`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDiagnostics {
+    /// Id of the diagnosed metric.
+    pub id: MetricId,
+    /// Absolute residual `|measured − predicted|` per design point, aligned
+    /// with [`SweepResult::points`].
+    pub residuals: Vec<f64>,
+    /// Index (into [`SweepResult::points`]) of the worst-fit point — the
+    /// first point attaining the maximum residual.
+    pub worst_point: usize,
+    /// The fitted active-zone edges per axis, `(axis name, (lo, hi))` in
+    /// parameter units — the brackets holding the saturation knees 1-D and
+    /// per-axis fits detected. Empty for surface fits (their validity region
+    /// is the whole fitted domain).
+    pub zone_edges: Vec<(String, (f64, f64))>,
+}
+
+impl MetricDiagnostics {
+    /// The largest absolute residual (0 for an empty design).
+    pub fn max_residual(&self) -> f64 {
+        self.residuals.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// The fit-quality report of a whole suite: one [`MetricDiagnostics`] per
+/// fitted model, in suite order. Produced by [`Modeler::diagnose`] (dataset
+/// level) and [`Modeler::diagnose_user`] (one user's own curves).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitDiagnostics {
+    /// One report per fitted metric model, in suite order.
+    pub metrics: Vec<MetricDiagnostics>,
+}
+
+impl FitDiagnostics {
+    /// The report of one metric.
+    pub fn metric(&self, id: &MetricId) -> Option<&MetricDiagnostics> {
+        self.metrics.iter().find(|m| &m.id == id)
+    }
+}
+
 /// Fits invertible metric models from sweep measurements.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Modeler {
@@ -521,7 +571,7 @@ impl Modeler {
             });
         }
         let users = sweep.users();
-        let fits = run_indexed(users.len(), true, |i| self.fit_user(sweep, users[i]));
+        let fits = run_indexed(users.len(), true, |i| self.fit_user(sweep, users[i]))?;
         Ok(PerUserFits { space: sweep.space.clone(), mode: sweep.mode, users: fits })
     }
 
@@ -575,13 +625,19 @@ impl Modeler {
         id: &MetricId,
     ) -> Result<MetricResponse, CoreError> {
         if let Some(axis) = sweep.single_axis() {
-            let parameters = sweep.axis_values(axis.name()).expect("single axis exists");
-            let fit =
-                self.fit_axis(axis.name(), axis.scale(), &parameters, means, sweep.len(), id)?;
+            let name = axis.name().to_string();
+            let parameters = sweep.axis_values(&name).ok_or_else(|| CoreError::Internal {
+                reason: format!("a design point lacks the sweep's single axis \"{name}\""),
+            })?;
+            let fit = self.fit_axis(&name, axis.scale(), &parameters, means, sweep.len(), id)?;
             return Ok(MetricResponse::Axis(fit));
         }
         match sweep.mode {
-            SweepMode::Grid => Ok(MetricResponse::Surface(self.fit_surface(sweep, means)?)),
+            // Adaptive designs are irregular grids; the surface regression
+            // makes no regularity assumption, so they share the grid path.
+            SweepMode::Grid | SweepMode::Adaptive => {
+                Ok(MetricResponse::Surface(self.fit_surface(sweep, means)?))
+            }
             SweepMode::OneAtATime => {
                 let fits = self.fit_legs(sweep, means, id)?;
                 Ok(MetricResponse::PerAxis(fits))
@@ -682,6 +738,87 @@ impl Modeler {
             fits.push(PerAxisFit { fit, default_prediction });
         }
         Ok(fits)
+    }
+
+    /// Diagnoses a fitted suite against the sweep it was fitted on: per-point
+    /// residuals of every metric model, the worst-fit point, and the
+    /// active-zone edges — the uncertainty report adaptive refinement
+    /// ([`SweepMode::Adaptive`]) decides its next evaluations by.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] when the sweep lacks a
+    /// column for a fitted metric or a model cannot predict at the sweep's
+    /// points (suite and sweep do not belong together).
+    pub fn diagnose(
+        &self,
+        sweep: &SweepResult,
+        fitted: &FittedSuite,
+    ) -> Result<FitDiagnostics, CoreError> {
+        let mut metrics = Vec::with_capacity(fitted.models.len());
+        for model in &fitted.models {
+            let values =
+                sweep.values(&model.id).ok_or_else(|| CoreError::InvalidConfiguration {
+                    reason: format!("sweep has no column \"{}\" to diagnose against", model.id),
+                })?;
+            metrics.push(Self::diagnose_model(sweep, model, values)?);
+        }
+        Ok(FitDiagnostics { metrics })
+    }
+
+    /// Diagnoses one user's fitted suite against her own measured curves —
+    /// the per-user counterpart of [`Modeler::diagnose`], used by adaptive
+    /// refinement to keep spending evaluations on the users whose curves are
+    /// still uncertain (successive halving at [`Grain::PerUser`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Modeler::diagnose`], plus when the sweep records no curve of
+    /// `user` for a fitted metric.
+    pub fn diagnose_user(
+        &self,
+        sweep: &SweepResult,
+        fitted: &FittedSuite,
+        user: UserId,
+    ) -> Result<FitDiagnostics, CoreError> {
+        let mut metrics = Vec::with_capacity(fitted.models.len());
+        for model in &fitted.models {
+            let curve =
+                sweep.user_column(&model.id).and_then(|c| c.curve(user)).ok_or_else(|| {
+                    CoreError::InvalidConfiguration {
+                        reason: format!(
+                            "sweep records no curve of {user} for metric \"{}\"",
+                            model.id
+                        ),
+                    }
+                })?;
+            metrics.push(Self::diagnose_model(sweep, model, curve)?);
+        }
+        Ok(FitDiagnostics { metrics })
+    }
+
+    fn diagnose_model(
+        sweep: &SweepResult,
+        model: &MetricModel,
+        values: &[f64],
+    ) -> Result<MetricDiagnostics, CoreError> {
+        let mut residuals = Vec::with_capacity(sweep.len());
+        for (point, &value) in sweep.points.iter().zip(values) {
+            residuals.push((value - model.predict(point)?).abs());
+        }
+        let worst_point = residuals
+            .iter()
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |best, (i, &r)| if r > best.1 { (i, r) } else { best })
+            .0;
+        let zone_edges = match &model.response {
+            MetricResponse::Axis(fit) => vec![(fit.axis.clone(), fit.active_zone)],
+            MetricResponse::PerAxis(fits) => {
+                fits.iter().map(|f| (f.axis.clone(), f.active_zone)).collect()
+            }
+            MetricResponse::Surface(_) => Vec::new(),
+        };
+        Ok(MetricDiagnostics { id: model.id.clone(), residuals, worst_point, zone_edges })
     }
 
     /// Equation 1's multivariate form on a grid design: a least-squares
@@ -1097,6 +1234,107 @@ mod tests {
         let dataset_grain = paper_like_sweep(20);
         assert!(matches!(
             Modeler::new().fit_per_user(&dataset_grain),
+            Err(CoreError::InvalidConfiguration { .. })
+        ));
+    }
+
+    #[test]
+    fn diagnose_reports_residuals_worst_point_and_zone_edges() {
+        let sweep = paper_like_sweep(12);
+        let modeler = Modeler::new();
+        let fitted = modeler.fit(&sweep).unwrap();
+        let diagnostics = modeler.diagnose(&sweep, &fitted).unwrap();
+
+        assert_eq!(diagnostics.metrics.len(), 2);
+        assert!(diagnostics.metric(&privacy_id()).is_some());
+        assert!(diagnostics.metric(&MetricId::new("nope")).is_none());
+        for report in &diagnostics.metrics {
+            assert_eq!(report.residuals.len(), sweep.len());
+            assert!(report.residuals.iter().all(|r| r.is_finite() && *r >= 0.0));
+            assert!(report.worst_point < sweep.len());
+            let max = report.max_residual();
+            assert_eq!(report.residuals[report.worst_point], max);
+            // The clamped tails of the synthetic response put the largest
+            // residuals outside the active zone, so the worst point's
+            // residual is strictly positive.
+            assert!(max > 0.0);
+            // 1-D fits expose the single axis's active-zone bracket.
+            assert_eq!(report.zone_edges.len(), 1);
+            let (axis, (lo, hi)) = &report.zone_edges[0];
+            assert_eq!(axis, "epsilon");
+            assert!(lo < hi);
+        }
+
+        // A sweep without the fitted metric's column is a caller error.
+        let mut stripped = sweep.clone();
+        stripped.columns.retain(|c| c.id != privacy_id());
+        assert!(matches!(
+            modeler.diagnose(&stripped, &fitted),
+            Err(CoreError::InvalidConfiguration { .. })
+        ));
+    }
+
+    #[test]
+    fn diagnose_surface_fits_have_no_zone_edges() {
+        let sweep = grid_sweep();
+        let modeler = Modeler::new();
+        let fitted = modeler.fit(&sweep).unwrap();
+        let diagnostics = modeler.diagnose(&sweep, &fitted).unwrap();
+        let report = diagnostics.metric(&privacy_id()).unwrap();
+        // The synthetic plane fits exactly, and surface validity is the whole
+        // fitted domain — no knee brackets to refine around.
+        assert!(report.max_residual() < 1e-9);
+        assert!(report.zone_edges.is_empty());
+    }
+
+    #[test]
+    fn adaptive_mode_sweeps_fit_like_grids_even_when_irregular() {
+        // An adaptive sweep is an irregular design: take the synthetic grid,
+        // drop some interior points and relabel the mode. The surface fit
+        // must digest it (regression needs no lattice structure).
+        let grid = grid_sweep();
+        let keep: Vec<usize> = (0..grid.len()).filter(|i| i % 3 != 1).collect();
+        let sweep = SweepResult::new(
+            grid.lppm_name.clone(),
+            grid.space.clone(),
+            SweepMode::Adaptive,
+            keep.iter().map(|&i| grid.points[i].clone()).collect(),
+            grid.columns
+                .iter()
+                .map(|c| MetricColumn {
+                    id: c.id.clone(),
+                    direction: c.direction,
+                    runs: vec![],
+                    means: keep.iter().map(|&i| c.means[i]).collect(),
+                })
+                .collect(),
+        )
+        .unwrap();
+        let fitted = Modeler::new().fit(&sweep).unwrap();
+        assert_eq!(fitted.mode, SweepMode::Adaptive);
+        let model = fitted.model(&privacy_id()).unwrap();
+        assert!(matches!(model.response, MetricResponse::Surface(_)));
+        let point = sweep.space.point(&[("epsilon", 0.05), ("cell_size", 200.0)]).unwrap();
+        let expected = 0.9 + 0.05 * 0.05f64.ln() - 0.04 * 200.0f64.ln();
+        assert!((model.predict(&point).unwrap() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diagnose_user_reads_the_users_own_curves() {
+        use geopriv_mobility::UserId;
+
+        let sweep = per_user_sweep();
+        let modeler = Modeler::new();
+        let fits = modeler.fit_per_user(&sweep).unwrap();
+        let suite = fits.fitted(UserId::new(2)).unwrap();
+        let diagnostics = modeler.diagnose_user(&sweep, suite, UserId::new(2)).unwrap();
+        for report in &diagnostics.metrics {
+            assert_eq!(report.residuals.len(), sweep.len());
+            assert!(report.worst_point < sweep.len());
+        }
+        // A user the sweep never recorded is a typed error, not a panic.
+        assert!(matches!(
+            modeler.diagnose_user(&sweep, suite, UserId::new(99)),
             Err(CoreError::InvalidConfiguration { .. })
         ));
     }

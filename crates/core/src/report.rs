@@ -496,6 +496,37 @@ mod tests {
     }
 
     #[test]
+    fn irregular_adaptive_designs_render_row_per_point() {
+        // An adaptive sweep is not a full factorial: drop interior points
+        // and relabel the mode. Rendering is per design point, so the row
+        // count tracks the irregular design exactly.
+        let grid = grid_sweep();
+        let keep: Vec<usize> = (0..grid.points.len()).filter(|i| i % 4 != 2).collect();
+        let irregular = SweepResult::new(
+            grid.lppm_name.clone(),
+            grid.space.clone(),
+            SweepMode::Adaptive,
+            keep.iter().map(|&i| grid.points[i].clone()).collect(),
+            grid.columns
+                .iter()
+                .map(|c| MetricColumn {
+                    id: c.id.clone(),
+                    direction: c.direction,
+                    runs: vec![],
+                    means: keep.iter().map(|&i| c.means[i]).collect(),
+                })
+                .collect(),
+        )
+        .unwrap();
+        let csv = sweep_to_csv(&irregular);
+        assert!(csv.starts_with("epsilon,cell_size,poi-retrieval"));
+        assert_eq!(csv.lines().count(), 1 + keep.len());
+        let table = sweep_to_table(&irregular);
+        assert_eq!(table.lines().count(), 1 + keep.len());
+        assert!(table.contains("cell_size"));
+    }
+
+    #[test]
     fn table_is_aligned_and_complete() {
         let s = sweep();
         let table = sweep_to_table(&s);

@@ -94,6 +94,28 @@ impl SweepBuilder {
         self
     }
 
+    /// Switches the design to the staged adaptive mode
+    /// ([`geopriv_core::SweepMode::Adaptive`]): a coarse grid pass (at the
+    /// configured points-per-axis), then model-guided refinement near the
+    /// fitted feasibility boundaries until `budget` total evaluations are
+    /// spent. A budget at or below the coarse-pass size disables refinement,
+    /// which makes the run bit-identical to the plain grid.
+    #[must_use]
+    pub fn adaptive(mut self, budget: usize) -> Self {
+        self.plan = self.plan.refine(budget);
+        self
+    }
+
+    /// Narrows adaptive refinement to `[lo, hi]` on `axis`: the planner
+    /// spends its budget bisecting measured gaps that overlap the interval
+    /// before falling back to model-driven candidates. No effect outside
+    /// [`SweepBuilder::adaptive`] mode.
+    #[must_use]
+    pub fn focus(mut self, axis: impl Into<String>, lo: f64, hi: f64) -> Self {
+        self.plan = self.plan.focus(axis, lo, hi);
+        self
+    }
+
     /// Records per-user response curves alongside the dataset means
     /// ([`Grain::PerUser`]), unlocking
     /// [`FittedAutoConf::recommend_per_user`]. The aggregate columns stay

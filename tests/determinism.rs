@@ -110,6 +110,27 @@ fn campaigns_match_independent_runs_bit_for_bit() {
     }
 }
 
+/// Adaptive sweeps — whose refinement points are *planned* from fitted
+/// models mid-run — remain seed-deterministic across the parallel and
+/// sequential execution paths: point-identity seeding ties every
+/// measurement to its coordinates, not to scheduling.
+#[test]
+fn adaptive_parallel_and_sequential_sweeps_measure_identically() {
+    let dataset = taxi_dataset(5);
+    let system = SystemDefinition::paper_geoi();
+    let run = |parallel: bool| {
+        let config = SweepConfig { points: 5, repetitions: 1, seed: 11, parallel };
+        ExperimentRunner::with_plan(SweepPlan::adaptive(config, 9))
+            .run(&system, &dataset)
+            .expect("adaptive sweep succeeds")
+    };
+    let a = run(true);
+    let b = run(false);
+    assert_eq!(a, b);
+    assert!(a.len() > 5, "refinement spent its budget: {} points", a.len());
+    assert_eq!(a.mode, SweepMode::Adaptive);
+}
+
 /// Parallel and sequential campaign execution are interchangeable.
 #[test]
 fn parallel_and_sequential_campaigns_measure_identically() {
