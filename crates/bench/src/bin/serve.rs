@@ -1,0 +1,197 @@
+//! Serving-path throughput baseline: starts a real [`geopriv_serve`]
+//! server on a loopback port, loads a synthetic many-user per-user
+//! recommendation, then drives `(user, record)` updates through the full
+//! HTTP request path — middleware stack, JSON protocol and streaming
+//! protection included — and emits a `BENCH_serve.json` baseline reporting
+//! updates/s plus p50/p99 request latency.
+//!
+//! Every update is a `POST /protect` over a keep-alive connection, cycling
+//! round-robin through the user population so the session map stays hot and
+//! every user's stream advances. The final round re-checks the determinism
+//! contract: a second server under the same master seed must release
+//! byte-identical bodies for the first updates of the cycle.
+//!
+//! ```text
+//! cargo run -p geopriv-bench --release --bin serve \
+//!     [-- --fidelity smoke|standard|full] [--out BENCH_serve.json]
+//! ```
+
+use geopriv_bench::{
+    fidelity_from_args, median_seconds, out_path_from_args, BenchJson, Fidelity, REPRODUCTION_SEED,
+};
+use geopriv_core::{
+    GeoIndistinguishabilityFactory, MetricId, PerUserRecommendation, Recommendation,
+    UserRecommendation, UserVerdict,
+};
+use geopriv_lppm::ConfigPoint;
+use geopriv_mobility::UserId;
+use geopriv_serve::{AssignmentRegistry, GeoPrivServer, HttpClient, ServeConfig};
+use std::time::Instant;
+
+/// Size of the simulated population behind the server.
+fn bench_users(fidelity: Fidelity) -> usize {
+    match fidelity {
+        Fidelity::Smoke => 20,
+        Fidelity::Standard => 200,
+        Fidelity::Full => 1000,
+    }
+}
+
+/// Updates pushed per timed round (spread round-robin over the users).
+fn bench_updates(fidelity: Fidelity) -> usize {
+    match fidelity {
+        Fidelity::Smoke => 1_000,
+        Fidelity::Standard => 10_000,
+        Fidelity::Full => 50_000,
+    }
+}
+
+fn epsilon_point(epsilon: f64) -> ConfigPoint {
+    ConfigPoint::from_named(vec![("epsilon".to_string(), epsilon)])
+}
+
+/// A synthetic deployment artifact: `users` feasible users whose recommended
+/// ε spreads log-evenly over [0.005, 0.05], over a dataset-level fallback at
+/// the paper's ε = 0.01 operating point.
+fn synthetic_recommendation(users: usize) -> PerUserRecommendation {
+    let metric = MetricId::new("poi-retrieval");
+    let (lo, hi) = (0.005_f64, 0.05_f64);
+    let user_rows = (0..users)
+        .map(|i| {
+            let fraction = if users > 1 { i as f64 / (users - 1) as f64 } else { 0.0 };
+            let epsilon = lo * (hi / lo).powf(fraction);
+            UserRecommendation {
+                user: UserId::new(i as u64 + 1),
+                verdict: UserVerdict::Feasible,
+                point: epsilon_point(epsilon),
+                predictions: vec![(metric.clone(), 0.1)],
+            }
+        })
+        .collect();
+    PerUserRecommendation {
+        dataset: Recommendation {
+            point: epsilon_point(0.01),
+            feasible: vec![("epsilon".to_string(), (lo, hi))],
+            predictions: vec![(metric, 0.1)],
+        },
+        users: user_rows,
+    }
+}
+
+fn start_server(users: usize) -> Result<GeoPrivServer, Box<dyn std::error::Error>> {
+    let registry = AssignmentRegistry::load(
+        Box::new(GeoIndistinguishabilityFactory::new()),
+        &synthetic_recommendation(users),
+        REPRODUCTION_SEED,
+    )?;
+    // The bench measures the protection path, not the limiter: leave the
+    // rate limit off so no synthetic client is ever throttled.
+    let config = ServeConfig { rate_limit: None, ..ServeConfig::default() };
+    Ok(GeoPrivServer::start(registry, &config)?)
+}
+
+/// The i-th update body for a user: a slow drift through central Rennes at
+/// one fix per 30 s, same shape as the loopback tests.
+fn protect_body(user: u64, sequence: usize) -> String {
+    format!(
+        "{{\"user\": {user}, \"t\": {}, \"lat\": {}, \"lon\": -1.6778}}",
+        sequence as f64 * 30.0,
+        48.1173 + sequence as f64 * 1e-4
+    )
+}
+
+fn percentile(sorted_seconds: &[f64], fraction: f64) -> f64 {
+    let index = ((sorted_seconds.len() - 1) as f64 * fraction).round() as usize;
+    sorted_seconds[index]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = fidelity_from_args();
+    let out_path = out_path_from_args("BENCH_serve.json");
+    let users = bench_users(fidelity);
+    let updates = bench_updates(fidelity);
+
+    eprintln!("starting server with {users} per-user assignments ({fidelity:?})…");
+    let server = start_server(users)?;
+    let mut client = HttpClient::connect(server.local_addr())?;
+
+    // Warm-up: one cycle over every user creates all sessions up front so
+    // the timed rounds measure steady-state protection, not session churn.
+    eprintln!("warming up {users} sessions…");
+    let mut sequences = vec![0_usize; users];
+    for (user, sequence) in sequences.iter_mut().enumerate() {
+        let (status, body) = client.post("/protect", &protect_body(user as u64 + 1, 0))?;
+        assert_eq!(status, 200, "warm-up update rejected: {body}");
+        *sequence = 1;
+    }
+
+    const ROUNDS: usize = 5;
+    let mut round_seconds = Vec::with_capacity(ROUNDS);
+    let mut latencies = Vec::with_capacity(ROUNDS * updates);
+    for round in 0..ROUNDS {
+        eprintln!("round {}/{ROUNDS}: {updates} updates over {users} users…", round + 1);
+        let round_started = Instant::now();
+        for i in 0..updates {
+            let user = i % users;
+            let body = protect_body(user as u64 + 1, sequences[user]);
+            sequences[user] += 1;
+            let started = Instant::now();
+            let (status, response) = client.post("/protect", &body)?;
+            latencies.push(started.elapsed().as_secs_f64());
+            assert_eq!(status, 200, "update rejected: {response}");
+        }
+        round_seconds.push(round_started.elapsed().as_secs_f64());
+    }
+    let seconds_per_round = median_seconds(&mut round_seconds);
+    latencies.sort_by(f64::total_cmp);
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    // Determinism re-check: a fresh server under the same master seed must
+    // release byte-identical bodies for the first update of each user.
+    eprintln!("re-checking the determinism contract on a fresh instance…");
+    let twin = start_server(users)?;
+    let mut twin_client = HttpClient::connect(twin.local_addr())?;
+    let reference_server = start_server(users)?;
+    let mut reference_client = HttpClient::connect(reference_server.local_addr())?;
+    for user in 0..users.min(32) {
+        let body = protect_body(user as u64 + 1, 0);
+        let (_, released_a) = twin_client.post("/protect", &body)?;
+        let (_, released_b) = reference_client.post("/protect", &body)?;
+        assert_eq!(released_a, released_b, "protected streams diverged across instances");
+    }
+    twin.shutdown();
+    reference_server.shutdown();
+
+    let metrics = server.metrics().render();
+    let ok_line = metrics
+        .lines()
+        .find(|line| line.contains("route=\"/protect\",status=\"200\""))
+        .map(str::to_string)
+        .unwrap_or_default();
+    server.shutdown();
+
+    let total_updates = (ROUNDS * updates + users) as u64;
+    let json = BenchJson::new("serve")
+        .string("fidelity", format!("{fidelity:?}"))
+        .string("lppm", "geo-indistinguishability")
+        .int("users", users as u64)
+        .int("updates_per_round", updates as u64)
+        .int("rounds", ROUNDS as u64)
+        .int("total_updates", total_updates)
+        .float("seconds_per_round", seconds_per_round, 6)
+        .float("updates_per_second", updates as f64 / seconds_per_round, 1)
+        .float("latency_p50_us", p50 * 1e6, 2)
+        .float("latency_p99_us", p99 * 1e6, 2);
+    println!("{}", json.render());
+    json.write(&out_path)?;
+    eprintln!("baseline written to {out_path}");
+    eprintln!("server-side view: {ok_line}");
+    eprintln!(
+        "{:.0} updates/s over the wire (p50 {:.1} µs, p99 {:.1} µs per request)",
+        updates as f64 / seconds_per_round,
+        p50 * 1e6,
+        p99 * 1e6
+    );
+    Ok(())
+}

@@ -16,6 +16,7 @@
 //! | `sweep` | single-sweep throughput baseline (`BENCH_sweep.json`) |
 //! | `grid` | 2-D grid-study throughput baseline (`BENCH_grid.json`) |
 //! | `campaign` | campaign-vs-independent-sweeps baseline (`BENCH_campaign.json`) |
+//! | `serve` | serving-path loopback throughput baseline (`BENCH_serve.json`) |
 //!
 //! The Criterion benches (`benches/`) measure the throughput of the
 //! components the figures depend on (protection, POI extraction, metric

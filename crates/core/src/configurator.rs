@@ -103,6 +103,31 @@ impl fmt::Display for Recommendation {
 
 /// The explicit per-user feasibility verdict of a
 /// [`Configurator::recommend_per_user`] entry.
+///
+/// # Fallback policy (normative)
+///
+/// This enum is the single normative statement of the framework's fallback
+/// policy; every other description of it (reports, wire formats, the serving
+/// layer) mirrors what is written here:
+///
+/// 1. A **feasible** user is deployed at the point her *own* models
+///    recommend. Only these users carry `fallback = false` on the wire.
+/// 2. An **infeasible** user (her own models admit no point satisfying every
+///    objective) is assigned the *dataset-level* point — the recommendation
+///    the whole dataset's models produce — with the reason recorded. Her
+///    predictions are still computed under her own models at that point.
+/// 3. An **unmodeled** user (excluded by a metric, or a degenerate response)
+///    is likewise assigned the dataset-level point; she has no models, so
+///    her predictions are empty.
+/// 4. The policy never invents intermediate points and never drops a user:
+///    every user of the study appears in the output with exactly one of
+///    these three verdicts, and the deployed point is always either her own
+///    or the dataset anchor.
+///
+/// The serving layer extends the same policy to users *absent* from the
+/// recommendation entirely (seen at request time only): they are served at
+/// the dataset-level point, exactly as rule 2 treats known-but-infeasible
+/// users.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum UserVerdict {
     /// The user's own models admit a configuration satisfying every
@@ -179,6 +204,12 @@ impl UserRecommendation {
 
 /// The outcome of a per-user inversion: the dataset-level recommendation
 /// (also the fallback anchor) plus one [`UserRecommendation`] per user.
+///
+/// This is the deployment artifact of the framework: exported with
+/// [`crate::report::per_user_recommendation_to_json`] and loaded back by the
+/// serving layer with [`crate::report::per_user_recommendation_from_json`].
+/// Which users ride [`PerUserRecommendation::dataset`] is governed by the
+/// fallback policy documented on [`UserVerdict`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerUserRecommendation {
     /// The dataset-grain recommendation — what every user would get without
@@ -560,13 +591,14 @@ impl Configurator {
     /// the exact engine behind [`Configurator::recommend`]; the per-user
     /// inversions run on the shared work-stealing pool.
     ///
-    /// **Fallback policy** (documented contract): a user whose own models
-    /// are infeasible under the objectives, or who could not be modeled at
-    /// all, is assigned the *dataset-level* recommended point — the nearest
-    /// satisfying configuration the framework can justify for her (it
-    /// satisfies the constraints in expectation over the population). Her
-    /// [`UserVerdict`] says explicitly why the fallback was applied; fallback
-    /// users are never silently mixed with feasible ones.
+    /// **Fallback policy**: a user whose own models are infeasible under the
+    /// objectives, or who could not be modeled at all, is assigned the
+    /// *dataset-level* recommended point — the nearest satisfying
+    /// configuration the framework can justify for her (it satisfies the
+    /// constraints in expectation over the population). Her [`UserVerdict`]
+    /// says explicitly why the fallback was applied; fallback users are
+    /// never silently mixed with feasible ones. The normative statement of
+    /// the policy lives on [`UserVerdict`].
     ///
     /// # Errors
     ///

@@ -37,6 +37,12 @@ pub enum CoreError {
         /// The ids that are available.
         available: Vec<String>,
     },
+    /// A wire-format document (JSON export) could not be parsed or did not
+    /// have the expected shape.
+    Parse {
+        /// What was malformed, with a byte offset or field path.
+        reason: String,
+    },
     /// An internal invariant of the execution engine was violated — a bug in
     /// the framework (never in the caller's configuration), surfaced as a
     /// typed error instead of a worker panic.
@@ -60,6 +66,7 @@ impl fmt::Display for CoreError {
             CoreError::UnknownMetric { metric, available } => {
                 write!(f, "unknown metric \"{metric}\" (available: {})", available.join(", "))
             }
+            CoreError::Parse { reason } => write!(f, "malformed document: {reason}"),
             CoreError::Internal { reason } => {
                 write!(f, "internal framework error (please report): {reason}")
             }
@@ -133,6 +140,11 @@ mod tests {
         };
         assert!(e.to_string().contains("typo-metric"));
         assert!(e.to_string().contains("poi-retrieval"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = CoreError::Parse { reason: "expected ':' (at byte 7)".into() };
+        assert!(e.to_string().contains("malformed document"));
+        assert!(e.to_string().contains("at byte 7"));
         assert!(std::error::Error::source(&e).is_none());
 
         let e = CoreError::Internal { reason: "a work slot was never filled".into() };

@@ -62,6 +62,7 @@ pub mod campaign;
 pub mod configurator;
 pub mod error;
 pub mod experiment;
+pub mod json;
 pub mod modeling;
 pub mod objectives;
 pub mod pareto;
@@ -79,6 +80,7 @@ pub use experiment::{
     derive_point_seed, derive_unit_seed, AxisInterval, ExperimentRunner, Grain, MetricColumn,
     SweepConfig, SweepMode, SweepPlan, SweepResult, UserColumn,
 };
+pub use json::JsonValue;
 pub use modeling::{
     AxisFit, FitDiagnostics, FittedSuite, MetricDiagnostics, MetricModel, MetricResponse, Modeler,
     ParametricModel, PerAxisFit, PerUserFits, SurfaceFit, UserFit, UserFitOutcome,

@@ -6,10 +6,14 @@
 //! configuration axis, one column or line per suite metric. A one-axis sweep
 //! renders byte-identically to the historical single-scalar output.
 
-use crate::configurator::{PerUserRecommendation, Recommendation, UserVerdict};
+use crate::configurator::{PerUserRecommendation, Recommendation, UserRecommendation, UserVerdict};
+use crate::error::CoreError;
 use crate::experiment::SweepResult;
+use crate::json::JsonValue;
 use crate::modeling::{FittedSuite, MetricResponse};
+use geopriv_lppm::ConfigPoint;
 use geopriv_metrics::MetricId;
+use geopriv_mobility::UserId;
 use std::fmt::Write as _;
 
 /// Renders a sweep as CSV: one column per configuration axis (design-matrix
@@ -409,6 +413,167 @@ pub fn per_user_recommendation_to_json(recommendation: &PerUserRecommendation) -
     )
 }
 
+// --- JSON import -----------------------------------------------------------
+//
+// The exact inverse of the exporters above, built on the framework's own
+// [`crate::json`] parser. This is the wire format the serving layer loads at
+// startup: a `PerUserRecommendation` exported by the offline pipeline is the
+// deployment artifact, so parsing is strict — unknown verdict labels,
+// inconsistent fallback flags and miscounted summaries are typed errors, not
+// silent repairs.
+
+fn shape_error(path: &str, reason: &str) -> CoreError {
+    CoreError::Parse { reason: format!("{path}: {reason}") }
+}
+
+fn required<'a>(value: &'a JsonValue, path: &str, key: &str) -> Result<&'a JsonValue, CoreError> {
+    value.get(key).ok_or_else(|| shape_error(path, &format!("missing member \"{key}\"")))
+}
+
+fn number_at(value: &JsonValue, path: &str) -> Result<f64, CoreError> {
+    value.as_f64().ok_or_else(|| shape_error(path, &format!("expected a number, found {value}")))
+}
+
+fn point_at(value: &JsonValue, path: &str) -> Result<ConfigPoint, CoreError> {
+    let members = value
+        .members()
+        .ok_or_else(|| shape_error(path, &format!("expected an object, found {value}")))?;
+    if members.is_empty() {
+        return Err(shape_error(path, "a configuration point needs at least one axis"));
+    }
+    let mut named = Vec::with_capacity(members.len());
+    for (axis, coordinate) in members {
+        named.push((axis.clone(), number_at(coordinate, &format!("{path}.{axis}"))?));
+    }
+    Ok(ConfigPoint::from_named(named))
+}
+
+fn predictions_at(value: &JsonValue, path: &str) -> Result<Vec<(MetricId, f64)>, CoreError> {
+    let members = value
+        .members()
+        .ok_or_else(|| shape_error(path, &format!("expected an object, found {value}")))?;
+    let mut predictions = Vec::with_capacity(members.len());
+    for (id, prediction) in members {
+        predictions.push((MetricId::new(id), number_at(prediction, &format!("{path}.{id}"))?));
+    }
+    Ok(predictions)
+}
+
+fn recommendation_at(value: &JsonValue, path: &str) -> Result<Recommendation, CoreError> {
+    let point = point_at(required(value, path, "point")?, &format!("{path}.point"))?;
+    let feasible_value = required(value, path, "feasible")?;
+    let members = feasible_value.members().ok_or_else(|| {
+        shape_error(
+            &format!("{path}.feasible"),
+            &format!("expected an object, found {feasible_value}"),
+        )
+    })?;
+    let mut feasible = Vec::with_capacity(members.len());
+    for (axis, interval) in members {
+        let interval_path = format!("{path}.feasible.{axis}");
+        let min = number_at(required(interval, &interval_path, "min")?, &interval_path)?;
+        let max = number_at(required(interval, &interval_path, "max")?, &interval_path)?;
+        feasible.push((axis.clone(), (min, max)));
+    }
+    let predictions =
+        predictions_at(required(value, path, "predictions")?, &format!("{path}.predictions"))?;
+    Ok(Recommendation { point, feasible, predictions })
+}
+
+fn user_at(value: &JsonValue, path: &str) -> Result<UserRecommendation, CoreError> {
+    let id = required(value, path, "user")?
+        .as_u64()
+        .ok_or_else(|| shape_error(path, "\"user\" must be an unsigned integer"))?;
+    let label = required(value, path, "verdict")?
+        .as_str()
+        .ok_or_else(|| shape_error(path, "\"verdict\" must be a string"))?;
+    let reason = match value.get("reason") {
+        Some(reason) => reason
+            .as_str()
+            .ok_or_else(|| shape_error(path, "\"reason\" must be a string"))?
+            .to_string(),
+        None => String::new(),
+    };
+    let verdict = match label {
+        "feasible" => UserVerdict::Feasible,
+        "infeasible" => UserVerdict::Infeasible { reason },
+        "unmodeled" => UserVerdict::Unmodeled { reason },
+        other => {
+            return Err(shape_error(path, &format!("unknown verdict label \"{other}\"")));
+        }
+    };
+    let fallback = required(value, path, "fallback")?
+        .as_bool()
+        .ok_or_else(|| shape_error(path, "\"fallback\" must be a boolean"))?;
+    if fallback == verdict.is_feasible() {
+        return Err(shape_error(
+            path,
+            &format!("fallback flag {fallback} contradicts verdict \"{}\"", verdict.label()),
+        ));
+    }
+    let point = point_at(required(value, path, "point")?, &format!("{path}.point"))?;
+    let predictions =
+        predictions_at(required(value, path, "predictions")?, &format!("{path}.predictions"))?;
+    Ok(UserRecommendation { user: UserId::new(id), verdict, point, predictions })
+}
+
+/// Parses the JSON produced by [`recommendation_to_json`] back into a
+/// [`Recommendation`]. Exact inverse: re-rendering the parsed value yields
+/// the input byte for byte (floats use the shortest round-trip form).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Parse`] on malformed JSON or a document without the
+/// expected members, naming the offending field path.
+pub fn recommendation_from_json(json: &str) -> Result<Recommendation, CoreError> {
+    recommendation_at(&JsonValue::parse(json)?, "$")
+}
+
+/// Parses the JSON produced by [`per_user_recommendation_to_json`] back into
+/// a [`PerUserRecommendation`] — the serving layer's startup artifact.
+///
+/// Parsing is strict: verdict labels must be known, each user's `fallback`
+/// flag must agree with her verdict, and the `feasible_users` /
+/// `fallback_users` summaries must match the user rows (a mismatch means the
+/// document was hand-edited or truncated).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Parse`] on malformed JSON or any of the consistency
+/// violations above, naming the offending field path.
+pub fn per_user_recommendation_from_json(json: &str) -> Result<PerUserRecommendation, CoreError> {
+    let value = JsonValue::parse(json)?;
+    let dataset = recommendation_at(required(&value, "$", "dataset")?, "$.dataset")?;
+    let rows = required(&value, "$", "users")?
+        .elements()
+        .ok_or_else(|| shape_error("$.users", "expected an array"))?;
+    let mut users = Vec::with_capacity(rows.len());
+    for (index, row) in rows.iter().enumerate() {
+        users.push(user_at(row, &format!("$.users[{index}]"))?);
+    }
+    let recommendation = PerUserRecommendation { dataset, users };
+    let feasible = required(&value, "$", "feasible_users")?
+        .as_u64()
+        .ok_or_else(|| shape_error("$.feasible_users", "expected an unsigned integer"))?;
+    let fallback = required(&value, "$", "fallback_users")?
+        .as_u64()
+        .ok_or_else(|| shape_error("$.fallback_users", "expected an unsigned integer"))?;
+    if feasible as usize != recommendation.feasible_count()
+        || fallback as usize != recommendation.fallback_count()
+    {
+        return Err(shape_error(
+            "$",
+            &format!(
+                "summary counts ({feasible} feasible, {fallback} fallback) do not match the \
+                 user rows ({} feasible, {} fallback)",
+                recommendation.feasible_count(),
+                recommendation.fallback_count()
+            ),
+        ));
+    }
+    Ok(recommendation)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,6 +807,64 @@ mod tests {
         assert!(json.contains("\"fallback_users\": 3"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn recommendation_json_round_trips() {
+        let s = sweep();
+        let fitted = Modeler::new().fit(&s).unwrap();
+        let recommendation = crate::configurator::Configurator::new(fitted)
+            .recommend(&Objectives::paper_example())
+            .unwrap();
+        let json = recommendation_to_json(&recommendation);
+        let parsed = recommendation_from_json(&json).unwrap();
+        // Struct equality AND byte equality of the re-render: the parser is
+        // the exact inverse of the exporter.
+        assert_eq!(parsed, recommendation);
+        assert_eq!(recommendation_to_json(&parsed), json);
+    }
+
+    #[test]
+    fn per_user_json_round_trips() {
+        let recommendation = per_user_recommendation();
+        let json = per_user_recommendation_to_json(&recommendation);
+        let parsed = per_user_recommendation_from_json(&json).unwrap();
+        assert_eq!(parsed, recommendation);
+        assert_eq!(per_user_recommendation_to_json(&parsed), json);
+    }
+
+    #[test]
+    fn tampered_per_user_documents_are_rejected() {
+        let json = per_user_recommendation_to_json(&per_user_recommendation());
+
+        // Summary counts must match the user rows.
+        let miscounted = json.replacen("\"feasible_users\": 1", "\"feasible_users\": 2", 1);
+        let err = per_user_recommendation_from_json(&miscounted).unwrap_err();
+        assert!(err.to_string().contains("do not match the user rows"), "{err}");
+
+        // The fallback flag must agree with the verdict.
+        let contradicted = json.replacen(
+            "\"verdict\": \"feasible\",\n      \"fallback\": false",
+            "\"verdict\": \"feasible\",\n      \"fallback\": true",
+            1,
+        );
+        let err = per_user_recommendation_from_json(&contradicted).unwrap_err();
+        assert!(err.to_string().contains("contradicts verdict"), "{err}");
+
+        // Unknown verdict labels are not repaired.
+        let unknown = json.replacen("\"verdict\": \"unmodeled\"", "\"verdict\": \"undecided\"", 1);
+        let err = per_user_recommendation_from_json(&unknown).unwrap_err();
+        assert!(err.to_string().contains("unknown verdict label"), "{err}");
+
+        // Missing members name the field path.
+        let err = per_user_recommendation_from_json("{}").unwrap_err();
+        assert!(err.to_string().contains("missing member \"dataset\""), "{err}");
+        let err = recommendation_from_json("{\"point\": {}}").unwrap_err();
+        assert!(err.to_string().contains("at least one axis"), "{err}");
+        let err = recommendation_from_json("[1, 2]").unwrap_err();
+        assert!(err.to_string().contains("missing member \"point\""), "{err}");
+        let err = recommendation_from_json("not json").unwrap_err();
+        assert!(matches!(err, CoreError::Parse { .. }), "{err}");
     }
 
     #[test]

@@ -684,6 +684,69 @@ mod tests {
     }
 
     #[test]
+    fn instantiate_at_rejects_out_of_space_wire_points_without_panicking() {
+        // The serving layer instantiates mechanisms at points deserialized
+        // from JSON (`ConfigPoint::from_named` builds them unvalidated), so
+        // every factory must turn a hostile point into a typed error, never
+        // a panic — that is what the server's fallback path dispatches on.
+        let factories: Vec<Box<dyn LppmFactory>> = vec![
+            Box::new(GeoIndistinguishabilityFactory::new()),
+            Box::new(GridCloakingFactory::new()),
+            Box::new(GaussianPerturbationFactory::new()),
+            Box::new(
+                PipelineFactory::new()
+                    .then(GeoIndistinguishabilityFactory::new())
+                    .then(GridCloakingFactory::new()),
+            ),
+        ];
+        for factory in &factories {
+            let space = factory.space();
+            // A well-formed wire point round-trips into a mechanism.
+            let good = ConfigPoint::from_named(
+                space.axes().iter().map(|a| (a.name().to_string(), a.default_value())).collect(),
+            );
+            assert!(factory.instantiate_at(&good).is_ok(), "{}", factory.name());
+
+            // Out-of-range coordinate on the first axis.
+            let mut named: Vec<(String, f64)> =
+                space.axes().iter().map(|a| (a.name().to_string(), a.default_value())).collect();
+            named[0].1 = space.axes()[0].max() * 10.0;
+            let out_of_range = ConfigPoint::from_named(named.clone());
+            assert!(
+                matches!(
+                    factory.instantiate_at(&out_of_range),
+                    Err(CoreError::Lppm(_) | CoreError::InvalidConfiguration { .. })
+                ),
+                "{} accepted an out-of-range point",
+                factory.name()
+            );
+
+            // Non-finite coordinate (a tampered or truncated document).
+            named[0].1 = f64::NAN;
+            assert!(factory.instantiate_at(&ConfigPoint::from_named(named)).is_err());
+
+            // Wrong axis name.
+            let misnamed = ConfigPoint::from_named(
+                space
+                    .axes()
+                    .iter()
+                    .map(|a| (format!("not-{}", a.name()), a.default_value()))
+                    .collect(),
+            );
+            assert!(factory.instantiate_at(&misnamed).is_err());
+
+            // Wrong dimensionality: an extra axis appended.
+            let mut extra: Vec<(String, f64)> =
+                space.axes().iter().map(|a| (a.name().to_string(), a.default_value())).collect();
+            extra.push(("stowaway".to_string(), 1.0));
+            assert!(factory.instantiate_at(&ConfigPoint::from_named(extra)).is_err());
+
+            // The empty point.
+            assert!(factory.instantiate_at(&ConfigPoint::from_named(Vec::new())).is_err());
+        }
+    }
+
+    #[test]
     fn instantiated_mechanism_protects_data() {
         let mut rng = StdRng::seed_from_u64(1);
         let dataset =

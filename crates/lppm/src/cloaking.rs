@@ -9,9 +9,10 @@
 
 use crate::error::LppmError;
 use crate::params::{ParameterDescriptor, ParameterScale};
+use crate::stream::LppmStream;
 use crate::traits::Lppm;
 use geopriv_geo::{GeoPoint, LocalProjection, Meters, Point};
-use geopriv_mobility::{DatasetBuilder, Trace, TraceView};
+use geopriv_mobility::{DatasetBuilder, Record, Trace, TraceView};
 use rand::RngCore;
 
 /// Grid-rounding spatial cloaking with a fixed, data-independent grid origin.
@@ -116,6 +117,36 @@ impl Lppm for GridCloaking {
         }
         out.finish_trace()?;
         Ok(())
+    }
+
+    fn stream_kernel(&self, _seed: u64) -> Option<Box<dyn LppmStream>> {
+        // The grid is anchored on the *configured* origin (never on the
+        // trace), so streaming is a stateless per-record snap — trivially
+        // bit-identical to the offline scan, no RNG involved.
+        Some(Box::new(GridCloakingStream {
+            mechanism: *self,
+            projection: LocalProjection::centered_on(self.origin),
+            released: 0,
+        }))
+    }
+}
+
+/// O(1) streaming kernel of [`GridCloaking`]: a per-record snap against the
+/// configured (trace-independent) grid.
+struct GridCloakingStream {
+    mechanism: GridCloaking,
+    projection: LocalProjection,
+    released: usize,
+}
+
+impl LppmStream for GridCloakingStream {
+    fn push(&mut self, record: Record) -> Result<Record, LppmError> {
+        self.released += 1;
+        Ok(record.with_location(self.mechanism.snap(&self.projection, record.location())))
+    }
+
+    fn len(&self) -> usize {
+        self.released
     }
 }
 

@@ -21,6 +21,15 @@ pub enum LppmError {
     /// A mechanism dropped every record of a trace, which would produce an
     /// empty (invalid) protected trace.
     EmptyProtectedTrace,
+    /// A mechanism cannot protect a record stream incrementally under the
+    /// bit-identity contract of [`crate::stream::open_stream`] — it drops,
+    /// resamples or reorders records, or consumes randomness non-causally.
+    Unstreamable {
+        /// Name of the mechanism.
+        mechanism: String,
+        /// Why the streaming contract cannot hold.
+        reason: String,
+    },
 }
 
 impl fmt::Display for LppmError {
@@ -32,6 +41,9 @@ impl fmt::Display for LppmError {
             LppmError::Mobility(e) => write!(f, "mobility error: {e}"),
             LppmError::EmptyProtectedTrace => {
                 write!(f, "protection mechanism dropped every record of a trace")
+            }
+            LppmError::Unstreamable { mechanism, reason } => {
+                write!(f, "mechanism \"{mechanism}\" cannot protect a record stream: {reason}")
             }
         }
     }
@@ -71,6 +83,14 @@ mod tests {
         assert!(std::error::Error::source(&m).is_some());
 
         assert!(LppmError::EmptyProtectedTrace.to_string().contains("dropped"));
+
+        let e = LppmError::Unstreamable {
+            mechanism: "pipeline[a, b]".into(),
+            reason: "stage-major randomness".into(),
+        };
+        assert!(e.to_string().contains("pipeline[a, b]"));
+        assert!(e.to_string().contains("record stream"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -8,10 +8,12 @@
 
 use crate::error::LppmError;
 use crate::params::{ParameterDescriptor, ParameterScale};
+use crate::stream::LppmStream;
 use crate::traits::Lppm;
 use geopriv_geo::{LocalProjection, Meters};
-use geopriv_mobility::{DatasetBuilder, Trace, TraceView};
-use rand::{Rng, RngCore};
+use geopriv_mobility::{DatasetBuilder, Record, Trace, TraceView};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Isotropic Gaussian location perturbation.
 ///
@@ -113,6 +115,41 @@ impl Lppm for GaussianPerturbation {
         }
         out.finish_trace()?;
         Ok(())
+    }
+
+    fn stream_kernel(&self, seed: u64) -> Option<Box<dyn LppmStream>> {
+        Some(Box::new(GaussianPerturbationStream {
+            sigma: self.sigma.as_f64(),
+            projection: None,
+            rng: StdRng::seed_from_u64(seed),
+            released: 0,
+        }))
+    }
+}
+
+/// O(1) streaming kernel of [`GaussianPerturbation`]: projection anchored on
+/// the first pushed record, persistent RNG drawing dx before dy per record —
+/// the offline per-record operation and draw order exactly.
+struct GaussianPerturbationStream {
+    sigma: f64,
+    projection: Option<LocalProjection>,
+    rng: StdRng,
+    released: usize,
+}
+
+impl LppmStream for GaussianPerturbationStream {
+    fn push(&mut self, record: Record) -> Result<Record, LppmError> {
+        let projection =
+            *self.projection.get_or_insert_with(|| LocalProjection::centered_on(record.location()));
+        let p = projection.project(record.location());
+        let dx = GaussianPerturbation::sample_normal(&mut self.rng, self.sigma);
+        let dy = GaussianPerturbation::sample_normal(&mut self.rng, self.sigma);
+        self.released += 1;
+        Ok(record.with_location(projection.unproject(p.translated(dx, dy))))
+    }
+
+    fn len(&self) -> usize {
+        self.released
     }
 }
 

@@ -10,10 +10,12 @@
 use crate::error::LppmError;
 use crate::laplace::PlanarLaplace;
 use crate::params::{Epsilon, ParameterDescriptor, ParameterScale};
+use crate::stream::LppmStream;
 use crate::traits::Lppm;
 use geopriv_geo::LocalProjection;
-use geopriv_mobility::{DatasetBuilder, Trace, TraceView};
-use rand::RngCore;
+use geopriv_mobility::{DatasetBuilder, Record, Trace, TraceView};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 /// The ε range swept by the paper's evaluation (Figure 1): 10⁻⁴ to 1 m⁻¹.
 pub const PAPER_EPSILON_RANGE: (f64, f64) = (1e-4, 1.0);
@@ -118,6 +120,41 @@ impl Lppm for GeoIndistinguishability {
         }
         out.finish_trace()?;
         Ok(())
+    }
+
+    fn stream_kernel(&self, seed: u64) -> Option<Box<dyn LppmStream>> {
+        Some(Box::new(GeoIndistinguishabilityStream {
+            noise: PlanarLaplace::new(self.epsilon),
+            projection: None,
+            rng: StdRng::seed_from_u64(seed),
+            released: 0,
+        }))
+    }
+}
+
+/// O(1) streaming kernel of [`GeoIndistinguishability`]: the projection is
+/// anchored on the *first* pushed record (exactly the per-trace anchoring of
+/// the offline paths) and the persistent RNG draws one planar-Laplace sample
+/// per record in push order — the offline draw order, record for record.
+struct GeoIndistinguishabilityStream {
+    noise: PlanarLaplace,
+    projection: Option<LocalProjection>,
+    rng: StdRng,
+    released: usize,
+}
+
+impl LppmStream for GeoIndistinguishabilityStream {
+    fn push(&mut self, record: Record) -> Result<Record, LppmError> {
+        let projection =
+            *self.projection.get_or_insert_with(|| LocalProjection::centered_on(record.location()));
+        let (dx, dy) = self.noise.sample(&mut self.rng);
+        let actual = projection.project(record.location());
+        self.released += 1;
+        Ok(record.with_location(projection.unproject(actual.translated(dx, dy))))
+    }
+
+    fn len(&self) -> usize {
+        self.released
     }
 }
 

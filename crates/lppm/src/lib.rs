@@ -13,6 +13,9 @@
 //!   [`ReleaseSampling`] — the additional mechanisms the paper's future work
 //!   targets, used as baselines and ablations;
 //! * [`Pipeline`] — sequential composition of mechanisms;
+//! * [`stream::open_stream`] — record-at-a-time streaming sessions for the
+//!   online serving path, bit-identical to the offline columnar protection
+//!   under a fixed seed;
 //! * [`Epsilon`], [`ParameterDescriptor`] — typed configuration parameters and
 //!   the sweep metadata the framework consumes;
 //! * [`ConfigSpace`], [`ConfigPoint`] — multi-dimensional configuration
@@ -51,6 +54,7 @@ pub mod pipeline;
 pub mod promesse;
 pub mod rounding;
 pub mod space;
+pub mod stream;
 pub mod temporal;
 pub mod traits;
 
@@ -64,6 +68,7 @@ pub use pipeline::{qualify_stage_parameters, Pipeline};
 pub use promesse::SpeedSmoothing;
 pub use rounding::CoordinateRounding;
 pub use space::{ConfigPoint, ConfigSpace};
+pub use stream::{open_stream, LppmStream, ReplayStream};
 pub use temporal::{ReleaseSampling, TemporalDownsampling};
 pub use traits::{Identity, Lppm};
 
@@ -78,6 +83,7 @@ pub mod prelude {
     pub use crate::promesse::SpeedSmoothing;
     pub use crate::rounding::CoordinateRounding;
     pub use crate::space::{ConfigPoint, ConfigSpace};
+    pub use crate::stream::{open_stream, LppmStream};
     pub use crate::temporal::{ReleaseSampling, TemporalDownsampling};
     pub use crate::traits::{Identity, Lppm};
 }

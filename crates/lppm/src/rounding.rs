@@ -8,9 +8,10 @@
 
 use crate::error::LppmError;
 use crate::params::{ParameterDescriptor, ParameterScale};
+use crate::stream::LppmStream;
 use crate::traits::Lppm;
 use geopriv_geo::GeoPoint;
-use geopriv_mobility::{DatasetBuilder, Trace, TraceView};
+use geopriv_mobility::{DatasetBuilder, Record, Trace, TraceView};
 use rand::RngCore;
 
 /// Maximum number of decimal digits that still constitutes a reduction for
@@ -114,6 +115,33 @@ impl Lppm for CoordinateRounding {
         }
         out.finish_trace()?;
         Ok(())
+    }
+
+    fn stream_kernel(&self, _seed: u64) -> Option<Box<dyn LppmStream>> {
+        // Stateless per-record truncation: trivially bit-identical to the
+        // offline scan, no RNG involved.
+        Some(Box::new(CoordinateRoundingStream { mechanism: *self, released: 0 }))
+    }
+}
+
+/// O(1) streaming kernel of [`CoordinateRounding`]: the offline per-record
+/// truncation, one record at a time.
+struct CoordinateRoundingStream {
+    mechanism: CoordinateRounding,
+    released: usize,
+}
+
+impl LppmStream for CoordinateRoundingStream {
+    fn push(&mut self, record: Record) -> Result<Record, LppmError> {
+        self.released += 1;
+        Ok(record.with_location(GeoPoint::clamped(
+            self.mechanism.round_coordinate(record.location().latitude()),
+            self.mechanism.round_coordinate(record.location().longitude()),
+        )))
+    }
+
+    fn len(&self) -> usize {
+        self.released
     }
 }
 

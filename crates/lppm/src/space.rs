@@ -327,15 +327,32 @@ impl fmt::Display for ConfigSpace {
 /// One named, validated configuration inside a [`ConfigSpace`]: the value of
 /// every axis, in axis order.
 ///
-/// Points are only constructed through their space
-/// ([`ConfigSpace::point`], [`ConfigSpace::grid`], …), so holding a
+/// Points are normally constructed through their space
+/// ([`ConfigSpace::point`], [`ConfigSpace::grid`], …), so holding such a
 /// `ConfigPoint` means the coordinates were range-checked against the axes.
+/// The one exception is [`ConfigPoint::from_named`], the wire-format
+/// deserialization entry, whose points carry no validation guarantee until a
+/// consumer runs [`ConfigSpace::check`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConfigPoint {
     values: Vec<(String, f64)>,
 }
 
 impl ConfigPoint {
+    /// Reconstructs a point from named coordinates **without validation** —
+    /// the wire-format deserialization entry used by the JSON parsers in
+    /// `geopriv-core`'s `report` module.
+    ///
+    /// Unlike every other constructor, the result carries no guarantee of
+    /// belonging to any [`ConfigSpace`]: a consumer that instantiates a
+    /// mechanism from a deserialized point must validate it first
+    /// ([`ConfigSpace::check`], which every `LppmFactory::instantiate_at`
+    /// does), so a tampered or out-of-space wire point surfaces as a typed
+    /// error rather than a mis-configured mechanism.
+    pub fn from_named(values: Vec<(String, f64)>) -> Self {
+        Self { values }
+    }
+
     /// The named coordinates, in axis order.
     pub fn values(&self) -> &[(String, f64)] {
         &self.values
@@ -518,6 +535,23 @@ mod tests {
         assert!((point.get("epsilon").unwrap() - 0.01).abs() < 1e-12);
         assert!((point.get("cell_size").unwrap() - 500.0).abs() < 1e-9);
         assert!(space.contains(&point));
+    }
+
+    #[test]
+    fn wire_points_are_unvalidated_until_checked() {
+        let space = two_d();
+        // A faithful wire round-trip validates against the original space.
+        let wire = ConfigPoint::from_named(vec![
+            ("epsilon".to_string(), 0.01),
+            ("cell_size".to_string(), 500.0),
+        ]);
+        assert_eq!(wire, space.point(&[("epsilon", 0.01), ("cell_size", 500.0)]).unwrap());
+        assert!(space.check(&wire).is_ok());
+        // Tampered wire data constructs fine but fails the space check —
+        // exactly the deferred-validation contract the serving layer uses.
+        let tampered = ConfigPoint::from_named(vec![("epsilon".to_string(), 1e9)]);
+        assert_eq!(tampered.get("epsilon"), Some(1e9));
+        assert!(space.check(&tampered).is_err());
     }
 
     #[test]

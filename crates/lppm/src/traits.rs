@@ -2,6 +2,7 @@
 
 use crate::error::LppmError;
 use crate::params::ParameterDescriptor;
+use crate::stream::LppmStream;
 use geopriv_mobility::{Dataset, DatasetBuilder, Trace, TraceView};
 use rand::RngCore;
 
@@ -81,6 +82,20 @@ pub trait Lppm: Send + Sync {
         }
         Ok(out.finish()?)
     }
+
+    /// An O(1)-per-push streaming session kernel for this mechanism, or
+    /// `None` (the default) to stream through the prefix-replaying fallback.
+    ///
+    /// [`crate::stream::open_stream`] is the public entry point — call that,
+    /// not this. Overrides must uphold the streaming bit-identity contract:
+    /// pushing records r₁…rₙ in order releases exactly the records
+    /// [`Lppm::protect_view`] writes for the trace (r₁…rₙ) under a fresh
+    /// `StdRng::seed_from_u64(seed)` — same per-record operations, same RNG
+    /// draw order, same projection anchoring.
+    fn stream_kernel(&self, seed: u64) -> Option<Box<dyn LppmStream>> {
+        let _ = seed;
+        None
+    }
 }
 
 /// A no-op mechanism that releases the actual trace unchanged.
@@ -118,6 +133,30 @@ impl Lppm for Identity {
     ) -> Result<(), LppmError> {
         out.push_view(trace);
         Ok(())
+    }
+
+    fn stream_kernel(&self, _seed: u64) -> Option<Box<dyn LppmStream>> {
+        Some(Box::new(IdentityStream { released: 0 }))
+    }
+}
+
+/// The trivial streaming kernel of [`Identity`]: releases every record
+/// unchanged, drawing no randomness — exactly the columnar path.
+struct IdentityStream {
+    released: usize,
+}
+
+impl LppmStream for IdentityStream {
+    fn push(
+        &mut self,
+        record: geopriv_mobility::Record,
+    ) -> Result<geopriv_mobility::Record, LppmError> {
+        self.released += 1;
+        Ok(record)
+    }
+
+    fn len(&self) -> usize {
+        self.released
     }
 }
 

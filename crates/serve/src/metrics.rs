@@ -1,0 +1,134 @@
+//! Request metrics: per-route/status counters and a latency histogram,
+//! rendered in the Prometheus text exposition format on `GET /metrics`.
+//!
+//! The histogram uses fixed buckets (decade thirds from 100 µs to 1 s) so
+//! the rendering is allocation-free on the hot path: recording a request is
+//! a handful of atomic increments plus one short mutex hold for the
+//! route/status counter map.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (seconds) of the latency histogram buckets; an implicit
+/// `+Inf` bucket follows.
+const BUCKET_BOUNDS_S: [f64; 9] = [0.0001, 0.000316, 0.001, 0.00316, 0.01, 0.0316, 0.1, 0.316, 1.0];
+
+/// Counters and latency histogram for the serving request path.
+///
+/// Shared between the metrics middleware layer (which records) and the
+/// `/metrics` route (which renders); both sides hold it behind an
+/// [`std::sync::Arc`].
+#[derive(Debug, Default)]
+pub struct RequestMetrics {
+    /// `(route label, status) → count`. BTreeMap so `/metrics` renders in a
+    /// stable order.
+    counters: Mutex<BTreeMap<(String, u16), u64>>,
+    /// One cumulative-style counter per bucket bound, plus the +Inf bucket
+    /// at the last index (stored non-cumulative, summed at render time).
+    buckets: [AtomicU64; BUCKET_BOUNDS_S.len() + 1],
+    latency_sum_micros: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+impl RequestMetrics {
+    /// Creates an empty metrics store.
+    pub fn new() -> RequestMetrics {
+        RequestMetrics::default()
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, route: &str, status: u16, elapsed: Duration) {
+        {
+            let mut counters = self.counters.lock();
+            *counters.entry((route.to_string(), status)).or_insert(0) += 1;
+        }
+        let seconds = elapsed.as_secs_f64();
+        let bucket = BUCKET_BOUNDS_S
+            .iter()
+            .position(|&bound| seconds <= bound)
+            .unwrap_or(BUCKET_BOUNDS_S.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_micros.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded requests.
+    pub fn total(&self) -> u64 {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// Number of recorded requests for one route/status pair.
+    pub fn count(&self, route: &str, status: u16) -> u64 {
+        *self.counters.lock().get(&(route.to_string(), status)).unwrap_or(&0)
+    }
+
+    /// Renders the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "# HELP geopriv_requests_total Requests served, by route and status.");
+        let _ = writeln!(out, "# TYPE geopriv_requests_total counter");
+        for ((route, status), count) in self.counters.lock().iter() {
+            let _ = writeln!(
+                out,
+                "geopriv_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}"
+            );
+        }
+        let _ = writeln!(out, "# HELP geopriv_request_seconds Request latency histogram.");
+        let _ = writeln!(out, "# TYPE geopriv_request_seconds histogram");
+        let mut cumulative = 0u64;
+        for (bucket, &bound) in BUCKET_BOUNDS_S.iter().enumerate() {
+            cumulative += self.buckets[bucket].load(Ordering::Relaxed);
+            let _ = writeln!(out, "geopriv_request_seconds_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[BUCKET_BOUNDS_S.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "geopriv_request_seconds_bucket{{le=\"+Inf\"}} {cumulative}");
+        let sum = self.latency_sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        let _ = writeln!(out, "geopriv_request_seconds_sum {sum}");
+        let _ = writeln!(
+            out,
+            "geopriv_request_seconds_count {}",
+            self.latency_count.load(Ordering::Relaxed)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders_counters_and_histogram() {
+        let metrics = RequestMetrics::new();
+        metrics.record("/protect", 200, Duration::from_micros(50));
+        metrics.record("/protect", 200, Duration::from_micros(500));
+        metrics.record("/protect", 400, Duration::from_millis(2));
+        metrics.record("/metrics", 200, Duration::from_secs(2));
+        assert_eq!(metrics.total(), 4);
+        assert_eq!(metrics.count("/protect", 200), 2);
+        assert_eq!(metrics.count("/protect", 400), 1);
+        assert_eq!(metrics.count("/nope", 200), 0);
+
+        let text = metrics.render();
+        assert!(text.contains("geopriv_requests_total{route=\"/protect\",status=\"200\"} 2"));
+        assert!(text.contains("geopriv_requests_total{route=\"/protect\",status=\"400\"} 1"));
+        assert!(text.contains("geopriv_requests_total{route=\"/metrics\",status=\"200\"} 1"));
+        // 50 µs lands in the first bucket; cumulative counts are monotone and
+        // the +Inf bucket equals the total.
+        assert!(text.contains("geopriv_request_seconds_bucket{le=\"0.0001\"} 1"));
+        assert!(text.contains("geopriv_request_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("geopriv_request_seconds_count 4"));
+        // Cumulative bucket counts never decrease.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("geopriv_request_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), BUCKET_BOUNDS_S.len() + 1);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

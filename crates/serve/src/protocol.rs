@@ -1,0 +1,169 @@
+//! The `/protect` wire protocol: one location update in, one protected
+//! record out.
+//!
+//! Requests and responses are small flat JSON objects, parsed with the
+//! framework's own [`geopriv_core::json`] parser and rendered with the same
+//! shortest round-trip float form as every other exporter — which is what
+//! makes the online/offline bit-identity contract *testable through the
+//! wire*: a protected coordinate survives render → parse with its exact
+//! bits.
+
+use geopriv_core::json::JsonValue;
+use geopriv_geo::{GeoPoint, Seconds};
+use geopriv_mobility::Record;
+
+/// One `POST /protect` body: a user's next raw location update.
+///
+/// ```json
+/// {"user": 7, "t": 30.0, "lat": 48.1173, "lon": -1.6778}
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtectRequest {
+    /// The user sending the update.
+    pub user: u64,
+    /// Timestamp of the update, in seconds.
+    pub t: f64,
+    /// Actual latitude, degrees.
+    pub lat: f64,
+    /// Actual longitude, degrees.
+    pub lon: f64,
+}
+
+impl ProtectRequest {
+    /// Parses a request body. Malformed JSON, missing members, a
+    /// non-integer user or out-of-range coordinates are all rejected with a
+    /// reason (the server answers 400 with it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason string on any malformation.
+    pub fn from_json(body: &str) -> Result<ProtectRequest, String> {
+        let value = JsonValue::parse(body).map_err(|e| e.to_string())?;
+        let user = value
+            .get("user")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| "\"user\" must be an unsigned integer".to_string())?;
+        let number = |key: &str| -> Result<f64, String> {
+            let n = value
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("\"{key}\" must be a number"))?;
+            if n.is_finite() {
+                Ok(n)
+            } else {
+                Err(format!("\"{key}\" must be finite"))
+            }
+        };
+        let request =
+            ProtectRequest { user, t: number("t")?, lat: number("lat")?, lon: number("lon")? };
+        request.record()?; // Validate coordinates up front, one error path.
+        Ok(request)
+    }
+
+    /// The update as a mobility [`Record`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason string for coordinates outside the WGS-84 domain.
+    pub fn record(&self) -> Result<Record, String> {
+        let location = GeoPoint::new(self.lat, self.lon).map_err(|e| e.to_string())?;
+        Ok(Record::new(Seconds::new(self.t), location))
+    }
+
+    /// Renders the request as its wire JSON (used by the bench client).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"user\": {}, \"t\": {}, \"lat\": {}, \"lon\": {}}}",
+            self.user,
+            json_number(self.t),
+            json_number(self.lat),
+            json_number(self.lon)
+        )
+    }
+}
+
+/// Renders a finite float in the workspace's shortest round-trip form
+/// (non-finite values never reach a response: protected coordinates are
+/// valid `GeoPoint`s by construction).
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a successful `/protect` response: the protected record and the
+/// session's release count (1-based index of this record in the user's
+/// protected stream).
+pub fn protect_response_json(user: u64, protected: &Record, released: usize) -> String {
+    format!(
+        "{{\"user\": {user}, \"t\": {}, \"lat\": {}, \"lon\": {}, \"released\": {released}}}",
+        json_number(protected.timestamp().as_f64()),
+        json_number(protected.location().latitude()),
+        json_number(protected.location().longitude()),
+    )
+}
+
+/// Renders an error body: `{"error": "<reason>"}`.
+pub fn error_json(reason: &str) -> String {
+    let mut escaped = String::with_capacity(reason.len());
+    for c in reason.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    format!("{{\"error\": \"{escaped}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_bit_exactly() {
+        let request = ProtectRequest { user: 9, t: 30.5, lat: 48.117266, lon: -1.6777926 };
+        let parsed = ProtectRequest::from_json(&request.to_json()).unwrap();
+        assert_eq!(parsed, request);
+        assert_eq!(parsed.lat.to_bits(), request.lat.to_bits());
+        let record = parsed.record().unwrap();
+        assert_eq!(record.timestamp().as_f64(), 30.5);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (body, needle) in [
+            ("not json", "malformed"),
+            ("{}", "\"user\""),
+            ("{\"user\": -1, \"t\": 0, \"lat\": 0, \"lon\": 0}", "\"user\""),
+            ("{\"user\": 1.5, \"t\": 0, \"lat\": 0, \"lon\": 0}", "\"user\""),
+            ("{\"user\": 1, \"lat\": 0, \"lon\": 0}", "\"t\""),
+            ("{\"user\": 1, \"t\": null, \"lat\": 0, \"lon\": 0}", "finite"),
+            ("{\"user\": 1, \"t\": 0, \"lat\": 95.0, \"lon\": 0}", "latitude"),
+            ("{\"user\": 1, \"t\": 0, \"lat\": 0, \"lon\": 181.0}", "longitude"),
+        ] {
+            let err = ProtectRequest::from_json(body).unwrap_err();
+            assert!(err.contains(needle), "{body} → {err} (expected {needle})");
+        }
+    }
+
+    #[test]
+    fn responses_and_errors_render_as_json() {
+        let record = ProtectRequest { user: 3, t: 1.0, lat: 10.25, lon: 20.5 }.record().unwrap();
+        let json = protect_response_json(3, &record, 7);
+        let value = geopriv_core::json::JsonValue::parse(&json).unwrap();
+        assert_eq!(value.get("user").unwrap().as_u64(), Some(3));
+        assert_eq!(value.get("lat").unwrap().as_f64(), Some(10.25));
+        assert_eq!(value.get("released").unwrap().as_u64(), Some(7));
+
+        let err = error_json("bad \"input\"\n");
+        let value = geopriv_core::json::JsonValue::parse(&err).unwrap();
+        assert_eq!(value.get("error").unwrap().as_str(), Some("bad \"input\"\n"));
+    }
+}

@@ -1,0 +1,85 @@
+//! From recommendation to enforcement — the full hand-off: run the paper's
+//! per-user configuration pipeline offline, export the resulting
+//! [`geopriv::core::PerUserRecommendation`] to its JSON wire format, load it
+//! into a [`geopriv::serve::GeoPrivServer`], and protect live `(user,
+//! record)` updates over HTTP on a loopback port.
+//!
+//! The served mechanism per user is instantiated at *her* recommended
+//! configuration point; users the recommendation cannot vouch for (and users
+//! it has never seen) ride the dataset-level fallback, per the normative
+//! policy on [`geopriv::core::UserVerdict`].
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+
+use geopriv::core::report::per_user_recommendation_to_json;
+use geopriv::prelude::*;
+use geopriv::serve::{AssignmentRegistry, GeoPrivServer, HttpClient, ServeConfig};
+use geopriv::AutoConf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Offline: sweep once at per-user grain and recommend a point per user.
+    let mut rng = StdRng::seed_from_u64(2016);
+    let dataset = TaxiFleetBuilder::new()
+        .drivers(8)
+        .duration_hours(10.0)
+        .sampling_interval_s(30.0)
+        .build(&mut rng)?;
+    let recommendation = AutoConf::for_system(SystemDefinition::paper_geoi())
+        .dataset(&dataset)
+        .sweep(|s| s.points(15).seed(42).per_user())
+        .fit()?
+        .require("poi-retrieval", at_most(0.12))?
+        .require("area-coverage", at_least(0.75))?
+        .recommend_per_user()?;
+    println!(
+        "offline recommendation: {} users ({} feasible, {} on the dataset fallback)",
+        recommendation.users.len(),
+        recommendation.feasible_count(),
+        recommendation.fallback_count()
+    );
+
+    // The hand-off is a document, not a data structure: the server loads the
+    // same JSON the offline pipeline exports (and rejects tampered copies).
+    let wire = per_user_recommendation_to_json(&recommendation);
+    let registry = AssignmentRegistry::from_json(
+        Box::new(GeoIndistinguishabilityFactory::new()),
+        &wire,
+        20161212, // master seed: fixes every user's protection stream.
+    )?;
+    println!("registry loaded: {} per-user assignments", registry.assigned_users());
+
+    // Online: a real server on an ephemeral loopback port.
+    let server = GeoPrivServer::start(registry, &ServeConfig::default())?;
+    println!("serving on http://{}", server.local_addr());
+    let mut client = HttpClient::connect(server.local_addr())?;
+
+    // Ask which mechanism configuration two users got...
+    for user in [1_u64, 424_242] {
+        let (status, body) = client.get(&format!("/assignment/{user}"))?;
+        println!("GET /assignment/{user} -> {status} {body}");
+    }
+
+    // ...then protect a short stream of updates for user 1.
+    for i in 0..3 {
+        let body = format!(
+            "{{\"user\": 1, \"t\": {}, \"lat\": {}, \"lon\": -122.44}}",
+            f64::from(i) * 30.0,
+            37.762 + f64::from(i) * 1e-4
+        );
+        let (status, released) = client.post("/protect", &body)?;
+        println!("POST /protect -> {status} {released}");
+    }
+
+    // The middleware stack counted everything above.
+    let (_, metrics) = client.get("/metrics")?;
+    for line in metrics.lines().filter(|l| l.starts_with("geopriv_requests_total")) {
+        println!("{line}");
+    }
+
+    server.shutdown();
+    Ok(())
+}

@@ -330,8 +330,9 @@ impl FittedAutoConf<'_> {
     /// Inverts every user's own models under the stated constraints —
     /// exactly [`Configurator::recommend_per_user`]: each user gets her own
     /// [`ConfigPoint`] with an explicit feasibility verdict; infeasible and
-    /// unmodeled users fall back to the dataset-level point (the documented
-    /// fallback policy).
+    /// unmodeled users fall back to the dataset-level point, per the
+    /// normative fallback policy documented on
+    /// [`geopriv_core::UserVerdict`].
     ///
     /// # Errors
     ///

@@ -19,6 +19,8 @@
 //! * [`metrics`] — metric traits and direction-tagged suites
 //!   ([`metrics::MetricSuite`]).
 //! * [`core`] — the configuration framework itself.
+//! * [`serve`] — online per-user enforcement of a recommendation behind an
+//!   HTTP request path ([`serve::GeoPrivServer`]).
 //!
 //! ## Quickstart
 //!
@@ -61,6 +63,7 @@ pub use geopriv_geo as geo;
 pub use geopriv_lppm as lppm;
 pub use geopriv_metrics as metrics;
 pub use geopriv_mobility as mobility;
+pub use geopriv_serve as serve;
 
 pub use autoconf::{AutoConf, AutoConfWithData, FittedAutoConf, SweepBuilder};
 pub use error::Error;

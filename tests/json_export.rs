@@ -87,6 +87,35 @@ fn recommendation_json_matches_the_golden_file() {
 }
 
 #[test]
+fn recommendation_golden_file_round_trips_through_the_parser() {
+    let path = format!("{}/tests/golden/recommendation.json", env!("CARGO_MANIFEST_DIR"));
+    let golden = std::fs::read_to_string(&path).unwrap();
+    let parsed = report::recommendation_from_json(&golden).unwrap();
+    // Byte-identical re-render: the parser is the exact inverse of the
+    // exporter on the pinned wire format (shortest round-trip floats).
+    assert_eq!(report::recommendation_to_json(&parsed), golden);
+    // And the parsed struct equals a freshly computed recommendation.
+    let sweep = synthetic_per_user_sweep();
+    let fitted = Modeler::new().fit(&sweep).unwrap();
+    let fresh = Configurator::new(fitted).recommend(&Objectives::paper_example()).unwrap();
+    assert_eq!(parsed, fresh);
+}
+
+#[test]
+fn per_user_golden_file_round_trips_through_the_parser() {
+    let path = format!("{}/tests/golden/per_user_recommendation.json", env!("CARGO_MANIFEST_DIR"));
+    let golden = std::fs::read_to_string(&path).unwrap();
+    let parsed = report::per_user_recommendation_from_json(&golden).unwrap();
+    assert_eq!(report::per_user_recommendation_to_json(&parsed), golden);
+    assert_eq!(parsed.users.len(), 3);
+    assert_eq!(parsed.feasible_count() + parsed.fallback_count(), 3);
+    // User 3 is unmodeled in the synthetic study and rides the fallback.
+    let fallback = parsed.get(UserId::new(3)).unwrap();
+    assert!(fallback.used_fallback());
+    assert_eq!(fallback.point, parsed.dataset.point);
+}
+
+#[test]
 fn per_user_recommendation_json_matches_the_golden_file() {
     let sweep = synthetic_per_user_sweep();
     let fitted = Modeler::new().fit(&sweep).unwrap();

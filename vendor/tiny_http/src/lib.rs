@@ -1,0 +1,511 @@
+//! Offline, API-compatible subset of
+//! [`tiny_http`](https://crates.io/crates/tiny_http), vendored because this
+//! build environment has no network access.
+//!
+//! A synchronous HTTP/1.1 server over [`std::net::TcpListener`], just large
+//! enough for the `geopriv-serve` request path:
+//!
+//! * [`Server::http`] binds an address; [`Server::recv`] blocks for the next
+//!   request; [`Server::unblock`] wakes a blocked `recv` so the server can
+//!   shut down cleanly.
+//! * [`Request`] exposes the method, URL and body; [`Request::respond`]
+//!   writes a [`Response`] back on the same connection.
+//! * Keep-alive is honored (HTTP/1.1 default), bodies are `Content-Length`
+//!   delimited, responses carry `Content-Length` always.
+//!
+//! Deliberate simplifications versus the real crate: one connection is
+//! served at a time (the accept loop moves on when the peer disconnects or
+//! sends `Connection: close`), there is no TLS/chunked-encoding/expect-100
+//! support, and header storage is a plain `Vec` of `(name, value)` pairs.
+//! The serving crate layers its own concurrency control (rate limiting,
+//! timeouts) above this, so a single-connection transport keeps the shim
+//! small without constraining the middleware stack under test.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// HTTP request methods understood by the shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
+    /// `HEAD`
+    Head,
+    /// `OPTIONS`
+    Options,
+    /// Anything else (kept so unknown methods can be answered with 405
+    /// rather than dropped at the transport).
+    NonStandard,
+}
+
+impl Method {
+    fn parse(token: &str) -> Method {
+        match token {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            "HEAD" => Method::Head,
+            "OPTIONS" => Method::Options,
+            _ => Method::NonStandard,
+        }
+    }
+
+    /// The method token as sent on the wire (`NonStandard` renders as `?`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+            Method::Options => "OPTIONS",
+            Method::NonStandard => "?",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A response status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusCode(pub u16);
+
+impl From<u16> for StatusCode {
+    fn from(code: u16) -> Self {
+        StatusCode(code)
+    }
+}
+
+impl StatusCode {
+    fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// An HTTP response: status code, content type and a byte body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: StatusCode,
+    content_type: String,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response carrying `body` as `text/plain; charset=utf-8`.
+    pub fn from_string<S: Into<String>>(body: S) -> Response {
+        Response {
+            status: StatusCode(200),
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A 200 response carrying raw bytes as `application/octet-stream`.
+    pub fn from_data<D: Into<Vec<u8>>>(body: D) -> Response {
+        Response {
+            status: StatusCode(200),
+            content_type: "application/octet-stream".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// Replaces the status code.
+    #[must_use]
+    pub fn with_status_code<C: Into<StatusCode>>(mut self, code: C) -> Response {
+        self.status = code.into();
+        self
+    }
+
+    /// Replaces the `Content-Type` header value.
+    #[must_use]
+    pub fn with_content_type(mut self, content_type: &str) -> Response {
+        self.content_type = content_type.to_string();
+        self
+    }
+
+    /// The status code.
+    pub fn status_code(&self) -> StatusCode {
+        self.status
+    }
+
+    /// The body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: \
+             keep-alive\r\n\r\n",
+            self.status.0,
+            self.status.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// One received HTTP request, holding the connection it arrived on until
+/// [`Request::respond`] is called.
+#[derive(Debug)]
+pub struct Request {
+    method: Method,
+    url: String,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    stream: TcpStream,
+    keep_alive: bool,
+}
+
+impl Request {
+    /// The request method.
+    pub fn method(&self) -> &Method {
+        &self.method
+    }
+
+    /// The request target as sent (path and query, e.g. `/metrics`).
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// The value of a header, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// The request body bytes (empty when no `Content-Length` was sent).
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// The body decoded as UTF-8, when it is valid UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Sends `response` on the request's connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the peer went away mid-write.
+    pub fn respond(mut self, response: Response) -> std::io::Result<()> {
+        response.write_to(&mut self.stream)
+    }
+}
+
+/// A listening HTTP server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    closing: Arc<AtomicBool>,
+    /// The connection currently being served, kept across `recv` calls so
+    /// HTTP/1.1 keep-alive works: the next request is read from the same
+    /// stream until the peer closes it.
+    current: std::cell::RefCell<Option<BufReader<TcpStream>>>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns a boxed error when the address cannot be bound.
+    pub fn http<A: ToSocketAddrs>(
+        addr: A,
+    ) -> Result<Server, Box<dyn std::error::Error + Send + Sync>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            closing: Arc::new(AtomicBool::new(false)),
+            current: std::cell::RefCell::new(None),
+        })
+    }
+
+    /// The bound socket address (useful with port 0).
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that wakes a blocked [`Server::recv`] when triggered from
+    /// another thread.
+    pub fn unblock_handle(&self) -> Unblocker {
+        Unblocker { addr: self.addr, closing: Arc::clone(&self.closing) }
+    }
+
+    /// Wakes a blocked [`Server::recv`]; it will return an error and the
+    /// accept loop can exit.
+    pub fn unblock(&self) {
+        self.unblock_handle().unblock();
+    }
+
+    /// Blocks until the next request arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error after [`Server::unblock`] (kind
+    /// [`std::io::ErrorKind::Interrupted`]) or on a failed accept.
+    pub fn recv(&self) -> std::io::Result<Request> {
+        loop {
+            if self.closing.load(Ordering::SeqCst) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "server unblocked",
+                ));
+            }
+            // Try the live keep-alive connection first. The stream carries a
+            // short read timeout (set at accept), so an idle connection
+            // yields control back here periodically — that is what lets
+            // `unblock` interrupt a recv parked on a kept-alive peer, not
+            // just one parked in accept. `fill_buf` is used as the idle
+            // probe because it never consumes: a request arriving right at
+            // the timeout boundary is not torn.
+            let mut current = self.current.borrow_mut();
+            if let Some(reader) = current.as_mut() {
+                match reader.fill_buf() {
+                    // Clean close between requests.
+                    Ok([]) => *current = None,
+                    Ok(_) => match read_request(reader) {
+                        Ok(Some(request)) => {
+                            if !request.keep_alive {
+                                *current = None;
+                            }
+                            return Ok(request);
+                        }
+                        // Peer closed mid-request (or sent garbage): drop
+                        // the connection and go accept a new one.
+                        Ok(None) | Err(_) => *current = None,
+                    },
+                    // Idle timeout: keep the connection, re-check the
+                    // closing flag at the top of the loop.
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => *current = None,
+                }
+                continue;
+            }
+            drop(current);
+
+            let (stream, _) = self.listener.accept()?;
+            if self.closing.load(Ordering::SeqCst) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "server unblocked",
+                ));
+            }
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(std::time::Duration::from_millis(25))).ok();
+            *self.current.borrow_mut() = Some(BufReader::new(stream));
+        }
+    }
+}
+
+/// Wakes a [`Server`] blocked in `recv` from another thread.
+#[derive(Clone)]
+pub struct Unblocker {
+    addr: SocketAddr,
+    closing: Arc<AtomicBool>,
+}
+
+impl Unblocker {
+    /// Sets the closing flag and pokes the listener with a throwaway
+    /// connection so the blocked accept returns.
+    pub fn unblock(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        // Ignore failure: if the listener is already gone, recv has exited.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Reads one request from an open connection. `Ok(None)` means the peer
+/// closed the connection cleanly between requests.
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, url, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(u), Some(v)) => (Method::parse(m), u.to_string(), v.to_string()),
+        _ => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let mut header_line = String::new();
+        if reader.read_line(&mut header_line)? == 0 {
+            return Ok(None);
+        }
+        let trimmed = header_line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    // Transport-level body cap: a deliberately hostile Content-Length must
+    // not make the shim allocate unboundedly.
+    const MAX_BODY: usize = 16 * 1024 * 1024;
+    if content_length > MAX_BODY {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request body exceeds the transport cap",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 and `Connection: close`
+    // tear the connection down after the response.
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("connection"))
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+
+    let stream = reader.get_ref().try_clone()?;
+    Ok(Some(Request { method, url, headers, body, stream, keep_alive }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    fn roundtrip(stream: &mut TcpStream, request: &str) -> (u16, String) {
+        stream.write_all(request.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(value) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = value.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn serves_requests_with_keep_alive_and_unblocks() {
+        let server = Server::http("127.0.0.1:0").unwrap();
+        let addr = server.server_addr();
+        let unblocker = server.unblock_handle();
+        let worker = std::thread::spawn(move || {
+            let mut served = 0;
+            while let Ok(request) = server.recv() {
+                served += 1;
+                let echoed = format!(
+                    "{} {} body={}",
+                    request.method(),
+                    request.url(),
+                    request.body_str().unwrap_or("")
+                );
+                assert!(request.header("host").is_some());
+                assert!(request.header("HOST").is_some());
+                let response = Response::from_string(echoed)
+                    .with_status_code(200)
+                    .with_content_type("application/json");
+                request.respond(response).unwrap();
+            }
+            served
+        });
+
+        // Two requests down one keep-alive connection.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let (status, body) = roundtrip(&mut stream, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(body, "GET /healthz body=");
+        let (status, body) = roundtrip(
+            &mut stream,
+            "POST /protect HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\n\r\nhi",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST /protect body=hi");
+        drop(stream);
+
+        // A second, separate connection is accepted after the first closes.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let (status, _) =
+            roundtrip(&mut stream, "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        drop(stream);
+
+        unblocker.unblock();
+        assert_eq!(worker.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn status_codes_and_response_builders() {
+        let response =
+            Response::from_string("{}").with_status_code(422).with_content_type("application/json");
+        assert_eq!(response.status_code(), StatusCode(422));
+        assert_eq!(response.body(), b"{}");
+        assert_eq!(StatusCode(429).reason(), "Too Many Requests");
+        assert_eq!(StatusCode(504).reason(), "Gateway Timeout");
+        assert_eq!(StatusCode(999).reason(), "Unknown");
+        let raw = Response::from_data(vec![1u8, 2]);
+        assert_eq!(raw.body(), &[1, 2]);
+        assert_eq!(Method::parse("PATCH"), Method::NonStandard);
+        assert_eq!(Method::Post.to_string(), "POST");
+    }
+}
