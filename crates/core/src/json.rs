@@ -41,7 +41,7 @@ impl JsonValue {
     /// Returns [`CoreError::Parse`] on malformed input, with a byte offset
     /// in the reason.
     pub fn parse(input: &str) -> Result<JsonValue, CoreError> {
-        let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         let value = parser.value()?;
         parser.skip_whitespace();
         if parser.pos != parser.bytes.len() {
@@ -87,10 +87,17 @@ impl JsonValue {
     }
 
     /// The numeric value as an exact unsigned integer.
+    ///
+    /// Numbers are carried as `f64`, which represents integers exactly only
+    /// up to 2⁵³ − 1; beyond that, distinct source integers collapse onto
+    /// one float. Rather than silently rounding (which would let two
+    /// different user ids collide onto one identity), values above that
+    /// bound return `None` — ids in the wire formats must fit 53 bits.
     pub fn as_u64(&self) -> Option<u64> {
+        const MAX_EXACT: f64 = ((1u64 << 53) - 1) as f64;
         match self {
             JsonValue::Number(value)
-                if value.fract() == 0.0 && *value >= 0.0 && *value <= u64::MAX as f64 =>
+                if value.fract() == 0.0 && *value >= 0.0 && *value <= MAX_EXACT =>
             {
                 Some(*value as u64)
             }
@@ -133,9 +140,17 @@ impl fmt::Display for JsonValue {
     }
 }
 
+/// Maximum container nesting the parser accepts. The recursive descent uses
+/// the call stack, so an unbounded depth would let a small hostile document
+/// (kilobytes of `[`) overflow the stack and abort the process — a failure
+/// no `catch_unwind` can intercept. 128 is far beyond any document the
+/// exporters emit while keeping the worst-case stack a few frames deep.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -171,11 +186,24 @@ impl Parser<'_> {
         }
     }
 
+    fn nested(
+        &mut self,
+        container: fn(&mut Self) -> Result<JsonValue, CoreError>,
+    ) -> Result<JsonValue, CoreError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error("document nesting exceeds the depth limit"));
+        }
+        self.depth += 1;
+        let value = container(self);
+        self.depth -= 1;
+        value
+    }
+
     fn value(&mut self) -> Result<JsonValue, CoreError> {
         self.skip_whitespace();
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(JsonValue::String(self.string()?)),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -383,6 +411,30 @@ mod tests {
                 "{bad:?} should fail with Parse, got {err}"
             );
             assert!(err.to_string().contains("at byte"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_a_stack_overflow() {
+        // ~100KB of '[' used to overflow the worker stack and SIGABRT the
+        // whole process; the depth limit turns it into a typed parse error.
+        for hostile in ["[".repeat(100_000), "{\"a\":".repeat(100_000)] {
+            let err = JsonValue::parse(&hostile).unwrap_err();
+            assert!(matches!(err, CoreError::Parse { .. }));
+            assert!(err.to_string().contains("depth"), "{err}");
+        }
+        // Sane nesting well below the limit still parses.
+        let nested = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(JsonValue::parse(&nested).is_ok());
+    }
+
+    #[test]
+    fn as_u64_rejects_inexact_integers() {
+        // 2^53 - 1 is the largest exactly-representable integer; beyond it
+        // distinct ids collapse onto one f64 and must not become one user.
+        assert_eq!(JsonValue::parse("9007199254740991").unwrap().as_u64(), Some((1u64 << 53) - 1));
+        for too_big in ["9007199254740992", "9007199254740993", "18446744073709551615", "1e300"] {
+            assert_eq!(JsonValue::parse(too_big).unwrap().as_u64(), None, "{too_big}");
         }
     }
 

@@ -68,7 +68,7 @@ pub use pipeline::{qualify_stage_parameters, Pipeline};
 pub use promesse::SpeedSmoothing;
 pub use rounding::CoordinateRounding;
 pub use space::{ConfigPoint, ConfigSpace};
-pub use stream::{open_stream, LppmStream, ReplayStream};
+pub use stream::{open_stream, open_stream_bounded, LppmStream, ReplayStream};
 pub use temporal::{ReleaseSampling, TemporalDownsampling};
 pub use traits::{Identity, Lppm};
 

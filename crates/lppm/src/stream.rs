@@ -62,9 +62,26 @@ pub trait LppmStream: Send {
 /// [`Lppm::protect_view`] over the pushed prefix with a fresh
 /// `StdRng::seed_from_u64(seed)`.
 pub fn open_stream(lppm: Arc<dyn Lppm>, user: UserId, seed: u64) -> Box<dyn LppmStream> {
+    open_stream_bounded(lppm, user, seed, usize::MAX)
+}
+
+/// [`open_stream`] with a cap on the [`ReplayStream`] fallback's prefix.
+///
+/// The replay fallback stores the full record prefix and re-protects it on
+/// every push — O(n) memory and O(n) CPU per update. A long-running service
+/// must bound that: beyond `replay_limit` pushed records the fallback
+/// session fails with [`LppmError::Unstreamable`] instead of growing without
+/// bound. Mechanisms with an O(1) streaming kernel are unaffected by the
+/// limit.
+pub fn open_stream_bounded(
+    lppm: Arc<dyn Lppm>,
+    user: UserId,
+    seed: u64,
+    replay_limit: usize,
+) -> Box<dyn LppmStream> {
     match lppm.stream_kernel(seed) {
         Some(kernel) => kernel,
-        None => Box::new(ReplayStream::new(lppm, user, seed)),
+        None => Box::new(ReplayStream::new(lppm, user, seed).with_prefix_limit(replay_limit)),
     }
 }
 
@@ -88,6 +105,7 @@ pub struct ReplayStream {
     latitudes: Vec<f64>,
     longitudes: Vec<f64>,
     released: Vec<Record>,
+    prefix_limit: usize,
 }
 
 impl ReplayStream {
@@ -101,7 +119,17 @@ impl ReplayStream {
             latitudes: Vec::new(),
             longitudes: Vec::new(),
             released: Vec::new(),
+            prefix_limit: usize::MAX,
         }
+    }
+
+    /// Caps the stored prefix: a push beyond `limit` records fails with
+    /// [`LppmError::Unstreamable`] instead of letting one session's memory
+    /// (and per-push replay cost) grow without bound. Unlimited by default.
+    #[must_use]
+    pub fn with_prefix_limit(mut self, limit: usize) -> Self {
+        self.prefix_limit = limit;
+        self
     }
 
     fn unstreamable(&self, reason: String) -> LppmError {
@@ -111,6 +139,13 @@ impl ReplayStream {
 
 impl LppmStream for ReplayStream {
     fn push(&mut self, record: Record) -> Result<Record, LppmError> {
+        if self.timestamps.len() >= self.prefix_limit {
+            return Err(self.unstreamable(format!(
+                "replay prefix reached the configured limit of {} records — this mechanism has \
+                 no streaming kernel and re-protects the full prefix per push",
+                self.prefix_limit,
+            )));
+        }
         self.timestamps.push(record.timestamp().as_f64());
         self.latitudes.push(record.location().latitude());
         self.longitudes.push(record.location().longitude());
@@ -227,6 +262,33 @@ mod tests {
         for (i, record) in t.iter().enumerate() {
             assert_eq!(stream.push(record).unwrap(), reference[i]);
         }
+    }
+
+    #[test]
+    fn replay_prefix_limit_fails_closed_and_is_stable() {
+        // Force the replay path (the mechanism has a kernel; the explicit
+        // ReplayStream bypasses it) and cap the stored prefix.
+        let lppm: Arc<dyn Lppm> = Arc::new(GeoIndistinguishability::with_epsilon(0.02).unwrap());
+        let t = trace();
+        let mut stream = ReplayStream::new(lppm, t.user(), 5).with_prefix_limit(3);
+        let mut records = t.iter();
+        for _ in 0..3 {
+            stream.push(records.next().unwrap()).unwrap();
+        }
+        for _ in 0..2 {
+            let err = stream.push(records.next().unwrap()).unwrap_err();
+            assert!(matches!(err, LppmError::Unstreamable { .. }), "got {err}");
+            assert!(err.to_string().contains("prefix"), "got {err}");
+        }
+        assert_eq!(stream.len(), 3, "rejected pushes must not advance the stream");
+        // Kernel mechanisms are unaffected by the bound.
+        let kernel_lppm: Arc<dyn Lppm> =
+            Arc::new(GeoIndistinguishability::with_epsilon(0.02).unwrap());
+        let mut kernel = open_stream_bounded(kernel_lppm, t.user(), 5, 3);
+        for record in t.iter() {
+            kernel.push(record).unwrap();
+        }
+        assert_eq!(kernel.len(), t.len());
     }
 
     #[test]

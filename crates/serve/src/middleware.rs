@@ -18,7 +18,10 @@
 //!   *counted* (only panics bypass the counters — the 500 is synthesized
 //!   above the metrics layer);
 //! * the rate limiter rejects before any protection work is spent;
-//! * the timeout measures the actual handler work, innermost.
+//! * the timeout measures the actual handler work, innermost — with
+//!   side-effecting routes exempted from response replacement
+//!   ([`Timeout::exempt`]), because by then the session has already
+//!   advanced and a 504 would invite a stream-desynchronizing retry.
 
 use crate::metrics::RequestMetrics;
 use crate::protocol::error_json;
@@ -224,12 +227,20 @@ impl Handler for MetricsHandler {
 /// refills at `per_second` tokens per second. Requests without a user hint
 /// (health, metrics) are never limited. Over-limit requests are answered
 /// 429 before any protection work is spent.
+///
+/// The bucket map is capped at [`RateLimit::MAX_BUCKETS`]: at the cap, a
+/// new user evicts the longest-idle bucket (which has therefore refilled
+/// the most), so a client iterating fabricated user ids bounds the map
+/// instead of growing it without limit.
 pub struct RateLimit {
     burst: u32,
     per_second: f64,
 }
 
 impl RateLimit {
+    /// Cap on concurrently tracked per-user buckets.
+    pub const MAX_BUCKETS: usize = 65_536;
+
     /// Creates the limiter. `burst` is clamped to at least 1.
     pub fn new(burst: u32, per_second: f64) -> RateLimit {
         RateLimit { burst: burst.max(1), per_second: per_second.max(0.0) }
@@ -264,6 +275,14 @@ impl Handler for RateLimitHandler {
         if let Some(user) = request.user_hint() {
             let now = Instant::now();
             let mut buckets = self.buckets.lock();
+            if buckets.len() >= RateLimit::MAX_BUCKETS && !buckets.contains_key(&user) {
+                // Evict the longest-idle bucket; by idling it has refilled
+                // the most, so dropping it is the most forgiving choice.
+                if let Some(&idle) = buckets.iter().min_by_key(|(_, b)| b.refreshed).map(|(u, _)| u)
+                {
+                    buckets.remove(&idle);
+                }
+            }
             let bucket =
                 buckets.entry(user).or_insert(Bucket { tokens: self.burst, refreshed: now });
             let elapsed = now.duration_since(bucket.refreshed).as_secs_f64();
@@ -287,25 +306,45 @@ impl Handler for RateLimitHandler {
 /// a response that took longer than the limit is replaced by a 504 (the
 /// latency bound is enforced on the reply, not by killing the worker — the
 /// registry below is synchronous and single-flight per connection).
+///
+/// Routes with session side effects must be exempted
+/// ([`Timeout::exempt`]): by the time the 504 would be minted the inner
+/// handler has already run, so for `/protect` the record was pushed and the
+/// RNG consumed — replacing the computed response would invite the client
+/// to retry an update that *was* applied, desynchronizing her online stream
+/// from her real record sequence and breaking the offline bit-identity
+/// contract. Exempt responses pass through untouched (the metrics layer
+/// above still records their true latency).
 pub struct Timeout {
     limit: Duration,
+    exempt: Vec<&'static str>,
 }
 
 impl Timeout {
     /// Creates the layer with the given deadline.
     pub fn new(limit: Duration) -> Timeout {
-        Timeout { limit }
+        Timeout { limit, exempt: Vec::new() }
+    }
+
+    /// Exempts a route label ([`HttpRequest::route_label`]) from response
+    /// replacement — for routes whose handler has session side effects that
+    /// a 504-triggered retry would duplicate.
+    #[must_use]
+    pub fn exempt(mut self, route: &'static str) -> Timeout {
+        self.exempt.push(route);
+        self
     }
 }
 
 struct TimeoutHandler {
     limit: Duration,
+    exempt: Vec<&'static str>,
     inner: Box<dyn Handler>,
 }
 
 impl Layer for Timeout {
     fn wrap(self: Box<Self>, inner: Box<dyn Handler>) -> Box<dyn Handler> {
-        Box::new(TimeoutHandler { limit: self.limit, inner })
+        Box::new(TimeoutHandler { limit: self.limit, exempt: self.exempt, inner })
     }
 }
 
@@ -313,7 +352,7 @@ impl Handler for TimeoutHandler {
     fn handle(&self, request: &HttpRequest) -> HttpResponse {
         let start = Instant::now();
         let response = self.inner.handle(request);
-        if start.elapsed() > self.limit {
+        if start.elapsed() > self.limit && !self.exempt.contains(&request.route_label()) {
             return HttpResponse::json(
                 504,
                 error_json(&format!("request exceeded the {} ms deadline", self.limit.as_millis())),
@@ -412,6 +451,42 @@ mod tests {
             .layer(Timeout::new(Duration::from_secs(5)))
             .service(ok_handler());
         assert_eq!(stack.handle(&get("/healthz")).status, 200);
+    }
+
+    #[test]
+    fn timeout_exempts_side_effecting_routes() {
+        // A slow /protect has already advanced the user's session; its
+        // computed response must pass through, not be replaced by a 504
+        // that would invite a duplicating retry.
+        let slow: Box<dyn Handler> = Box::new(|_request: &HttpRequest| {
+            std::thread::sleep(Duration::from_millis(20));
+            HttpResponse::text(200, "applied".to_string())
+        });
+        let stack = MiddlewareStack::new()
+            .layer(Timeout::new(Duration::from_millis(5)).exempt("/protect"))
+            .service(slow);
+        let response = stack.handle(&protect(1));
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "applied");
+        // Non-exempt routes are still bounded.
+        assert_eq!(stack.handle(&get("/healthz")).status, 504);
+    }
+
+    #[test]
+    fn rate_limit_bucket_map_is_capped() {
+        let stack = MiddlewareStack::new().layer(RateLimit::new(1, 0.0)).service(ok_handler());
+        // Drain user 0's bucket: burst 1, no refill.
+        assert_eq!(stack.handle(&get("/assignment/0")).status, 200);
+        assert_eq!(stack.handle(&get("/assignment/0")).status, 429);
+        std::thread::sleep(Duration::from_millis(2));
+        // A hostile sweep of fresh user ids fills the map to the cap and
+        // forces one eviction — of user 0, by then the longest idle.
+        for user in 1..=RateLimit::MAX_BUCKETS as u64 {
+            assert_eq!(stack.handle(&get(&format!("/assignment/{user}"))).status, 200);
+        }
+        // Her next request opens a fresh full bucket: the drained (and
+        // evicted) state is gone, and the map never exceeded the cap.
+        assert_eq!(stack.handle(&get("/assignment/0")).status, 200);
     }
 
     #[test]

@@ -39,10 +39,12 @@ impl ProtectRequest {
     /// Returns a human-readable reason string on any malformation.
     pub fn from_json(body: &str) -> Result<ProtectRequest, String> {
         let value = JsonValue::parse(body).map_err(|e| e.to_string())?;
-        let user = value
-            .get("user")
-            .and_then(JsonValue::as_u64)
-            .ok_or_else(|| "\"user\" must be an unsigned integer".to_string())?;
+        let user = value.get("user").and_then(JsonValue::as_u64).ok_or_else(|| {
+            // `as_u64` also rejects integers above 2^53 − 1: JSON
+            // numbers travel as f64, where larger ids would silently
+            // collide onto one value — one identity for two users.
+            "\"user\" must be an unsigned integer (at most 2^53 - 1)".to_string()
+        })?;
         let number = |key: &str| -> Result<f64, String> {
             let n = value
                 .get(key)

@@ -15,14 +15,22 @@
 //! A user's protected stream is a pure function of
 //! `(master seed, user id, her configuration point, her record sequence)`:
 //! sessions are seeded with [`derive_user_seed`] and protected through
-//! [`geopriv_lppm::open_stream`], whose output is bit-identical to the
-//! offline [`geopriv_lppm::Lppm::protect_view`] of the same trace under
+//! [`geopriv_lppm::open_stream_bounded`], whose output is bit-identical to
+//! the offline [`geopriv_lppm::Lppm::protect_view`] of the same trace under
 //! `StdRng::seed_from_u64(derive_user_seed(master_seed, user))`. Restarting
 //! the service (or replaying the requests elsewhere) reproduces the exact
 //! same released coordinates.
+//!
+//! ## Resource bounds
+//!
+//! Live sessions are LRU-capped ([`AssignmentRegistry::set_max_sessions`])
+//! so a client iterating fabricated user ids cannot grow server memory
+//! without bound, and replay-fallback sessions carry a prefix cap
+//! ([`AssignmentRegistry::set_replay_prefix_limit`]) so a single
+//! kernel-less session cannot either.
 
 use geopriv_core::{CoreError, LppmFactory, PerUserRecommendation};
-use geopriv_lppm::{open_stream, ConfigPoint, Lppm, LppmError, LppmStream};
+use geopriv_lppm::{open_stream_bounded, ConfigPoint, Lppm, LppmError, LppmStream};
 use geopriv_mobility::{Record, UserId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -115,8 +123,28 @@ fn quoted(text: &str) -> String {
     out
 }
 
+/// Default cap on concurrently live protection sessions (and the bound a
+/// hostile client iterating user ids can grow the session map to). Well
+/// above any real per-instance population; see
+/// [`AssignmentRegistry::set_max_sessions`].
+pub const DEFAULT_MAX_SESSIONS: usize = 65_536;
+
+/// Default cap on the record prefix a replay-fallback session may hold (see
+/// [`geopriv_lppm::open_stream_bounded`]); kernel-streaming mechanisms are
+/// unaffected.
+pub const DEFAULT_REPLAY_PREFIX_LIMIT: usize = 4_096;
+
 struct Session {
     stream: Box<dyn LppmStream>,
+    /// Logical access time (a per-registry counter, not wall clock), for
+    /// least-recently-used eviction at the session cap.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Sessions {
+    map: HashMap<u64, Session>,
+    tick: u64,
 }
 
 /// Per-user assignments and live protection sessions.
@@ -128,7 +156,9 @@ pub struct AssignmentRegistry {
     dataset_lppm: Arc<dyn Lppm>,
     assignments: HashMap<u64, Assignment>,
     master_seed: u64,
-    sessions: Mutex<HashMap<u64, Session>>,
+    sessions: Mutex<Sessions>,
+    max_sessions: usize,
+    replay_prefix_limit: usize,
 }
 
 impl AssignmentRegistry {
@@ -176,8 +206,35 @@ impl AssignmentRegistry {
             dataset_lppm,
             assignments,
             master_seed,
-            sessions: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(Sessions::default()),
+            max_sessions: DEFAULT_MAX_SESSIONS,
+            replay_prefix_limit: DEFAULT_REPLAY_PREFIX_LIMIT,
         })
+    }
+
+    /// Caps the number of concurrently live protection sessions (default
+    /// [`DEFAULT_MAX_SESSIONS`]). At the cap, opening a session for a new
+    /// user evicts the least-recently-used one — so a client iterating
+    /// fabricated user ids bounds server memory instead of growing it.
+    ///
+    /// Eviction is a documented degradation, not a silent one: an evicted
+    /// user's next update starts a fresh session (her `released` counter
+    /// restarts at 1), and the determinism contract then holds for the new
+    /// session's record sequence. Size the cap above the real concurrent
+    /// population; `cap` is clamped to at least 1.
+    pub fn set_max_sessions(&mut self, cap: usize) {
+        self.max_sessions = cap.max(1);
+    }
+
+    /// Caps the record prefix a replay-fallback session may hold (default
+    /// [`DEFAULT_REPLAY_PREFIX_LIMIT`]). Mechanisms without a streaming
+    /// kernel store and re-protect their full prefix per push — O(n) memory
+    /// and CPU — so a long-lived session must bound it; pushes beyond the
+    /// cap fail with [`LppmError::Unstreamable`]. Kernel-streaming
+    /// mechanisms (the default geo-indistinguishability deployment) are
+    /// unaffected.
+    pub fn set_replay_prefix_limit(&mut self, limit: usize) {
+        self.replay_prefix_limit = limit.max(1);
     }
 
     /// Loads a registry from the JSON wire format
@@ -220,35 +277,51 @@ impl AssignmentRegistry {
 
     /// Number of live protection sessions.
     pub fn active_sessions(&self) -> usize {
-        self.sessions.lock().len()
+        self.sessions.lock().map.len()
     }
 
     /// Protects one record of one user's stream, opening her session on
     /// first contact. Returns the protected record and its 1-based position
-    /// in her released stream.
+    /// in her released stream. Live sessions are capped
+    /// ([`AssignmentRegistry::set_max_sessions`]): at the cap, a new user
+    /// evicts the least-recently-used session.
     ///
     /// # Errors
     ///
     /// Propagates the mechanism error (e.g. [`LppmError::Unstreamable`] for
-    /// mechanisms that cannot protect record-at-a-time); the session is
-    /// left in place so the error is stable across retries.
+    /// mechanisms that cannot protect record-at-a-time, or a
+    /// replay-fallback session past its prefix cap); the session is left in
+    /// place so the error is stable across retries.
     pub fn protect(&self, user: u64, record: Record) -> Result<(Record, usize), LppmError> {
         let user_id = UserId::new(user);
         let mut sessions = self.sessions.lock();
-        let session = match sessions.entry(user) {
-            std::collections::hash_map::Entry::Occupied(entry) => entry.into_mut(),
-            std::collections::hash_map::Entry::Vacant(entry) => {
-                let assignment = self.assignment_for(user);
-                // A known user's point was validated at load time; the
-                // fallback path re-uses the shared dataset mechanism.
-                let lppm: Arc<dyn Lppm> = match self.factory.instantiate_at(&assignment.point) {
-                    Ok(lppm) => Arc::from(lppm),
-                    Err(_) => Arc::clone(&self.dataset_lppm),
-                };
-                let seed = derive_user_seed(self.master_seed, user_id);
-                entry.insert(Session { stream: open_stream(lppm, user_id, seed) })
+        sessions.tick += 1;
+        let tick = sessions.tick;
+        if !sessions.map.contains_key(&user) {
+            if sessions.map.len() >= self.max_sessions {
+                // Evict the least-recently-used session. O(cap) scan, but
+                // only on the hostile path (the map is already full of
+                // other users) — a few hundred microseconds at the default
+                // cap, against a map that would otherwise grow forever.
+                if let Some(&lru) =
+                    sessions.map.iter().min_by_key(|(_, s)| s.last_used).map(|(u, _)| u)
+                {
+                    sessions.map.remove(&lru);
+                }
             }
-        };
+            let assignment = self.assignment_for(user);
+            // A known user's point was validated at load time; the
+            // fallback path re-uses the shared dataset mechanism.
+            let lppm: Arc<dyn Lppm> = match self.factory.instantiate_at(&assignment.point) {
+                Ok(lppm) => Arc::from(lppm),
+                Err(_) => Arc::clone(&self.dataset_lppm),
+            };
+            let seed = derive_user_seed(self.master_seed, user_id);
+            let stream = open_stream_bounded(lppm, user_id, seed, self.replay_prefix_limit);
+            sessions.map.insert(user, Session { stream, last_used: tick });
+        }
+        let session = sessions.map.get_mut(&user).expect("session was just ensured");
+        session.last_used = tick;
         let protected = session.stream.push(record)?;
         Ok((protected, session.stream.len()))
     }
@@ -358,6 +431,25 @@ mod tests {
         let result =
             AssignmentRegistry::load(Box::new(GeoIndistinguishabilityFactory::new()), &broken, 7);
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn session_map_is_capped_with_lru_eviction() {
+        let mut registry = registry();
+        registry.set_max_sessions(3);
+        let record = Record::new(Seconds::new(0.0), GeoPoint::new(48.1, -1.67).unwrap());
+        let later = Record::new(Seconds::new(30.0), GeoPoint::new(48.11, -1.67).unwrap());
+        // A hostile sweep over many fresh user ids stays bounded at the cap.
+        for user in 0..100 {
+            registry.protect(user, record).unwrap();
+            assert!(registry.active_sessions() <= 3, "cap exceeded at user {user}");
+        }
+        assert_eq!(registry.active_sessions(), 3);
+        // The most recent users survived: their streams advance past 1.
+        assert_eq!(registry.protect(99, later).unwrap().1, 2);
+        // An evicted user's next update starts a fresh session at 1 — the
+        // documented degradation, never a panic or unbounded growth.
+        assert_eq!(registry.protect(0, record).unwrap().1, 1);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!
 //! The middleware order is fixed and declared in one place
 //! ([`GeoPrivServer::start`]): `PanicCatch → Metrics → RateLimit → Timeout
-//! → Router` (see [`crate::middleware`] for why).
+//! → Router` (see [`crate::middleware`] for why). `/protect` is exempt from
+//! the timeout's 504 replacement because its handler has session side
+//! effects (see [`crate::middleware::Timeout`]).
 
 use crate::metrics::RequestMetrics;
 use crate::middleware::{
@@ -130,10 +132,13 @@ impl GeoPrivServer {
         if let Some((burst, per_second)) = config.rate_limit {
             stack = stack.layer(RateLimit::new(burst, per_second));
         }
-        let handler = stack.layer(Timeout::new(config.timeout)).service(Box::new(Router {
-            registry: Arc::clone(&registry),
-            metrics: Arc::clone(&metrics),
-        }));
+        // /protect is exempt from 504 replacement: its handler advances the
+        // user's session, so a timed-out-but-applied update must still
+        // return its real response (a 504 would invite a duplicating retry
+        // that desynchronizes the stream from the record sequence).
+        let handler = stack.layer(Timeout::new(config.timeout).exempt("/protect")).service(
+            Box::new(Router { registry: Arc::clone(&registry), metrics: Arc::clone(&metrics) }),
+        );
 
         let worker = std::thread::spawn(move || {
             while let Ok(incoming) = server.recv() {

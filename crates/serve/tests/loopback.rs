@@ -239,14 +239,51 @@ fn timeouts_surface_as_504_without_killing_the_server() {
     let config = ServeConfig { timeout: Duration::from_nanos(1), ..ServeConfig::default() };
     let server = start_server(&config);
     let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    // /protect is exempt from 504 replacement: by the time the deadline
+    // check runs the session has already advanced, and a 504 would invite
+    // a retry that pushes the record twice — desynchronizing the online
+    // stream from the user's real record sequence. The applied update's
+    // real response comes back even past the deadline.
     let (status, body) = client.post("/protect", &protect_body(1, 0)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"released\": 1"));
+    // Side-effect-free routes are replaced, and the server stays alive and
+    // serving on the same connection rather than dropping it.
+    let (status, body) = client.get("/healthz").unwrap();
     assert_eq!(status, 504, "{body}");
     assert!(body.contains("deadline"));
-    // The server is still alive and serving: every route shares the
-    // deadline, so the next request is answered (with a 504) rather than
-    // dropped on a dead connection.
-    let (status, _) = client.get("/healthz").unwrap();
-    assert_eq!(status, 504);
+    // The session did not double-advance behind the exemption.
+    let (status, body) = client.post("/protect", &protect_body(1, 1)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"released\": 2"));
+    server.shutdown();
+}
+
+#[test]
+fn hostile_requests_cannot_kill_or_bloat_the_server() {
+    let server = start_server(&ServeConfig::default());
+    let addr = server.local_addr();
+
+    // The review's original crash repro: ~100KB of '[' as a /protect body
+    // used to overflow the worker stack and SIGABRT the whole process
+    // (stack overflow is not unwinding — PanicCatch cannot intercept it).
+    // The parser's depth limit must turn it into a plain 400.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let (status, body) = client.post("/protect", &"[".repeat(100_000)).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("depth"), "{body}");
+
+    // A user id above 2^53 - 1 would silently collide with a neighbor
+    // through f64; it is rejected, never aliased.
+    let (status, body) = client
+        .post("/protect", "{\"user\": 18446744073709551615, \"t\": 0, \"lat\": 0, \"lon\": 0}")
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    // And the server is still alive for well-formed traffic.
+    let (status, _) = client.post("/protect", &protect_body(1, 0)).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(server.metrics().count("/protect", 400), 2);
     server.shutdown();
 }
 

@@ -17,6 +17,11 @@
 //! served at a time (the accept loop moves on when the peer disconnects or
 //! sends `Connection: close`), there is no TLS/chunked-encoding/expect-100
 //! support, and header storage is a plain `Vec` of `(name, value)` pairs.
+//! Untrusted input is bounded at the transport: request and header lines
+//! are capped at 8 KiB each, requests at 100 header lines, bodies at
+//! 16 MiB — a peer streaming bytes without a newline gets its connection
+//! torn down instead of growing server memory (and, with the
+//! single-connection design, starving every other client).
 //! The serving crate layers its own concurrency control (rate limiting,
 //! timeouts) above this, so a single-connection transport keeps the shim
 //! small without constraining the middleware stack under test.
@@ -349,13 +354,42 @@ impl Unblocker {
     }
 }
 
+/// Transport cap on one request or header line. `read_line` on an untrusted
+/// stream is otherwise unbounded: a peer streaming bytes with no newline
+/// would grow memory without limit (and, single-connection as the shim is,
+/// starve every other client while doing it).
+const MAX_LINE: u64 = 8 * 1024;
+
+/// Transport cap on the number of header lines per request.
+const MAX_HEADERS: usize = 100;
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE`] bytes. `Ok(None)`
+/// means EOF before any byte; an over-long line is an error that tears the
+/// connection down.
+fn read_line_bounded(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let read = reader.by_ref().take(MAX_LINE).read_until(b'\n', &mut buf)?;
+    if read == 0 {
+        return Ok(None);
+    }
+    if !buf.ends_with(b"\n") && read as u64 == MAX_LINE {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request line exceeds the transport cap",
+        ));
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 header line"))
+}
+
 /// Reads one request from an open connection. `Ok(None)` means the peer
 /// closed the connection cleanly between requests.
 fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
-    }
+    let line = match read_line_bounded(reader)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
     let mut parts = line.split_whitespace();
     let (method, url, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(u), Some(v)) => (Method::parse(m), u.to_string(), v.to_string()),
@@ -369,13 +403,19 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Req
 
     let mut headers = Vec::new();
     loop {
-        let mut header_line = String::new();
-        if reader.read_line(&mut header_line)? == 0 {
-            return Ok(None);
-        }
+        let header_line = match read_line_bounded(reader)? {
+            Some(line) => line,
+            None => return Ok(None),
+        };
         let trimmed = header_line.trim_end();
         if trimmed.is_empty() {
             break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "header count exceeds the transport cap",
+            ));
         }
         if let Some((name, value)) = trimmed.split_once(':') {
             headers.push((name.trim().to_string(), value.trim().to_string()));
@@ -492,6 +532,53 @@ mod tests {
 
         unblocker.unblock();
         assert_eq!(worker.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn hostile_header_streams_are_torn_down_not_buffered() {
+        let server = Server::http("127.0.0.1:0").unwrap();
+        let addr = server.server_addr();
+        let unblocker = server.unblock_handle();
+        let worker = std::thread::spawn(move || {
+            let mut served = 0;
+            while let Ok(request) = server.recv() {
+                served += 1;
+                request.respond(Response::from_string("ok")).unwrap();
+            }
+            served
+        });
+
+        // A request line far beyond the 8 KiB cap, never newline-terminated:
+        // the server must cut the connection instead of buffering forever.
+        // Writes/reads are tolerant — the server may reset mid-write.
+        let mut hostile = TcpStream::connect(addr).unwrap();
+        let _ = hostile.write_all(&vec![b'A'; 64 * 1024]);
+        let _ = hostile.flush();
+        let mut sink = Vec::new();
+        let _ = hostile.read_to_end(&mut sink);
+        drop(hostile);
+
+        // More header lines than the cap: same fate.
+        let mut hostile = TcpStream::connect(addr).unwrap();
+        let _ = hostile.write_all(b"GET / HTTP/1.1\r\n");
+        for i in 0..150 {
+            if hostile.write_all(format!("X-H-{i}: v\r\n").as_bytes()).is_err() {
+                break;
+            }
+        }
+        let mut sink = Vec::new();
+        let _ = hostile.read_to_end(&mut sink);
+        drop(hostile);
+
+        // The accept loop survived both: a well-formed request still works.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let (status, _) =
+            roundtrip(&mut stream, "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        drop(stream);
+
+        unblocker.unblock();
+        assert_eq!(worker.join().unwrap(), 1);
     }
 
     #[test]
