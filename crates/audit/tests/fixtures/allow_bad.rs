@@ -1,0 +1,9 @@
+pub fn unreasoned(values: &[u64]) -> u64 {
+    // audit:allow(P1)
+    values[1]
+}
+
+pub fn unused(value: Option<u64>) -> u64 {
+    // audit:allow(P1): nothing here actually panics
+    value.unwrap_or(7)
+}

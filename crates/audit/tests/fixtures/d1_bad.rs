@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn render(map: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (key, value) in map.iter() {
+        out.push_str(&format!("{key}={value}\n"));
+    }
+    out
+}

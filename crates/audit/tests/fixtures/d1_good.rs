@@ -1,0 +1,14 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub fn render(map: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (key, value) in map.iter() {
+        out.push_str(&format!("{key}={value}\n"));
+    }
+    out
+}
+
+pub fn lookup(index: &HashMap<String, u64>, key: &str) -> u64 {
+    // Point lookups on a HashMap are order-free and therefore fine.
+    index.get(key).copied().unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+pub fn elapsed_micros() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_micros() as u64
+}
+
+pub fn wall_clock_nanos() -> u128 {
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_nanos()).unwrap_or(0)
+}

@@ -1,0 +1,3 @@
+pub fn elapsed_micros(started_micros: u64, now_micros: u64) -> u64 {
+    now_micros.saturating_sub(started_micros)
+}

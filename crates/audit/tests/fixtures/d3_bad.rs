@@ -1,0 +1,10 @@
+use rand::SeedableRng;
+
+pub fn entropy_seeded() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}
+
+pub fn thread_local_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

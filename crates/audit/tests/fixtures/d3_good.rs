@@ -1,0 +1,5 @@
+use rand::SeedableRng;
+
+pub fn derived(master_seed: u64, user: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(master_seed ^ user)
+}

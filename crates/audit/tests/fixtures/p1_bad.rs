@@ -1,0 +1,19 @@
+pub fn first(values: &[u64]) -> u64 {
+    values[0]
+}
+
+pub fn must(value: Option<u64>) -> u64 {
+    value.unwrap()
+}
+
+pub fn believe(value: Option<u64>) -> u64 {
+    value.expect("always present")
+}
+
+pub fn never() -> u64 {
+    unreachable!()
+}
+
+pub fn refuse() {
+    panic!("hostile input");
+}

@@ -1,0 +1,12 @@
+pub fn first(values: &[u64]) -> u64 {
+    values.first().copied().unwrap_or(0)
+}
+
+pub fn must(value: Option<u64>) -> Result<u64, String> {
+    value.ok_or_else(|| "missing value".to_string())
+}
+
+pub fn whole(values: &[u64]) -> &[u64] {
+    // A full-range slice cannot go out of bounds.
+    &values[..]
+}

@@ -1,0 +1,5 @@
+//! A crate root that forgot the workspace-wide unsafe ban.
+
+pub fn fine() -> u64 {
+    7
+}

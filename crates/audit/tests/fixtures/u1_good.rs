@@ -1,0 +1,7 @@
+//! A crate root carrying the workspace-wide unsafe ban.
+
+#![forbid(unsafe_code)]
+
+pub fn fine() -> u64 {
+    7
+}

@@ -1,0 +1,3 @@
+pub fn transmuted(value: u64) -> i64 {
+    unsafe { std::mem::transmute::<u64, i64>(value) }
+}

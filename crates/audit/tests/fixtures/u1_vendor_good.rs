@@ -1,0 +1,4 @@
+pub fn transmuted(value: u64) -> i64 {
+    // SAFETY: u64 and i64 have identical size and all bit patterns are valid.
+    unsafe { std::mem::transmute::<u64, i64>(value) }
+}

@@ -850,6 +850,7 @@ impl SweepResult {
     /// [`SweepResult::axis_values`] there, or [`SweepResult::try_parameters`]
     /// for the non-panicking form.
     pub fn parameters(&self) -> Vec<f64> {
+        // audit:allow(P1): documented panicking legacy accessor; try_parameters is the typed form
         self.try_parameters().unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -50,7 +50,9 @@ impl RequestMetrics {
             .iter()
             .position(|&bound| seconds <= bound)
             .unwrap_or(BUCKET_BOUNDS_S.len());
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = self.buckets.get(bucket) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
         self.latency_sum_micros.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
     }
@@ -80,11 +82,15 @@ impl RequestMetrics {
         let _ = writeln!(out, "# HELP geopriv_request_seconds Request latency histogram.");
         let _ = writeln!(out, "# TYPE geopriv_request_seconds histogram");
         let mut cumulative = 0u64;
-        for (bucket, &bound) in BUCKET_BOUNDS_S.iter().enumerate() {
-            cumulative += self.buckets[bucket].load(Ordering::Relaxed);
+        // `buckets` has exactly one more slot than `BUCKET_BOUNDS_S`; zip
+        // pairs the bounded buckets and leaves the +Inf slot for `last()`.
+        for (counter, &bound) in self.buckets.iter().zip(BUCKET_BOUNDS_S.iter()) {
+            cumulative += counter.load(Ordering::Relaxed);
             let _ = writeln!(out, "geopriv_request_seconds_bucket{{le=\"{bound}\"}} {cumulative}");
         }
-        cumulative += self.buckets[BUCKET_BOUNDS_S.len()].load(Ordering::Relaxed);
+        if let Some(inf) = self.buckets.last() {
+            cumulative += inf.load(Ordering::Relaxed);
+        }
         let _ = writeln!(out, "geopriv_request_seconds_bucket{{le=\"+Inf\"}} {cumulative}");
         let sum = self.latency_sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
         let _ = writeln!(out, "geopriv_request_seconds_sum {sum}");
@@ -102,7 +108,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn records_and_renders_counters_and_histogram() {
+    fn records_and_renders_counters_and_histogram() -> Result<(), Box<dyn std::error::Error>> {
         let metrics = RequestMetrics::new();
         metrics.record("/protect", 200, Duration::from_micros(50));
         metrics.record("/protect", 200, Duration::from_micros(500));
@@ -126,9 +132,31 @@ mod tests {
         let counts: Vec<u64> = text
             .lines()
             .filter(|l| l.starts_with("geopriv_request_seconds_bucket"))
-            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
-            .collect();
+            .filter_map(|l| l.rsplit(' ').next())
+            .map(str::parse)
+            .collect::<Result<_, _>>()?;
         assert_eq!(counts.len(), BUCKET_BOUNDS_S.len() + 1);
-        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert!(counts.iter().zip(counts.iter().skip(1)).all(|(a, b)| a <= b));
+        Ok(())
+    }
+
+    #[test]
+    fn render_is_byte_deterministic() {
+        let metrics = RequestMetrics::new();
+        // Routes inserted in non-sorted order; render must not depend on
+        // insertion order or any hash seed.
+        metrics.record("/protect", 200, Duration::from_micros(80));
+        metrics.record("/assignment", 200, Duration::from_micros(120));
+        metrics.record("/metrics", 503, Duration::from_millis(7));
+        metrics.record("/protect", 400, Duration::from_micros(80));
+        let first = metrics.render();
+        let second = metrics.render();
+        assert_eq!(first.as_bytes(), second.as_bytes());
+        // And the counter section is sorted by (route, status).
+        let counter_lines: Vec<&str> =
+            first.lines().filter(|l| l.starts_with("geopriv_requests_total{")).collect();
+        let mut sorted = counter_lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(counter_lines, sorted);
     }
 }

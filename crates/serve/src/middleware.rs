@@ -397,6 +397,7 @@ mod tests {
     fn panic_catch_converts_panics_to_500() {
         let stack = MiddlewareStack::new()
             .layer(PanicCatch)
+            // audit:allow(P1): deliberate panic — this test exists to prove PanicCatch converts it
             .service(Box::new(|_request: &HttpRequest| -> HttpResponse { panic!("boom") }));
         let response = stack.handle(&get("/healthz"));
         assert_eq!(response.status, 500);
@@ -495,6 +496,7 @@ mod tests {
         let stack = MiddlewareStack::new()
             .layer(PanicCatch)
             .layer(RateLimit::new(1, 0.0))
+            // audit:allow(P1): deliberate panic below the limiter — exercises PanicCatch ordering
             .service(Box::new(|_request: &HttpRequest| -> HttpResponse { panic!("inner panic") }));
         assert_eq!(stack.handle(&protect(9)).status, 500);
         // The limiter still saw the request (its bucket drained), proving it

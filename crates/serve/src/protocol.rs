@@ -128,14 +128,17 @@ pub fn error_json(reason: &str) -> String {
 mod tests {
     use super::*;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn requests_round_trip_bit_exactly() {
+    fn requests_round_trip_bit_exactly() -> TestResult {
         let request = ProtectRequest { user: 9, t: 30.5, lat: 48.117266, lon: -1.6777926 };
-        let parsed = ProtectRequest::from_json(&request.to_json()).unwrap();
+        let parsed = ProtectRequest::from_json(&request.to_json())?;
         assert_eq!(parsed, request);
         assert_eq!(parsed.lat.to_bits(), request.lat.to_bits());
-        let record = parsed.record().unwrap();
+        let record = parsed.record()?;
         assert_eq!(record.timestamp().as_f64(), 30.5);
+        Ok(())
     }
 
     #[test]
@@ -156,16 +159,17 @@ mod tests {
     }
 
     #[test]
-    fn responses_and_errors_render_as_json() {
-        let record = ProtectRequest { user: 3, t: 1.0, lat: 10.25, lon: 20.5 }.record().unwrap();
+    fn responses_and_errors_render_as_json() -> TestResult {
+        let record = ProtectRequest { user: 3, t: 1.0, lat: 10.25, lon: 20.5 }.record()?;
         let json = protect_response_json(3, &record, 7);
-        let value = geopriv_core::json::JsonValue::parse(&json).unwrap();
-        assert_eq!(value.get("user").unwrap().as_u64(), Some(3));
-        assert_eq!(value.get("lat").unwrap().as_f64(), Some(10.25));
-        assert_eq!(value.get("released").unwrap().as_u64(), Some(7));
+        let value = geopriv_core::json::JsonValue::parse(&json)?;
+        assert_eq!(value.get("user").ok_or("missing user")?.as_u64(), Some(3));
+        assert_eq!(value.get("lat").ok_or("missing lat")?.as_f64(), Some(10.25));
+        assert_eq!(value.get("released").ok_or("missing released")?.as_u64(), Some(7));
 
         let err = error_json("bad \"input\"\n");
-        let value = geopriv_core::json::JsonValue::parse(&err).unwrap();
-        assert_eq!(value.get("error").unwrap().as_str(), Some("bad \"input\"\n"));
+        let value = geopriv_core::json::JsonValue::parse(&err)?;
+        assert_eq!(value.get("error").ok_or("missing error")?.as_str(), Some("bad \"input\"\n"));
+        Ok(())
     }
 }

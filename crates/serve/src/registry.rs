@@ -297,18 +297,18 @@ impl AssignmentRegistry {
         let mut sessions = self.sessions.lock();
         sessions.tick += 1;
         let tick = sessions.tick;
-        if !sessions.map.contains_key(&user) {
-            if sessions.map.len() >= self.max_sessions {
-                // Evict the least-recently-used session. O(cap) scan, but
-                // only on the hostile path (the map is already full of
-                // other users) — a few hundred microseconds at the default
-                // cap, against a map that would otherwise grow forever.
-                if let Some(&lru) =
-                    sessions.map.iter().min_by_key(|(_, s)| s.last_used).map(|(u, _)| u)
-                {
-                    sessions.map.remove(&lru);
-                }
+        if !sessions.map.contains_key(&user) && sessions.map.len() >= self.max_sessions {
+            // Evict the least-recently-used session. O(cap) scan, but
+            // only on the hostile path (the map is already full of
+            // other users) — a few hundred microseconds at the default
+            // cap, against a map that would otherwise grow forever.
+            // audit:allow(D1): `last_used` ticks are unique, so the hash-order scan has one minimum
+            if let Some(&lru) = sessions.map.iter().min_by_key(|(_, s)| s.last_used).map(|(u, _)| u)
+            {
+                sessions.map.remove(&lru);
             }
+        }
+        let session = sessions.map.entry(user).or_insert_with(|| {
             let assignment = self.assignment_for(user);
             // A known user's point was validated at load time; the
             // fallback path re-uses the shared dataset mechanism.
@@ -318,9 +318,8 @@ impl AssignmentRegistry {
             };
             let seed = derive_user_seed(self.master_seed, user_id);
             let stream = open_stream_bounded(lppm, user_id, seed, self.replay_prefix_limit);
-            sessions.map.insert(user, Session { stream, last_used: tick });
-        }
-        let session = sessions.map.get_mut(&user).expect("session was just ensured");
+            Session { stream, last_used: tick }
+        });
         session.last_used = tick;
         let protected = session.stream.push(record)?;
         Ok((protected, session.stream.len()))
@@ -366,13 +365,14 @@ mod tests {
         }
     }
 
-    fn registry() -> AssignmentRegistry {
-        AssignmentRegistry::load(
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn registry() -> Result<AssignmentRegistry, Box<dyn std::error::Error>> {
+        Ok(AssignmentRegistry::load(
             Box::new(GeoIndistinguishabilityFactory::new()),
             &recommendation(),
             7,
-        )
-        .unwrap()
+        )?)
     }
 
     #[test]
@@ -384,8 +384,8 @@ mod tests {
     }
 
     #[test]
-    fn known_users_resolve_to_their_recommended_points() {
-        let registry = registry();
+    fn known_users_resolve_to_their_recommended_points() -> TestResult {
+        let registry = registry()?;
         assert_eq!(registry.assigned_users(), 2);
         let own = registry.assignment_for(1);
         assert_eq!(own.source, AssignmentSource::Own);
@@ -394,34 +394,39 @@ mod tests {
         assert_eq!(fallback.source.label(), "dataset-fallback");
         assert_eq!(fallback.point, point(0.01));
         assert!(fallback.to_json(2).contains("objectives conflict"));
+        Ok(())
     }
 
     #[test]
-    fn unknown_and_hostile_user_ids_fall_back_without_panicking() {
-        let registry = registry();
+    fn unknown_and_hostile_user_ids_fall_back_without_panicking() -> TestResult {
+        let registry = registry()?;
         for user in [0, 3, 999_999, u64::MAX] {
             let assignment = registry.assignment_for(user);
             assert_eq!(assignment.point, point(0.01));
             assert!(matches!(assignment.source, AssignmentSource::DatasetFallback { .. }));
             // And protecting a record for that user works end to end.
-            let record = Record::new(Seconds::new(0.0), GeoPoint::new(48.1, -1.67).unwrap());
-            let (protected, released) = registry.protect(user, record).unwrap();
+            let record = Record::new(Seconds::new(0.0), GeoPoint::new(48.1, -1.67)?);
+            let (protected, released) = registry.protect(user, record)?;
             assert_eq!(released, 1);
             assert!(protected.location().latitude().is_finite());
         }
         assert_eq!(registry.active_sessions(), 4);
+        Ok(())
     }
 
     #[test]
-    fn tampered_user_points_degrade_to_the_fallback_at_load() {
+    fn tampered_user_points_degrade_to_the_fallback_at_load() -> TestResult {
         let mut tampered = recommendation();
-        tampered.users[0].point = point(f64::NAN);
-        let registry =
-            AssignmentRegistry::load(Box::new(GeoIndistinguishabilityFactory::new()), &tampered, 7)
-                .unwrap();
+        tampered.users.first_mut().ok_or("fixture has no users")?.point = point(f64::NAN);
+        let registry = AssignmentRegistry::load(
+            Box::new(GeoIndistinguishabilityFactory::new()),
+            &tampered,
+            7,
+        )?;
         let assignment = registry.assignment_for(1);
         assert_eq!(assignment.point, point(0.01));
         assert!(assignment.to_json(1).contains("failed to instantiate"));
+        Ok(())
     }
 
     #[test]
@@ -434,44 +439,44 @@ mod tests {
     }
 
     #[test]
-    fn session_map_is_capped_with_lru_eviction() {
-        let mut registry = registry();
+    fn session_map_is_capped_with_lru_eviction() -> TestResult {
+        let mut registry = registry()?;
         registry.set_max_sessions(3);
-        let record = Record::new(Seconds::new(0.0), GeoPoint::new(48.1, -1.67).unwrap());
-        let later = Record::new(Seconds::new(30.0), GeoPoint::new(48.11, -1.67).unwrap());
+        let record = Record::new(Seconds::new(0.0), GeoPoint::new(48.1, -1.67)?);
+        let later = Record::new(Seconds::new(30.0), GeoPoint::new(48.11, -1.67)?);
         // A hostile sweep over many fresh user ids stays bounded at the cap.
         for user in 0..100 {
-            registry.protect(user, record).unwrap();
+            registry.protect(user, record)?;
             assert!(registry.active_sessions() <= 3, "cap exceeded at user {user}");
         }
         assert_eq!(registry.active_sessions(), 3);
         // The most recent users survived: their streams advance past 1.
-        assert_eq!(registry.protect(99, later).unwrap().1, 2);
+        assert_eq!(registry.protect(99, later)?.1, 2);
         // An evicted user's next update starts a fresh session at 1 — the
         // documented degradation, never a panic or unbounded growth.
-        assert_eq!(registry.protect(0, record).unwrap().1, 1);
+        assert_eq!(registry.protect(0, record)?.1, 1);
+        Ok(())
     }
 
     #[test]
-    fn sessions_reproduce_the_offline_protection_bit_for_bit() {
-        let registry = registry();
-        let records: Vec<Record> = (0..20)
-            .map(|i| {
-                Record::new(
-                    Seconds::new(f64::from(i) * 30.0),
-                    GeoPoint::new(48.11 + f64::from(i) * 1e-4, -1.67).unwrap(),
-                )
-            })
-            .collect();
+    fn sessions_reproduce_the_offline_protection_bit_for_bit() -> TestResult {
+        let registry = registry()?;
+        let mut records: Vec<Record> = Vec::new();
+        for i in 0..20 {
+            records.push(Record::new(
+                Seconds::new(f64::from(i) * 30.0),
+                GeoPoint::new(48.11 + f64::from(i) * 1e-4, -1.67)?,
+            ));
+        }
         let mut online = Vec::new();
         for &record in &records {
-            online.push(registry.protect(1, record).unwrap().0);
+            online.push(registry.protect(1, record)?.0);
         }
 
         // Offline reference: protect the same trace columnarly at user 1's
         // own point with the derived session seed.
         let factory = GeoIndistinguishabilityFactory::new();
-        let lppm = factory.instantiate_at(&point(0.02)).unwrap();
+        let lppm = factory.instantiate_at(&point(0.02))?;
         let timestamps: Vec<f64> = records.iter().map(|r| r.timestamp().as_f64()).collect();
         let latitudes: Vec<f64> = records.iter().map(|r| r.location().latitude()).collect();
         let longitudes: Vec<f64> = records.iter().map(|r| r.location().longitude()).collect();
@@ -483,11 +488,12 @@ mod tests {
         );
         let mut out = DatasetBuilder::with_capacity(1, records.len());
         let mut rng = StdRng::seed_from_u64(derive_user_seed(7, UserId::new(1)));
-        lppm.protect_view(view, &mut out, &mut rng).unwrap();
-        let offline = out.finish().unwrap();
+        lppm.protect_view(view, &mut out, &mut rng)?;
+        let offline = out.finish()?;
         let trace = offline.trace_at(0);
         for (i, record) in online.iter().enumerate() {
             assert_eq!(*record, trace.record(i), "record {i} diverged online vs offline");
         }
+        Ok(())
     }
 }

@@ -64,6 +64,7 @@ impl Handler for Router {
             (Method::Get, "/healthz") => HttpResponse::text(200, "ok\n".to_string()),
             (Method::Get, "/metrics") => HttpResponse::text(200, self.metrics.render()),
             (Method::Get, path) if path.starts_with("/assignment/") => {
+                // audit:allow(P1): the guard proved the ASCII prefix, so the slice start is in bounds
                 match path["/assignment/".len()..].parse::<u64>() {
                     Ok(user) => {
                         HttpResponse::json(200, self.registry.assignment_for(user).to_json(user))

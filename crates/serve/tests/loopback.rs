@@ -217,6 +217,42 @@ fn rate_limited_users_get_429_and_metrics_count_them() {
 }
 
 #[test]
+fn metrics_exposition_is_byte_deterministic() {
+    // The same traffic against two fresh server instances must yield the
+    // same counter section byte for byte — no hash-seed or insertion-order
+    // dependence. (Histogram bucket lines depend on measured latency, so
+    // only the counter lines are compared across instances.)
+    let run = || {
+        let server = start_server(&ServeConfig::default());
+        let mut client = HttpClient::connect(server.local_addr()).unwrap();
+        // Routes hit in an order that differs from their sorted render order.
+        for i in 0..3 {
+            client.post("/protect", &protect_body(1, i)).unwrap();
+        }
+        client.get("/healthz").unwrap();
+        client.get("/assignment/9").unwrap();
+        client.post("/protect", "not json").unwrap();
+        let (status, text) = client.get("/metrics").unwrap();
+        assert_eq!(status, 200);
+
+        // Rendering mutates nothing: a second render of the same store is
+        // byte-identical to the first.
+        let first = server.metrics().render();
+        let second = server.metrics().render();
+        assert_eq!(first.as_bytes(), second.as_bytes());
+
+        server.shutdown();
+        text.lines()
+            .filter(|l| l.contains("geopriv_requests_total"))
+            .map(String::from)
+            .collect::<Vec<String>>()
+    };
+    let counters = run();
+    assert!(!counters.is_empty());
+    assert_eq!(counters, run(), "counter section diverged across identical instances");
+}
+
+#[test]
 fn unknown_users_protect_at_the_fallback_point_deterministically() {
     // Two servers, same master seed: an unknown user's stream is identical
     // across instances (the fallback assignment is deterministic too).

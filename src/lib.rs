@@ -54,6 +54,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod autoconf;
 pub mod error;
 
