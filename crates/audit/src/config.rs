@@ -150,6 +150,14 @@ pub const ZONES: &[ZoneRule] = &[
         lints: &[Lint::P1],
         test_lints: &[],
     },
+    // The measurement cache decodes untrusted bytes (a corrupted file must
+    // fall back, never panic) and sits on the cached sweep's hot path.
+    ZoneRule {
+        zone: "sweep-hot-path",
+        prefix: "crates/core/src/cache.rs",
+        lints: &[Lint::P1],
+        test_lints: &[],
+    },
     // Timing-allowed zones — wall-clock reads are their purpose. Explicit
     // entries, not silent omissions (see module docs).
     ZoneRule { zone: "timing", prefix: "crates/bench", lints: TIMING, test_lints: TIMING },

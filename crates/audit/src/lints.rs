@@ -603,9 +603,11 @@ fn detect_p1(sig: &[&Token], findings: &mut Vec<Finding>) {
         // A `[` after a keyword (`for x in [1, 2]`, `return [0; 4]`) opens
         // an array literal, not an index expression.
         if sig[i].is_punct('[') && i > 0 {
+            // `mut` covers slice types (`&mut [T]`): the keyword can never
+            // immediately precede a real index expression.
             const KEYWORDS: &[&str] = &[
                 "in", "return", "else", "match", "break", "continue", "move", "loop", "while",
-                "if", "unsafe", "do", "yield",
+                "if", "unsafe", "do", "yield", "mut",
             ];
             let indexes = match &sig[i - 1].kind {
                 TokKind::Ident(name) => !KEYWORDS.contains(&name.as_str()),
@@ -729,7 +731,8 @@ mod tests {
     #[test]
     fn p1_flags_indexing_but_not_full_range_or_types() {
         let src = "fn f(xs: &[u32], i: usize) -> u32 { let _all = &xs[..]; xs[i] }\n\
-                   fn g(x: [u8; 4]) -> u8 { x.len() as u8 }\n";
+                   fn g(x: [u8; 4]) -> u8 { x.len() as u8 }\n\
+                   fn h(xs: &mut [u32]) { xs.sort() }\n";
         assert_eq!(scan(src, &[Lint::P1]), vec![(1, Lint::P1)]);
     }
 

@@ -1,0 +1,210 @@
+//! Incremental-recomputation benchmark: cold full study vs warm cached
+//! refresh on the scaled taxi fleet with 1 % of the users perturbed.
+//!
+//! The warm path is the tentpole claim of the measurement cache: after a
+//! baseline run primes the on-disk cache, a refresh against a drifted fleet
+//! re-measures *only* the drifted users, refits only their models, and must
+//! still reproduce — **bit for bit** — what a cold full study of the
+//! drifted fleet computes. That equivalence (sweep columns, per-user fits,
+//! every recommendation) is asserted here on every run, at every fidelity,
+//! for every timed round; the timing numbers are only reported if it holds.
+//!
+//! Honest accounting: every run is single-core (`parallel = false`), so the
+//! speedup is algorithmic — cached users genuinely not re-measured — not a
+//! thread-count artifact, and the remaining warm time is broken down into
+//! its three phases (cached sweep: load + re-measure + merge + store;
+//! incremental refit; re-recommendation).
+//!
+//! ```text
+//! cargo run -p geopriv-bench --release --bin incremental_refresh \
+//!     [-- --fidelity smoke|standard|full] [--out BENCH_incremental.json]
+//! ```
+
+use geopriv_bench::{
+    campaign_config, fidelity_from_args, median_seconds, out_path_from_args,
+    per_user_bench_dataset, BenchJson, Fidelity, REPRODUCTION_SEED,
+};
+use geopriv_core::prelude::*;
+use geopriv_mobility::generator::perturb_users;
+use geopriv_mobility::UserId;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Wipes and re-creates one bench-owned cache directory under `target/`.
+fn fresh_dir(name: &str) -> std::io::Result<PathBuf> {
+    let dir = Path::new("target").join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Snapshots every cache file in `dir` (path, bytes).
+fn snapshot(dir: &Path) -> std::io::Result<Vec<(PathBuf, Vec<u8>)>> {
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_file() {
+            let bytes = std::fs::read(&path)?;
+            files.push((path, bytes));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Restores a snapshot taken by [`snapshot`] (the warm rounds must each
+/// start from the *baseline* cache, not from the previous round's merge).
+fn restore(files: &[(PathBuf, Vec<u8>)]) -> std::io::Result<()> {
+    for (path, bytes) in files {
+        std::fs::write(path, bytes)?;
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fidelity = fidelity_from_args();
+    let out_path = out_path_from_args("BENCH_incremental.json");
+
+    eprintln!("building the scaled taxi fleet ({fidelity:?})…");
+    let dataset = per_user_bench_dataset(fidelity);
+    let users = dataset.users();
+
+    // 1 % of the fleet drifts (every 100th user — at least one).
+    let drifting: Vec<UserId> = users.iter().copied().step_by(100).collect();
+    let drifted = perturb_users(&dataset, &drifting, REPRODUCTION_SEED)?;
+
+    // Single-core on purpose: the reported speedup must be algorithmic.
+    let mut config = campaign_config(fidelity);
+    config.parallel = false;
+    let system = SystemDefinition::paper_geoi();
+    let objectives = Objectives::new()
+        .require("poi-retrieval", at_most(0.45))?
+        .require("area-coverage", at_least(0.45))?;
+
+    let warm_dir = fresh_dir("incremental-bench-warm")?;
+    let cold_dir = fresh_dir("incremental-bench-cold")?;
+    let warm_runner =
+        ExperimentRunner::with_plan(SweepPlan::grid(config).per_user().cached(&warm_dir));
+    let cold_runner =
+        ExperimentRunner::with_plan(SweepPlan::grid(config).per_user().cached(&cold_dir));
+
+    // Prime the warm cache with the baseline fleet (untimed) and fit it —
+    // the state an operator would hold before the fleet drifts.
+    eprintln!(
+        "priming the cache: {} users, {} points, {} repetition(s)…",
+        users.len(),
+        config.points,
+        config.repetitions
+    );
+    let baseline = warm_runner.run_cached(&system, &dataset)?;
+    assert_eq!(baseline.stats.misses, users.len(), "fresh cache must be fully cold");
+    assert!(baseline.stats.warnings.is_empty(), "{:?}", baseline.stats.warnings);
+    let baseline_fits = Modeler::new().fit_per_user(&baseline.result)?;
+    let primed = snapshot(&warm_dir)?;
+    assert!(!primed.is_empty(), "priming must write a cache file");
+
+    // Cold reference: a full study of the drifted fleet from an empty cache.
+    const ROUNDS: usize = 5;
+    eprintln!("cold rounds ({ROUNDS})…");
+    let mut cold_times = Vec::with_capacity(ROUNDS);
+    let mut cold_reference = None;
+    for round in 0..ROUNDS {
+        let _ = fresh_dir("incremental-bench-cold")?;
+        let started = Instant::now();
+        let cold = cold_runner.run_cached(&system, &drifted)?;
+        let fitted = Modeler::new().fit(&cold.result)?;
+        let fits = Modeler::new().fit_per_user(&cold.result)?;
+        let recommendation = Configurator::new(fitted).recommend_per_user(&fits, &objectives)?;
+        cold_times.push(started.elapsed().as_secs_f64());
+        eprintln!("  cold round {}/{ROUNDS}: {:.3}s", round + 1, cold_times[round]);
+        assert_eq!(cold.stats.misses, users.len(), "cold rounds must measure everyone");
+        match &cold_reference {
+            None => cold_reference = Some((cold.result, fits, recommendation)),
+            Some((sweep, reference_fits, reference)) => {
+                assert_eq!(&cold.result, sweep, "cold runs are not deterministic");
+                assert_eq!(&fits, reference_fits);
+                assert_eq!(&recommendation, reference);
+            }
+        }
+    }
+    let seconds_cold = median_seconds(&mut cold_times);
+    let (cold_sweep, cold_fits, cold_recommendation) =
+        cold_reference.expect("at least one cold round");
+
+    // Warm rounds: restore the baseline cache, then refresh against the
+    // drifted fleet. Phases timed separately for the honest breakdown.
+    eprintln!("warm rounds ({ROUNDS})…");
+    let (mut warm_times, mut sweep_times, mut refit_times, mut recommend_times) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut hits = 0;
+    for round in 0..ROUNDS {
+        restore(&primed)?;
+        let started = Instant::now();
+        let warm = warm_runner.run_cached(&system, &drifted)?;
+        sweep_times.push(started.elapsed().as_secs_f64());
+
+        let refit_started = Instant::now();
+        let fits = Modeler::new().refit_per_user(&warm.result, &baseline_fits, &drifting)?;
+        refit_times.push(refit_started.elapsed().as_secs_f64());
+
+        let recommend_started = Instant::now();
+        let fitted = Modeler::new().fit(&warm.result)?;
+        let recommendation = Configurator::new(fitted).recommend_per_user(&fits, &objectives)?;
+        recommend_times.push(recommend_started.elapsed().as_secs_f64());
+        warm_times.push(started.elapsed().as_secs_f64());
+        eprintln!("  warm round {}/{ROUNDS}: {:.3}s", round + 1, warm_times[round]);
+
+        // The cache served exactly the undrifted users…
+        assert_eq!(warm.stats.misses, drifting.len(), "must re-measure exactly the drifted users");
+        assert_eq!(warm.stats.hits, users.len() - drifting.len());
+        assert!(warm.stats.warnings.is_empty(), "{:?}", warm.stats.warnings);
+        // …and the warm ≡ cold contract holds bit for bit, every round.
+        assert_eq!(warm.result, cold_sweep, "warm sweep differs from cold");
+        assert_eq!(fits, cold_fits, "incremental refit differs from cold fit");
+        assert_eq!(recommendation, cold_recommendation, "warm recommendations differ from cold");
+        hits = warm.stats.hits;
+    }
+    let seconds_warm = median_seconds(&mut warm_times);
+    let seconds_warm_sweep = median_seconds(&mut sweep_times);
+    let seconds_warm_refit = median_seconds(&mut refit_times);
+    let seconds_warm_recommend = median_seconds(&mut recommend_times);
+    let speedup = seconds_cold / seconds_warm;
+
+    // The acceptance floor for the committed baseline. Smoke (CI) still
+    // asserts the full bit-identity above but skips the timing floor —
+    // 500-user runs on shared runners are too noisy to gate on.
+    if fidelity != Fidelity::Smoke {
+        assert!(
+            speedup >= 5.0,
+            "warm refresh must be at least 5x faster than cold ({speedup:.1}x measured)"
+        );
+    }
+
+    let json = BenchJson::new("incremental")
+        .string("fidelity", format!("{fidelity:?}"))
+        .string("lppm", &cold_sweep.lppm_name)
+        .string("parallel", "false (single-core: speedup is algorithmic, not thread-count)")
+        .int("users", users.len() as u64)
+        .int("perturbed_users", drifting.len() as u64)
+        .int("cache_hits", hits as u64)
+        .int("points", config.points as u64)
+        .int("repetitions", config.repetitions as u64)
+        .int("records", dataset.record_count() as u64)
+        .float("seconds_cold", seconds_cold, 6)
+        .float("seconds_warm", seconds_warm, 6)
+        .float("seconds_warm_sweep", seconds_warm_sweep, 6)
+        .float("seconds_warm_refit", seconds_warm_refit, 6)
+        .float("seconds_warm_recommend", seconds_warm_recommend, 6)
+        .float("speedup", speedup, 2);
+    println!("{}", json.render());
+    json.write(&out_path)?;
+    eprintln!("baseline written to {out_path}");
+    eprintln!(
+        "cold {seconds_cold:.3}s vs warm {seconds_warm:.3}s ({speedup:.1}x) — warm time: \
+         {seconds_warm_sweep:.3}s cached sweep + {seconds_warm_refit:.3}s refit + \
+         {seconds_warm_recommend:.3}s recommend"
+    );
+    Ok(())
+}

@@ -228,16 +228,22 @@ impl CampaignRunner {
             if abort.load(std::sync::atomic::Ordering::Relaxed) {
                 return None;
             }
-            let unit = &units[i];
-            let cell = &prepared[unit.system][unit.dataset];
-            let point = &design_points[unit.system][unit.point];
-            let result = self.measure_unit(
-                &systems[unit.system],
-                &datasets[unit.dataset],
-                cell,
-                unit,
-                point,
-            );
+            let resolved = units.get(i).and_then(|unit| {
+                Some((
+                    systems.get(unit.system)?,
+                    datasets.get(unit.dataset)?,
+                    prepared.get(unit.system)?.get(unit.dataset)?,
+                    unit,
+                    design_points.get(unit.system)?.get(unit.point)?,
+                ))
+            });
+            let Some((system, dataset, cell, unit, point)) = resolved else {
+                abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                return Some(Err(CoreError::Internal {
+                    reason: format!("campaign unit {i} of {} out of range", units.len()),
+                }));
+            };
+            let result = self.measure_unit(system, dataset, cell, unit, point);
             if result.is_err() {
                 abort.store(true, std::sync::atomic::Ordering::Relaxed);
             }
@@ -286,14 +292,22 @@ impl CampaignRunner {
 
         let states: Vec<Arc<PreparedState>> =
             run_indexed(jobs.len(), self.plan.config.parallel, |i| {
-                let job = &jobs[i];
-                systems[job.system].suite().metrics()[job.metric].prepare(&datasets[job.dataset])
+                let resolved = jobs.get(i).and_then(|job| {
+                    let metric = systems.get(job.system)?.suite().metrics().get(job.metric)?;
+                    Some((metric, datasets.get(job.dataset)?))
+                });
+                let Some((metric, dataset)) = resolved else {
+                    return Err(CoreError::Internal {
+                        reason: format!("preparation job {i} of {} out of range", jobs.len()),
+                    });
+                };
+                metric.prepare(dataset).map_err(CoreError::from)
             })?
             .into_iter()
-            .map(|state| state.map(Arc::new).map_err(CoreError::from))
+            .map(|state| state.map(Arc::new))
             .collect::<Result<_, _>>()?;
 
-        let cells = systems
+        systems
             .iter()
             .map(|system| {
                 (0..datasets.len())
@@ -301,13 +315,23 @@ impl CampaignRunner {
                         system
                             .suite()
                             .iter()
-                            .map(|metric| Arc::clone(&states[job_index[&(metric.cache_key(), d)]]))
+                            .map(|metric| {
+                                job_index
+                                    .get(&(metric.cache_key(), d))
+                                    .and_then(|&j| states.get(j))
+                                    .map(Arc::clone)
+                                    .ok_or_else(|| CoreError::Internal {
+                                        reason: format!(
+                                            "metric \"{}\" has no prepared state for dataset {d}",
+                                            metric.id()
+                                        ),
+                                    })
+                            })
                             .collect()
                     })
                     .collect()
             })
-            .collect();
-        Ok(cells)
+            .collect()
     }
 
     /// Executes one work unit: instantiate, protect, evaluate every suite
@@ -366,8 +390,8 @@ impl CampaignRunner {
             total += datasets.len() * points.len();
         }
         let reps = self.plan.config.repetitions;
-        let slot_of = |system: usize, dataset: usize, point: usize| {
-            system_offset[system] + dataset * design_points[system].len() + point
+        let slot_of = |system: usize, dataset: usize, point: usize| -> Option<usize> {
+            Some(*system_offset.get(system)? + dataset * design_points.get(system)?.len() + point)
         };
         let mut per_point: Vec<Vec<Vec<MetricSample>>> = vec![Vec::with_capacity(reps); total];
         let mut skipped = false;
@@ -379,14 +403,21 @@ impl CampaignRunner {
                     continue;
                 }
             };
-            let slot = slot_of(unit.system, unit.dataset, unit.point);
+            let slot_samples = slot_of(unit.system, unit.dataset, unit.point)
+                .and_then(|slot| per_point.get_mut(slot))
+                .ok_or_else(|| CoreError::Internal {
+                    reason: format!(
+                        "campaign unit ({}, {}, {}) addresses no result slot",
+                        unit.system, unit.dataset, unit.point
+                    ),
+                })?;
             // Units are generated with `repetition` innermost, and
             // `run_indexed` returns results in unit order, so pushes arrive
             // in repetition order — except when an earlier repetition was
             // skipped by the abort flag, in which case the whole campaign is
             // discarded below anyway.
-            debug_assert!(skipped || per_point[slot].len() == unit.repetition);
-            per_point[slot].push(values);
+            debug_assert!(skipped || slot_samples.len() == unit.repetition);
+            slot_samples.push(values);
         }
         if skipped {
             // Unreachable in practice: units are only skipped after a failed
@@ -400,10 +431,22 @@ impl CampaignRunner {
         for (s, system) in systems.iter().enumerate() {
             let meta: Vec<(MetricId, Direction)> =
                 system.suite().iter().map(|m| (m.id(), m.direction())).collect();
+            let points = design_points.get(s).ok_or_else(|| CoreError::Internal {
+                reason: format!("system {s} has no enumerated design points"),
+            })?;
             for d in 0..datasets.len() {
-                let cell: Vec<Vec<Vec<MetricSample>>> = (0..design_points[s].len())
-                    .map(|point| std::mem::take(&mut per_point[slot_of(s, d, point)]))
-                    .collect();
+                let cell: Vec<Vec<Vec<MetricSample>>> = (0..points.len())
+                    .map(|point| {
+                        slot_of(s, d, point)
+                            .and_then(|slot| per_point.get_mut(slot))
+                            .map(std::mem::take)
+                            .ok_or_else(|| CoreError::Internal {
+                                reason: format!(
+                                    "campaign cell ({s}, {d}, {point}) addresses no result slot"
+                                ),
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
                 runs.push(CampaignRun {
                     system_index: s,
                     dataset_index: d,
@@ -413,7 +456,7 @@ impl CampaignRunner {
                         system.space(),
                         self.plan.mode,
                         self.plan.grain,
-                        design_points[s].clone(),
+                        points.clone(),
                         &meta,
                         &cell,
                     )?,

@@ -126,6 +126,7 @@ pub struct SweepPlan {
     shard_users: Option<usize>,
     refine_budget: Option<usize>,
     focus: Vec<AxisInterval>,
+    cache_dir: Option<std::path::PathBuf>,
 }
 
 impl SweepPlan {
@@ -139,6 +140,7 @@ impl SweepPlan {
             shard_users: None,
             refine_budget: None,
             focus: Vec::new(),
+            cache_dir: None,
         }
     }
 
@@ -203,6 +205,32 @@ impl SweepPlan {
     /// The shard size in users, if sharded execution was requested.
     pub fn user_shard_size(&self) -> Option<usize> {
         self.shard_users
+    }
+
+    /// Persists (and reuses) per-user measurements under `dir`, switching the
+    /// runner to the **cached per-user execution mode**
+    /// ([`ExperimentRunner::run_cached`]).
+    ///
+    /// Determinism contract: like a genuinely multi-shard run, cached
+    /// execution is its own documented deterministic experiment — every user
+    /// is protected under her own identity-keyed stream
+    /// ([`derive_user_seed`]), so re-measuring *only the changed users* draws
+    /// exactly the bits a full run would have drawn for them. Within the
+    /// mode, a warm run (any subset of users served from the cache) is
+    /// **bit-identical** to a cold run (empty cache, every user measured):
+    /// the cache stores raw `f64` bit patterns and the merge arithmetic sees
+    /// identical inputs in identical (dataset) user order either way. A
+    /// corrupt or unwritable cache degrades to the cold path with a warning
+    /// ([`crate::cache::CacheStats::warnings`]) — never a different result.
+    #[must_use]
+    pub fn cached(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The measurement-cache directory, if cached execution was requested.
+    pub fn cache_directory(&self) -> Option<&std::path::Path> {
+        self.cache_dir.as_deref()
     }
 
     /// Switches the plan to [`SweepMode::Adaptive`] with a total evaluation
@@ -360,7 +388,11 @@ pub struct UserColumn {
 impl UserColumn {
     /// The response curve of one user, aligned with the design points.
     pub fn curve(&self, user: UserId) -> Option<&[f64]> {
-        self.users.iter().position(|u| *u == user).map(|i| self.curves[i].as_slice())
+        self.users
+            .iter()
+            .position(|u| *u == user)
+            .and_then(|i| self.curves.get(i))
+            .map(Vec::as_slice)
     }
 
     /// Number of users this metric resolved.
@@ -440,7 +472,10 @@ pub(crate) fn assemble_sweep(
         .collect();
     for point_reps in per_point {
         for (k, column) in columns.iter_mut().enumerate() {
-            let runs: Vec<f64> = point_reps.iter().map(|rep| rep[k].value).collect();
+            let runs: Vec<f64> = point_reps
+                .iter()
+                .map(|rep| sample_at(rep, k).map(|sample| sample.value))
+                .collect::<Result<_, _>>()?;
             column.means.push(runs.iter().sum::<f64>() / runs.len() as f64);
             column.runs.push(runs);
         }
@@ -456,15 +491,15 @@ pub(crate) fn assemble_sweep(
     // the curves meaningless and is reported as an error.
     let mut user_columns = Vec::with_capacity(meta.len());
     for (k, (id, direction)) in meta.iter().enumerate() {
-        let users: Vec<UserId> = per_point
-            .first()
-            .and_then(|reps| reps.first())
-            .map(|rep| rep[k].per_user.iter().map(|(user, _)| *user).collect())
-            .unwrap_or_default();
+        let users: Vec<UserId> = match per_point.first().and_then(|reps| reps.first()) {
+            Some(rep) => sample_at(rep, k)?.per_user.iter().map(|(user, _)| *user).collect(),
+            None => Vec::new(),
+        };
         for (p, point_reps) in per_point.iter().enumerate() {
             for (r, rep) in point_reps.iter().enumerate() {
-                if rep[k].per_user.len() != users.len()
-                    || rep[k].per_user.iter().zip(&users).any(|((u, _), expected)| u != expected)
+                let sample = sample_at(rep, k)?;
+                if sample.per_user.len() != users.len()
+                    || sample.per_user.iter().zip(&users).any(|((u, _), expected)| u != expected)
                 {
                     return Err(CoreError::InvalidConfiguration {
                         reason: format!(
@@ -477,19 +512,32 @@ pub(crate) fn assemble_sweep(
             }
         }
         let reps = per_point.first().map_or(0, Vec::len).max(1) as f64;
-        let curves: Vec<Vec<f64>> = (0..users.len())
-            .map(|u| {
-                per_point
-                    .iter()
-                    .map(|point_reps| {
-                        point_reps.iter().map(|rep| rep[k].per_user[u].1).sum::<f64>() / reps
-                    })
-                    .collect()
-            })
-            .collect();
+        // curves[u][p], built point-major: each point sums its repetitions in
+        // repetition order, exactly the historical per-user arithmetic.
+        let mut curves: Vec<Vec<f64>> = vec![Vec::with_capacity(per_point.len()); users.len()];
+        for point_reps in per_point {
+            let mut sums = vec![0.0f64; users.len()];
+            for rep in point_reps {
+                for ((_, value), sum) in sample_at(rep, k)?.per_user.iter().zip(sums.iter_mut()) {
+                    *sum += value;
+                }
+            }
+            for (curve, sum) in curves.iter_mut().zip(sums) {
+                curve.push(sum / reps);
+            }
+        }
         user_columns.push(UserColumn { id: id.clone(), direction: *direction, users, curves });
     }
     SweepResult::with_user_columns(lppm_name, space, mode, points, columns, user_columns)
+}
+
+/// The sample of metric `k` inside one repetition's suite-ordered samples, as
+/// a typed error instead of a panic when the unit is malformed (an engine
+/// invariant violation).
+fn sample_at(rep: &[MetricSample], k: usize) -> Result<&MetricSample, CoreError> {
+    rep.get(k).ok_or_else(|| CoreError::Internal {
+        reason: format!("work unit carries {} metric samples, needed sample {k}", rep.len()),
+    })
 }
 
 fn std_dev(values: &[f64]) -> f64 {
@@ -576,6 +624,28 @@ pub fn derive_point_seed(master_seed: u64, point: &ConfigPoint, repetition: usiz
         .wrapping_add(repetition as u64)
 }
 
+/// Derives the RNG seed of one `(point, repetition, user)` work unit of a
+/// cached per-user sweep ([`SweepPlan::cached`]).
+///
+/// The seed is keyed on the user's *identity* — never her position in the
+/// dataset — so her stream survives fleet growth, user removal and
+/// reordering: re-measuring one changed user draws exactly the bits a full
+/// cached run would have drawn for her, which is what makes partial
+/// re-measurement merge bit-identically into a cold run's result. Each
+/// user's stream is an independent remix of the positional unit seed
+/// ([`derive_unit_seed`]), xor-folded with the FNV offset basis so user 0's
+/// stream is distinct from the unsharded unit stream.
+pub fn derive_user_seed(
+    master_seed: u64,
+    point_index: usize,
+    repetition: usize,
+    user: UserId,
+) -> u64 {
+    derive_unit_seed(master_seed, point_index, repetition)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(user.value() ^ 0xCBF2_9CE4_8422_2325)
+}
+
 /// How a design point derives its RNG streams: positionally (the
 /// Grid/OneAtATime contract, [`derive_unit_seed`]) or from its stable
 /// coordinate token ([`derive_point_seed`], adaptive refinement).
@@ -620,7 +690,9 @@ where
                     break;
                 }
                 let result = work(i);
-                results.lock()[i] = Some(result);
+                if let Some(slot) = results.lock().get_mut(i) {
+                    *slot = Some(result);
+                }
             });
         }
     });
@@ -968,6 +1040,9 @@ impl ExperimentRunner {
         system: &SystemDefinition,
         dataset: &Dataset,
     ) -> Result<SweepResult, CoreError> {
+        if self.plan.cache_directory().is_some() {
+            return Ok(self.run_cached(system, dataset)?.result);
+        }
         let space = system.space();
         if self.plan.mode == SweepMode::Adaptive {
             return self.run_adaptive(system, dataset, space);
@@ -983,6 +1058,225 @@ impl ExperimentRunner {
             &Self::suite_meta(system),
             &per_point,
         )
+    }
+
+    /// Runs the sweep in the cached per-user execution mode
+    /// ([`SweepPlan::cached`]): users whose
+    /// [`geopriv_metrics::DatasetFingerprint::per_user`] sub-fingerprint
+    /// matches the persisted entry are decoded from the cache bit-exactly;
+    /// every other user is measured on her own
+    /// [`geopriv_mobility::Dataset::user_slice`] under her identity-keyed
+    /// streams ([`derive_user_seed`]), and the cache file is rewritten. The
+    /// merged [`SweepResult`] is bit-identical between a cold run (empty
+    /// cache) and any warm run over the same dataset — see the contract on
+    /// [`SweepPlan::cached`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] when the plan has no cache
+    /// directory, is adaptive (refinement points depend on measurements, so
+    /// per-user entries cannot be keyed up front), or is sharded (cached
+    /// execution already measures one user at a time); propagates
+    /// configuration, protection and metric errors. Cache integrity problems
+    /// are never errors — they surface as [`crate::cache::CacheStats::warnings`]
+    /// with a cold-path fallback.
+    pub fn run_cached(
+        &self,
+        system: &SystemDefinition,
+        dataset: &Dataset,
+    ) -> Result<CachedSweep, CoreError> {
+        let Some(dir) = self.plan.cache_directory() else {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "cached execution needs a cache directory — call SweepPlan::cached(dir)"
+                    .to_string(),
+            });
+        };
+        if self.plan.mode == SweepMode::Adaptive {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "adaptive plans cannot be cached: refinement points depend on measured \
+                         values, so per-user cache entries cannot be keyed up front"
+                    .to_string(),
+            });
+        }
+        if self.plan.user_shard_size().is_some() {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "sharded and cached execution cannot be combined — cached execution \
+                         already measures one user at a time"
+                    .to_string(),
+            });
+        }
+        let space = system.space();
+        let points = self.plan.enumerate(&space)?;
+        let reps = self.plan.config.repetitions;
+        let meta = Self::suite_meta(system);
+        let signature = cache_signature(system, &space, &self.plan, &points, &meta);
+        let cache = crate::cache::MeasurementCache::open(dir);
+        let (stored, mut warnings) = cache.load(&signature, points.len(), reps, meta.len());
+        let stored: std::collections::BTreeMap<u64, crate::cache::CachedUserEntry> =
+            stored.into_iter().map(|entry| (entry.user.value(), entry)).collect();
+
+        // Classify every user of the dataset (in dataset order) as a cache
+        // hit (sub-fingerprint unchanged) or a miss to re-measure.
+        let fingerprints = geopriv_metrics::DatasetFingerprint::of(dataset).per_user();
+        let mut entries: Vec<Option<crate::cache::CachedUserEntry>> =
+            Vec::with_capacity(fingerprints.len());
+        let mut misses: Vec<(usize, UserId, u64)> = Vec::new();
+        for (index, &(user, fingerprint)) in fingerprints.iter().enumerate() {
+            match stored.get(&user.value()) {
+                Some(entry) if entry.fingerprint == fingerprint => {
+                    entries.push(Some(entry.clone()));
+                }
+                _ => {
+                    entries.push(None);
+                    misses.push((index, user, fingerprint));
+                }
+            }
+        }
+        let hits = entries.iter().filter(|slot| slot.is_some()).count();
+
+        // Re-measure the misses, one user-slice at a time, in parallel.
+        let measured = run_indexed(misses.len(), self.plan.config.parallel, |j| {
+            let Some(&(index, user, fingerprint)) = misses.get(j) else {
+                return Err(CoreError::Internal {
+                    reason: format!("cache miss {j} of {} out of range", misses.len()),
+                });
+            };
+            let per_point = self.measure_user(system, dataset, index, user, &points)?;
+            crate::cache::CachedUserEntry::new(
+                user,
+                fingerprint,
+                points.len(),
+                reps,
+                meta.len(),
+                per_point,
+            )
+            .ok_or_else(|| CoreError::Internal {
+                reason: format!("user {user} produced a ragged measurement block"),
+            })
+        })?;
+        for ((index, _, _), entry) in misses.iter().zip(measured) {
+            let Some(slot) = entries.get_mut(*index) else {
+                return Err(CoreError::Internal {
+                    reason: format!("cache slot {index} out of range"),
+                });
+            };
+            *slot = Some(entry?);
+        }
+        let entries: Vec<crate::cache::CachedUserEntry> = entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.ok_or_else(|| CoreError::Internal {
+                    reason: format!("cache slot {i} was never filled"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Persist the refreshed entry set (current users only — departed
+        // users age out) whenever anything was re-measured.
+        if !misses.is_empty() {
+            warnings.extend(cache.store(&signature, &entries));
+        }
+
+        // Merge per (point, repetition, metric) across users in dataset
+        // order: the first user's sample passes through, every later user is
+        // absorbed as an evaluated-trace-weighted fold — the same arithmetic
+        // whether a sample came from the cache or a fresh measurement.
+        let mut per_point: Vec<Vec<Vec<MetricSample>>> = Vec::with_capacity(points.len());
+        for p in 0..points.len() {
+            let mut point_reps = Vec::with_capacity(reps);
+            for r in 0..reps {
+                let mut merged: Option<Vec<MetricSample>> = None;
+                for entry in &entries {
+                    let samples = entry.samples_at(p, r).ok_or_else(|| CoreError::Internal {
+                        reason: format!(
+                            "cache entry of user {} lacks sample ({p}, {r})",
+                            entry.user
+                        ),
+                    })?;
+                    let user_samples: Vec<MetricSample> = samples
+                        .iter()
+                        .map(|sample| MetricSample {
+                            value: sample.value,
+                            weight: sample.weight as usize,
+                            per_user: match (self.plan.grain, sample.breakdown) {
+                                (Grain::PerUser, Some(value)) => vec![(entry.user, value)],
+                                _ => Vec::new(),
+                            },
+                        })
+                        .collect();
+                    match &mut merged {
+                        None => merged = Some(user_samples),
+                        Some(merged) => {
+                            for (into, sample) in merged.iter_mut().zip(user_samples) {
+                                into.absorb(sample);
+                            }
+                        }
+                    }
+                }
+                point_reps.push(merged.unwrap_or_default());
+            }
+            per_point.push(point_reps);
+        }
+        let result = assemble_sweep(
+            system.factory().name(),
+            space,
+            self.plan.mode,
+            self.plan.grain,
+            points,
+            &meta,
+            &per_point,
+        )?;
+        Ok(CachedSweep {
+            result,
+            stats: crate::cache::CacheStats {
+                users: fingerprints.len(),
+                hits,
+                misses: misses.len(),
+                warnings,
+            },
+        })
+    }
+
+    /// Measures one user's whole design: protect her own slice at every
+    /// `(point, repetition)` under her identity-keyed seed stream, evaluate
+    /// every suite metric against per-user prepared state.
+    fn measure_user(
+        &self,
+        system: &SystemDefinition,
+        dataset: &Dataset,
+        index: usize,
+        user: UserId,
+        points: &[ConfigPoint],
+    ) -> Result<Vec<Vec<Vec<crate::cache::CachedSample>>>, CoreError> {
+        let slice = dataset.user_slice(index..index + 1)?;
+        let prepared: Vec<geopriv_metrics::PreparedState> = system
+            .suite()
+            .iter()
+            .map(|m| m.prepare(&slice).map_err(CoreError::from))
+            .collect::<Result<_, _>>()?;
+        let mut per_point = Vec::with_capacity(points.len());
+        for (p, point) in points.iter().enumerate() {
+            let lppm = system.factory().instantiate_at(point)?;
+            let mut point_reps = Vec::with_capacity(self.plan.config.repetitions);
+            for repetition in 0..self.plan.config.repetitions {
+                let seed = derive_user_seed(self.plan.config.seed, p, repetition, user);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let protected = lppm.protect_dataset(&slice, &mut rng)?;
+                let mut samples = Vec::with_capacity(system.suite().len());
+                for (metric, state) in system.suite().iter().zip(&prepared) {
+                    let measured = metric.evaluate_prepared(state, &slice, &protected)?;
+                    samples.push(crate::cache::CachedSample {
+                        value: measured.value(),
+                        weight: measured.evaluated_count() as u64,
+                        breakdown: measured.value_for(user),
+                    });
+                }
+                point_reps.push(samples);
+            }
+            per_point.push(point_reps);
+        }
+        Ok(per_point)
     }
 
     fn suite_meta(system: &SystemDefinition) -> Vec<(MetricId, Direction)> {
@@ -1030,7 +1324,12 @@ impl ExperimentRunner {
 
         // Per point: per repetition: per metric (suite order) sample.
         run_indexed(points.len(), self.plan.config.parallel, |i| {
-            self.measure_point(system, dataset, &prepared, i, &points[i], shard, seeding)
+            let Some(point) = points.get(i) else {
+                return Err(CoreError::Internal {
+                    reason: format!("design point {i} of {} out of range", points.len()),
+                });
+            };
+            self.measure_point(system, dataset, &prepared, i, point, shard, seeding)
         })?
         .into_iter()
         .collect()
@@ -1152,12 +1451,13 @@ impl ExperimentRunner {
                 let per_user = modeler.fit_per_user(&result)?;
                 let ranked = rank_uncertain_users(&result, &per_user, active_users.as_deref());
                 let keep = ranked.len().div_ceil(2).min(ranked.len());
-                for (user, _) in &ranked[..keep] {
+                let survivors = ranked.get(..keep).unwrap_or_default();
+                for (user, _) in survivors {
                     if let Some(suite) = per_user.fitted(*user) {
                         driving.push(modeler.diagnose_user(&result, suite, *user)?);
                     }
                 }
-                active_users = Some(ranked[..keep].iter().map(|(u, _)| *u).collect());
+                active_users = Some(survivors.iter().map(|(u, _)| *u).collect());
             }
             let per_round =
                 remaining.min((2 * space.len()).max(4) + 2 * driving.len().saturating_sub(1));
@@ -1215,6 +1515,46 @@ impl ExperimentRunner {
             &per_point,
         )
     }
+}
+
+/// The outcome of a cached sweep ([`ExperimentRunner::run_cached`]): the
+/// assembled result plus how much of it came from the persistent cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedSweep {
+    /// The merged sweep — bit-identical between cold and warm executions.
+    pub result: SweepResult,
+    /// Cache accounting: hits, misses and any integrity warnings.
+    pub stats: crate::cache::CacheStats,
+}
+
+/// Renders the signature that keys a cached sweep's file: everything that
+/// pins the measured values except the users themselves — the system
+/// ([`SystemDefinition::cache_key`]: mechanism name, space
+/// [`ConfigSpace::cache_token`], metric cache keys), the enumeration mode,
+/// the master seed, the repetition count, the ordered design-point tokens and
+/// the suite's metric ids. Per-user validity is keyed separately, by each
+/// entry's sub-fingerprint.
+fn cache_signature(
+    system: &SystemDefinition,
+    space: &ConfigSpace,
+    plan: &SweepPlan,
+    points: &[ConfigPoint],
+    meta: &[(MetricId, Direction)],
+) -> String {
+    let point_tokens: Vec<String> = points.iter().map(ConfigPoint::cache_token).collect();
+    let metric_ids: Vec<String> =
+        meta.iter().map(|(id, direction)| format!("{id}:{direction:?}")).collect();
+    format!(
+        "geopriv-measurement-cache-v1\nsystem={}\nspace={}\nmode={:?}\nseed={}\nrepetitions={}\n\
+         metrics={}\npoints={}",
+        system.cache_key(),
+        space.cache_token(),
+        plan.mode,
+        plan.config.seed,
+        plan.config.repetitions,
+        metric_ids.join("|"),
+        point_tokens.join(";"),
+    )
 }
 
 /// Ranks the users still worth refining for, most uncertain first (ties by
@@ -1302,7 +1642,8 @@ fn plan_refinement(
     // arithmetic works on.
     let unique: Vec<Vec<f64>> = (0..axes.len())
         .map(|i| {
-            let mut values: Vec<f64> = result.points.iter().map(|p| p.coords()[i]).collect();
+            let mut values: Vec<f64> =
+                result.points.iter().filter_map(|p| p.coords().get(i).copied()).collect();
             values.sort_by(f64::total_cmp);
             values.dedup();
             values
@@ -1332,21 +1673,27 @@ fn plan_refinement(
             diag.metrics
                 .iter()
                 .max_by(|a, b| a.max_residual().total_cmp(&b.max_residual()))
-                .map(|m| result.points[m.worst_point].coords())
+                .and_then(|m| result.points.get(m.worst_point))
+                .map(ConfigPoint::coords)
         })
         .unwrap_or_else(|| axes.iter().map(ParameterDescriptor::default_value).collect());
 
     // 1. Constraint-boundary focus intervals.
     for (name, (lo, hi)) in focus {
         let Some(i) = axes.iter().position(|a| a.name() == name) else { continue };
-        let widest = unique[i]
+        let (Some(axis), Some(values)) = (axes.get(i), unique.get(i)) else { continue };
+        let widest = values
             .windows(2)
-            .filter(|w| w[1] >= *lo && w[0] <= *hi)
-            .map(|w| (gap_width(axes[i].scale(), w[0], w[1]), w[0], w[1]))
+            .filter_map(|w| match w {
+                [a, b] if *b >= *lo && *a <= *hi => Some((*a, *b)),
+                _ => None,
+            })
+            .map(|(a, b)| (gap_width(axis.scale(), a, b), a, b))
             .max_by(|a, b| a.0.total_cmp(&b.0));
         if let Some((_, a, b)) = widest {
             let mut coords = base.clone();
-            coords[i] = scale_midpoint(axes[i].scale(), a, b);
+            let Some(slot) = coords.get_mut(i) else { continue };
+            *slot = scale_midpoint(axis.scale(), a, b);
             push(&coords, &mut candidates, seen)?;
         }
     }
@@ -1356,12 +1703,13 @@ fn plan_refinement(
         for metric in &diag.metrics {
             for (name, (zone_lo, zone_hi)) in &metric.zone_edges {
                 let Some(i) = axes.iter().position(|a| a.name() == name) else { continue };
-                let values = &unique[i];
+                let (Some(axis), Some(values)) = (axes.get(i), unique.get(i)) else { continue };
                 let below = values.iter().rev().find(|&&v| v < *zone_lo).map(|&v| (v, *zone_lo));
                 let above = values.iter().find(|&&v| v > *zone_hi).map(|&v| (*zone_hi, v));
                 for (a, b) in below.into_iter().chain(above) {
                     let mut coords = base.clone();
-                    coords[i] = scale_midpoint(axes[i].scale(), a, b);
+                    let Some(slot) = coords.get_mut(i) else { continue };
+                    *slot = scale_midpoint(axis.scale(), a, b);
                     push(&coords, &mut candidates, seen)?;
                 }
             }
@@ -1374,14 +1722,19 @@ fn plan_refinement(
             if metric.residuals.is_empty() {
                 continue;
             }
-            let at_worst = result.points[metric.worst_point].coords();
+            let Some(at_worst) = result.points.get(metric.worst_point).map(ConfigPoint::coords)
+            else {
+                continue;
+            };
             for (i, axis) in axes.iter().enumerate() {
-                let values = &unique[i];
-                let Some(position) = values.iter().position(|&v| v == at_worst[i]) else {
+                let Some(values) = unique.get(i) else { continue };
+                let Some(&worst_value) = at_worst.get(i) else { continue };
+                let Some(position) = values.iter().position(|&v| v == worst_value) else {
                     continue;
                 };
-                let left = position.checked_sub(1).map(|p| (values[p], at_worst[i]));
-                let right = values.get(position + 1).map(|&v| (at_worst[i], v));
+                let left =
+                    position.checked_sub(1).and_then(|p| values.get(p)).map(|&v| (v, worst_value));
+                let right = values.get(position + 1).map(|&v| (worst_value, v));
                 let side = match (left, right) {
                     (Some(l), Some(r)) => {
                         let wider_left =
@@ -1392,7 +1745,8 @@ fn plan_refinement(
                 };
                 if let Some((a, b)) = side {
                     let mut coords = at_worst.clone();
-                    coords[i] = scale_midpoint(axis.scale(), a, b);
+                    let Some(slot) = coords.get_mut(i) else { continue };
+                    *slot = scale_midpoint(axis.scale(), a, b);
                     push(&coords, &mut candidates, seen)?;
                 }
             }

@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod campaign;
 pub mod configurator;
 pub mod error;
@@ -71,14 +72,16 @@ pub mod report;
 pub mod system;
 pub mod validation;
 
+pub use cache::{CacheStats, MeasurementCache};
 pub use campaign::{CampaignResult, CampaignRun, CampaignRunner};
 pub use configurator::{
     Configurator, PerUserRecommendation, Recommendation, UserRecommendation, UserVerdict,
 };
 pub use error::CoreError;
 pub use experiment::{
-    derive_point_seed, derive_unit_seed, AxisInterval, ExperimentRunner, Grain, MetricColumn,
-    SweepConfig, SweepMode, SweepPlan, SweepResult, UserColumn,
+    derive_point_seed, derive_unit_seed, derive_user_seed, AxisInterval, CachedSweep,
+    ExperimentRunner, Grain, MetricColumn, SweepConfig, SweepMode, SweepPlan, SweepResult,
+    UserColumn,
 };
 pub use json::JsonValue;
 pub use modeling::{
@@ -104,14 +107,15 @@ pub use geopriv_lppm::{ConfigPoint, ConfigSpace};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::cache::{CacheStats, MeasurementCache};
     pub use crate::campaign::{CampaignResult, CampaignRun, CampaignRunner};
     pub use crate::configurator::{
         Configurator, PerUserRecommendation, Recommendation, UserRecommendation, UserVerdict,
     };
     pub use crate::error::CoreError;
     pub use crate::experiment::{
-        ExperimentRunner, Grain, MetricColumn, SweepConfig, SweepMode, SweepPlan, SweepResult,
-        UserColumn,
+        CachedSweep, ExperimentRunner, Grain, MetricColumn, SweepConfig, SweepMode, SweepPlan,
+        SweepResult, UserColumn,
     };
     pub use crate::modeling::{
         AxisFit, FitDiagnostics, FittedSuite, MetricDiagnostics, MetricModel, MetricResponse,

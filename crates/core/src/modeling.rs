@@ -575,6 +575,63 @@ impl Modeler {
         Ok(PerUserFits { space: sweep.space.clone(), mode: sweep.mode, users: fits })
     }
 
+    /// Refits only the *changed* users of a per-user sweep, reusing the
+    /// previous [`PerUserFits`] for everyone else — the modeling half of the
+    /// incremental-recomputation path (see
+    /// [`crate::experiment::SweepPlan::cached`]).
+    ///
+    /// A user is refitted when she appears in `changed` or has no entry in
+    /// `previous`; every other user's [`UserFit`] is carried over verbatim.
+    /// Because an unchanged user's response curves are bit-identical between
+    /// the previous sweep and this one (the cached-sweep contract), the
+    /// result is **bit-identical to a full [`Modeler::fit_per_user`]** on
+    /// `sweep` — this is asserted by the incremental integration tests and
+    /// the `incremental` bench on every run.
+    ///
+    /// Users present in `previous` but absent from `sweep` are dropped (they
+    /// left the dataset); the output covers exactly `sweep.users()`, in
+    /// sweep order.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfiguration`] when the sweep was recorded at
+    ///   [`Grain::Dataset`], or when `previous` belongs to a different
+    ///   configuration space or sweep mode (carrying fits across designs
+    ///   would silently break the bit-identity contract).
+    pub fn refit_per_user(
+        &self,
+        sweep: &SweepResult,
+        previous: &PerUserFits,
+        changed: &[UserId],
+    ) -> Result<PerUserFits, CoreError> {
+        if sweep.grain != Grain::PerUser {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "per-user refitting needs a per-user sweep — request it with \
+                         SweepPlan::per_user() (or .sweep(|s| s.per_user()) on the facade)"
+                    .to_string(),
+            });
+        }
+        if previous.space != sweep.space || previous.mode != sweep.mode {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "the previous per-user fits belong to a different configuration \
+                         space or sweep mode; refit from scratch with fit_per_user"
+                    .to_string(),
+            });
+        }
+        let kept: std::collections::BTreeMap<UserId, &UserFit> =
+            previous.users.iter().map(|fit| (fit.user, fit)).collect();
+        let changed: std::collections::BTreeSet<UserId> = changed.iter().copied().collect();
+        let users = sweep.users();
+        let fits = run_indexed(users.len(), true, |i| {
+            let user = users[i];
+            match kept.get(&user) {
+                Some(&fit) if !changed.contains(&user) => fit.clone(),
+                _ => self.fit_user(sweep, user),
+            }
+        })?;
+        Ok(PerUserFits { space: sweep.space.clone(), mode: sweep.mode, users: fits })
+    }
+
     /// Fits every suite metric on one user's curves; any failure becomes an
     /// [`UserFitOutcome::Unfit`] with the reason.
     fn fit_user(&self, sweep: &SweepResult, user: UserId) -> UserFit {

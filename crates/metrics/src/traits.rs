@@ -148,6 +148,61 @@ impl DatasetFingerprint {
             })
         }
     }
+
+    /// Per-user sub-fingerprints, one per distinct user in trace order.
+    ///
+    /// Each digest folds the user's per-trace `(record count, record hash)`
+    /// entries — in the dataset's trace order — with the same FNV-style
+    /// multiply-mix used for the per-trace hashes, so it is sensitive to any
+    /// record change, any record count change, and any reordering of the
+    /// user's traces, while being *independent of every other user*: a
+    /// user's digest is a pure function of her own records. That is the
+    /// property incremental recomputation keys on — comparing two datasets'
+    /// sub-fingerprints identifies exactly which users need re-measurement.
+    ///
+    /// Traces of the same user are assumed contiguous, which
+    /// [`geopriv_mobility::Dataset`] guarantees (its constructor sorts traces
+    /// by user). Non-contiguous duplicates would produce one entry per run.
+    pub fn per_user(&self) -> Vec<(UserId, u64)> {
+        let mut out: Vec<(UserId, u64)> = Vec::new();
+        for &(user, len, hash) in &self.traces {
+            match out.last_mut() {
+                Some((last, digest)) if last.value() == user => {
+                    *digest = Self::mix_trace(*digest, len, hash);
+                }
+                _ => {
+                    let digest = Self::mix_trace(0xcbf2_9ce4_8422_2325, len, hash);
+                    out.push((UserId::new(user), digest));
+                }
+            }
+        }
+        out
+    }
+
+    /// The sub-fingerprint of a single user, or `None` if the fingerprinted
+    /// dataset has no trace for her.
+    pub fn user_fingerprint(&self, user: UserId) -> Option<u64> {
+        self.per_user().into_iter().find(|(u, _)| *u == user).map(|(_, digest)| digest)
+    }
+
+    /// Users whose sub-fingerprint differs between `self` (the new dataset)
+    /// and `previous`, including users absent from `previous` entirely.
+    /// Users present only in `previous` (removed from the fleet) are *not*
+    /// reported — they simply have no entry to recompute.
+    pub fn changed_users(&self, previous: &DatasetFingerprint) -> Vec<UserId> {
+        let old: std::collections::BTreeMap<UserId, u64> =
+            previous.per_user().into_iter().collect();
+        self.per_user()
+            .into_iter()
+            .filter(|(user, digest)| old.get(user) != Some(digest))
+            .map(|(user, _)| user)
+            .collect()
+    }
+
+    fn mix_trace(digest: u64, len: usize, hash: u64) -> u64 {
+        let digest = (digest ^ len as u64).wrapping_mul(0x100_0000_01b3);
+        (digest ^ hash).wrapping_mul(0x100_0000_01b3)
+    }
 }
 
 /// A metric value in `[0, 1]` together with its *user-keyed* per-user

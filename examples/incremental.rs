@@ -1,0 +1,93 @@
+//! Incremental recomputation — the warm path end to end: a cached per-user
+//! study, a handful of drivers whose traces drift, and a
+//! [`geopriv::FittedAutoConf::refresh`] that re-measures *only* the drifted
+//! drivers while everyone else is served from the on-disk measurement cache.
+//!
+//! Run it twice: the first run is cold (every user measured, the cache
+//! populated under `.geopriv-cache/`), the second is warm (users load from
+//! disk). Both runs print the same recommendations digest — the warm ≡ cold
+//! contract made grep-able, which is exactly what the CI smoke job checks.
+//!
+//! ```text
+//! cargo run --release --example incremental
+//! cargo run --release --example incremental   # warm: users come from cache
+//! ```
+//!
+//! Delete `.geopriv-cache/` to force a cold run again.
+
+use geopriv::mobility::generator::{perturb_users, scaled};
+use geopriv::prelude::*;
+use geopriv::AutoConf;
+
+/// FNV-1a over `text` — a stable digest for comparing recommendation
+/// tables across runs without diffing the whole rendering.
+fn digest(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down taxi fleet; the measurement cache lives next to the
+    // repo (gitignored), so repeated runs of this example stay warm.
+    let cache = std::path::Path::new(".geopriv-cache");
+    let dataset = scaled(60, 2016)?;
+    println!("dataset: {} drivers, {} records", dataset.user_count(), dataset.record_count());
+
+    // The cached per-user study: cold on the first run, warm afterwards —
+    // either way, bit-identical results (the warm ≡ cold contract).
+    let studied = AutoConf::for_system(SystemDefinition::paper_geoi())
+        .dataset(&dataset)
+        .sweep(|s| s.points(11).seed(42).per_user().cached(cache))
+        .fit()?
+        .require("poi-retrieval", at_most(0.6))?
+        .require("area-coverage", at_least(0.3))?;
+    let stats = studied.cache_stats().expect("cached sweep").clone();
+    println!(
+        "cache: {} of {} users served from cache, {} re-measured",
+        stats.hits, stats.users, stats.misses
+    );
+    for warning in &stats.warnings {
+        println!("cache warning: {warning}");
+    }
+
+    let recommendation = studied.recommend_per_user()?;
+    let table = geopriv::core::report::per_user_csv(&recommendation);
+    println!("recommendations digest: {:016x}", digest(&table));
+    println!(
+        "dataset point: {}; {} of {} users feasible on their own models",
+        recommendation.dataset.point,
+        recommendation.feasible_count(),
+        recommendation.users.len()
+    );
+    println!();
+
+    // A few drivers' traces drift (about 5 % of the fleet); refresh the
+    // study: unchanged drivers ride the cache, drifted ones are re-measured
+    // and refitted, and the report names every recommendation that moved.
+    let users = dataset.users();
+    let drifting: Vec<UserId> = users.iter().copied().step_by(20).collect();
+    let drifted = perturb_users(&dataset, &drifting, 7)?;
+    let (refreshed, report) = studied.refresh(&drifted)?;
+    println!("refresh of {} drifted driver(s): {report}", drifting.len());
+    for moved in report.moved.iter().take(8) {
+        println!(
+            "  {} moved [{}]: {} -> {} ({})",
+            moved.user,
+            moved.reason.label(),
+            moved.old_point.as_ref().map_or_else(|| "none".to_string(), ToString::to_string),
+            moved.new_point,
+            moved.new_verdict.label()
+        );
+    }
+    if report.moved.len() > 8 {
+        println!("  ... and {} more", report.moved.len() - 8);
+    }
+
+    let after = refreshed.recommend_per_user()?;
+    let after_table = geopriv::core::report::per_user_csv(&after);
+    println!("refreshed recommendations digest: {:016x}", digest(&after_table));
+    Ok(())
+}

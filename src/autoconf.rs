@@ -38,12 +38,13 @@
 
 use crate::error::Error;
 use geopriv_core::{
-    Configurator, Constraint, ExperimentRunner, FittedSuite, Grain, HoldOutValidator, MetricId,
-    Modeler, Objectives, ParetoFrontier, PerUserFits, PerUserRecommendation, Recommendation,
-    SweepConfig, SweepResult, SystemDefinition, ValidationReport,
+    CacheStats, Configurator, Constraint, ExperimentRunner, FittedSuite, Grain, HoldOutValidator,
+    MetricId, Modeler, Objectives, ParetoFrontier, PerUserFits, PerUserRecommendation,
+    Recommendation, SweepConfig, SweepResult, SystemDefinition, UserVerdict, ValidationReport,
 };
 use geopriv_lppm::ConfigPoint;
-use geopriv_mobility::Dataset;
+use geopriv_metrics::DatasetFingerprint;
+use geopriv_mobility::{Dataset, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -154,6 +155,17 @@ impl SweepBuilder {
         self.plan.config.parallel = parallel;
         self
     }
+
+    /// Persists per-user measurements under `dir` and reuses them across
+    /// runs — exactly [`geopriv_core::SweepPlan::cached`]: a warm run loads
+    /// unchanged users from the on-disk cache, re-measures only changed
+    /// users, and is **bit-identical to a cold full run**. Unlocks
+    /// [`FittedAutoConf::refresh`] and [`FittedAutoConf::cache_stats`].
+    #[must_use]
+    pub fn cached(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.plan = self.plan.cached(dir);
+        self
+    }
 }
 
 /// Entry state of the facade: a system, not yet bound to a dataset.
@@ -207,8 +219,13 @@ impl<'a> AutoConfWithData<'a> {
     ///
     /// Propagates sweep and modeling errors.
     pub fn fit(self) -> Result<FittedAutoConf<'a>, Error> {
-        let sweep =
-            ExperimentRunner::with_plan(self.plan.clone()).run(&self.system, self.dataset)?;
+        let runner = ExperimentRunner::with_plan(self.plan.clone());
+        let (sweep, cache_stats) = if self.plan.cache_directory().is_some() {
+            let cached = runner.run_cached(&self.system, self.dataset)?;
+            (cached.result, Some(cached.stats))
+        } else {
+            (runner.run(&self.system, self.dataset)?, None)
+        };
         let fitted = Modeler::new().fit(&sweep)?;
         let per_user = match self.plan.grain {
             Grain::PerUser => Some(Modeler::new().fit_per_user(&sweep)?),
@@ -223,7 +240,107 @@ impl<'a> AutoConfWithData<'a> {
             per_user,
             configurator,
             objectives: Objectives::new(),
+            cache_stats,
         })
+    }
+}
+
+/// Why one user's recommendation moved in a [`FittedAutoConf::refresh`].
+///
+/// Reasons are assigned with a fixed precedence (first match wins): a user
+/// absent from the previous recommendation is [`MoveReason::NewUser`]; a
+/// user whose own traces changed is [`MoveReason::TraceDrift`]; a user
+/// riding the dataset-level fallback point when that anchor itself moved is
+/// [`MoveReason::FallbackAnchorMoved`]; anything else is
+/// [`MoveReason::ModelShift`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveReason {
+    /// The user's own trace records changed, so her curves were re-measured
+    /// and her models refitted.
+    TraceDrift,
+    /// The user was not present in the previous dataset at all.
+    NewUser,
+    /// The user rides the dataset-level fallback point, and that anchor
+    /// moved because the dataset-level models shifted.
+    FallbackAnchorMoved,
+    /// The user's own traces did not change, but her recommendation moved
+    /// anyway — e.g. her verdict flipped against the shifted dataset anchor.
+    ModelShift,
+}
+
+impl MoveReason {
+    /// Short machine-stable label (`trace-drift` / `new-user` /
+    /// `fallback-anchor-moved` / `model-shift`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MoveReason::TraceDrift => "trace-drift",
+            MoveReason::NewUser => "new-user",
+            MoveReason::FallbackAnchorMoved => "fallback-anchor-moved",
+            MoveReason::ModelShift => "model-shift",
+        }
+    }
+}
+
+/// One user whose recommendation moved in a [`FittedAutoConf::refresh`]:
+/// the old and new points and verdicts, plus why the move happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovedUser {
+    /// The user whose recommendation moved.
+    pub user: UserId,
+    /// Why it moved (see [`MoveReason`] for the precedence).
+    pub reason: MoveReason,
+    /// The previously recommended point (`None` for a new user).
+    pub old_point: Option<ConfigPoint>,
+    /// The previous feasibility verdict (`None` for a new user).
+    pub old_verdict: Option<UserVerdict>,
+    /// The newly recommended point.
+    pub new_point: ConfigPoint,
+    /// The new feasibility verdict.
+    pub new_verdict: UserVerdict,
+}
+
+/// What a [`FittedAutoConf::refresh`] actually did: which users changed,
+/// how much measurement and modeling was reused, and whose recommendations
+/// moved (with reasons).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshReport {
+    /// Users whose trace records differ from the previous dataset (new
+    /// users included), per the per-user [`DatasetFingerprint`]s.
+    pub changed_users: Vec<UserId>,
+    /// Users present in the previous dataset but absent from the new one
+    /// (their cache entries stay on disk; they simply stop being resolved).
+    pub removed_users: Vec<UserId>,
+    /// Users whose measurements were served from the on-disk cache.
+    pub cache_hits: usize,
+    /// Users re-measured because their fingerprints changed (or the cache
+    /// had no usable entry for them).
+    pub remeasured: usize,
+    /// Users whose models were refitted (changed or new); everyone else's
+    /// [`geopriv_core::UserFit`] was carried over verbatim.
+    pub refitted: usize,
+    /// Whether the dataset-level recommendation (the fallback anchor) moved.
+    pub dataset_point_moved: bool,
+    /// Every user whose recommended point or verdict changed, with why.
+    pub moved: Vec<MovedUser>,
+    /// Cache warnings encountered during the refresh (corrupt or unwritable
+    /// cache files). Warnings never change the result, only the cost.
+    pub warnings: Vec<String>,
+}
+
+impl std::fmt::Display for RefreshReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} changed / {} removed user(s); {} cached, {} re-measured, {} refitted; \
+             {} recommendation(s) moved{}",
+            self.changed_users.len(),
+            self.removed_users.len(),
+            self.cache_hits,
+            self.remeasured,
+            self.refitted,
+            self.moved.len(),
+            if self.dataset_point_moved { " (dataset anchor moved)" } else { "" },
+        )
     }
 }
 
@@ -239,6 +356,7 @@ pub struct FittedAutoConf<'a> {
     per_user: Option<PerUserFits>,
     configurator: Configurator,
     objectives: Objectives,
+    cache_stats: Option<CacheStats>,
 }
 
 impl FittedAutoConf<'_> {
@@ -351,6 +469,153 @@ impl FittedAutoConf<'_> {
             .into());
         };
         Ok(self.configurator.recommend_per_user(per_user, &self.objectives)?)
+    }
+
+    /// Cache statistics of the sweep behind this fit — how many users were
+    /// served from the on-disk measurement cache vs re-measured, plus any
+    /// cache warnings. `Some` only when the sweep ran with
+    /// [`SweepBuilder::cached`].
+    pub fn cache_stats(&self) -> Option<&CacheStats> {
+        self.cache_stats.as_ref()
+    }
+
+    /// Re-runs the study against a *changed* dataset, reusing every
+    /// measurement and model the change did not touch — the facade of the
+    /// incremental-recomputation path:
+    ///
+    /// 1. per-user [`DatasetFingerprint`]s classify users into unchanged /
+    ///    changed / new / removed;
+    /// 2. the cached sweep ([`geopriv_core::SweepPlan::cached`]) loads
+    ///    unchanged users from disk and re-measures only changed users,
+    ///    under the same identity-keyed seed streams a cold run would use;
+    /// 3. [`Modeler::refit_per_user`] refits only changed users' models;
+    /// 4. the constraints carry over and every user's recommendation is
+    ///    re-inverted; the [`RefreshReport`] names each user whose
+    ///    recommendation moved and why ([`MoveReason`]).
+    ///
+    /// The refreshed study is **bit-identical to a cold full study of the
+    /// changed dataset** (sweep columns, fits, every recommendation) — the
+    /// workspace's warm≡cold contract, asserted by the incremental
+    /// integration tests and the `incremental` bench on every run.
+    ///
+    /// Consumes `self`: the refreshed study replaces it, bound to the
+    /// changed dataset.
+    ///
+    /// # Errors
+    ///
+    /// * [`geopriv_core::CoreError::InvalidConfiguration`] when the study
+    ///   did not run with a measurement cache ([`SweepBuilder::cached`]) or
+    ///   a per-user sweep ([`SweepBuilder::per_user`]), or when no
+    ///   constraint was stated (there are no recommendations to diff).
+    /// * Propagates sweep, modeling and inversion errors.
+    pub fn refresh<'b>(
+        self,
+        changed: &'b Dataset,
+    ) -> Result<(FittedAutoConf<'b>, RefreshReport), Error> {
+        if self.plan.cache_directory().is_none() {
+            return Err(geopriv_core::CoreError::InvalidConfiguration {
+                reason: "refresh needs a measurement cache — request it with \
+                         .sweep(|s| s.cached(dir)) before fit()"
+                    .to_string(),
+            }
+            .into());
+        }
+        let Some(previous_fits) = self.per_user.as_ref() else {
+            return Err(geopriv_core::CoreError::InvalidConfiguration {
+                reason: "refresh needs a per-user sweep — request it with \
+                         .sweep(|s| s.per_user()) before fit()"
+                    .to_string(),
+            }
+            .into());
+        };
+        let old_rec = self.recommend_per_user()?;
+
+        // Classify users by per-user fingerprint: changed (new included),
+        // removed, unchanged.
+        let old_fp = DatasetFingerprint::of(self.dataset);
+        let new_fp = DatasetFingerprint::of(changed);
+        let changed_users = new_fp.changed_users(&old_fp);
+        let changed_set: std::collections::BTreeSet<UserId> =
+            changed_users.iter().copied().collect();
+        let surviving: std::collections::BTreeSet<UserId> =
+            new_fp.per_user().into_iter().map(|(user, _)| user).collect();
+        let removed_users: Vec<UserId> = old_fp
+            .per_user()
+            .into_iter()
+            .map(|(user, _)| user)
+            .filter(|user| !surviving.contains(user))
+            .collect();
+
+        // Warm sweep: unchanged users come from disk, changed users are
+        // re-measured under their own identity-keyed seed streams.
+        let cached =
+            ExperimentRunner::with_plan(self.plan.clone()).run_cached(&self.system, changed)?;
+        let stats = cached.stats;
+        let sweep = cached.result;
+        let fitted = Modeler::new().fit(&sweep)?;
+
+        // Incremental refit: unchanged users' fits carry over verbatim.
+        let previously_fitted: std::collections::BTreeSet<UserId> =
+            previous_fits.users.iter().map(|fit| fit.user).collect();
+        let refitted = sweep
+            .users()
+            .iter()
+            .filter(|user| changed_set.contains(*user) || !previously_fitted.contains(*user))
+            .count();
+        let per_user = Modeler::new().refit_per_user(&sweep, previous_fits, &changed_users)?;
+
+        let refreshed = FittedAutoConf {
+            system: self.system,
+            dataset: changed,
+            plan: self.plan,
+            sweep,
+            per_user: Some(per_user),
+            configurator: Configurator::new(fitted),
+            objectives: self.objectives,
+            cache_stats: Some(stats.clone()),
+        };
+        let new_rec = refreshed.recommend_per_user()?;
+
+        // Diff the recommendations: who moved, and why.
+        let dataset_point_moved = new_rec.dataset.point != old_rec.dataset.point;
+        let mut moved = Vec::new();
+        for row in &new_rec.users {
+            let old_row = old_rec.get(row.user);
+            let unchanged_row =
+                old_row.is_some_and(|old| old.point == row.point && old.verdict == row.verdict);
+            if unchanged_row {
+                continue;
+            }
+            let reason = if old_row.is_none() {
+                MoveReason::NewUser
+            } else if changed_set.contains(&row.user) {
+                MoveReason::TraceDrift
+            } else if !row.verdict.is_feasible() && dataset_point_moved {
+                MoveReason::FallbackAnchorMoved
+            } else {
+                MoveReason::ModelShift
+            };
+            moved.push(MovedUser {
+                user: row.user,
+                reason,
+                old_point: old_row.map(|old| old.point.clone()),
+                old_verdict: old_row.map(|old| old.verdict.clone()),
+                new_point: row.point.clone(),
+                new_verdict: row.verdict.clone(),
+            });
+        }
+
+        let report = RefreshReport {
+            changed_users,
+            removed_users,
+            cache_hits: stats.hits,
+            remeasured: stats.misses,
+            refitted,
+            dataset_point_moved,
+            moved,
+            warnings: stats.warnings,
+        };
+        Ok((refreshed, report))
     }
 
     /// Hold-out validation of the fitted models: split the dataset by

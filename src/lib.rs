@@ -67,12 +67,17 @@ pub use geopriv_metrics as metrics;
 pub use geopriv_mobility as mobility;
 pub use geopriv_serve as serve;
 
-pub use autoconf::{AutoConf, AutoConfWithData, FittedAutoConf, SweepBuilder};
+pub use autoconf::{
+    AutoConf, AutoConfWithData, FittedAutoConf, MoveReason, MovedUser, RefreshReport, SweepBuilder,
+};
 pub use error::Error;
 
 /// Convenient glob-import of the most commonly used items of the workspace.
 pub mod prelude {
-    pub use crate::autoconf::{AutoConf, AutoConfWithData, FittedAutoConf, SweepBuilder};
+    pub use crate::autoconf::{
+        AutoConf, AutoConfWithData, FittedAutoConf, MoveReason, MovedUser, RefreshReport,
+        SweepBuilder,
+    };
     pub use crate::error::Error;
     pub use geopriv_core::prelude::*;
     pub use geopriv_geo::prelude::*;
